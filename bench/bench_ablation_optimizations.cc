@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation bench for the paper's Section VI optimization proposals,
+ * implemented as AFSysBench features:
+ *
+ *  1. Static memory estimation before execution (avoids OOM waste).
+ *  2. Persistent model state (warm XLA compilation cache).
+ *  3. Database preloading into the page cache.
+ *  4. Adaptive thread allocation vs AF3's fixed 8-thread default.
+ */
+
+#include "bench_common.hh"
+#include "core/adaptive_threads.hh"
+#include "core/memory_estimator.hh"
+#include "core/pipeline.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation — Section VI optimization proposals",
+        "Kim et al., IISWC 2025, Section VI (Discussions)",
+        "each proposed optimization, implemented and measured "
+        "against the default configuration");
+
+    const auto &ws = core::Workspace::shared();
+
+    // --- 1. Static memory estimator --------------------------------------
+    std::printf("--- 1. Memory estimation based on input features\n");
+    {
+        bio::Complex rna("rna_1335");
+        rna.addChain(bio::makeRibosomalRna(1335));
+        const auto est = core::estimateMemory(
+            rna, sys::serverPlatformWithCxl(), 8);
+        std::printf("Pre-check for a 1335-nt RNA input on "
+                    "Server+CXL:\n%s",
+                    est.render().c_str());
+        std::printf("-> run rejected up front; the paper observed "
+                    "this input aborting after consuming the whole "
+                    "768 GiB.\n\n");
+    }
+
+    // --- 2. Persistent model state ---------------------------------------
+    std::printf("--- 2. Reducing GPU initialization overhead "
+                "(persistent model state)\n");
+    {
+        TextTable t("Repeated 2PV7 inference requests (Server)");
+        t.setHeader({"Request", "cold cache (s)", "warm cache (s)",
+                     "speedup"});
+        gpusim::XlaCache persistent;
+        const size_t tokens =
+            bio::makeSample("2PV7").complex.totalResidues();
+        for (int req = 1; req <= 3; ++req) {
+            gpusim::XlaCache cold;
+            const auto rc = gpusim::simulateInference(
+                sys::serverPlatform(), tokens, cold);
+            const auto rw = gpusim::simulateInference(
+                sys::serverPlatform(), tokens, persistent);
+            t.addRow({strformat("%d", req),
+                      bench::secs(rc.totalSeconds()),
+                      bench::secs(rw.totalSeconds()),
+                      strformat("%.2fx", rc.totalSeconds() /
+                                             rw.totalSeconds())});
+        }
+        t.print();
+    }
+
+    // --- 3. Database preloading ------------------------------------------
+    std::printf("--- 3. Preloading databases into DRAM (Server)\n");
+    {
+        const auto sample = bio::makeSample("promo");
+        TextTable t("promo MSA phase, 4 threads");
+        t.setHeader({"Config", "MSA (s)", "I/O wait in window (s)",
+                     "disk during phase"});
+        for (bool preload : {false, true}) {
+            core::MsaPhaseOptions opt;
+            opt.threads = 4;
+            opt.traceStride = 16;
+            opt.preloadDatabases = preload;
+            const auto r = core::runMsaPhase(
+                sample.complex, sys::serverPlatform(), ws, opt);
+            t.addRow({preload ? "preloaded" : "demand-paged",
+                      bench::secs(r.seconds),
+                      bench::secs(r.ioSeconds),
+                      formatBytes(r.diskBytesRead)});
+        }
+        t.print();
+        std::printf("(Cold reads move out of the measured window; "
+                    "on this compute-bound server phase the "
+                    "end-to-end win is small, exactly as the "
+                    "paper's 'particularly effective on "
+                    "server-grade systems' framing implies for "
+                    "interactive latency rather than batch "
+                    "throughput.)\n\n");
+    }
+
+    // --- 4. Adaptive thread allocation -------------------------------------
+    std::printf("--- 4. Adaptive thread allocation vs fixed "
+                "default\n");
+    {
+        TextTable t("Recommended MSA threads per input (Desktop)");
+        t.setHeader({"Sample", "recommended T", "predicted (s)",
+                     "default 8T (s)", "speedup vs default"});
+        for (const char *name : {"2PV7", "7RCE", "1YY9", "6QNR"}) {
+            const auto sample = bio::makeSample(name);
+            const auto advice = core::recommendThreads(
+                sample.complex,
+                name == std::string("6QNR")
+                    ? sys::desktopPlatformUpgraded()
+                    : sys::desktopPlatform(),
+                ws, {2, 4, 6, 8});
+            t.addRow({name,
+                      strformat("%u", advice.recommendedThreads),
+                      bench::secs(advice.predictedSeconds),
+                      bench::secs(advice.defaultSeconds),
+                      strformat("%.2fx",
+                                advice.speedupOverDefault())});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the experiment-regeneration benches.
+ *
+ * Every binary in bench/ regenerates one table or figure from the
+ * paper; these helpers keep their output style uniform.
+ */
+
+#ifndef AFSB_BENCH_BENCH_COMMON_HH
+#define AFSB_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/str.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace afsb::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_ref,
+       const std::string &expectation)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("AFSysBench-C++  |  %s\n", experiment.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("Paper shape: %s\n", expectation.c_str());
+    std::printf("==========================================================="
+                "=====================\n\n");
+}
+
+/** Format seconds with 1 decimal. */
+inline std::string
+secs(double s)
+{
+    return strformat("%.1f", s);
+}
+
+/** Format a percentage with 1 decimal. */
+inline std::string
+pct(double fraction)
+{
+    return strformat("%.1f%%", 100.0 * fraction);
+}
+
+/** Format a raw percent value. */
+inline std::string
+pctv(double percent)
+{
+    return strformat("%.2f", percent);
+}
+
+} // namespace afsb::bench
+
+#endif // AFSB_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates paper Fig 2: peak memory vs RNA sequence length, with
+ * the DRAM (512 GiB) and DRAM+CXL (768 GiB) capacity lines, plus
+ * the Section III-C protein-probe measurements.
+ */
+
+#include "bench_common.hh"
+#include "bio/samples.hh"
+#include "msa/memory_model.hh"
+#include "sys/memory_model.hh"
+
+using namespace afsb;
+
+namespace {
+
+const char *
+placement(sys::MemFit fit)
+{
+    switch (fit) {
+      case sys::MemFit::FitsDram: return "DRAM";
+      case sys::MemFit::NeedsCxl: return "DRAM+CXL";
+      case sys::MemFit::Oom: return "OOM (fails)";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig 2 — Peak memory vs RNA sequence length",
+        "Kim et al., IISWC 2025, Fig 2 + Section III-C",
+        "621 nt -> 79.3 GiB, 935 -> 506 GiB (DRAM), 1135 -> 644 GiB "
+        "(needs CXL), 1335 -> exceeds 768 GiB (OOM); protein probes "
+        "stay under 2 GiB");
+
+    const sys::MemoryModel server(sys::serverPlatform().memory);
+    const sys::MemoryModel cxl(
+        sys::serverPlatformWithCxl().memory);
+
+    TextTable t("Fig 2: nhmmer peak memory (7K00-derived RNA)");
+    t.setHeader({"RNA length (nt)", "Peak memory", "vs 512 GiB DRAM",
+                 "vs 768 GiB DRAM+CXL"});
+    for (size_t len : {200, 400, 621, 800, 935, 1000, 1135, 1200,
+                       1335}) {
+        // Verify the chain is synthesizable at this length.
+        (void)bio::makeRibosomalRna(len);
+        const uint64_t peak = msa::nhmmerPeakMemoryBytes(len);
+        t.addRow({strformat("%zu", len), formatBytes(peak),
+                  placement(server.classify(peak)),
+                  placement(cxl.classify(peak))});
+    }
+    t.addSeparator();
+    t.print();
+
+    TextTable p("Section III-C: protein-probe peak memory "
+                "(jackhmmer)");
+    p.setHeader({"Protein residues", "Threads", "Peak memory"});
+    for (auto [len, threads] :
+         {std::pair<size_t, size_t>{1000, 1},
+          {1000, 8},
+          {2000, 8}}) {
+        (void)bio::makeProteinProbe(len);
+        p.addRow({strformat("%zu", len), strformat("%zu", threads),
+                  formatBytes(
+                      msa::jackhmmerPeakMemoryBytes(len, threads))});
+    }
+    p.print();
+
+    std::printf("Capacity lines: main memory %s, with CXL %s\n",
+                formatBytes(sys::serverPlatform().memory.dramBytes)
+                    .c_str(),
+                formatBytes(sys::serverPlatformWithCxl()
+                                .totalMemoryBytes())
+                    .c_str());
+    return 0;
+}

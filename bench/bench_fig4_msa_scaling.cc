@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates paper Fig 4: MSA execution time across 1-8 threads
+ * for four samples on both platforms.
+ */
+
+#include "bench_common.hh"
+#include "core/msa_phase.hh"
+#include "util/stats.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 4 — MSA thread scaling (1-8 threads)",
+        "Kim et al., IISWC 2025, Fig 4",
+        "near-ideal 2x from 1->2T; gains diminish beyond 4T; small "
+        "samples (2PV7, 7RCE) degrade past 4-6T while larger ones "
+        "(1YY9, promo) still benefit at 6-8T");
+
+    const auto &ws = core::Workspace::shared();
+    const std::vector<uint32_t> threads = {1, 2, 4, 6, 8};
+    const char *samples[] = {"2PV7", "7RCE", "1YY9", "promo"};
+
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        TextTable t(strformat("Fig 4 (%s): MSA seconds by threads",
+                              platform.name.c_str()));
+        std::vector<std::string> header = {"Sample"};
+        for (uint32_t th : threads)
+            header.push_back(strformat("%uT", th));
+        header.push_back("best T");
+        t.setHeader(header);
+
+        for (const char *name : samples) {
+            const auto sample = bio::makeSample(name);
+            std::vector<std::string> row = {name};
+            std::vector<double> times;
+            for (uint32_t th : threads) {
+                core::MsaPhaseOptions opt;
+                opt.threads = th;
+                opt.traceStride = 16;
+                const auto r = core::runMsaPhase(
+                    sample.complex, platform, ws, opt);
+                times.push_back(r.seconds);
+                row.push_back(bench::secs(r.seconds));
+            }
+            size_t best = 0;
+            for (size_t i = 1; i < times.size(); ++i)
+                if (times[i] < times[best])
+                    best = i;
+            row.push_back(strformat("%u", threads[best]));
+            t.addRow(row);
+        }
+        t.print();
+    }
+    return 0;
+}

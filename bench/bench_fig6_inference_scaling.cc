@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates paper Fig 6: inference-phase execution time across
+ * thread configurations — the flat-scaling result.
+ */
+
+#include "bench_common.hh"
+#include "bio/samples.hh"
+#include "gpusim/inference_sim.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 6 — Inference thread scaling (1-6 threads)",
+        "Kim et al., IISWC 2025, Fig 6",
+        "minimal gains or slowdowns with threads on both platforms "
+        "(kernel dispatch is a single host thread)");
+
+    const uint32_t threads[] = {1, 2, 4, 6};
+    const char *samples[] = {"2PV7", "7RCE", "1YY9", "promo"};
+
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        TextTable t(strformat(
+            "Fig 6 (%s): inference seconds by host threads",
+            platform.name.c_str()));
+        std::vector<std::string> header = {"Sample"};
+        for (uint32_t th : threads)
+            header.push_back(strformat("%uT", th));
+        header.push_back("6T/1T");
+        t.setHeader(header);
+
+        for (const char *name : samples) {
+            const auto sample = bio::makeSample(name);
+            std::vector<std::string> row = {name};
+            double t1 = 0.0, t6 = 0.0;
+            for (uint32_t th : threads) {
+                gpusim::XlaCache cache;  // cold per request
+                gpusim::InferenceSimOptions opt;
+                opt.threads = th;
+                const auto r = gpusim::simulateInference(
+                    platform, sample.complex.totalResidues(), cache,
+                    opt);
+                row.push_back(bench::secs(r.totalSeconds()));
+                if (th == 1)
+                    t1 = r.totalSeconds();
+                if (th == 6)
+                    t6 = r.totalSeconds();
+            }
+            row.push_back(strformat("%.2fx", t1 / t6));
+            t.addRow(row);
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates paper Fig 7: relative MSA-vs-inference time
+ * distribution under optimal thread settings per system.
+ */
+
+#include "bench_common.hh"
+#include "core/pipeline.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 7 — MSA vs inference share at optimal threads",
+        "Kim et al., IISWC 2025, Fig 7 / Section V-B1",
+        "MSA dominates: ~75-80% for simpler inputs up to >94% on "
+        "Server for the most complex; inference shares slightly "
+        "higher on Desktop");
+
+    const auto &ws = core::Workspace::shared();
+
+    TextTable t("Fig 7: phase shares (optimal thread settings)");
+    t.setHeader({"Platform", "Sample", "MSA (s)", "Inference (s)",
+                 "MSA share", "Inference share"});
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        for (const char *name : {"2PV7", "7RCE", "1YY9", "promo"}) {
+            const auto sample = bio::makeSample(name);
+            // "Optimal" per Fig 4: 4 threads for the small inputs,
+            // 6 for the larger ones.
+            const bool large = sample.complex.totalResidues() > 600;
+            core::PipelineOptions opt;
+            opt.msaThreads = large ? 6 : 4;
+            opt.msa.traceStride = 16;
+            const auto r = core::runPipeline(sample.complex,
+                                             platform, ws, opt);
+            t.addRow({platform.name, name,
+                      bench::secs(r.msa.seconds),
+                      bench::secs(r.inference.totalSeconds()),
+                      bench::pct(r.msaShare()),
+                      bench::pct(1.0 - r.msaShare())});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Fig 8: Nsight-style breakdown of inference time
+ * into GPU initialization, XLA compilation, GPU compute, and
+ * finalization.
+ */
+
+#include "bench_common.hh"
+#include "bio/samples.hh"
+#include "gpusim/inference_sim.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 8 — Inference time breakdown (Nsight-style)",
+        "Kim et al., IISWC 2025, Fig 8 + Section V-B3a",
+        "Server: init+XLA dominate short inputs (>75% for 2PV7); "
+        "Desktop: GPU compute dominates (2PV7 ~71 s compute, ~10 s "
+        "XLA, ~19 s init/finalize; up to 83% compute for "
+        "1YY9/promo); 6QNR spills to unified memory on the 4080");
+
+    TextTable t("Fig 8: inference phase breakdown (seconds)");
+    t.setHeader({"Platform", "Sample", "init", "xla", "gpu",
+                 "final", "total", "overhead", "unified-mem"});
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        for (const char *name : {"2PV7", "1YY9", "promo", "6QNR"}) {
+            const auto sample = bio::makeSample(name);
+            gpusim::XlaCache cache;
+            const auto r = gpusim::simulateInference(
+                platform, sample.complex.totalResidues(), cache);
+            t.addRow({platform.name, name,
+                      bench::secs(r.initSeconds),
+                      bench::secs(r.compileSeconds),
+                      bench::secs(r.gpuComputeSeconds),
+                      bench::secs(r.finalizeSeconds),
+                      bench::secs(r.totalSeconds()),
+                      bench::pct(r.overheadFraction()),
+                      r.usedUnifiedMemory ? "yes" : "no"});
+        }
+        t.addSeparator();
+    }
+    t.print();
+
+    // Nsight-like timeline for the Server 2PV7 case.
+    gpusim::XlaCache cache;
+    const auto r = gpusim::simulateInference(
+        sys::serverPlatform(),
+        bio::makeSample("2PV7").complex.totalResidues(), cache);
+    std::printf("Timeline (Server, 2PV7) — first 12 spans:\n");
+    std::string render = r.timeline.render();
+    size_t lines = 0, pos = 0;
+    while (lines < 12 && pos < render.size()) {
+        const size_t nl = render.find('\n', pos);
+        std::printf("%.*s\n", static_cast<int>(nl - pos),
+                    render.c_str() + pos);
+        pos = nl + 1;
+        ++lines;
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Serving study: first-request latency and sustained throughput
+ * with and without persistent model state — the quantified version
+ * of the paper's GPU-cold-start discussion (Section VI "Reducing
+ * GPU Initialization Overhead" + the Related Work gap on
+ * first-request latency for JAX/XLA pipelines).
+ */
+
+#include "bench_common.hh"
+#include "bio/samples.hh"
+#include "gpusim/serving.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Serving study — GPU cold start vs persistent model state",
+        "Kim et al., IISWC 2025, Section VI + Related Work (GPU "
+        "cold start)",
+        "Docker-per-request redeployments pay init+XLA on every "
+        "request; a persistent process pays them once per shape");
+
+    const size_t tokens2pv7 =
+        bio::makeSample("2PV7").complex.totalResidues();
+    const size_t tokensPromo =
+        bio::makeSample("promo").complex.totalResidues();
+
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        TextTable t(strformat(
+            "Serving 10 x 2PV7 requests on %s (one worker)",
+            platform.name.c_str()));
+        t.setHeader({"Policy", "1st-request (s)",
+                     "steady latency (s)", "throughput (req/h)"});
+        for (bool persistent : {false, true}) {
+            gpusim::ServingOptions opt;
+            opt.persistentModelState = persistent;
+            const auto r = gpusim::simulateServing(
+                platform, gpusim::batchRequests(10, tokens2pv7),
+                opt);
+            t.addRow({persistent ? "persistent process"
+                                 : "container per request",
+                      bench::secs(r.firstRequestLatency),
+                      bench::secs(r.steadyLatency),
+                      strformat("%.1f", r.throughputPerHour)});
+        }
+        t.print();
+    }
+
+    // Mixed-size request stream: shape-bucketed recompiles only.
+    {
+        std::vector<gpusim::ServingRequest> mixed;
+        for (int i = 0; i < 6; ++i)
+            mixed.push_back(
+                {i % 2 ? tokensPromo : tokens2pv7, 0.0});
+        gpusim::ServingOptions opt;
+        opt.persistentModelState = true;
+        const auto r = gpusim::simulateServing(
+            sys::serverPlatform(), mixed, opt);
+        TextTable t("Mixed 2PV7/promo stream on Server "
+                    "(persistent)");
+        t.setHeader({"Request", "tokens", "compile (s)",
+                     "service (s)"});
+        for (size_t i = 0; i < r.requests.size(); ++i)
+            t.addRow({strformat("%zu", i + 1),
+                      strformat("%zu", r.requests[i].tokens),
+                      bench::secs(r.requests[i].compileSeconds),
+                      bench::secs(r.requests[i].serviceSeconds)});
+        t.print();
+        std::printf("Only the first occurrence of each input-shape "
+                    "bucket recompiles.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Table I: system hardware configurations.
+ */
+
+#include "bench_common.hh"
+#include "sys/platform.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner("Table I — System Hardware Configurations",
+                  "Kim et al., IISWC 2025, Table I",
+                  "Server = Xeon 5416S + H100 80GB + 512 GiB; "
+                  "Desktop = Ryzen 7900X + RTX 4080 16GB + 64 GiB");
+
+    const auto server = sys::serverPlatform();
+    const auto desktop = sys::desktopPlatform();
+
+    TextTable t("TABLE I: System Hardware Configurations");
+    t.setHeader({"Configuration", "Server", "Desktop"});
+    auto row = [&](const std::string &name, const std::string &s,
+                   const std::string &d) {
+        t.addRow({name, s, d});
+    };
+    row("CPU", server.cpu.name, desktop.cpu.name);
+    row("Core/Thread",
+        strformat("%u/%u", server.cpu.cores, server.cpu.threads),
+        strformat("%u/%u", desktop.cpu.cores, desktop.cpu.threads));
+    row("Base Clock", strformat("%.1fGHz", server.cpu.baseClockGhz),
+        strformat("%.1fGHz", desktop.cpu.baseClockGhz));
+    row("Max Clock", strformat("%.1fGHz", server.cpu.maxClockGhz),
+        strformat("%.1fGHz", desktop.cpu.maxClockGhz));
+    row("L1/L2 Cache",
+        strformat("%s/%s per core",
+                  formatBytes(server.cpu.l1d.size).c_str(),
+                  formatBytes(server.cpu.l2.size).c_str()),
+        strformat("%s/%s per core",
+                  formatBytes(desktop.cpu.l1d.size).c_str(),
+                  formatBytes(desktop.cpu.l2.size).c_str()));
+    row("Last Level Cache",
+        formatBytes(server.cpu.llc.size) + " shared",
+        formatBytes(desktop.cpu.llc.size) + " shared");
+    row("Memory Size", formatBytes(server.memory.dramBytes),
+        formatBytes(desktop.memory.dramBytes));
+    row("Mem. Expander",
+        formatBytes(sys::serverPlatformWithCxl().memory.cxlBytes) +
+            " CXL (optional)",
+        "-");
+    row("GPU", server.gpu.name, desktop.gpu.name);
+    row("Storage", server.storage.name, desktop.storage.name);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates paper Table III: CPU performance metrics (IPC, cache
+ * misses, L1/LLC/dTLB/branch miss rates) across samples and thread
+ * counts on both CPU architectures, from the trace-driven
+ * hierarchy simulation of the real MSA kernels.
+ */
+
+#include "bench_common.hh"
+#include "core/msa_phase.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    bench::banner(
+        "Table III — CPU performance metrics",
+        "Kim et al., IISWC 2025, Table III",
+        "Intel: higher IPC, ~0.01% dTLB misses, high flat LLC miss "
+        "rate. AMD: lower IPC, heavy dTLB misses (20-37%), LLC miss "
+        "rate ~1% at 1T exploding past 4T (capacity slicing). "
+        "promo shows higher IPC than 2PV7 on both.");
+
+    const auto &ws = core::Workspace::shared();
+    const uint32_t threadGrid[] = {1, 4, 6};
+
+    for (const char *name : {"2PV7", "promo"}) {
+        const auto sample = bio::makeSample(name);
+        TextTable t(strformat("Table III (%s)", name));
+        t.setHeader({"Metric", "Intel 1T", "Intel 4T", "Intel 6T",
+                     "AMD 1T", "AMD 4T", "AMD 6T"});
+
+        struct Cell
+        {
+            cachesim::FuncCounters c;
+            double ipc = 0.0;
+        };
+        std::vector<Cell> cells;
+        for (const auto &platform :
+             {sys::serverPlatform(), sys::desktopPlatform()}) {
+            for (uint32_t th : threadGrid) {
+                core::MsaPhaseOptions opt;
+                opt.threads = th;
+                opt.traceStride = 8;
+                const auto r = core::runMsaPhase(sample.complex,
+                                                 platform, ws, opt);
+                cells.push_back({r.totals, r.timing.effectiveIpc});
+            }
+        }
+
+        auto row = [&](const std::string &metric,
+                       auto &&extract) {
+            std::vector<std::string> cols = {metric};
+            for (const auto &cell : cells)
+                cols.push_back(extract(cell));
+            t.addRow(cols);
+        };
+        row("IPC", [](const Cell &c) {
+            return strformat("%.2f", c.ipc);
+        });
+        row("Cache Miss (MPKI)", [](const Cell &c) {
+            return strformat(
+                "%.1f", 1000.0 * static_cast<double>(c.c.l1Misses) /
+                            static_cast<double>(c.c.instructions));
+        });
+        row("L1 Miss (%)", [](const Cell &c) {
+            return bench::pctv(100.0 * c.c.l1MissRate());
+        });
+        row("LLC Miss (%)", [](const Cell &c) {
+            return bench::pctv(100.0 * c.c.llcMissRate());
+        });
+        row("dTLB Miss (%)", [](const Cell &c) {
+            return bench::pctv(100.0 * c.c.tlbMissRate());
+        });
+        row("Branch Miss (%)", [](const Cell &c) {
+            return bench::pctv(100.0 * c.c.branchMissRate());
+        });
+        t.print();
+    }
+    std::printf(
+        "Note: LLC miss %% is local (misses / LLC lookups), like "
+        "perf's LLC-load-misses ratio. dTLB %% is misses per data "
+        "access; the paper's AMD counter reports misses per L2-dTLB "
+        "lookup, so its absolute values run higher — the "
+        "Intel-vs-AMD contrast (three orders of magnitude) is the "
+        "reproduced shape.\n");
+    return 0;
+}

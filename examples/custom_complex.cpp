@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Build a custom biomolecular assembly programmatically, emit its
+ * AF3 JSON, run the executable mini model end-to-end (real tensor
+ * math producing 3-D coordinates), and print the layer profile —
+ * the library as a downstream user would script it.
+ */
+
+#include <cstdio>
+
+#include "bio/input_spec.hh"
+#include "bio/seqgen.hh"
+#include "model/af3_model.hh"
+#include "msa/dbgen.hh"
+#include "msa/jackhmmer.hh"
+#include "util/units.hh"
+
+using namespace afsb;
+
+int
+main()
+{
+    // --- 1. Assemble a custom protein-DNA complex ------------------------
+    bio::SequenceGenerator gen(2026);
+    bio::Complex assembly("my_complex");
+    assembly.addChain(
+        gen.random("A", bio::MoleculeType::Protein, 96));
+    assembly.addChain(
+        gen.random("B", bio::MoleculeType::Protein, 64));
+    assembly.addChain(gen.random("D", bio::MoleculeType::Dna, 24));
+
+    std::printf("AF3 input JSON:\n%s\n\n",
+                bio::toInputJson(assembly, {7}).dumpPretty().c_str());
+
+    // --- 2. Run a real (scaled) MSA search for chain A -------------------
+    io::Vfs vfs;
+    io::StorageDevice device;
+    io::PageCache cache(1 * GiB, &device);
+    msa::DbGenConfig dbCfg;
+    dbCfg.decoyCount = 300;
+    const std::vector<const bio::Sequence *> queries = {
+        &assembly.chains()[0], &assembly.chains()[1]};
+    generateDatabase(vfs, "db.fasta", queries,
+                     bio::MoleculeType::Protein, dbCfg);
+    const auto db = msa::SequenceDatabase::load(
+        vfs, cache, "db.fasta", bio::MoleculeType::Protein, 0.0);
+
+    msa::JackhmmerConfig jcfg;
+    model::MsaFeatures msaFeatures;
+    for (size_t c = 0; c < assembly.chainCount(); ++c) {
+        const auto &chain = assembly.chains()[c];
+        if (chain.type() != bio::MoleculeType::Protein) {
+            msaFeatures.depthPerChain.push_back(0);
+            continue;
+        }
+        const auto jr =
+            msa::runJackhmmer(chain, db, cache, nullptr, jcfg);
+        msaFeatures.depthPerChain.push_back(jr.msa.depth());
+        std::printf("chain %s: MSA depth %zu (identity %.0f%%), "
+                    "%llu targets scanned\n",
+                    chain.id().c_str(), jr.msa.depth(),
+                    100.0 * jr.msa.meanIdentity(),
+                    static_cast<unsigned long long>(
+                        jr.stats.targetsScanned));
+    }
+
+    // --- 3. Inference with the executable mini model ---------------------
+    model::Af3Model model(model::miniConfig(), /*seed=*/2026);
+    const auto result = model.infer(assembly, msaFeatures, 7);
+
+    std::printf("\nPredicted structure: %zu atoms\n",
+                result.structure.coords.dim(0));
+    for (size_t i = 0; i < 5; ++i)
+        std::printf("  token %zu: (%8.3f, %8.3f, %8.3f)\n", i,
+                    result.structure.coords.at(i, 0),
+                    result.structure.coords.at(i, 1),
+                    result.structure.coords.at(i, 2));
+
+    std::printf("\nLayer wall-clock profile (JAX-profiler style):\n");
+    for (const auto &[layer, seconds] : result.profile)
+        std::printf("  %-30s %8.2f ms\n", layer.c_str(),
+                    seconds * 1e3);
+    std::printf("Pairformer total %.2f ms, Diffusion total %.2f "
+                "ms\n",
+                result.pairformerSeconds() * 1e3,
+                result.diffusionSeconds() * 1e3);
+    return 0;
+}

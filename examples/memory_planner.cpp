@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory planner: the paper's Section VI "static memory estimator"
+ * as a user-facing tool. Give it an AF3-style JSON input (or a
+ * built-in sample name) and a platform; it predicts host and GPU
+ * peaks and tells you whether the run is safe *before* you burn
+ * hours on it.
+ *
+ *   ./memory_planner 6QNR desktop
+ *   ./memory_planner input.json server-cxl
+ *   ./memory_planner --rna-sweep server-cxl
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bio/input_spec.hh"
+#include "bio/samples.hh"
+#include "core/memory_estimator.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+using namespace afsb;
+
+namespace {
+
+sys::PlatformSpec
+platformByName(const std::string &name)
+{
+    if (name == "server")
+        return sys::serverPlatform();
+    if (name == "server-cxl")
+        return sys::serverPlatformWithCxl();
+    if (name == "desktop-128")
+        return sys::desktopPlatformUpgraded();
+    return sys::desktopPlatform();
+}
+
+bio::Complex
+loadInput(const std::string &arg)
+{
+    // A known sample name, or a path to an AF3 JSON file.
+    for (const auto &name : bio::sampleNames())
+        if (arg == name || (arg == "promo" && name == "promo"))
+            return bio::makeSample(arg).complex;
+
+    std::ifstream file(arg);
+    if (!file)
+        fatal("cannot open input '" + arg +
+              "' (not a sample name or readable file)");
+    std::stringstream buf;
+    buf << file.rdbuf();
+    return bio::parseInputJson(buf.str()).complex;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string input = argc > 1 ? argv[1] : "6QNR";
+    const std::string platName = argc > 2 ? argv[2] : "desktop";
+    const auto platform = platformByName(platName);
+
+    if (input == "--rna-sweep") {
+        // Where does this platform's RNA wall sit?
+        std::printf("RNA length limit sweep on %s (%s total "
+                    "memory):\n",
+                    platform.name.c_str(),
+                    formatBytes(platform.totalMemoryBytes()).c_str());
+        size_t lastSafe = 0;
+        for (size_t len = 100; len <= 1400; len += 25) {
+            bio::Complex c("probe");
+            c.addChain(bio::makeRibosomalRna(len));
+            const auto est = core::estimateMemory(c, platform, 8);
+            if (est.runnable())
+                lastSafe = len;
+        }
+        std::printf("Longest safe RNA chain: %zu nt\n", lastSafe);
+        return 0;
+    }
+
+    const auto complexInput = loadInput(input);
+    std::printf("Input: %s (%zu residues, %zu chains)\n",
+                complexInput.name().c_str(),
+                complexInput.totalResidues(),
+                complexInput.chainCount());
+    std::printf("Platform: %s\n\n", platform.name.c_str());
+
+    const auto estimate =
+        core::estimateMemory(complexInput, platform, 8);
+    std::printf("%s\n", estimate.render().c_str());
+    if (estimate.willOom()) {
+        std::printf("VERDICT: do not run — projected to exceed "
+                    "memory. (AF3 itself performs no such check "
+                    "and would die mid-run.)\n");
+        return 1;
+    }
+    std::printf("VERDICT: safe to run on this platform.\n");
+    return 0;
+}

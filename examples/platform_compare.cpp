@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Platform shopping guide: should you buy the HPC server or the
+ * gaming desktop for your AF3 workload? Runs a user-supplied (or
+ * built-in) input on both Table I platforms and reports end-to-end
+ * time, bottleneck phase, and memory verdicts — the paper's
+ * Observation 1 ("consumer-grade systems can efficiently support
+ * AF3") as an interactive decision tool.
+ *
+ *   ./platform_compare promo
+ *   ./platform_compare my_input.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bio/input_spec.hh"
+#include "core/memory_estimator.hh"
+#include "core/pipeline.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace afsb;
+
+namespace {
+
+bio::Complex
+loadInput(const std::string &arg)
+{
+    for (const auto &name : bio::sampleNames())
+        if (arg == name)
+            return bio::makeSample(arg).complex;
+    std::ifstream file(arg);
+    if (!file)
+        fatal("cannot open input '" + arg + "'");
+    std::stringstream buf;
+    buf << file.rdbuf();
+    return bio::parseInputJson(buf.str()).complex;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string input = argc > 1 ? argv[1] : "1YY9";
+    const auto complexInput = loadInput(input);
+    const auto &ws = core::Workspace::shared();
+
+    std::printf("Comparing platforms for %s (%zu residues)...\n\n",
+                complexInput.name().c_str(),
+                complexInput.totalResidues());
+
+    TextTable t("Server vs Desktop");
+    t.setHeader({"Platform", "Memory verdict", "MSA (s)",
+                 "Inference (s)", "Total (s)", "Bottleneck"});
+    double totals[2] = {0, 0};
+    int idx = 0;
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        const auto estimate =
+            core::estimateMemory(complexInput, platform, 6);
+        if (estimate.willOom()) {
+            t.addRow({platform.name, "WILL-OOM", "-", "-", "-",
+                      "memory"});
+            totals[idx++] = 1e30;
+            continue;
+        }
+        core::PipelineOptions opt;
+        opt.msaThreads = 6;
+        opt.msa.traceStride = 16;
+        const auto r =
+            core::runPipeline(complexInput, platform, ws, opt);
+        const char *bottleneck =
+            r.msaShare() > 0.5 ? "MSA (CPU)" : "inference (GPU)";
+        std::string verdict = "fits";
+        for (const auto &line : estimate.lines)
+            if (line.verdict != core::MemVerdict::Safe)
+                verdict = core::memVerdictName(line.verdict);
+        t.addRow({platform.name, verdict,
+                  strformat("%.1f", r.msa.seconds),
+                  strformat("%.1f", r.inference.totalSeconds()),
+                  strformat("%.1f", r.totalSeconds()), bottleneck});
+        totals[idx++] = r.totalSeconds();
+    }
+    t.print();
+
+    if (totals[1] <= totals[0] * 1.1) {
+        std::printf(
+            "Verdict: the Desktop is competitive (%.2fx the Server "
+            "time) — a strong CPU matters more than a top-tier GPU "
+            "for this workload (paper Observation 1).\n",
+            totals[1] / totals[0]);
+    } else {
+        std::printf(
+            "Verdict: this input benefits from server-class "
+            "resources (%.2fx faster than Desktop).\n",
+            totals[1] / totals[0]);
+    }
+    return 0;
+}

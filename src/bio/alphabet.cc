@@ -1,0 +1,112 @@
+#include "bio/alphabet.hh"
+
+#include <array>
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace afsb::bio {
+
+namespace {
+
+const std::string kProteinSymbols = "ACDEFGHIKLMNPQRSTVWY";
+const std::string kDnaSymbols = "ACGT";
+const std::string kRnaSymbols = "ACGU";
+
+// Amino-acid background frequencies (Robinson & Robinson 1991),
+// indexed in kProteinSymbols order and normalized to sum exactly to
+// one; used by the log-odds scoring null model.
+const std::array<double, 20> kProteinBackground = [] {
+    std::array<double, 20> f = {
+        0.0787, 0.0151, 0.0535, 0.0668, 0.0397, 0.0695, 0.0229, 0.0590,
+        0.0595, 0.0962, 0.0238, 0.0443, 0.0484, 0.0396, 0.0540, 0.0715,
+        0.0568, 0.0673, 0.0114, 0.0305,
+    };
+    double sum = 0.0;
+    for (double v : f)
+        sum += v;
+    for (double &v : f)
+        v /= sum;
+    return f;
+}();
+
+} // namespace
+
+std::string
+moleculeTypeName(MoleculeType type)
+{
+    switch (type) {
+      case MoleculeType::Protein: return "protein";
+      case MoleculeType::Dna: return "dna";
+      case MoleculeType::Rna: return "rna";
+    }
+    panic("moleculeTypeName: bad enum");
+}
+
+MoleculeType
+moleculeTypeFromName(const std::string &name)
+{
+    if (name == "protein")
+        return MoleculeType::Protein;
+    if (name == "dna")
+        return MoleculeType::Dna;
+    if (name == "rna")
+        return MoleculeType::Rna;
+    fatal("unknown molecule type '" + name + "'");
+}
+
+size_t
+alphabetSize(MoleculeType type)
+{
+    return type == MoleculeType::Protein ? 20u : 4u;
+}
+
+const std::string &
+alphabetSymbols(MoleculeType type)
+{
+    switch (type) {
+      case MoleculeType::Protein: return kProteinSymbols;
+      case MoleculeType::Dna: return kDnaSymbols;
+      case MoleculeType::Rna: return kRnaSymbols;
+    }
+    panic("alphabetSymbols: bad enum");
+}
+
+int
+encodeResidue(MoleculeType type, char c)
+{
+    const char u =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    const std::string &symbols = alphabetSymbols(type);
+    const size_t pos = symbols.find(u);
+    if (pos == std::string::npos) {
+        // Accept T in RNA and U in DNA as the equivalent base; real
+        // inputs mix conventions.
+        if (type == MoleculeType::Rna && u == 'T')
+            return encodeResidue(type, 'U');
+        if (type == MoleculeType::Dna && u == 'U')
+            return encodeResidue(type, 'T');
+        return -1;
+    }
+    return static_cast<int>(pos);
+}
+
+char
+decodeResidue(MoleculeType type, uint8_t code)
+{
+    const std::string &symbols = alphabetSymbols(type);
+    panicIf(code >= symbols.size(), "decodeResidue: code out of range");
+    return symbols[code];
+}
+
+double
+backgroundFrequency(MoleculeType type, uint8_t code)
+{
+    panicIf(code >= alphabetSize(type),
+            "backgroundFrequency: code out of range");
+    if (type == MoleculeType::Protein)
+        return kProteinBackground[code];
+    return 0.25;
+}
+
+} // namespace afsb::bio

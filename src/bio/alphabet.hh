@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Molecular alphabets for the three AF3 input modalities.
+ *
+ * AF3 accepts proteins, DNA, RNA (plus ligands/ions, which take no
+ * part in the MSA stage and are modeled as extra tokens downstream).
+ * Residues are stored encoded (0..K-1) so the alignment kernels index
+ * scoring matrices directly.
+ */
+
+#ifndef AFSB_BIO_ALPHABET_HH
+#define AFSB_BIO_ALPHABET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace afsb::bio {
+
+/** Input modality of a chain. */
+enum class MoleculeType { Protein, Dna, Rna };
+
+/** Human-readable name ("protein", "dna", "rna"). */
+std::string moleculeTypeName(MoleculeType type);
+
+/** Parse a modality name; fatal() on unknown names. */
+MoleculeType moleculeTypeFromName(const std::string &name);
+
+/** Number of symbols in the alphabet for @p type (20 or 4). */
+size_t alphabetSize(MoleculeType type);
+
+/** Canonical symbol order, e.g. "ACDEFGHIKLMNPQRSTVWY" for protein. */
+const std::string &alphabetSymbols(MoleculeType type);
+
+/**
+ * Encode one residue character (case-insensitive).
+ * @return index in [0, alphabetSize), or -1 for invalid characters.
+ */
+int encodeResidue(MoleculeType type, char c);
+
+/** Decode an index back to its canonical upper-case character. */
+char decodeResidue(MoleculeType type, uint8_t code);
+
+/**
+ * Background (null-model) frequency of residue @p code, from
+ * Robinson & Robinson-style composition for protein and uniform for
+ * nucleotides.
+ */
+double backgroundFrequency(MoleculeType type, uint8_t code);
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_ALPHABET_HH

@@ -1,0 +1,90 @@
+#include "bio/complexity.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::bio {
+
+double
+windowEntropy(const Sequence &seq, size_t begin, size_t len)
+{
+    panicIf(begin + len > seq.length(), "windowEntropy: bad window");
+    if (len == 0)
+        return 0.0;
+    std::array<size_t, 20> counts{};
+    for (size_t i = begin; i < begin + len; ++i)
+        ++counts[seq[i]];
+    double h = 0.0;
+    for (size_t c : counts) {
+        if (c == 0)
+            continue;
+        const double p =
+            static_cast<double>(c) / static_cast<double>(len);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+ComplexityProfile
+analyzeComplexity(const Sequence &seq, size_t window)
+{
+    ComplexityProfile prof;
+    const size_t n = seq.length();
+    if (n == 0)
+        return prof;
+
+    // Longest homopolymer run.
+    size_t run = 1;
+    for (size_t i = 1; i <= n; ++i) {
+        if (i < n && seq[i] == seq[i - 1]) {
+            ++run;
+        } else {
+            if (run > prof.longestRun) {
+                prof.longestRun = run;
+                prof.runResidue = seq[i - 1];
+            }
+            run = 1;
+        }
+    }
+
+    // Windowed entropy, stride 1.
+    if (n < window) {
+        prof.meanEntropy = windowEntropy(seq, 0, n);
+        prof.lowComplexityFraction =
+            prof.meanEntropy < kLowComplexityEntropy ? 1.0 : 0.0;
+        return prof;
+    }
+    const size_t windows = n - window + 1;
+    double entropySum = 0.0;
+    size_t lowCount = 0;
+    for (size_t i = 0; i < windows; ++i) {
+        const double h = windowEntropy(seq, i, window);
+        entropySum += h;
+        lowCount += h < kLowComplexityEntropy;
+    }
+    prof.meanEntropy = entropySum / static_cast<double>(windows);
+    prof.lowComplexityFraction =
+        static_cast<double>(lowCount) / static_cast<double>(windows);
+    return prof;
+}
+
+double
+complexLowComplexityFraction(const Complex &complex_input)
+{
+    size_t total = 0;
+    double weighted = 0.0;
+    for (const Sequence *chain : complex_input.msaChains()) {
+        if (chain->type() != MoleculeType::Protein)
+            continue;
+        const auto prof = analyzeComplexity(*chain);
+        weighted += prof.lowComplexityFraction *
+                    static_cast<double>(chain->length());
+        total += chain->length();
+    }
+    return total ? weighted / static_cast<double>(total) : 0.0;
+}
+
+} // namespace afsb::bio

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sequence-complexity analysis.
+ *
+ * The paper's promo sample contains poly-glutamine (poly-Q) repeats
+ * that produce "excessive partial matches during database searches"
+ * (Observation 2). This module quantifies low-complexity content so
+ * the MSA engine and the memory estimator can predict that behaviour:
+ * windowed Shannon entropy (a SEG-like criterion) plus homopolymer
+ * run statistics.
+ */
+
+#ifndef AFSB_BIO_COMPLEXITY_HH
+#define AFSB_BIO_COMPLEXITY_HH
+
+#include <cstddef>
+
+#include "bio/sequence.hh"
+
+namespace afsb::bio {
+
+/** Summary of a chain's compositional complexity. */
+struct ComplexityProfile
+{
+    /** Mean windowed Shannon entropy in bits per residue. */
+    double meanEntropy = 0.0;
+
+    /** Fraction of windows under the low-complexity threshold. */
+    double lowComplexityFraction = 0.0;
+
+    /** Length of the longest single-residue run. */
+    size_t longestRun = 0;
+
+    /** Residue code of that run. */
+    uint8_t runResidue = 0;
+
+    /** True when lowComplexityFraction exceeds 10%. */
+    bool isLowComplexity() const { return lowComplexityFraction > 0.10; }
+};
+
+/** SEG-like default analysis window (12 residues). */
+constexpr size_t kComplexityWindow = 12;
+
+/** Entropy threshold (bits) below which a window is low-complexity. */
+constexpr double kLowComplexityEntropy = 2.2;
+
+/** Shannon entropy (bits/residue) of window [begin, begin+len). */
+double windowEntropy(const Sequence &seq, size_t begin, size_t len);
+
+/** Full-profile analysis of @p seq with the given window. */
+ComplexityProfile analyzeComplexity(const Sequence &seq,
+                                    size_t window = kComplexityWindow);
+
+/**
+ * Aggregate low-complexity fraction across a complex's MSA chains,
+ * residue-weighted. Drives the hit-inflation model in the MSA engine.
+ */
+double complexLowComplexityFraction(const Complex &complex_input);
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_COMPLEXITY_HH

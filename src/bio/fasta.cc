@@ -1,0 +1,64 @@
+#include "bio/fasta.hh"
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::bio {
+
+std::vector<Sequence>
+parseFasta(const std::string &text, MoleculeType type)
+{
+    std::vector<Sequence> out;
+    std::string id;
+    std::string residues;
+    bool have = false;
+
+    auto flush = [&] {
+        if (have) {
+            out.emplace_back(id, type, residues);
+            residues.clear();
+        }
+    };
+
+    for (const auto &raw : split(text, '\n')) {
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            // Identifier is the first whitespace-delimited token.
+            const std::string header = trim(line.substr(1));
+            const size_t sp = header.find(' ');
+            id = sp == std::string::npos ? header : header.substr(0, sp);
+            if (id.empty())
+                fatal("FASTA: empty sequence header");
+            have = true;
+        } else {
+            if (!have)
+                fatal("FASTA: residue data before first header");
+            residues += line;
+        }
+    }
+    flush();
+    return out;
+}
+
+std::string
+writeFasta(const std::vector<Sequence> &seqs, size_t width)
+{
+    panicIf(width == 0, "writeFasta: width must be nonzero");
+    std::string out;
+    for (const auto &seq : seqs) {
+        out += '>';
+        out += seq.id();
+        out += '\n';
+        const std::string text = seq.toString();
+        for (size_t i = 0; i < text.size(); i += width) {
+            out += text.substr(i, width);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace afsb::bio

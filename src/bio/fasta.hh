@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FASTA parsing and writing.
+ *
+ * The synthetic sequence databases are materialized in FASTA so the
+ * MSA engine's buffered-reader path (the addbuf/seebuf analogs the
+ * paper profiles in Table IV) parses realistic text.
+ */
+
+#ifndef AFSB_BIO_FASTA_HH
+#define AFSB_BIO_FASTA_HH
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+
+namespace afsb::bio {
+
+/**
+ * Parse FASTA text into sequences of modality @p type.
+ * Lines are wrapped arbitrarily; blank lines are ignored. Residues
+ * that do not encode are fatal().
+ */
+std::vector<Sequence> parseFasta(const std::string &text,
+                                 MoleculeType type);
+
+/** Render sequences as FASTA with @p width residues per line. */
+std::string writeFasta(const std::vector<Sequence> &seqs,
+                       size_t width = 60);
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_FASTA_HH

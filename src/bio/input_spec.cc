@@ -1,0 +1,90 @@
+#include "bio/input_spec.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::bio {
+
+namespace {
+
+void
+addEntry(Complex &complex_out, const std::string &type_name,
+         const JsonValue &body)
+{
+    const MoleculeType type = moleculeTypeFromName(type_name);
+    const std::string &residues = body.at("sequence").asString();
+    const JsonValue &idField = body.at("id");
+    std::vector<std::string> ids;
+    if (idField.isString()) {
+        ids.push_back(idField.asString());
+    } else if (idField.isArray()) {
+        for (const auto &e : idField.asArray())
+            ids.push_back(e.asString());
+    } else {
+        fatal("AF3 input: 'id' must be a string or array of strings");
+    }
+    if (ids.empty())
+        fatal("AF3 input: empty id list");
+    for (const auto &id : ids)
+        complex_out.addChain(Sequence(id, type, residues));
+}
+
+} // namespace
+
+InputSpec
+parseInputSpec(const JsonValue &root)
+{
+    InputSpec spec;
+    spec.complex.setName(root.at("name").asString());
+
+    const JsonValue &seqs = root.at("sequences");
+    if (!seqs.isArray() || seqs.size() == 0)
+        fatal("AF3 input: 'sequences' must be a non-empty array");
+    for (const auto &entry : seqs.asArray()) {
+        const auto &obj = entry.asObject();
+        if (obj.size() != 1)
+            fatal("AF3 input: each sequences[] entry wraps exactly one "
+                  "molecule object");
+        const auto &[typeName, body] = *obj.begin();
+        addEntry(spec.complex, typeName, body);
+    }
+
+    if (root.has("modelSeeds")) {
+        for (const auto &s : root.at("modelSeeds").asArray())
+            spec.modelSeeds.push_back(
+                static_cast<uint64_t>(s.asInt()));
+    }
+    return spec;
+}
+
+InputSpec
+parseInputJson(const std::string &json_text)
+{
+    return parseInputSpec(parseJson(json_text));
+}
+
+JsonValue
+toInputJson(const Complex &complex_input,
+            const std::vector<uint64_t> &seeds)
+{
+    auto root = JsonValue::makeObject();
+    root["name"] = JsonValue(complex_input.name());
+
+    auto seedArr = JsonValue::makeArray();
+    for (uint64_t s : seeds)
+        seedArr.push(JsonValue(s));
+    root["modelSeeds"] = seedArr;
+
+    auto seqArr = JsonValue::makeArray();
+    for (const auto &chain : complex_input.chains()) {
+        auto body = JsonValue::makeObject();
+        body["id"] = JsonValue(chain.id());
+        body["sequence"] = JsonValue(chain.toString());
+        auto wrapper = JsonValue::makeObject();
+        wrapper[moleculeTypeName(chain.type())] = body;
+        seqArr.push(wrapper);
+    }
+    root["sequences"] = seqArr;
+    return root;
+}
+
+} // namespace afsb::bio

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The AF3 structured-JSON input format.
+ *
+ * AlphaFold3 "adopts input in a structured JSON format that defines
+ * the biomolecular sequences to be modeled, specifying chain
+ * composition and molecular types" (paper Section III-B). This module
+ * converts between that schema and the Complex model:
+ *
+ *   {
+ *     "name": "2PV7",
+ *     "modelSeeds": [1],
+ *     "sequences": [
+ *       {"protein": {"id": "A", "sequence": "MKV..."}},
+ *       {"dna": {"id": "C", "sequence": "ACGT..."}},
+ *       {"rna": {"id": "R", "sequence": "ACGU..."}}
+ *     ]
+ *   }
+ *
+ * An entry's "id" may also be an array of ids, which replicates the
+ * chain (AF3 uses this for homo-multimers such as 2PV7's two
+ * identical chains).
+ */
+
+#ifndef AFSB_BIO_INPUT_SPEC_HH
+#define AFSB_BIO_INPUT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "util/json.hh"
+
+namespace afsb::bio {
+
+/** Parsed AF3 input: the complex plus run parameters. */
+struct InputSpec
+{
+    Complex complex;
+    std::vector<uint64_t> modelSeeds;
+
+    /** First seed, defaulting to 1 when none given. */
+    uint64_t primarySeed() const
+    {
+        return modelSeeds.empty() ? 1 : modelSeeds.front();
+    }
+};
+
+/** Parse an AF3 JSON document; fatal() on schema violations. */
+InputSpec parseInputJson(const std::string &json_text);
+
+/** Parse an already-decoded JSON value. */
+InputSpec parseInputSpec(const JsonValue &root);
+
+/** Serialize a complex back to the AF3 JSON schema. */
+JsonValue toInputJson(const Complex &complex_input,
+                      const std::vector<uint64_t> &seeds = {1});
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_INPUT_SPEC_HH

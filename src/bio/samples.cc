@@ -1,0 +1,166 @@
+#include "bio/samples.hh"
+
+#include "bio/seqgen.hh"
+#include "util/logging.hh"
+
+namespace afsb::bio {
+
+namespace {
+
+// Fixed seeds: one namespace per sample so edits to one sample never
+// perturb another.
+constexpr uint64_t kSeed2pv7 = 0x2b07'0001;
+constexpr uint64_t kSeed7rce = 0x7ce0'0002;
+constexpr uint64_t kSeed1yy9 = 0x1bb9'0003;
+constexpr uint64_t kSeedPromo = 0x9a00'0004;
+constexpr uint64_t kSeed6qnr = 0x6a0e'0005;
+constexpr uint64_t kSeedRna = 0x7000'0006;
+constexpr uint64_t kSeedProbe = 0xb0be'0007;
+
+Sample
+make2pv7()
+{
+    // Homodimer: two identical 242-residue chains (484 total).
+    SequenceGenerator gen(kSeed2pv7);
+    Sample s;
+    s.info = {"2PV7", "Protein (2 chains)", "Low",
+              "Symmetric multi-chain processing"};
+    s.complex.setName("2PV7");
+    Sequence a = gen.random("A", MoleculeType::Protein, 242);
+    Sequence b = a.subsequence(0, a.length(), "B");
+    s.complex.addChain(std::move(a));
+    s.complex.addChain(std::move(b));
+    return s;
+}
+
+Sample
+make7rce()
+{
+    // Protein 206 + double-stranded DNA 2x50 (306 total).
+    SequenceGenerator gen(kSeed7rce);
+    Sample s;
+    s.info = {"7RCE", "Protein (1) + DNA (2)", "Low-Mid",
+              "Baseline for mixed-type input"};
+    s.complex.setName("7RCE");
+    s.complex.addChain(gen.random("A", MoleculeType::Protein, 206));
+    s.complex.addChain(gen.random("C", MoleculeType::Dna, 50));
+    s.complex.addChain(gen.random("D", MoleculeType::Dna, 50));
+    return s;
+}
+
+Sample
+make1yy9()
+{
+    // Asymmetric 3-chain antibody-antigen-like complex:
+    // 215 + 215 + 451 = 881. Diverse high-complexity domains.
+    SequenceGenerator gen(kSeed1yy9);
+    Sample s;
+    s.info = {"1YY9", "Protein (3 chains)", "Mid",
+              "Asymmetric multi-chain complex"};
+    s.complex.setName("1YY9");
+    s.complex.addChain(gen.random("A", MoleculeType::Protein, 215));
+    s.complex.addChain(gen.random("B", MoleculeType::Protein, 215));
+    s.complex.addChain(gen.random("C", MoleculeType::Protein, 451));
+    return s;
+}
+
+Sample
+makePromo()
+{
+    // Promoter-binding assembly: 3 proteins (chain A carries a 64-res
+    // poly-Q repeat) + 2 DNA strands. 250 + 270 + 265 + 36 + 36 = 857.
+    SequenceGenerator gen(kSeedPromo);
+    Sample s;
+    s.info = {"Promo", "Protein (3) + DNA (2)", "Mid-High",
+              "MSA pipeline stress with low-complexity sequence"};
+    s.complex.setName("promo");
+    s.complex.addChain(gen.withHomopolymer("A", 250, 64, 'Q'));
+    s.complex.addChain(gen.random("B", MoleculeType::Protein, 270));
+    s.complex.addChain(gen.random("C", MoleculeType::Protein, 265));
+    s.complex.addChain(gen.random("D", MoleculeType::Dna, 36));
+    s.complex.addChain(gen.random("E", MoleculeType::Dna, 36));
+    return s;
+}
+
+Sample
+make6qnr()
+{
+    // High chain-count ribonucleoprotein subset: nine protein chains
+    // (1143 residues total) plus one 252-nt RNA. 1395 total.
+    SequenceGenerator gen(kSeed6qnr);
+    Sample s;
+    s.info = {"6QNR", "Protein (9) + RNA (1)", "High",
+              "High chain-count assembly with mixed input types"};
+    s.complex.setName("6QNR");
+    const size_t lengths[9] = {98, 112, 120, 127, 131, 135, 138, 140,
+                               142};
+    for (size_t i = 0; i < 9; ++i) {
+        const std::string id(1, static_cast<char>('A' + i));
+        s.complex.addChain(
+            gen.random(id, MoleculeType::Protein, lengths[i]));
+    }
+    s.complex.addChain(gen.random("R", MoleculeType::Rna, 252));
+    return s;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sampleNames()
+{
+    static const std::vector<std::string> names = {
+        "2PV7", "7RCE", "1YY9", "promo", "6QNR",
+    };
+    return names;
+}
+
+Sample
+makeSample(const std::string &name)
+{
+    if (name == "2PV7")
+        return make2pv7();
+    if (name == "7RCE")
+        return make7rce();
+    if (name == "1YY9")
+        return make1yy9();
+    if (name == "promo" || name == "Promo")
+        return makePromo();
+    if (name == "6QNR")
+        return make6qnr();
+    fatal("unknown sample '" + name + "'");
+}
+
+std::vector<Sample>
+makeAllSamples()
+{
+    std::vector<Sample> out;
+    for (const auto &name : sampleNames())
+        out.push_back(makeSample(name));
+    return out;
+}
+
+Sequence
+makeRibosomalRna(size_t length)
+{
+    // One long deterministic "7K00-like" rRNA; sweep inputs are
+    // prefixes so longer inputs strictly extend shorter ones, exactly
+    // as truncating a real rRNA would.
+    static const Sequence full = [] {
+        SequenceGenerator gen(kSeedRna);
+        return gen.random("7K00_rRNA", MoleculeType::Rna, 2048);
+    }();
+    if (length > full.length())
+        fatal("makeRibosomalRna: length beyond synthesized rRNA");
+    return full.subsequence(0, length, "7K00_rRNA");
+}
+
+Complex
+makeProteinProbe(size_t length)
+{
+    SequenceGenerator gen(kSeedProbe + length);
+    Complex c("protein_probe");
+    c.addChain(gen.random("A", MoleculeType::Protein, length));
+    return c;
+}
+
+} // namespace afsb::bio

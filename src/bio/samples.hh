@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The AFSysBench input-sample suite (paper Table II).
+ *
+ * Five representative biomolecular systems, synthesized to match the
+ * published chain composition, total residue counts, and workload
+ * character:
+ *
+ *   2PV7  — protein, 2 identical chains, 484 res (symmetric multimer)
+ *   7RCE  — protein (1) + DNA (2), 306 res (mixed-type baseline)
+ *   1YY9  — protein, 3 asymmetric chains, 881 res
+ *   promo — protein (3) + DNA (2), 857 res, chain A carries a poly-Q
+ *           repeat (MSA stress via low-complexity sequence)
+ *   6QNR  — protein (9) + RNA (1), 1395 res (high chain count, mixed)
+ *
+ * Plus the Fig 2 memory-study inputs: RNA chains of 621/935/1135/1335
+ * nucleotides derived from a 7K00-like ribosomal RNA, and 1000/2000
+ * residue protein probes.
+ */
+
+#ifndef AFSB_BIO_SAMPLES_HH
+#define AFSB_BIO_SAMPLES_HH
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+
+namespace afsb::bio {
+
+/** Metadata mirroring a Table II row. */
+struct SampleInfo
+{
+    std::string name;
+    std::string structure;   ///< e.g. "Protein (3) + DNA (2)"
+    std::string complexity;  ///< Low / Low-Mid / Mid / Mid-High / High
+    std::string target;      ///< benchmark target / workload character
+};
+
+/** A sample: its Table II metadata and the synthesized complex. */
+struct Sample
+{
+    SampleInfo info;
+    Complex complex;
+};
+
+/** Names of the five benchmark samples, in Table II order. */
+const std::vector<std::string> &sampleNames();
+
+/**
+ * Build one sample by name ("2PV7", "7RCE", "1YY9", "promo", "6QNR").
+ * Deterministic: the same name always yields the same sequences.
+ * fatal() on unknown names.
+ */
+Sample makeSample(const std::string &name);
+
+/** Build all five samples in Table II order. */
+std::vector<Sample> makeAllSamples();
+
+/**
+ * 7K00-like ribosomal RNA prefix of @p length nucleotides, used by
+ * the Fig 2 RNA-memory sweep (lengths 621, 935, 1135, 1335).
+ */
+Sequence makeRibosomalRna(size_t length);
+
+/** Protein probe of @p length residues for the CPU-memory study. */
+Complex makeProteinProbe(size_t length);
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_SAMPLES_HH

@@ -1,0 +1,106 @@
+#include "bio/seqgen.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::bio {
+
+uint8_t
+SequenceGenerator::randomResidue(MoleculeType type)
+{
+    const size_t k = alphabetSize(type);
+    if (type != MoleculeType::Protein)
+        return static_cast<uint8_t>(rng_.nextBounded(k));
+    // Sample from the background amino-acid distribution so decoy
+    // database statistics match real proteomes.
+    static thread_local std::vector<double> weights;
+    if (weights.size() != k) {
+        weights.resize(k);
+        for (size_t i = 0; i < k; ++i)
+            weights[i] = backgroundFrequency(MoleculeType::Protein,
+                                             static_cast<uint8_t>(i));
+    }
+    return static_cast<uint8_t>(rng_.nextWeighted(weights));
+}
+
+Sequence
+SequenceGenerator::random(const std::string &id, MoleculeType type,
+                          size_t length)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        codes.push_back(randomResidue(type));
+    return Sequence(id, type, std::move(codes));
+}
+
+Sequence
+SequenceGenerator::withHomopolymer(const std::string &id, size_t length,
+                                   size_t run_length, char residue)
+{
+    panicIf(run_length > length,
+            "withHomopolymer: run longer than chain");
+    Sequence base = random(id, MoleculeType::Protein, length);
+    const int code = encodeResidue(MoleculeType::Protein, residue);
+    panicIf(code < 0, "withHomopolymer: invalid residue");
+    std::vector<uint8_t> codes = base.codes();
+    const size_t maxStart = length - run_length;
+    // Keep the run away from the termini when possible.
+    const size_t lo = std::min<size_t>(maxStart, length / 8);
+    const size_t hi = std::max(lo, maxStart - std::min(maxStart,
+                                                       length / 8));
+    const size_t start =
+        lo + (hi > lo ? rng_.nextBounded(hi - lo + 1) : 0);
+    for (size_t i = 0; i < run_length; ++i)
+        codes[start + i] = static_cast<uint8_t>(code);
+    return Sequence(id, MoleculeType::Protein, std::move(codes));
+}
+
+Sequence
+SequenceGenerator::mutate(const Sequence &source, const std::string &id,
+                          const MutationParams &params)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(source.length() + 8);
+    for (size_t i = 0; i < source.length(); ++i) {
+        if (rng_.nextBool(params.deletionRate))
+            continue;
+        if (rng_.nextBool(params.insertionRate))
+            codes.push_back(randomResidue(source.type()));
+        if (rng_.nextBool(params.substitutionRate))
+            codes.push_back(randomResidue(source.type()));
+        else
+            codes.push_back(source[i]);
+    }
+    if (codes.empty())
+        codes.push_back(randomResidue(source.type()));
+    return Sequence(id, source.type(), std::move(codes));
+}
+
+Sequence
+SequenceGenerator::embedFragment(const Sequence &source,
+                                 const std::string &id,
+                                 size_t fragment_len, size_t total_len)
+{
+    fragment_len = std::min(fragment_len, source.length());
+    panicIf(fragment_len == 0, "embedFragment: empty fragment");
+    panicIf(total_len < fragment_len,
+            "embedFragment: total shorter than fragment");
+    const size_t srcStart =
+        rng_.nextBounded(source.length() - fragment_len + 1);
+    const size_t flank = total_len - fragment_len;
+    const size_t leftFlank = flank ? rng_.nextBounded(flank + 1) : 0;
+
+    std::vector<uint8_t> codes;
+    codes.reserve(total_len);
+    for (size_t i = 0; i < leftFlank; ++i)
+        codes.push_back(randomResidue(source.type()));
+    for (size_t i = 0; i < fragment_len; ++i)
+        codes.push_back(source[srcStart + i]);
+    while (codes.size() < total_len)
+        codes.push_back(randomResidue(source.type()));
+    return Sequence(id, source.type(), std::move(codes));
+}
+
+} // namespace afsb::bio

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic synthetic sequence generation.
+ *
+ * The paper's inputs are real PDB entries and its databases are the
+ * public UniRef/Rfam collections; neither is available here, so every
+ * sequence in AFSysBench-C++ is synthesized deterministically with
+ * realistic composition. Homologs are planted by mutating source
+ * chains so that database searches find biologically-plausible hit
+ * distributions, and poly-Q stretches reproduce the promo sample's
+ * low-complexity stress behaviour.
+ */
+
+#ifndef AFSB_BIO_SEQGEN_HH
+#define AFSB_BIO_SEQGEN_HH
+
+#include <string>
+
+#include "bio/sequence.hh"
+#include "util/rng.hh"
+
+namespace afsb::bio {
+
+/** Parameters for homolog planting (point mutations + indels). */
+struct MutationParams
+{
+    /** Per-residue substitution probability. */
+    double substitutionRate = 0.15;
+
+    /** Per-residue insertion probability. */
+    double insertionRate = 0.02;
+
+    /** Per-residue deletion probability. */
+    double deletionRate = 0.02;
+};
+
+/** Seeded generator for chains, homologs, and decoys. */
+class SequenceGenerator
+{
+  public:
+    explicit SequenceGenerator(uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Random chain with background residue composition.
+     */
+    Sequence random(const std::string &id, MoleculeType type,
+                    size_t length);
+
+    /**
+     * Random protein chain containing a homopolymer repeat (e.g. a
+     * poly-Q stretch) of @p run_length at a random interior offset.
+     * @param residue Repeated residue character ('Q' for poly-Q).
+     */
+    Sequence withHomopolymer(const std::string &id, size_t length,
+                             size_t run_length, char residue = 'Q');
+
+    /**
+     * Mutated copy of @p source (a planted homolog).
+     */
+    Sequence mutate(const Sequence &source, const std::string &id,
+                    const MutationParams &params = {});
+
+    /**
+     * Random fragment of @p source embedded in random flanks — a
+     * partial homolog producing the "ambiguous or partial
+     * alignments" the paper attributes to low-complexity queries.
+     * @param fragment_len Length of the copied region.
+     * @param total_len Total emitted length (>= fragment_len).
+     */
+    Sequence embedFragment(const Sequence &source, const std::string &id,
+                           size_t fragment_len, size_t total_len);
+
+    /** Access the underlying RNG (for composition with callers). */
+    Rng &rng() { return rng_; }
+
+  private:
+    uint8_t randomResidue(MoleculeType type);
+
+    Rng rng_;
+};
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_SEQGEN_HH

@@ -1,0 +1,118 @@
+#include "bio/sequence.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::bio {
+
+Sequence::Sequence(std::string id, MoleculeType type,
+                   const std::string &residues)
+    : id_(std::move(id)), type_(type)
+{
+    codes_.reserve(residues.size());
+    for (char c : residues) {
+        const int code = encodeResidue(type, c);
+        if (code < 0)
+            fatal(strformat("invalid %s residue '%c' in chain '%s'",
+                            moleculeTypeName(type).c_str(), c,
+                            id_.c_str()));
+        codes_.push_back(static_cast<uint8_t>(code));
+    }
+}
+
+Sequence::Sequence(std::string id, MoleculeType type,
+                   std::vector<uint8_t> codes)
+    : id_(std::move(id)), type_(type), codes_(std::move(codes))
+{
+    for (uint8_t c : codes_)
+        panicIf(c >= alphabetSize(type_),
+                "Sequence: encoded residue out of range");
+}
+
+std::string
+Sequence::toString() const
+{
+    std::string out;
+    out.reserve(codes_.size());
+    for (uint8_t c : codes_)
+        out += decodeResidue(type_, c);
+    return out;
+}
+
+Sequence
+Sequence::subsequence(size_t begin, size_t end,
+                      const std::string &new_id) const
+{
+    panicIf(begin > end || end > codes_.size(),
+            "Sequence::subsequence: bad range");
+    std::vector<uint8_t> codes(codes_.begin() +
+                                   static_cast<ptrdiff_t>(begin),
+                               codes_.begin() +
+                                   static_cast<ptrdiff_t>(end));
+    return Sequence(new_id.empty() ? id_ : new_id, type_,
+                    std::move(codes));
+}
+
+void
+Complex::addChain(Sequence chain)
+{
+    chains_.push_back(std::move(chain));
+}
+
+size_t
+Complex::chainCount(MoleculeType type) const
+{
+    size_t n = 0;
+    for (const auto &c : chains_)
+        n += c.type() == type;
+    return n;
+}
+
+size_t
+Complex::totalResidues() const
+{
+    size_t n = 0;
+    for (const auto &c : chains_)
+        n += c.length();
+    return n;
+}
+
+size_t
+Complex::totalResidues(MoleculeType type) const
+{
+    size_t n = 0;
+    for (const auto &c : chains_)
+        if (c.type() == type)
+            n += c.length();
+    return n;
+}
+
+size_t
+Complex::longestChain(MoleculeType type) const
+{
+    size_t n = 0;
+    for (const auto &c : chains_)
+        if (c.type() == type)
+            n = std::max(n, c.length());
+    return n;
+}
+
+bool
+Complex::hasType(MoleculeType type) const
+{
+    return chainCount(type) > 0;
+}
+
+std::vector<const Sequence *>
+Complex::msaChains() const
+{
+    std::vector<const Sequence *> out;
+    for (const auto &c : chains_)
+        if (c.type() != MoleculeType::Dna)
+            out.push_back(&c);
+    return out;
+}
+
+} // namespace afsb::bio

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Encoded biological sequences and multi-chain complexes.
+ */
+
+#ifndef AFSB_BIO_SEQUENCE_HH
+#define AFSB_BIO_SEQUENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/alphabet.hh"
+
+namespace afsb::bio {
+
+/** One chain: an identifier, a modality, and encoded residues. */
+class Sequence
+{
+  public:
+    Sequence() = default;
+
+    /**
+     * Construct from residue text; invalid characters are fatal().
+     * @param id Chain identifier ("A", "B", ...).
+     * @param type Modality.
+     * @param residues Residue string, case-insensitive.
+     */
+    Sequence(std::string id, MoleculeType type,
+             const std::string &residues);
+
+    /** Construct directly from encoded residues. */
+    Sequence(std::string id, MoleculeType type,
+             std::vector<uint8_t> codes);
+
+    const std::string &id() const { return id_; }
+    MoleculeType type() const { return type_; }
+    size_t length() const { return codes_.size(); }
+    bool empty() const { return codes_.empty(); }
+
+    /** Encoded residue at @p i. */
+    uint8_t operator[](size_t i) const { return codes_[i]; }
+
+    /** Full encoded residue vector. */
+    const std::vector<uint8_t> &codes() const { return codes_; }
+
+    /** Decode back to canonical text. */
+    std::string toString() const;
+
+    /** Extract [begin, end) as a new sequence. */
+    Sequence subsequence(size_t begin, size_t end,
+                         const std::string &new_id = "") const;
+
+    bool operator==(const Sequence &other) const = default;
+
+  private:
+    std::string id_;
+    MoleculeType type_ = MoleculeType::Protein;
+    std::vector<uint8_t> codes_;
+};
+
+/** A biomolecular assembly: named set of chains (the AF3 input). */
+class Complex
+{
+  public:
+    Complex() = default;
+    explicit Complex(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append a chain. */
+    void addChain(Sequence chain);
+
+    const std::vector<Sequence> &chains() const { return chains_; }
+    size_t chainCount() const { return chains_.size(); }
+
+    /** Number of chains of a given modality. */
+    size_t chainCount(MoleculeType type) const;
+
+    /** Total residues across all chains (paper Table II "Seq. Length"). */
+    size_t totalResidues() const;
+
+    /** Total residues across chains of one modality. */
+    size_t totalResidues(MoleculeType type) const;
+
+    /** Longest chain of a given modality (0 when absent). */
+    size_t longestChain(MoleculeType type) const;
+
+    /** True when any chain has the given modality. */
+    bool hasType(MoleculeType type) const;
+
+    /**
+     * Chains that undergo MSA search. DNA chains are excluded: the
+     * paper notes promo's DNA chains "are excluded from the MSA phase"
+     * (Section IV-B); protein chains search protein databases and RNA
+     * chains search nucleotide databases.
+     */
+    std::vector<const Sequence *> msaChains() const;
+
+  private:
+    std::string name_;
+    std::vector<Sequence> chains_;
+};
+
+} // namespace afsb::bio
+
+#endif // AFSB_BIO_SEQUENCE_HH

@@ -1,0 +1,137 @@
+#include "cachesim/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::cachesim {
+
+namespace {
+
+/** Stall cycles for one thread's share of @p c at memory latency
+ *  @p mem_lat. */
+double
+stallCycles(const FuncCounters &c, const sys::CpuSpec &cpu,
+            double scale, double divisor, double mem_lat)
+{
+    const double l2Hits =
+        static_cast<double>(c.l1Misses > c.l2Misses
+                                ? c.l1Misses - c.l2Misses
+                                : 0) *
+        scale / divisor;
+    const double llcHits =
+        static_cast<double>(c.l2Misses > c.llcMisses
+                                ? c.l2Misses - c.llcMisses
+                                : 0) *
+        scale / divisor;
+    const double llcMiss =
+        static_cast<double>(c.llcMisses) * scale / divisor;
+    const double tlbMiss =
+        static_cast<double>(c.tlbMisses) * scale / divisor;
+    const double brMiss =
+        static_cast<double>(c.branchMisses) * scale / divisor;
+
+    return (l2Hits * cpu.l2.latencyCycles +
+            llcHits * cpu.llc.latencyCycles) /
+               cpu.mlpCacheHits +
+           llcMiss * mem_lat / cpu.mlp +
+           tlbMiss * cpu.dtlbMissPenaltyCycles / cpu.mlp +
+           brMiss * cpu.mispredictPenaltyCycles;
+}
+
+} // namespace
+
+TimingResult
+computeTiming(const sys::PlatformSpec &platform,
+              const TimingInputs &inputs)
+{
+    const sys::CpuSpec &cpu = platform.cpu;
+    const uint32_t threads = std::max<uint32_t>(1, inputs.threads);
+    const double scale = inputs.workScale;
+    const FuncCounters &c = inputs.counters;
+    const FuncCounters &r = inputs.readerCounters;
+
+    TimingResult out;
+    // The reader occupies one extra hardware thread when workers
+    // run in parallel with it.
+    const uint32_t activeCores =
+        threads + (r.instructions > 0 && threads > 1 ? 1 : 0);
+    out.clockGhz = platform.effectiveClockGhz(activeCores);
+    const double hz = out.clockGhz * 1e9;
+
+    const double workerInstrT =
+        static_cast<double>(c.instructions) * scale / threads;
+    const double readerInstr =
+        static_cast<double>(r.instructions) * scale;
+    const double workerBase = workerInstrT / cpu.baseIpc;
+    const double readerBase = readerInstr / cpu.baseIpc;
+
+    const double totalMissBytes =
+        (static_cast<double>(c.llcMisses) +
+         static_cast<double>(r.llcMisses)) *
+        scale * cpu.llc.lineSize * cpu.trafficAmplification;
+
+    // Fixed point: memory latency inflates with bandwidth demand,
+    // which depends on the resulting wall time.
+    double wall = (workerBase + readerBase) / hz;  // initial guess
+    double util = 0.0;
+    double workerCycles = workerBase;
+    double readerCycles = readerBase;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double demand =
+            wall > 0.0 ? totalMissBytes / wall : 0.0;
+        util = std::min(0.95, demand / cpu.memBandwidth);
+        const double memLat = cpu.memLatencyCycles *
+                              inputs.memLatencyFactor /
+                              (1.0 - util);
+
+        workerCycles =
+            workerBase + stallCycles(c, cpu, scale,
+                                     static_cast<double>(threads),
+                                     memLat);
+        readerCycles =
+            readerBase + stallCycles(r, cpu, scale, 1.0, memLat);
+
+        const double workerTime = workerCycles / hz;
+        const double readerTime = readerCycles / hz;
+        // One thread interleaves both roles; with more threads the
+        // reader pipelines against the workers.
+        const double pipeTime =
+            threads == 1 ? workerTime + readerTime
+                         : std::max(workerTime, readerTime);
+
+        const double newWall = 0.5 * (wall + pipeTime);
+        if (std::abs(newWall - wall) < 1e-9 * (1.0 + wall)) {
+            wall = newWall;
+            break;
+        }
+        wall = newWall;
+    }
+
+    const double syncFactor =
+        1.0 + inputs.syncOverheadPerThread * (threads - 1);
+    out.workerSeconds = workerCycles / hz * syncFactor;
+    out.readerSeconds = readerCycles / hz;
+    out.computeSeconds =
+        threads == 1 ? out.workerSeconds + out.readerSeconds
+                     : std::max(out.workerSeconds,
+                                out.readerSeconds);
+    out.cyclesPerThread = workerCycles;
+    out.effectiveIpc =
+        workerCycles > 0.0 ? workerInstrT / workerCycles : 0.0;
+    out.memUtilization = util;
+    out.stallFraction =
+        workerCycles > 0.0 ? (workerCycles - workerBase) /
+                                 workerCycles
+                           : 0.0;
+
+    // Storage I/O overlaps with compute (prefetching scan); the
+    // phase takes whichever pipe is longer, plus serial work.
+    out.seconds = std::max(out.computeSeconds,
+                           inputs.ioSeconds * scale) +
+                  inputs.serialSeconds;
+    return out;
+}
+
+} // namespace afsb::cachesim

@@ -1,0 +1,47 @@
+#include "core/adaptive_threads.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::core {
+
+ThreadAdvice
+recommendThreads(const bio::Complex &complex_input,
+                 const sys::PlatformSpec &platform,
+                 const Workspace &workspace,
+                 std::vector<uint32_t> candidates)
+{
+    if (candidates.empty())
+        fatal("recommendThreads: no candidates");
+
+    ThreadAdvice advice;
+    advice.predictedSeconds = -1.0;
+    for (uint32_t threads : candidates) {
+        MsaPhaseOptions options;
+        options.threads = threads;
+        // Coarser tracing: the advisor only needs relative times.
+        options.traceStride = 8;
+        const auto result = runMsaPhase(complex_input, platform,
+                                        workspace, options);
+        const double seconds =
+            result.oom ? 1e30 : result.seconds;
+        advice.candidates.push_back({threads, seconds});
+        if (advice.predictedSeconds < 0.0 ||
+            seconds < advice.predictedSeconds) {
+            advice.predictedSeconds = seconds;
+            advice.recommendedThreads = threads;
+        }
+        if (threads == 8)
+            advice.defaultSeconds = seconds;
+    }
+    if (advice.defaultSeconds == 0.0) {
+        MsaPhaseOptions options;
+        options.threads = 8;
+        options.traceStride = 8;
+        const auto result = runMsaPhase(complex_input, platform,
+                                        workspace, options);
+        advice.defaultSeconds = result.oom ? 1e30 : result.seconds;
+    }
+    return advice;
+}
+
+} // namespace afsb::core

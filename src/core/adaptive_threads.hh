@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Adaptive thread-allocation policy (paper Observation 3 /
+ * Section VI).
+ *
+ * "Static threading policies are suboptimal. We recommend adaptive
+ * thread allocation based on input complexity and hardware
+ * configuration." — AF3's fixed default of 8 threads wastes the
+ * small samples (which degrade beyond 4) and is not always best for
+ * the large ones. This advisor evaluates the calibrated timing
+ * model across candidate thread counts for the given input and
+ * platform and picks the fastest.
+ */
+
+#ifndef AFSB_CORE_ADAPTIVE_THREADS_HH
+#define AFSB_CORE_ADAPTIVE_THREADS_HH
+
+#include <vector>
+
+#include "core/msa_phase.hh"
+
+namespace afsb::core {
+
+/** One evaluated candidate. */
+struct ThreadCandidate
+{
+    uint32_t threads = 1;
+    double predictedSeconds = 0.0;
+};
+
+/** Advisor output. */
+struct ThreadAdvice
+{
+    uint32_t recommendedThreads = 1;
+    double predictedSeconds = 0.0;
+
+    /** AF3's fixed default (8 threads) prediction, for comparison. */
+    double defaultSeconds = 0.0;
+
+    /** Improvement of the recommendation over the default. */
+    double
+    speedupOverDefault() const
+    {
+        return predictedSeconds > 0.0
+                   ? defaultSeconds / predictedSeconds
+                   : 0.0;
+    }
+
+    std::vector<ThreadCandidate> candidates;
+};
+
+/**
+ * Recommend an MSA thread count for @p complex_input on
+ * @p platform by evaluating the pipeline's MSA phase at each count
+ * in @p candidates (default 1, 2, 4, 6, 8).
+ */
+ThreadAdvice recommendThreads(
+    const bio::Complex &complex_input,
+    const sys::PlatformSpec &platform, const Workspace &workspace,
+    std::vector<uint32_t> candidates = {1, 2, 4, 6, 8});
+
+} // namespace afsb::core
+
+#endif // AFSB_CORE_ADAPTIVE_THREADS_HH

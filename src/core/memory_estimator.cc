@@ -1,0 +1,118 @@
+#include "core/memory_estimator.hh"
+
+#include "model/flops.hh"
+#include "msa/memory_model.hh"
+#include "util/str.hh"
+#include "util/units.hh"
+
+namespace afsb::core {
+
+std::string
+memVerdictName(MemVerdict verdict)
+{
+    switch (verdict) {
+      case MemVerdict::Safe: return "safe";
+      case MemVerdict::NeedsCxl: return "needs-cxl";
+      case MemVerdict::NeedsUnifiedMemory:
+        return "needs-unified-memory";
+      case MemVerdict::WillOom: return "WILL-OOM";
+    }
+    return "?";
+}
+
+bool
+MemoryEstimate::runnable() const
+{
+    for (const auto &line : lines)
+        if (line.verdict == MemVerdict::WillOom)
+            return false;
+    return true;
+}
+
+bool
+MemoryEstimate::willOom() const
+{
+    return !runnable();
+}
+
+std::string
+MemoryEstimate::render() const
+{
+    std::string out;
+    for (const auto &line : lines) {
+        out += strformat(
+            "%-16s %12s required / %12s available  [%s]  %s\n",
+            line.resource.c_str(),
+            formatBytes(line.requiredBytes).c_str(),
+            formatBytes(line.capacityBytes).c_str(),
+            memVerdictName(line.verdict).c_str(),
+            line.detail.c_str());
+    }
+    return out;
+}
+
+MemoryEstimate
+estimateMemory(const bio::Complex &complex_input,
+               const sys::PlatformSpec &platform,
+               uint32_t msa_threads, const model::ModelConfig &cfg)
+{
+    MemoryEstimate estimate;
+
+    // --- Host memory during the MSA phase --------------------------------
+    {
+        MemEstimateLine line;
+        line.resource = "host (MSA)";
+        line.requiredBytes =
+            msa::msaPhasePeakMemoryBytes(complex_input, msa_threads);
+        line.capacityBytes = platform.totalMemoryBytes();
+
+        const size_t rnaLen =
+            complex_input.longestChain(bio::MoleculeType::Rna);
+        line.detail =
+            rnaLen
+                ? strformat("dominated by nhmmer on the %zu-nt RNA "
+                            "chain",
+                            rnaLen)
+                : "jackhmmer protein search";
+
+        sys::MemoryModel model(platform.memory);
+        switch (model.classify(line.requiredBytes)) {
+          case sys::MemFit::FitsDram:
+            line.verdict = MemVerdict::Safe;
+            break;
+          case sys::MemFit::NeedsCxl:
+            line.verdict = MemVerdict::NeedsCxl;
+            break;
+          case sys::MemFit::Oom:
+            line.verdict = MemVerdict::WillOom;
+            break;
+        }
+        estimate.lines.push_back(std::move(line));
+    }
+
+    // --- GPU memory during inference --------------------------------------
+    {
+        MemEstimateLine line;
+        line.resource = "gpu (inference)";
+        const size_t tokens = complex_input.totalResidues();
+        line.requiredBytes = model::activationBytes(tokens, cfg) +
+                             model::weightBytes(cfg);
+        line.capacityBytes = platform.gpu.vramBytes;
+        line.detail = strformat("%zu tokens", tokens);
+        if (line.requiredBytes <= line.capacityBytes) {
+            line.verdict = MemVerdict::Safe;
+        } else if (line.requiredBytes <=
+                   line.capacityBytes +
+                       platform.memory.dramBytes / 2) {
+            // AF3's unified-memory option offloads the excess to
+            // host DRAM (the paper's 6QNR-on-4080 configuration).
+            line.verdict = MemVerdict::NeedsUnifiedMemory;
+        } else {
+            line.verdict = MemVerdict::WillOom;
+        }
+        estimate.lines.push_back(std::move(line));
+    }
+    return estimate;
+}
+
+} // namespace afsb::core

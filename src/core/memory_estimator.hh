@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static pre-execution memory estimator (paper Section VI).
+ *
+ * "Integrating a static memory estimator that analyzes input
+ * characteristics — particularly RNA length — prior to execution
+ * would be beneficial. This pre-check would help AF3 avoid unsafe
+ * configurations by issuing early warnings." This module is that
+ * estimator: given an input complex and a platform, it predicts the
+ * peak host memory of the MSA phase (Fig 2 models) and the GPU
+ * memory of the inference phase, classifies both against capacity,
+ * and renders an actionable report.
+ */
+
+#ifndef AFSB_CORE_MEMORY_ESTIMATOR_HH
+#define AFSB_CORE_MEMORY_ESTIMATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "model/config.hh"
+#include "sys/memory_model.hh"
+
+namespace afsb::core {
+
+/** Verdict for one resource. */
+enum class MemVerdict
+{
+    Safe,        ///< fits comfortably
+    NeedsCxl,    ///< requires the CXL expander
+    NeedsUnifiedMemory,  ///< GPU must spill to host memory
+    WillOom,     ///< projected to exceed capacity
+};
+
+/** One resource line of the estimate. */
+struct MemEstimateLine
+{
+    std::string resource;   ///< "host (MSA)", "gpu (inference)"
+    uint64_t requiredBytes = 0;
+    uint64_t capacityBytes = 0;
+    MemVerdict verdict = MemVerdict::Safe;
+    std::string detail;     ///< dominant contributor
+};
+
+/** Full estimate. */
+struct MemoryEstimate
+{
+    std::vector<MemEstimateLine> lines;
+
+    /** True when every resource is Safe or has a fallback. */
+    bool runnable() const;
+
+    /** True when any resource is projected to OOM. */
+    bool willOom() const;
+
+    /** Human-readable report. */
+    std::string render() const;
+};
+
+/** Verdict display name. */
+std::string memVerdictName(MemVerdict verdict);
+
+/**
+ * Estimate peak memory for running @p complex_input on
+ * @p platform with @p msa_threads MSA threads.
+ */
+MemoryEstimate estimateMemory(
+    const bio::Complex &complex_input,
+    const sys::PlatformSpec &platform, uint32_t msa_threads = 8,
+    const model::ModelConfig &cfg = model::paperConfig());
+
+} // namespace afsb::core
+
+#endif // AFSB_CORE_MEMORY_ESTIMATOR_HH

@@ -1,0 +1,51 @@
+#include "core/pipeline.hh"
+
+namespace afsb::core {
+
+PipelineResult
+runPipeline(const bio::Complex &complex_input,
+            const sys::PlatformSpec &platform,
+            const Workspace &workspace,
+            const PipelineOptions &options)
+{
+    PipelineResult result;
+
+    MsaPhaseOptions msaOptions = options.msa;
+    msaOptions.threads = options.msaThreads;
+    result.msa = runMsaPhase(complex_input, platform, workspace,
+                             msaOptions);
+    if (result.msa.oom) {
+        result.oom = true;
+        return result;
+    }
+    result.phases.record("msa", result.msa.seconds);
+
+    gpusim::InferenceSimOptions inferOptions;
+    inferOptions.threads = options.inferenceThreads;
+    inferOptions.unifiedMemory = options.unifiedMemory;
+    gpusim::XlaCache localCache;
+    gpusim::XlaCache &cache = options.persistentXlaCache
+                                  ? *options.persistentXlaCache
+                                  : localCache;
+    result.inference = gpusim::simulateInference(
+        platform, complex_input.totalResidues(), cache,
+        inferOptions);
+    if (result.inference.oom) {
+        result.oom = true;
+        return result;
+    }
+
+    result.phases.record("inference",
+                         result.inference.totalSeconds());
+    result.phases.recordSub("inference", "gpu_init",
+                            result.inference.initSeconds);
+    result.phases.recordSub("inference", "xla_compile",
+                            result.inference.compileSeconds);
+    result.phases.recordSub("inference", "gpu_compute",
+                            result.inference.gpuComputeSeconds);
+    result.phases.recordSub("inference", "finalize",
+                            result.inference.finalizeSeconds);
+    return result;
+}
+
+} // namespace afsb::core

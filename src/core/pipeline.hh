@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The end-to-end AFSysBench pipeline: MSA phase + inference phase.
+ *
+ * This is the paper's measurement harness in library form — what
+ * the shell-script AFSysBench suite drives for Figs 3-8. One run
+ * executes both phases for one sample on one platform at one thread
+ * count and returns their full breakdowns.
+ */
+
+#ifndef AFSB_CORE_PIPELINE_HH
+#define AFSB_CORE_PIPELINE_HH
+
+#include "core/msa_phase.hh"
+#include "gpusim/inference_sim.hh"
+#include "prof/phase_profiler.hh"
+
+namespace afsb::core {
+
+/** Pipeline run options. */
+struct PipelineOptions
+{
+    /** CPU threads for the MSA phase (AF3 default 8). */
+    uint32_t msaThreads = 8;
+
+    /** Host threads for the inference phase. */
+    uint32_t inferenceThreads = 1;
+
+    MsaPhaseOptions msa;
+
+    /** Allow unified-memory spill for over-VRAM inference. */
+    bool unifiedMemory = true;
+
+    /**
+     * Reuse a warm XLA compilation cache across requests — the
+     * Section VI "persistent model state" optimization. When null a
+     * fresh cache is used per run (default Docker behaviour).
+     */
+    gpusim::XlaCache *persistentXlaCache = nullptr;
+};
+
+/** Combined result of one pipeline run. */
+struct PipelineResult
+{
+    bool oom = false;
+
+    MsaPhaseResult msa;
+    gpusim::InferenceSimResult inference;
+
+    prof::PhaseProfiler phases;
+
+    double
+    totalSeconds() const
+    {
+        return msa.seconds + inference.totalSeconds();
+    }
+
+    /** Fraction of the end-to-end time spent in the MSA phase. */
+    double
+    msaShare() const
+    {
+        const double t = totalSeconds();
+        return t > 0.0 ? msa.seconds / t : 0.0;
+    }
+};
+
+/** Run the pipeline for @p complex_input on @p platform. */
+PipelineResult runPipeline(const bio::Complex &complex_input,
+                           const sys::PlatformSpec &platform,
+                           const Workspace &workspace,
+                           const PipelineOptions &options = {});
+
+} // namespace afsb::core
+
+#endif // AFSB_CORE_PIPELINE_HH

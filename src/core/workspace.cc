@@ -1,0 +1,76 @@
+#include "core/workspace.hh"
+
+#include "util/units.hh"
+
+namespace afsb::core {
+
+Workspace::Workspace(const WorkspaceConfig &cfg) : cfg_(cfg)
+{
+    // Collect the MSA chains of every benchmark sample so homologs
+    // are planted for each of them.
+    const auto samples = bio::makeAllSamples();
+    std::vector<bio::Sequence> proteinQueries;
+    std::vector<bio::Sequence> rnaQueries;
+    for (const auto &sample : samples) {
+        for (const bio::Sequence *chain :
+             sample.complex.msaChains()) {
+            if (chain->type() == bio::MoleculeType::Protein)
+                proteinQueries.push_back(*chain);
+            else
+                rnaQueries.push_back(*chain);
+        }
+    }
+
+    auto ptrsOf = [](const std::vector<bio::Sequence> &seqs) {
+        std::vector<const bio::Sequence *> out;
+        out.reserve(seqs.size());
+        for (const auto &s : seqs)
+            out.push_back(&s);
+        return out;
+    };
+
+    {
+        msa::DbGenConfig dbCfg;
+        dbCfg.seed = cfg.seed;
+        dbCfg.decoyCount = cfg.proteinDecoys;
+        dbCfg.homologsPerQuery = 10;
+        dbCfg.fragmentsPerQuery = 8;
+        generateDatabase(vfs_, "uniref_scaled.fasta",
+                         ptrsOf(proteinQueries),
+                         bio::MoleculeType::Protein, dbCfg);
+    }
+    {
+        msa::DbGenConfig dbCfg;
+        dbCfg.seed = cfg.seed ^ 0x4444;
+        dbCfg.decoyCount = cfg.rnaDecoys;
+        dbCfg.decoyMinLen = 120;
+        dbCfg.decoyMaxLen = 800;
+        dbCfg.homologsPerQuery = 8;
+        dbCfg.fragmentsPerQuery = 5;
+        generateDatabase(vfs_, "rfam_scaled.fasta",
+                         ptrsOf(rnaQueries), bio::MoleculeType::Rna,
+                         dbCfg);
+    }
+
+    // Parse through a throwaway cache (load-time I/O is modeled
+    // per-run instead).
+    io::StorageDevice dev;
+    io::PageCache cache(4 * GiB, &dev);
+    proteinDb_ = msa::SequenceDatabase::load(
+        vfs_, cache, "uniref_scaled.fasta",
+        bio::MoleculeType::Protein, 0.0);
+    proteinDb_.setPaperScaleBytes(cfg.proteinPaperBytes);
+    rnaDb_ = msa::SequenceDatabase::load(vfs_, cache,
+                                         "rfam_scaled.fasta",
+                                         bio::MoleculeType::Rna, 0.0);
+    rnaDb_.setPaperScaleBytes(cfg.rnaPaperBytes);
+}
+
+const Workspace &
+Workspace::shared()
+{
+    static const Workspace instance;
+    return instance;
+}
+
+} // namespace afsb::core

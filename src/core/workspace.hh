@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared benchmark workspace: synthetic reference databases.
+ *
+ * One workspace builds the scaled-down protein and RNA databases all
+ * pipeline runs share. Each database records the paper-scale size it
+ * stands in for (UniRef-like ~60 GiB protein collection, the 89 GiB
+ * RNA collection), which drives both the work-extrapolation factor
+ * in the timing model and the page-cache capacity story.
+ */
+
+#ifndef AFSB_CORE_WORKSPACE_HH
+#define AFSB_CORE_WORKSPACE_HH
+
+#include <memory>
+
+#include "bio/samples.hh"
+#include "msa/database.hh"
+#include "msa/dbgen.hh"
+
+namespace afsb::core {
+
+/** Workspace construction knobs. */
+struct WorkspaceConfig
+{
+    uint64_t seed = 0xaf5b;
+
+    /** Decoys in the scaled protein database. */
+    size_t proteinDecoys = 900;
+
+    /** Decoys in the scaled nucleotide database. */
+    size_t rnaDecoys = 250;
+
+    /** Paper-scale size the protein database stands in for. */
+    uint64_t proteinPaperBytes = msa::paperdb::kProteinDbBytes;
+
+    /** Paper-scale size the RNA database stands in for. */
+    uint64_t rnaPaperBytes = msa::paperdb::kRnaDbBytes;
+};
+
+/** The built workspace. */
+class Workspace
+{
+  public:
+    /**
+     * Build databases with homologs planted for every MSA chain of
+     * every Table II sample (so each benchmark sample finds real
+     * hits).
+     */
+    explicit Workspace(const WorkspaceConfig &cfg = {});
+
+    const io::Vfs &vfs() const { return vfs_; }
+    io::Vfs &vfs() { return vfs_; }
+
+    const msa::SequenceDatabase &proteinDb() const
+    {
+        return proteinDb_;
+    }
+    const msa::SequenceDatabase &rnaDb() const { return rnaDb_; }
+
+    const WorkspaceConfig &config() const { return cfg_; }
+
+    /** Process-wide shared instance (built once, reused). */
+    static const Workspace &shared();
+
+  private:
+    WorkspaceConfig cfg_;
+    io::Vfs vfs_;
+    msa::SequenceDatabase proteinDb_;
+    msa::SequenceDatabase rnaDb_;
+};
+
+} // namespace afsb::core
+
+#endif // AFSB_CORE_WORKSPACE_HH

@@ -1,0 +1,40 @@
+#include "gpusim/device.hh"
+
+#include <algorithm>
+
+namespace afsb::gpusim {
+
+GpuDevice::GpuDevice(const sys::GpuSpec &spec) : spec_(spec) {}
+
+double
+GpuDevice::achievableFlops(double flops) const
+{
+    // Throughput ramp: a kernel reaches the device's sustained rate
+    // only once its volume amortizes wave quantization (~2 us of
+    // ramp at full rate). Bigger machines need bigger kernels to
+    // saturate — H100 more so than a 4080.
+    const double rampFlops = spec_.peakFlops * 2e-6;
+    const double eff = flops / (flops + rampFlops);
+    return std::max(spec_.peakFlops * eff, 1.0);
+}
+
+double
+GpuDevice::executeKernel(double flops, double bytes,
+                         bool oversubscribed)
+{
+    const double computeTime = flops / achievableFlops(flops);
+    double memTime = bytes / spec_.memBandwidth;
+    if (oversubscribed)
+        memTime *= spec_.unifiedMemPenalty;
+    const double busy = std::max(computeTime, memTime);
+    const double launch = spec_.kernelLaunchUs * 1e-6;
+
+    ++stats_.kernelsLaunched;
+    stats_.flopsExecuted += flops;
+    stats_.bytesMoved += bytes;
+    stats_.busySeconds += busy;
+    stats_.launchSeconds += launch;
+    return busy + launch;
+}
+
+} // namespace afsb::gpusim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Roofline GPU device model.
+ *
+ * Kernels take max(flops / achievable-flops, bytes / bandwidth) plus
+ * a fixed launch cost. Achievable throughput ramps with kernel size
+ * (small kernels cannot fill the machine), which is what lets the
+ * same operator graph be compute-bound on an RTX 4080 but
+ * launch/ramp-bound on an H100 — the Fig 8 contrast.
+ */
+
+#ifndef AFSB_GPUSIM_DEVICE_HH
+#define AFSB_GPUSIM_DEVICE_HH
+
+#include <cstdint>
+
+#include "sys/platform.hh"
+
+namespace afsb::gpusim {
+
+/** Accumulated device counters. */
+struct DeviceStats
+{
+    uint64_t kernelsLaunched = 0;
+    double flopsExecuted = 0.0;
+    double bytesMoved = 0.0;
+    double busySeconds = 0.0;
+    double launchSeconds = 0.0;
+};
+
+/** One simulated GPU. */
+class GpuDevice
+{
+  public:
+    explicit GpuDevice(const sys::GpuSpec &spec);
+
+    const sys::GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Execute one kernel.
+     * @param flops Arithmetic volume.
+     * @param bytes DRAM traffic.
+     * @param oversubscribed True when the working set spills VRAM
+     *        (unified-memory mode): bandwidth-bound time is
+     *        multiplied by the spill penalty.
+     * @return Kernel duration in seconds (including launch).
+     */
+    double executeKernel(double flops, double bytes,
+                         bool oversubscribed = false);
+
+    /** Achievable FLOP/s for a kernel of @p flops volume. */
+    double achievableFlops(double flops) const;
+
+    const DeviceStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    sys::GpuSpec spec_;
+    DeviceStats stats_;
+};
+
+} // namespace afsb::gpusim
+
+#endif // AFSB_GPUSIM_DEVICE_HH

@@ -1,0 +1,116 @@
+#include "gpusim/inference_sim.hh"
+
+#include <algorithm>
+
+namespace afsb::gpusim {
+
+double
+InferenceSimResult::pairformerSeconds() const
+{
+    double total = 0.0;
+    for (const auto &[name, secs] : layerSeconds) {
+        for (int k = 0; k <= 13; ++k) {
+            const auto kind = static_cast<model::LayerKind>(k);
+            if (model::layerKindName(kind) == name &&
+                model::isPairformerLayer(kind))
+                total += secs;
+        }
+    }
+    return total;
+}
+
+double
+InferenceSimResult::diffusionSeconds() const
+{
+    double total = 0.0;
+    for (const auto &[name, secs] : layerSeconds) {
+        for (int k = 0; k <= 13; ++k) {
+            const auto kind = static_cast<model::LayerKind>(k);
+            if (model::layerKindName(kind) == name &&
+                model::isDiffusionLayer(kind))
+                total += secs;
+        }
+    }
+    return total;
+}
+
+InferenceSimResult
+simulateInference(const sys::PlatformSpec &platform, size_t tokens,
+                  XlaCache &cache,
+                  const InferenceSimOptions &options)
+{
+    InferenceSimResult result;
+    const auto &cfg = options.config;
+    const auto graph = model::operatorGraph(tokens, cfg);
+
+    // Memory placement: weights + activations vs VRAM.
+    const uint64_t footprint =
+        model::activationBytes(tokens, cfg) + model::weightBytes(cfg);
+    const bool spills = footprint > platform.gpu.vramBytes;
+    if (spills && !options.unifiedMemory) {
+        result.oom = true;
+        return result;
+    }
+    result.usedUnifiedMemory = spills;
+    // Only the overflow fraction pays the unified-memory penalty.
+    const double spillFraction =
+        spills ? 1.0 - static_cast<double>(platform.gpu.vramBytes) /
+                           static_cast<double>(footprint)
+               : 0.0;
+
+    // Host phases. Extra threads help only the parallelizable
+    // share of preprocessing (dispatch is one host thread).
+    XlaPhases phases =
+        evaluateXlaPhases(platform, graph, tokens, cache);
+    const double threadScale =
+        (1.0 - options.hostParallelFraction) +
+        options.hostParallelFraction /
+            std::max<uint32_t>(1, options.threads);
+    result.initSeconds = options.gpuAlreadyInitialized
+                             ? 0.0
+                             : phases.initSeconds * threadScale;
+    result.compileSeconds = phases.compileSeconds * threadScale;
+    result.finalizeSeconds = phases.finalizeSeconds * threadScale;
+
+    result.timeline.addSpan("gpu_init", TimelineLane::Host,
+                            result.initSeconds);
+    result.timeline.addSpanAt("xla_compile", TimelineLane::Compile,
+                              result.initSeconds,
+                              result.compileSeconds);
+
+    // GPU execution of the operator graph.
+    GpuDevice device(platform.gpu);
+    const double gpuStart =
+        result.initSeconds + result.compileSeconds;
+    double cursor = gpuStart;
+    for (const auto &layer : graph) {
+        double layerTotal = 0.0;
+        for (uint32_t i = 0; i < layer.count; ++i) {
+            // The spill penalty applies to the bandwidth-bound
+            // portion, weighted by how much of the footprint lives
+            // across the PCIe link.
+            const double t = device.executeKernel(
+                layer.cost.flops,
+                layer.cost.bytes *
+                    (1.0 + spillFraction *
+                               (platform.gpu.unifiedMemPenalty -
+                                1.0)),
+                false);
+            layerTotal += t;
+        }
+        result.layerSeconds[model::layerKindName(layer.kind)] +=
+            layerTotal;
+        result.timeline.addSpanAt(model::layerKindName(layer.kind),
+                                  TimelineLane::GpuCompute, cursor,
+                                  layerTotal);
+        cursor += layerTotal;
+    }
+    result.gpuComputeSeconds = cursor - gpuStart;
+    result.deviceStats = device.stats();
+
+    result.timeline.addSpanAt("finalize", TimelineLane::Host, cursor,
+                              result.finalizeSeconds);
+    return result;
+}
+
+} // namespace afsb::gpusim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Full inference-phase simulation (the Fig 8 / Fig 9 / Table VI
+ * generator).
+ *
+ * Executes the AF3 operator graph at paper scale on the roofline
+ * device, preceded by the XLA host phases, with unified-memory
+ * spill when activations exceed VRAM (the 6QNR-on-RTX4080 case) and
+ * an Nsight-like timeline. Kernel dispatch is modeled as a single
+ * host thread (the paper's explanation for flat inference thread
+ * scaling): extra CPU threads only accelerate the (small) parallel
+ * share of host preprocessing.
+ */
+
+#ifndef AFSB_GPUSIM_INFERENCE_SIM_HH
+#define AFSB_GPUSIM_INFERENCE_SIM_HH
+
+#include <map>
+#include <string>
+
+#include "gpusim/device.hh"
+#include "gpusim/timeline.hh"
+#include "gpusim/xla.hh"
+#include "model/flops.hh"
+
+namespace afsb::gpusim {
+
+/** Options for one simulated inference request. */
+struct InferenceSimOptions
+{
+    /** Host threads available to the inference process. */
+    uint32_t threads = 1;
+
+    /** Allow spilling past VRAM via unified memory; without it an
+     *  over-VRAM request fails (OOM). */
+    bool unifiedMemory = true;
+
+    /** The process already holds a CUDA context and mapped VRAM
+     *  (long-lived server): skip GPU initialization. */
+    bool gpuAlreadyInitialized = false;
+
+    /** Model configuration (paper dimensions by default). */
+    model::ModelConfig config = model::paperConfig();
+
+    /**
+     * Fraction of host preprocessing that parallelizes across
+     * threads; dispatch itself is single-threaded (Nsight finding).
+     */
+    double hostParallelFraction = 0.15;
+};
+
+/** Phase breakdown of one inference request (Fig 8 bars). */
+struct InferenceSimResult
+{
+    bool oom = false;            ///< exceeded VRAM without UM
+    bool usedUnifiedMemory = false;
+
+    double initSeconds = 0.0;    ///< GPU/driver initialization
+    double compileSeconds = 0.0; ///< XLA compilation
+    double gpuComputeSeconds = 0.0;
+    double finalizeSeconds = 0.0;
+
+    /** Per-layer GPU seconds (Fig 9 / Table VI). */
+    std::map<std::string, double> layerSeconds;
+
+    Timeline timeline;
+    DeviceStats deviceStats;
+
+    double
+    totalSeconds() const
+    {
+        return initSeconds + compileSeconds + gpuComputeSeconds +
+               finalizeSeconds;
+    }
+
+    /** Share of total spent outside GPU compute. */
+    double
+    overheadFraction() const
+    {
+        const double t = totalSeconds();
+        return t > 0.0 ? (t - gpuComputeSeconds) / t : 0.0;
+    }
+
+    /** Seconds in Pairformer-module layers. */
+    double pairformerSeconds() const;
+
+    /** Seconds in Diffusion-module layers. */
+    double diffusionSeconds() const;
+};
+
+/**
+ * Simulate one inference request.
+ * @param cache XLA compilation cache; reuse across calls to model
+ *        persistent model state (Section VI optimization).
+ */
+InferenceSimResult simulateInference(
+    const sys::PlatformSpec &platform, size_t tokens,
+    XlaCache &cache, const InferenceSimOptions &options = {});
+
+} // namespace afsb::gpusim
+
+#endif // AFSB_GPUSIM_INFERENCE_SIM_HH

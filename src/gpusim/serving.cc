@@ -1,0 +1,79 @@
+#include "gpusim/serving.hh"
+
+#include <algorithm>
+
+namespace afsb::gpusim {
+
+std::vector<ServingRequest>
+batchRequests(size_t count, size_t tokens)
+{
+    std::vector<ServingRequest> out(count);
+    for (auto &r : out)
+        r.tokens = tokens;
+    return out;
+}
+
+ServingResult
+simulateServing(const sys::PlatformSpec &platform,
+                const std::vector<ServingRequest> &requests,
+                const ServingOptions &options)
+{
+    ServingResult result;
+    result.requests.reserve(requests.size());
+
+    XlaCache persistentCache;
+    double clock = 0.0;
+    for (const auto &request : requests) {
+        XlaCache freshCache;
+        XlaCache &cache = options.persistentModelState
+                              ? persistentCache
+                              : freshCache;
+
+        InferenceSimOptions inferOptions = options.inference;
+        inferOptions.gpuAlreadyInitialized =
+            options.persistentModelState && !result.requests.empty();
+        const auto sim = simulateInference(platform, request.tokens,
+                                           cache, inferOptions);
+
+        ServedRequest served;
+        served.tokens = request.tokens;
+        served.startSeconds =
+            std::max(clock, request.arrivalSeconds);
+        served.serviceSeconds = sim.totalSeconds();
+        served.compileSeconds = sim.compileSeconds;
+        served.finishSeconds =
+            served.startSeconds + served.serviceSeconds;
+        served.latencySeconds =
+            served.finishSeconds - request.arrivalSeconds;
+        clock = served.finishSeconds;
+        result.requests.push_back(served);
+    }
+
+    if (result.requests.empty())
+        return result;
+
+    result.makespanSeconds = clock;
+    result.throughputPerHour =
+        3600.0 * static_cast<double>(result.requests.size()) /
+        std::max(1e-9, result.makespanSeconds);
+    result.firstRequestLatency =
+        result.requests.front().latencySeconds;
+
+    double latencySum = 0.0;
+    double steadySum = 0.0;
+    for (size_t i = 0; i < result.requests.size(); ++i) {
+        latencySum += result.requests[i].latencySeconds;
+        if (i > 0)
+            steadySum += result.requests[i].serviceSeconds;
+    }
+    result.meanLatency =
+        latencySum / static_cast<double>(result.requests.size());
+    result.steadyLatency =
+        result.requests.size() > 1
+            ? steadySum /
+                  static_cast<double>(result.requests.size() - 1)
+            : result.firstRequestLatency;
+    return result;
+}
+
+} // namespace afsb::gpusim

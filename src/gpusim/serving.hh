@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Inference-serving simulation: first-request latency and sustained
+ * throughput with and without persistent model state.
+ *
+ * The paper's Related Work highlights GPU cold starts as unexplored
+ * for JAX/XLA pipelines ("first-request latency — critical for
+ * interactive workloads — remains largely unexplored"); Section VI
+ * proposes persistent model state as the remedy. This simulator
+ * quantifies it: a stream of inference requests (possibly of mixed
+ * input sizes) is served by one GPU worker either cold (fresh XLA
+ * cache per request, the Docker-per-request deployment) or warm
+ * (one long-lived process with a shared cache).
+ */
+
+#ifndef AFSB_GPUSIM_SERVING_HH
+#define AFSB_GPUSIM_SERVING_HH
+
+#include <vector>
+
+#include "gpusim/inference_sim.hh"
+
+namespace afsb::gpusim {
+
+/** One client request: an input of @p tokens tokens. */
+struct ServingRequest
+{
+    size_t tokens = 0;
+    double arrivalSeconds = 0.0;  ///< arrival time (open loop)
+};
+
+/** Per-request outcome. */
+struct ServedRequest
+{
+    size_t tokens = 0;
+    double startSeconds = 0.0;
+    double finishSeconds = 0.0;
+    double serviceSeconds = 0.0;   ///< init+compile+gpu+finalize
+    double latencySeconds = 0.0;   ///< finish - arrival (queueing in)
+    double compileSeconds = 0.0;
+};
+
+/** Aggregate serving metrics. */
+struct ServingResult
+{
+    std::vector<ServedRequest> requests;
+    double makespanSeconds = 0.0;
+    double throughputPerHour = 0.0;
+    double meanLatency = 0.0;
+    double firstRequestLatency = 0.0;
+
+    /** Mean latency of the steady-state tail (requests after the
+     *  first), isolating the cold-start penalty. */
+    double steadyLatency = 0.0;
+};
+
+/** Serving-policy knobs. */
+struct ServingOptions
+{
+    /** Keep one process alive with a shared XLA cache (Section VI
+     *  persistent model state) vs a fresh container per request. */
+    bool persistentModelState = false;
+
+    InferenceSimOptions inference;
+};
+
+/**
+ * Serve @p requests in arrival order on one @p platform worker.
+ */
+ServingResult simulateServing(
+    const sys::PlatformSpec &platform,
+    const std::vector<ServingRequest> &requests,
+    const ServingOptions &options = {});
+
+/**
+ * Convenience: @p count identical requests of @p tokens arriving
+ * at time 0 (closed-loop batch).
+ */
+std::vector<ServingRequest> batchRequests(size_t count,
+                                          size_t tokens);
+
+} // namespace afsb::gpusim
+
+#endif // AFSB_GPUSIM_SERVING_HH

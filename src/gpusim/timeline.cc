@@ -1,0 +1,83 @@
+#include "gpusim/timeline.hh"
+
+#include <algorithm>
+
+#include "util/str.hh"
+#include "util/units.hh"
+
+namespace afsb::gpusim {
+
+std::string
+laneName(TimelineLane lane)
+{
+    switch (lane) {
+      case TimelineLane::Host: return "host";
+      case TimelineLane::Compile: return "compile";
+      case TimelineLane::GpuCompute: return "gpu";
+      case TimelineLane::Transfer: return "transfer";
+    }
+    return "?";
+}
+
+void
+Timeline::addSpan(std::string name, TimelineLane lane,
+                  double duration)
+{
+    double start = 0.0;
+    for (const auto &s : spans_)
+        if (s.lane == lane)
+            start = std::max(start, s.start + s.duration);
+    addSpanAt(std::move(name), lane, start, duration);
+}
+
+void
+Timeline::addSpanAt(std::string name, TimelineLane lane,
+                    double start, double duration)
+{
+    spans_.push_back({std::move(name), lane, start, duration});
+}
+
+double
+Timeline::endTime() const
+{
+    double end = 0.0;
+    for (const auto &s : spans_)
+        end = std::max(end, s.start + s.duration);
+    return end;
+}
+
+double
+Timeline::laneTotal(TimelineLane lane) const
+{
+    double total = 0.0;
+    for (const auto &s : spans_)
+        if (s.lane == lane)
+            total += s.duration;
+    return total;
+}
+
+std::string
+Timeline::render() const
+{
+    const double end = endTime();
+    if (end <= 0.0)
+        return "(empty timeline)\n";
+    constexpr int width = 60;
+    std::string out;
+    for (const auto &s : spans_) {
+        const int startCol = static_cast<int>(s.start / end * width);
+        int len = static_cast<int>(s.duration / end * width);
+        len = std::max(1, len);
+        std::string bar(static_cast<size_t>(startCol), ' ');
+        bar += std::string(static_cast<size_t>(
+                               std::min(len, width - startCol)),
+                           '#');
+        out += strformat("%-10s %-28s |%-*s| %s\n",
+                         laneName(s.lane).c_str(), s.name.c_str(),
+                         width, bar.c_str(),
+                         formatSeconds(s.duration).c_str());
+    }
+    return out;
+}
+
+} // namespace afsb::gpusim

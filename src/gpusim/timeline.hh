@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Nsight-Systems-like phase timeline for the inference simulation.
+ */
+
+#ifndef AFSB_GPUSIM_TIMELINE_HH
+#define AFSB_GPUSIM_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+namespace afsb::gpusim {
+
+/** Category lanes in the timeline. */
+enum class TimelineLane { Host, Compile, GpuCompute, Transfer };
+
+/** One span. */
+struct TimelineSpan
+{
+    std::string name;
+    TimelineLane lane = TimelineLane::Host;
+    double start = 0.0;
+    double duration = 0.0;
+};
+
+/** Ordered collection of spans with an ASCII renderer. */
+class Timeline
+{
+  public:
+    /** Append a span beginning at the current end of its lane. */
+    void addSpan(std::string name, TimelineLane lane,
+                 double duration);
+
+    /** Append at an explicit start time. */
+    void addSpanAt(std::string name, TimelineLane lane, double start,
+                   double duration);
+
+    const std::vector<TimelineSpan> &spans() const { return spans_; }
+
+    /** End time of the whole timeline. */
+    double endTime() const;
+
+    /** Total duration within one lane. */
+    double laneTotal(TimelineLane lane) const;
+
+    /** Render an ASCII summary (one bar per span, width 60). */
+    std::string render() const;
+
+  private:
+    std::vector<TimelineSpan> spans_;
+};
+
+/** Lane display name. */
+std::string laneName(TimelineLane lane);
+
+} // namespace afsb::gpusim
+
+#endif // AFSB_GPUSIM_TIMELINE_HH

@@ -1,0 +1,51 @@
+#include "gpusim/xla.hh"
+
+#include "util/units.hh"
+
+namespace afsb::gpusim {
+
+bool
+XlaCache::lookupOrInsert(model::LayerKind kind, size_t tokens)
+{
+    const ShapeKey key{
+        kind, static_cast<uint32_t>(tokens / kBucketTokens)};
+    return !compiled_.insert(key).second;
+}
+
+XlaPhases
+evaluateXlaPhases(const sys::PlatformSpec &platform,
+                  const std::vector<model::LayerInstance> &graph,
+                  size_t tokens, XlaCache &cache,
+                  const XlaCostModel &costs)
+{
+    XlaPhases out;
+
+    // Host phases run on one thread at the platform's peak clock;
+    // slower hosts (Server's 4.0 GHz Xeon vs Desktop's 5.6 GHz
+    // Ryzen) stretch every phase.
+    const double hostFactor =
+        costs.refClockGhz / platform.cpu.maxClockGhz;
+
+    out.initSeconds =
+        hostFactor *
+        (costs.baseInitSeconds +
+         costs.initPerVramGib *
+             static_cast<double>(platform.gpu.vramBytes) /
+             static_cast<double>(GiB));
+
+    for (const auto &layer : graph) {
+        if (!cache.lookupOrInsert(layer.kind, tokens))
+            out.kernelsCompiled += layer.cost.kernels;
+    }
+    out.compileSeconds = hostFactor *
+                         costs.compileSecondsPerKernel *
+                         out.kernelsCompiled;
+
+    out.finalizeSeconds =
+        hostFactor * (costs.baseFinalizeSeconds +
+                      costs.finalizePerToken *
+                          static_cast<double>(tokens));
+    return out;
+}
+
+} // namespace afsb::gpusim

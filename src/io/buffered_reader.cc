@@ -1,0 +1,143 @@
+#include "io/buffered_reader.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace afsb::io {
+
+BufferedReader::BufferedReader(const Vfs *vfs, PageCache *cache,
+                               FileId id, MemTraceSink *sink)
+    : vfs_(vfs), cache_(cache), id_(id), sink_(sink),
+      buffer_(kBufferSize)
+{
+    panicIf(!vfs || !cache, "BufferedReader: null vfs/cache");
+    fileSize_ = vfs_->size(id_);
+}
+
+bool
+BufferedReader::eof() const
+{
+    return bufPos_ >= bufLen_ && fileOff_ >= fileSize_;
+}
+
+void
+BufferedReader::traceTouch(FuncId func, const char *p, size_t len,
+                           bool write)
+{
+    if (!sink_ || len == 0)
+        return;
+    // Emit one reference per 64-byte cache line touched, matching
+    // the granularity at which the hardware would see the copy.
+    const auto base = reinterpret_cast<uint64_t>(p);
+    for (uint64_t off = 0; off < len; off += 64)
+        sink_->access({base + off, 64, write, func});
+}
+
+void
+BufferedReader::addbuf(double now)
+{
+    // Slide any unconsumed tail to the front (lookahead retention).
+    const size_t tail = bufLen_ - bufPos_;
+    if (tail > 0 && bufPos_ > 0)
+        std::memmove(buffer_.data(), buffer_.data() + bufPos_, tail);
+    bufPos_ = 0;
+    bufLen_ = tail;
+
+    const size_t want = buffer_.size() - bufLen_;
+    if (want == 0 || fileOff_ >= fileSize_)
+        return;
+    const auto take = static_cast<size_t>(
+        std::min<uint64_t>(want, fileSize_ - fileOff_));
+
+    // Simulated I/O: page cache decides DRAM vs device.
+    const auto io = cache_->read(id_, fileOff_, take, now);
+    stats_.ioLatency += io.latency;
+
+    // Real byte movement (phantom files deliver zeros).
+    const size_t got = vfs_->read(id_, fileOff_,
+                                  buffer_.data() + bufLen_, take);
+    if (got < take)
+        std::memset(buffer_.data() + bufLen_ + got, 0, take - got);
+
+    traceTouch(wellknown::copyToIter(), buffer_.data() + bufLen_,
+               take, true);
+    if (sink_)
+        sink_->instructions(wellknown::addbuf(),
+                            static_cast<uint64_t>(take) / 8);
+
+    bufLen_ += take;
+    fileOff_ += take;
+    ++stats_.refills;
+}
+
+bool
+BufferedReader::readLine(std::string &out, double now)
+{
+    out.clear();
+    for (;;) {
+        if (bufPos_ >= bufLen_) {
+            addbuf(now);
+            if (bufPos_ >= bufLen_) {
+                // True EOF: report the final unterminated line.
+                if (!out.empty()) {
+                    ++stats_.linesRead;
+                    return true;
+                }
+                return false;
+            }
+        }
+        const char *start = buffer_.data() + bufPos_;
+        const char *nl = static_cast<const char *>(
+            std::memchr(start, '\n', bufLen_ - bufPos_));
+        const size_t n =
+            nl ? static_cast<size_t>(nl - start) : bufLen_ - bufPos_;
+
+        traceTouch(wellknown::seebuf(), start, n, false);
+        if (sink_)
+            sink_->instructions(wellknown::seebuf(),
+                                static_cast<uint64_t>(n) / 16 + 1);
+
+        out.append(start, n);
+        bufPos_ += n + (nl ? 1 : 0);
+        if (nl) {
+            ++stats_.linesRead;
+            return true;
+        }
+        // Line spans the window boundary: refill and continue.
+    }
+}
+
+size_t
+BufferedReader::copyToIter(char *dst, size_t len, double now)
+{
+    size_t copied = 0;
+    while (copied < len) {
+        if (bufPos_ >= bufLen_) {
+            addbuf(now);
+            if (bufPos_ >= bufLen_)
+                break;
+        }
+        const size_t n = std::min(len - copied, bufLen_ - bufPos_);
+        std::memcpy(dst + copied, buffer_.data() + bufPos_, n);
+        traceTouch(wellknown::copyToIter(), dst + copied, n, true);
+        bufPos_ += n;
+        copied += n;
+    }
+    stats_.bytesCopied += copied;
+    return copied;
+}
+
+std::string_view
+BufferedReader::seebuf(size_t len, double now)
+{
+    if (bufLen_ - bufPos_ < len)
+        addbuf(now);
+    const size_t n = std::min(len, bufLen_ - bufPos_);
+    traceTouch(wellknown::seebuf(), buffer_.data() + bufPos_, n,
+               false);
+    return {buffer_.data() + bufPos_, n};
+}
+
+} // namespace afsb::io

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Buffered database reader — the addbuf/seebuf/copy_to_iter path.
+ *
+ * HMMER's esl_buffer layer refills an internal window (addbuf),
+ * peeks ahead for tokenization (seebuf), and the kernel moves bytes
+ * from the page cache into user space (copy_to_iter). The paper's
+ * function-level profile (Table IV) attributes ~23% of MSA cycles to
+ * the buffering pair and finds copy_to_iter dominating cache misses
+ * at one thread. This reader reproduces that structure: real byte
+ * movement through a real buffer, with each phase attributed to its
+ * well-known FuncId on the optional trace sink, and simulated I/O
+ * latency from the page-cache / storage models.
+ */
+
+#ifndef AFSB_IO_BUFFERED_READER_HH
+#define AFSB_IO_BUFFERED_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/pagecache.hh"
+#include "io/vfs.hh"
+#include "util/memtrace.hh"
+
+namespace afsb::io {
+
+/** Counters for one reader's lifetime. */
+struct ReaderStats
+{
+    uint64_t refills = 0;        ///< addbuf invocations
+    uint64_t bytesCopied = 0;    ///< through copy_to_iter
+    uint64_t linesRead = 0;
+    double ioLatency = 0.0;      ///< simulated seconds waiting on I/O
+};
+
+/** Sequential line/byte reader over a VFS file. */
+class BufferedReader
+{
+  public:
+    /** Internal window size (256 KiB, HMMER-like). */
+    static constexpr size_t kBufferSize = 256 * 1024;
+
+    /**
+     * @param vfs File store (not owned).
+     * @param cache Page cache in front of storage (not owned).
+     * @param id File to read.
+     * @param sink Optional memory-trace sink for instrumented runs.
+     */
+    BufferedReader(const Vfs *vfs, PageCache *cache, FileId id,
+                   MemTraceSink *sink = nullptr);
+
+    /** True at end of file with an empty buffer. */
+    bool eof() const;
+
+    /**
+     * Read the next line (newline stripped) at simulated time @p now.
+     * @return false at end of file.
+     */
+    bool readLine(std::string &out, double now);
+
+    /**
+     * Copy up to @p len raw bytes into @p dst (the copy_to_iter
+     * analog). @return bytes copied.
+     */
+    size_t copyToIter(char *dst, size_t len, double now);
+
+    /** Peek at upcoming bytes without consuming (seebuf analog). */
+    std::string_view seebuf(size_t len, double now);
+
+    const ReaderStats &stats() const { return stats_; }
+
+  private:
+    /** Refill the window from the page cache (addbuf analog). */
+    void addbuf(double now);
+
+    /** Emit an instrumented touch of buffer bytes to the sink. */
+    void traceTouch(FuncId func, const char *p, size_t len,
+                    bool write);
+
+    const Vfs *vfs_;
+    PageCache *cache_;
+    FileId id_;
+    MemTraceSink *sink_;
+
+    std::vector<char> buffer_;
+    size_t bufPos_ = 0;    ///< consumption cursor within buffer_
+    size_t bufLen_ = 0;    ///< valid bytes in buffer_
+    uint64_t fileOff_ = 0; ///< next file offset to fetch
+    uint64_t fileSize_;
+    ReaderStats stats_;
+};
+
+} // namespace afsb::io
+
+#endif // AFSB_IO_BUFFERED_READER_HH

@@ -1,0 +1,138 @@
+#include "io/pagecache.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::io {
+
+PageCache::PageCache(uint64_t capacity_bytes, StorageDevice *device)
+    : capacity_(capacity_bytes), device_(device)
+{
+    panicIf(device == nullptr, "PageCache: null device");
+}
+
+void
+PageCache::setCapacity(uint64_t capacity_bytes)
+{
+    capacity_ = capacity_bytes;
+    while (resident_ > capacity_ && !lru_.empty()) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        resident_ -= kExtentSize;
+    }
+}
+
+bool
+PageCache::touch(const ExtentKey &key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+PageCache::insert(const ExtentKey &key)
+{
+    if (map_.count(key))
+        return;
+    while (resident_ + kExtentSize > capacity_ && !lru_.empty()) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        resident_ -= kExtentSize;
+    }
+    if (resident_ + kExtentSize > capacity_)
+        return;  // cache smaller than one extent: stay empty
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    resident_ += kExtentSize;
+}
+
+CachedReadResult
+PageCache::read(FileId id, uint64_t offset, uint64_t len, double now)
+{
+    CachedReadResult result;
+    if (len == 0)
+        return result;
+
+    const uint64_t first = offset / kExtentSize;
+    const uint64_t last = (offset + len - 1) / kExtentSize;
+
+    // Coalesce consecutive missing extents into single device reads,
+    // as readahead would.
+    uint64_t pendingMiss = 0;
+    auto flushMiss = [&] {
+        if (pendingMiss == 0)
+            return;
+        result.latency += device_->read(pendingMiss * kExtentSize,
+                                        now + result.latency);
+        result.bytesFromDisk += pendingMiss * kExtentSize;
+        pendingMiss = 0;
+    };
+
+    for (uint64_t e = first; e <= last; ++e) {
+        const ExtentKey key{id, e};
+        if (touch(key)) {
+            flushMiss();
+            result.bytesFromCache += kExtentSize;
+        } else {
+            insert(key);
+            ++pendingMiss;
+        }
+    }
+    flushMiss();
+
+    hitBytes_ += result.bytesFromCache;
+    missBytes_ += result.bytesFromDisk;
+
+    // DRAM hits are effectively free at this model's resolution; the
+    // CPU-side copy cost is modeled separately by copyToIter.
+    return result;
+}
+
+double
+PageCache::warm(FileId id, uint64_t file_size, double now)
+{
+    double latency = 0.0;
+    const uint64_t extents =
+        (file_size + kExtentSize - 1) / kExtentSize;
+    // Stream in large sequential chunks (64 extents = 16 MiB).
+    const uint64_t chunk = 64;
+    for (uint64_t e = 0; e < extents; e += chunk) {
+        const uint64_t n = std::min(chunk, extents - e);
+        uint64_t missing = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+            const ExtentKey key{id, e + i};
+            if (!touch(key)) {
+                insert(key);
+                ++missing;
+            }
+        }
+        if (missing) {
+            latency += device_->read(missing * kExtentSize,
+                                     now + latency);
+            missBytes_ += missing * kExtentSize;
+        }
+    }
+    return latency;
+}
+
+void
+PageCache::dropAll()
+{
+    lru_.clear();
+    map_.clear();
+    resident_ = 0;
+}
+
+double
+PageCache::hitRatio() const
+{
+    const uint64_t total = hitBytes_ + missBytes_;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hitBytes_) /
+           static_cast<double>(total);
+}
+
+} // namespace afsb::io

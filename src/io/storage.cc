@@ -1,0 +1,75 @@
+#include "io/storage.hh"
+
+#include <algorithm>
+
+namespace afsb::io {
+
+double
+StorageStats::utilizationPct() const
+{
+    if (windowTime <= 0.0)
+        return 0.0;
+    return std::min(100.0, 100.0 * busyTime / windowTime);
+}
+
+double
+StorageStats::rAwait() const
+{
+    if (readRequests == 0)
+        return 0.0;
+    return totalLatency / static_cast<double>(readRequests);
+}
+
+double
+StorageStats::readThroughput() const
+{
+    if (windowTime <= 0.0)
+        return 0.0;
+    return static_cast<double>(bytesRead) / windowTime;
+}
+
+StorageDevice::StorageDevice(StorageSpec spec)
+    : spec_(std::move(spec))
+{}
+
+double
+StorageDevice::read(uint64_t bytes, double now)
+{
+    const double service =
+        static_cast<double>(bytes) / spec_.seqReadBandwidth;
+
+    // The device may still be draining earlier requests; queueing
+    // delay is the gap between now and when it frees up, bounded by
+    // the queue depth (beyond that the submitter would block, which
+    // the caller models as wall time anyway).
+    const double queueWait = std::max(0.0, deviceFreeAt_ - now);
+    const double start = now + queueWait;
+    deviceFreeAt_ = start + service;
+
+    const double latency = spec_.baseLatency + queueWait + service;
+
+    ++stats_.readRequests;
+    stats_.bytesRead += bytes;
+    stats_.busyTime += service;
+    stats_.totalLatency += latency;
+    return latency;
+}
+
+StorageStats
+StorageDevice::collect(double now)
+{
+    StorageStats out = peek(now);
+    stats_ = StorageStats{};
+    windowStart_ = now;
+    return out;
+}
+
+StorageStats
+StorageDevice::peek(double now) const
+{
+    StorageStats out = stats_;
+    out.windowTime = std::max(0.0, now - windowStart_);
+    return out;
+}
+
+} // namespace afsb::io

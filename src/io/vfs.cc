@@ -1,0 +1,109 @@
+#include "io/vfs.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace afsb::io {
+
+FileId
+Vfs::createFile(const std::string &name, std::string content)
+{
+    File f;
+    f.name = name;
+    f.size = content.size();
+    f.content = std::move(content);
+    f.phantom = false;
+
+    auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        files_[it->second] = std::move(f);
+        return it->second;
+    }
+    files_.push_back(std::move(f));
+    const auto id = static_cast<FileId>(files_.size() - 1);
+    byName_[name] = id;
+    return id;
+}
+
+FileId
+Vfs::createPhantom(const std::string &name, uint64_t size)
+{
+    File f;
+    f.name = name;
+    f.size = size;
+    f.phantom = true;
+
+    auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        files_[it->second] = std::move(f);
+        return it->second;
+    }
+    files_.push_back(std::move(f));
+    const auto id = static_cast<FileId>(files_.size() - 1);
+    byName_[name] = id;
+    return id;
+}
+
+FileId
+Vfs::open(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        fatal("Vfs: no such file '" + name + "'");
+    return it->second;
+}
+
+bool
+Vfs::exists(const std::string &name) const
+{
+    return byName_.count(name) > 0;
+}
+
+const Vfs::File &
+Vfs::file(FileId id) const
+{
+    panicIf(id >= files_.size(), "Vfs: bad file id");
+    return files_[id];
+}
+
+uint64_t
+Vfs::size(FileId id) const
+{
+    return file(id).size;
+}
+
+const std::string &
+Vfs::name(FileId id) const
+{
+    return file(id).name;
+}
+
+bool
+Vfs::isPhantom(FileId id) const
+{
+    return file(id).phantom;
+}
+
+size_t
+Vfs::read(FileId id, uint64_t offset, char *dst, size_t len) const
+{
+    const File &f = file(id);
+    if (f.phantom || offset >= f.size)
+        return 0;
+    const size_t avail = static_cast<size_t>(f.size - offset);
+    const size_t n = std::min(len, avail);
+    std::memcpy(dst, f.content.data() + offset, n);
+    return n;
+}
+
+uint64_t
+Vfs::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &f : files_)
+        total += f.size;
+    return total;
+}
+
+} // namespace afsb::io

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Virtual file store backing the synthetic sequence databases.
+ *
+ * Two kinds of file coexist:
+ *  - materialized files carry real bytes (scaled-down FASTA
+ *    databases actually parsed by the MSA engine), and
+ *  - phantom files carry only a size (the paper-scale databases,
+ *    e.g. the 89 GiB RNA collection, which exist purely for the
+ *    page-cache / storage capacity model).
+ */
+
+#ifndef AFSB_IO_VFS_HH
+#define AFSB_IO_VFS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace afsb::io {
+
+/** Opaque handle to a file in the store. */
+using FileId = uint32_t;
+
+/** In-memory file system for simulated storage. */
+class Vfs
+{
+  public:
+    /** Create a materialized file; replaces an existing name. */
+    FileId createFile(const std::string &name, std::string content);
+
+    /**
+     * Create a phantom file of @p size bytes with no contents.
+     * Reads of phantom files yield zero bytes but full timing.
+     */
+    FileId createPhantom(const std::string &name, uint64_t size);
+
+    /** Look up a file id; fatal() when absent. */
+    FileId open(const std::string &name) const;
+
+    /** True when @p name exists. */
+    bool exists(const std::string &name) const;
+
+    /** File size in bytes. */
+    uint64_t size(FileId id) const;
+
+    /** File name. */
+    const std::string &name(FileId id) const;
+
+    /** True for phantom (size-only) files. */
+    bool isPhantom(FileId id) const;
+
+    /**
+     * Copy up to @p len bytes at @p offset into @p dst.
+     * @return bytes copied (0 for phantom files; dst untouched).
+     */
+    size_t read(FileId id, uint64_t offset, char *dst,
+                size_t len) const;
+
+    /** Total bytes across all files (phantom sizes included). */
+    uint64_t totalBytes() const;
+
+    /** Number of files. */
+    size_t fileCount() const { return files_.size(); }
+
+  private:
+    struct File
+    {
+        std::string name;
+        std::string content;
+        uint64_t size = 0;
+        bool phantom = false;
+    };
+
+    const File &file(FileId id) const;
+
+    std::vector<File> files_;
+    std::map<std::string, FileId> byName_;
+};
+
+} // namespace afsb::io
+
+#endif // AFSB_IO_VFS_HH

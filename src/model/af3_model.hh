@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end AF3 inference over the mini tensor engine.
+ *
+ * Ties embedder -> Pairformer -> Diffusion together and captures a
+ * per-layer wall-clock profile (the JAX-profiler analog used for the
+ * executable validation of Fig 9 / Table VI shapes).
+ */
+
+#ifndef AFSB_MODEL_AF3_MODEL_HH
+#define AFSB_MODEL_AF3_MODEL_HH
+
+#include <map>
+#include <string>
+
+#include "bio/sequence.hh"
+#include "model/confidence.hh"
+#include "model/diffusion.hh"
+#include "model/embedder.hh"
+#include "model/flops.hh"
+#include "model/pairformer.hh"
+
+namespace afsb::model {
+
+/** Wall-clock per layer name, accumulated across invocations. */
+using LayerProfile = std::map<std::string, double>;
+
+/** Inference output: structure, confidence, and layer profile. */
+struct InferenceResult
+{
+    Structure structure;
+    ConfidenceResult confidence;
+    LayerProfile profile;
+
+    /** Seconds spent in Pairformer layers. */
+    double pairformerSeconds() const;
+
+    /** Seconds spent in Diffusion layers. */
+    double diffusionSeconds() const;
+};
+
+/** The assembled model. */
+class Af3Model
+{
+  public:
+    /**
+     * Build with random weights from @p seed.
+     */
+    Af3Model(const ModelConfig &cfg, uint64_t seed);
+
+    /**
+     * Run inference for @p complex_input.
+     * @param msa Per-chain MSA depths from the MSA phase.
+     * @param sample_seed Seed for the diffusion noise (AF3's
+     *        modelSeeds semantics).
+     */
+    InferenceResult infer(const bio::Complex &complex_input,
+                          const MsaFeatures &msa,
+                          uint64_t sample_seed = 1) const;
+
+    const ModelConfig &config() const { return cfg_; }
+
+  private:
+    ModelConfig cfg_;
+    EmbedderWeights embedder_;
+    Pairformer pairformer_;
+    DiffusionModule diffusion_;
+    ConfidenceWeights confidence_;
+};
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_AF3_MODEL_HH

@@ -1,0 +1,65 @@
+#include "model/confidence.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::model {
+
+using tensor::linear;
+
+ConfidenceWeights
+ConfidenceWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    ConfidenceWeights w;
+    w.w1 = Tensor::randomNormal(
+        {cfg.singleDim, 32}, rng,
+        1.0f / std::sqrt(static_cast<float>(cfg.singleDim)));
+    w.b1 = Tensor({32});
+    w.w2 = Tensor::randomNormal({32, 1}, rng,
+                                1.0f / std::sqrt(32.0f));
+    w.b2 = Tensor({1});
+    w.paeProj = Tensor::randomNormal(
+        {cfg.pairDim, 1}, rng,
+        1.0f / std::sqrt(static_cast<float>(cfg.pairDim)));
+    return w;
+}
+
+ConfidenceResult
+computeConfidence(const PairState &state,
+                  const ConfidenceWeights &weights)
+{
+    const size_t n = state.tokens();
+    panicIf(n == 0, "computeConfidence: empty state");
+
+    ConfidenceResult result;
+    result.plddt.reserve(n);
+
+    // Per-token MLP -> sigmoid -> [0, 100].
+    const Tensor h = tensor::gelu(linear(
+        tensor::layerNorm(state.single), weights.w1, weights.b1));
+    const Tensor logits = linear(h, weights.w2, weights.b2);
+    size_t confident = 0;
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double p =
+            100.0 / (1.0 + std::exp(-logits[i]));
+        result.plddt.push_back(p);
+        sum += p;
+        confident += p >= 70.0;
+    }
+    result.meanPlddt = sum / static_cast<double>(n);
+    result.confidentFraction =
+        static_cast<double>(confident) / static_cast<double>(n);
+
+    // PAE summary: softplus of a pair projection, averaged.
+    const Tensor pae = linear(tensor::layerNorm(state.pair),
+                              weights.paeProj, Tensor({1}));
+    double paeSum = 0.0;
+    for (size_t i = 0; i < pae.size(); ++i)
+        paeSum += std::log1p(std::exp(pae[i]));  // softplus, Å-like
+    result.meanPae = paeSum / static_cast<double>(pae.size());
+    return result;
+}
+
+} // namespace afsb::model

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Confidence head: pLDDT-style per-token confidence and the PAE
+ * (predicted aligned error) summary AF3 reports alongside each
+ * structure.
+ *
+ * The head is a small MLP over the final single representation plus
+ * a pairwise projection; like the rest of the model the weights are
+ * random (performance characterization, not accuracy), but the
+ * computation and output plumbing match the real pipeline: per-token
+ * confidences in [0, 100], a complex-level mean, and per-chain
+ * aggregates.
+ */
+
+#ifndef AFSB_MODEL_CONFIDENCE_HH
+#define AFSB_MODEL_CONFIDENCE_HH
+
+#include <vector>
+
+#include "model/pairformer.hh"
+
+namespace afsb::model {
+
+/** Confidence outputs for one prediction. */
+struct ConfidenceResult
+{
+    /** Per-token pLDDT-like confidence in [0, 100]. */
+    std::vector<double> plddt;
+
+    /** Mean over tokens. */
+    double meanPlddt = 0.0;
+
+    /** Predicted-aligned-error summary (mean over pairs, Å-like). */
+    double meanPae = 0.0;
+
+    /** Fraction of tokens above the "confident" threshold (70). */
+    double confidentFraction = 0.0;
+};
+
+/** Confidence-head weights. */
+struct ConfidenceWeights
+{
+    Tensor w1, b1;       ///< (c_s, 32), (32)
+    Tensor w2, b2;       ///< (32, 1), (1)
+    Tensor paeProj;      ///< (c_z, 1)
+
+    static ConfidenceWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/**
+ * Evaluate the confidence head over the trunk output @p state.
+ */
+ConfidenceResult computeConfidence(const PairState &state,
+                                   const ConfidenceWeights &weights);
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_CONFIDENCE_HH

@@ -1,0 +1,31 @@
+#include "model/config.hh"
+
+namespace afsb::model {
+
+ModelConfig
+paperConfig()
+{
+    return ModelConfig{};
+}
+
+ModelConfig
+miniConfig()
+{
+    ModelConfig cfg;
+    cfg.pairDim = 16;
+    cfg.singleDim = 24;
+    cfg.pairformerBlocks = 2;
+    cfg.heads = 2;
+    cfg.headDim = 8;
+    cfg.diffusionSteps = 4;
+    cfg.diffusionTokenDim = 32;
+    cfg.localWindow = 16;
+    cfg.diffusionBlocks = 1;
+    cfg.globalBlocks = 2;
+    cfg.recyclingIterations = 1;
+    cfg.diffusionSamples = 1;
+    cfg.msaFeatureDim = 8;
+    return cfg;
+}
+
+} // namespace afsb::model

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * AF3 model architecture configuration.
+ *
+ * Two presets:
+ *  - paperConfig(): the published AF3 dimensions (48 Pairformer
+ *    blocks, 128-dim pair / 384-dim single representations, 16
+ *    attention heads, diffusion over 8-16 denoising steps). Used by
+ *    the analytic FLOP model and the GPU simulator.
+ *  - miniConfig(): a scaled-down instance the C++ tensor engine
+ *    executes for real (correctness tests, CPU microbenches). Same
+ *    operator graph, smaller dims.
+ */
+
+#ifndef AFSB_MODEL_CONFIG_HH
+#define AFSB_MODEL_CONFIG_HH
+
+#include <cstddef>
+
+namespace afsb::model {
+
+/** Architecture hyperparameters. */
+struct ModelConfig
+{
+    size_t pairDim = 128;       ///< c_z, pair-representation channels
+    size_t singleDim = 384;     ///< c_s, single-representation channels
+    size_t pairformerBlocks = 48;
+    size_t heads = 16;          ///< attention heads (triangle/single)
+    size_t headDim = 32;        ///< per-head channels
+
+    size_t diffusionSteps = 16; ///< denoising iterations
+    size_t diffusionTokenDim = 768; ///< diffusion token channels
+    size_t localWindow = 32;    ///< sequence-local attention window
+    size_t diffusionBlocks = 3; ///< enc/dec local-attn blocks per step
+
+    /**
+     * Global (token-transformer) attention blocks per denoising
+     * step. AF3's diffusion transformer runs a deep token-level
+     * stack between the atom-level encoder and decoder, which is why
+     * global attention dominates Diffusion runtime in Fig 9.
+     */
+    size_t globalBlocks = 12;
+
+    /** MSA feature dimension folded into the input embedding. */
+    size_t msaFeatureDim = 64;
+
+    /**
+     * Trunk recycling iterations: AF3 re-runs the Pairformer trunk
+     * on its own output (default 10), multiplying trunk compute.
+     */
+    size_t recyclingIterations = 10;
+
+    /** Diffusion samples generated per request (AF3 default 5). */
+    size_t diffusionSamples = 5;
+};
+
+/** Published AF3 dimensions (FLOP accounting / GPU simulation). */
+ModelConfig paperConfig();
+
+/** Executable mini instance (tests / microbenches). */
+ModelConfig miniConfig();
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_CONFIG_HH

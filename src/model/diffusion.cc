@@ -1,0 +1,229 @@
+#include "model/diffusion.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::model {
+
+using tensor::linear;
+
+namespace {
+
+Tensor
+initWeight(size_t in, size_t out, Rng &rng)
+{
+    return Tensor::randomNormal(
+        {in, out}, rng,
+        1.0f / std::sqrt(static_cast<float>(in)));
+}
+
+class LayerTimer
+{
+  public:
+    LayerTimer(const LayerTimeHook &hook, const char *name)
+        : hook_(hook), name_(name),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~LayerTimer()
+    {
+        if (hook_) {
+            const auto end = std::chrono::steady_clock::now();
+            hook_(name_,
+                  std::chrono::duration<double>(end - start_)
+                      .count());
+        }
+    }
+
+  private:
+    const LayerTimeHook &hook_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Attention over tokens; @p window 0 means global, otherwise each
+ * token attends within its local window only.
+ */
+void
+tokenAttention(Tensor &h, const AttnBlockWeights &w,
+               const ModelConfig &cfg, size_t window)
+{
+    const size_t n = h.dim(0);
+    const size_t heads = cfg.heads;
+    const size_t dh = cfg.headDim;
+    const size_t hd = heads * dh;
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+    const Tensor zb({hd});
+
+    const Tensor normed = tensor::layerNorm(h);
+    const Tensor q = linear(normed, w.q, zb);
+    const Tensor k = linear(normed, w.k, zb);
+    const Tensor v = linear(normed, w.v, zb);
+
+    Tensor ctx({n, hd});
+    std::vector<float> logits;
+    for (size_t head = 0; head < heads; ++head) {
+        const size_t ho = head * dh;
+        for (size_t i = 0; i < n; ++i) {
+            size_t lo = 0, hi = n;
+            if (window > 0) {
+                lo = i > window / 2 ? i - window / 2 : 0;
+                hi = std::min(n, lo + window);
+            }
+            logits.assign(hi - lo, 0.0f);
+            const float *qv = q.data() + i * hd + ho;
+            float mx = -1e30f;
+            for (size_t j = lo; j < hi; ++j) {
+                const float *kv = k.data() + j * hd + ho;
+                float dot = 0.0f;
+                for (size_t d = 0; d < dh; ++d)
+                    dot += qv[d] * kv[d];
+                logits[j - lo] = dot * invSqrt;
+                mx = std::max(mx, logits[j - lo]);
+            }
+            float sum = 0.0f;
+            for (auto &l : logits) {
+                l = std::exp(l - mx);
+                sum += l;
+            }
+            const float inv = 1.0f / sum;
+            float *o = ctx.data() + i * hd + ho;
+            for (size_t j = lo; j < hi; ++j) {
+                const float p = logits[j - lo] * inv;
+                const float *vv = v.data() + j * hd + ho;
+                for (size_t d = 0; d < dh; ++d)
+                    o[d] += p * vv[d];
+            }
+        }
+    }
+    tensor::addInPlace(h, linear(ctx, w.outProj, w.outBias));
+    pairTransition(h, w.transition);
+}
+
+} // namespace
+
+AttnBlockWeights
+AttnBlockWeights::init(size_t dim, const ModelConfig &cfg, Rng &rng)
+{
+    const size_t hd = cfg.heads * cfg.headDim;
+    AttnBlockWeights w;
+    w.q = initWeight(dim, hd, rng);
+    w.k = initWeight(dim, hd, rng);
+    w.v = initWeight(dim, hd, rng);
+    w.outProj = initWeight(hd, dim, rng);
+    w.outBias = Tensor({dim});
+    w.transition = TransitionWeights::init(dim, rng);
+    return w;
+}
+
+DiffusionWeights
+DiffusionWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t ct = cfg.diffusionTokenDim;
+    DiffusionWeights w;
+    w.condProj = initWeight(cfg.singleDim, ct, rng);
+    w.condBias = Tensor({ct});
+    w.coordEmbed = initWeight(3, ct, rng);
+    for (size_t b = 0; b < cfg.diffusionBlocks; ++b)
+        w.localEnc.push_back(AttnBlockWeights::init(ct, cfg, rng));
+    for (size_t b = 0; b < cfg.globalBlocks; ++b)
+        w.globalAttn.push_back(AttnBlockWeights::init(ct, cfg, rng));
+    for (size_t b = 0; b < cfg.diffusionBlocks; ++b)
+        w.localDec.push_back(AttnBlockWeights::init(ct, cfg, rng));
+    w.coordOut = initWeight(ct, 3, rng);
+    w.coordOutBias = Tensor({3});
+    return w;
+}
+
+std::vector<double>
+noiseSchedule(size_t steps, double sigma_max, double sigma_min)
+{
+    panicIf(steps == 0, "noiseSchedule: zero steps");
+    std::vector<double> out(steps);
+    const double ratio =
+        steps > 1 ? std::pow(sigma_min / sigma_max,
+                             1.0 / static_cast<double>(steps - 1))
+                  : 1.0;
+    double sigma = sigma_max;
+    for (size_t i = 0; i < steps; ++i) {
+        out[i] = sigma;
+        sigma *= ratio;
+    }
+    return out;
+}
+
+DiffusionModule::DiffusionModule(const ModelConfig &cfg, Rng &rng)
+    : cfg_(cfg), weights_(DiffusionWeights::init(cfg, rng))
+{}
+
+void
+DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
+                             double sigma,
+                             const LayerTimeHook &hook) const
+{
+    const size_t n = coords.dim(0);
+    const size_t ct = cfg_.diffusionTokenDim;
+
+    // Token features = conditioning + embedded noisy coordinates,
+    // scaled into the unit regime for the current noise level.
+    Tensor h = cond;
+    const float cScale =
+        1.0f / std::sqrt(1.0f + static_cast<float>(sigma * sigma));
+    {
+        const Tensor zb({ct});
+        Tensor scaled = tensor::scale(coords, cScale);
+        tensor::addInPlace(
+            h, linear(scaled, weights_.coordEmbed, zb));
+    }
+
+    for (const auto &w : weights_.localEnc) {
+        LayerTimer t(hook, "local_attention_encoder");
+        tokenAttention(h, w, cfg_, cfg_.localWindow);
+    }
+    for (const auto &w : weights_.globalAttn) {
+        LayerTimer t(hook, "global_attention");
+        tokenAttention(h, w, cfg_, 0);
+    }
+    for (const auto &w : weights_.localDec) {
+        LayerTimer t(hook, "local_attention_decoder");
+        tokenAttention(h, w, cfg_, cfg_.localWindow);
+    }
+
+    // Denoised estimate; coordinates step toward it.
+    LayerTimer t(hook, "coordinate_update");
+    const Tensor denoised = tensor::add(
+        tensor::scale(coords, 0.5f),
+        linear(tensor::layerNorm(h), weights_.coordOut,
+               weights_.coordOutBias));
+    const float blend = static_cast<float>(
+        1.0 / (1.0 + sigma));  // stronger pull at low noise
+    for (size_t i = 0; i < n; ++i)
+        for (size_t d = 0; d < 3; ++d)
+            coords.at(i, d) =
+                (1.0f - blend) * coords.at(i, d) +
+                blend * denoised.at(i, d);
+}
+
+Structure
+DiffusionModule::sample(const PairState &state, Rng &rng,
+                        const LayerTimeHook &hook) const
+{
+    const size_t n = state.tokens();
+    const auto schedule = noiseSchedule(cfg_.diffusionSteps);
+
+    // Conditioning from the trunk single representation.
+    const Tensor cond = linear(state.single, weights_.condProj,
+                               weights_.condBias);
+
+    Structure out;
+    out.coords = Tensor::randomNormal(
+        {n, 3}, rng, static_cast<float>(schedule.front()));
+    for (double sigma : schedule)
+        denoiseStep(out.coords, cond, sigma, hook);
+    return out;
+}
+
+} // namespace afsb::model

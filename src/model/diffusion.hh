@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The AF3 diffusion module (replaces AF2's structure module).
+ *
+ * Structure prediction as iterative denoising: starting from
+ * Gaussian-noise coordinates, each of the 8-16 steps conditions
+ * token features on the trunk outputs and applies sequence-local
+ * attention (encoder), global attention across all tokens, and
+ * sequence-local attention (decoder) before regressing a coordinate
+ * update — the three layers the paper's Fig 9 shows dominating
+ * Diffusion runtime, with global attention the largest single
+ * component.
+ */
+
+#ifndef AFSB_MODEL_DIFFUSION_HH
+#define AFSB_MODEL_DIFFUSION_HH
+
+#include <vector>
+
+#include "model/pairformer.hh"
+
+namespace afsb::model {
+
+/** Weights for one local/global attention block. */
+struct AttnBlockWeights
+{
+    Tensor q, k, v;      ///< (c_t, heads*headDim)
+    Tensor outProj;      ///< (heads*headDim, c_t)
+    Tensor outBias;      ///< (c_t)
+    TransitionWeights transition;
+
+    static AttnBlockWeights init(size_t dim, const ModelConfig &cfg,
+                                 Rng &rng);
+};
+
+/** Weights for the whole diffusion module. */
+struct DiffusionWeights
+{
+    Tensor condProj;     ///< (c_s, c_t) trunk-single conditioning
+    Tensor condBias;     ///< (c_t)
+    Tensor coordEmbed;   ///< (3, c_t)
+    std::vector<AttnBlockWeights> localEnc;
+    std::vector<AttnBlockWeights> globalAttn;
+    std::vector<AttnBlockWeights> localDec;
+    Tensor coordOut;     ///< (c_t, 3)
+    Tensor coordOutBias; ///< (3)
+
+    static DiffusionWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/** Predicted structure: one 3-D coordinate per token. */
+struct Structure
+{
+    Tensor coords;  ///< (N, 3)
+};
+
+/** Noise schedule (EDM-style geometric decay). */
+std::vector<double> noiseSchedule(size_t steps,
+                                  double sigma_max = 160.0,
+                                  double sigma_min = 0.05);
+
+/** The iterative denoiser. */
+class DiffusionModule
+{
+  public:
+    DiffusionModule(const ModelConfig &cfg, Rng &rng);
+
+    /**
+     * Sample a structure by iterative denoising conditioned on the
+     * trunk output @p state.
+     * @param rng Noise source (seeded per AF3 modelSeeds entry).
+     * @param hook Optional per-layer timing hook.
+     */
+    Structure sample(const PairState &state, Rng &rng,
+                     const LayerTimeHook &hook = nullptr) const;
+
+    size_t steps() const { return cfg_.diffusionSteps; }
+
+  private:
+    /** One denoising application at noise level @p sigma. */
+    void denoiseStep(Tensor &coords, const Tensor &cond,
+                     double sigma, const LayerTimeHook &hook) const;
+
+    ModelConfig cfg_;
+    DiffusionWeights weights_;
+};
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_DIFFUSION_HH

@@ -1,0 +1,103 @@
+#include "model/embedder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::model {
+
+EmbedderWeights
+EmbedderWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    EmbedderWeights w;
+    // 20 amino acids + 4 nucleotides + 1 unknown = 25 token types.
+    w.residueEmbed = Tensor::randomNormal({25, cfg.singleDim}, rng,
+                                          0.5f);
+    // Relative positions clipped to [-32, 32].
+    w.pairPosEmbed = Tensor::randomNormal({65, cfg.pairDim}, rng,
+                                          0.5f);
+    w.msaProj = Tensor::randomNormal({1, cfg.singleDim}, rng, 0.1f);
+    return w;
+}
+
+namespace {
+
+/** Token-type index: protein residues 0-19, nucleotides 20-23. */
+size_t
+tokenType(const bio::Sequence &chain, size_t pos)
+{
+    if (chain.type() == bio::MoleculeType::Protein)
+        return chain[pos];
+    return 20 + chain[pos];
+}
+
+} // namespace
+
+PairState
+embedInput(const bio::Complex &complex_input, const MsaFeatures &msa,
+           const EmbedderWeights &weights, const ModelConfig &cfg)
+{
+    const size_t n = complex_input.totalResidues();
+    panicIf(n == 0, "embedInput: empty complex");
+    if (!msa.depthPerChain.empty() &&
+        msa.depthPerChain.size() != complex_input.chainCount())
+        fatal("embedInput: MSA depth vector does not match chains");
+
+    PairState state;
+    state.single = Tensor({n, cfg.singleDim});
+    state.pair = Tensor({n, n, cfg.pairDim});
+
+    // Single representation: token-type embedding + MSA-depth
+    // signal (log-scaled, shared projection).
+    std::vector<size_t> chainOf(n);
+    std::vector<size_t> posInChain(n);
+    size_t tok = 0;
+    for (size_t c = 0; c < complex_input.chainCount(); ++c) {
+        const auto &chain = complex_input.chains()[c];
+        const double depth =
+            msa.depthPerChain.empty() ? 0.0
+                                      : static_cast<double>(
+                                            msa.depthPerChain[c]);
+        const float msaSignal =
+            static_cast<float>(std::log1p(depth));
+        for (size_t p = 0; p < chain.length(); ++p, ++tok) {
+            chainOf[tok] = c;
+            posInChain[tok] = p;
+            const size_t type = tokenType(chain, p);
+            float *row = state.single.data() + tok * cfg.singleDim;
+            const float *emb =
+                weights.residueEmbed.data() + type * cfg.singleDim;
+            for (size_t d = 0; d < cfg.singleDim; ++d)
+                row[d] = emb[d] +
+                         msaSignal * weights.msaProj[d];
+        }
+    }
+
+    // Pair representation: clipped relative-position embedding for
+    // same-chain pairs; a distinct bucket (index 64) for cross-chain
+    // pairs.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            size_t bucket;
+            if (chainOf[i] == chainOf[j]) {
+                const ptrdiff_t rel =
+                    static_cast<ptrdiff_t>(posInChain[i]) -
+                    static_cast<ptrdiff_t>(posInChain[j]);
+                bucket = static_cast<size_t>(
+                    std::clamp<ptrdiff_t>(rel, -32, 32) + 32);
+            } else {
+                bucket = 64;
+            }
+            float *row =
+                state.pair.data() + (i * n + j) * cfg.pairDim;
+            const float *emb = weights.pairPosEmbed.data() +
+                               bucket * cfg.pairDim;
+            for (size_t d = 0; d < cfg.pairDim; ++d)
+                row[d] = emb[d];
+        }
+    }
+    return state;
+}
+
+} // namespace afsb::model

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Input embedder: complex + MSA features -> initial pair/single.
+ *
+ * AF3 greatly reduces MSA usage relative to AF2: alignment features
+ * are summarized into a per-position profile that is folded into the
+ * single representation and a relative-position / chain-identity
+ * encoding seeds the pair representation. Token count equals total
+ * residues across chains (all modalities).
+ */
+
+#ifndef AFSB_MODEL_EMBEDDER_HH
+#define AFSB_MODEL_EMBEDDER_HH
+
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "model/pairformer.hh"
+
+namespace afsb::model {
+
+/** Per-chain MSA summary fed into the embedder. */
+struct MsaFeatures
+{
+    /** MSA depth per chain (0 for chains without alignments). */
+    std::vector<size_t> depthPerChain;
+};
+
+/** Embedder weights. */
+struct EmbedderWeights
+{
+    Tensor residueEmbed;  ///< (25, c_s) token-type embedding
+    Tensor pairPosEmbed;  ///< (65, c_z)  clipped relative position
+    Tensor msaProj;       ///< (1, c_s)   depth scalar projection
+
+    static EmbedderWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/** Build the initial model state for @p complex_input. */
+PairState embedInput(const bio::Complex &complex_input,
+                     const MsaFeatures &msa,
+                     const EmbedderWeights &weights,
+                     const ModelConfig &cfg);
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_EMBEDDER_HH

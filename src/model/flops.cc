@@ -1,0 +1,251 @@
+#include "model/flops.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::model {
+
+std::string
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::InputEmbedding: return "input_embedding";
+      case LayerKind::TriangleMultOutgoing:
+        return "triangle_mult_outgoing";
+      case LayerKind::TriangleMultIncoming:
+        return "triangle_mult_incoming";
+      case LayerKind::TriangleAttnStarting:
+        return "triangle_attention_starting";
+      case LayerKind::TriangleAttnEnding:
+        return "triangle_attention_ending";
+      case LayerKind::PairTransition: return "pair_transition";
+      case LayerKind::SingleAttention: return "single_attention";
+      case LayerKind::SingleTransition: return "single_transition";
+      case LayerKind::DiffusionConditioning:
+        return "diffusion_conditioning";
+      case LayerKind::LocalAttentionEncoder:
+        return "local_attention_encoder";
+      case LayerKind::GlobalAttention: return "global_attention";
+      case LayerKind::LocalAttentionDecoder:
+        return "local_attention_decoder";
+      case LayerKind::CoordinateUpdate: return "coordinate_update";
+      case LayerKind::ConfidenceHead: return "confidence_head";
+    }
+    panic("layerKindName: bad enum");
+}
+
+bool
+isPairformerLayer(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::TriangleMultOutgoing:
+      case LayerKind::TriangleMultIncoming:
+      case LayerKind::TriangleAttnStarting:
+      case LayerKind::TriangleAttnEnding:
+      case LayerKind::PairTransition:
+      case LayerKind::SingleAttention:
+      case LayerKind::SingleTransition:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDiffusionLayer(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::DiffusionConditioning:
+      case LayerKind::LocalAttentionEncoder:
+      case LayerKind::GlobalAttention:
+      case LayerKind::LocalAttentionDecoder:
+      case LayerKind::CoordinateUpdate:
+        return true;
+      default:
+        return false;
+    }
+}
+
+LayerCost
+layerCost(LayerKind kind, size_t tokens, const ModelConfig &cfg)
+{
+    const double n = static_cast<double>(tokens);
+    const double cz = static_cast<double>(cfg.pairDim);
+    const double cs = static_cast<double>(cfg.singleDim);
+    const double ct = static_cast<double>(cfg.diffusionTokenDim);
+    const double h = static_cast<double>(cfg.heads);
+    const double dh = static_cast<double>(cfg.headDim);
+    const double hd = h * dh;
+    const double w = static_cast<double>(cfg.localWindow);
+    constexpr double b = 2.0;  // bytes per element (bf16)
+
+    LayerCost cost;
+    switch (kind) {
+      case LayerKind::InputEmbedding:
+        cost.flops = n * n * cz + n * cs * 4;
+        cost.bytes = (n * n * cz + n * cs) * b;
+        cost.kernels = 6;
+        break;
+      case LayerKind::TriangleMultOutgoing:
+      case LayerKind::TriangleMultIncoming:
+        // Four gated projections + the O(N^3 c) einsum + output.
+        // The einsum's chunked intermediate reads add a cubic
+        // traffic term (c/8 bytes per (i,j,k) triple after
+        // channel-tiling).
+        cost.flops = 2 * n * n * cz * cz * 6 + 2 * n * n * n * cz;
+        cost.bytes =
+            (8 * n * n * cz + n * n * n * cz / 8 + 6 * cz * cz) * b;
+        cost.kernels = 10;
+        break;
+      case LayerKind::TriangleAttnStarting:
+      case LayerKind::TriangleAttnEnding:
+        // QKV/bias projections + O(N^3) logits and weighted sums.
+        // Unfused XLA materializes the (h, N, N, N) logits in
+        // chunks — written, softmaxed, and re-read — so DRAM
+        // traffic carries a cubic term that makes the layer
+        // bandwidth-bound at these sizes.
+        cost.flops = 2 * n * n * cz * hd * 4 +
+                     2 * n * n * n * hd * 2;
+        cost.bytes = (8 * n * n * hd + 6 * n * n * n * h) * b;
+        cost.kernels = 12;
+        break;
+      case LayerKind::PairTransition:
+        cost.flops = 2 * n * n * cz * 4 * cz * 2;
+        cost.bytes = (6 * n * n * cz + 8 * cz * cz) * b;
+        cost.kernels = 5;
+        break;
+      case LayerKind::SingleAttention:
+        cost.flops = 2 * n * cs * hd * 4 + 2 * n * n * hd * 2 +
+                     2 * n * n * cz * h;
+        cost.bytes = (n * n * cz + 6 * n * hd) * b;
+        cost.kernels = 8;
+        break;
+      case LayerKind::SingleTransition:
+        cost.flops = 2 * n * cs * 4 * cs * 2;
+        cost.bytes = (6 * n * cs + 8 * cs * cs) * b;
+        cost.kernels = 5;
+        break;
+      case LayerKind::DiffusionConditioning:
+        cost.flops = 2 * n * cs * ct;
+        cost.bytes = (n * (cs + ct) + cs * ct) * b;
+        cost.kernels = 4;
+        break;
+      case LayerKind::LocalAttentionEncoder:
+      case LayerKind::LocalAttentionDecoder:
+        // Windowed attention + its transition MLP.
+        cost.flops = 2 * n * ct * hd * 4 + 2 * n * w * hd * 2 +
+                     2 * n * ct * 4 * ct * 2;
+        cost.bytes = (10 * n * ct) * b;
+        cost.kernels = 9;
+        break;
+      case LayerKind::GlobalAttention: {
+        // One denoising step of the token transformer: all
+        // cfg.globalBlocks full-attention blocks plus their
+        // transition MLPs, with materialized (N, N, h) logits.
+        const double g = static_cast<double>(cfg.globalBlocks);
+        cost.flops = g * (2 * n * ct * hd * 4 +
+                          2 * n * n * hd * 2 +
+                          2 * n * ct * 4 * ct * 2);
+        cost.bytes = g * (10 * n * ct + 6 * n * n * h) * b;
+        cost.kernels = 40;
+        break;
+      }
+      case LayerKind::CoordinateUpdate:
+        cost.flops = 2 * n * ct * 3 + n * 12;
+        cost.bytes = (n * ct + n * 6) * b;
+        cost.kernels = 3;
+        break;
+      case LayerKind::ConfidenceHead:
+        cost.flops = 2 * n * n * cz * 64;
+        cost.bytes = (n * n * cz) * b;
+        cost.kernels = 6;
+        break;
+    }
+    return cost;
+}
+
+std::vector<LayerInstance>
+operatorGraph(size_t tokens, const ModelConfig &cfg)
+{
+    const auto recycles =
+        static_cast<uint32_t>(cfg.recyclingIterations);
+    const auto blocks =
+        static_cast<uint32_t>(cfg.pairformerBlocks) * recycles;
+    const auto steps =
+        static_cast<uint32_t>(cfg.diffusionSteps) *
+        static_cast<uint32_t>(cfg.diffusionSamples);
+    const auto diffBlocks =
+        static_cast<uint32_t>(cfg.diffusionBlocks);
+
+    std::vector<LayerInstance> graph;
+    auto push = [&](LayerKind kind, uint32_t count) {
+        graph.push_back({kind, count, layerCost(kind, tokens, cfg)});
+    };
+
+    push(LayerKind::InputEmbedding, recycles);
+    push(LayerKind::TriangleMultOutgoing, blocks);
+    push(LayerKind::TriangleMultIncoming, blocks);
+    push(LayerKind::TriangleAttnStarting, blocks);
+    push(LayerKind::TriangleAttnEnding, blocks);
+    push(LayerKind::PairTransition, blocks);
+    push(LayerKind::SingleAttention, blocks);
+    push(LayerKind::SingleTransition, blocks);
+    push(LayerKind::DiffusionConditioning, steps);
+    push(LayerKind::LocalAttentionEncoder, steps * diffBlocks);
+    push(LayerKind::GlobalAttention, steps);
+    push(LayerKind::LocalAttentionDecoder, steps * diffBlocks);
+    push(LayerKind::CoordinateUpdate, steps);
+    push(LayerKind::ConfidenceHead, 1);
+    return graph;
+}
+
+double
+totalFlops(const std::vector<LayerInstance> &graph)
+{
+    double total = 0.0;
+    for (const auto &l : graph)
+        total += l.cost.flops * l.count;
+    return total;
+}
+
+uint64_t
+activationBytes(size_t tokens, const ModelConfig &cfg)
+{
+    const double n = static_cast<double>(tokens);
+    // XLA keeps many pair-shaped buffers live at once: residual
+    // streams, chunked triangle-attention logits, bf16/fp32 copies,
+    // and the batched diffusion samples at atom resolution. The
+    // live-buffer multiplier (40 pair-equivalents at bf16) is
+    // calibrated to the paper's VRAM boundary: 6QNR (1395 tokens)
+    // overflows an RTX 4080's 16 GB but fits an H100's 80 GB, while
+    // promo (857) fits the 4080.
+    constexpr double kLiveBuffers = 40.0;
+    const double pair = n * n * cfg.pairDim * 2.0 * kLiveBuffers;
+    const double single =
+        n * (cfg.singleDim + cfg.diffusionTokenDim) * 8.0;
+    const double msa = n * cfg.msaFeatureDim * 4.0 * 8.0;
+    return static_cast<uint64_t>(pair + single + msa);
+}
+
+uint64_t
+weightBytes(const ModelConfig &cfg)
+{
+    const double cz = static_cast<double>(cfg.pairDim);
+    const double cs = static_cast<double>(cfg.singleDim);
+    const double ct = static_cast<double>(cfg.diffusionTokenDim);
+    const double hd =
+        static_cast<double>(cfg.heads * cfg.headDim);
+    const double perPairformerBlock =
+        6 * cz * cz +                  // triangle mult projections x2
+        2 * (3 * cz * hd + hd * cz) +  // triangle attention x2
+        8 * cz * cz +                  // pair transition
+        3 * cs * hd + hd * cs +        // single attention
+        8 * cs * cs;                   // single transition
+    const double diffusion =
+        cs * ct + 3 * ct * hd + hd * ct + 8 * ct * ct;
+    const double total =
+        cfg.pairformerBlocks * perPairformerBlock +
+        (2 * cfg.diffusionBlocks + 1) * diffusion;
+    return static_cast<uint64_t>(total * 2.0);  // bf16
+}
+
+} // namespace afsb::model

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytic arithmetic/traffic costs of the AF3 operator graph.
+ *
+ * For every layer the model executes, this module computes the
+ * floating-point operations, the DRAM byte traffic, and the number
+ * of GPU kernels it lowers to at a given token count N and model
+ * configuration. The GPU simulator replays the resulting operator
+ * list through its roofline model to produce the paper's Fig 8/9
+ * and Table VI at published scale — while the mini tensor engine
+ * executes the identical graph shape for correctness.
+ */
+
+#ifndef AFSB_MODEL_FLOPS_HH
+#define AFSB_MODEL_FLOPS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/config.hh"
+
+namespace afsb::model {
+
+/** Layer taxonomy matching the paper's Fig 9 slices. */
+enum class LayerKind
+{
+    InputEmbedding,
+    TriangleMultOutgoing,
+    TriangleMultIncoming,
+    TriangleAttnStarting,
+    TriangleAttnEnding,
+    PairTransition,
+    SingleAttention,
+    SingleTransition,
+    DiffusionConditioning,
+    LocalAttentionEncoder,
+    GlobalAttention,
+    LocalAttentionDecoder,
+    CoordinateUpdate,
+    ConfidenceHead,
+};
+
+/** Display name ("triangle attention", ...). */
+std::string layerKindName(LayerKind kind);
+
+/** True for Pairformer-module layers (red slices in Fig 9). */
+bool isPairformerLayer(LayerKind kind);
+
+/** True for Diffusion-module layers (blue slices in Fig 9). */
+bool isDiffusionLayer(LayerKind kind);
+
+/** Cost of one layer instance. */
+struct LayerCost
+{
+    double flops = 0.0;
+    double bytes = 0.0;     ///< DRAM traffic (activations + weights)
+    uint32_t kernels = 1;   ///< GPU kernels the layer lowers to
+};
+
+/** One entry of the operator graph: a layer and its repeat count. */
+struct LayerInstance
+{
+    LayerKind kind;
+    uint32_t count = 1;     ///< total executions in one inference
+    LayerCost cost;         ///< per-execution cost
+};
+
+/** Cost of a single execution of @p kind at @p tokens tokens. */
+LayerCost layerCost(LayerKind kind, size_t tokens,
+                    const ModelConfig &cfg);
+
+/**
+ * The full inference operator graph at @p tokens tokens:
+ * embedding, cfg.pairformerBlocks Pairformer blocks, and
+ * cfg.diffusionSteps denoising iterations.
+ */
+std::vector<LayerInstance> operatorGraph(size_t tokens,
+                                         const ModelConfig &cfg);
+
+/** Total FLOPs over a graph. */
+double totalFlops(const std::vector<LayerInstance> &graph);
+
+/**
+ * Peak activation memory (bytes) at @p tokens: dominated by the
+ * (N, N, c_z) pair tensor plus attention workspace; determines
+ * whether inference fits GPU VRAM (the 6QNR unified-memory case).
+ */
+uint64_t activationBytes(size_t tokens, const ModelConfig &cfg);
+
+/** Model weight bytes at the configured dimensions. */
+uint64_t weightBytes(const ModelConfig &cfg);
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_FLOPS_HH

@@ -1,0 +1,258 @@
+#include "model/layers.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::model {
+
+using tensor::add;
+using tensor::gelu;
+using tensor::layerNorm;
+using tensor::linear;
+using tensor::sigmoid;
+
+namespace {
+
+/** Zero bias helper for projection layers without bias terms. */
+Tensor
+zeroBias(size_t dim)
+{
+    return Tensor({dim});
+}
+
+/** Xavier-ish init: stddev 1/sqrt(fan_in). */
+Tensor
+initWeight(size_t in, size_t out, Rng &rng)
+{
+    return Tensor::randomNormal(
+        {in, out}, rng,
+        1.0f / std::sqrt(static_cast<float>(in)));
+}
+
+} // namespace
+
+TriangleMultWeights
+TriangleMultWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t c = cfg.pairDim;
+    TriangleMultWeights w;
+    w.projA = initWeight(c, c, rng);
+    w.projB = initWeight(c, c, rng);
+    w.gateA = initWeight(c, c, rng);
+    w.gateB = initWeight(c, c, rng);
+    w.outProj = initWeight(c, c, rng);
+    w.outGate = initWeight(c, c, rng);
+    w.bias = Tensor({c});
+    return w;
+}
+
+TriangleAttnWeights
+TriangleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t c = cfg.pairDim;
+    const size_t hd = cfg.heads * cfg.headDim;
+    TriangleAttnWeights w;
+    w.q = initWeight(c, hd, rng);
+    w.k = initWeight(c, hd, rng);
+    w.v = initWeight(c, hd, rng);
+    w.biasProj = initWeight(c, cfg.heads, rng);
+    w.outProj = initWeight(hd, c, rng);
+    w.outBias = Tensor({c});
+    return w;
+}
+
+TransitionWeights
+TransitionWeights::init(size_t dim, Rng &rng)
+{
+    TransitionWeights w;
+    w.w1 = initWeight(dim, 4 * dim, rng);
+    w.b1 = Tensor({4 * dim});
+    w.w2 = initWeight(4 * dim, dim, rng);
+    w.b2 = Tensor({dim});
+    return w;
+}
+
+SingleAttnWeights
+SingleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t hd = cfg.heads * cfg.headDim;
+    SingleAttnWeights w;
+    w.q = initWeight(cfg.singleDim, hd, rng);
+    w.k = initWeight(cfg.singleDim, hd, rng);
+    w.v = initWeight(cfg.singleDim, hd, rng);
+    w.pairBias = initWeight(cfg.pairDim, cfg.heads, rng);
+    w.outProj = initWeight(hd, cfg.singleDim, rng);
+    w.outBias = Tensor({cfg.singleDim});
+    return w;
+}
+
+void
+triangleMultiplicativeUpdate(Tensor &pair,
+                             const TriangleMultWeights &w,
+                             bool outgoing)
+{
+    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
+            "triangleMult: pair must be (N, N, c)");
+    const size_t n = pair.dim(0);
+    const size_t c = pair.dim(2);
+    const Tensor zb = zeroBias(c);
+
+    const Tensor normed = layerNorm(pair);
+    const Tensor a = tensor::mul(sigmoid(linear(normed, w.gateA, zb)),
+                                 linear(normed, w.projA, zb));
+    const Tensor b = tensor::mul(sigmoid(linear(normed, w.gateB, zb)),
+                                 linear(normed, w.projB, zb));
+
+    // The O(N^3 c) triangle einsum.
+    Tensor out({n, n, c});
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            float *o = out.data() + (i * n + j) * c;
+            for (size_t k = 0; k < n; ++k) {
+                const float *ai =
+                    outgoing ? a.data() + (i * n + k) * c
+                             : a.data() + (k * n + i) * c;
+                const float *bj =
+                    outgoing ? b.data() + (j * n + k) * c
+                             : b.data() + (k * n + j) * c;
+                for (size_t ch = 0; ch < c; ++ch)
+                    o[ch] += ai[ch] * bj[ch];
+            }
+        }
+    }
+
+    const Tensor update = linear(layerNorm(out), w.outProj, w.bias);
+    const Tensor gate = sigmoid(linear(normed, w.outGate, zb));
+    tensor::addInPlace(pair, tensor::mul(update, gate));
+}
+
+void
+triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
+                  const ModelConfig &cfg, bool starting)
+{
+    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
+            "triangleAttention: pair must be (N, N, c)");
+    const size_t n = pair.dim(0);
+    const size_t heads = cfg.heads;
+    const size_t dh = cfg.headDim;
+    const size_t hd = heads * dh;
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    const Tensor normed = layerNorm(pair);
+    const Tensor zbHd = zeroBias(hd);
+    const Tensor zbH = zeroBias(heads);
+    const Tensor q = linear(normed, w.q, zbHd);   // (N, N, h*dh)
+    const Tensor k = linear(normed, w.k, zbHd);
+    const Tensor v = linear(normed, w.v, zbHd);
+    const Tensor bias = linear(normed, w.biasProj, zbH);  // (N,N,h)
+
+    Tensor ctx({n, n, hd});
+    std::vector<float> logits(n);
+    std::vector<float> probs(n);
+
+    for (size_t h = 0; h < heads; ++h) {
+        const size_t ho = h * dh;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                const float *qv = q.data() + (i * n + j) * hd + ho;
+                // Logits over intermediates kk.
+                float mx = -1e30f;
+                for (size_t kk = 0; kk < n; ++kk) {
+                    const float *kv =
+                        starting ? k.data() + (i * n + kk) * hd + ho
+                                 : k.data() + (kk * n + j) * hd + ho;
+                    float dot = 0.0f;
+                    for (size_t d = 0; d < dh; ++d)
+                        dot += qv[d] * kv[d];
+                    const float b =
+                        starting
+                            ? bias[(j * n + kk) * heads + h]
+                            : bias[(kk * n + i) * heads + h];
+                    logits[kk] = dot * invSqrt + b;
+                    mx = std::max(mx, logits[kk]);
+                }
+                float sum = 0.0f;
+                for (size_t kk = 0; kk < n; ++kk) {
+                    probs[kk] = std::exp(logits[kk] - mx);
+                    sum += probs[kk];
+                }
+                const float inv = 1.0f / sum;
+                float *o = ctx.data() + (i * n + j) * hd + ho;
+                for (size_t kk = 0; kk < n; ++kk) {
+                    const float p = probs[kk] * inv;
+                    const float *vv =
+                        starting ? v.data() + (i * n + kk) * hd + ho
+                                 : v.data() + (kk * n + j) * hd + ho;
+                    for (size_t d = 0; d < dh; ++d)
+                        o[d] += p * vv[d];
+                }
+            }
+        }
+    }
+    tensor::addInPlace(pair, linear(ctx, w.outProj, w.outBias));
+}
+
+void
+pairTransition(Tensor &pair, const TransitionWeights &w)
+{
+    const Tensor h = gelu(linear(layerNorm(pair), w.w1, w.b1));
+    tensor::addInPlace(pair, linear(h, w.w2, w.b2));
+}
+
+void
+singleAttentionWithPairBias(Tensor &single, const Tensor &pair,
+                            const SingleAttnWeights &w,
+                            const ModelConfig &cfg)
+{
+    panicIf(single.rank() != 2, "singleAttention: single is (N, c)");
+    const size_t n = single.dim(0);
+    const size_t heads = cfg.heads;
+    const size_t dh = cfg.headDim;
+    const size_t hd = heads * dh;
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    const Tensor normed = layerNorm(single);
+    const Tensor zbHd = zeroBias(hd);
+    const Tensor zbH = zeroBias(heads);
+    const Tensor q = linear(normed, w.q, zbHd);  // (N, h*dh)
+    const Tensor k = linear(normed, w.k, zbHd);
+    const Tensor v = linear(normed, w.v, zbHd);
+    const Tensor bias =
+        linear(layerNorm(pair), w.pairBias, zbH);  // (N, N, h)
+
+    Tensor ctx({n, hd});
+    std::vector<float> logits(n);
+    for (size_t h = 0; h < heads; ++h) {
+        const size_t ho = h * dh;
+        for (size_t i = 0; i < n; ++i) {
+            const float *qv = q.data() + i * hd + ho;
+            float mx = -1e30f;
+            for (size_t j = 0; j < n; ++j) {
+                const float *kv = k.data() + j * hd + ho;
+                float dot = 0.0f;
+                for (size_t d = 0; d < dh; ++d)
+                    dot += qv[d] * kv[d];
+                logits[j] = dot * invSqrt +
+                            bias[(i * n + j) * heads + h];
+                mx = std::max(mx, logits[j]);
+            }
+            float sum = 0.0f;
+            for (size_t j = 0; j < n; ++j) {
+                logits[j] = std::exp(logits[j] - mx);
+                sum += logits[j];
+            }
+            const float inv = 1.0f / sum;
+            float *o = ctx.data() + i * hd + ho;
+            for (size_t j = 0; j < n; ++j) {
+                const float p = logits[j] * inv;
+                const float *vv = v.data() + j * hd + ho;
+                for (size_t d = 0; d < dh; ++d)
+                    o[d] += p * vv[d];
+            }
+        }
+    }
+    tensor::addInPlace(single, linear(ctx, w.outProj, w.outBias));
+}
+
+} // namespace afsb::model

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pairformer building blocks (paper Section II-B).
+ *
+ * The pair representation is an (N x N x c) tensor; the single
+ * representation is (N x c_s). The four layers here are the ones the
+ * paper's profiling shows matter:
+ *
+ *  - Triangle multiplicative update (outgoing/incoming):
+ *      z_ij += g(z) * Linear(LN(sum_k a_ik (.) b_jk))      [O(N^3 c)]
+ *  - Triangle self-attention (starting/ending node): attention over
+ *    intermediates k with the third triangle edge as bias [O(N^3 d)]
+ *  - Pair transition: 2-layer MLP on each pair element.
+ *  - Single attention with pair bias: sequence attention whose
+ *    logits are biased by the pair representation.
+ */
+
+#ifndef AFSB_MODEL_LAYERS_HH
+#define AFSB_MODEL_LAYERS_HH
+
+#include "model/config.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace afsb::model {
+
+using tensor::Tensor;
+
+/** Weights for one triangle multiplicative update. */
+struct TriangleMultWeights
+{
+    Tensor projA, projB;    ///< (c, c) value projections
+    Tensor gateA, gateB;    ///< (c, c) gating projections
+    Tensor outProj;         ///< (c, c)
+    Tensor outGate;         ///< (c, c)
+    Tensor bias;            ///< (c)
+
+    static TriangleMultWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/** Weights for one triangle attention layer. */
+struct TriangleAttnWeights
+{
+    Tensor q, k, v;         ///< (c, heads*headDim)
+    Tensor biasProj;        ///< (c, heads)
+    Tensor outProj;         ///< (heads*headDim, c)
+    Tensor outBias;         ///< (c)
+
+    static TriangleAttnWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/** Weights for the pair-transition MLP. */
+struct TransitionWeights
+{
+    Tensor w1, b1;          ///< (c, 4c), (4c)
+    Tensor w2, b2;          ///< (4c, c), (c)
+
+    static TransitionWeights init(size_t dim, Rng &rng);
+};
+
+/** Weights for single attention with pair bias. */
+struct SingleAttnWeights
+{
+    Tensor q, k, v;         ///< (c_s, heads*headDim)
+    Tensor pairBias;        ///< (c_z, heads)
+    Tensor outProj;         ///< (heads*headDim, c_s)
+    Tensor outBias;         ///< (c_s)
+
+    static SingleAttnWeights init(const ModelConfig &cfg, Rng &rng);
+};
+
+/**
+ * Triangle multiplicative update.
+ * @param pair (N, N, c) pair representation, updated in place.
+ * @param outgoing True for the outgoing-edge variant (i->k, j->k);
+ *        false aggregates incoming edges (k->i, k->j).
+ */
+void triangleMultiplicativeUpdate(Tensor &pair,
+                                  const TriangleMultWeights &w,
+                                  bool outgoing);
+
+/**
+ * Triangle self-attention.
+ * @param starting True for starting-node mode (attend across
+ *        outgoing edges of i); false for ending-node mode.
+ */
+void triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
+                       const ModelConfig &cfg, bool starting);
+
+/** Per-element two-layer MLP with GELU, residual. */
+void pairTransition(Tensor &pair, const TransitionWeights &w);
+
+/** Single-representation attention biased by the pair tensor. */
+void singleAttentionWithPairBias(Tensor &single, const Tensor &pair,
+                                 const SingleAttnWeights &w,
+                                 const ModelConfig &cfg);
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_LAYERS_HH

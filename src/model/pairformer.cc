@@ -1,0 +1,130 @@
+#include "model/pairformer.hh"
+
+#include <chrono>
+
+namespace afsb::model {
+
+namespace {
+
+/** Wall-clock wrapper feeding the layer hook. */
+class LayerTimer
+{
+  public:
+    LayerTimer(const LayerTimeHook &hook, const char *name)
+        : hook_(hook), name_(name),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~LayerTimer()
+    {
+        if (hook_) {
+            const auto end = std::chrono::steady_clock::now();
+            hook_(name_,
+                  std::chrono::duration<double>(end - start_)
+                      .count());
+        }
+    }
+
+  private:
+    const LayerTimeHook &hook_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
+PairformerBlockWeights
+PairformerBlockWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    PairformerBlockWeights w;
+    w.triMultOut = TriangleMultWeights::init(cfg, rng);
+    w.triMultIn = TriangleMultWeights::init(cfg, rng);
+    w.triAttnStart = TriangleAttnWeights::init(cfg, rng);
+    w.triAttnEnd = TriangleAttnWeights::init(cfg, rng);
+    w.pairTrans = TransitionWeights::init(cfg.pairDim, rng);
+    w.singleAttn = SingleAttnWeights::init(cfg, rng);
+    w.singleTrans = TransitionWeights::init(cfg.singleDim, rng);
+    return w;
+}
+
+Pairformer::Pairformer(const ModelConfig &cfg, Rng &rng) : cfg_(cfg)
+{
+    blocks_.reserve(cfg.pairformerBlocks);
+    for (size_t b = 0; b < cfg.pairformerBlocks; ++b)
+        blocks_.push_back(PairformerBlockWeights::init(cfg, rng));
+}
+
+void
+Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
+{
+    for (const auto &w : blocks_) {
+        {
+            LayerTimer t(hook, "triangle_mult_outgoing");
+            triangleMultiplicativeUpdate(state.pair, w.triMultOut,
+                                         true);
+        }
+        {
+            LayerTimer t(hook, "triangle_mult_incoming");
+            triangleMultiplicativeUpdate(state.pair, w.triMultIn,
+                                         false);
+        }
+        {
+            LayerTimer t(hook, "triangle_attention_starting");
+            triangleAttention(state.pair, w.triAttnStart, cfg_,
+                              true);
+        }
+        {
+            LayerTimer t(hook, "triangle_attention_ending");
+            triangleAttention(state.pair, w.triAttnEnd, cfg_, false);
+        }
+        {
+            LayerTimer t(hook, "pair_transition");
+            pairTransition(state.pair, w.pairTrans);
+        }
+        {
+            LayerTimer t(hook, "single_attention");
+            singleAttentionWithPairBias(state.single, state.pair,
+                                        w.singleAttn, cfg_);
+        }
+        {
+            LayerTimer t(hook, "single_transition");
+            pairTransition(state.single, w.singleTrans);
+        }
+    }
+}
+
+uint64_t
+Pairformer::weightBytes() const
+{
+    auto tensorBytes = [](const Tensor &t) { return t.bytes(); };
+    uint64_t total = 0;
+    for (const auto &w : blocks_) {
+        total += tensorBytes(w.triMultOut.projA) * 6 +
+                 tensorBytes(w.triMultOut.bias);
+        total += tensorBytes(w.triMultIn.projA) * 6 +
+                 tensorBytes(w.triMultIn.bias);
+        total += tensorBytes(w.triAttnStart.q) * 3 +
+                 tensorBytes(w.triAttnStart.biasProj) +
+                 tensorBytes(w.triAttnStart.outProj) +
+                 tensorBytes(w.triAttnStart.outBias);
+        total += tensorBytes(w.triAttnEnd.q) * 3 +
+                 tensorBytes(w.triAttnEnd.biasProj) +
+                 tensorBytes(w.triAttnEnd.outProj) +
+                 tensorBytes(w.triAttnEnd.outBias);
+        total += tensorBytes(w.pairTrans.w1) +
+                 tensorBytes(w.pairTrans.b1) +
+                 tensorBytes(w.pairTrans.w2) +
+                 tensorBytes(w.pairTrans.b2);
+        total += tensorBytes(w.singleAttn.q) * 3 +
+                 tensorBytes(w.singleAttn.pairBias) +
+                 tensorBytes(w.singleAttn.outProj) +
+                 tensorBytes(w.singleAttn.outBias);
+        total += tensorBytes(w.singleTrans.w1) +
+                 tensorBytes(w.singleTrans.b1) +
+                 tensorBytes(w.singleTrans.w2) +
+                 tensorBytes(w.singleTrans.b2);
+    }
+    return total;
+}
+
+} // namespace afsb::model

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Pairformer stack (AF3's replacement for the Evoformer).
+ *
+ * Each block applies, in order: triangle multiplicative update
+ * (outgoing, incoming), triangle self-attention (starting, ending
+ * node), pair transition, and single attention with pair bias plus a
+ * single transition — operating on only the pair and single
+ * representations (no MSA track, per the paper's Section II-B).
+ */
+
+#ifndef AFSB_MODEL_PAIRFORMER_HH
+#define AFSB_MODEL_PAIRFORMER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/layers.hh"
+
+namespace afsb::model {
+
+/** The model state flowing through the trunk. */
+struct PairState
+{
+    Tensor pair;    ///< (N, N, c_z)
+    Tensor single;  ///< (N, c_s)
+
+    size_t tokens() const { return single.dim(0); }
+};
+
+/** Weights for one Pairformer block. */
+struct PairformerBlockWeights
+{
+    TriangleMultWeights triMultOut;
+    TriangleMultWeights triMultIn;
+    TriangleAttnWeights triAttnStart;
+    TriangleAttnWeights triAttnEnd;
+    TransitionWeights pairTrans;
+    SingleAttnWeights singleAttn;
+    TransitionWeights singleTrans;
+
+    static PairformerBlockWeights init(const ModelConfig &cfg,
+                                       Rng &rng);
+};
+
+/**
+ * Callback invoked after each layer with (layer name, seconds of
+ * wall time); used by the profiler to build Fig 9-style breakdowns
+ * of the real mini-model.
+ */
+using LayerTimeHook =
+    std::function<void(const std::string &, double)>;
+
+/** The full Pairformer stack. */
+class Pairformer
+{
+  public:
+    /** Initialize @p cfg.pairformerBlocks blocks of random weights. */
+    Pairformer(const ModelConfig &cfg, Rng &rng);
+
+    /** Run the stack over @p state in place. */
+    void forward(PairState &state,
+                 const LayerTimeHook &hook = nullptr) const;
+
+    size_t blocks() const { return blocks_.size(); }
+
+    /** Total weight bytes (memory accounting). */
+    uint64_t weightBytes() const;
+
+  private:
+    ModelConfig cfg_;
+    std::vector<PairformerBlockWeights> blocks_;
+};
+
+} // namespace afsb::model
+
+#endif // AFSB_MODEL_PAIRFORMER_HH

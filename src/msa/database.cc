@@ -1,0 +1,89 @@
+#include "msa/database.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+SequenceDatabase
+SequenceDatabase::load(const io::Vfs &vfs, io::PageCache &cache,
+                       const std::string &file_name,
+                       bio::MoleculeType type, double now,
+                       double *io_latency_out, MemTraceSink *sink)
+{
+    SequenceDatabase db;
+    const io::FileId id = vfs.open(file_name);
+    db.info_.name = file_name;
+    db.info_.type = type;
+    db.info_.scaledBytes = vfs.size(id);
+    db.info_.paperScaleBytes = vfs.size(id);
+
+    io::BufferedReader reader(&vfs, &cache, id, sink);
+    std::string line;
+    std::string headerId;
+    std::string residues;
+    bool have = false;
+
+    auto flush = [&] {
+        if (have) {
+            db.seqs_.emplace_back(headerId, type, residues);
+            residues.clear();
+        }
+    };
+
+    while (reader.readLine(line, now)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            const size_t sp = line.find(' ');
+            headerId = sp == std::string::npos
+                           ? line.substr(1)
+                           : line.substr(1, sp - 1);
+            if (headerId.empty())
+                fatal("database: empty FASTA header in " + file_name);
+            have = true;
+        } else {
+            if (!have)
+                fatal("database: residues before header in " +
+                      file_name);
+            residues += line;
+        }
+    }
+    flush();
+
+    db.info_.sequenceCount = db.seqs_.size();
+    db.fileId_ = id;
+
+    // Cumulative byte offsets: header line plus wrapped residue
+    // lines (60 per line, writeFasta's default).
+    db.offsets_.reserve(db.seqs_.size() + 1);
+    uint64_t off = 0;
+    db.offsets_.push_back(off);
+    for (const auto &s : db.seqs_) {
+        const uint64_t lines = (s.length() + 59) / 60;
+        off += 2 + s.id().size() + s.length() + lines;
+        db.offsets_.push_back(off);
+    }
+
+    if (io_latency_out)
+        *io_latency_out += reader.stats().ioLatency;
+    return db;
+}
+
+SequenceDatabase::ByteExtent
+SequenceDatabase::byteExtent(size_t i) const
+{
+    panicIf(i + 1 >= offsets_.size(), "byteExtent: bad index");
+    return {offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+uint64_t
+SequenceDatabase::totalResidues() const
+{
+    uint64_t n = 0;
+    for (const auto &s : seqs_)
+        n += s.length();
+    return n;
+}
+
+} // namespace afsb::msa

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sequence databases for the MSA search engine.
+ *
+ * A database is materialized as FASTA inside the virtual file store
+ * and parsed through the buffered-reader path, so every search
+ * exercises the same I/O plumbing the paper profiles (page cache,
+ * NVMe model, addbuf/seebuf/copy_to_iter). Alongside the scaled-down
+ * materialized bytes, each database carries its paper-scale size so
+ * the capacity models see realistic footprints (e.g. the 89 GiB RNA
+ * collection).
+ */
+
+#ifndef AFSB_MSA_DATABASE_HH
+#define AFSB_MSA_DATABASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "io/buffered_reader.hh"
+#include "io/pagecache.hh"
+#include "io/vfs.hh"
+
+namespace afsb::msa {
+
+/** Static description of one reference database. */
+struct DatabaseInfo
+{
+    std::string name;              ///< e.g. "uniref_small"
+    bio::MoleculeType type = bio::MoleculeType::Protein;
+    uint64_t paperScaleBytes = 0;  ///< real-world collection size
+    uint64_t scaledBytes = 0;      ///< materialized FASTA size
+    size_t sequenceCount = 0;
+
+    /** Ratio paper-scale / scaled, used for work extrapolation. */
+    double
+    scaleFactor() const
+    {
+        return scaledBytes
+                   ? static_cast<double>(paperScaleBytes) /
+                         static_cast<double>(scaledBytes)
+                   : 1.0;
+    }
+};
+
+/** A parsed, in-memory database plus its provenance. */
+class SequenceDatabase
+{
+  public:
+    /**
+     * Parse @p file_name from the store through the buffered-reader
+     * path at simulated time @p now.
+     * @param io_latency_out Accumulated simulated I/O seconds.
+     */
+    static SequenceDatabase load(const io::Vfs &vfs,
+                                 io::PageCache &cache,
+                                 const std::string &file_name,
+                                 bio::MoleculeType type, double now,
+                                 double *io_latency_out = nullptr,
+                                 MemTraceSink *sink = nullptr);
+
+    const DatabaseInfo &info() const { return info_; }
+    const std::vector<bio::Sequence> &sequences() const
+    {
+        return seqs_;
+    }
+    size_t size() const { return seqs_.size(); }
+
+    /** Total residues across all targets. */
+    uint64_t totalResidues() const;
+
+    /** Set the paper-scale size this database stands in for. */
+    void setPaperScaleBytes(uint64_t bytes)
+    {
+        info_.paperScaleBytes = bytes;
+    }
+
+    /** Approximate FASTA byte range of target @p i in the file. */
+    struct ByteExtent
+    {
+        uint64_t offset = 0;
+        uint64_t length = 0;
+    };
+
+    /**
+     * Byte extent of target @p i, used by the scan loop to stream
+     * the file through the page-cache model while computing.
+     */
+    ByteExtent byteExtent(size_t i) const;
+
+    /** Backing file id in the store. */
+    io::FileId fileId() const { return fileId_; }
+
+  private:
+    DatabaseInfo info_;
+    std::vector<bio::Sequence> seqs_;
+    std::vector<uint64_t> offsets_;  ///< cumulative FASTA offsets
+    io::FileId fileId_ = 0;
+};
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_DATABASE_HH

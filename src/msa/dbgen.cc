@@ -1,0 +1,79 @@
+#include "msa/dbgen.hh"
+
+#include <algorithm>
+
+#include "bio/fasta.hh"
+#include "bio/seqgen.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::msa {
+
+size_t
+generateDatabase(io::Vfs &vfs, const std::string &file_name,
+                 const std::vector<const bio::Sequence *> &queries,
+                 bio::MoleculeType type, const DbGenConfig &cfg)
+{
+    bio::SequenceGenerator gen(cfg.seed);
+    std::vector<bio::Sequence> seqs;
+    seqs.reserve(cfg.decoyCount +
+                 queries.size() *
+                     (cfg.homologsPerQuery + cfg.fragmentsPerQuery));
+
+    // Background decoys, some with low-complexity inserts.
+    for (size_t i = 0; i < cfg.decoyCount; ++i) {
+        const size_t len = static_cast<size_t>(gen.rng().nextRange(
+            static_cast<int64_t>(cfg.decoyMinLen),
+            static_cast<int64_t>(cfg.decoyMaxLen)));
+        const std::string id = strformat("decoy%05zu", i);
+        if (type == bio::MoleculeType::Protein &&
+            gen.rng().nextBool(cfg.lowComplexityFraction)) {
+            // Insert a homopolymer run of 16-48 residues; Q and other
+            // repeat-prone residues weighted like real proteomes.
+            static const char kRepeatResidues[] = "QQQQQAGPSE";
+            const char res = kRepeatResidues[gen.rng().nextBounded(
+                sizeof(kRepeatResidues) - 1)];
+            const size_t run = static_cast<size_t>(
+                gen.rng().nextRange(16, 48));
+            seqs.push_back(gen.withHomopolymer(
+                id, std::max(len, run + 8), run, res));
+        } else {
+            seqs.push_back(gen.random(id, type, len));
+        }
+    }
+
+    // Planted homologs and partial fragments per query chain.
+    for (size_t q = 0; q < queries.size(); ++q) {
+        const bio::Sequence &query = *queries[q];
+        for (size_t h = 0; h < cfg.homologsPerQuery; ++h) {
+            bio::MutationParams params;
+            // Homologs range from close (5%) to remote (35%).
+            params.substitutionRate =
+                0.05 + 0.30 * static_cast<double>(h) /
+                           std::max<size_t>(1, cfg.homologsPerQuery);
+            params.insertionRate = 0.01;
+            params.deletionRate = 0.01;
+            seqs.push_back(gen.mutate(
+                query, strformat("hom_q%zu_%zu", q, h), params));
+        }
+        for (size_t f = 0; f < cfg.fragmentsPerQuery; ++f) {
+            const size_t frag = std::max<size_t>(
+                24, query.length() / 4);
+            const size_t total =
+                frag + 40 + gen.rng().nextBounded(80);
+            seqs.push_back(gen.embedFragment(
+                query, strformat("frag_q%zu_%zu", q, f), frag,
+                total));
+        }
+    }
+
+    // Deterministic shuffle so planted sequences are spread across
+    // the file (affects page-cache behaviour realistically).
+    for (size_t i = seqs.size(); i > 1; --i)
+        std::swap(seqs[i - 1], seqs[gen.rng().nextBounded(i)]);
+
+    vfs.createFile(file_name, bio::writeFasta(seqs));
+    return seqs.size();
+}
+
+} // namespace afsb::msa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic reference-database generation.
+ *
+ * Substitutes for UniRef/Rfam (see DESIGN.md §1): a deterministic mix
+ * of background decoys, planted homologs (mutated copies of the
+ * query chains so searches return real hit distributions), planted
+ * partial fragments, and low-complexity decoy regions. Low-
+ * complexity decoys are what make poly-Q queries slow: their
+ * repetitive stretches cross the prefilter threshold against
+ * repetitive queries, forcing the expensive banded kernels to run —
+ * the mechanism behind the paper's Observation 2.
+ */
+
+#ifndef AFSB_MSA_DBGEN_HH
+#define AFSB_MSA_DBGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "io/vfs.hh"
+
+namespace afsb::msa {
+
+/** Knobs for database synthesis. */
+struct DbGenConfig
+{
+    uint64_t seed = 0xdbdbdbdb;
+
+    /** Number of background decoy sequences. */
+    size_t decoyCount = 1500;
+
+    /** Decoy length range. */
+    size_t decoyMinLen = 80;
+    size_t decoyMaxLen = 400;
+
+    /**
+     * Fraction of decoys that carry a low-complexity insert (real
+     * proteomes are ~5-10% low-complexity by region).
+     */
+    double lowComplexityFraction = 0.30;
+
+    /** Homologs planted per query chain. */
+    size_t homologsPerQuery = 12;
+
+    /** Partial fragments planted per query chain. */
+    size_t fragmentsPerQuery = 10;
+
+    /** Paper-scale size this database stands in for (bytes). */
+    uint64_t paperScaleBytes = 0;
+};
+
+/**
+ * Synthesize a database for @p queries and materialize it as FASTA
+ * in @p vfs under @p file_name.
+ * @return Number of sequences written.
+ */
+size_t generateDatabase(io::Vfs &vfs, const std::string &file_name,
+                        const std::vector<const bio::Sequence *> &queries,
+                        bio::MoleculeType type,
+                        const DbGenConfig &cfg = {});
+
+/** Default paper-scale sizes for the standard AF3 databases. */
+namespace paperdb {
+
+/** Reduced UniRef-like protein collection (AF3 uses ~60 GiB). */
+constexpr uint64_t kProteinDbBytes = 60ull << 30;
+
+/** RNA nucleotide collection (paper: "an 89 GiB RNA database"). */
+constexpr uint64_t kRnaDbBytes = 89ull << 30;
+
+} // namespace paperdb
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_DBGEN_HH

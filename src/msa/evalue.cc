@@ -1,0 +1,92 @@
+#include "msa/evalue.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/seqgen.hh"
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+GumbelParams
+fitGumbel(const ProfileHmm &prof, Rng &rng, size_t samples,
+          size_t target_len)
+{
+    panicIf(samples < 10, "fitGumbel: need >= 10 samples");
+
+    const auto type = prof.alphabet() == 20
+                          ? bio::MoleculeType::Protein
+                          : bio::MoleculeType::Rna;
+    bio::SequenceGenerator gen(rng.next());
+
+    // Viterbi scores of random targets follow a Gumbel law for
+    // local alignment.
+    std::vector<double> scores;
+    scores.reserve(samples);
+    KernelConfig cfg;
+    for (size_t i = 0; i < samples; ++i) {
+        const auto target = gen.random("r", type, target_len);
+        scores.push_back(static_cast<double>(
+            calcBand9(prof, target, cfg).score));
+    }
+
+    // Method of moments: Var = pi^2 / (6 lambda^2),
+    // mean = mu + gamma / lambda.
+    double mean = 0.0;
+    for (double s : scores)
+        mean += s;
+    mean /= static_cast<double>(scores.size());
+    double var = 0.0;
+    for (double s : scores)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(scores.size() - 1);
+
+    constexpr double kEulerGamma = 0.5772156649015329;
+    constexpr double kPi = 3.141592653589793;
+
+    GumbelParams params;
+    params.refTargetLen = target_len;
+    if (var > 0.0) {
+        params.lambda = kPi / std::sqrt(6.0 * var);
+        params.mu = mean - kEulerGamma / params.lambda;
+    } else {
+        params.mu = mean;
+    }
+    return params;
+}
+
+double
+pValue(const GumbelParams &params, double score, size_t target_len)
+{
+    // Edge correction: the number of alignment start points grows
+    // with target length, shifting the location parameter.
+    const double lenRatio =
+        static_cast<double>(std::max<size_t>(1, target_len)) /
+        static_cast<double>(params.refTargetLen);
+    const double mu =
+        params.mu + std::log(lenRatio) / params.lambda;
+    const double z = params.lambda * (score - mu);
+    // P(S >= s) = 1 - exp(-exp(-z)), stable for both tails.
+    if (z > 30.0)
+        return std::exp(-z);  // ~ e^-z for large z
+    return 1.0 - std::exp(-std::exp(-z));
+}
+
+double
+eValue(const GumbelParams &params, double score,
+       size_t db_sequences, size_t avg_target_len)
+{
+    return static_cast<double>(db_sequences) *
+           pValue(params, score, avg_target_len);
+}
+
+bool
+includeInNextRound(const GumbelParams &params, double score,
+                   size_t db_sequences, size_t avg_target_len,
+                   double threshold)
+{
+    return eValue(params, score, db_sequences, avg_target_len) <
+           threshold;
+}
+
+} // namespace afsb::msa

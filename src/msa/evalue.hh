@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Karlin-Altschul significance statistics for search hits.
+ *
+ * HMMER reports E-values — the expected number of false hits at a
+ * given score over a database of a given size — from the extreme-
+ * value (Gumbel) distribution of local alignment scores. This module
+ * estimates the Gumbel parameters (lambda, K) for a profile by
+ * sampling scores against synthetic random sequences, then converts
+ * bit scores to E-values and P-values. The search engine uses it to
+ * annotate hits; it also exposes the jackhmmer-style inclusion
+ * threshold test.
+ */
+
+#ifndef AFSB_MSA_EVALUE_HH
+#define AFSB_MSA_EVALUE_HH
+
+#include "msa/dp_kernels.hh"
+#include "msa/profile_hmm.hh"
+#include "util/rng.hh"
+
+namespace afsb::msa {
+
+/** Fitted Gumbel (EVD) parameters for one profile. */
+struct GumbelParams
+{
+    double lambda = 0.32;  ///< score scale (per raw score unit)
+    double mu = 0.0;       ///< location for a reference length
+
+    /** Reference target length the fit used. */
+    size_t refTargetLen = 256;
+};
+
+/**
+ * Fit Gumbel parameters for @p prof by scoring @p samples random
+ * sequences of length @p target_len (method of moments on the
+ * simulated Viterbi score distribution).
+ */
+GumbelParams fitGumbel(const ProfileHmm &prof, Rng &rng,
+                       size_t samples = 200,
+                       size_t target_len = 256);
+
+/**
+ * P(score >= s) for a single comparison against a target of
+ * @p target_len residues, with the standard edge-length
+ * correction mu' = mu + ln(L/L_ref) / lambda.
+ */
+double pValue(const GumbelParams &params, double score,
+              size_t target_len);
+
+/**
+ * E-value over a database of @p db_sequences targets of average
+ * length @p avg_target_len.
+ */
+double eValue(const GumbelParams &params, double score,
+              size_t db_sequences, size_t avg_target_len);
+
+/**
+ * jackhmmer-style inclusion test: include a hit in the next
+ * alignment round when its E-value is below @p threshold
+ * (default 0.001, HMMER's --incE default region).
+ */
+bool includeInNextRound(const GumbelParams &params, double score,
+                        size_t db_sequences, size_t avg_target_len,
+                        double threshold = 1e-3);
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_EVALUE_HH

@@ -1,0 +1,118 @@
+#include "msa/hmm_io.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::msa {
+
+std::string
+writeHmm(const ProfileHmm &prof)
+{
+    std::string out = "AFSBHMM 1\n";
+    out += strformat("LENG %zu ALPH %s\n", prof.length(),
+                     prof.alphabet() == 20 ? "amino" : "nucleic");
+    out += strformat("GAPO %d GAPX %d\n", prof.gaps().open,
+                     prof.gaps().extend);
+    for (size_t pos = 0; pos < prof.length(); ++pos) {
+        out += strformat("M %zu", pos);
+        for (size_t r = 0; r < prof.alphabet(); ++r)
+            out += strformat(
+                " %d",
+                prof.matchScore(pos, static_cast<uint8_t>(r)));
+        out += '\n';
+    }
+    out += "//\n";
+    return out;
+}
+
+namespace {
+
+int
+parseIntToken(const std::string &tok, const char *what)
+{
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0')
+        fatal(std::string("HMM: malformed ") + what + " '" + tok +
+              "'");
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+ProfileHmm
+readHmm(const std::string &text)
+{
+    const auto lines = split(text, '\n');
+    size_t i = 0;
+    auto nextLine = [&]() -> std::string {
+        while (i < lines.size()) {
+            const std::string line = trim(lines[i++]);
+            if (!line.empty())
+                return line;
+        }
+        fatal("HMM: unexpected end of document");
+    };
+
+    {
+        const auto header = split(nextLine(), ' ');
+        if (header.size() != 2 || header[0] != "AFSBHMM")
+            fatal("HMM: missing AFSBHMM header");
+        if (header[1] != "1")
+            fatal("HMM: unsupported version '" + header[1] + "'");
+    }
+
+    size_t length = 0;
+    size_t alphabet = 0;
+    {
+        const auto fields = split(nextLine(), ' ');
+        if (fields.size() != 4 || fields[0] != "LENG" ||
+            fields[2] != "ALPH")
+            fatal("HMM: malformed LENG/ALPH line");
+        length = static_cast<size_t>(
+            parseIntToken(fields[1], "length"));
+        if (fields[3] == "amino")
+            alphabet = 20;
+        else if (fields[3] == "nucleic")
+            alphabet = 4;
+        else
+            fatal("HMM: unknown alphabet '" + fields[3] + "'");
+        if (length == 0)
+            fatal("HMM: zero-length profile");
+    }
+
+    GapModel gaps;
+    {
+        const auto fields = split(nextLine(), ' ');
+        if (fields.size() != 4 || fields[0] != "GAPO" ||
+            fields[2] != "GAPX")
+            fatal("HMM: malformed GAPO/GAPX line");
+        gaps.open = parseIntToken(fields[1], "gap-open");
+        gaps.extend = parseIntToken(fields[3], "gap-extend");
+    }
+
+    // Reconstruct through a dummy sequence, then overwrite the
+    // emission table via the row pointers.
+    std::vector<std::vector<int16_t>> rows(length);
+    for (size_t pos = 0; pos < length; ++pos) {
+        const auto fields = split(nextLine(), ' ');
+        if (fields.size() != alphabet + 2 || fields[0] != "M")
+            fatal(strformat("HMM: malformed M line at position %zu",
+                            pos));
+        if (static_cast<size_t>(
+                parseIntToken(fields[1], "position")) != pos)
+            fatal("HMM: out-of-order M line");
+        rows[pos].resize(alphabet);
+        for (size_t r = 0; r < alphabet; ++r)
+            rows[pos][r] = static_cast<int16_t>(
+                parseIntToken(fields[r + 2], "score"));
+    }
+    if (nextLine() != "//")
+        fatal("HMM: missing // terminator");
+
+    return ProfileHmm::fromEmissions(std::move(rows), gaps);
+}
+
+} // namespace afsb::msa

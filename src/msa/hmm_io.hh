@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Profile-HMM serialization in an HMMER3-inspired text format.
+ *
+ * Lets pipelines persist profiles between jackhmmer rounds or ship
+ * pre-built profiles (HMMER's .hmm files play the same role). The
+ * format is line-oriented and versioned:
+ *
+ *   AFSBHMM 1
+ *   LENG <match states>  ALPH <amino|nucleic>
+ *   GAPO <open>  GAPX <extend>
+ *   M <pos> <score per alphabet symbol...>
+ *   //
+ */
+
+#ifndef AFSB_MSA_HMM_IO_HH
+#define AFSB_MSA_HMM_IO_HH
+
+#include <string>
+
+#include "msa/profile_hmm.hh"
+
+namespace afsb::msa {
+
+/** Serialize @p prof to the AFSBHMM text format. */
+std::string writeHmm(const ProfileHmm &prof);
+
+/**
+ * Parse an AFSBHMM document.
+ * @throws FatalError on malformed input, version mismatch, or
+ *         inconsistent dimensions.
+ */
+ProfileHmm readHmm(const std::string &text);
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_HMM_IO_HH

@@ -1,0 +1,56 @@
+#include "msa/memory_model.hh"
+
+#include <algorithm>
+
+#include "util/interp.hh"
+#include "util/units.hh"
+
+namespace afsb::msa {
+
+uint64_t
+nhmmerPeakMemoryBytes(size_t query_len)
+{
+    // Control points from the paper (lengths in nt, peaks in GiB):
+    // short queries are cheap; the published sweep anchors the rest.
+    static const MonotoneCubic curve(
+        {0.0, 150.0, 300.0, 621.0, 935.0, 1135.0},
+        {0.5, 2.0, 8.0, 79.3, 506.0, 644.0});
+    const double gib =
+        std::max(0.0, curve(static_cast<double>(query_len)));
+    return static_cast<uint64_t>(gib * static_cast<double>(GiB));
+}
+
+uint64_t
+jackhmmerPeakMemoryBytes(size_t protein_residues, size_t threads)
+{
+    // base(L) + threads * perThread(L), both linear in length,
+    // fitted to (1000 res, 1T) = 0.23 GiB, (1000, 8T) = 0.9 GiB,
+    // (2000, 8T) = 1.7 GiB.
+    const double kl = static_cast<double>(protein_residues) / 1000.0;
+    const double gib =
+        kl * (0.134 + 0.0957 * static_cast<double>(
+                                   std::max<size_t>(1, threads)));
+    return static_cast<uint64_t>(gib * static_cast<double>(GiB));
+}
+
+uint64_t
+msaPhasePeakMemoryBytes(const bio::Complex &complex_input,
+                        size_t threads)
+{
+    // Tools run chain-by-chain, so the peak is the worst chain.
+    uint64_t peak = 0;
+    const size_t proteinResidues =
+        complex_input.totalResidues(bio::MoleculeType::Protein);
+    if (proteinResidues > 0)
+        peak = std::max(
+            peak, jackhmmerPeakMemoryBytes(proteinResidues, threads));
+    for (const auto &chain : complex_input.chains()) {
+        if (chain.type() == bio::MoleculeType::Rna)
+            peak = std::max(peak,
+                            nhmmerPeakMemoryBytes(chain.length()));
+    }
+    // Fixed pipeline overhead (parsers, feature buffers): 256 MiB.
+    return peak + 256 * MiB;
+}
+
+} // namespace afsb::msa

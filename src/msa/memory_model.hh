@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Peak-memory models for the MSA tools (paper Fig 2 / Section III-C).
+ *
+ * nhmmer's peak RSS grows non-linearly with RNA query length; the
+ * paper measured 79.3 GiB at 621 nt, 506 GiB at 935 nt, 644 GiB at
+ * 1135 nt (completing only with CXL expansion), and OOM above
+ * 768 GiB for 1335 nt. The model is a monotone-cubic fit through
+ * those published points, extrapolating linearly beyond.
+ *
+ * Protein (jackhmmer) footprints are small and thread-scaled: the
+ * paper reports 0.23 GiB at 1000 residues / 1 thread, ~0.9 GiB at
+ * 8 threads, and ~1.7 GiB at 2000 residues / 8 threads — a linear
+ * base + per-thread-buffer model fits all three points.
+ */
+
+#ifndef AFSB_MSA_MEMORY_MODEL_HH
+#define AFSB_MSA_MEMORY_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bio/sequence.hh"
+
+namespace afsb::msa {
+
+/**
+ * Modeled nhmmer peak memory (bytes) for an RNA/DNA query of
+ * @p query_len nucleotides. Thread-count independent, per the
+ * paper's observation.
+ */
+uint64_t nhmmerPeakMemoryBytes(size_t query_len);
+
+/**
+ * Modeled jackhmmer peak memory (bytes) for @p protein_residues
+ * total query residues at @p threads worker threads.
+ */
+uint64_t jackhmmerPeakMemoryBytes(size_t protein_residues,
+                                  size_t threads);
+
+/**
+ * Modeled peak memory (bytes) of the whole MSA phase for a complex:
+ * the max of the per-chain tool footprints (tools run serially) plus
+ * a fixed pipeline overhead.
+ */
+uint64_t msaPhasePeakMemoryBytes(const bio::Complex &complex_input,
+                                 size_t threads);
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_MEMORY_MODEL_HH

@@ -1,0 +1,73 @@
+#include "msa/msa_builder.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+double
+MsaResult::meanIdentity() const
+{
+    if (rows.size() < 2 || queryLength == 0)
+        return 0.0;
+    const std::string &query = rows.front();
+    double sum = 0.0;
+    for (size_t r = 1; r < rows.size(); ++r) {
+        size_t same = 0, considered = 0;
+        for (size_t i = 0; i < queryLength; ++i) {
+            if (rows[r][i] == kGapChar)
+                continue;
+            ++considered;
+            same += rows[r][i] == query[i];
+        }
+        sum += considered
+                   ? static_cast<double>(same) /
+                         static_cast<double>(considered)
+                   : 0.0;
+    }
+    return sum / static_cast<double>(rows.size() - 1);
+}
+
+MsaResult
+buildMsa(const bio::Sequence &query, const ProfileHmm &prof,
+         const SequenceDatabase &db, const SearchResult &result,
+         const MsaBuildConfig &cfg)
+{
+    MsaResult out;
+    out.queryLength = query.length();
+    out.rows.push_back(query.toString());
+    out.rowIds.push_back(query.id());
+
+    const size_t take = std::min(cfg.maxRows, result.hits.size());
+    for (size_t h = 0; h < take; ++h) {
+        const Hit &hit = result.hits[h];
+        const bio::Sequence &target =
+            db.sequences()[hit.targetIndex];
+        const auto aln = alignToProfile(prof, target, cfg.kernel);
+        out.alignCells += aln.cells;
+        if (aln.score <= 0)
+            continue;
+
+        std::string row(query.length(), kGapChar);
+        size_t placed = 0;
+        for (size_t k = 0; k < aln.profileToTarget.size(); ++k) {
+            const int32_t t = aln.profileToTarget[k];
+            if (t < 0)
+                continue;
+            row[k] = bio::decodeResidue(
+                target.type(), target[static_cast<size_t>(t)]);
+            ++placed;
+        }
+        const double gapFrac =
+            1.0 - static_cast<double>(placed) /
+                      static_cast<double>(query.length());
+        if (gapFrac > cfg.maxGapFraction)
+            continue;
+        out.rows.push_back(std::move(row));
+        out.rowIds.push_back(target.id());
+    }
+    return out;
+}
+
+} // namespace afsb::msa

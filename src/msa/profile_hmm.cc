@@ -1,0 +1,105 @@
+#include "msa/profile_hmm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+ProfileHmm
+ProfileHmm::fromSequence(const bio::Sequence &query,
+                         const ScoreMatrix &matrix, GapModel gaps)
+{
+    if (query.empty())
+        fatal("ProfileHmm: empty query");
+    ProfileHmm p;
+    p.length_ = query.length();
+    p.alphabet_ = matrix.size();
+    p.gaps_ = gaps;
+    p.emissions_.resize(p.length_ * p.alphabet_);
+    for (size_t pos = 0; pos < p.length_; ++pos) {
+        const uint8_t q = query[pos];
+        for (size_t r = 0; r < p.alphabet_; ++r) {
+            const int s = matrix.score(q, static_cast<uint8_t>(r));
+            p.emissions_[pos * p.alphabet_ + r] =
+                static_cast<int16_t>(s);
+            p.maxEmission_ = std::max(p.maxEmission_, s);
+        }
+    }
+    return p;
+}
+
+ProfileHmm
+ProfileHmm::fromAlignment(
+    const std::vector<const bio::Sequence *> &aligned,
+    const ScoreMatrix &matrix, GapModel gaps)
+{
+    if (aligned.empty())
+        fatal("ProfileHmm: empty alignment");
+    const size_t len = aligned.front()->length();
+    for (const auto *s : aligned)
+        if (s->length() != len)
+            fatal("ProfileHmm: alignment rows differ in length");
+
+    ProfileHmm p;
+    p.length_ = len;
+    p.alphabet_ = matrix.size();
+    p.gaps_ = gaps;
+    p.emissions_.resize(p.length_ * p.alphabet_);
+
+    // Column residue counts with +1 pseudocounts become half-bit
+    // log-odds emissions against the background model — the same
+    // scale BLOSUM62 is expressed in, so scan thresholds carry over
+    // across jackhmmer rounds.
+    const auto type = aligned.front()->type();
+    std::vector<double> counts(p.alphabet_);
+    for (size_t pos = 0; pos < len; ++pos) {
+        std::fill(counts.begin(), counts.end(), 1.0);
+        for (const auto *s : aligned)
+            counts[(*s)[pos]] += 1.0;
+        double total = 0.0;
+        for (double c : counts)
+            total += c;
+        for (size_t r = 0; r < p.alphabet_; ++r) {
+            const double freq = counts[r] / total;
+            const double bg = bio::backgroundFrequency(
+                type, static_cast<uint8_t>(r));
+            const int s = static_cast<int>(
+                std::lround(2.0 * std::log2(freq / bg)));
+            p.emissions_[pos * p.alphabet_ + r] =
+                static_cast<int16_t>(s);
+            p.maxEmission_ = std::max(p.maxEmission_, s);
+        }
+    }
+    return p;
+}
+
+ProfileHmm
+ProfileHmm::fromEmissions(std::vector<std::vector<int16_t>> rows,
+                          GapModel gaps)
+{
+    if (rows.empty())
+        fatal("ProfileHmm: no emission rows");
+    const size_t alphabet = rows.front().size();
+    if (alphabet != 20 && alphabet != 4)
+        fatal("ProfileHmm: alphabet must be 20 or 4");
+
+    ProfileHmm p;
+    p.length_ = rows.size();
+    p.alphabet_ = alphabet;
+    p.gaps_ = gaps;
+    p.emissions_.reserve(p.length_ * alphabet);
+    for (const auto &row : rows) {
+        if (row.size() != alphabet)
+            fatal("ProfileHmm: ragged emission rows");
+        for (int16_t s : row) {
+            p.emissions_.push_back(s);
+            p.maxEmission_ =
+                std::max(p.maxEmission_, static_cast<int>(s));
+        }
+    }
+    return p;
+}
+
+} // namespace afsb::msa

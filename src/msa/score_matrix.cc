@@ -1,0 +1,103 @@
+#include "msa/score_matrix.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+namespace {
+
+// Canonical BLOSUM62 in the traditional ARNDCQEGHILKMFPSTWYV order.
+const char kCanonicalOrder[] = "ARNDCQEGHILKMFPSTWYV";
+
+constexpr int8_t kBlosum62[20][20] = {
+    { 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,
+       0, -3, -2,  0},
+    {-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1,
+      -1, -3, -2, -3},
+    {-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,
+       0, -4, -2, -3},
+    {-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0,
+      -1, -4, -3, -3},
+    { 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1,
+      -1, -2, -2, -1},
+    {-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0,
+      -1, -2, -1, -2},
+    {-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0,
+      -1, -3, -2, -2},
+    { 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0,
+      -2, -2, -3, -3},
+    {-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1,
+      -2, -2,  2, -3},
+    {-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2,
+      -1, -3, -1,  3},
+    {-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2,
+      -1, -2, -1,  1},
+    {-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0,
+      -1, -3, -2, -2},
+    {-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1,
+      -1, -1, -1,  1},
+    {-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2,
+      -2,  1,  3, -1},
+    {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1,
+      -1, -4, -3, -2},
+    { 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,
+       1, -3, -2, -2},
+    { 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,
+       5, -2, -2,  0},
+    {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3,
+      -2, 11,  2, -3},
+    {-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2,
+      -2,  2,  7, -1},
+    { 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,
+       0, -3, -1,  4},
+};
+
+} // namespace
+
+const ScoreMatrix &
+ScoreMatrix::blosum62()
+{
+    static const ScoreMatrix matrix = [] {
+        ScoreMatrix m;
+        m.size_ = 20;
+        // Map canonical order into the afsb alphabetical encoding.
+        int remap[20];
+        for (int i = 0; i < 20; ++i) {
+            const int code = bio::encodeResidue(
+                bio::MoleculeType::Protein, kCanonicalOrder[i]);
+            panicIf(code < 0, "blosum62: bad canonical symbol");
+            remap[i] = code;
+        }
+        for (int i = 0; i < 20; ++i)
+            for (int j = 0; j < 20; ++j)
+                m.scores_[remap[i]][remap[j]] = kBlosum62[i][j];
+        return m;
+    }();
+    return matrix;
+}
+
+ScoreMatrix
+ScoreMatrix::nucleotide(int match, int mismatch)
+{
+    ScoreMatrix m;
+    m.size_ = 4;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            m.scores_[i][j] = static_cast<int8_t>(
+                i == j ? match : -mismatch);
+    return m;
+}
+
+int
+ScoreMatrix::maxScore() const
+{
+    int best = -128;
+    for (size_t i = 0; i < size_; ++i)
+        for (size_t j = 0; j < size_; ++j)
+            best = std::max(best, static_cast<int>(scores_[i][j]));
+    return best;
+}
+
+} // namespace afsb::msa

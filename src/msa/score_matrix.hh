@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Residue substitution scoring (BLOSUM62 and nucleotide matrices).
+ *
+ * These drive the profile construction and the alignment kernels:
+ * JackHMMER scores protein alignments against BLOSUM-derived profile
+ * emissions; nhmmer uses a simple match/mismatch nucleotide model.
+ */
+
+#ifndef AFSB_MSA_SCORE_MATRIX_HH
+#define AFSB_MSA_SCORE_MATRIX_HH
+
+#include <array>
+#include <cstdint>
+
+#include "bio/alphabet.hh"
+
+namespace afsb::msa {
+
+/** Substitution matrix over an encoded alphabet. */
+class ScoreMatrix
+{
+  public:
+    /** BLOSUM62, remapped to the afsb protein alphabet order. */
+    static const ScoreMatrix &blosum62();
+
+    /**
+     * Nucleotide matrix: +@p match on identity, -@p mismatch
+     * otherwise (defaults +2/-3, BLASTN-like).
+     */
+    static ScoreMatrix nucleotide(int match = 2, int mismatch = 3);
+
+    /** Score for aligning residues @p a and @p b. */
+    int
+    score(uint8_t a, uint8_t b) const
+    {
+        return scores_[a][b];
+    }
+
+    /** Alphabet size this matrix covers. */
+    size_t size() const { return size_; }
+
+    /** Largest entry (used for prefilter threshold scaling). */
+    int maxScore() const;
+
+  private:
+    ScoreMatrix() = default;
+
+    std::array<std::array<int8_t, 20>, 20> scores_{};
+    size_t size_ = 0;
+};
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_SCORE_MATRIX_HH

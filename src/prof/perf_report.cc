@@ -1,0 +1,88 @@
+#include "prof/perf_report.hh"
+
+#include <algorithm>
+
+#include "util/memtrace.hh"
+
+namespace afsb::prof {
+
+std::vector<FunctionShare>
+buildFunctionReport(
+    const std::vector<cachesim::FuncCounters> &per_function,
+    const sys::CpuSpec &cpu)
+{
+    // Per-function cycle estimate: instructions at base IPC plus
+    // this function's stall contributions.
+    std::vector<double> cycles(per_function.size(), 0.0);
+    double totalCycles = 0.0;
+    double totalCacheMisses = 0.0;
+    double totalLlcMisses = 0.0;
+
+    for (size_t f = 0; f < per_function.size(); ++f) {
+        const auto &c = per_function[f];
+        const double l2Hits = static_cast<double>(
+            c.l1Misses > c.l2Misses ? c.l1Misses - c.l2Misses : 0);
+        const double llcHits = static_cast<double>(
+            c.l2Misses > c.llcMisses ? c.l2Misses - c.llcMisses
+                                     : 0);
+        const double stalls =
+            (l2Hits * cpu.l2.latencyCycles +
+             llcHits * cpu.llc.latencyCycles +
+             static_cast<double>(c.llcMisses) *
+                 cpu.memLatencyCycles) /
+                cpu.mlp +
+            static_cast<double>(c.tlbMisses) *
+                cpu.dtlbMissPenaltyCycles +
+            static_cast<double>(c.branchMisses) *
+                cpu.mispredictPenaltyCycles;
+        cycles[f] =
+            static_cast<double>(c.instructions) / cpu.baseIpc +
+            stalls;
+        totalCycles += cycles[f];
+        totalCacheMisses += static_cast<double>(c.l1Misses);
+        totalLlcMisses += static_cast<double>(c.llcMisses);
+    }
+
+    std::vector<FunctionShare> out;
+    auto &registry = FuncRegistry::global();
+    for (size_t f = 0; f < per_function.size(); ++f) {
+        const auto &c = per_function[f];
+        if (c.instructions == 0 && c.accesses == 0)
+            continue;
+        FunctionShare row;
+        row.function = f < registry.size()
+                           ? registry.name(static_cast<FuncId>(f))
+                           : "unknown";
+        row.cyclesPct =
+            totalCycles > 0.0 ? 100.0 * cycles[f] / totalCycles
+                              : 0.0;
+        row.cacheMissPct =
+            totalCacheMisses > 0.0
+                ? 100.0 * static_cast<double>(c.l1Misses) /
+                      totalCacheMisses
+                : 0.0;
+        row.llcMissPct =
+            totalLlcMisses > 0.0
+                ? 100.0 * static_cast<double>(c.llcMisses) /
+                      totalLlcMisses
+                : 0.0;
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FunctionShare &a, const FunctionShare &b) {
+                  return a.cyclesPct > b.cyclesPct;
+              });
+    return out;
+}
+
+const FunctionShare *
+findFunction(const std::vector<FunctionShare> &report,
+             const std::string &name)
+{
+    for (const auto &row : report)
+        if (row.function == name)
+            return &row;
+    return nullptr;
+}
+
+} // namespace afsb::prof

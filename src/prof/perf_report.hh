@@ -1,0 +1,49 @@
+/**
+ * @file
+ * perf-record-style function-level report (paper Table IV).
+ *
+ * Converts the per-function counters from the cache simulator into
+ * the two Table IV views: percent of CPU cycles per symbol and
+ * percent of cache misses per symbol. Per-function cycles are
+ * estimated as instruction cycles at the platform base IPC plus the
+ * function's own miss-latency stalls.
+ */
+
+#ifndef AFSB_PROF_PERF_REPORT_HH
+#define AFSB_PROF_PERF_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "cachesim/hierarchy.hh"
+#include "sys/platform.hh"
+
+namespace afsb::prof {
+
+/** One function's share rows. */
+struct FunctionShare
+{
+    std::string function;
+    double cyclesPct = 0.0;      ///< share of CPU cycles
+    double cacheMissPct = 0.0;   ///< share of cache misses (L1-level)
+    double llcMissPct = 0.0;     ///< share of LLC misses
+};
+
+/**
+ * Build the per-function share table, sorted by descending cycle
+ * share. Functions with zero activity are omitted.
+ * @param per_function Counters indexed by FuncId (from
+ *        FuncRegistry::global()).
+ */
+std::vector<FunctionShare> buildFunctionReport(
+    const std::vector<cachesim::FuncCounters> &per_function,
+    const sys::CpuSpec &cpu);
+
+/** Find a row by function name (nullptr when absent). */
+const FunctionShare *findFunction(
+    const std::vector<FunctionShare> &report,
+    const std::string &name);
+
+} // namespace afsb::prof
+
+#endif // AFSB_PROF_PERF_REPORT_HH

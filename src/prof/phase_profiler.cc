@@ -1,0 +1,76 @@
+#include "prof/phase_profiler.hh"
+
+#include "util/str.hh"
+#include "util/units.hh"
+
+namespace afsb::prof {
+
+void
+PhaseProfiler::record(const std::string &name, double seconds)
+{
+    for (auto &p : phases_) {
+        if (p.name == name && p.parent.empty()) {
+            p.seconds += seconds;
+            return;
+        }
+    }
+    phases_.push_back({name, "", seconds});
+}
+
+void
+PhaseProfiler::recordSub(const std::string &parent,
+                         const std::string &name, double seconds)
+{
+    for (auto &p : phases_) {
+        if (p.name == name && p.parent == parent) {
+            p.seconds += seconds;
+            return;
+        }
+    }
+    phases_.push_back({name, parent, seconds});
+}
+
+double
+PhaseProfiler::seconds(const std::string &name) const
+{
+    for (const auto &p : phases_)
+        if (p.name == name)
+            return p.seconds;
+    return 0.0;
+}
+
+double
+PhaseProfiler::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &p : phases_)
+        if (p.parent.empty())
+            total += p.seconds;
+    return total;
+}
+
+double
+PhaseProfiler::share(const std::string &name) const
+{
+    const double total = totalSeconds();
+    return total > 0.0 ? seconds(name) / total : 0.0;
+}
+
+std::string
+PhaseProfiler::render() const
+{
+    std::string out;
+    const double total = totalSeconds();
+    for (const auto &p : phases_) {
+        const char *indent = p.parent.empty() ? "" : "  ";
+        const double sharePct =
+            total > 0.0 ? 100.0 * p.seconds / total : 0.0;
+        out += strformat("%s%-32s %12s  %5.1f%%\n", indent,
+                         p.name.c_str(),
+                         formatSeconds(p.seconds).c_str(),
+                         sharePct);
+    }
+    return out;
+}
+
+} // namespace afsb::prof

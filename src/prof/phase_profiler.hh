@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Phase profiler over the simulated clock.
+ *
+ * AFSysBench reports execution time as a composition of named
+ * phases (MSA, inference, and their sub-phases). The profiler keeps
+ * an ordered record of phases with durations, supporting nesting
+ * one level deep (phase / sub-phase), and renders the stacked
+ * breakdowns used by Figs 3 and 7.
+ */
+
+#ifndef AFSB_PROF_PHASE_PROFILER_HH
+#define AFSB_PROF_PHASE_PROFILER_HH
+
+#include <string>
+#include <vector>
+
+namespace afsb::prof {
+
+/** One recorded phase. */
+struct Phase
+{
+    std::string name;
+    std::string parent;  ///< empty for top-level phases
+    double seconds = 0.0;
+};
+
+/** Ordered phase recorder. */
+class PhaseProfiler
+{
+  public:
+    /** Record (or extend) a top-level phase. */
+    void record(const std::string &name, double seconds);
+
+    /** Record (or extend) a sub-phase of @p parent. */
+    void recordSub(const std::string &parent,
+                   const std::string &name, double seconds);
+
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    /** Duration of a phase (0 when absent). */
+    double seconds(const std::string &name) const;
+
+    /** Sum of all top-level phases. */
+    double totalSeconds() const;
+
+    /** Share of @p name in the top-level total (0..1). */
+    double share(const std::string &name) const;
+
+    /** Render "phase  seconds  share%" lines. */
+    std::string render() const;
+
+  private:
+    std::vector<Phase> phases_;
+};
+
+} // namespace afsb::prof
+
+#endif // AFSB_PROF_PHASE_PROFILER_HH

@@ -1,0 +1,17 @@
+#include "prof/repetition.hh"
+
+namespace afsb::prof {
+
+RepetitionResult
+repeatMeasurement(size_t runs,
+                  const std::function<double(size_t)> &measure,
+                  double cv_limit)
+{
+    RepetitionResult out;
+    out.cvLimit = cv_limit;
+    for (size_t r = 0; r < runs; ++r)
+        out.stats.add(measure(r));
+    return out;
+}
+
+} // namespace afsb::prof

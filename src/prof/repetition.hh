@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Run-repetition harness with coefficient-of-variation reporting.
+ *
+ * The paper reports five runs per configuration and notes the
+ * maximum CV stayed within 5% for MSA and 1% for inference
+ * (Fig 3 footnote). This harness repeats a measurement function,
+ * aggregates RunningStats, and flags configurations whose CV
+ * exceeds a threshold.
+ */
+
+#ifndef AFSB_PROF_REPETITION_HH
+#define AFSB_PROF_REPETITION_HH
+
+#include <functional>
+
+#include "util/stats.hh"
+
+namespace afsb::prof {
+
+/** Aggregate of one repeated measurement. */
+struct RepetitionResult
+{
+    RunningStats stats;
+    double cvLimit = 0.05;
+
+    double mean() const { return stats.mean(); }
+    double cv() const { return stats.cv(); }
+    bool stable() const { return stats.cv() <= cvLimit; }
+};
+
+/**
+ * Run @p measure @p runs times (passing the run index) and collect
+ * the returned values.
+ */
+RepetitionResult repeatMeasurement(
+    size_t runs, const std::function<double(size_t)> &measure,
+    double cv_limit = 0.05);
+
+} // namespace afsb::prof
+
+#endif // AFSB_PROF_REPETITION_HH

@@ -1,0 +1,50 @@
+#include "sys/memory_model.hh"
+
+#include <algorithm>
+
+namespace afsb::sys {
+
+MemFit
+MemoryModel::classify(uint64_t bytes) const
+{
+    if (bytes <= spec_.dramBytes)
+        return MemFit::FitsDram;
+    if (bytes <= spec_.dramBytes + spec_.cxlBytes)
+        return MemFit::NeedsCxl;
+    return MemFit::Oom;
+}
+
+MemFit
+MemoryModel::allocate(uint64_t bytes)
+{
+    const MemFit fit = classify(inUse_ + bytes);
+    if (fit == MemFit::Oom)
+        return fit;
+    inUse_ += bytes;
+    peak_ = std::max(peak_, inUse_);
+    return fit;
+}
+
+void
+MemoryModel::release(uint64_t bytes)
+{
+    inUse_ = bytes > inUse_ ? 0 : inUse_ - bytes;
+}
+
+uint64_t
+MemoryModel::cxlResident() const
+{
+    return inUse_ > spec_.dramBytes ? inUse_ - spec_.dramBytes : 0;
+}
+
+double
+MemoryModel::latencyFactor() const
+{
+    if (inUse_ == 0 || cxlResident() == 0)
+        return 1.0;
+    const double frac = static_cast<double>(cxlResident()) /
+                        static_cast<double>(inUse_);
+    return 1.0 + frac * (spec_.cxlLatencyFactor - 1.0);
+}
+
+} // namespace afsb::sys

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Host-memory capacity tracking and OOM semantics.
+ *
+ * "AF3 does not perform static memory validation ... the process may
+ * terminate unexpectedly" (Section III-C). This model reproduces
+ * that: allocations are checked against DRAM, then CXL expansion;
+ * exceeding both raises an OOM. The AFSysBench memory estimator
+ * (core/memory_estimator.hh) is the Section VI countermeasure built
+ * on top.
+ */
+
+#ifndef AFSB_SYS_MEMORY_MODEL_HH
+#define AFSB_SYS_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "sys/platform.hh"
+
+namespace afsb::sys {
+
+/** Placement of an allocation in the memory tiers. */
+enum class MemFit
+{
+    FitsDram,   ///< entirely in DRAM
+    NeedsCxl,   ///< spills into the CXL expander
+    Oom,        ///< exceeds DRAM + CXL: the paper's OOM kill
+};
+
+/** Tier-aware occupancy tracker for one run. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const MemorySpec &spec) : spec_(spec) {}
+
+    /** Classify a hypothetical peak without allocating. */
+    MemFit classify(uint64_t bytes) const;
+
+    /**
+     * Record an allocation. @return the placement; Oom allocations
+     * are not recorded.
+     */
+    MemFit allocate(uint64_t bytes);
+
+    /** Release a prior allocation. */
+    void release(uint64_t bytes);
+
+    uint64_t inUse() const { return inUse_; }
+    uint64_t peak() const { return peak_; }
+
+    /** Bytes currently beyond DRAM (resident on CXL). */
+    uint64_t cxlResident() const;
+
+    /**
+     * Average memory-latency multiplier for the current occupancy:
+     * 1.0 when all in DRAM, blending toward the CXL factor as the
+     * footprint spills.
+     */
+    double latencyFactor() const;
+
+    const MemorySpec &spec() const { return spec_; }
+
+  private:
+    MemorySpec spec_;
+    uint64_t inUse_ = 0;
+    uint64_t peak_ = 0;
+};
+
+} // namespace afsb::sys
+
+#endif // AFSB_SYS_MEMORY_MODEL_HH

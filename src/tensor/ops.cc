@@ -1,0 +1,202 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb::tensor {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    panicIf(a.rank() != 2 || b.rank() != 2, "matmul: rank-2 only");
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    panicIf(b.dim(0) != k, "matmul: inner dims differ");
+
+    Tensor c({m, n});
+    // ikj loop order keeps B streaming and C row-hot.
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + kk * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &b)
+{
+    panicIf(w.rank() != 2, "linear: weight must be rank 2");
+    const size_t in = w.dim(0), out = w.dim(1);
+    panicIf(x.dim(x.rank() - 1) != in, "linear: input dim mismatch");
+    panicIf(b.rank() != 1 || b.dim(0) != out,
+            "linear: bias dim mismatch");
+
+    std::vector<size_t> outShape = x.shape();
+    outShape.back() = out;
+    Tensor y(std::move(outShape));
+
+    const size_t rows = x.size() / in;
+    for (size_t r = 0; r < rows; ++r) {
+        const float *xi = x.data() + r * in;
+        float *yo = y.data() + r * out;
+        for (size_t o = 0; o < out; ++o)
+            yo[o] = b[o];
+        for (size_t i = 0; i < in; ++i) {
+            const float xv = xi[i];
+            if (xv == 0.0f)
+                continue;
+            const float *wrow = w.data() + i * out;
+            for (size_t o = 0; o < out; ++o)
+                yo[o] += xv * wrow[o];
+        }
+    }
+    return y;
+}
+
+Tensor
+softmax(const Tensor &x)
+{
+    const size_t d = x.dim(x.rank() - 1);
+    Tensor y = x;
+    const size_t rows = x.size() / d;
+    for (size_t r = 0; r < rows; ++r) {
+        float *row = y.data() + r * d;
+        float mx = row[0];
+        for (size_t i = 1; i < d; ++i)
+            mx = std::max(mx, row[i]);
+        float sum = 0.0f;
+        for (size_t i = 0; i < d; ++i) {
+            row[i] = std::exp(row[i] - mx);
+            sum += row[i];
+        }
+        const float inv = 1.0f / sum;
+        for (size_t i = 0; i < d; ++i)
+            row[i] *= inv;
+    }
+    return y;
+}
+
+Tensor
+layerNorm(const Tensor &x, float eps)
+{
+    const size_t d = x.dim(x.rank() - 1);
+    Tensor y = x;
+    const size_t rows = x.size() / d;
+    for (size_t r = 0; r < rows; ++r) {
+        float *row = y.data() + r * d;
+        float mean = 0.0f;
+        for (size_t i = 0; i < d; ++i)
+            mean += row[i];
+        mean /= static_cast<float>(d);
+        float var = 0.0f;
+        for (size_t i = 0; i < d; ++i) {
+            const float c = row[i] - mean;
+            var += c * c;
+        }
+        var /= static_cast<float>(d);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        for (size_t i = 0; i < d; ++i)
+            row[i] = (row[i] - mean) * inv;
+    }
+    return y;
+}
+
+Tensor
+gelu(const Tensor &x)
+{
+    Tensor y = x;
+    constexpr float c = 0.7978845608f;  // sqrt(2/pi)
+    for (size_t i = 0; i < y.size(); ++i) {
+        const float v = y[i];
+        y[i] = 0.5f * v *
+               (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+    }
+    return y;
+}
+
+Tensor
+sigmoid(const Tensor &x)
+{
+    Tensor y = x;
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+    return y;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor y = x;
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = std::max(0.0f, y[i]);
+    return y;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    panicIf(a.shape() != b.shape(), "add: shape mismatch");
+    Tensor c = a;
+    for (size_t i = 0; i < c.size(); ++i)
+        c[i] += b[i];
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    panicIf(a.shape() != b.shape(), "mul: shape mismatch");
+    Tensor c = a;
+    for (size_t i = 0; i < c.size(); ++i)
+        c[i] *= b[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor c = a;
+    for (size_t i = 0; i < c.size(); ++i)
+        c[i] *= s;
+    return c;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    panicIf(a.shape() != b.shape(), "addInPlace: shape mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] += b[i];
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    panicIf(a.rank() != 2, "transpose: rank-2 only");
+    Tensor t({a.dim(1), a.dim(0)});
+    for (size_t i = 0; i < a.dim(0); ++i)
+        for (size_t j = 0; j < a.dim(1); ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+double
+meanAbsDiff(const Tensor &a, const Tensor &b)
+{
+    panicIf(a.shape() != b.shape(), "meanAbsDiff: shape mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += std::abs(static_cast<double>(a[i]) - b[i]);
+    return a.size() ? s / static_cast<double>(a.size()) : 0.0;
+}
+
+} // namespace afsb::tensor

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tensor operations used by the Pairformer and Diffusion modules.
+ */
+
+#ifndef AFSB_TENSOR_OPS_HH
+#define AFSB_TENSOR_OPS_HH
+
+#include "tensor/tensor.hh"
+
+namespace afsb::tensor {
+
+/** C = A (m x k) * B (k x n). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * y = x * W + b over the last dimension: x is (..., in), W is
+ * (in, out), b is (out).
+ */
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b);
+
+/** Softmax over the last dimension (numerically stable). */
+Tensor softmax(const Tensor &x);
+
+/** Layer normalization over the last dimension. */
+Tensor layerNorm(const Tensor &x, float eps = 1e-5f);
+
+/** Elementwise GELU (tanh approximation). */
+Tensor gelu(const Tensor &x);
+
+/** Elementwise logistic sigmoid. */
+Tensor sigmoid(const Tensor &x);
+
+/** Elementwise ReLU. */
+Tensor relu(const Tensor &x);
+
+/** Elementwise sum (shapes must match). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise product (shapes must match). */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** Scale by a constant. */
+Tensor scale(const Tensor &a, float s);
+
+/** In-place a += b. */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** 2-D transpose. */
+Tensor transpose(const Tensor &a);
+
+/** Mean of |a - b| (test helper). */
+double meanAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace afsb::tensor
+
+#endif // AFSB_TENSOR_OPS_HH

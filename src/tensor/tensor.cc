@@ -1,0 +1,143 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::tensor {
+
+namespace {
+
+size_t
+shapeSize(const std::vector<size_t> &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape) {
+        panicIf(d == 0, "Tensor: zero dimension");
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0f)
+{}
+
+Tensor::Tensor(std::vector<size_t> shape, float value)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), value)
+{}
+
+Tensor
+Tensor::randomNormal(std::vector<size_t> shape, Rng &rng,
+                     float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = stddev * static_cast<float>(rng.nextGaussian());
+    return t;
+}
+
+size_t
+Tensor::offset(size_t i, size_t j) const
+{
+    panicIf(rank() != 2, "Tensor: rank-2 access on " + shapeString());
+    return i * shape_[1] + j;
+}
+
+size_t
+Tensor::offset(size_t i, size_t j, size_t k) const
+{
+    panicIf(rank() != 3, "Tensor: rank-3 access on " + shapeString());
+    return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+size_t
+Tensor::offset(size_t i, size_t j, size_t k, size_t l) const
+{
+    panicIf(rank() != 4, "Tensor: rank-4 access on " + shapeString());
+    return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float &
+Tensor::at(size_t i)
+{
+    panicIf(rank() != 1, "Tensor: rank-1 access on " + shapeString());
+    return data_[i];
+}
+
+float &Tensor::at(size_t i, size_t j) { return data_[offset(i, j)]; }
+
+float &
+Tensor::at(size_t i, size_t j, size_t k)
+{
+    return data_[offset(i, j, k)];
+}
+
+float &
+Tensor::at(size_t i, size_t j, size_t k, size_t l)
+{
+    return data_[offset(i, j, k, l)];
+}
+
+float
+Tensor::at(size_t i) const
+{
+    panicIf(rank() != 1, "Tensor: rank-1 access on " + shapeString());
+    return data_[i];
+}
+
+float Tensor::at(size_t i, size_t j) const { return data_[offset(i, j)]; }
+
+float
+Tensor::at(size_t i, size_t j, size_t k) const
+{
+    return data_[offset(i, j, k)];
+}
+
+float
+Tensor::at(size_t i, size_t j, size_t k, size_t l) const
+{
+    return data_[offset(i, j, k, l)];
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+bool
+Tensor::hasNonFinite() const
+{
+    for (float v : data_)
+        if (!std::isfinite(v))
+            return true;
+    return false;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += strformat("%zu", shape_[i]);
+    }
+    return out + "]";
+}
+
+} // namespace afsb::tensor

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal dense float32 tensor.
+ *
+ * Just enough machinery for the Pairformer and Diffusion modules:
+ * row-major contiguous storage, up to 4 dimensions, seeded random
+ * initialization. No views, no broadcasting, no autograd — the model
+ * runs inference only and the performance-relevant structure (shape,
+ * layout, arithmetic volume) is what matters.
+ */
+
+#ifndef AFSB_TENSOR_TENSOR_HH
+#define AFSB_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace afsb::tensor {
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<size_t> shape);
+
+    /** Tensor filled with @p value. */
+    Tensor(std::vector<size_t> shape, float value);
+
+    /** Gaussian-initialized tensor (std = 1/sqrt(fan_in)-style). */
+    static Tensor randomNormal(std::vector<size_t> shape, Rng &rng,
+                               float stddev = 1.0f);
+
+    const std::vector<size_t> &shape() const { return shape_; }
+    size_t rank() const { return shape_.size(); }
+    size_t size() const { return data_.size(); }
+    uint64_t bytes() const { return data_.size() * sizeof(float); }
+
+    /** Dimension @p i of the shape. */
+    size_t dim(size_t i) const { return shape_.at(i); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** Element accessors (rank-checked with panic on mismatch). */
+    float &at(size_t i);
+    float &at(size_t i, size_t j);
+    float &at(size_t i, size_t j, size_t k);
+    float &at(size_t i, size_t j, size_t k, size_t l);
+    float at(size_t i) const;
+    float at(size_t i, size_t j) const;
+    float at(size_t i, size_t j, size_t k) const;
+    float at(size_t i, size_t j, size_t k, size_t l) const;
+
+    /** Fill every element with @p value. */
+    void fill(float value);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** True when any element is NaN or infinite. */
+    bool hasNonFinite() const;
+
+    /** "[2, 3, 4]" */
+    std::string shapeString() const;
+
+    bool operator==(const Tensor &other) const = default;
+
+  private:
+    size_t offset(size_t i, size_t j) const;
+    size_t offset(size_t i, size_t j, size_t k) const;
+    size_t offset(size_t i, size_t j, size_t k, size_t l) const;
+
+    std::vector<size_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace afsb::tensor
+
+#endif // AFSB_TENSOR_TENSOR_HH

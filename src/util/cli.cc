@@ -1,0 +1,108 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb {
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        if (startsWith(tok, "--")) {
+            const std::string name = tok.substr(2);
+            if (i + 1 < argc &&
+                !startsWith(argv[i + 1], "--")) {
+                options_[name] = argv[++i];
+            } else {
+                options_[name] = "";
+            }
+        } else {
+            positionals_.push_back(tok);
+        }
+    }
+}
+
+std::string
+CliArgs::command(const std::string &fallback) const
+{
+    return positionals_.empty() ? fallback : positionals_.front();
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &name,
+             const std::string &fallback) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() || it->second.empty() ? fallback
+                                                      : it->second;
+}
+
+int64_t
+CliArgs::getInt(const std::string &name, int64_t fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+bool
+CliArgs::getSwitch(const std::string &name) const
+{
+    return has(name);
+}
+
+std::vector<uint32_t>
+CliArgs::getIntList(const std::string &name,
+                    std::vector<uint32_t> fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return fallback;
+    std::vector<uint32_t> out;
+    for (const auto &part : split(it->second, ',')) {
+        const std::string trimmed = trim(part);
+        if (trimmed.empty())
+            continue;
+        char *end = nullptr;
+        const long v = std::strtol(trimmed.c_str(), &end, 10);
+        if (end == trimmed.c_str() || *end != '\0' || v <= 0)
+            fatal("option --" + name +
+                  " expects positive integers, got '" + trimmed +
+                  "'");
+        out.push_back(static_cast<uint32_t>(v));
+    }
+    if (out.empty())
+        fatal("option --" + name + " has no values");
+    return out;
+}
+
+} // namespace afsb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal command-line option parser for the AFSysBench tools.
+ *
+ * Supports `command --flag value --switch` conventions:
+ * positionals, string/int/double options with defaults, boolean
+ * switches, and comma-separated integer lists (thread grids).
+ */
+
+#ifndef AFSB_UTIL_CLI_HH
+#define AFSB_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace afsb {
+
+/** Parsed command line. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Tokens starting with "--" become options; an
+     * option followed by a non-option token consumes it as value,
+     * otherwise it is a boolean switch. Everything else is a
+     * positional.
+     */
+    CliArgs(int argc, const char *const *argv);
+
+    /** Positional arguments in order (argv[0] excluded). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** First positional, or @p fallback. */
+    std::string command(const std::string &fallback = "") const;
+
+    bool has(const std::string &name) const;
+
+    /** Option value with default. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    int64_t getInt(const std::string &name, int64_t fallback) const;
+
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** True when --name appears (with or without a value). */
+    bool getSwitch(const std::string &name) const;
+
+    /**
+     * Comma-separated integer list, e.g. --threads 1,2,4.
+     * @return fallback when the option is absent; fatal() on
+     *         malformed entries.
+     */
+    std::vector<uint32_t> getIntList(
+        const std::string &name,
+        std::vector<uint32_t> fallback) const;
+
+  private:
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> options_;
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_CLI_HH

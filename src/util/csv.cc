@@ -1,0 +1,74 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace afsb {
+
+void
+CsvWriter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    bool needs = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs = true;
+            break;
+        }
+    }
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::render() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += quote(row[i]);
+        }
+        out += '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+void
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("CsvWriter: cannot open '" + path + "' for writing");
+    const std::string doc = render();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace afsb

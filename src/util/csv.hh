@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CSV emission for machine-readable experiment outputs.
+ */
+
+#ifndef AFSB_UTIL_CSV_HH
+#define AFSB_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace afsb {
+
+/** Row-oriented CSV builder with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the document. */
+    std::string render() const;
+
+    /** Write to a file; fatal() on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static std::string quote(const std::string &field);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_CSV_HH

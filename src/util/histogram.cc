@@ -1,0 +1,88 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    panicIf(hi <= lo, "Histogram: hi must exceed lo");
+    panicIf(buckets == 0, "Histogram: need at least one bucket");
+    width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<uint64_t>(
+        q * static_cast<double>(count_));
+    uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i) + width_ / 2.0;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::summary() const
+{
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+", "*",
+                                   "#", "%", "@"};
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string bar;
+    for (uint64_t c : counts_) {
+        const auto level = static_cast<size_t>(
+            std::llround(9.0 * static_cast<double>(c) /
+                         static_cast<double>(peak)));
+        bar += glyphs[level];
+    }
+    return strformat("n=%llu mean=%.3g p50=%.3g p99=%.3g [%s]",
+                     static_cast<unsigned long long>(count_), mean(),
+                     quantile(0.5), quantile(0.99), bar.c_str());
+}
+
+} // namespace afsb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-bucket histogram used by the profilers (latency and size
+ * distributions in the I/O and GPU timelines).
+ */
+
+#ifndef AFSB_UTIL_HISTOGRAM_HH
+#define AFSB_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afsb {
+
+/** Linear-bucket histogram over [lo, hi) with overflow/underflow bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound (exclusive); must exceed @p lo.
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Total samples recorded (including out-of-range). */
+    uint64_t count() const { return count_; }
+
+    /** Samples below the range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the upper bound. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Count in bucket @p i. */
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+
+    /** Number of buckets. */
+    size_t buckets() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLo(size_t i) const;
+
+    /** Sample mean. */
+    double mean() const;
+
+    /** Approximate quantile from bucket midpoints, q in [0,1]. */
+    double quantile(double q) const;
+
+    /** Render a compact ASCII sparkline summary. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_HISTOGRAM_HH

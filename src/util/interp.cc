@@ -1,0 +1,83 @@
+#include "util/interp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb {
+
+MonotoneCubic::MonotoneCubic(std::vector<double> xs,
+                             std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    const size_t n = xs_.size();
+    if (n < 2 || ys_.size() != n)
+        fatal("MonotoneCubic: need >= 2 matching control points");
+    for (size_t i = 1; i < n; ++i)
+        if (xs_[i] <= xs_[i - 1])
+            fatal("MonotoneCubic: xs must be strictly increasing");
+
+    // Secant slopes.
+    std::vector<double> d(n - 1);
+    for (size_t i = 0; i + 1 < n; ++i)
+        d[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+
+    slopes_.resize(n);
+    slopes_[0] = d[0];
+    slopes_[n - 1] = d[n - 2];
+    for (size_t i = 1; i + 1 < n; ++i) {
+        if (d[i - 1] * d[i] <= 0.0)
+            slopes_[i] = 0.0;
+        else
+            slopes_[i] = 0.5 * (d[i - 1] + d[i]);
+    }
+
+    // Fritsch-Carlson limiter preserves monotonicity.
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (d[i] == 0.0) {
+            slopes_[i] = 0.0;
+            slopes_[i + 1] = 0.0;
+            continue;
+        }
+        const double a = slopes_[i] / d[i];
+        const double b = slopes_[i + 1] / d[i];
+        const double s = a * a + b * b;
+        if (s > 9.0) {
+            const double tau = 3.0 / std::sqrt(s);
+            slopes_[i] = tau * a * d[i];
+            slopes_[i + 1] = tau * b * d[i];
+        }
+    }
+}
+
+double
+MonotoneCubic::operator()(double x) const
+{
+    const size_t n = xs_.size();
+    if (x <= xs_.front())
+        return ys_.front() + slopes_.front() * (x - xs_.front());
+    if (x >= xs_.back())
+        return ys_.back() + slopes_.back() * (x - xs_.back());
+
+    // Binary search for the containing interval.
+    const auto it =
+        std::upper_bound(xs_.begin(), xs_.end(), x) - 1;
+    const size_t i = static_cast<size_t>(it - xs_.begin());
+    const size_t j = std::min(i, n - 2);
+
+    const double h = xs_[j + 1] - xs_[j];
+    const double t = (x - xs_[j]) / h;
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+
+    const double h00 = 2 * t3 - 3 * t2 + 1;
+    const double h10 = t3 - 2 * t2 + t;
+    const double h01 = -2 * t3 + 3 * t2;
+    const double h11 = t3 - t2;
+
+    return h00 * ys_[j] + h10 * h * slopes_[j] + h01 * ys_[j + 1] +
+           h11 * h * slopes_[j + 1];
+}
+
+} // namespace afsb

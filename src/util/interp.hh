@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Monotone cubic interpolation (Fritsch-Carlson PCHIP).
+ *
+ * Used to calibrate empirical curves against measured control points
+ * — notably the nhmmer peak-memory-vs-RNA-length curve from the
+ * paper's Fig 2 — without overshoot between points.
+ */
+
+#ifndef AFSB_UTIL_INTERP_HH
+#define AFSB_UTIL_INTERP_HH
+
+#include <vector>
+
+namespace afsb {
+
+/** Shape-preserving piecewise-cubic interpolator. */
+class MonotoneCubic
+{
+  public:
+    /**
+     * Construct from control points.
+     * @param xs Strictly increasing abscissae (>= 2 points).
+     * @param ys Ordinates.
+     */
+    MonotoneCubic(std::vector<double> xs, std::vector<double> ys);
+
+    /**
+     * Evaluate at @p x. Outside the control range the curve
+     * extrapolates linearly with the boundary slope.
+     */
+    double operator()(double x) const;
+
+    double minX() const { return xs_.front(); }
+    double maxX() const { return xs_.back(); }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    std::vector<double> slopes_;  ///< Hermite tangents per point
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_INTERP_HH

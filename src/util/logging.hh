@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad input or
+ * configuration — exits cleanly via an exception the caller may catch),
+ * panic() is for internal invariant violations (aborts).
+ */
+
+#ifndef AFSB_UTIL_LOGGING_HH
+#define AFSB_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace afsb {
+
+/** Exception thrown by fatal() for unrecoverable user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global verbosity (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Informative message the user should see but not worry about. */
+void inform(const std::string &msg);
+
+/** Debug-level message, hidden unless LogLevel::Debug is set. */
+void debugLog(const std::string &msg);
+
+/**
+ * Something may not behave as expected but execution can continue.
+ */
+void warn(const std::string &msg);
+
+/**
+ * Unrecoverable user-level error (bad input, impossible config).
+ * Throws FatalError.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Internal invariant violation — a bug in this library. Aborts.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check an internal invariant; panic with @p msg when it fails.
+ */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_LOGGING_HH

@@ -1,0 +1,78 @@
+#include "util/memtrace.hh"
+
+#include "util/logging.hh"
+
+namespace afsb {
+
+FuncId
+FuncRegistry::intern(const std::string &name)
+{
+    for (size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<FuncId>(i);
+    names_.push_back(name);
+    return static_cast<FuncId>(names_.size() - 1);
+}
+
+const std::string &
+FuncRegistry::name(FuncId id) const
+{
+    panicIf(id >= names_.size(), "FuncRegistry: unknown id");
+    return names_[id];
+}
+
+FuncRegistry &
+FuncRegistry::global()
+{
+    static FuncRegistry reg;
+    return reg;
+}
+
+namespace wellknown {
+
+namespace {
+FuncId
+cached(const char *name)
+{
+    return FuncRegistry::global().intern(name);
+}
+} // namespace
+
+FuncId calcBand9() { static FuncId id = cached("calc_band_9"); return id; }
+FuncId calcBand10() { static FuncId id = cached("calc_band_10"); return id; }
+FuncId addbuf() { static FuncId id = cached("addbuf"); return id; }
+FuncId seebuf() { static FuncId id = cached("seebuf"); return id; }
+
+FuncId
+copyToIter()
+{
+    static FuncId id = cached("copy_to_iter");
+    return id;
+}
+
+FuncId
+msvFilter()
+{
+    static FuncId id = cached("msv_filter");
+    return id;
+}
+
+FuncId
+fillInsert()
+{
+    static FuncId id = cached("std::vector::_M_fill_insert");
+    return id;
+}
+
+FuncId
+byteSizeOf()
+{
+    static FuncId id = cached("xla::ShapeUtil::ByteSizeOf");
+    return id;
+}
+
+FuncId other() { static FuncId id = cached("other"); return id; }
+
+} // namespace wellknown
+
+} // namespace afsb

@@ -1,0 +1,127 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace afsb {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::cv() const
+{
+    if (mean_ == 0.0 || n_ == 0)
+        return 0.0;
+    return stddev() / std::abs(mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+meanOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean: non-positive input");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+medianOf(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+std::vector<double>
+speedupSeries(const std::vector<double> &xs)
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("speedupSeries: non-positive time");
+        out.push_back(xs.front() / x);
+    }
+    return out;
+}
+
+std::vector<double>
+efficiencySeries(const std::vector<double> &times,
+                 const std::vector<int> &threads)
+{
+    if (times.size() != threads.size())
+        fatal("efficiencySeries: size mismatch");
+    auto speedups = speedupSeries(times);
+    std::vector<double> out;
+    out.reserve(speedups.size());
+    for (size_t i = 0; i < speedups.size(); ++i)
+        out.push_back(speedups[i] / threads[i]);
+    return out;
+}
+
+} // namespace afsb

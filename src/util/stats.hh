@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Streaming statistics used by the run-repetition harness.
+ *
+ * The paper reports a coefficient of variation (CV) over five runs per
+ * configuration (Fig 3 footnote); RunningStats provides mean/stddev/CV
+ * via Welford's online algorithm.
+ */
+
+#ifndef AFSB_UTIL_STATS_HH
+#define AFSB_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace afsb {
+
+/** Numerically stable online mean/variance accumulator. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    uint64_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator; 0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation = stddev / mean (0 when mean == 0). */
+    double cv() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e308;
+    double max_ = -1e308;
+};
+
+/** Mean of a vector (0 when empty). */
+double meanOf(const std::vector<double> &xs);
+
+/** Geometric mean (fatal on non-positive inputs; 0 when empty). */
+double geomean(const std::vector<double> &xs);
+
+/** Median (0 when empty; average of middle two for even n). */
+double medianOf(std::vector<double> xs);
+
+/**
+ * Speedup series relative to the first element.
+ * speedup[i] = xs[0] / xs[i].
+ */
+std::vector<double> speedupSeries(const std::vector<double> &xs);
+
+/**
+ * Parallel efficiency: speedup(t) / t for thread counts @p threads.
+ */
+std::vector<double> efficiencySeries(const std::vector<double> &times,
+                                     const std::vector<int> &threads);
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_STATS_HH

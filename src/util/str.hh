@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string utilities used across AFSysBench.
+ */
+
+#ifndef AFSB_UTIL_STR_HH
+#define AFSB_UTIL_STR_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace afsb {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p delim; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** True when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True when @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Repeat a string @p n times. */
+std::string repeat(const std::string &s, size_t n);
+
+/** Left-pad with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Right-pad with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, size_t width);
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_STR_HH

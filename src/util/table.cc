@@ -1,0 +1,111 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/str.hh"
+
+namespace afsb {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+size_t
+TextTable::rowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : rows_)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths across header and all rows.
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto account = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+    if (total > 0)
+        total -= 1;
+
+    std::string out;
+    if (!title_.empty()) {
+        out += title_;
+        out += '\n';
+        out += std::string(std::max(total, title_.size()), '=');
+        out += '\n';
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            line += padRight(cell, widths[i]);
+            if (i + 1 < ncols)
+                line += " | ";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        out += line;
+        out += '\n';
+    };
+
+    if (!header_.empty()) {
+        renderRow(header_);
+        out += std::string(total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_) {
+        if (r.empty()) {
+            out += std::string(total, '-');
+            out += '\n';
+        } else {
+            renderRow(r);
+        }
+    }
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace afsb

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table rendering for the paper-style reports.
+ *
+ * Every bench binary reproduces one table or figure from the paper;
+ * TextTable renders the rows with aligned columns so output is
+ * directly comparable with the published tables.
+ */
+
+#ifndef AFSB_UTIL_TABLE_HH
+#define AFSB_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace afsb {
+
+/** Column-aligned ASCII table builder. */
+class TextTable
+{
+  public:
+    /** Construct with optional title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    size_t rowCount() const;
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_TABLE_HH

@@ -1,0 +1,95 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+
+namespace afsb {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    const size_t n = std::max<size_t>(1, num_threads);
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stop_ = true;
+    }
+    taskCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    taskCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    idleCv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    parallelBlocks(n, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+void
+ThreadPool::parallelBlocks(
+    size_t n, const std::function<void(size_t, size_t, size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const size_t nw = std::min(workers_.size(), n);
+    const size_t chunk = (n + nw - 1) / nw;
+    for (size_t w = 0; w < nw; ++w) {
+        const size_t begin = w * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        submit([=, &fn] { fn(w, begin, end); });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            taskCv_.wait(lock,
+                         [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++active_;
+        }
+        task();
+        {
+            std::unique_lock lock(mutex_);
+            --active_;
+            if (tasks_.empty() && active_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace afsb

@@ -1,0 +1,59 @@
+#include "util/units.hh"
+
+#include "util/str.hh"
+
+namespace afsb {
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes < 0)
+        return "-" + formatBytes(-bytes);
+    if (bytes >= static_cast<double>(TiB))
+        return strformat("%.2f TiB", bytes / static_cast<double>(TiB));
+    if (bytes >= static_cast<double>(GiB))
+        return strformat("%.2f GiB", bytes / static_cast<double>(GiB));
+    if (bytes >= static_cast<double>(MiB))
+        return strformat("%.2f MiB", bytes / static_cast<double>(MiB));
+    if (bytes >= static_cast<double>(KiB))
+        return strformat("%.2f KiB", bytes / static_cast<double>(KiB));
+    return strformat("%.0f B", bytes);
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    return formatBytes(static_cast<double>(bytes));
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds < 0)
+        return "-" + formatSeconds(-seconds);
+    if (seconds < 1e-6)
+        return strformat("%.1f ns", seconds * 1e9);
+    if (seconds < 1e-3)
+        return strformat("%.2f us", seconds * 1e6);
+    if (seconds < 1.0)
+        return strformat("%.2f ms", seconds * 1e3);
+    if (seconds < 120.0)
+        return strformat("%.2f s", seconds);
+    const int mins = static_cast<int>(seconds / 60.0);
+    const double rem = seconds - mins * 60.0;
+    return strformat("%dm%02.0fs", mins, rem);
+}
+
+std::string
+formatRate(double bytes_per_sec)
+{
+    if (bytes_per_sec >= kGiga)
+        return strformat("%.2f GB/s", bytes_per_sec / kGiga);
+    if (bytes_per_sec >= kMega)
+        return strformat("%.2f MB/s", bytes_per_sec / kMega);
+    if (bytes_per_sec >= kKilo)
+        return strformat("%.2f KB/s", bytes_per_sec / kKilo);
+    return strformat("%.0f B/s", bytes_per_sec);
+}
+
+} // namespace afsb

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Byte/time unit constants and human-readable formatting.
+ */
+
+#ifndef AFSB_UTIL_UNITS_HH
+#define AFSB_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace afsb {
+
+constexpr uint64_t KiB = 1024ull;
+constexpr uint64_t MiB = 1024ull * KiB;
+constexpr uint64_t GiB = 1024ull * MiB;
+constexpr uint64_t TiB = 1024ull * GiB;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+/** Format a byte count as e.g. "1.5 GiB". */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a byte count given as double (model outputs). */
+std::string formatBytes(double bytes);
+
+/** Format a duration in seconds as e.g. "2.3 s" / "15 ms" / "3m42s". */
+std::string formatSeconds(double seconds);
+
+/** Format a rate as e.g. "3.1 GB/s". */
+std::string formatRate(double bytes_per_sec);
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_UNITS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for molecular alphabets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/alphabet.hh"
+#include "util/logging.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(Alphabet, SizesAndSymbols)
+{
+    EXPECT_EQ(alphabetSize(MoleculeType::Protein), 20u);
+    EXPECT_EQ(alphabetSize(MoleculeType::Dna), 4u);
+    EXPECT_EQ(alphabetSize(MoleculeType::Rna), 4u);
+    EXPECT_EQ(alphabetSymbols(MoleculeType::Protein).size(), 20u);
+    EXPECT_EQ(alphabetSymbols(MoleculeType::Dna), "ACGT");
+    EXPECT_EQ(alphabetSymbols(MoleculeType::Rna), "ACGU");
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip)
+{
+    for (auto type : {MoleculeType::Protein, MoleculeType::Dna,
+                      MoleculeType::Rna}) {
+        const auto &symbols = alphabetSymbols(type);
+        for (size_t i = 0; i < symbols.size(); ++i) {
+            const int code = encodeResidue(type, symbols[i]);
+            ASSERT_EQ(code, static_cast<int>(i));
+            EXPECT_EQ(decodeResidue(type, static_cast<uint8_t>(code)),
+                      symbols[i]);
+        }
+    }
+}
+
+TEST(Alphabet, EncodeIsCaseInsensitive)
+{
+    EXPECT_EQ(encodeResidue(MoleculeType::Protein, 'q'),
+              encodeResidue(MoleculeType::Protein, 'Q'));
+    EXPECT_EQ(encodeResidue(MoleculeType::Dna, 'a'),
+              encodeResidue(MoleculeType::Dna, 'A'));
+}
+
+TEST(Alphabet, InvalidCharactersReturnNegative)
+{
+    EXPECT_LT(encodeResidue(MoleculeType::Protein, 'B'), 0);
+    EXPECT_LT(encodeResidue(MoleculeType::Protein, '1'), 0);
+    EXPECT_LT(encodeResidue(MoleculeType::Dna, 'Q'), 0);
+}
+
+TEST(Alphabet, TandUInterchangeAcrossNucleicAcids)
+{
+    EXPECT_EQ(encodeResidue(MoleculeType::Rna, 'T'),
+              encodeResidue(MoleculeType::Rna, 'U'));
+    EXPECT_EQ(encodeResidue(MoleculeType::Dna, 'U'),
+              encodeResidue(MoleculeType::Dna, 'T'));
+}
+
+TEST(Alphabet, TypeNamesRoundTrip)
+{
+    for (auto type : {MoleculeType::Protein, MoleculeType::Dna,
+                      MoleculeType::Rna})
+        EXPECT_EQ(moleculeTypeFromName(moleculeTypeName(type)), type);
+    EXPECT_THROW(moleculeTypeFromName("ligand"), FatalError);
+}
+
+TEST(Alphabet, BackgroundFrequenciesSumToOne)
+{
+    for (auto type : {MoleculeType::Protein, MoleculeType::Dna,
+                      MoleculeType::Rna}) {
+        double sum = 0.0;
+        for (size_t i = 0; i < alphabetSize(type); ++i)
+            sum += backgroundFrequency(type, static_cast<uint8_t>(i));
+        EXPECT_NEAR(sum, 1.0, 1e-3);
+    }
+}
+
+} // namespace
+} // namespace afsb::bio

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the low-complexity analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/complexity.hh"
+#include "bio/samples.hh"
+#include "bio/seqgen.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(Complexity, HomopolymerHasZeroEntropy)
+{
+    const Sequence s("A", MoleculeType::Protein, std::string(50, 'Q'));
+    const auto prof = analyzeComplexity(s);
+    EXPECT_DOUBLE_EQ(prof.meanEntropy, 0.0);
+    EXPECT_DOUBLE_EQ(prof.lowComplexityFraction, 1.0);
+    EXPECT_EQ(prof.longestRun, 50u);
+    EXPECT_TRUE(prof.isLowComplexity());
+}
+
+TEST(Complexity, RandomProteinIsHighComplexity)
+{
+    SequenceGenerator gen(42);
+    const auto s = gen.random("A", MoleculeType::Protein, 400);
+    const auto prof = analyzeComplexity(s);
+    EXPECT_GT(prof.meanEntropy, 2.5);
+    EXPECT_LT(prof.lowComplexityFraction, 0.05);
+    EXPECT_FALSE(prof.isLowComplexity());
+}
+
+TEST(Complexity, PolyQInsertIsDetected)
+{
+    SequenceGenerator gen(43);
+    const auto s = gen.withHomopolymer("A", 250, 64, 'Q');
+    const auto prof = analyzeComplexity(s);
+    EXPECT_GE(prof.longestRun, 64u);
+    EXPECT_EQ(decodeResidue(MoleculeType::Protein, prof.runResidue),
+              'Q');
+    EXPECT_TRUE(prof.isLowComplexity());
+}
+
+TEST(Complexity, WindowEntropyBounds)
+{
+    SequenceGenerator gen(44);
+    const auto s = gen.random("A", MoleculeType::Protein, 100);
+    for (size_t i = 0; i + kComplexityWindow <= s.length(); i += 7) {
+        const double h = windowEntropy(s, i, kComplexityWindow);
+        EXPECT_GE(h, 0.0);
+        EXPECT_LE(h, std::log2(20.0) + 1e-9);
+    }
+}
+
+TEST(Complexity, ShortSequenceFallback)
+{
+    const Sequence s("A", MoleculeType::Protein, "MK");
+    const auto prof = analyzeComplexity(s);
+    EXPECT_GT(prof.meanEntropy, 0.0);
+    EXPECT_EQ(prof.longestRun, 1u);
+}
+
+TEST(Complexity, PromoExceeds1yy9)
+{
+    // Observation 2 precondition: promo carries much more
+    // low-complexity content than 1YY9.
+    const auto promo = makeSample("promo");
+    const auto yy9 = makeSample("1YY9");
+    const double promoFrac =
+        complexLowComplexityFraction(promo.complex);
+    const double yy9Frac = complexLowComplexityFraction(yy9.complex);
+    EXPECT_GT(promoFrac, 5.0 * (yy9Frac + 1e-3));
+}
+
+TEST(Complexity, EmptySequenceIsSafe)
+{
+    const Sequence s("A", MoleculeType::Protein, "");
+    const auto prof = analyzeComplexity(s);
+    EXPECT_EQ(prof.longestRun, 0u);
+    EXPECT_DOUBLE_EQ(prof.meanEntropy, 0.0);
+}
+
+} // namespace
+} // namespace afsb::bio

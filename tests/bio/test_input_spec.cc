@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the AF3 JSON input schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/input_spec.hh"
+#include "util/logging.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(InputSpec, ParsesMixedComplex)
+{
+    const auto spec = parseInputJson(R"({
+        "name": "7RCE",
+        "modelSeeds": [7, 8],
+        "sequences": [
+            {"protein": {"id": "A", "sequence": "MKVLQ"}},
+            {"dna": {"id": "C", "sequence": "ACGTAC"}},
+            {"dna": {"id": "D", "sequence": "GTACGT"}}
+        ]
+    })");
+    EXPECT_EQ(spec.complex.name(), "7RCE");
+    EXPECT_EQ(spec.complex.chainCount(), 3u);
+    EXPECT_EQ(spec.complex.chainCount(MoleculeType::Dna), 2u);
+    EXPECT_EQ(spec.complex.totalResidues(), 17u);
+    ASSERT_EQ(spec.modelSeeds.size(), 2u);
+    EXPECT_EQ(spec.primarySeed(), 7u);
+}
+
+TEST(InputSpec, IdArrayReplicatesChain)
+{
+    const auto spec = parseInputJson(R"({
+        "name": "2PV7",
+        "sequences": [
+            {"protein": {"id": ["A", "B"], "sequence": "MKVLQ"}}
+        ]
+    })");
+    EXPECT_EQ(spec.complex.chainCount(), 2u);
+    EXPECT_EQ(spec.complex.chains()[0].id(), "A");
+    EXPECT_EQ(spec.complex.chains()[1].id(), "B");
+    EXPECT_EQ(spec.complex.chains()[0].toString(),
+              spec.complex.chains()[1].toString());
+    EXPECT_EQ(spec.primarySeed(), 1u);
+}
+
+TEST(InputSpec, RoundTripsThroughJson)
+{
+    Complex c("roundtrip");
+    c.addChain(Sequence("A", MoleculeType::Protein, "MKVL"));
+    c.addChain(Sequence("R", MoleculeType::Rna, "ACGU"));
+    const auto json = toInputJson(c, {5});
+    const auto spec = parseInputJson(json.dump());
+    EXPECT_EQ(spec.complex.name(), "roundtrip");
+    EXPECT_EQ(spec.complex.chainCount(), 2u);
+    EXPECT_EQ(spec.complex.chains()[1].toString(), "ACGU");
+    EXPECT_EQ(spec.primarySeed(), 5u);
+}
+
+TEST(InputSpec, RejectsBadSchema)
+{
+    EXPECT_THROW(parseInputJson(R"({"name": "x"})"), FatalError);
+    EXPECT_THROW(parseInputJson(R"({"name":"x","sequences":[]})"),
+                 FatalError);
+    EXPECT_THROW(
+        parseInputJson(
+            R"({"name":"x","sequences":[{"ligand":{"id":"A","sequence":"M"}}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parseInputJson(
+            R"({"name":"x","sequences":[{"protein":{"id":"A"}}]})"),
+        FatalError);
+    EXPECT_THROW(
+        parseInputJson(
+            R"({"name":"x","sequences":[{"protein":{"id":7,"sequence":"M"}}]})"),
+        FatalError);
+}
+
+} // namespace
+} // namespace afsb::bio

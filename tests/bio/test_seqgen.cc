@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit and property tests for the sequence generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/seqgen.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(SeqGen, Deterministic)
+{
+    SequenceGenerator a(99), b(99);
+    const auto sa = a.random("x", MoleculeType::Protein, 200);
+    const auto sb = b.random("x", MoleculeType::Protein, 200);
+    EXPECT_EQ(sa, sb);
+}
+
+TEST(SeqGen, CompositionTracksBackground)
+{
+    SequenceGenerator gen(7);
+    const auto s = gen.random("x", MoleculeType::Protein, 50000);
+    size_t counts[20] = {};
+    for (size_t i = 0; i < s.length(); ++i)
+        ++counts[s[i]];
+    for (uint8_t c = 0; c < 20; ++c) {
+        const double freq = static_cast<double>(counts[c]) /
+                            static_cast<double>(s.length());
+        const double expect =
+            backgroundFrequency(MoleculeType::Protein, c);
+        EXPECT_NEAR(freq, expect, 0.01)
+            << "residue " << decodeResidue(MoleculeType::Protein, c);
+    }
+}
+
+TEST(SeqGen, MutateAppliesApproximateRates)
+{
+    SequenceGenerator gen(11);
+    const auto src = gen.random("src", MoleculeType::Protein, 5000);
+    MutationParams params;
+    params.substitutionRate = 0.2;
+    params.insertionRate = 0.0;
+    params.deletionRate = 0.0;
+    const auto mut = gen.mutate(src, "mut", params);
+    ASSERT_EQ(mut.length(), src.length());
+    size_t diffs = 0;
+    for (size_t i = 0; i < src.length(); ++i)
+        diffs += src[i] != mut[i];
+    // A substitution can re-draw the same residue (~5% of the time).
+    const double diffRate =
+        static_cast<double>(diffs) / static_cast<double>(src.length());
+    EXPECT_NEAR(diffRate, 0.2 * 0.94, 0.03);
+}
+
+TEST(SeqGen, MutateIndelsChangeLength)
+{
+    SequenceGenerator gen(13);
+    const auto src = gen.random("src", MoleculeType::Protein, 2000);
+    MutationParams params;
+    params.substitutionRate = 0.0;
+    params.insertionRate = 0.05;
+    params.deletionRate = 0.0;
+    const auto ins = gen.mutate(src, "ins", params);
+    EXPECT_GT(ins.length(), src.length());
+    params.insertionRate = 0.0;
+    params.deletionRate = 0.05;
+    const auto del = gen.mutate(src, "del", params);
+    EXPECT_LT(del.length(), src.length());
+}
+
+TEST(SeqGen, EmbedFragmentContainsExactCopy)
+{
+    SequenceGenerator gen(17);
+    const auto src = gen.random("src", MoleculeType::Protein, 300);
+    const auto emb = gen.embedFragment(src, "emb", 50, 120);
+    EXPECT_EQ(emb.length(), 120u);
+    // The 50-residue fragment appears verbatim somewhere.
+    const std::string embText = emb.toString();
+    const std::string srcText = src.toString();
+    bool found = false;
+    for (size_t off = 0; off + 50 <= srcText.size() && !found; ++off)
+        found = embText.find(srcText.substr(off, 50)) !=
+                std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(SeqGen, HomopolymerPlacementWithinBounds)
+{
+    SequenceGenerator gen(19);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto s = gen.withHomopolymer("x", 100, 30, 'Q');
+        ASSERT_EQ(s.length(), 100u);
+        size_t run = 0, best = 0;
+        for (size_t i = 0; i < s.length(); ++i) {
+            if (decodeResidue(MoleculeType::Protein, s[i]) == 'Q')
+                best = std::max(best, ++run);
+            else
+                run = 0;
+        }
+        EXPECT_GE(best, 30u);
+    }
+}
+
+} // namespace
+} // namespace afsb::bio

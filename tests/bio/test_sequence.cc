@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for Sequence, Complex, and FASTA round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/fasta.hh"
+#include "bio/sequence.hh"
+#include "util/logging.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(Sequence, EncodesAndDecodes)
+{
+    const Sequence s("A", MoleculeType::Protein, "MKVLQ");
+    EXPECT_EQ(s.length(), 5u);
+    EXPECT_EQ(s.toString(), "MKVLQ");
+    EXPECT_EQ(s.id(), "A");
+}
+
+TEST(Sequence, RejectsInvalidResidues)
+{
+    EXPECT_THROW(Sequence("A", MoleculeType::Protein, "MKX!"),
+                 FatalError);
+    EXPECT_THROW(Sequence("A", MoleculeType::Dna, "ACGQ"), FatalError);
+}
+
+TEST(Sequence, Subsequence)
+{
+    const Sequence s("A", MoleculeType::Protein, "MKVLQWER");
+    const Sequence sub = s.subsequence(2, 5, "frag");
+    EXPECT_EQ(sub.toString(), "VLQ");
+    EXPECT_EQ(sub.id(), "frag");
+    EXPECT_EQ(s.subsequence(0, 0).length(), 0u);
+}
+
+TEST(Complex, CountsAndTotals)
+{
+    Complex c("test");
+    c.addChain(Sequence("A", MoleculeType::Protein, "MKVL"));
+    c.addChain(Sequence("B", MoleculeType::Protein, "MKVL"));
+    c.addChain(Sequence("C", MoleculeType::Dna, "ACGT"));
+    c.addChain(Sequence("R", MoleculeType::Rna, "ACGU"));
+    EXPECT_EQ(c.chainCount(), 4u);
+    EXPECT_EQ(c.chainCount(MoleculeType::Protein), 2u);
+    EXPECT_EQ(c.totalResidues(), 16u);
+    EXPECT_EQ(c.totalResidues(MoleculeType::Dna), 4u);
+    EXPECT_EQ(c.longestChain(MoleculeType::Protein), 4u);
+    EXPECT_EQ(c.longestChain(MoleculeType::Dna), 4u);
+    EXPECT_TRUE(c.hasType(MoleculeType::Rna));
+}
+
+TEST(Complex, MsaChainsExcludeDna)
+{
+    // Paper IV-B: "additional DNA chains in promo are excluded from
+    // the MSA phase".
+    Complex c("test");
+    c.addChain(Sequence("A", MoleculeType::Protein, "MKVL"));
+    c.addChain(Sequence("C", MoleculeType::Dna, "ACGT"));
+    c.addChain(Sequence("R", MoleculeType::Rna, "ACGU"));
+    const auto msa = c.msaChains();
+    ASSERT_EQ(msa.size(), 2u);
+    EXPECT_EQ(msa[0]->id(), "A");
+    EXPECT_EQ(msa[1]->id(), "R");
+}
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<Sequence> seqs;
+    seqs.emplace_back("seq1", MoleculeType::Protein,
+                      std::string(130, 'M'));
+    seqs.emplace_back("seq2", MoleculeType::Protein, "MKVLQ");
+    const std::string text = writeFasta(seqs, 60);
+    const auto parsed = parseFasta(text, MoleculeType::Protein);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].id(), "seq1");
+    EXPECT_EQ(parsed[0].length(), 130u);
+    EXPECT_EQ(parsed[1].toString(), "MKVLQ");
+}
+
+TEST(Fasta, HeaderTakesFirstToken)
+{
+    const auto seqs = parseFasta(">id1 description here\nMKV\n",
+                                 MoleculeType::Protein);
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(seqs[0].id(), "id1");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader)
+{
+    EXPECT_THROW(parseFasta("MKV\n>x\n", MoleculeType::Protein),
+                 FatalError);
+}
+
+TEST(Fasta, IgnoresBlankLines)
+{
+    const auto seqs = parseFasta(">a\n\nMK\n\nVL\n",
+                                 MoleculeType::Protein);
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(seqs[0].toString(), "MKVL");
+}
+
+} // namespace
+} // namespace afsb::bio

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the cache and TLB structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hh"
+#include "util/units.hh"
+
+namespace afsb::cachesim {
+namespace {
+
+sys::CacheGeometry
+geom(uint64_t size, uint32_t assoc)
+{
+    sys::CacheGeometry g;
+    g.size = size;
+    g.associativity = assoc;
+    g.lineSize = 64;
+    return g;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(geom(4 * KiB, 4));
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1020, false));  // same 64B line
+    EXPECT_FALSE(c.access(0x1040, false)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 2 sets of 64B lines: lines mapping to set 0 are
+    // addresses 0, 128, 256, ...
+    Cache c(geom(256, 2));
+    ASSERT_EQ(c.sets(), 2u);
+    c.access(0, false);      // miss, set0
+    c.access(128, false);    // miss, set0 (second way)
+    c.access(0, false);      // hit, 0 becomes MRU
+    c.access(256, false);    // miss, evicts 128
+    EXPECT_TRUE(c.access(0, false));
+    EXPECT_FALSE(c.access(128, false));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache c(geom(32 * KiB, 8));
+    // Stream 1 MiB repeatedly: everything misses after warmup
+    // without prefetch.
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t a = 0; a < 1 * MiB; a += 64)
+            c.access(a, false);
+    EXPECT_GT(c.stats().missRate(), 0.95);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHitsAfterWarmup)
+{
+    Cache c(geom(64 * KiB, 8));
+    for (int pass = 0; pass < 10; ++pass)
+        for (uint64_t a = 0; a < 16 * KiB; a += 64)
+            c.access(a, false);
+    EXPECT_LT(c.stats().missRate(), 0.11);
+}
+
+TEST(Cache, PrefetcherCutsStreamingMisses)
+{
+    Cache noPf(geom(32 * KiB, 8), false);
+    Cache pf(geom(32 * KiB, 8), true);
+    for (uint64_t a = 0; a < 2 * MiB; a += 64) {
+        noPf.access(a, false);
+        pf.access(a, false);
+    }
+    EXPECT_LT(pf.stats().missRate(),
+              0.7 * noPf.stats().missRate());
+    EXPECT_GT(pf.stats().prefetchHits, 0u);
+}
+
+TEST(Cache, ResetClearsStateAndStats)
+{
+    Cache c(geom(4 * KiB, 4));
+    c.access(0x1000, false);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.access(0x1000, false));
+}
+
+TEST(Tlb, HitsWithinResidentPages)
+{
+    Tlb tlb(16);
+    EXPECT_FALSE(tlb.access(0x0));
+    EXPECT_TRUE(tlb.access(0x10));     // same page
+    EXPECT_TRUE(tlb.access(0xFFF));
+    EXPECT_FALSE(tlb.access(0x1000));  // next page
+}
+
+TEST(Tlb, CapacityBoundsReach)
+{
+    Tlb small(8);
+    // Touch 64 pages round-robin: a small TLB misses constantly.
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t p = 0; p < 64; ++p)
+            small.access(p * 4096);
+    EXPECT_GT(small.stats().missRate(), 0.5);
+
+    Tlb big(1024);
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t p = 0; p < 64; ++p)
+            big.access(p * 4096);
+    EXPECT_LT(big.stats().missRate(), 0.3);
+}
+
+} // namespace
+} // namespace afsb::cachesim

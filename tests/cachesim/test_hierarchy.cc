@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the hierarchy simulator and its Table III-shaped
+ * behaviour when fed real MSA kernel traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hh"
+#include "cachesim/hierarchy.hh"
+#include "msa/dp_kernels.hh"
+#include "util/units.hh"
+
+namespace afsb::cachesim {
+namespace {
+
+HierarchyConfig
+configFor(const sys::PlatformSpec &p, uint32_t threads)
+{
+    HierarchyConfig cfg;
+    cfg.cpu = p.cpu;
+    cfg.activeThreads = threads;
+    return cfg;
+}
+
+TEST(HierarchySim, CountsFlowThroughLevels)
+{
+    auto cfg = configFor(sys::desktopPlatform(), 1);
+    HierarchySim sim(cfg);
+    // Stream 8 MiB: misses at every level (64 MiB LLC slice holds
+    // it, so a second pass hits LLC).
+    for (uint64_t a = 0; a < 8 * MiB; a += 64)
+        sim.access({a, 64, false, 0});
+    const auto t1 = sim.totals();
+    EXPECT_EQ(t1.accesses, 8 * MiB / 64);
+    EXPECT_GT(t1.l1Misses, 0u);
+    EXPECT_GT(t1.llcMisses, 0u);
+    for (uint64_t a = 0; a < 8 * MiB; a += 64)
+        sim.access({a, 64, false, 0});
+    const auto t2 = sim.totals();
+    // Second pass misses L1/L2 but hits the LLC slice.
+    EXPECT_LT(t2.llcMisses, 2 * t1.llcMisses);
+}
+
+TEST(HierarchySim, PerFunctionAttribution)
+{
+    auto cfg = configFor(sys::desktopPlatform(), 1);
+    HierarchySim sim(cfg);
+    sim.access({0x1000, 64, false, 3});
+    sim.access({0x2000000, 64, false, 5});
+    sim.instructions(3, 1000);
+    sim.branches(5, 100, 100);
+    const auto per = sim.perFunction();
+    ASSERT_GE(per.size(), 6u);
+    EXPECT_EQ(per[3].accesses, 1u);
+    EXPECT_EQ(per[3].instructions, 1000u);
+    EXPECT_EQ(per[5].accesses, 1u);
+    EXPECT_EQ(per[5].branches, 200u);
+    EXPECT_GT(per[5].branchMisses, 0u);
+}
+
+TEST(HierarchySim, SampleWeightScalesMemoryCounters)
+{
+    auto cfg = configFor(sys::desktopPlatform(), 1);
+    cfg.sampleWeight = 8;
+    HierarchySim sim(cfg);
+    for (uint64_t a = 0; a < 64 * KiB; a += 64)
+        sim.access({a, 64, false, 0});
+    sim.instructions(0, 500);
+    const auto t = sim.totals();
+    EXPECT_EQ(t.accesses, 8 * 64 * KiB / 64);
+    EXPECT_EQ(t.instructions, 500u);  // not scaled
+}
+
+TEST(HierarchySim, LlcSliceShrinksWithThreads)
+{
+    // A 16 MiB randomly-accessed working set fits Desktop's full
+    // 64 MiB LLC but not a 6-thread slice (~10.6 MiB): miss rates
+    // must rise. (Random access so the stream prefetcher cannot
+    // hide capacity misses.)
+    const auto run = [&](uint32_t threads) {
+        auto cfg = configFor(sys::desktopPlatform(), threads);
+        HierarchySim sim(cfg);
+        Rng rng(9);
+        for (int i = 0; i < 800000; ++i) {
+            const uint64_t a = (rng.nextBounded(16 * MiB)) & ~63ull;
+            sim.access({a, 64, false, 0});
+        }
+        return sim.totals();
+    };
+    const auto t1 = run(1);
+    const auto t6 = run(6);
+    EXPECT_LT(t1.llcMissRate(), 0.45);
+    EXPECT_GT(t6.llcMissRate(), 1.5 * t1.llcMissRate());
+}
+
+TEST(HierarchySim, IntelLlcSaturatedEvenAtOneThread)
+{
+    // Server's 30 MiB LLC cannot hold a 48 MiB working set even
+    // single-threaded — the paper's "Intel's smaller LLC is quickly
+    // overwhelmed".
+    auto cfg = configFor(sys::serverPlatform(), 1);
+    cfg.prefetch = false;
+    HierarchySim sim(cfg);
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t a = 0; a < 48 * MiB; a += 64)
+            sim.access({a, 64, false, 0});
+    EXPECT_GT(sim.totals().llcMissRate(), 0.9);
+}
+
+TEST(HierarchySim, TlbContrastIntelVsAmd)
+{
+    // Random touches over an 8 MiB region (2048 pages): within
+    // Intel's ~8K-entry dTLB reach, far beyond AMD's ~96 entries.
+    bio::SequenceGenerator gen(5);
+    auto touch = [&](HierarchySim &sim) {
+        Rng rng(42);
+        for (int i = 0; i < 200000; ++i) {
+            const uint64_t a = rng.nextBounded(8 * MiB);
+            sim.access({a, 8, false, 0});
+        }
+    };
+    HierarchySim intel(configFor(sys::serverPlatform(), 1));
+    HierarchySim amd(configFor(sys::desktopPlatform(), 1));
+    touch(intel);
+    touch(amd);
+    EXPECT_LT(intel.totals().tlbMissRate(), 0.02);
+    EXPECT_GT(amd.totals().tlbMissRate(), 0.15);
+}
+
+TEST(HierarchySim, RealKernelTraceProducesPlausibleCounters)
+{
+    // Drive the simulator with an actual calc_band_9 trace.
+    bio::SequenceGenerator gen(7);
+    const auto q = gen.random("q", bio::MoleculeType::Protein, 200);
+    const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
+    const auto prof = msa::ProfileHmm::fromSequence(
+        q, msa::ScoreMatrix::blosum62());
+
+    HierarchySim sim(configFor(sys::desktopPlatform(), 1));
+    msa::KernelConfig kcfg;
+    kcfg.targetBase = 0x6000'0000'0000ull;
+    const auto r = msa::calcBand9(prof, t, kcfg, &sim);
+    const auto totals = sim.totals();
+    // Four references per 16-cell SIMD block (plus rare arena).
+    EXPECT_NEAR(static_cast<double>(totals.accesses),
+                4.0 * static_cast<double>(r.cells) / 16.0,
+                0.2 * static_cast<double>(r.cells));
+    EXPECT_GT(totals.instructions, totals.accesses);
+    EXPECT_GT(totals.branches, r.cells / 16);
+    // DP arrays, profile, and the per-row stream reference are
+    // L1-resident; the page-diverse metadata references (about one
+    // in eight) miss it.
+    EXPECT_GT(totals.l1MissRate(), 0.03);
+    EXPECT_LT(totals.l1MissRate(), 0.3);
+}
+
+} // namespace
+} // namespace afsb::cachesim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Property-style sweeps over the architecture simulators: LRU
+ * inclusion/stack behaviour, prefetcher stream coverage, and
+ * monotonicity invariants of the timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/timing.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace afsb::cachesim {
+namespace {
+
+sys::CacheGeometry
+geom(uint64_t size, uint32_t assoc)
+{
+    sys::CacheGeometry g;
+    g.size = size;
+    g.associativity = assoc;
+    g.lineSize = 64;
+    return g;
+}
+
+// --- LRU stack property --------------------------------------------------
+
+/**
+ * The LRU stack property: for the same trace, a larger cache of the
+ * same associativity-per-set structure never takes more misses.
+ * (Holds for power-of-two LRU caches when sets scale; verified here
+ * empirically across random traces.)
+ */
+class LruStackProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(LruStackProperty, BiggerCacheNeverMissesMore)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed);
+    std::vector<uint64_t> trace(20000);
+    for (auto &a : trace)
+        a = (rng.nextBounded(512 * KiB)) & ~63ull;
+
+    uint64_t prevMisses = ~0ull;
+    for (uint64_t size : {16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB,
+                          256 * KiB, 1 * MiB}) {
+        Cache c(geom(size, 8), false);
+        for (uint64_t a : trace)
+            c.access(a, false);
+        EXPECT_LE(c.stats().misses, prevMisses)
+            << "size " << size;
+        prevMisses = c.stats().misses;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruStackProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Prefetcher properties ----------------------------------------------
+
+TEST(PrefetcherProperty, StridedStreamsAreCovered)
+{
+    // Any constant stride up to 16 lines should be prefetched to a
+    // substantially lower miss rate than no-prefetch.
+    for (uint64_t strideLines : {1u, 2u, 4u, 8u, 16u}) {
+        Cache pf(geom(32 * KiB, 8), true);
+        Cache nopf(geom(32 * KiB, 8), false);
+        for (uint64_t i = 0; i < 20000; ++i) {
+            const uint64_t a = i * strideLines * 64;
+            pf.access(a, false);
+            nopf.access(a, false);
+        }
+        EXPECT_LT(pf.stats().missRate(),
+                  0.8 * nopf.stats().missRate())
+            << "stride " << strideLines;
+    }
+}
+
+TEST(PrefetcherProperty, InterleavedStreamsStillCovered)
+{
+    // Two interleaved streams: the multi-stream trackers must keep
+    // both armed.
+    Cache pf(geom(64 * KiB, 8), true);
+    for (uint64_t i = 0; i < 10000; ++i) {
+        pf.access(0x100000 + i * 64, false);
+        pf.access(0x900000 + i * 128, false);
+    }
+    EXPECT_LT(pf.stats().missRate(), 0.6);
+    EXPECT_GT(pf.stats().prefetchHits, 5000u);
+}
+
+TEST(PrefetcherProperty, RandomAccessGainsNothing)
+{
+    // Prefetching must not fabricate hits on random traffic.
+    Rng rng(77);
+    Cache pf(geom(32 * KiB, 8), true);
+    Cache nopf(geom(32 * KiB, 8), false);
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t a = rng.nextBounded(64 * MiB) & ~63ull;
+        pf.access(a, false);
+        nopf.access(a, false);
+    }
+    EXPECT_NEAR(pf.stats().missRate(), nopf.stats().missRate(),
+                0.05);
+}
+
+// --- Timing-model invariants ----------------------------------------------
+
+FuncCounters
+baseCounters()
+{
+    FuncCounters c;
+    c.instructions = 2'000'000'000;
+    c.accesses = 600'000'000;
+    c.l1Misses = 20'000'000;
+    c.l2Misses = 5'000'000;
+    c.llcMisses = 2'000'000;
+    c.branches = 250'000'000;
+    c.branchMisses = 1'000'000;
+    return c;
+}
+
+TEST(TimingProperty, TimeIsMonotoneInWork)
+{
+    TimingInputs in;
+    in.counters = baseCounters();
+    double prev = 0.0;
+    for (double scale : {0.5, 1.0, 2.0, 5.0, 17.0, 100.0}) {
+        in.workScale = scale;
+        const double t =
+            computeTiming(sys::serverPlatform(), in).seconds;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(TimingProperty, MoreMissesNeverFaster)
+{
+    TimingInputs in;
+    in.counters = baseCounters();
+    double prev = 0.0;
+    for (uint64_t extraMisses = 0; extraMisses <= 100'000'000;
+         extraMisses += 20'000'000) {
+        TimingInputs cur = in;
+        cur.counters.l1Misses += extraMisses;
+        cur.counters.l2Misses += extraMisses;
+        cur.counters.llcMisses += extraMisses;
+        const double t =
+            computeTiming(sys::desktopPlatform(), cur).seconds;
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(TimingProperty, ReaderBoundsParallelSpeedup)
+{
+    // With reader work equal to 25% of worker work, speedup can
+    // never exceed 4x regardless of threads.
+    TimingInputs in;
+    in.counters = baseCounters();
+    in.readerCounters.instructions =
+        in.counters.instructions / 4;
+    in.threads = 1;
+    const double t1 =
+        computeTiming(sys::serverPlatform(), in).seconds;
+    in.threads = 16;
+    const double t16 =
+        computeTiming(sys::serverPlatform(), in).seconds;
+    EXPECT_LT(t1 / t16, 5.2);  // 1.25/0.25 = 5 plus clock effects
+    EXPECT_GT(t1 / t16, 3.0);
+}
+
+TEST(TimingProperty, EffectiveIpcNeverExceedsBase)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        TimingInputs in;
+        in.counters.instructions =
+            1'000'000 + rng.nextBounded(1'000'000'000);
+        in.counters.l1Misses = rng.nextBounded(
+            in.counters.instructions / 10);
+        in.counters.l2Misses =
+            rng.nextBounded(in.counters.l1Misses + 1);
+        in.counters.llcMisses =
+            rng.nextBounded(in.counters.l2Misses + 1);
+        in.threads = 1 + static_cast<uint32_t>(
+            rng.nextBounded(8));
+        for (const auto &p :
+             {sys::serverPlatform(), sys::desktopPlatform()}) {
+            const auto r = computeTiming(p, in);
+            EXPECT_LE(r.effectiveIpc, p.cpu.baseIpc + 1e-9);
+            EXPECT_GE(r.effectiveIpc, 0.0);
+            EXPECT_GE(r.stallFraction, 0.0);
+            EXPECT_LE(r.stallFraction, 1.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace afsb::cachesim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the analytic timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/timing.hh"
+
+namespace afsb::cachesim {
+namespace {
+
+FuncCounters
+computeBoundCounters()
+{
+    FuncCounters c;
+    c.instructions = 1'000'000'000;
+    c.accesses = 300'000'000;
+    c.l1Misses = 3'000'000;
+    c.l2Misses = 600'000;
+    c.llcMisses = 100'000;
+    c.branches = 150'000'000;
+    c.branchMisses = 300'000;
+    return c;
+}
+
+FuncCounters
+memoryBoundCounters()
+{
+    FuncCounters c = computeBoundCounters();
+    c.l1Misses = 60'000'000;
+    c.l2Misses = 40'000'000;
+    c.llcMisses = 30'000'000;
+    return c;
+}
+
+TEST(Timing, ComputeBoundApproachesBaseIpc)
+{
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    const auto r = computeTiming(sys::serverPlatform(), in);
+    EXPECT_GT(r.effectiveIpc,
+              0.8 * sys::serverPlatform().cpu.baseIpc);
+    EXPECT_LT(r.stallFraction, 0.2);
+    EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Timing, MemoryBoundDropsIpc)
+{
+    TimingInputs in;
+    in.counters = memoryBoundCounters();
+    const auto rMem = computeTiming(sys::serverPlatform(), in);
+    TimingInputs inC;
+    inC.counters = computeBoundCounters();
+    const auto rCpu = computeTiming(sys::serverPlatform(), inC);
+    EXPECT_LT(rMem.effectiveIpc, 0.6 * rCpu.effectiveIpc);
+    EXPECT_GT(rMem.stallFraction, 0.4);
+}
+
+TEST(Timing, ThreadsSpeedUpComputeBoundWork)
+{
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    in.threads = 1;
+    const auto r1 = computeTiming(sys::desktopPlatform(), in);
+    in.threads = 2;
+    const auto r2 = computeTiming(sys::desktopPlatform(), in);
+    in.threads = 4;
+    const auto r4 = computeTiming(sys::desktopPlatform(), in);
+    const double s2 = r1.seconds / r2.seconds;
+    const double s4 = r1.seconds / r4.seconds;
+    EXPECT_GT(s2, 1.7);
+    EXPECT_LT(s2, 2.05);
+    EXPECT_GT(s4, 2.8);
+    EXPECT_LT(s4, 4.05);
+}
+
+TEST(Timing, BandwidthSaturationLimitsScaling)
+{
+    // Heavy miss traffic: speedup should flatten well below linear
+    // as DRAM bandwidth saturates.
+    TimingInputs in;
+    in.counters = memoryBoundCounters();
+    in.counters.llcMisses = 200'000'000;
+    in.counters.l2Misses = 220'000'000;
+    in.counters.l1Misses = 240'000'000;
+    in.threads = 1;
+    const auto r1 = computeTiming(sys::desktopPlatform(), in);
+    in.threads = 8;
+    const auto r8 = computeTiming(sys::desktopPlatform(), in);
+    EXPECT_LT(r1.seconds / r8.seconds, 6.0);
+    EXPECT_GT(r8.memUtilization, 0.3);
+    EXPECT_GT(r8.memUtilization, 2.0 * r1.memUtilization);
+}
+
+TEST(Timing, SerialFractionAddsConstant)
+{
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    in.serialSeconds = 5.0;
+    const auto r = computeTiming(sys::serverPlatform(), in);
+    TimingInputs in0 = in;
+    in0.serialSeconds = 0.0;
+    const auto r0 = computeTiming(sys::serverPlatform(), in0);
+    EXPECT_NEAR(r.seconds - r0.seconds, 5.0, 1e-9);
+}
+
+TEST(Timing, IoOverlapsWithCompute)
+{
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    in.ioSeconds = 0.001;  // far below compute: hidden
+    const auto hidden = computeTiming(sys::desktopPlatform(), in);
+    in.ioSeconds = 1e4;    // dominates: phase becomes I/O-bound
+    const auto bound = computeTiming(sys::desktopPlatform(), in);
+    TimingInputs in0 = in;
+    in0.ioSeconds = 0.0;
+    const auto base = computeTiming(sys::desktopPlatform(), in0);
+    EXPECT_NEAR(hidden.seconds, base.seconds, 1e-6);
+    EXPECT_NEAR(bound.seconds, 1e4, 1.0);
+}
+
+TEST(Timing, WorkScaleMultipliesTime)
+{
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    const auto r1 = computeTiming(sys::serverPlatform(), in);
+    in.workScale = 100.0;
+    const auto r100 = computeTiming(sys::serverPlatform(), in);
+    EXPECT_NEAR(r100.seconds / r1.seconds, 100.0, 1.0);
+}
+
+TEST(Timing, CxlLatencyFactorSlowsMemoryBoundWork)
+{
+    TimingInputs in;
+    in.counters = memoryBoundCounters();
+    const auto dram = computeTiming(sys::serverPlatform(), in);
+    in.memLatencyFactor = 2.5;
+    const auto cxl = computeTiming(sys::serverPlatform(), in);
+    EXPECT_GT(cxl.seconds, 1.5 * dram.seconds);
+}
+
+TEST(Timing, DesktopBeatsServerOnComputeBoundWork)
+{
+    // Higher clocks win when stalls are rare — the paper's core
+    // Desktop-vs-Server finding for the MSA phase.
+    TimingInputs in;
+    in.counters = computeBoundCounters();
+    in.threads = 4;
+    const auto server = computeTiming(sys::serverPlatform(), in);
+    const auto desktop = computeTiming(sys::desktopPlatform(), in);
+    EXPECT_LT(desktop.seconds, server.seconds);
+}
+
+} // namespace
+} // namespace afsb::cachesim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the inference-serving simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/serving.hh"
+
+namespace afsb::gpusim {
+namespace {
+
+TEST(Serving, ColdServiceIsUniformPerRequest)
+{
+    const auto requests = batchRequests(4, 484);
+    const auto result =
+        simulateServing(sys::serverPlatform(), requests);
+    ASSERT_EQ(result.requests.size(), 4u);
+    for (const auto &r : result.requests) {
+        EXPECT_NEAR(r.serviceSeconds,
+                    result.requests[0].serviceSeconds, 1e-9);
+        EXPECT_GT(r.compileSeconds, 0.0);
+    }
+}
+
+TEST(Serving, PersistentStateSpeedsUpSteadyState)
+{
+    const auto requests = batchRequests(5, 484);
+    ServingOptions warm;
+    warm.persistentModelState = true;
+    const auto cold =
+        simulateServing(sys::serverPlatform(), requests);
+    const auto persistent =
+        simulateServing(sys::serverPlatform(), requests, warm);
+
+    // First request pays the same compile either way.
+    EXPECT_NEAR(persistent.firstRequestLatency,
+                cold.firstRequestLatency, 1e-9);
+    // Steady state loses the whole compile phase.
+    EXPECT_LT(persistent.steadyLatency, cold.steadyLatency);
+    EXPECT_GT(persistent.throughputPerHour,
+              1.1 * cold.throughputPerHour);
+    for (size_t i = 1; i < persistent.requests.size(); ++i)
+        EXPECT_DOUBLE_EQ(persistent.requests[i].compileSeconds,
+                         0.0);
+}
+
+TEST(Serving, MixedSizesRecompileOnNewShapesOnly)
+{
+    std::vector<ServingRequest> requests = {
+        {484, 0.0}, {881, 0.0}, {484, 0.0}, {881, 0.0}};
+    ServingOptions warm;
+    warm.persistentModelState = true;
+    const auto result =
+        simulateServing(sys::serverPlatform(), requests, warm);
+    EXPECT_GT(result.requests[0].compileSeconds, 0.0);  // new shape
+    EXPECT_GT(result.requests[1].compileSeconds, 0.0);  // new shape
+    EXPECT_DOUBLE_EQ(result.requests[2].compileSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(result.requests[3].compileSeconds, 0.0);
+}
+
+TEST(Serving, QueueingDelaysLaterArrivals)
+{
+    // Two requests arriving together: the second waits for the
+    // first (single worker).
+    const auto result = simulateServing(sys::serverPlatform(),
+                                        batchRequests(2, 484));
+    EXPECT_NEAR(result.requests[1].startSeconds,
+                result.requests[0].finishSeconds, 1e-9);
+    EXPECT_GT(result.requests[1].latencySeconds,
+              result.requests[0].latencySeconds);
+}
+
+TEST(Serving, OpenLoopArrivalsRespectArrivalTimes)
+{
+    std::vector<ServingRequest> requests = {{484, 0.0},
+                                            {484, 1e6}};
+    const auto result =
+        simulateServing(sys::serverPlatform(), requests);
+    // The late request starts at its arrival, not immediately.
+    EXPECT_NEAR(result.requests[1].startSeconds, 1e6, 1e-6);
+    EXPECT_NEAR(result.requests[1].latencySeconds,
+                result.requests[1].serviceSeconds, 1e-9);
+}
+
+TEST(Serving, EmptyRequestListIsSafe)
+{
+    const auto result =
+        simulateServing(sys::serverPlatform(), {});
+    EXPECT_EQ(result.requests.size(), 0u);
+    EXPECT_DOUBLE_EQ(result.makespanSeconds, 0.0);
+}
+
+} // namespace
+} // namespace afsb::gpusim

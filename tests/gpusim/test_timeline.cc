@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the Nsight-like timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/timeline.hh"
+
+namespace afsb::gpusim {
+namespace {
+
+TEST(Timeline, SpansAppendPerLane)
+{
+    Timeline t;
+    t.addSpan("a", TimelineLane::Host, 2.0);
+    t.addSpan("b", TimelineLane::Host, 3.0);      // after a
+    t.addSpan("k", TimelineLane::GpuCompute, 1.0); // own lane at 0
+    ASSERT_EQ(t.spans().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.spans()[1].start, 2.0);
+    EXPECT_DOUBLE_EQ(t.spans()[2].start, 0.0);
+    EXPECT_DOUBLE_EQ(t.endTime(), 5.0);
+    EXPECT_DOUBLE_EQ(t.laneTotal(TimelineLane::Host), 5.0);
+    EXPECT_DOUBLE_EQ(t.laneTotal(TimelineLane::GpuCompute), 1.0);
+    EXPECT_DOUBLE_EQ(t.laneTotal(TimelineLane::Transfer), 0.0);
+}
+
+TEST(Timeline, ExplicitStarts)
+{
+    Timeline t;
+    t.addSpanAt("x", TimelineLane::Compile, 10.0, 5.0);
+    EXPECT_DOUBLE_EQ(t.endTime(), 15.0);
+    t.addSpan("y", TimelineLane::Compile, 1.0);  // appends at 15
+    EXPECT_DOUBLE_EQ(t.spans()[1].start, 15.0);
+}
+
+TEST(Timeline, RenderContainsLanesAndNames)
+{
+    Timeline t;
+    t.addSpan("gpu_init", TimelineLane::Host, 1.0);
+    t.addSpan("kernel", TimelineLane::GpuCompute, 2.0);
+    const auto out = t.render();
+    EXPECT_NE(out.find("gpu_init"), std::string::npos);
+    EXPECT_NE(out.find("kernel"), std::string::npos);
+    EXPECT_NE(out.find("host"), std::string::npos);
+    EXPECT_NE(out.find("gpu"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Timeline, EmptyRenderIsSafe)
+{
+    Timeline t;
+    EXPECT_DOUBLE_EQ(t.endTime(), 0.0);
+    EXPECT_FALSE(t.render().empty());
+}
+
+} // namespace
+} // namespace afsb::gpusim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the buffered reader (addbuf/seebuf/copy_to_iter).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "io/buffered_reader.hh"
+#include "util/units.hh"
+
+namespace afsb::io {
+namespace {
+
+/** Sink that counts accesses per function. */
+class CountingSink : public MemTraceSink
+{
+  public:
+    void
+    access(const MemAccess &a) override
+    {
+        counts.resize(
+            std::max<size_t>(counts.size(), a.func + size_t{1}), 0);
+        ++counts[a.func];
+    }
+
+    void
+    instructions(FuncId func, uint64_t n) override
+    {
+        instr.resize(std::max<size_t>(instr.size(), func + size_t{1}),
+                     0);
+        instr[func] += n;
+    }
+
+    void branches(FuncId, uint64_t, uint64_t) override {}
+
+    std::vector<uint64_t> counts;
+    std::vector<uint64_t> instr;
+};
+
+struct Fixture
+{
+    Vfs vfs;
+    StorageDevice dev;
+    PageCache cache{64 * MiB, &dev};
+};
+
+TEST(BufferedReader, ReadsLines)
+{
+    Fixture f;
+    const FileId id = f.vfs.createFile("f", "line1\nline2\n\nline4");
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "line1");
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "line2");
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "");
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "line4");
+    EXPECT_FALSE(reader.readLine(line, 0.0));
+    EXPECT_TRUE(reader.eof());
+    EXPECT_EQ(reader.stats().linesRead, 4u);
+}
+
+TEST(BufferedReader, LinesSpanningBufferBoundary)
+{
+    Fixture f;
+    // One line longer than the 256 KiB window.
+    const std::string longLine(300 * 1024, 'A');
+    const FileId id =
+        f.vfs.createFile("f", longLine + "\nshort\n");
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line.size(), longLine.size());
+    EXPECT_EQ(line, longLine);
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "short");
+    EXPECT_GE(reader.stats().refills, 2u);
+}
+
+TEST(BufferedReader, CopyToIterMovesExactBytes)
+{
+    Fixture f;
+    std::string payload;
+    for (int i = 0; i < 1000; ++i)
+        payload += static_cast<char>('a' + i % 26);
+    const FileId id = f.vfs.createFile("f", payload);
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::vector<char> dst(payload.size());
+    EXPECT_EQ(reader.copyToIter(dst.data(), dst.size(), 0.0),
+              payload.size());
+    EXPECT_EQ(std::string(dst.begin(), dst.end()), payload);
+    EXPECT_EQ(reader.stats().bytesCopied, payload.size());
+    // Further copies return 0 at EOF.
+    EXPECT_EQ(reader.copyToIter(dst.data(), 10, 0.0), 0u);
+}
+
+TEST(BufferedReader, SeebufPeeksWithoutConsuming)
+{
+    Fixture f;
+    const FileId id = f.vfs.createFile("f", "ABCDEFG");
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    const auto peek = reader.seebuf(3, 0.0);
+    EXPECT_EQ(std::string(peek), "ABC");
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "ABCDEFG");
+}
+
+TEST(BufferedReader, TraceSinkSeesWellKnownFunctions)
+{
+    Fixture f;
+    const std::string payload(8192, 'x');
+    const FileId id = f.vfs.createFile("f", payload);
+    CountingSink sink;
+    BufferedReader reader(&f.vfs, &f.cache, id, &sink);
+    std::vector<char> dst(payload.size());
+    reader.copyToIter(dst.data(), dst.size(), 0.0);
+
+    const FuncId copyId = wellknown::copyToIter();
+    ASSERT_LT(copyId, sink.counts.size());
+    // 8192 bytes / 64 B per line, touched on fill and on copy-out.
+    EXPECT_GE(sink.counts[copyId], 2 * 8192u / 64);
+    const FuncId addbufId = wellknown::addbuf();
+    ASSERT_LT(addbufId, sink.instr.size());
+    EXPECT_GT(sink.instr[addbufId], 0u);
+}
+
+TEST(BufferedReader, IoLatencyAccumulates)
+{
+    Fixture f;
+    const FileId id =
+        f.vfs.createFile("f", std::string(2 * MiB, 'q'));
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::vector<char> dst(2 * MiB);
+    reader.copyToIter(dst.data(), dst.size(), 0.0);
+    EXPECT_GT(reader.stats().ioLatency, 0.0);
+}
+
+TEST(BufferedReader, PhantomFileYieldsZeroBytesWithTiming)
+{
+    Fixture f;
+    const FileId id = f.vfs.createPhantom("huge", 1 * MiB);
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::vector<char> dst(1024, 'z');
+    EXPECT_EQ(reader.copyToIter(dst.data(), 1024, 0.0), 1024u);
+    EXPECT_EQ(dst[0], '\0');
+    EXPECT_GT(reader.stats().ioLatency, 0.0);
+}
+
+TEST(BufferedReader, EmptyFile)
+{
+    Fixture f;
+    const FileId id = f.vfs.createFile("empty", "");
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::string line;
+    EXPECT_FALSE(reader.readLine(line, 0.0));
+    EXPECT_TRUE(reader.eof());
+}
+
+} // namespace
+} // namespace afsb::io

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the page-cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "io/pagecache.hh"
+#include "util/units.hh"
+
+namespace afsb::io {
+namespace {
+
+constexpr uint64_t kExt = PageCache::kExtentSize;
+
+TEST(PageCache, ColdReadGoesToDisk)
+{
+    StorageDevice dev;
+    PageCache cache(64 * MiB, &dev);
+    const auto r = cache.read(0, 0, kExt, 0.0);
+    EXPECT_EQ(r.bytesFromCache, 0u);
+    EXPECT_EQ(r.bytesFromDisk, kExt);
+    EXPECT_GT(r.latency, 0.0);
+}
+
+TEST(PageCache, WarmReadHitsCache)
+{
+    StorageDevice dev;
+    PageCache cache(64 * MiB, &dev);
+    (void)cache.read(0, 0, kExt, 0.0);
+    const auto r = cache.read(0, 0, kExt, 1.0);
+    EXPECT_EQ(r.bytesFromCache, kExt);
+    EXPECT_EQ(r.bytesFromDisk, 0u);
+    EXPECT_DOUBLE_EQ(r.latency, 0.0);
+}
+
+TEST(PageCache, CapacityEviction)
+{
+    StorageDevice dev;
+    PageCache cache(4 * kExt, &dev);
+    // Fill 4 extents of file 0, then 2 more evict the oldest two.
+    (void)cache.read(0, 0, 4 * kExt, 0.0);
+    EXPECT_EQ(cache.residentBytes(), 4 * kExt);
+    (void)cache.read(0, 4 * kExt, 2 * kExt, 1.0);
+    EXPECT_EQ(cache.residentBytes(), 4 * kExt);
+    // Extents 0 and 1 were evicted; re-reading them misses.
+    const auto r = cache.read(0, 0, 2 * kExt, 2.0);
+    EXPECT_EQ(r.bytesFromDisk, 2 * kExt);
+}
+
+TEST(PageCache, LruKeepsRecentlyTouched)
+{
+    StorageDevice dev;
+    PageCache cache(2 * kExt, &dev);
+    (void)cache.read(0, 0, kExt, 0.0);        // extent 0
+    (void)cache.read(0, kExt, kExt, 1.0);     // extent 1
+    (void)cache.read(0, 0, kExt, 2.0);        // touch 0 (now MRU)
+    (void)cache.read(0, 2 * kExt, kExt, 3.0); // evicts extent 1
+    const auto r0 = cache.read(0, 0, kExt, 4.0);
+    EXPECT_EQ(r0.bytesFromCache, kExt);
+    const auto r1 = cache.read(0, kExt, kExt, 5.0);
+    EXPECT_EQ(r1.bytesFromDisk, kExt);
+}
+
+TEST(PageCache, WarmPreloadsWholeFile)
+{
+    StorageDevice dev;
+    PageCache cache(1 * GiB, &dev);
+    const uint64_t fileSize = 100 * MiB;
+    const double lat = cache.warm(7, fileSize, 0.0);
+    EXPECT_GT(lat, 0.0);
+    // Every subsequent read hits.
+    const auto r = cache.read(7, 0, fileSize, 1.0);
+    EXPECT_EQ(r.bytesFromDisk, 0u);
+    EXPECT_GE(cache.residentBytes(), fileSize);
+}
+
+TEST(PageCache, SeparateFilesDoNotAlias)
+{
+    StorageDevice dev;
+    PageCache cache(64 * MiB, &dev);
+    (void)cache.read(1, 0, kExt, 0.0);
+    const auto r = cache.read(2, 0, kExt, 1.0);
+    EXPECT_EQ(r.bytesFromDisk, kExt);
+}
+
+TEST(PageCache, HitRatioTracksBytes)
+{
+    StorageDevice dev;
+    PageCache cache(64 * MiB, &dev);
+    (void)cache.read(0, 0, kExt, 0.0);
+    (void)cache.read(0, 0, kExt, 1.0);
+    (void)cache.read(0, 0, kExt, 2.0);
+    EXPECT_NEAR(cache.hitRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PageCache, DropAllEmptiesCache)
+{
+    StorageDevice dev;
+    PageCache cache(64 * MiB, &dev);
+    (void)cache.read(0, 0, 4 * kExt, 0.0);
+    cache.dropAll();
+    EXPECT_EQ(cache.residentBytes(), 0u);
+    const auto r = cache.read(0, 0, kExt, 1.0);
+    EXPECT_EQ(r.bytesFromDisk, kExt);
+}
+
+TEST(PageCache, ShrinkEvictsImmediately)
+{
+    StorageDevice dev;
+    PageCache cache(8 * kExt, &dev);
+    (void)cache.read(0, 0, 8 * kExt, 0.0);
+    cache.setCapacity(3 * kExt);
+    EXPECT_LE(cache.residentBytes(), 3 * kExt);
+}
+
+} // namespace
+} // namespace afsb::io

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the storage device and iostat-style metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "io/storage.hh"
+
+namespace afsb::io {
+namespace {
+
+StorageSpec
+testSpec()
+{
+    StorageSpec spec;
+    spec.seqReadBandwidth = 1e9;  // 1 GB/s for round numbers
+    spec.baseLatency = 100e-6;
+    return spec;
+}
+
+TEST(Storage, SingleReadLatency)
+{
+    StorageDevice dev(testSpec());
+    // 1 MB at 1 GB/s = 1 ms service + 0.1 ms base.
+    const double lat = dev.read(1'000'000, 0.0);
+    EXPECT_NEAR(lat, 1.1e-3, 1e-9);
+}
+
+TEST(Storage, QueueingDelaysBackToBackReads)
+{
+    StorageDevice dev(testSpec());
+    const double lat1 = dev.read(10'000'000, 0.0);  // 10 ms service
+    const double lat2 = dev.read(10'000'000, 0.0);  // queued behind
+    EXPECT_GT(lat2, lat1);
+    EXPECT_NEAR(lat2, 0.0001 + 0.010 + 0.010, 1e-9);
+}
+
+TEST(Storage, UtilizationReflectsBusyFraction)
+{
+    StorageDevice dev(testSpec());
+    dev.read(100'000'000, 0.0);  // 100 ms busy
+    const auto stats = dev.collect(1.0);  // 1 s window
+    EXPECT_NEAR(stats.utilizationPct(), 10.0, 0.1);
+    EXPECT_EQ(stats.bytesRead, 100'000'000u);
+    EXPECT_EQ(stats.readRequests, 1u);
+}
+
+TEST(Storage, UtilizationCapsAt100)
+{
+    StorageDevice dev(testSpec());
+    for (int i = 0; i < 20; ++i)
+        dev.read(100'000'000, 0.0);
+    const auto stats = dev.collect(1.0);
+    EXPECT_DOUBLE_EQ(stats.utilizationPct(), 100.0);
+}
+
+TEST(Storage, CollectResetsWindow)
+{
+    StorageDevice dev(testSpec());
+    dev.read(1000, 0.0);
+    (void)dev.collect(1.0);
+    const auto stats = dev.collect(2.0);
+    EXPECT_EQ(stats.readRequests, 0u);
+    EXPECT_NEAR(stats.windowTime, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.utilizationPct(), 0.0);
+}
+
+TEST(Storage, RAwaitAveragesLatency)
+{
+    StorageDevice dev(testSpec());
+    dev.read(1'000'000, 0.0);
+    dev.read(1'000'000, 10.0);  // far apart: no queueing
+    const auto stats = dev.peek(20.0);
+    EXPECT_NEAR(stats.rAwait(), 1.1e-3, 1e-9);
+}
+
+TEST(Storage, EmptyWindowIsSafe)
+{
+    StorageDevice dev(testSpec());
+    const auto stats = dev.peek(0.0);
+    EXPECT_DOUBLE_EQ(stats.utilizationPct(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.rAwait(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.readThroughput(), 0.0);
+}
+
+} // namespace
+} // namespace afsb::io

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the virtual file store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "io/vfs.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace afsb::io {
+namespace {
+
+TEST(Vfs, CreateAndRead)
+{
+    Vfs vfs;
+    const FileId id = vfs.createFile("db.fasta", ">a\nMKV\n");
+    EXPECT_EQ(vfs.size(id), 7u);
+    EXPECT_FALSE(vfs.isPhantom(id));
+    EXPECT_EQ(vfs.name(id), "db.fasta");
+
+    char buf[16] = {};
+    EXPECT_EQ(vfs.read(id, 0, buf, 8), 7u);
+    EXPECT_EQ(std::string(buf, 7), ">a\nMKV\n");
+}
+
+TEST(Vfs, PartialAndOutOfRangeReads)
+{
+    Vfs vfs;
+    const FileId id = vfs.createFile("f", "0123456789");
+    char buf[16] = {};
+    EXPECT_EQ(vfs.read(id, 7, buf, 10), 3u);
+    EXPECT_EQ(std::string(buf, 3), "789");
+    EXPECT_EQ(vfs.read(id, 10, buf, 4), 0u);
+    EXPECT_EQ(vfs.read(id, 100, buf, 4), 0u);
+}
+
+TEST(Vfs, PhantomFilesHaveSizeButNoBytes)
+{
+    Vfs vfs;
+    const FileId id = vfs.createPhantom("rna_db", 89 * GiB);
+    EXPECT_TRUE(vfs.isPhantom(id));
+    EXPECT_EQ(vfs.size(id), 89 * GiB);
+    char buf[8];
+    EXPECT_EQ(vfs.read(id, 0, buf, 8), 0u);
+}
+
+TEST(Vfs, OpenByNameAndExistence)
+{
+    Vfs vfs;
+    vfs.createFile("a", "x");
+    EXPECT_TRUE(vfs.exists("a"));
+    EXPECT_FALSE(vfs.exists("b"));
+    EXPECT_EQ(vfs.open("a"), 0u);
+    EXPECT_THROW(vfs.open("b"), FatalError);
+}
+
+TEST(Vfs, ReplaceKeepsId)
+{
+    Vfs vfs;
+    const FileId id = vfs.createFile("a", "old");
+    const FileId id2 = vfs.createFile("a", "newer");
+    EXPECT_EQ(id, id2);
+    EXPECT_EQ(vfs.size(id), 5u);
+    EXPECT_EQ(vfs.fileCount(), 1u);
+}
+
+TEST(Vfs, TotalBytesIncludesPhantoms)
+{
+    Vfs vfs;
+    vfs.createFile("a", "abc");
+    vfs.createPhantom("b", 1000);
+    EXPECT_EQ(vfs.totalBytes(), 1003u);
+}
+
+} // namespace
+} // namespace afsb::io

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the analytic FLOP/traffic model, including the scaling
+ * shapes the paper reports (cubic triangle attention, Table VI
+ * ratios, VRAM pressure at 6QNR scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/flops.hh"
+#include "util/units.hh"
+
+namespace afsb::model {
+namespace {
+
+TEST(Flops, TriangleAttentionIsCubic)
+{
+    const auto cfg = paperConfig();
+    const auto c1 =
+        layerCost(LayerKind::TriangleAttnStarting, 500, cfg);
+    const auto c2 =
+        layerCost(LayerKind::TriangleAttnStarting, 1000, cfg);
+    // Doubling N: the cubic term dominates at these sizes.
+    EXPECT_GT(c2.flops / c1.flops, 6.0);
+    EXPECT_LT(c2.flops / c1.flops, 8.5);
+}
+
+TEST(Flops, PairTransitionIsQuadratic)
+{
+    const auto cfg = paperConfig();
+    const auto c1 = layerCost(LayerKind::PairTransition, 500, cfg);
+    const auto c2 = layerCost(LayerKind::PairTransition, 1000, cfg);
+    EXPECT_NEAR(c2.flops / c1.flops, 4.0, 0.01);
+}
+
+TEST(Flops, GraphCountsMatchArchitecture)
+{
+    const auto cfg = paperConfig();
+    const auto graph = operatorGraph(850, cfg);
+    uint32_t triangleAttnCount = 0;
+    uint32_t globalAttnCount = 0;
+    for (const auto &l : graph) {
+        if (l.kind == LayerKind::TriangleAttnStarting ||
+            l.kind == LayerKind::TriangleAttnEnding)
+            triangleAttnCount += l.count;
+        if (l.kind == LayerKind::GlobalAttention)
+            globalAttnCount += l.count;
+    }
+    EXPECT_EQ(triangleAttnCount,
+              2 * 48u * cfg.recyclingIterations);
+    EXPECT_EQ(globalAttnCount,
+              cfg.diffusionSteps * cfg.diffusionSamples);
+}
+
+TEST(Flops, PairformerDominatedByTriangleLayers)
+{
+    // Fig 9: triangle attention + mult update are the Pairformer
+    // hotspots.
+    const auto cfg = paperConfig();
+    const auto graph = operatorGraph(484, cfg);
+    double triangle = 0.0, pairformer = 0.0;
+    for (const auto &l : graph) {
+        if (!isPairformerLayer(l.kind))
+            continue;
+        pairformer += l.cost.flops * l.count;
+        if (l.kind == LayerKind::TriangleAttnStarting ||
+            l.kind == LayerKind::TriangleAttnEnding ||
+            l.kind == LayerKind::TriangleMultOutgoing ||
+            l.kind == LayerKind::TriangleMultIncoming)
+            triangle += l.cost.flops * l.count;
+    }
+    EXPECT_GT(triangle / pairformer, 0.4);
+}
+
+TEST(Flops, GlobalAttentionDominatesDiffusion)
+{
+    // Fig 9: global attention is the largest Diffusion component
+    // and its share grows with N.
+    const auto cfg = paperConfig();
+    auto shareAt = [&](size_t n) {
+        const auto graph = operatorGraph(n, cfg);
+        double global = 0.0, diffusion = 0.0;
+        for (const auto &l : graph) {
+            if (!isDiffusionLayer(l.kind))
+                continue;
+            diffusion += l.cost.flops * l.count;
+            if (l.kind == LayerKind::GlobalAttention)
+                global += l.cost.flops * l.count;
+        }
+        return global / diffusion;
+    };
+    EXPECT_GT(shareAt(857), shareAt(484));
+    EXPECT_GT(shareAt(484), 0.25);
+}
+
+TEST(Flops, TotalGrowsSuperQuadratically)
+{
+    const auto cfg = paperConfig();
+    const double f484 = totalFlops(operatorGraph(484, cfg));
+    const double f857 = totalFlops(operatorGraph(857, cfg));
+    const double lengthRatio = 857.0 / 484.0;  // 1.77x
+    const double flopRatio = f857 / f484;
+    EXPECT_GT(flopRatio, lengthRatio * lengthRatio);        // > 3.1x
+    EXPECT_LT(flopRatio, lengthRatio * lengthRatio *
+                             lengthRatio);                  // < 5.5x
+}
+
+TEST(Flops, ActivationsExceed4080VramFor6qnr)
+{
+    // Section III-B: 6QNR (1395 tokens) exceeded the RTX 4080's
+    // 16 GB, requiring AF3's unified-memory fallback, while the
+    // H100's 80 GB held it.
+    const auto cfg = paperConfig();
+    const uint64_t act6qnr = activationBytes(1395, cfg);
+    EXPECT_GT(act6qnr + weightBytes(cfg), 16 * GiB);
+    EXPECT_LT(act6qnr + weightBytes(cfg), 80 * GiB);
+    // Mid-size inputs fit the 4080.
+    EXPECT_LT(activationBytes(857, cfg) + weightBytes(cfg),
+              16 * GiB);
+}
+
+TEST(Flops, LayerNamesAreUnique)
+{
+    const auto cfg = paperConfig();
+    const auto graph = operatorGraph(100, cfg);
+    std::vector<std::string> names;
+    for (const auto &l : graph)
+        names.push_back(layerKindName(l.kind));
+    auto sorted = names;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+}
+
+TEST(Flops, KernelCountsPositive)
+{
+    const auto cfg = paperConfig();
+    for (const auto &l : operatorGraph(300, cfg)) {
+        EXPECT_GT(l.cost.kernels, 0u) << layerKindName(l.kind);
+        EXPECT_GT(l.cost.flops, 0.0) << layerKindName(l.kind);
+        EXPECT_GT(l.cost.bytes, 0.0) << layerKindName(l.kind);
+    }
+}
+
+} // namespace
+} // namespace afsb::model

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for Pairformer layers: shape preservation, update
+ * semantics, and symmetry properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/layers.hh"
+
+namespace afsb::model {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig cfg = miniConfig();
+    cfg.pairDim = 8;
+    cfg.singleDim = 12;
+    cfg.heads = 2;
+    cfg.headDim = 4;
+    return cfg;
+}
+
+struct LayerFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        cfg = tinyConfig();
+        Rng rng(11);
+        pair = Tensor::randomNormal({10, 10, cfg.pairDim}, rng);
+        single = Tensor::randomNormal({10, cfg.singleDim}, rng);
+    }
+
+    ModelConfig cfg;
+    Tensor pair;
+    Tensor single;
+};
+
+TEST_F(LayerFixture, TriangleMultPreservesShapeAndChanges)
+{
+    Rng rng(21);
+    const auto w = TriangleMultWeights::init(cfg, rng);
+    const Tensor before = pair;
+    triangleMultiplicativeUpdate(pair, w, true);
+    EXPECT_EQ(pair.shape(), before.shape());
+    EXPECT_GT(tensor::meanAbsDiff(pair, before), 1e-6);
+    EXPECT_FALSE(pair.hasNonFinite());
+}
+
+TEST_F(LayerFixture, TriangleMultVariantsDiffer)
+{
+    Rng rng(22);
+    const auto w = TriangleMultWeights::init(cfg, rng);
+    Tensor outgoing = pair;
+    Tensor incoming = pair;
+    triangleMultiplicativeUpdate(outgoing, w, true);
+    triangleMultiplicativeUpdate(incoming, w, false);
+    EXPECT_GT(tensor::meanAbsDiff(outgoing, incoming), 1e-6);
+}
+
+TEST_F(LayerFixture, TriangleMultEinsum)
+{
+    // Residual property: a zero output projection must leave the
+    // pair representation unchanged regardless of gates.
+    Rng rng(23);
+    auto w = TriangleMultWeights::init(cfg, rng);
+    w.outProj.fill(0.0f);
+    w.bias.fill(0.0f);
+    const Tensor before = pair;
+    triangleMultiplicativeUpdate(pair, w, true);
+    EXPECT_LT(tensor::meanAbsDiff(pair, before), 1e-7);
+}
+
+TEST_F(LayerFixture, TriangleAttentionModesDiffer)
+{
+    Rng rng(24);
+    const auto w = TriangleAttnWeights::init(cfg, rng);
+    Tensor starting = pair;
+    Tensor ending = pair;
+    triangleAttention(starting, w, cfg, true);
+    triangleAttention(ending, w, cfg, false);
+    EXPECT_EQ(starting.shape(), pair.shape());
+    EXPECT_GT(tensor::meanAbsDiff(starting, pair), 1e-6);
+    EXPECT_GT(tensor::meanAbsDiff(starting, ending), 1e-6);
+    EXPECT_FALSE(starting.hasNonFinite());
+}
+
+TEST_F(LayerFixture, PairTransitionIsResidualMlp)
+{
+    Rng rng(25);
+    const auto w = TransitionWeights::init(cfg.pairDim, rng);
+    const Tensor before = pair;
+    pairTransition(pair, w);
+    EXPECT_EQ(pair.shape(), before.shape());
+    EXPECT_GT(tensor::meanAbsDiff(pair, before), 1e-6);
+    // Zero weights => exact identity (pure residual).
+    auto wZero = TransitionWeights::init(cfg.pairDim, rng);
+    wZero.w2.fill(0.0f);
+    wZero.b2.fill(0.0f);
+    Tensor copy = before;
+    pairTransition(copy, wZero);
+    EXPECT_LT(tensor::meanAbsDiff(copy, before), 1e-7);
+}
+
+TEST_F(LayerFixture, SingleAttentionUsesPairBias)
+{
+    Rng rng(26);
+    const auto w = SingleAttnWeights::init(cfg, rng);
+    Tensor s1 = single;
+    singleAttentionWithPairBias(s1, pair, w, cfg);
+    EXPECT_EQ(s1.shape(), single.shape());
+    EXPECT_GT(tensor::meanAbsDiff(s1, single), 1e-6);
+
+    // Different pair tensors must change the attention output.
+    Rng rng2(27);
+    const Tensor otherPair =
+        Tensor::randomNormal({10, 10, cfg.pairDim}, rng2, 2.0f);
+    Tensor s2 = single;
+    singleAttentionWithPairBias(s2, otherPair, w, cfg);
+    EXPECT_GT(tensor::meanAbsDiff(s1, s2), 1e-6);
+}
+
+TEST_F(LayerFixture, LayersAreDeterministic)
+{
+    Rng rngA(31), rngB(31);
+    const auto wa = TriangleAttnWeights::init(cfg, rngA);
+    const auto wb = TriangleAttnWeights::init(cfg, rngB);
+    Tensor a = pair, b = pair;
+    triangleAttention(a, wa, cfg, true);
+    triangleAttention(b, wb, cfg, true);
+    EXPECT_TRUE(a == b);
+}
+
+} // namespace
+} // namespace afsb::model

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Integration tests for the assembled mini AF3 model: embedder,
+ * Pairformer stack, Diffusion module, and the layer profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/samples.hh"
+#include "bio/seqgen.hh"
+#include "model/af3_model.hh"
+#include "util/logging.hh"
+
+namespace afsb::model {
+namespace {
+
+bio::Complex
+smallComplex(size_t protein_len = 24, size_t dna_len = 8)
+{
+    bio::SequenceGenerator gen(55);
+    bio::Complex c("test");
+    c.addChain(
+        gen.random("A", bio::MoleculeType::Protein, protein_len));
+    c.addChain(gen.random("D", bio::MoleculeType::Dna, dna_len));
+    return c;
+}
+
+TEST(Embedder, ShapesAndChainStructure)
+{
+    const auto cfg = miniConfig();
+    Rng rng(1);
+    const auto w = EmbedderWeights::init(cfg, rng);
+    const auto complexInput = smallComplex();
+    const auto state =
+        embedInput(complexInput, MsaFeatures{}, w, cfg);
+    const size_t n = complexInput.totalResidues();
+    EXPECT_EQ(state.pair.shape(),
+              (std::vector<size_t>{n, n, cfg.pairDim}));
+    EXPECT_EQ(state.single.shape(),
+              (std::vector<size_t>{n, cfg.singleDim}));
+    EXPECT_FALSE(state.pair.hasNonFinite());
+
+    // Same-chain pairs at equal offsets share an embedding row;
+    // cross-chain pairs use the distinct bucket.
+    bool sameChainEqual = true;
+    for (size_t d = 0; d < cfg.pairDim; ++d)
+        sameChainEqual &= state.pair.at(0, 1, d) ==
+                          state.pair.at(1, 2, d);
+    EXPECT_TRUE(sameChainEqual);
+    double crossDiff = 0.0;
+    for (size_t d = 0; d < cfg.pairDim; ++d)
+        crossDiff += std::abs(state.pair.at(0, 1, d) -
+                              state.pair.at(0, 25, d));
+    EXPECT_GT(crossDiff, 1e-3);
+}
+
+TEST(Embedder, MsaDepthShiftsSingleRepresentation)
+{
+    const auto cfg = miniConfig();
+    Rng rng(2);
+    const auto w = EmbedderWeights::init(cfg, rng);
+    const auto complexInput = smallComplex();
+    MsaFeatures deep;
+    deep.depthPerChain = {200, 0};
+    const auto without =
+        embedInput(complexInput, MsaFeatures{}, w, cfg);
+    const auto with = embedInput(complexInput, deep, w, cfg);
+    EXPECT_GT(tensor::meanAbsDiff(with.single, without.single),
+              1e-4);
+    EXPECT_THROW(embedInput(complexInput,
+                            MsaFeatures{{1, 2, 3}}, w, cfg),
+                 FatalError);
+}
+
+TEST(NoiseSchedule, GeometricDecay)
+{
+    const auto s = noiseSchedule(8, 160.0, 0.05);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_DOUBLE_EQ(s.front(), 160.0);
+    EXPECT_NEAR(s.back(), 0.05, 1e-9);
+    for (size_t i = 1; i < s.size(); ++i) {
+        EXPECT_LT(s[i], s[i - 1]);
+        // Constant ratio.
+        EXPECT_NEAR(s[i] / s[i - 1], s[1] / s[0], 1e-9);
+    }
+}
+
+TEST(Af3Model, EndToEndInferenceProducesFiniteStructure)
+{
+    const auto cfg = miniConfig();
+    Af3Model model(cfg, 42);
+    const auto complexInput = smallComplex();
+    const auto result = model.infer(complexInput, MsaFeatures{}, 1);
+    EXPECT_EQ(result.structure.coords.shape(),
+              (std::vector<size_t>{complexInput.totalResidues(), 3}));
+    EXPECT_FALSE(result.structure.coords.hasNonFinite());
+}
+
+TEST(Af3Model, InferenceIsDeterministicPerSeed)
+{
+    const auto cfg = miniConfig();
+    Af3Model model(cfg, 42);
+    const auto complexInput = smallComplex();
+    const auto r1 = model.infer(complexInput, MsaFeatures{}, 7);
+    const auto r2 = model.infer(complexInput, MsaFeatures{}, 7);
+    EXPECT_TRUE(r1.structure.coords == r2.structure.coords);
+    const auto r3 = model.infer(complexInput, MsaFeatures{}, 8);
+    EXPECT_GT(tensor::meanAbsDiff(r1.structure.coords,
+                                  r3.structure.coords),
+              1e-6);
+}
+
+TEST(Af3Model, DiffusionConvergesFromNoise)
+{
+    // Final coordinates should have far smaller magnitude than the
+    // initial sigma_max-scaled noise.
+    const auto cfg = miniConfig();
+    Af3Model model(cfg, 42);
+    const auto complexInput = smallComplex();
+    const auto result = model.infer(complexInput, MsaFeatures{}, 1);
+    double rms = 0.0;
+    const auto &c = result.structure.coords;
+    for (size_t i = 0; i < c.size(); ++i)
+        rms += c[i] * c[i];
+    rms = std::sqrt(rms / c.size());
+    EXPECT_LT(rms, 80.0);  // started at sigma_max = 160
+    EXPECT_GT(rms, 0.0);
+}
+
+TEST(Af3Model, ProfileCoversPairformerAndDiffusion)
+{
+    const auto cfg = miniConfig();
+    Af3Model model(cfg, 42);
+    const auto result =
+        model.infer(smallComplex(), MsaFeatures{}, 1);
+    EXPECT_GT(result.pairformerSeconds(), 0.0);
+    EXPECT_GT(result.diffusionSeconds(), 0.0);
+    EXPECT_TRUE(result.profile.count("triangle_attention_starting"));
+    EXPECT_TRUE(result.profile.count("global_attention"));
+    EXPECT_TRUE(result.profile.count("local_attention_encoder"));
+    EXPECT_TRUE(result.profile.count("coordinate_update"));
+}
+
+TEST(Pairformer, WeightBytesScaleWithBlocks)
+{
+    auto cfg = miniConfig();
+    Rng rngA(1);
+    Pairformer one(
+        [&] {
+            auto c = cfg;
+            c.pairformerBlocks = 1;
+            return c;
+        }(),
+        rngA);
+    Rng rngB(1);
+    Pairformer four(
+        [&] {
+            auto c = cfg;
+            c.pairformerBlocks = 4;
+            return c;
+        }(),
+        rngB);
+    EXPECT_EQ(4 * one.weightBytes(), four.weightBytes());
+}
+
+} // namespace
+} // namespace afsb::model

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Karlin-Altschul significance statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hh"
+#include "msa/evalue.hh"
+
+namespace afsb::msa {
+namespace {
+
+struct EvalueFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        bio::SequenceGenerator gen(404);
+        query = gen.random("q", bio::MoleculeType::Protein, 150);
+        prof = std::make_unique<ProfileHmm>(
+            ProfileHmm::fromSequence(query,
+                                     ScoreMatrix::blosum62()));
+        Rng rng(11);
+        params = fitGumbel(*prof, rng, 150, 200);
+    }
+
+    bio::Sequence query;
+    std::unique_ptr<ProfileHmm> prof;
+    GumbelParams params;
+};
+
+TEST_F(EvalueFixture, FitProducesSaneParameters)
+{
+    EXPECT_GT(params.lambda, 0.01);
+    EXPECT_LT(params.lambda, 2.0);
+    EXPECT_GT(params.mu, 0.0);  // random Viterbi scores are positive
+    EXPECT_EQ(params.refTargetLen, 200u);
+}
+
+TEST_F(EvalueFixture, PValueIsMonotoneDecreasingInScore)
+{
+    double prev = 1.1;
+    for (double s = params.mu - 20; s < params.mu + 120; s += 10) {
+        const double p = pValue(params, s, 200);
+        EXPECT_LE(p, prev);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+}
+
+TEST_F(EvalueFixture, RandomScoresHaveUnsurprisingPValues)
+{
+    // The median random score should have a P-value near 0.5.
+    const double p = pValue(params, params.mu, 200);
+    EXPECT_GT(p, 0.3);
+    EXPECT_LT(p, 0.9);
+}
+
+TEST_F(EvalueFixture, SelfHitIsOverwhelminglySignificant)
+{
+    KernelConfig cfg;
+    const double self = static_cast<double>(
+        calcBand9(*prof, query, cfg).score);
+    EXPECT_LT(eValue(params, self, 100000, 300), 1e-6);
+    EXPECT_TRUE(
+        includeInNextRound(params, self, 100000, 300));
+}
+
+TEST_F(EvalueFixture, EValueScalesWithDatabaseSize)
+{
+    const double score = params.mu + 15.0;
+    const double e1 = eValue(params, score, 1000, 200);
+    const double e2 = eValue(params, score, 2000, 200);
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST_F(EvalueFixture, LongerTargetsAreLessSurprising)
+{
+    const double score = params.mu + 10.0;
+    EXPECT_GT(pValue(params, score, 2000),
+              pValue(params, score, 100));
+}
+
+TEST_F(EvalueFixture, InclusionThresholdGates)
+{
+    // A barely-above-noise score is excluded at strict thresholds.
+    const double weak = params.mu + 5.0;
+    EXPECT_FALSE(
+        includeInNextRound(params, weak, 100000, 300, 1e-3));
+    EXPECT_TRUE(
+        includeInNextRound(params, weak, 100000, 300, 1e6));
+}
+
+TEST_F(EvalueFixture, FitIsDeterministicPerSeed)
+{
+    Rng r1(77), r2(77);
+    const auto a = fitGumbel(*prof, r1, 60, 150);
+    const auto b = fitGumbel(*prof, r2, 60, 150);
+    EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+    EXPECT_DOUBLE_EQ(a.mu, b.mu);
+}
+
+} // namespace
+} // namespace afsb::msa

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for profile-HMM serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hh"
+#include "msa/dp_kernels.hh"
+#include "msa/hmm_io.hh"
+#include "util/logging.hh"
+
+namespace afsb::msa {
+namespace {
+
+TEST(HmmIo, RoundTripsProteinProfile)
+{
+    bio::SequenceGenerator gen(808);
+    const auto q = gen.random("q", bio::MoleculeType::Protein, 120);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::blosum62());
+    const auto parsed = readHmm(writeHmm(prof));
+
+    ASSERT_EQ(parsed.length(), prof.length());
+    ASSERT_EQ(parsed.alphabet(), prof.alphabet());
+    EXPECT_EQ(parsed.gaps().open, prof.gaps().open);
+    EXPECT_EQ(parsed.gaps().extend, prof.gaps().extend);
+    for (size_t pos = 0; pos < prof.length(); ++pos)
+        for (uint8_t r = 0; r < 20; ++r)
+            ASSERT_EQ(parsed.matchScore(pos, r),
+                      prof.matchScore(pos, r));
+}
+
+TEST(HmmIo, RoundTripsNucleotideProfile)
+{
+    bio::SequenceGenerator gen(809);
+    const auto q = gen.random("q", bio::MoleculeType::Rna, 60);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::nucleotide());
+    const auto parsed = readHmm(writeHmm(prof));
+    EXPECT_EQ(parsed.alphabet(), 4u);
+    EXPECT_EQ(parsed.length(), 60u);
+}
+
+TEST(HmmIo, ParsedProfileScoresIdentically)
+{
+    // A search with a deserialized profile must give identical
+    // kernel results.
+    bio::SequenceGenerator gen(810);
+    const auto q = gen.random("q", bio::MoleculeType::Protein, 90);
+    const auto t = gen.random("t", bio::MoleculeType::Protein, 200);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::blosum62());
+    const auto parsed = readHmm(writeHmm(prof));
+    EXPECT_EQ(calcBand9(prof, t).score, calcBand9(parsed, t).score);
+    EXPECT_EQ(msvFilter(prof, t).score,
+              msvFilter(parsed, t).score);
+}
+
+TEST(HmmIo, RejectsMalformedDocuments)
+{
+    bio::SequenceGenerator gen(811);
+    const auto q = gen.random("q", bio::MoleculeType::Protein, 10);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::blosum62());
+    const std::string good = writeHmm(prof);
+
+    EXPECT_THROW(readHmm(""), FatalError);
+    EXPECT_THROW(readHmm("GARBAGE 1\n"), FatalError);
+    EXPECT_THROW(readHmm("AFSBHMM 99\nLENG 1 ALPH amino\n"),
+                 FatalError);
+    // Truncated document (no terminator).
+    EXPECT_THROW(
+        readHmm(good.substr(0, good.size() - 4)), FatalError);
+    // Corrupted score token.
+    std::string bad = good;
+    bad.replace(bad.find("M 0"), 3, "M x");
+    EXPECT_THROW(readHmm(bad), FatalError);
+}
+
+TEST(HmmIo, FromEmissionsValidates)
+{
+    EXPECT_THROW(ProfileHmm::fromEmissions({}), FatalError);
+    EXPECT_THROW(ProfileHmm::fromEmissions({{1, 2, 3}}),
+                 FatalError);
+    std::vector<std::vector<int16_t>> ragged = {
+        std::vector<int16_t>(20, 1), std::vector<int16_t>(4, 1)};
+    EXPECT_THROW(ProfileHmm::fromEmissions(std::move(ragged)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace afsb::msa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for scoring matrices and profile HMM construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hh"
+#include "msa/profile_hmm.hh"
+#include "msa/score_matrix.hh"
+#include "util/logging.hh"
+
+namespace afsb::msa {
+namespace {
+
+using bio::MoleculeType;
+using bio::Sequence;
+
+int
+code(char c)
+{
+    return bio::encodeResidue(MoleculeType::Protein, c);
+}
+
+TEST(ScoreMatrix, Blosum62KnownValues)
+{
+    const auto &m = ScoreMatrix::blosum62();
+    EXPECT_EQ(m.size(), 20u);
+    EXPECT_EQ(m.score(code('A'), code('A')), 4);
+    EXPECT_EQ(m.score(code('W'), code('W')), 11);
+    EXPECT_EQ(m.score(code('Q'), code('Q')), 5);
+    EXPECT_EQ(m.score(code('A'), code('W')), -3);
+    EXPECT_EQ(m.score(code('I'), code('L')), 2);
+    EXPECT_EQ(m.score(code('D'), code('E')), 2);
+    EXPECT_EQ(m.maxScore(), 11);
+}
+
+TEST(ScoreMatrix, Blosum62IsSymmetric)
+{
+    const auto &m = ScoreMatrix::blosum62();
+    for (uint8_t a = 0; a < 20; ++a)
+        for (uint8_t b = 0; b < 20; ++b)
+            EXPECT_EQ(m.score(a, b), m.score(b, a));
+}
+
+TEST(ScoreMatrix, NucleotideMatchMismatch)
+{
+    const auto m = ScoreMatrix::nucleotide(2, 3);
+    EXPECT_EQ(m.size(), 4u);
+    for (uint8_t a = 0; a < 4; ++a)
+        for (uint8_t b = 0; b < 4; ++b)
+            EXPECT_EQ(m.score(a, b), a == b ? 2 : -3);
+}
+
+TEST(ProfileHmm, SingleSequenceEmissionsMatchMatrixColumns)
+{
+    const Sequence q("q", MoleculeType::Protein, "MKW");
+    const auto &m = ScoreMatrix::blosum62();
+    const auto prof = ProfileHmm::fromSequence(q, m);
+    EXPECT_EQ(prof.length(), 3u);
+    EXPECT_EQ(prof.alphabet(), 20u);
+    for (uint8_t r = 0; r < 20; ++r) {
+        EXPECT_EQ(prof.matchScore(0, r), m.score(q[0], r));
+        EXPECT_EQ(prof.matchScore(2, r), m.score(q[2], r));
+    }
+    EXPECT_EQ(prof.maxEmission(), 11);  // W-W
+    EXPECT_EQ(prof.footprintBytes(), 3u * 20u * sizeof(int16_t));
+}
+
+TEST(ProfileHmm, SelfScoreIsPositiveAndMaximal)
+{
+    bio::SequenceGenerator gen(3);
+    const auto q = gen.random("q", MoleculeType::Protein, 100);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::blosum62());
+    for (size_t pos = 0; pos < q.length(); ++pos) {
+        const int self = prof.matchScore(pos, q[pos]);
+        EXPECT_GT(self, 0);
+        for (uint8_t r = 0; r < 20; ++r)
+            EXPECT_LE(prof.matchScore(pos, r), self);
+    }
+}
+
+TEST(ProfileHmm, AlignmentProfileShiftsTowardConsensus)
+{
+    // Columns where all rows agree should keep strong self-scores;
+    // a split column should score both residues comparably.
+    const Sequence a("a", MoleculeType::Protein, "MMM");
+    const Sequence b("b", MoleculeType::Protein, "MKM");
+    const auto prof = ProfileHmm::fromAlignment(
+        {&a, &b}, ScoreMatrix::blosum62());
+    // Column 1 is M/K split: K should score clearly better than in
+    // an M-only profile.
+    const auto profA =
+        ProfileHmm::fromSequence(a, ScoreMatrix::blosum62());
+    EXPECT_GT(prof.matchScore(1, static_cast<uint8_t>(code('K'))),
+              profA.matchScore(1, static_cast<uint8_t>(code('K'))));
+}
+
+TEST(ProfileHmm, RejectsBadInput)
+{
+    const Sequence empty("e", MoleculeType::Protein, "");
+    EXPECT_THROW(
+        ProfileHmm::fromSequence(empty, ScoreMatrix::blosum62()),
+        FatalError);
+    const Sequence a("a", MoleculeType::Protein, "MK");
+    const Sequence b("b", MoleculeType::Protein, "MKV");
+    EXPECT_THROW(ProfileHmm::fromAlignment(
+                     {&a, &b}, ScoreMatrix::blosum62()),
+                 FatalError);
+    EXPECT_THROW(
+        ProfileHmm::fromAlignment({}, ScoreMatrix::blosum62()),
+        FatalError);
+}
+
+} // namespace
+} // namespace afsb::msa

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the profiling toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prof/perf_report.hh"
+#include "prof/phase_profiler.hh"
+#include "prof/repetition.hh"
+#include "util/memtrace.hh"
+
+namespace afsb::prof {
+namespace {
+
+TEST(PhaseProfiler, RecordsAndShares)
+{
+    PhaseProfiler p;
+    p.record("msa", 80.0);
+    p.record("inference", 20.0);
+    p.recordSub("inference", "xla_compile", 8.0);
+    EXPECT_DOUBLE_EQ(p.totalSeconds(), 100.0);
+    EXPECT_DOUBLE_EQ(p.share("msa"), 0.8);
+    EXPECT_DOUBLE_EQ(p.seconds("xla_compile"), 8.0);
+    // Repeated records accumulate.
+    p.record("msa", 20.0);
+    EXPECT_DOUBLE_EQ(p.seconds("msa"), 100.0);
+    EXPECT_FALSE(p.render().empty());
+}
+
+TEST(PhaseProfiler, MissingPhaseIsZero)
+{
+    PhaseProfiler p;
+    EXPECT_DOUBLE_EQ(p.seconds("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(p.share("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(p.totalSeconds(), 0.0);
+}
+
+TEST(PerfReport, SharesSumToHundred)
+{
+    std::vector<cachesim::FuncCounters> funcs(3);
+    funcs[0].instructions = 1'000'000;
+    funcs[0].accesses = 100'000;
+    funcs[0].l1Misses = 5'000;
+    funcs[0].l2Misses = 900;
+    funcs[0].llcMisses = 400;
+    funcs[1].instructions = 500'000;
+    funcs[1].accesses = 80'000;
+    funcs[1].l1Misses = 20'000;
+    funcs[1].l2Misses = 15'000;
+    funcs[1].llcMisses = 12'000;
+    funcs[2].instructions = 100;
+
+    const auto report = buildFunctionReport(
+        funcs, sys::serverPlatform().cpu);
+    double cyclesSum = 0.0, missSum = 0.0;
+    for (const auto &row : report) {
+        cyclesSum += row.cyclesPct;
+        missSum += row.cacheMissPct;
+    }
+    EXPECT_NEAR(cyclesSum, 100.0, 1e-6);
+    EXPECT_NEAR(missSum, 100.0, 1e-6);
+}
+
+TEST(PerfReport, MemoryBoundFunctionGainsCycleShare)
+{
+    // Two functions with equal instructions: the one with heavy
+    // misses must get the larger cycle share.
+    std::vector<cachesim::FuncCounters> funcs(2);
+    funcs[0].instructions = 1'000'000;
+    funcs[1].instructions = 1'000'000;
+    funcs[1].l1Misses = 100'000;
+    funcs[1].l2Misses = 90'000;
+    funcs[1].llcMisses = 80'000;
+    const auto report = buildFunctionReport(
+        funcs, sys::desktopPlatform().cpu);
+    ASSERT_EQ(report.size(), 2u);
+    // Sorted descending: the memory-bound one leads.
+    EXPECT_GT(report[0].cyclesPct, report[1].cyclesPct);
+    EXPECT_GT(report[0].cacheMissPct, 99.0);
+}
+
+TEST(PerfReport, FindByName)
+{
+    // Use registered well-known names.
+    const FuncId calc9 = wellknown::calcBand9();
+    std::vector<cachesim::FuncCounters> funcs(calc9 + size_t{1});
+    funcs[calc9].instructions = 100;
+    const auto report = buildFunctionReport(
+        funcs, sys::serverPlatform().cpu);
+    EXPECT_NE(findFunction(report, "calc_band_9"), nullptr);
+    EXPECT_EQ(findFunction(report, "no_such_symbol"), nullptr);
+}
+
+TEST(Repetition, CollectsStatsAndChecksCv)
+{
+    size_t calls = 0;
+    const auto stable = repeatMeasurement(5, [&](size_t run) {
+        ++calls;
+        return 100.0 + static_cast<double>(run) * 0.1;
+    });
+    EXPECT_EQ(calls, 5u);
+    EXPECT_EQ(stable.stats.count(), 5u);
+    EXPECT_TRUE(stable.stable());
+
+    const auto unstable = repeatMeasurement(
+        5,
+        [](size_t run) { return run % 2 ? 200.0 : 100.0; },
+        0.01);
+    EXPECT_FALSE(unstable.stable());
+}
+
+} // namespace
+} // namespace afsb::prof

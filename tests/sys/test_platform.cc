@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests that platform specs match the paper's Table I and that the
+ * memory model reproduces the Section III-C capacity semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "msa/memory_model.hh"
+#include "sys/memory_model.hh"
+#include "sys/platform.hh"
+#include "util/units.hh"
+
+namespace afsb::sys {
+namespace {
+
+TEST(Platform, ServerMatchesTableI)
+{
+    const auto p = serverPlatform();
+    EXPECT_EQ(p.name, "Server");
+    EXPECT_EQ(p.cpu.vendor, "intel");
+    EXPECT_EQ(p.cpu.cores, 16u);
+    EXPECT_EQ(p.cpu.threads, 32u);
+    EXPECT_DOUBLE_EQ(p.cpu.baseClockGhz, 2.0);
+    EXPECT_DOUBLE_EQ(p.cpu.maxClockGhz, 4.0);
+    EXPECT_EQ(p.cpu.llc.size, 30 * MiB);
+    EXPECT_EQ(p.cpu.l2.size, 2 * MiB);
+    EXPECT_EQ(p.memory.dramBytes, 512 * GiB);
+    EXPECT_EQ(p.gpu.vramBytes, 80 * GiB);
+}
+
+TEST(Platform, DesktopMatchesTableI)
+{
+    const auto p = desktopPlatform();
+    EXPECT_EQ(p.cpu.vendor, "amd");
+    EXPECT_EQ(p.cpu.cores, 12u);
+    EXPECT_EQ(p.cpu.threads, 24u);
+    EXPECT_DOUBLE_EQ(p.cpu.baseClockGhz, 4.7);
+    EXPECT_DOUBLE_EQ(p.cpu.maxClockGhz, 5.6);
+    EXPECT_EQ(p.cpu.llc.size, 64 * MiB);
+    EXPECT_EQ(p.cpu.l2.size, 1 * MiB);
+    EXPECT_EQ(p.memory.dramBytes, 64 * GiB);
+    EXPECT_EQ(p.gpu.vramBytes, 16 * GiB);
+}
+
+TEST(Platform, VariantsAdjustMemory)
+{
+    EXPECT_EQ(serverPlatformWithCxl().totalMemoryBytes(),
+              768 * GiB);
+    EXPECT_EQ(desktopPlatformUpgraded().memory.dramBytes,
+              128 * GiB);
+}
+
+TEST(Platform, ClockTapersWithActiveCores)
+{
+    const auto p = desktopPlatform();
+    EXPECT_DOUBLE_EQ(p.effectiveClockGhz(1), 5.6);
+    EXPECT_DOUBLE_EQ(p.effectiveClockGhz(12), 5.1);
+    EXPECT_DOUBLE_EQ(p.effectiveClockGhz(64), 5.1);
+    EXPECT_GT(p.effectiveClockGhz(4), p.effectiveClockGhz(8));
+    // Desktop clocks dominate Server clocks at every thread count.
+    const auto s = serverPlatform();
+    for (uint32_t t = 1; t <= 16; ++t)
+        EXPECT_GT(p.effectiveClockGhz(t), s.effectiveClockGhz(t));
+}
+
+TEST(MemoryModel, ClassifiesTiers)
+{
+    MemoryModel m(serverPlatformWithCxl().memory);
+    EXPECT_EQ(m.classify(100 * GiB), MemFit::FitsDram);
+    EXPECT_EQ(m.classify(600 * GiB), MemFit::NeedsCxl);
+    EXPECT_EQ(m.classify(800 * GiB), MemFit::Oom);
+}
+
+TEST(MemoryModel, Fig2PlacementsReproduce)
+{
+    // 644 GiB (1135-nt RNA) completes only with CXL; 1335-nt fails
+    // even with it.
+    MemoryModel noCxl(serverPlatform().memory);
+    MemoryModel withCxl(serverPlatformWithCxl().memory);
+    const uint64_t rna1135 = msa::nhmmerPeakMemoryBytes(1135);
+    const uint64_t rna1335 = msa::nhmmerPeakMemoryBytes(1335);
+    EXPECT_EQ(noCxl.classify(rna1135), MemFit::Oom);
+    EXPECT_EQ(withCxl.classify(rna1135), MemFit::NeedsCxl);
+    EXPECT_EQ(withCxl.classify(rna1335), MemFit::Oom);
+    // 935-nt (506 GiB) still fits plain server DRAM.
+    EXPECT_EQ(noCxl.classify(msa::nhmmerPeakMemoryBytes(935)),
+              MemFit::FitsDram);
+}
+
+TEST(MemoryModel, AllocateTracksPeakAndOom)
+{
+    MemoryModel m(desktopPlatform().memory);  // 64 GiB, no CXL
+    EXPECT_EQ(m.allocate(40 * GiB), MemFit::FitsDram);
+    EXPECT_EQ(m.allocate(40 * GiB), MemFit::Oom);
+    EXPECT_EQ(m.inUse(), 40 * GiB);  // OOM allocation not recorded
+    m.release(10 * GiB);
+    EXPECT_EQ(m.inUse(), 30 * GiB);
+    EXPECT_EQ(m.peak(), 40 * GiB);
+}
+
+TEST(MemoryModel, CxlSpillRaisesLatencyFactor)
+{
+    MemoryModel m(serverPlatformWithCxl().memory);
+    EXPECT_EQ(m.allocate(600 * GiB), MemFit::NeedsCxl);
+    EXPECT_GT(m.cxlResident(), 0u);
+    EXPECT_GT(m.latencyFactor(), 1.0);
+    EXPECT_LT(m.latencyFactor(),
+              m.spec().cxlLatencyFactor + 1e-9);
+}
+
+} // namespace
+} // namespace afsb::sys

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the tensor container and operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace afsb::tensor {
+namespace {
+
+TEST(Tensor, ShapeAndAccessors)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.bytes(), 24u);
+    t.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+    EXPECT_FLOAT_EQ(t[5], 5.0f);
+    EXPECT_EQ(t.shapeString(), "[2, 3]");
+    EXPECT_DOUBLE_EQ(t.sum(), 5.0);
+}
+
+TEST(Tensor, RandomNormalDeterministicAndScaled)
+{
+    Rng r1(5), r2(5);
+    const auto a = Tensor::randomNormal({100, 100}, r1, 2.0f);
+    const auto b = Tensor::randomNormal({100, 100}, r2, 2.0f);
+    EXPECT_TRUE(a == b);
+    double sq = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sq += a[i] * a[i];
+    EXPECT_NEAR(std::sqrt(sq / a.size()), 2.0, 0.05);
+}
+
+TEST(Ops, MatmulAgainstHandComputed)
+{
+    Tensor a({2, 3});
+    Tensor b({3, 2});
+    // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+    for (size_t i = 0; i < 6; ++i) {
+        a[i] = static_cast<float>(i + 1);
+        b[i] = static_cast<float>(i + 7);
+    }
+    const auto c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulMatchesLinear)
+{
+    Rng rng(3);
+    const auto x = Tensor::randomNormal({4, 8}, rng);
+    const auto w = Tensor::randomNormal({8, 5}, rng);
+    const Tensor zb({5});
+    const auto viaLinear = linear(x, w, zb);
+    const auto viaMatmul = matmul(x, w);
+    EXPECT_LT(meanAbsDiff(viaLinear, viaMatmul), 1e-6);
+}
+
+TEST(Ops, LinearAppliesBiasOverBatchedRank3)
+{
+    Rng rng(4);
+    const auto x = Tensor::randomNormal({2, 3, 4}, rng);
+    const Tensor w({4, 2}, 0.0f);
+    Tensor b({2});
+    b[0] = 1.5f;
+    b[1] = -2.0f;
+    const auto y = linear(x, w, b);
+    EXPECT_EQ(y.shape(), (std::vector<size_t>{2, 3, 2}));
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j) {
+            EXPECT_FLOAT_EQ(y.at(i, j, 0), 1.5f);
+            EXPECT_FLOAT_EQ(y.at(i, j, 1), -2.0f);
+        }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    const auto x = Tensor::randomNormal({7, 13}, rng, 3.0f);
+    const auto y = softmax(x);
+    for (size_t i = 0; i < 7; ++i) {
+        float sum = 0.0f;
+        for (size_t j = 0; j < 13; ++j) {
+            EXPECT_GT(y.at(i, j), 0.0f);
+            sum += y.at(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits)
+{
+    Tensor x({1, 3});
+    x[0] = 1e4f;
+    x[1] = 1e4f + 1.0f;
+    x[2] = -1e4f;
+    const auto y = softmax(x);
+    EXPECT_FALSE(y.hasNonFinite());
+    EXPECT_GT(y[1], y[0]);
+    EXPECT_NEAR(y[2], 0.0f, 1e-6);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar)
+{
+    Rng rng(6);
+    const auto x = Tensor::randomNormal({5, 64}, rng, 4.0f);
+    const auto y = layerNorm(x);
+    for (size_t i = 0; i < 5; ++i) {
+        double mean = 0.0, var = 0.0;
+        for (size_t j = 0; j < 64; ++j)
+            mean += y.at(i, j);
+        mean /= 64.0;
+        for (size_t j = 0; j < 64; ++j)
+            var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+        var /= 64.0;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(Ops, ActivationsPointwiseProperties)
+{
+    Tensor x({5});
+    x[0] = -3.0f;
+    x[1] = -0.5f;
+    x[2] = 0.0f;
+    x[3] = 0.5f;
+    x[4] = 3.0f;
+    const auto r = relu(x);
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[4], 3.0f);
+    const auto s = sigmoid(x);
+    EXPECT_NEAR(s[2], 0.5f, 1e-6);
+    EXPECT_GT(s[4], 0.95f);
+    EXPECT_LT(s[0], 0.05f);
+    const auto g = gelu(x);
+    EXPECT_NEAR(g[2], 0.0f, 1e-6);
+    EXPECT_NEAR(g[4], 3.0f, 1e-2);
+    EXPECT_NEAR(g[0], 0.0f, 1e-2);
+}
+
+TEST(Ops, AddMulScaleTranspose)
+{
+    Rng rng(7);
+    const auto a = Tensor::randomNormal({3, 4}, rng);
+    const auto b = Tensor::randomNormal({3, 4}, rng);
+    const auto sum = add(a, b);
+    const auto prod = mul(a, b);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_FLOAT_EQ(sum[i], a[i] + b[i]);
+        EXPECT_FLOAT_EQ(prod[i], a[i] * b[i]);
+    }
+    const auto doubled = scale(a, 2.0f);
+    EXPECT_FLOAT_EQ(doubled[0], 2.0f * a[0]);
+    const auto t = transpose(a);
+    EXPECT_EQ(t.shape(), (std::vector<size_t>{4, 3}));
+    EXPECT_FLOAT_EQ(t.at(1, 2), a.at(2, 1));
+}
+
+TEST(Ops, AddInPlaceAccumulates)
+{
+    Tensor a({2, 2}, 1.0f);
+    const Tensor b({2, 2}, 2.5f);
+    addInPlace(a, b);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(a[i], 3.5f);
+}
+
+} // namespace
+} // namespace afsb::tensor

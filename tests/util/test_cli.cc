@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace afsb {
+namespace {
+
+CliArgs
+parse(std::initializer_list<const char *> tokens)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, PositionalsAndCommand)
+{
+    const auto args = parse({"run", "extra"});
+    EXPECT_EQ(args.command(), "run");
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[1], "extra");
+    EXPECT_EQ(parse({}).command("help"), "help");
+}
+
+TEST(Cli, OptionsWithValues)
+{
+    const auto args =
+        parse({"run", "--sample", "promo", "--threads", "1,2,4"});
+    EXPECT_TRUE(args.has("sample"));
+    EXPECT_EQ(args.get("sample"), "promo");
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, SwitchesWithoutValues)
+{
+    const auto args = parse({"run", "--preload", "--csv", "x.csv"});
+    EXPECT_TRUE(args.getSwitch("preload"));
+    EXPECT_FALSE(args.getSwitch("persistent"));
+    EXPECT_EQ(args.get("csv"), "x.csv");
+}
+
+TEST(Cli, SwitchFollowedByOption)
+{
+    // --preload is followed by another option, so it stays boolean.
+    const auto args = parse({"--preload", "--repeats", "3"});
+    EXPECT_TRUE(args.getSwitch("preload"));
+    EXPECT_EQ(args.getInt("repeats", 1), 3);
+}
+
+TEST(Cli, IntAndDoubleParsing)
+{
+    const auto args = parse({"--n", "42", "--x", "2.5"});
+    EXPECT_EQ(args.getInt("n", 0), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 0.0), 2.5);
+    EXPECT_EQ(args.getInt("absent", 7), 7);
+    const auto bad = parse({"--n", "abc"});
+    EXPECT_THROW(bad.getInt("n", 0), FatalError);
+}
+
+TEST(Cli, IntLists)
+{
+    const auto args = parse({"--threads", "1,2, 4,8"});
+    const auto list = args.getIntList("threads", {99});
+    ASSERT_EQ(list.size(), 4u);
+    EXPECT_EQ(list[0], 1u);
+    EXPECT_EQ(list[3], 8u);
+    EXPECT_EQ(parse({}).getIntList("threads", {5})[0], 5u);
+    EXPECT_THROW(parse({"--threads", "1,x"})
+                     .getIntList("threads", {}),
+                 FatalError);
+    EXPECT_THROW(parse({"--threads", "0"})
+                     .getIntList("threads", {}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace afsb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit and property tests for the monotone cubic interpolator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/interp.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace afsb {
+namespace {
+
+TEST(MonotoneCubic, PassesThroughControlPoints)
+{
+    const MonotoneCubic f({0.0, 1.0, 3.0, 7.0},
+                          {2.0, 5.0, 5.5, 40.0});
+    EXPECT_NEAR(f(0.0), 2.0, 1e-12);
+    EXPECT_NEAR(f(1.0), 5.0, 1e-12);
+    EXPECT_NEAR(f(3.0), 5.5, 1e-12);
+    EXPECT_NEAR(f(7.0), 40.0, 1e-12);
+}
+
+TEST(MonotoneCubic, PreservesMonotonicity)
+{
+    // Increasing control data must yield an increasing curve with
+    // no Runge-style overshoot between points.
+    const MonotoneCubic f({0, 150, 300, 621, 935, 1135},
+                          {0.5, 2.0, 8.0, 79.3, 506.0, 644.0});
+    double prev = f(0.0);
+    for (double x = 1.0; x <= 1135.0; x += 1.0) {
+        const double y = f(x);
+        ASSERT_GE(y, prev - 1e-9) << "at x=" << x;
+        prev = y;
+    }
+}
+
+TEST(MonotoneCubic, LinearDataReproducedExactly)
+{
+    const MonotoneCubic f({0.0, 1.0, 2.0, 3.0},
+                          {1.0, 3.0, 5.0, 7.0});
+    for (double x = 0.0; x <= 3.0; x += 0.125)
+        EXPECT_NEAR(f(x), 1.0 + 2.0 * x, 1e-9);
+}
+
+TEST(MonotoneCubic, ExtrapolatesLinearly)
+{
+    const MonotoneCubic f({0.0, 1.0}, {0.0, 2.0});
+    EXPECT_NEAR(f(2.0), 4.0, 1e-9);
+    EXPECT_NEAR(f(-1.0), -2.0, 1e-9);
+}
+
+TEST(MonotoneCubic, HandlesFlatSegments)
+{
+    const MonotoneCubic f({0.0, 1.0, 2.0, 3.0},
+                          {1.0, 1.0, 1.0, 5.0});
+    EXPECT_NEAR(f(0.5), 1.0, 1e-9);
+    EXPECT_NEAR(f(1.5), 1.0, 1e-9);
+    EXPECT_GT(f(2.5), 1.0);
+}
+
+TEST(MonotoneCubic, RejectsBadInput)
+{
+    EXPECT_THROW(MonotoneCubic({1.0}, {1.0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({1.0, 1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({2.0, 1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(MonotoneCubic({1.0, 2.0}, {1.0}), FatalError);
+}
+
+TEST(MonotoneCubic, RandomMonotoneDataStaysMonotone)
+{
+    // Property sweep: random increasing control points never
+    // produce a decreasing interpolant.
+    Rng rng(31337);
+    for (int trial = 0; trial < 25; ++trial) {
+        std::vector<double> xs = {0.0}, ys = {0.0};
+        for (int i = 0; i < 8; ++i) {
+            xs.push_back(xs.back() + 0.5 + rng.nextDouble() * 10.0);
+            ys.push_back(ys.back() + rng.nextDouble() * 100.0);
+        }
+        const MonotoneCubic f(xs, ys);
+        double prev = f(xs.front());
+        for (double x = xs.front(); x <= xs.back();
+             x += (xs.back() - xs.front()) / 500.0) {
+            const double y = f(x);
+            ASSERT_GE(y, prev - 1e-9)
+                << "trial " << trial << " x=" << x;
+            prev = y;
+        }
+    }
+}
+
+} // namespace
+} // namespace afsb

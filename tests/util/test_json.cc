@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the JSON parser and writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("3.5").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(parseJson("-42").asNumber(), -42.0);
+    EXPECT_DOUBLE_EQ(parseJson("1e3").asNumber(), 1000.0);
+    EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    const auto v = parseJson(R"({
+        "name": "2PV7",
+        "sequences": [
+            {"protein": {"id": "A", "sequence": "MKV"}},
+            {"protein": {"id": "B", "sequence": "MKV"}}
+        ],
+        "modelSeeds": [1, 2, 3]
+    })");
+    EXPECT_EQ(v.at("name").asString(), "2PV7");
+    EXPECT_EQ(v.at("sequences").size(), 2u);
+    EXPECT_EQ(v.at("sequences").at(0).at("protein").at("id").asString(),
+              "A");
+    EXPECT_EQ(v.at("modelSeeds").at(2).asInt(), 3);
+}
+
+TEST(Json, ParsesEscapes)
+{
+    const auto v = parseJson(R"("a\nb\t\"q\" \\ A")");
+    EXPECT_EQ(v.asString(), "a\nb\t\"q\" \\ A");
+}
+
+TEST(Json, ParsesUnicodeEscapeToUtf8)
+{
+    const auto v = parseJson(R"("é")");
+    EXPECT_EQ(v.asString(), "\xc3\xa9");
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    const std::string doc =
+        R"({"a":[1,2.5,true,null,"x"],"b":{"c":-3},"d":""})";
+    const auto v = parseJson(doc);
+    const auto v2 = parseJson(v.dump());
+    EXPECT_TRUE(v == v2);
+}
+
+TEST(Json, PrettyDumpParsesBack)
+{
+    const auto v = parseJson(R"({"k":[{"a":1},{"b":[2,3]}]})");
+    const auto v2 = parseJson(v.dumpPretty());
+    EXPECT_TRUE(v == v2);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), FatalError);
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("[1,]"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parseJson("tru"), FatalError);
+    EXPECT_THROW(parseJson("\"unterminated"), FatalError);
+    EXPECT_THROW(parseJson("1 2"), FatalError);
+    EXPECT_THROW(parseJson("\"bad\x01ctl\""), FatalError);
+}
+
+TEST(Json, TypeMismatchIsFatal)
+{
+    const auto v = parseJson("[1]");
+    EXPECT_THROW(v.asObject(), FatalError);
+    EXPECT_THROW(v.at("x"), FatalError);
+    EXPECT_THROW(v.at(5), FatalError);
+}
+
+TEST(Json, GetWithFallback)
+{
+    const auto v = parseJson(R"({"a":1})");
+    const JsonValue dflt(99);
+    EXPECT_EQ(v.get("a", dflt).asInt(), 1);
+    EXPECT_EQ(v.get("zz", dflt).asInt(), 99);
+}
+
+TEST(Json, BuildsDocumentsProgrammatically)
+{
+    auto obj = JsonValue::makeObject();
+    obj["name"] = JsonValue("promo");
+    auto arr = JsonValue::makeArray();
+    arr.push(JsonValue(1));
+    arr.push(JsonValue(2));
+    obj["seeds"] = arr;
+    const auto round = parseJson(obj.dump());
+    EXPECT_EQ(round.at("name").asString(), "promo");
+    EXPECT_EQ(round.at("seeds").size(), 2u);
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint)
+{
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(-7).dump(), "-7");
+    EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+}
+
+} // namespace
+} // namespace afsb

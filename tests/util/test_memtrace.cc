@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the memory-trace function registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/memtrace.hh"
+#include "util/logging.hh"
+
+namespace afsb {
+namespace {
+
+TEST(FuncRegistry, InternIsStableAndIdempotent)
+{
+    FuncRegistry reg;
+    const FuncId a = reg.intern("alpha");
+    const FuncId b = reg.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.intern("alpha"), a);
+    EXPECT_EQ(reg.name(a), "alpha");
+    EXPECT_EQ(reg.name(b), "beta");
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(FuncRegistry, WellKnownIdsAreDistinctAndNamed)
+{
+    const FuncId ids[] = {
+        wellknown::calcBand9(),  wellknown::calcBand10(),
+        wellknown::addbuf(),     wellknown::seebuf(),
+        wellknown::copyToIter(), wellknown::msvFilter(),
+        wellknown::fillInsert(), wellknown::byteSizeOf(),
+        wellknown::other(),
+    };
+    for (size_t i = 0; i < std::size(ids); ++i)
+        for (size_t j = i + 1; j < std::size(ids); ++j)
+            EXPECT_NE(ids[i], ids[j]);
+    auto &reg = FuncRegistry::global();
+    EXPECT_EQ(reg.name(wellknown::calcBand9()), "calc_band_9");
+    EXPECT_EQ(reg.name(wellknown::copyToIter()), "copy_to_iter");
+    EXPECT_EQ(reg.name(wellknown::fillInsert()),
+              "std::vector::_M_fill_insert");
+}
+
+TEST(FuncRegistry, WellKnownIdsAreCachedAcrossCalls)
+{
+    EXPECT_EQ(wellknown::addbuf(), wellknown::addbuf());
+    const size_t before = FuncRegistry::global().size();
+    (void)wellknown::addbuf();
+    EXPECT_EQ(FuncRegistry::global().size(), before);
+}
+
+} // namespace
+} // namespace afsb

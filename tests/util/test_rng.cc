@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and statistical property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(17);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextWeighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    // The child stream should not replay the parent stream.
+    Rng parentCopy(21);
+    parentCopy.next(); // advance past the fork draw
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += child.next() == parentCopy.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(23);
+    int hits = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.2);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.02);
+}
+
+} // namespace
+} // namespace afsb

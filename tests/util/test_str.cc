@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for string and unit-formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/str.hh"
+#include "util/units.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Str, Format)
+{
+    EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strformat("%.2f", 1.234), "1.23");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Str, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Str, TrimAndCase)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(toLower("AbC1"), "abc1");
+}
+
+TEST(Str, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("promo.json", "promo"));
+    EXPECT_FALSE(startsWith("a", "ab"));
+    EXPECT_TRUE(endsWith("promo.json", ".json"));
+    EXPECT_FALSE(endsWith("x", "xy"));
+}
+
+TEST(Str, JoinRepeatPad)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(repeat("ab", 3), "ababab");
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("7", 3), "7  ");
+    EXPECT_EQ(padLeft("1234", 3), "1234");
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(uint64_t{512}), "512 B");
+    EXPECT_EQ(formatBytes(uint64_t{2048}), "2.00 KiB");
+    EXPECT_EQ(formatBytes(79.3 * static_cast<double>(GiB)), "79.30 GiB");
+    EXPECT_EQ(formatBytes(1.5 * static_cast<double>(TiB)), "1.50 TiB");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(0.0035), "3.50 ms");
+    EXPECT_EQ(formatSeconds(2.0), "2.00 s");
+    EXPECT_EQ(formatSeconds(222.0), "3m42s");
+    EXPECT_EQ(formatSeconds(4.2e-7), "420.0 ns");
+}
+
+TEST(Units, FormatRate)
+{
+    EXPECT_EQ(formatRate(3.1e9), "3.10 GB/s");
+    EXPECT_EQ(formatRate(2.5e6), "2.50 MB/s");
+}
+
+} // namespace
+} // namespace afsb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for TextTable and CsvWriter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace afsb {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"Sample", "Len"});
+    t.addRow({"2PV7", "484"});
+    t.addRow({"promo", "857"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("Sample | Len"), std::string::npos);
+    EXPECT_NE(out.find("2PV7   | 484"), std::string::npos);
+    EXPECT_NE(out.find("promo  | 857"), std::string::npos);
+}
+
+TEST(TextTable, TitleAndSeparators)
+{
+    TextTable t("TABLE II");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const auto out = t.render();
+    EXPECT_EQ(out.rfind("TABLE II", 0), 0u);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, RaggedRowsArePadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Csv, QuotesSpecialFields)
+{
+    CsvWriter w;
+    w.setHeader({"name", "note"});
+    w.addRow({"x,y", "say \"hi\""});
+    w.addRow({"plain", "line\nbreak"});
+    const auto out = w.render();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+    EXPECT_EQ(w.rowCount(), 2u);
+}
+
+TEST(Csv, PlainFieldsUnquoted)
+{
+    CsvWriter w;
+    w.addRow({"a", "b"});
+    EXPECT_EQ(w.render(), "a,b\n");
+}
+
+} // namespace
+} // namespace afsb

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/threadpool.hh"
+
+namespace afsb {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsPromotedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> x{0};
+    pool.submit([&] { x = 42; });
+    pool.wait();
+    EXPECT_EQ(x.load(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(6);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(0, [&](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelBlocksPartitionIsContiguousAndComplete)
+{
+    ThreadPool pool(3);
+    std::mutex m;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    pool.parallelBlocks(100, [&](size_t, size_t b, size_t e) {
+        std::lock_guard lock(m);
+        ranges.emplace_back(b, e);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    size_t expect = 0;
+    for (auto [b, e] : ranges) {
+        EXPECT_EQ(b, expect);
+        EXPECT_GT(e, b);
+        expect = e;
+    }
+    EXPECT_EQ(expect, 100u);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 45);
+    pool.parallelFor(5, [&](size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPool, MoreWorkersThanItems)
+{
+    ThreadPool pool(16);
+    std::atomic<int> count{0};
+    pool.parallelFor(3, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+} // namespace
+} // namespace afsb
