@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_phase_share.dir/bench_fig7_phase_share.cc.o"
+  "CMakeFiles/bench_fig7_phase_share.dir/bench_fig7_phase_share.cc.o.d"
+  "bench_fig7_phase_share"
+  "bench_fig7_phase_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_phase_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

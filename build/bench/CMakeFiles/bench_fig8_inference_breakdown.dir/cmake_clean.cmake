@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_inference_breakdown.dir/bench_fig8_inference_breakdown.cc.o"
+  "CMakeFiles/bench_fig8_inference_breakdown.dir/bench_fig8_inference_breakdown.cc.o.d"
+  "bench_fig8_inference_breakdown"
+  "bench_fig8_inference_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_inference_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

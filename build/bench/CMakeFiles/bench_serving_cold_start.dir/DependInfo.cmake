@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_serving_cold_start.cc" "bench/CMakeFiles/bench_serving_cold_start.dir/bench_serving_cold_start.cc.o" "gcc" "bench/CMakeFiles/bench_serving_cold_start.dir/bench_serving_cold_start.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afsb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/afsb_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/afsb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afsb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/afsb_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/afsb_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/afsb_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/afsb_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_init_bottlenecks.dir/bench_table5_init_bottlenecks.cc.o"
+  "CMakeFiles/bench_table5_init_bottlenecks.dir/bench_table5_init_bottlenecks.cc.o.d"
+  "bench_table5_init_bottlenecks"
+  "bench_table5_init_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_init_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

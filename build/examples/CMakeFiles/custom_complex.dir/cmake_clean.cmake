@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_complex.dir/custom_complex.cpp.o"
+  "CMakeFiles/custom_complex.dir/custom_complex.cpp.o.d"
+  "custom_complex"
+  "custom_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_advisor.dir/thread_advisor.cpp.o"
+  "CMakeFiles/thread_advisor.dir/thread_advisor.cpp.o.d"
+  "thread_advisor"
+  "thread_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

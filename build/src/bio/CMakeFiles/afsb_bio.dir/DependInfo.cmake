@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cc" "src/bio/CMakeFiles/afsb_bio.dir/alphabet.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/alphabet.cc.o.d"
+  "/root/repo/src/bio/complexity.cc" "src/bio/CMakeFiles/afsb_bio.dir/complexity.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/complexity.cc.o.d"
+  "/root/repo/src/bio/fasta.cc" "src/bio/CMakeFiles/afsb_bio.dir/fasta.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/fasta.cc.o.d"
+  "/root/repo/src/bio/input_spec.cc" "src/bio/CMakeFiles/afsb_bio.dir/input_spec.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/input_spec.cc.o.d"
+  "/root/repo/src/bio/samples.cc" "src/bio/CMakeFiles/afsb_bio.dir/samples.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/samples.cc.o.d"
+  "/root/repo/src/bio/seqgen.cc" "src/bio/CMakeFiles/afsb_bio.dir/seqgen.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/seqgen.cc.o.d"
+  "/root/repo/src/bio/sequence.cc" "src/bio/CMakeFiles/afsb_bio.dir/sequence.cc.o" "gcc" "src/bio/CMakeFiles/afsb_bio.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_bio.dir/alphabet.cc.o"
+  "CMakeFiles/afsb_bio.dir/alphabet.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/complexity.cc.o"
+  "CMakeFiles/afsb_bio.dir/complexity.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/fasta.cc.o"
+  "CMakeFiles/afsb_bio.dir/fasta.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/input_spec.cc.o"
+  "CMakeFiles/afsb_bio.dir/input_spec.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/samples.cc.o"
+  "CMakeFiles/afsb_bio.dir/samples.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/seqgen.cc.o"
+  "CMakeFiles/afsb_bio.dir/seqgen.cc.o.d"
+  "CMakeFiles/afsb_bio.dir/sequence.cc.o"
+  "CMakeFiles/afsb_bio.dir/sequence.cc.o.d"
+  "libafsb_bio.a"
+  "libafsb_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

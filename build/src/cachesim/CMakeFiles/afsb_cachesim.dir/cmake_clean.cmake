@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_cachesim.dir/cache.cc.o"
+  "CMakeFiles/afsb_cachesim.dir/cache.cc.o.d"
+  "CMakeFiles/afsb_cachesim.dir/hierarchy.cc.o"
+  "CMakeFiles/afsb_cachesim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/afsb_cachesim.dir/timing.cc.o"
+  "CMakeFiles/afsb_cachesim.dir/timing.cc.o.d"
+  "libafsb_cachesim.a"
+  "libafsb_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

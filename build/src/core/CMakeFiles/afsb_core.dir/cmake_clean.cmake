@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_core.dir/adaptive_threads.cc.o"
+  "CMakeFiles/afsb_core.dir/adaptive_threads.cc.o.d"
+  "CMakeFiles/afsb_core.dir/memory_estimator.cc.o"
+  "CMakeFiles/afsb_core.dir/memory_estimator.cc.o.d"
+  "CMakeFiles/afsb_core.dir/msa_phase.cc.o"
+  "CMakeFiles/afsb_core.dir/msa_phase.cc.o.d"
+  "CMakeFiles/afsb_core.dir/pipeline.cc.o"
+  "CMakeFiles/afsb_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/afsb_core.dir/workspace.cc.o"
+  "CMakeFiles/afsb_core.dir/workspace.cc.o.d"
+  "libafsb_core.a"
+  "libafsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

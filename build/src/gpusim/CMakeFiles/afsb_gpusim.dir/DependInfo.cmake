@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/inference_sim.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/inference_sim.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/inference_sim.cc.o.d"
+  "/root/repo/src/gpusim/init_profile.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/init_profile.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/init_profile.cc.o.d"
+  "/root/repo/src/gpusim/serving.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/serving.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/serving.cc.o.d"
+  "/root/repo/src/gpusim/timeline.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/timeline.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/timeline.cc.o.d"
+  "/root/repo/src/gpusim/xla.cc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/xla.cc.o" "gcc" "src/gpusim/CMakeFiles/afsb_gpusim.dir/xla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/afsb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/afsb_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afsb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_gpusim.dir/device.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/afsb_gpusim.dir/inference_sim.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/inference_sim.cc.o.d"
+  "CMakeFiles/afsb_gpusim.dir/init_profile.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/init_profile.cc.o.d"
+  "CMakeFiles/afsb_gpusim.dir/serving.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/serving.cc.o.d"
+  "CMakeFiles/afsb_gpusim.dir/timeline.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/timeline.cc.o.d"
+  "CMakeFiles/afsb_gpusim.dir/xla.cc.o"
+  "CMakeFiles/afsb_gpusim.dir/xla.cc.o.d"
+  "libafsb_gpusim.a"
+  "libafsb_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffered_reader.cc" "src/io/CMakeFiles/afsb_io.dir/buffered_reader.cc.o" "gcc" "src/io/CMakeFiles/afsb_io.dir/buffered_reader.cc.o.d"
+  "/root/repo/src/io/pagecache.cc" "src/io/CMakeFiles/afsb_io.dir/pagecache.cc.o" "gcc" "src/io/CMakeFiles/afsb_io.dir/pagecache.cc.o.d"
+  "/root/repo/src/io/storage.cc" "src/io/CMakeFiles/afsb_io.dir/storage.cc.o" "gcc" "src/io/CMakeFiles/afsb_io.dir/storage.cc.o.d"
+  "/root/repo/src/io/vfs.cc" "src/io/CMakeFiles/afsb_io.dir/vfs.cc.o" "gcc" "src/io/CMakeFiles/afsb_io.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

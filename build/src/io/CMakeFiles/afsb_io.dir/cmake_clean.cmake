@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_io.dir/buffered_reader.cc.o"
+  "CMakeFiles/afsb_io.dir/buffered_reader.cc.o.d"
+  "CMakeFiles/afsb_io.dir/pagecache.cc.o"
+  "CMakeFiles/afsb_io.dir/pagecache.cc.o.d"
+  "CMakeFiles/afsb_io.dir/storage.cc.o"
+  "CMakeFiles/afsb_io.dir/storage.cc.o.d"
+  "CMakeFiles/afsb_io.dir/vfs.cc.o"
+  "CMakeFiles/afsb_io.dir/vfs.cc.o.d"
+  "libafsb_io.a"
+  "libafsb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

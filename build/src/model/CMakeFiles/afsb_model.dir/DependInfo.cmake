@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/af3_model.cc" "src/model/CMakeFiles/afsb_model.dir/af3_model.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/af3_model.cc.o.d"
+  "/root/repo/src/model/confidence.cc" "src/model/CMakeFiles/afsb_model.dir/confidence.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/confidence.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/afsb_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/config.cc.o.d"
+  "/root/repo/src/model/diffusion.cc" "src/model/CMakeFiles/afsb_model.dir/diffusion.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/diffusion.cc.o.d"
+  "/root/repo/src/model/embedder.cc" "src/model/CMakeFiles/afsb_model.dir/embedder.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/embedder.cc.o.d"
+  "/root/repo/src/model/flops.cc" "src/model/CMakeFiles/afsb_model.dir/flops.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/flops.cc.o.d"
+  "/root/repo/src/model/layers.cc" "src/model/CMakeFiles/afsb_model.dir/layers.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/layers.cc.o.d"
+  "/root/repo/src/model/pairformer.cc" "src/model/CMakeFiles/afsb_model.dir/pairformer.cc.o" "gcc" "src/model/CMakeFiles/afsb_model.dir/pairformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afsb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

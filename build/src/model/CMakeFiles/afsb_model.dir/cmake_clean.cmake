@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_model.dir/af3_model.cc.o"
+  "CMakeFiles/afsb_model.dir/af3_model.cc.o.d"
+  "CMakeFiles/afsb_model.dir/confidence.cc.o"
+  "CMakeFiles/afsb_model.dir/confidence.cc.o.d"
+  "CMakeFiles/afsb_model.dir/config.cc.o"
+  "CMakeFiles/afsb_model.dir/config.cc.o.d"
+  "CMakeFiles/afsb_model.dir/diffusion.cc.o"
+  "CMakeFiles/afsb_model.dir/diffusion.cc.o.d"
+  "CMakeFiles/afsb_model.dir/embedder.cc.o"
+  "CMakeFiles/afsb_model.dir/embedder.cc.o.d"
+  "CMakeFiles/afsb_model.dir/flops.cc.o"
+  "CMakeFiles/afsb_model.dir/flops.cc.o.d"
+  "CMakeFiles/afsb_model.dir/layers.cc.o"
+  "CMakeFiles/afsb_model.dir/layers.cc.o.d"
+  "CMakeFiles/afsb_model.dir/pairformer.cc.o"
+  "CMakeFiles/afsb_model.dir/pairformer.cc.o.d"
+  "libafsb_model.a"
+  "libafsb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

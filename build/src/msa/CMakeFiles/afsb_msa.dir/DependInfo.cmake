@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msa/database.cc" "src/msa/CMakeFiles/afsb_msa.dir/database.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/database.cc.o.d"
+  "/root/repo/src/msa/dbgen.cc" "src/msa/CMakeFiles/afsb_msa.dir/dbgen.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/dbgen.cc.o.d"
+  "/root/repo/src/msa/dp_kernels.cc" "src/msa/CMakeFiles/afsb_msa.dir/dp_kernels.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/dp_kernels.cc.o.d"
+  "/root/repo/src/msa/evalue.cc" "src/msa/CMakeFiles/afsb_msa.dir/evalue.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/evalue.cc.o.d"
+  "/root/repo/src/msa/hmm_io.cc" "src/msa/CMakeFiles/afsb_msa.dir/hmm_io.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/hmm_io.cc.o.d"
+  "/root/repo/src/msa/jackhmmer.cc" "src/msa/CMakeFiles/afsb_msa.dir/jackhmmer.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/jackhmmer.cc.o.d"
+  "/root/repo/src/msa/memory_model.cc" "src/msa/CMakeFiles/afsb_msa.dir/memory_model.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/memory_model.cc.o.d"
+  "/root/repo/src/msa/msa_builder.cc" "src/msa/CMakeFiles/afsb_msa.dir/msa_builder.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/msa_builder.cc.o.d"
+  "/root/repo/src/msa/nhmmer.cc" "src/msa/CMakeFiles/afsb_msa.dir/nhmmer.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/nhmmer.cc.o.d"
+  "/root/repo/src/msa/profile_hmm.cc" "src/msa/CMakeFiles/afsb_msa.dir/profile_hmm.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/profile_hmm.cc.o.d"
+  "/root/repo/src/msa/score_matrix.cc" "src/msa/CMakeFiles/afsb_msa.dir/score_matrix.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/score_matrix.cc.o.d"
+  "/root/repo/src/msa/search.cc" "src/msa/CMakeFiles/afsb_msa.dir/search.cc.o" "gcc" "src/msa/CMakeFiles/afsb_msa.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

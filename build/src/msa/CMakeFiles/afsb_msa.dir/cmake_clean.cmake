@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_msa.dir/database.cc.o"
+  "CMakeFiles/afsb_msa.dir/database.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/dbgen.cc.o"
+  "CMakeFiles/afsb_msa.dir/dbgen.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/dp_kernels.cc.o"
+  "CMakeFiles/afsb_msa.dir/dp_kernels.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/evalue.cc.o"
+  "CMakeFiles/afsb_msa.dir/evalue.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/hmm_io.cc.o"
+  "CMakeFiles/afsb_msa.dir/hmm_io.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/jackhmmer.cc.o"
+  "CMakeFiles/afsb_msa.dir/jackhmmer.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/memory_model.cc.o"
+  "CMakeFiles/afsb_msa.dir/memory_model.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/msa_builder.cc.o"
+  "CMakeFiles/afsb_msa.dir/msa_builder.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/nhmmer.cc.o"
+  "CMakeFiles/afsb_msa.dir/nhmmer.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/profile_hmm.cc.o"
+  "CMakeFiles/afsb_msa.dir/profile_hmm.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/score_matrix.cc.o"
+  "CMakeFiles/afsb_msa.dir/score_matrix.cc.o.d"
+  "CMakeFiles/afsb_msa.dir/search.cc.o"
+  "CMakeFiles/afsb_msa.dir/search.cc.o.d"
+  "libafsb_msa.a"
+  "libafsb_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

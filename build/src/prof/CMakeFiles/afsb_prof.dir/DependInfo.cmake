@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/perf_report.cc" "src/prof/CMakeFiles/afsb_prof.dir/perf_report.cc.o" "gcc" "src/prof/CMakeFiles/afsb_prof.dir/perf_report.cc.o.d"
+  "/root/repo/src/prof/phase_profiler.cc" "src/prof/CMakeFiles/afsb_prof.dir/phase_profiler.cc.o" "gcc" "src/prof/CMakeFiles/afsb_prof.dir/phase_profiler.cc.o.d"
+  "/root/repo/src/prof/repetition.cc" "src/prof/CMakeFiles/afsb_prof.dir/repetition.cc.o" "gcc" "src/prof/CMakeFiles/afsb_prof.dir/repetition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/afsb_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/afsb_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

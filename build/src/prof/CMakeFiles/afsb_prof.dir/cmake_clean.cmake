@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_prof.dir/perf_report.cc.o"
+  "CMakeFiles/afsb_prof.dir/perf_report.cc.o.d"
+  "CMakeFiles/afsb_prof.dir/phase_profiler.cc.o"
+  "CMakeFiles/afsb_prof.dir/phase_profiler.cc.o.d"
+  "CMakeFiles/afsb_prof.dir/repetition.cc.o"
+  "CMakeFiles/afsb_prof.dir/repetition.cc.o.d"
+  "libafsb_prof.a"
+  "libafsb_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

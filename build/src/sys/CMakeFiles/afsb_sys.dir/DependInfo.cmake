@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/memory_model.cc" "src/sys/CMakeFiles/afsb_sys.dir/memory_model.cc.o" "gcc" "src/sys/CMakeFiles/afsb_sys.dir/memory_model.cc.o.d"
+  "/root/repo/src/sys/platform.cc" "src/sys/CMakeFiles/afsb_sys.dir/platform.cc.o" "gcc" "src/sys/CMakeFiles/afsb_sys.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_sys.dir/memory_model.cc.o"
+  "CMakeFiles/afsb_sys.dir/memory_model.cc.o.d"
+  "CMakeFiles/afsb_sys.dir/platform.cc.o"
+  "CMakeFiles/afsb_sys.dir/platform.cc.o.d"
+  "libafsb_sys.a"
+  "libafsb_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_tensor.dir/ops.cc.o"
+  "CMakeFiles/afsb_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/afsb_tensor.dir/tensor.cc.o"
+  "CMakeFiles/afsb_tensor.dir/tensor.cc.o.d"
+  "libafsb_tensor.a"
+  "libafsb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cc" "src/util/CMakeFiles/afsb_util.dir/cli.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/cli.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/afsb_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/afsb_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/interp.cc" "src/util/CMakeFiles/afsb_util.dir/interp.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/interp.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/util/CMakeFiles/afsb_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/afsb_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/memtrace.cc" "src/util/CMakeFiles/afsb_util.dir/memtrace.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/memtrace.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/afsb_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/afsb_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/util/CMakeFiles/afsb_util.dir/str.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/str.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/afsb_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/table.cc.o.d"
+  "/root/repo/src/util/threadpool.cc" "src/util/CMakeFiles/afsb_util.dir/threadpool.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/threadpool.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/util/CMakeFiles/afsb_util.dir/units.cc.o" "gcc" "src/util/CMakeFiles/afsb_util.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

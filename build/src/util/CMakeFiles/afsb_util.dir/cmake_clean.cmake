@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsb_util.dir/cli.cc.o"
+  "CMakeFiles/afsb_util.dir/cli.cc.o.d"
+  "CMakeFiles/afsb_util.dir/csv.cc.o"
+  "CMakeFiles/afsb_util.dir/csv.cc.o.d"
+  "CMakeFiles/afsb_util.dir/histogram.cc.o"
+  "CMakeFiles/afsb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/afsb_util.dir/interp.cc.o"
+  "CMakeFiles/afsb_util.dir/interp.cc.o.d"
+  "CMakeFiles/afsb_util.dir/json.cc.o"
+  "CMakeFiles/afsb_util.dir/json.cc.o.d"
+  "CMakeFiles/afsb_util.dir/logging.cc.o"
+  "CMakeFiles/afsb_util.dir/logging.cc.o.d"
+  "CMakeFiles/afsb_util.dir/memtrace.cc.o"
+  "CMakeFiles/afsb_util.dir/memtrace.cc.o.d"
+  "CMakeFiles/afsb_util.dir/rng.cc.o"
+  "CMakeFiles/afsb_util.dir/rng.cc.o.d"
+  "CMakeFiles/afsb_util.dir/stats.cc.o"
+  "CMakeFiles/afsb_util.dir/stats.cc.o.d"
+  "CMakeFiles/afsb_util.dir/str.cc.o"
+  "CMakeFiles/afsb_util.dir/str.cc.o.d"
+  "CMakeFiles/afsb_util.dir/table.cc.o"
+  "CMakeFiles/afsb_util.dir/table.cc.o.d"
+  "CMakeFiles/afsb_util.dir/threadpool.cc.o"
+  "CMakeFiles/afsb_util.dir/threadpool.cc.o.d"
+  "CMakeFiles/afsb_util.dir/units.cc.o"
+  "CMakeFiles/afsb_util.dir/units.cc.o.d"
+  "libafsb_util.a"
+  "libafsb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

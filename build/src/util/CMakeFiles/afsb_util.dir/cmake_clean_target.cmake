@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafsb_util.a"
+)

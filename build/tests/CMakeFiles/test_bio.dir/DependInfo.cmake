@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/test_alphabet.cc" "tests/CMakeFiles/test_bio.dir/bio/test_alphabet.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_alphabet.cc.o.d"
+  "/root/repo/tests/bio/test_complexity.cc" "tests/CMakeFiles/test_bio.dir/bio/test_complexity.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_complexity.cc.o.d"
+  "/root/repo/tests/bio/test_input_spec.cc" "tests/CMakeFiles/test_bio.dir/bio/test_input_spec.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_input_spec.cc.o.d"
+  "/root/repo/tests/bio/test_samples.cc" "tests/CMakeFiles/test_bio.dir/bio/test_samples.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_samples.cc.o.d"
+  "/root/repo/tests/bio/test_seqgen.cc" "tests/CMakeFiles/test_bio.dir/bio/test_seqgen.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_seqgen.cc.o.d"
+  "/root/repo/tests/bio/test_sequence.cc" "tests/CMakeFiles/test_bio.dir/bio/test_sequence.cc.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

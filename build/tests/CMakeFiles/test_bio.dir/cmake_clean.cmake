@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bio.dir/bio/test_alphabet.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_alphabet.cc.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_complexity.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_complexity.cc.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_input_spec.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_input_spec.cc.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_samples.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_samples.cc.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_seqgen.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_seqgen.cc.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_sequence.cc.o"
+  "CMakeFiles/test_bio.dir/bio/test_sequence.cc.o.d"
+  "test_bio"
+  "test_bio.pdb"
+  "test_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

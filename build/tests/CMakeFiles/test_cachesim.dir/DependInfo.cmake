@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cachesim/test_cache.cc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_cache.cc.o.d"
+  "/root/repo/tests/cachesim/test_hierarchy.cc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cachesim/test_properties.cc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_properties.cc.o.d"
+  "/root/repo/tests/cachesim/test_timing.cc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_timing.cc.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/test_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/afsb_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/afsb_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/afsb_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim.dir/cachesim/test_cache.cc.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_cache.cc.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_hierarchy.cc.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_properties.cc.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_properties.cc.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_timing.cc.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/test_timing.cc.o.d"
+  "test_cachesim"
+  "test_cachesim.pdb"
+  "test_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/test_buffered_reader.cc" "tests/CMakeFiles/test_io.dir/io/test_buffered_reader.cc.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_buffered_reader.cc.o.d"
+  "/root/repo/tests/io/test_pagecache.cc" "tests/CMakeFiles/test_io.dir/io/test_pagecache.cc.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_pagecache.cc.o.d"
+  "/root/repo/tests/io/test_storage.cc" "tests/CMakeFiles/test_io.dir/io/test_storage.cc.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_storage.cc.o.d"
+  "/root/repo/tests/io/test_vfs.cc" "tests/CMakeFiles/test_io.dir/io/test_vfs.cc.o" "gcc" "tests/CMakeFiles/test_io.dir/io/test_vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

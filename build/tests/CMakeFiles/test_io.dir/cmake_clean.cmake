@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_buffered_reader.cc.o"
+  "CMakeFiles/test_io.dir/io/test_buffered_reader.cc.o.d"
+  "CMakeFiles/test_io.dir/io/test_pagecache.cc.o"
+  "CMakeFiles/test_io.dir/io/test_pagecache.cc.o.d"
+  "CMakeFiles/test_io.dir/io/test_storage.cc.o"
+  "CMakeFiles/test_io.dir/io/test_storage.cc.o.d"
+  "CMakeFiles/test_io.dir/io/test_vfs.cc.o"
+  "CMakeFiles/test_io.dir/io/test_vfs.cc.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_confidence.cc" "tests/CMakeFiles/test_model.dir/model/test_confidence.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_confidence.cc.o.d"
+  "/root/repo/tests/model/test_flops.cc" "tests/CMakeFiles/test_model.dir/model/test_flops.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_flops.cc.o.d"
+  "/root/repo/tests/model/test_layers.cc" "tests/CMakeFiles/test_model.dir/model/test_layers.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_layers.cc.o.d"
+  "/root/repo/tests/model/test_model.cc" "tests/CMakeFiles/test_model.dir/model/test_model.cc.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/afsb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afsb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_confidence.cc.o"
+  "CMakeFiles/test_model.dir/model/test_confidence.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_flops.cc.o"
+  "CMakeFiles/test_model.dir/model/test_flops.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_layers.cc.o"
+  "CMakeFiles/test_model.dir/model/test_layers.cc.o.d"
+  "CMakeFiles/test_model.dir/model/test_model.cc.o"
+  "CMakeFiles/test_model.dir/model/test_model.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/msa/test_dp_kernels.cc" "tests/CMakeFiles/test_msa.dir/msa/test_dp_kernels.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_dp_kernels.cc.o.d"
+  "/root/repo/tests/msa/test_evalue.cc" "tests/CMakeFiles/test_msa.dir/msa/test_evalue.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_evalue.cc.o.d"
+  "/root/repo/tests/msa/test_hmm_io.cc" "tests/CMakeFiles/test_msa.dir/msa/test_hmm_io.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_hmm_io.cc.o.d"
+  "/root/repo/tests/msa/test_jackhmmer.cc" "tests/CMakeFiles/test_msa.dir/msa/test_jackhmmer.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_jackhmmer.cc.o.d"
+  "/root/repo/tests/msa/test_nhmmer.cc" "tests/CMakeFiles/test_msa.dir/msa/test_nhmmer.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_nhmmer.cc.o.d"
+  "/root/repo/tests/msa/test_score_profile.cc" "tests/CMakeFiles/test_msa.dir/msa/test_score_profile.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_score_profile.cc.o.d"
+  "/root/repo/tests/msa/test_search.cc" "tests/CMakeFiles/test_msa.dir/msa/test_search.cc.o" "gcc" "tests/CMakeFiles/test_msa.dir/msa/test_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msa/CMakeFiles/afsb_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msa.dir/msa/test_dp_kernels.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_dp_kernels.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_evalue.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_evalue.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_hmm_io.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_hmm_io.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_jackhmmer.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_jackhmmer.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_nhmmer.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_nhmmer.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_score_profile.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_score_profile.cc.o.d"
+  "CMakeFiles/test_msa.dir/msa/test_search.cc.o"
+  "CMakeFiles/test_msa.dir/msa/test_search.cc.o.d"
+  "test_msa"
+  "test_msa.pdb"
+  "test_msa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

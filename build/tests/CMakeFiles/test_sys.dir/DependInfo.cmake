@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sys/test_platform.cc" "tests/CMakeFiles/test_sys.dir/sys/test_platform.cc.o" "gcc" "tests/CMakeFiles/test_sys.dir/sys/test_platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/afsb_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/afsb_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/afsb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/afsb_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cc" "tests/CMakeFiles/test_util.dir/util/test_cli.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cc.o.d"
+  "/root/repo/tests/util/test_interp.cc" "tests/CMakeFiles/test_util.dir/util/test_interp.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_interp.cc.o.d"
+  "/root/repo/tests/util/test_json.cc" "tests/CMakeFiles/test_util.dir/util/test_json.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_json.cc.o.d"
+  "/root/repo/tests/util/test_memtrace.cc" "tests/CMakeFiles/test_util.dir/util/test_memtrace.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_memtrace.cc.o.d"
+  "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cc.o.d"
+  "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/test_util.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cc.o.d"
+  "/root/repo/tests/util/test_str.cc" "tests/CMakeFiles/test_util.dir/util/test_str.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_str.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_threadpool.cc" "tests/CMakeFiles/test_util.dir/util/test_threadpool.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/afsb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_bio[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_msa[1]_include.cmake")
+include("/root/repo/build/tests/test_sys[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_prof[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+add_test(cli_list "/root/repo/build/tools/afsysbench" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;97;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_estimate_safe "/root/repo/build/tools/afsysbench" "estimate" "--sample" "2PV7" "--platform" "desktop")
+set_tests_properties(cli_estimate_safe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_estimate_oom "/root/repo/build/tools/afsysbench" "estimate" "--sample" "6QNR" "--platform" "desktop" "--threads" "8")
+set_tests_properties(cli_estimate_oom PROPERTIES  WILL_FAIL "FALSE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_inference "/root/repo/build/tools/afsysbench" "inference" "--sample" "2PV7" "--platform" "server" "--persistent" "--requests" "2")
+set_tests_properties(cli_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;104;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_platform "/root/repo/build/tools/afsysbench" "run" "--platform" "toaster")
+set_tests_properties(cli_bad_platform PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;107;add_test;/root/repo/tests/CMakeLists.txt;0;")

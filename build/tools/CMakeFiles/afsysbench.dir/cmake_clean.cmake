@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsysbench.dir/afsysbench.cc.o"
+  "CMakeFiles/afsysbench.dir/afsysbench.cc.o.d"
+  "afsysbench"
+  "afsysbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsysbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
