@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Serving-cluster study: worker-pool sizing and MSA-result-cache
+ * sweeps over an open-loop request mix — the cluster-level sequel to
+ * bench_serving_cold_start. The ParaFold-style split (CPU MSA pool,
+ * GPU inference pool) plus the AF_Cache-style content-addressed MSA
+ * cache are the paper's two Section VI deployment levers; this bench
+ * quantifies both against tail latency and shed rate.
+ */
+
+#include "bench_common.hh"
+#include "serve/cluster.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+using namespace afsb;
+
+namespace {
+
+serve::WorkloadSpec
+workload()
+{
+    serve::WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 3600.0;
+    spec.seed = 0xbe7c;
+    spec.mix = serve::parseMix("2PV7=2,7RCE=1");
+    spec.variantsPerSample = 2; // repeat-heavy query population
+    return spec;
+}
+
+double
+meanOfLatencies(const serve::ClusterResult &r)
+{
+    const auto xs = r.completedLatencies();
+    return xs.empty() ? 0.0 : meanOf(xs);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Serving cluster — worker pools, admission, MSA cache",
+        "Kim et al., IISWC 2025, Section VI (deployment "
+        "optimizations)",
+        "Open-loop Poisson traffic on decoupled MSA/GPU pools; "
+        "repeated queries exercise the content-addressed MSA "
+        "result cache");
+
+    const auto platform = sys::serverPlatform();
+    const auto requests = serve::generateRequests(workload());
+    std::printf("Workload: %zu requests over %.0f s "
+                "(2PV7=2,7RCE=1; 2 variants/sample; seed 0x%llx)\n\n",
+                requests.size(), workload().durationSeconds,
+                static_cast<unsigned long long>(workload().seed));
+
+    // --- Sweep 1: worker-pool sizing at a fixed 512 MiB cache ----
+    {
+        TextTable t("Worker-pool sweep on Server (cache 512 MiB, "
+                    "fifo)");
+        t.setHeader({"MSA x GPU", "done", "shed", "p50 (s)",
+                     "p95 (s)", "msa util", "gpu util", "req/h"});
+        const std::pair<uint32_t, uint32_t> pools[] = {
+            {1, 1}, {2, 1}, {4, 2}, {8, 2}};
+        for (const auto &[msaW, gpuW] : pools) {
+            serve::ClusterConfig cfg;
+            cfg.msaWorkers = msaW;
+            cfg.gpuWorkers = gpuW;
+            const auto r = serve::simulateCluster(
+                platform, core::Workspace::shared(), requests,
+                cfg);
+            const auto p = percentilesOf(r.completedLatencies());
+            t.addRow({strformat("%ux%u", msaW, gpuW),
+                      strformat("%llu",
+                                static_cast<unsigned long long>(
+                                    r.completed)),
+                      strformat("%llu",
+                                static_cast<unsigned long long>(
+                                    r.shed)),
+                      bench::secs(p.p50), bench::secs(p.p95),
+                      bench::pct(r.msaUtilization()),
+                      bench::pct(r.gpuUtilization()),
+                      strformat("%.1f", r.throughputPerHour())});
+        }
+        t.print();
+    }
+
+    // --- Sweep 2: MSA-cache budget at fixed 4x2 pools ------------
+    double meanWithCache = 0.0, meanNoCache = 0.0;
+    {
+        TextTable t("MSA-cache sweep on Server (4 MSA x 2 GPU, "
+                    "fifo)");
+        t.setHeader({"Budget", "hit rate", "done", "mean lat (s)",
+                     "p95 (s)", "req/h"});
+        for (uint64_t mb : {0ull, 1ull, 64ull, 512ull}) {
+            serve::ClusterConfig cfg;
+            cfg.msaCacheBudgetBytes = mb << 20;
+            const auto r = serve::simulateCluster(
+                platform, core::Workspace::shared(), requests,
+                cfg);
+            const auto p = percentilesOf(r.completedLatencies());
+            const double mean = meanOfLatencies(r);
+            if (mb == 0)
+                meanNoCache = mean;
+            if (mb == 512)
+                meanWithCache = mean;
+            t.addRow({mb ? formatBytes(mb << 20) : "disabled",
+                      bench::pct(r.cacheStats.hitRate()),
+                      strformat("%llu",
+                                static_cast<unsigned long long>(
+                                    r.completed)),
+                      bench::secs(mean), bench::secs(p.p95),
+                      strformat("%.1f", r.throughputPerHour())});
+        }
+        t.print();
+    }
+
+    std::printf("Mean completed-request latency: %.1f s without "
+                "the MSA cache vs %.1f s with 512 MiB (%.1fx)\n",
+                meanNoCache, meanWithCache,
+                meanWithCache > 0.0 ? meanNoCache / meanWithCache
+                                    : 0.0);
+    return 0;
+}

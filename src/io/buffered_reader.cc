@@ -7,10 +7,23 @@
 
 namespace afsb::io {
 
+namespace {
+
+/** One 1 MiB virtual window per file id for the refill buffer. */
+constexpr uint64_t kWindowBase = 0x7f30'0000'0000ull;
+
+/** Copy destinations (fresh caller-side storage) stream through a
+ *  1 GiB virtual window per file id. */
+constexpr uint64_t kDstBase = 0x7f80'0000'0000ull;
+
+} // namespace
+
 BufferedReader::BufferedReader(const Vfs *vfs, PageCache *cache,
                                FileId id, MemTraceSink *sink)
     : vfs_(vfs), cache_(cache), id_(id), sink_(sink),
-      buffer_(kBufferSize)
+      buffer_(kBufferSize),
+      bufVirtBase_(kWindowBase +
+                   static_cast<uint64_t>(id) * (1ull << 20))
 {
     panicIf(!vfs || !cache, "BufferedReader: null vfs/cache");
     fileSize_ = vfs_->size(id_);
@@ -23,16 +36,15 @@ BufferedReader::eof() const
 }
 
 void
-BufferedReader::traceTouch(FuncId func, const char *p, size_t len,
+BufferedReader::traceTouch(FuncId func, uint64_t vaddr, size_t len,
                            bool write)
 {
     if (!sink_ || len == 0)
         return;
     // Emit one reference per 64-byte cache line touched, matching
     // the granularity at which the hardware would see the copy.
-    const auto base = reinterpret_cast<uint64_t>(p);
     for (uint64_t off = 0; off < len; off += 64)
-        sink_->access({base + off, 64, write, func});
+        sink_->access({vaddr + off, 64, write, func});
 }
 
 void
@@ -61,7 +73,7 @@ BufferedReader::addbuf(double now)
     if (got < take)
         std::memset(buffer_.data() + bufLen_ + got, 0, take - got);
 
-    traceTouch(wellknown::copyToIter(), buffer_.data() + bufLen_,
+    traceTouch(wellknown::copyToIter(), bufVirtBase_ + bufLen_,
                take, true);
     if (sink_)
         sink_->instructions(wellknown::addbuf(),
@@ -94,7 +106,8 @@ BufferedReader::readLine(std::string &out, double now)
         const size_t n =
             nl ? static_cast<size_t>(nl - start) : bufLen_ - bufPos_;
 
-        traceTouch(wellknown::seebuf(), start, n, false);
+        traceTouch(wellknown::seebuf(), bufVirtBase_ + bufPos_, n,
+                   false);
         if (sink_)
             sink_->instructions(wellknown::seebuf(),
                                 static_cast<uint64_t>(n) / 16 + 1);
@@ -121,7 +134,14 @@ BufferedReader::copyToIter(char *dst, size_t len, double now)
         }
         const size_t n = std::min(len - copied, bufLen_ - bufPos_);
         std::memcpy(dst + copied, buffer_.data() + bufPos_, n);
-        traceTouch(wellknown::copyToIter(), dst + copied, n, true);
+        // Destinations are fresh caller-side storage; model them as
+        // an advancing stream (compulsory misses, touched once).
+        traceTouch(wellknown::copyToIter(),
+                   kDstBase +
+                       static_cast<uint64_t>(id_) * (1ull << 30) +
+                       dstVirt_,
+                   n, true);
+        dstVirt_ += n;
         bufPos_ += n;
         copied += n;
     }
@@ -135,7 +155,7 @@ BufferedReader::seebuf(size_t len, double now)
     if (bufLen_ - bufPos_ < len)
         addbuf(now);
     const size_t n = std::min(len, bufLen_ - bufPos_);
-    traceTouch(wellknown::seebuf(), buffer_.data() + bufPos_, n,
+    traceTouch(wellknown::seebuf(), bufVirtBase_ + bufPos_, n,
                false);
     return {buffer_.data() + bufPos_, n};
 }

@@ -76,8 +76,8 @@ class BufferedReader
     /** Refill the window from the page cache (addbuf analog). */
     void addbuf(double now);
 
-    /** Emit an instrumented touch of buffer bytes to the sink. */
-    void traceTouch(FuncId func, const char *p, size_t len,
+    /** Emit an instrumented touch at virtual address @p vaddr. */
+    void traceTouch(FuncId func, uint64_t vaddr, size_t len,
                     bool write);
 
     const Vfs *vfs_;
@@ -90,6 +90,16 @@ class BufferedReader
     size_t bufLen_ = 0;    ///< valid bytes in buffer_
     uint64_t fileOff_ = 0; ///< next file offset to fetch
     uint64_t fileSize_;
+
+    /**
+     * Deterministic virtual base of buffer_ in the trace address
+     * space, salted by file id so concurrent readers stay distinct.
+     * Tracing the window's real heap address would leak allocator
+     * and ASLR state into the cache simulator and make miss counts
+     * vary run to run.
+     */
+    uint64_t bufVirtBase_;
+    uint64_t dstVirt_ = 0; ///< cursor for copy-destination stream
     ReaderStats stats_;
 };
 

@@ -32,18 +32,44 @@ arenaHash(uint64_t x)
     return x;
 }
 
+/**
+ * Deterministic virtual windows for the profile emission table and
+ * the rolling DP rows. Tracing the buffers' real heap addresses
+ * would leak allocator layout and ASLR state into the cache
+ * simulator's set indexing, making miss counts (and therefore
+ * simulated seconds) vary run to run. Fixed bases preserve the
+ * locality structure that matters — profile rows shared across
+ * targets, DP rows alternating in place — while keeping every
+ * simulated run bit-identical for a given input.
+ */
+constexpr uint64_t kProfileBase = 0x7f10'0000'0000ull;
+constexpr uint64_t kDpBase = 0x7f20'0000'0000ull;
+
+/** Virtual address of the profile emission entry (pos, res). */
+inline uint64_t
+profAddr(const ProfileHmm &prof, size_t pos, uint8_t res)
+{
+    return kProfileBase +
+           (pos * prof.alphabet() + res) * sizeof(int16_t);
+}
+
+/** 64-byte-aligned slot size for a DP row of @p bytes (mirrors the
+ *  allocator placing the rows back to back). */
+inline uint64_t
+dpSlot(uint64_t bytes)
+{
+    return (bytes + 63) & ~63ull;
+}
+
 /** Emit the per-SIMD-block reference bundle. */
 inline void
 emitBlock(MemTraceSink *sink, const KernelConfig &cfg, FuncId func,
-          const void *profile_addr, const void *dp_read_addr,
-          const void *dp_write_addr, size_t row, uint64_t cell)
+          uint64_t profile_addr, uint64_t dp_read_addr,
+          uint64_t dp_write_addr, size_t row, uint64_t cell)
 {
-    sink->access({reinterpret_cast<uint64_t>(profile_addr), 32,
-                  false, func});
-    sink->access({reinterpret_cast<uint64_t>(dp_read_addr), 64,
-                  false, func});
-    sink->access({reinterpret_cast<uint64_t>(dp_write_addr), 64,
-                  true, func});
+    sink->access({profile_addr, 32, false, func});
+    sink->access({dp_read_addr, 64, false, func});
+    sink->access({dp_write_addr, 64, true, func});
     if (cfg.targetBase) {
         // Align to the sampled-trace line grid so stream lines are
         // always ones the reader (copy_to_iter) touched first —
@@ -122,6 +148,9 @@ msvFilter(const ProfileHmm &prof, const bio::Sequence &target,
 
     const uint64_t blockStride =
         static_cast<uint64_t>(kSimdWidth) * cfg.traceStride;
+    const uint64_t slot = dpSlot((M + 1) * sizeof(int));
+    uint64_t vPrev = kDpBase;
+    uint64_t vCur = kDpBase + slot;
     int best = 0;
     uint64_t cell = 0;
     // The integer filter pipeline (SSV/MSV + Viterbi) is what the
@@ -136,11 +165,14 @@ msvFilter(const ProfileHmm &prof, const bio::Sequence &target,
             cur[k] = s;
             best = std::max(best, s);
             if (sink && (cell % blockStride) == 0)
-                emitBlock(sink, cfg, func, prof.row(k - 1) + res,
-                          &prev[k - 1], &cur[k], j - 1, cell);
+                emitBlock(sink, cfg, func,
+                          profAddr(prof, k - 1, res),
+                          vPrev + (k - 1) * sizeof(int),
+                          vCur + k * sizeof(int), j - 1, cell);
             ++cell;
         }
         prev.swap(cur);
+        std::swap(vPrev, vCur);
     }
     result.score = best;
     result.cells = cell;
@@ -170,6 +202,10 @@ calcBand9(const ProfileHmm &prof, const bio::Sequence &target,
 
     const uint64_t blockStride =
         static_cast<uint64_t>(kSimdWidth) * cfg.traceStride;
+    // Six rows allocated back to back: prevM/I/D then curM/I/D.
+    const uint64_t slot = dpSlot((M + 1) * sizeof(int));
+    uint64_t vPrevM = kDpBase;
+    uint64_t vCurM = kDpBase + 3 * slot;
     int best = 0;
     uint64_t cell = 0;
     const FuncId func = wellknown::calcBand9();
@@ -197,13 +233,16 @@ calcBand9(const ProfileHmm &prof, const bio::Sequence &target,
                 result.endProfile = k - 1;
             }
             if (sink && (cell % blockStride) == 0)
-                emitBlock(sink, cfg, func, prof.row(k - 1) + res,
-                          &prevM[k - 1], &curM[k], j - 1, cell);
+                emitBlock(sink, cfg, func,
+                          profAddr(prof, k - 1, res),
+                          vPrevM + (k - 1) * sizeof(int),
+                          vCurM + k * sizeof(int), j - 1, cell);
             ++cell;
         }
         prevM.swap(curM);
         prevI.swap(curI);
         prevD.swap(curD);
+        std::swap(vPrevM, vCurM);
     }
     result.score = best;
     result.cells = cell;
@@ -238,6 +277,9 @@ calcBand10(const ProfileHmm &prof, const bio::Sequence &target,
 
     const uint64_t blockStride =
         static_cast<uint64_t>(kSimdWidth) * cfg.traceStride;
+    const uint64_t slot = dpSlot((M + 1) * sizeof(double));
+    uint64_t vPrevM = kDpBase;
+    uint64_t vCurM = kDpBase + 3 * slot;
     double total = 0.0;
     double logScale = 0.0;
     uint64_t cell = 0;
@@ -264,8 +306,10 @@ calcBand10(const ProfileHmm &prof, const bio::Sequence &target,
             total += m * 0.05;  // exit mass
             rowMax = std::max(rowMax, m);
             if (sink && (cell % blockStride) == 0)
-                emitBlock(sink, cfg, func, prof.row(k - 1) + res,
-                          &prevM[k - 1], &curM[k], j - 1, cell);
+                emitBlock(sink, cfg, func,
+                          profAddr(prof, k - 1, res),
+                          vPrevM + (k - 1) * sizeof(double),
+                          vCurM + k * sizeof(double), j - 1, cell);
             ++cell;
         }
 
@@ -283,6 +327,7 @@ calcBand10(const ProfileHmm &prof, const bio::Sequence &target,
         prevM.swap(curM);
         prevI.swap(curI);
         prevD.swap(curD);
+        std::swap(vPrevM, vCurM);
     }
     result.logOdds =
         total > 0.0 ? std::log2(total) + logScale : -1e9;

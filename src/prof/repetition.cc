@@ -9,8 +9,12 @@ repeatMeasurement(size_t runs,
 {
     RepetitionResult out;
     out.cvLimit = cv_limit;
-    for (size_t r = 0; r < runs; ++r)
-        out.stats.add(measure(r));
+    out.samples.reserve(runs);
+    for (size_t r = 0; r < runs; ++r) {
+        const double x = measure(r);
+        out.stats.add(x);
+        out.samples.push_back(x);
+    }
     return out;
 }
 

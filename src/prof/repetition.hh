@@ -13,6 +13,7 @@
 #define AFSB_PROF_REPETITION_HH
 
 #include <functional>
+#include <vector>
 
 #include "util/stats.hh"
 
@@ -22,11 +23,22 @@ namespace afsb::prof {
 struct RepetitionResult
 {
     RunningStats stats;
+    std::vector<double> samples;  ///< per-run values, in run order
     double cvLimit = 0.05;
 
     double mean() const { return stats.mean(); }
     double cv() const { return stats.cv(); }
     bool stable() const { return stats.cv() <= cvLimit; }
+
+    /** Median across runs. */
+    double median() const { return percentile(samples, 50.0); }
+
+    /** p50/p95/p99 across runs (meaningful for larger repeat
+     *  counts; degrades to min/max interpolation for few runs). */
+    Percentiles percentiles() const
+    {
+        return percentilesOf(samples);
+    }
 };
 
 /**

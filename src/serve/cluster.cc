@@ -1,0 +1,293 @@
+#include "serve/cluster.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "gpusim/inference_sim.hh"
+#include "util/logging.hh"
+
+namespace afsb::serve {
+
+std::vector<double>
+ClusterResult::completedLatencies() const
+{
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &rec : records)
+        if (rec.outcome == Outcome::Completed)
+            out.push_back(rec.latencySeconds());
+    return out;
+}
+
+namespace {
+
+/**
+ * Deterministic service-time oracle. The MSA phase depends only on
+ * (sample, platform, worker threads), so each distinct sample is
+ * characterized once with the real engine and the result reused for
+ * every request — the simulation equivalent of every worker running
+ * identical software on identical inputs.
+ */
+class ServiceModel
+{
+  public:
+    ServiceModel(const sys::PlatformSpec &platform,
+                 const core::Workspace &workspace,
+                 const ClusterConfig &config)
+        : platform_(platform), workspace_(workspace),
+          config_(config)
+    {}
+
+    struct MsaService
+    {
+        double seconds = 0.0;
+        uint64_t resultBytes = 0;
+    };
+
+    const MsaService &
+    msaService(const std::string &sample)
+    {
+        auto it = msa_.find(sample);
+        if (it != msa_.end())
+            return it->second;
+
+        const auto input = bio::makeSample(sample);
+        core::MsaPhaseOptions opt = config_.msaOptions;
+        opt.threads = config_.msaThreadsPerWorker;
+        const auto r = core::runMsaPhase(input.complex, platform_,
+                                         workspace_, opt);
+        if (r.oom)
+            fatal("serve: MSA phase for sample '" + sample +
+                  "' OOMs on " + platform_.name +
+                  "; use `estimate` first");
+
+        MsaService svc;
+        svc.seconds = r.seconds;
+        // Stored-alignment footprint: one byte per residue per
+        // aligned row, per chain (an a3m-like encoding).
+        uint64_t bytes = 0;
+        const auto &chains = input.complex.chains();
+        for (size_t i = 0;
+             i < chains.size() && i < r.msaDepthPerChain.size();
+             ++i)
+            bytes += static_cast<uint64_t>(r.msaDepthPerChain[i]) *
+                     chains[i].length();
+        svc.resultBytes = std::max<uint64_t>(bytes, 1024);
+        return msa_.emplace(sample, svc).first->second;
+    }
+
+  private:
+    const sys::PlatformSpec &platform_;
+    const core::Workspace &workspace_;
+    const ClusterConfig &config_;
+    std::map<std::string, MsaService> msa_;
+};
+
+/** A long-lived GPU worker process with persistent model state. */
+struct GpuWorker
+{
+    gpusim::XlaCache xla;
+    uint64_t served = 0;
+};
+
+/** A stage completion on the event clock. */
+struct Completion
+{
+    double time = 0.0;
+    uint32_t worker = 0;
+    size_t record = 0;
+
+    bool
+    operator>(const Completion &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return record > other.record;
+    }
+};
+
+using CompletionQueue =
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>;
+
+constexpr double kNoEvent = 1e300;
+
+double
+nextTime(const CompletionQueue &q)
+{
+    return q.empty() ? kNoEvent : q.top().time;
+}
+
+} // namespace
+
+ClusterResult
+simulateCluster(const sys::PlatformSpec &platform,
+                const core::Workspace &workspace,
+                const std::vector<Request> &requests,
+                const ClusterConfig &config)
+{
+    if (config.msaWorkers == 0 || config.gpuWorkers == 0)
+        fatal("serve: need at least one worker in each pool");
+    if (config.admissionCapacity == 0)
+        fatal("serve: admission capacity must be >= 1");
+
+    ClusterResult result;
+    result.msaWorkers = config.msaWorkers;
+    result.gpuWorkers = config.gpuWorkers;
+
+    // Arrival order defines record order and request ids.
+    std::vector<Request> arrivals = requests;
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrivalSeconds < b.arrivalSeconds;
+                     });
+    result.records.resize(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        arrivals[i].id = i;
+        result.records[i].request = arrivals[i];
+    }
+
+    ServiceModel model(platform, workspace, config);
+    MsaResultCache cache(config.msaCacheBudgetBytes);
+    AdmissionController admission(config.admissionCapacity);
+    DispatchQueue msaQueue(config.policy);
+    DispatchQueue gpuQueue(config.policy);
+
+    std::vector<GpuWorker> gpuWorkers(config.gpuWorkers);
+    std::vector<uint32_t> freeGpu;
+    for (uint32_t w = config.gpuWorkers; w-- > 0;)
+        freeGpu.push_back(w); // back() pops the lowest id first
+    uint32_t freeMsa = config.msaWorkers;
+
+    CompletionQueue msaBusy;
+    CompletionQueue gpuBusy;
+
+    gpusim::InferenceSimOptions inferOptions;
+    inferOptions.threads = config.inferenceThreads;
+    inferOptions.unifiedMemory = config.unifiedMemory;
+
+    size_t nextArrival = 0;
+    double clock = 0.0;
+
+    const auto dispatch = [&](double now) {
+        while (freeMsa > 0 && !msaQueue.empty()) {
+            const Request r = msaQueue.pop();
+            auto &rec = result.records[r.id];
+            const auto &svc = model.msaService(r.sample);
+            rec.msaStartSeconds = now;
+            --freeMsa;
+            result.msaBusySeconds += svc.seconds;
+            msaBusy.push({now + svc.seconds, 0, r.id});
+        }
+        while (!freeGpu.empty() && !gpuQueue.empty()) {
+            const Request r = gpuQueue.pop();
+            auto &rec = result.records[r.id];
+            const uint32_t wid = freeGpu.back();
+            freeGpu.pop_back();
+            auto &worker = gpuWorkers[wid];
+            inferOptions.gpuAlreadyInitialized = worker.served > 0;
+            const auto infer = gpusim::simulateInference(
+                platform, r.tokens, worker.xla, inferOptions);
+            if (infer.oom)
+                fatal("serve: inference for sample '" + r.sample +
+                      "' OOMs on " + platform.name +
+                      " without unified memory");
+            ++worker.served;
+            rec.gpuStartSeconds = now;
+            rec.compileSeconds = infer.compileSeconds;
+            const double service = infer.totalSeconds();
+            result.gpuBusySeconds += service;
+            gpuBusy.push({now + service, wid, r.id});
+        }
+    };
+
+    while (nextArrival < arrivals.size() || !msaBusy.empty() ||
+           !gpuBusy.empty()) {
+        const double arrivalTime =
+            nextArrival < arrivals.size()
+                ? arrivals[nextArrival].arrivalSeconds
+                : kNoEvent;
+        clock = std::min({arrivalTime, nextTime(msaBusy),
+                          nextTime(gpuBusy)});
+
+        // Completions first, so capacity freed at this instant is
+        // visible to a simultaneous arrival.
+        while (!gpuBusy.empty() && gpuBusy.top().time <= clock) {
+            const Completion done = gpuBusy.top();
+            gpuBusy.pop();
+            auto &rec = result.records[done.record];
+            rec.finishSeconds = done.time;
+            rec.outcome = Outcome::Completed;
+            freeGpu.push_back(done.worker);
+            admission.release();
+        }
+        // Keep the free-worker list ordered so the lowest id is
+        // always dispatched next (determinism).
+        std::sort(freeGpu.begin(), freeGpu.end(),
+                  std::greater<uint32_t>());
+
+        while (!msaBusy.empty() && msaBusy.top().time <= clock) {
+            const Completion done = msaBusy.top();
+            msaBusy.pop();
+            auto &rec = result.records[done.record];
+            rec.msaEndSeconds = done.time;
+            ++freeMsa;
+            cache.insert(rec.request.contentHash,
+                         model.msaService(rec.request.sample)
+                             .resultBytes);
+            gpuQueue.push(rec.request);
+        }
+
+        while (nextArrival < arrivals.size() &&
+               arrivals[nextArrival].arrivalSeconds <= clock) {
+            const Request &r = arrivals[nextArrival++];
+            auto &rec = result.records[r.id];
+            ++result.offered;
+            if (!admission.tryAdmit()) {
+                rec.outcome = Outcome::Shed;
+                rec.msaStartSeconds = rec.msaEndSeconds =
+                    rec.gpuStartSeconds = rec.finishSeconds =
+                        r.arrivalSeconds;
+                continue;
+            }
+            if (cache.lookup(r.contentHash)) {
+                // AF_Cache hit: the MSA stage vanishes.
+                rec.msaCacheHit = true;
+                rec.msaStartSeconds = rec.msaEndSeconds =
+                    r.arrivalSeconds;
+                gpuQueue.push(r);
+            } else {
+                msaQueue.push(r);
+            }
+        }
+
+        dispatch(clock);
+        result.makespanSeconds =
+            std::max(result.makespanSeconds, clock);
+    }
+
+    for (const auto &rec : result.records) {
+        if (rec.outcome == Outcome::Completed)
+            ++result.completed;
+        else
+            ++result.shed;
+    }
+    result.cacheStats = cache.stats();
+    result.cacheBytesInUse = cache.bytesInUse();
+    result.cacheEntries = cache.entries();
+    result.msaQueueMaxDepth = msaQueue.maxDepth();
+    result.gpuQueueMaxDepth = gpuQueue.maxDepth();
+    result.maxInSystem = admission.maxInSystem();
+
+    for (const auto &rec : result.records) {
+        const std::string &s = rec.request.sample;
+        if (!result.msaSecondsBySample.count(s) &&
+            rec.outcome == Outcome::Completed &&
+            !rec.msaCacheHit)
+            result.msaSecondsBySample[s] =
+                rec.msaEndSeconds - rec.msaStartSeconds;
+    }
+    return result;
+}
+
+} // namespace afsb::serve

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Discrete-event simulation of an end-to-end AF3 serving cluster.
+ *
+ * The ParaFold split: the CPU-bound MSA phase and the GPU-bound
+ * inference phase run on independent worker pools connected by a
+ * queue, so neither resource idles while the other is the
+ * bottleneck. N MSA workers each run the repo's real MSA engine
+ * (memoized per distinct sample — the phase is deterministic);
+ * M GPU workers are long-lived processes with persistent per-worker
+ * XLA caches (Section VI persistent model state), paying GPU init
+ * once and XLA compilation once per shape bucket. In front sits
+ * cluster-wide admission control (bounded in-system population,
+ * shed beyond) and the content-addressed MSA result cache
+ * (serve::MsaResultCache), which lets repeated queries skip the MSA
+ * stage entirely.
+ *
+ * The simulation advances a virtual clock over arrival/completion
+ * events; with a fixed workload seed the outcome is bit-identical
+ * across runs.
+ */
+
+#ifndef AFSB_SERVE_CLUSTER_HH
+#define AFSB_SERVE_CLUSTER_HH
+
+#include <map>
+#include <vector>
+
+#include "core/msa_phase.hh"
+#include "serve/msa_cache.hh"
+#include "serve/scheduler.hh"
+#include "serve/workload.hh"
+
+namespace afsb::serve {
+
+/** Serving-cluster configuration. */
+struct ClusterConfig
+{
+    /** CPU workers running the MSA phase. */
+    uint32_t msaWorkers = 4;
+
+    /** GPU workers running inference (persistent processes). */
+    uint32_t gpuWorkers = 2;
+
+    /** Max requests in the system (queued + in service); arrivals
+     *  beyond are shed. */
+    size_t admissionCapacity = 64;
+
+    /** Dispatch ordering for both stage queues. */
+    SchedPolicy policy = SchedPolicy::Fifo;
+
+    /** MSA result cache budget; 0 disables the cache. */
+    uint64_t msaCacheBudgetBytes = 512ull << 20;
+
+    /** CPU threads each MSA worker uses (AF3 default 8). */
+    uint32_t msaThreadsPerWorker = 8;
+
+    /** Host threads per GPU worker process. */
+    uint32_t inferenceThreads = 1;
+
+    /** Allow unified-memory spill for over-VRAM inference. */
+    bool unifiedMemory = true;
+
+    /**
+     * MSA engine options per worker (threads overridden by
+     * msaThreadsPerWorker). Default stride 16 keeps the one-off
+     * per-sample characterization runs fast.
+     */
+    core::MsaPhaseOptions msaOptions = makeDefaultMsaOptions();
+
+    static core::MsaPhaseOptions
+    makeDefaultMsaOptions()
+    {
+        core::MsaPhaseOptions o;
+        o.traceStride = 16;
+        return o;
+    }
+};
+
+/** Aggregate outcome of one cluster simulation. */
+struct ClusterResult
+{
+    /** Per-request traces, in arrival order (shed included). */
+    std::vector<RequestRecord> records;
+
+    double makespanSeconds = 0.0; ///< last event on the clock
+
+    uint64_t offered = 0;   ///< arrivals
+    uint64_t completed = 0; ///< served through both stages
+    uint64_t shed = 0;      ///< rejected by admission control
+
+    MsaResultCache::Stats cacheStats;
+    uint64_t cacheBytesInUse = 0;
+    uint64_t cacheEntries = 0;
+
+    double msaBusySeconds = 0.0; ///< summed MSA service time
+    double gpuBusySeconds = 0.0; ///< summed inference service time
+
+    uint32_t msaWorkers = 0; ///< echoed from the config
+    uint32_t gpuWorkers = 0;
+
+    size_t msaQueueMaxDepth = 0;
+    size_t gpuQueueMaxDepth = 0;
+    size_t maxInSystem = 0;
+
+    /** Deterministic per-sample MSA service time (the memoized
+     *  characterization runs). */
+    std::map<std::string, double> msaSecondsBySample;
+
+    /** Busy fraction of the MSA pool over the makespan. */
+    double
+    msaUtilization() const
+    {
+        const double cap = makespanSeconds * msaWorkers;
+        return cap > 0.0 ? msaBusySeconds / cap : 0.0;
+    }
+
+    /** Busy fraction of the GPU pool over the makespan. */
+    double
+    gpuUtilization() const
+    {
+        const double cap = makespanSeconds * gpuWorkers;
+        return cap > 0.0 ? gpuBusySeconds / cap : 0.0;
+    }
+
+    double
+    throughputPerHour() const
+    {
+        return makespanSeconds > 0.0
+                   ? 3600.0 * static_cast<double>(completed) /
+                         makespanSeconds
+                   : 0.0;
+    }
+
+    /** End-to-end latencies of completed requests, arrival order. */
+    std::vector<double> completedLatencies() const;
+};
+
+/**
+ * Simulate serving @p requests (sorted or not; they are ordered by
+ * arrival internally) on @p platform with @p config. The
+ * @p workspace provides the reference databases for the per-sample
+ * MSA characterization runs.
+ */
+ClusterResult simulateCluster(const sys::PlatformSpec &platform,
+                              const core::Workspace &workspace,
+                              const std::vector<Request> &requests,
+                              const ClusterConfig &config = {});
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_CLUSTER_HH

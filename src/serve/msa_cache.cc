@@ -1,0 +1,55 @@
+#include "serve/msa_cache.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::serve {
+
+bool
+MsaResultCache::lookup(uint64_t key)
+{
+    ++stats_.lookups;
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+MsaResultCache::insert(uint64_t key, uint64_t bytes)
+{
+    if (bytes > budgetBytes_) {
+        ++stats_.rejected;
+        return;
+    }
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Refresh: the same content re-derived (e.g. two concurrent
+        // misses on one key); keep one copy, update its footprint.
+        bytesInUse_ -= it->second->bytes;
+        it->second->bytes = bytes;
+        bytesInUse_ += bytes;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front({key, bytes});
+        index_[key] = lru_.begin();
+        bytesInUse_ += bytes;
+        ++stats_.insertions;
+    }
+    while (bytesInUse_ > budgetBytes_)
+        evictOne();
+}
+
+void
+MsaResultCache::evictOne()
+{
+    panicIf(lru_.empty(), "MsaResultCache: eviction on empty cache");
+    const Entry &victim = lru_.back();
+    bytesInUse_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+}
+
+} // namespace afsb::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Content-addressed MSA result cache with LRU eviction under a byte
+ * budget — the AF_Cache optimization.
+ *
+ * The MSA phase dominates end-to-end AF3 latency (70-94% in the
+ * paper) yet its output depends only on the query sequences, so a
+ * cluster serving overlapping query populations can skip the phase
+ * entirely for repeated queries. Keys are 64-bit digests of the
+ * query content (serve::queryContentHash); values are the byte
+ * footprint of the stored alignment, which drives eviction against
+ * the configured budget.
+ */
+
+#ifndef AFSB_SERVE_MSA_CACHE_HH
+#define AFSB_SERVE_MSA_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace afsb::serve {
+
+/** Byte-budgeted LRU cache of MSA results, keyed by content hash. */
+class MsaResultCache
+{
+  public:
+    /** Hit/miss/eviction counters. */
+    struct Stats
+    {
+        uint64_t lookups = 0;
+        uint64_t hits = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        uint64_t rejected = 0; ///< entries larger than the budget
+
+        uint64_t misses() const { return lookups - hits; }
+
+        double
+        hitRate() const
+        {
+            return lookups
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+        }
+    };
+
+    /** @param budget_bytes 0 disables the cache entirely. */
+    explicit MsaResultCache(uint64_t budget_bytes)
+        : budgetBytes_(budget_bytes)
+    {}
+
+    /**
+     * Look up @p key; a hit refreshes its LRU position. Counted in
+     * stats().
+     */
+    bool lookup(uint64_t key);
+
+    /**
+     * Insert (or refresh) @p key at @p bytes, evicting least-
+     * recently-used entries until the budget holds it. Entries
+     * larger than the whole budget are rejected (counted, not
+     * stored).
+     */
+    void insert(uint64_t key, uint64_t bytes);
+
+    const Stats &stats() const { return stats_; }
+    uint64_t budgetBytes() const { return budgetBytes_; }
+    uint64_t bytesInUse() const { return bytesInUse_; }
+    size_t entries() const { return index_.size(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        uint64_t bytes;
+    };
+
+    void evictOne();
+
+    uint64_t budgetBytes_;
+    uint64_t bytesInUse_ = 0;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_MSA_CACHE_HH

@@ -1,0 +1,144 @@
+#include "serve/report.hh"
+
+#include <cstdio>
+
+#include "util/str.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace afsb::serve {
+
+SloReport
+buildSloReport(const ClusterResult &result)
+{
+    SloReport report;
+    report.offered = result.offered;
+    report.completed = result.completed;
+    report.shed = result.shed;
+    report.cacheHitRate = result.cacheStats.hitRate();
+    report.cacheEvictions = result.cacheStats.evictions;
+    report.cacheEntries = result.cacheEntries;
+    report.cacheBytesInUse = result.cacheBytesInUse;
+    report.msaUtilization = result.msaUtilization();
+    report.gpuUtilization = result.gpuUtilization();
+    report.throughputPerHour = result.throughputPerHour();
+    report.makespanSeconds = result.makespanSeconds;
+
+    const auto latencies = result.completedLatencies();
+    report.latency = percentilesOf(latencies);
+    report.meanLatency = meanOf(latencies);
+    for (double l : latencies)
+        report.maxLatency = std::max(report.maxLatency, l);
+
+    double msaQueue = 0.0, gpuQueue = 0.0, service = 0.0;
+    for (const auto &rec : result.records) {
+        if (rec.outcome != Outcome::Completed)
+            continue;
+        msaQueue += rec.msaQueueSeconds();
+        gpuQueue += rec.gpuQueueSeconds();
+        service += rec.serviceSeconds();
+    }
+    if (result.completed > 0) {
+        const double n = static_cast<double>(result.completed);
+        report.meanMsaQueueSeconds = msaQueue / n;
+        report.meanGpuQueueSeconds = gpuQueue / n;
+        report.meanServiceSeconds = service / n;
+    }
+    return report;
+}
+
+void
+printSloReport(const SloReport &report, const std::string &title)
+{
+    TextTable latency(title + " — latency SLO");
+    latency.setHeader({"p50 (s)", "p95 (s)", "p99 (s)", "mean (s)",
+                       "max (s)"});
+    latency.addRow({strformat("%.1f", report.latency.p50),
+                    strformat("%.1f", report.latency.p95),
+                    strformat("%.1f", report.latency.p99),
+                    strformat("%.1f", report.meanLatency),
+                    strformat("%.1f", report.maxLatency)});
+    latency.print();
+
+    TextTable breakdown(title + " — where the time goes (mean)");
+    breakdown.setHeader({"msa queue (s)", "gpu queue (s)",
+                         "service (s)", "queue share"});
+    const double total = report.meanMsaQueueSeconds +
+                         report.meanGpuQueueSeconds +
+                         report.meanServiceSeconds;
+    breakdown.addRow(
+        {strformat("%.1f", report.meanMsaQueueSeconds),
+         strformat("%.1f", report.meanGpuQueueSeconds),
+         strformat("%.1f", report.meanServiceSeconds),
+         strformat("%.1f%%",
+                   total > 0.0
+                       ? 100.0 *
+                             (report.meanMsaQueueSeconds +
+                              report.meanGpuQueueSeconds) /
+                             total
+                       : 0.0)});
+    breakdown.print();
+
+    TextTable cluster(title + " — cluster health");
+    cluster.setHeader({"offered", "completed", "shed", "shed rate",
+                       "cache hits", "msa util", "gpu util",
+                       "req/h"});
+    cluster.addRow(
+        {strformat("%llu",
+                   static_cast<unsigned long long>(report.offered)),
+         strformat("%llu", static_cast<unsigned long long>(
+                               report.completed)),
+         strformat("%llu",
+                   static_cast<unsigned long long>(report.shed)),
+         strformat("%.1f%%", 100.0 * report.shedRate()),
+         strformat("%.1f%%", 100.0 * report.cacheHitRate),
+         strformat("%.1f%%", 100.0 * report.msaUtilization),
+         strformat("%.1f%%", 100.0 * report.gpuUtilization),
+         strformat("%.1f", report.throughputPerHour)});
+    cluster.print();
+
+    std::printf("MSA cache: %zu entries, %s in use, "
+                "%llu evictions\n",
+                static_cast<size_t>(report.cacheEntries),
+                formatBytes(report.cacheBytesInUse).c_str(),
+                static_cast<unsigned long long>(
+                    report.cacheEvictions));
+}
+
+CsvWriter
+requestCsv(const ClusterResult &result)
+{
+    CsvWriter csv;
+    csv.setHeader({"id", "sample", "variant", "tokens", "arrival_s",
+                   "outcome", "msa_cache_hit", "msa_queue_s",
+                   "msa_service_s", "gpu_queue_s", "gpu_service_s",
+                   "xla_compile_s", "latency_s"});
+    for (const auto &rec : result.records) {
+        const bool done = rec.outcome == Outcome::Completed;
+        csv.addRow(
+            {strformat("%llu", static_cast<unsigned long long>(
+                                   rec.request.id)),
+             rec.request.sample,
+             strformat("%u", rec.request.variant),
+             strformat("%zu", rec.request.tokens),
+             strformat("%.3f", rec.request.arrivalSeconds),
+             done ? "completed" : "shed",
+             rec.msaCacheHit ? "1" : "0",
+             strformat("%.3f", done ? rec.msaQueueSeconds() : 0.0),
+             strformat("%.3f",
+                       done ? rec.msaEndSeconds -
+                                  rec.msaStartSeconds
+                            : 0.0),
+             strformat("%.3f", done ? rec.gpuQueueSeconds() : 0.0),
+             strformat("%.3f",
+                       done ? rec.finishSeconds -
+                                  rec.gpuStartSeconds
+                            : 0.0),
+             strformat("%.3f", rec.compileSeconds),
+             strformat("%.3f",
+                       done ? rec.latencySeconds() : 0.0)});
+    }
+    return csv;
+}
+
+} // namespace afsb::serve

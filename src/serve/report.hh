@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tail-latency SLO reporting for cluster simulations.
+ *
+ * Summarizes one ClusterResult the way an on-call dashboard would:
+ * latency percentiles (p50/p95/p99) over completed requests, the
+ * time-in-queue vs time-in-service split, MSA cache effectiveness,
+ * per-pool utilization, and the shed count. Renders as an ASCII
+ * table and exports per-request rows as CSV.
+ */
+
+#ifndef AFSB_SERVE_REPORT_HH
+#define AFSB_SERVE_REPORT_HH
+
+#include <string>
+
+#include "serve/cluster.hh"
+#include "util/csv.hh"
+#include "util/stats.hh"
+
+namespace afsb::serve {
+
+/** One simulated run reduced to its SLO dashboard numbers. */
+struct SloReport
+{
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+
+    /** End-to-end latency over completed requests. */
+    Percentiles latency;
+    double meanLatency = 0.0;
+    double maxLatency = 0.0;
+
+    /** Where completed requests spent their time, on average. */
+    double meanMsaQueueSeconds = 0.0;
+    double meanGpuQueueSeconds = 0.0;
+    double meanServiceSeconds = 0.0;
+
+    double cacheHitRate = 0.0;
+    uint64_t cacheEvictions = 0;
+    uint64_t cacheEntries = 0;
+    uint64_t cacheBytesInUse = 0;
+
+    double msaUtilization = 0.0;
+    double gpuUtilization = 0.0;
+
+    double throughputPerHour = 0.0;
+    double makespanSeconds = 0.0;
+
+    /** Fraction of offered load rejected by admission control. */
+    double
+    shedRate() const
+    {
+        return offered ? static_cast<double>(shed) /
+                             static_cast<double>(offered)
+                       : 0.0;
+    }
+};
+
+/** Reduce @p result to its SLO report. */
+SloReport buildSloReport(const ClusterResult &result);
+
+/** Print the report as ASCII tables under @p title. */
+void printSloReport(const SloReport &report,
+                    const std::string &title);
+
+/**
+ * Per-request CSV export: one row per offered request with
+ * timestamps, stage waits, cache-hit flag, and outcome.
+ */
+CsvWriter requestCsv(const ClusterResult &result);
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_REPORT_HH

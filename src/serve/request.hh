@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Request and per-request trace types for the serving-cluster
+ * simulator.
+ *
+ * A request is one user query: a Table II sample (optionally one of
+ * several distinct query variants with the same workload character),
+ * arriving at a known simulated time. Its record captures every
+ * timestamp on the way through the cluster — admission, MSA stage,
+ * GPU stage — so the SLO report can split latency into queueing vs
+ * service per pool.
+ */
+
+#ifndef AFSB_SERVE_REQUEST_HH
+#define AFSB_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace afsb::serve {
+
+/** One user query in the open-loop request stream. */
+struct Request
+{
+    uint64_t id = 0;          ///< arrival order, 0-based
+    std::string sample;       ///< Table II sample name
+    uint32_t variant = 0;     ///< distinct-query salt within a sample
+    size_t tokens = 0;        ///< total residues (the SJF predictor)
+    uint64_t contentHash = 0; ///< content-addressed MSA cache key
+    double arrivalSeconds = 0.0;
+};
+
+/** Terminal state of a request. */
+enum class Outcome {
+    Completed, ///< served through both stages
+    Shed,      ///< rejected by admission control
+};
+
+/** Full per-request trace through the cluster. */
+struct RequestRecord
+{
+    Request request;
+    Outcome outcome = Outcome::Completed;
+
+    /** MSA stage skipped via the content-addressed result cache. */
+    bool msaCacheHit = false;
+
+    double msaStartSeconds = 0.0; ///< MSA service begins (hit: skip)
+    double msaEndSeconds = 0.0;   ///< MSA result available
+    double gpuStartSeconds = 0.0; ///< inference service begins
+    double finishSeconds = 0.0;   ///< response complete
+
+    /** XLA compile paid on the assigned GPU worker (0 once the
+     *  worker's persistent cache holds the shape bucket). */
+    double compileSeconds = 0.0;
+
+    /** Wait before an MSA worker (0 on a cache hit). */
+    double
+    msaQueueSeconds() const
+    {
+        return msaStartSeconds - request.arrivalSeconds;
+    }
+
+    /** Wait between MSA completion and a GPU worker. */
+    double
+    gpuQueueSeconds() const
+    {
+        return gpuStartSeconds - msaEndSeconds;
+    }
+
+    /** Total time spent waiting in queues. */
+    double
+    queueSeconds() const
+    {
+        return msaQueueSeconds() + gpuQueueSeconds();
+    }
+
+    /** Total time in service (MSA + inference). */
+    double
+    serviceSeconds() const
+    {
+        return (msaEndSeconds - msaStartSeconds) +
+               (finishSeconds - gpuStartSeconds);
+    }
+
+    /** End-to-end latency (finish - arrival). */
+    double
+    latencySeconds() const
+    {
+        return finishSeconds - request.arrivalSeconds;
+    }
+};
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_REQUEST_HH

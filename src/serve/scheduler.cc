@@ -1,0 +1,60 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::serve {
+
+SchedPolicy
+policyByName(const std::string &name)
+{
+    if (name == "fifo")
+        return SchedPolicy::Fifo;
+    if (name == "sjf")
+        return SchedPolicy::Sjf;
+    fatal("unknown scheduling policy '" + name + "' (fifo, sjf)");
+}
+
+const char *
+policyName(SchedPolicy policy)
+{
+    return policy == SchedPolicy::Fifo ? "fifo" : "sjf";
+}
+
+void
+DispatchQueue::push(Request request)
+{
+    queue_.push_back(std::move(request));
+    maxDepth_ = std::max(maxDepth_, queue_.size());
+}
+
+Request
+DispatchQueue::pop()
+{
+    if (queue_.empty())
+        fatal("DispatchQueue: pop on empty queue");
+    auto it = queue_.begin();
+    if (policy_ == SchedPolicy::Sjf) {
+        it = std::min_element(
+            queue_.begin(), queue_.end(),
+            [](const Request &a, const Request &b) {
+                if (a.tokens != b.tokens)
+                    return a.tokens < b.tokens;
+                return a.id < b.id;
+            });
+    }
+    Request out = std::move(*it);
+    queue_.erase(it);
+    return out;
+}
+
+void
+AdmissionController::release()
+{
+    panicIf(inSystem_ == 0,
+            "AdmissionController: release with empty system");
+    --inSystem_;
+}
+
+} // namespace afsb::serve

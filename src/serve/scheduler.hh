@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Admission control and queue-ordering policy for the serving
+ * cluster.
+ *
+ * The cluster bounds the number of requests in the system (queued
+ * or in service) and sheds arrivals beyond it — open-loop traffic
+ * meeting a finite system, so tail latency stays bounded and the
+ * shed count becomes the overload signal. Within a queue the
+ * dispatch order is pluggable: FIFO, or shortest-job-first by
+ * predicted token count (the cheap size predictor AF3 queries carry
+ * in their sequence lengths).
+ */
+
+#ifndef AFSB_SERVE_SCHEDULER_HH
+#define AFSB_SERVE_SCHEDULER_HH
+
+#include <deque>
+#include <string>
+
+#include "serve/request.hh"
+
+namespace afsb::serve {
+
+/** Dispatch-ordering policy. */
+enum class SchedPolicy {
+    Fifo, ///< arrival order
+    Sjf,  ///< shortest predicted job (token count) first
+};
+
+/** Parse "fifo" / "sjf"; fatal() on anything else. */
+SchedPolicy policyByName(const std::string &name);
+
+/** Canonical name of a policy. */
+const char *policyName(SchedPolicy policy);
+
+/**
+ * A dispatch queue with a pluggable ordering. Capacity is enforced
+ * by the cluster-wide admission bound, not per queue, so the queue
+ * itself is unbounded.
+ */
+class DispatchQueue
+{
+  public:
+    explicit DispatchQueue(SchedPolicy policy) : policy_(policy) {}
+
+    void push(Request request);
+
+    /** Next request per policy; fatal() when empty. Ties in SJF
+     *  break by arrival id, keeping dispatch deterministic. */
+    Request pop();
+
+    bool empty() const { return queue_.empty(); }
+    size_t depth() const { return queue_.size(); }
+
+    /** Largest depth ever observed. */
+    size_t maxDepth() const { return maxDepth_; }
+
+    SchedPolicy policy() const { return policy_; }
+
+  private:
+    SchedPolicy policy_;
+    std::deque<Request> queue_;
+    size_t maxDepth_ = 0;
+};
+
+/**
+ * Cluster-wide admission controller: at most @p capacity requests
+ * may be in the system (waiting or in service) at once; arrivals
+ * beyond that are shed.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(size_t capacity)
+        : capacity_(capacity)
+    {}
+
+    /** Try to admit one arrival; false means shed. */
+    bool
+    tryAdmit()
+    {
+        if (inSystem_ >= capacity_) {
+            ++shedCount_;
+            return false;
+        }
+        ++inSystem_;
+        maxInSystem_ = std::max(maxInSystem_, inSystem_);
+        return true;
+    }
+
+    /** A request left the system (completed). */
+    void release();
+
+    size_t capacity() const { return capacity_; }
+    size_t inSystem() const { return inSystem_; }
+    size_t maxInSystem() const { return maxInSystem_; }
+    uint64_t shedCount() const { return shedCount_; }
+
+  private:
+    size_t capacity_;
+    size_t inSystem_ = 0;
+    size_t maxInSystem_ = 0;
+    uint64_t shedCount_ = 0;
+};
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_SCHEDULER_HH

@@ -1,0 +1,138 @@
+#include "serve/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "bio/samples.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/str.hh"
+
+namespace afsb::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+fnvMix(uint64_t &h, uint64_t byte)
+{
+    h ^= byte;
+    h *= kFnvPrime;
+}
+
+} // namespace
+
+uint64_t
+queryContentHash(const bio::Complex &complex_input, uint32_t variant)
+{
+    uint64_t h = kFnvOffset;
+    for (const auto &chain : complex_input.chains()) {
+        fnvMix(h, static_cast<uint64_t>(chain.type()));
+        for (uint8_t code : chain.codes())
+            fnvMix(h, code);
+        fnvMix(h, 0xff); // chain separator
+    }
+    for (int shift = 0; shift < 32; shift += 8)
+        fnvMix(h, (variant >> shift) & 0xff);
+    return h;
+}
+
+std::vector<MixEntry>
+parseMix(const std::string &text)
+{
+    std::vector<MixEntry> mix;
+    for (const auto &field : split(text, ',')) {
+        const std::string entry = trim(field);
+        if (entry.empty())
+            fatal("mix: empty entry in '" + text + "'");
+        MixEntry e;
+        const auto eq = entry.find('=');
+        if (eq == std::string::npos) {
+            e.sample = entry;
+        } else {
+            e.sample = trim(entry.substr(0, eq));
+            const std::string w = trim(entry.substr(eq + 1));
+            char *end = nullptr;
+            e.weight = std::strtod(w.c_str(), &end);
+            if (w.empty() || (end && *end != '\0'))
+                fatal("mix: malformed weight '" + w + "'");
+            if (e.weight <= 0.0)
+                fatal("mix: non-positive weight for " + e.sample);
+        }
+        const auto &names = bio::sampleNames();
+        if (std::find(names.begin(), names.end(), e.sample) ==
+            names.end())
+            fatal("mix: unknown sample '" + e.sample + "'");
+        mix.push_back(std::move(e));
+    }
+    if (mix.empty())
+        fatal("mix: no entries in '" + text + "'");
+    return mix;
+}
+
+std::vector<Request>
+generateRequests(const WorkloadSpec &spec)
+{
+    if (spec.requestsPerSecond <= 0.0)
+        fatal("workload: requestsPerSecond must be positive");
+    if (spec.durationSeconds <= 0.0)
+        fatal("workload: durationSeconds must be positive");
+    if (spec.variantsPerSample == 0)
+        fatal("workload: variantsPerSample must be >= 1");
+
+    std::vector<MixEntry> mix = spec.mix;
+    if (mix.empty())
+        for (const auto &name : bio::sampleNames())
+            mix.push_back({name, 1.0});
+
+    std::vector<double> weights;
+    weights.reserve(mix.size());
+    for (const auto &e : mix)
+        weights.push_back(e.weight);
+
+    // Token counts and content hashes are derived once per
+    // (sample, variant); samples themselves are deterministic.
+    struct SampleInfo
+    {
+        size_t tokens = 0;
+        std::vector<uint64_t> hashes; // one per variant
+    };
+    std::vector<SampleInfo> infos(mix.size());
+    for (size_t i = 0; i < mix.size(); ++i) {
+        const auto sample = bio::makeSample(mix[i].sample);
+        infos[i].tokens = sample.complex.totalResidues();
+        infos[i].hashes.reserve(spec.variantsPerSample);
+        for (uint32_t v = 0; v < spec.variantsPerSample; ++v)
+            infos[i].hashes.push_back(
+                queryContentHash(sample.complex, v));
+    }
+
+    Rng rng(spec.seed);
+    std::vector<Request> requests;
+    double clock = 0.0;
+    while (true) {
+        // Exponential inter-arrival gap (inverse-CDF sampling).
+        const double u = rng.nextDouble();
+        clock += -std::log1p(-u) / spec.requestsPerSecond;
+        if (clock >= spec.durationSeconds)
+            break;
+        const size_t pick = rng.nextWeighted(weights);
+        const uint32_t variant = static_cast<uint32_t>(
+            rng.nextBounded(spec.variantsPerSample));
+
+        Request r;
+        r.id = requests.size();
+        r.sample = mix[pick].sample;
+        r.variant = variant;
+        r.tokens = infos[pick].tokens;
+        r.contentHash = infos[pick].hashes[variant];
+        r.arrivalSeconds = clock;
+        requests.push_back(std::move(r));
+    }
+    return requests;
+}
+
+} // namespace afsb::serve

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Open-loop request generation for the serving-cluster simulator.
+ *
+ * Arrivals follow a Poisson process (exponential inter-arrival
+ * gaps) at a configurable rate over a fixed duration; each arrival
+ * draws a sample from a weighted mix of the Table II inputs and one
+ * of a small number of distinct query variants per sample. Fewer
+ * variants means more repeated queries — the knob that exercises
+ * the content-addressed MSA result cache. Everything is seeded, so
+ * a workload is reproducible bit-for-bit.
+ */
+
+#ifndef AFSB_SERVE_WORKLOAD_HH
+#define AFSB_SERVE_WORKLOAD_HH
+
+#include <vector>
+
+#include "bio/sequence.hh"
+#include "serve/request.hh"
+
+namespace afsb::serve {
+
+/** One weighted entry of the request mix. */
+struct MixEntry
+{
+    std::string sample;  ///< Table II sample name
+    double weight = 1.0; ///< relative arrival probability
+};
+
+/** Open-loop workload description. */
+struct WorkloadSpec
+{
+    /** Mean arrival rate of the Poisson process. */
+    double requestsPerSecond = 0.5;
+
+    /** Length of the arrival window; requests arriving inside it
+     *  are still served to completion afterwards. */
+    double durationSeconds = 3600.0;
+
+    uint64_t seed = 0x5e7eaf3b;
+
+    /** Sample mix; empty means uniform over all Table II samples. */
+    std::vector<MixEntry> mix;
+
+    /**
+     * Distinct query variants per sample. Each variant hashes to
+     * its own MSA-cache key while sharing the sample's workload
+     * character; 1 makes every request for a sample a repeat, large
+     * values approximate an all-unique stream.
+     */
+    uint32_t variantsPerSample = 4;
+};
+
+/**
+ * Content-addressed cache key: a 64-bit FNV-1a digest over the
+ * complex's chain modalities and residue codes, salted with the
+ * query @p variant (distinct users submitting distinct sequences of
+ * identical workload character).
+ */
+uint64_t queryContentHash(const bio::Complex &complex_input,
+                          uint32_t variant);
+
+/**
+ * Parse a mix string like "2PV7=3,promo=1" (weights optional:
+ * "2PV7,promo" weighs both equally). fatal() on unknown samples,
+ * malformed entries, or non-positive weights.
+ */
+std::vector<MixEntry> parseMix(const std::string &text);
+
+/**
+ * Generate the arrival stream for @p spec: Poisson arrivals in
+ * [0, duration), each tagged with sample, variant, predicted token
+ * count, and content hash. Sorted by arrival time.
+ */
+std::vector<Request> generateRequests(const WorkloadSpec &spec);
+
+} // namespace afsb::serve
+
+#endif // AFSB_SERVE_WORKLOAD_HH

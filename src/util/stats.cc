@@ -97,6 +97,46 @@ medianOf(std::vector<double> xs)
     return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
 }
 
+namespace {
+
+/** Percentile of an already-sorted sample. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace
+
+double
+percentile(std::span<const double> xs, double p)
+{
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile: p outside [0, 100]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sortedPercentile(sorted, p);
+}
+
+Percentiles
+percentilesOf(std::span<const double> xs)
+{
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    Percentiles out;
+    out.p50 = sortedPercentile(sorted, 50.0);
+    out.p95 = sortedPercentile(sorted, 95.0);
+    out.p99 = sortedPercentile(sorted, 99.0);
+    return out;
+}
+
 std::vector<double>
 speedupSeries(const std::vector<double> &xs)
 {

@@ -11,6 +11,7 @@
 #define AFSB_UTIL_STATS_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace afsb {
@@ -62,6 +63,24 @@ double geomean(const std::vector<double> &xs);
 
 /** Median (0 when empty; average of middle two for even n). */
 double medianOf(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile of @p xs, @p p in [0, 100]
+ * (the NIST/NumPy "linear" definition: rank = p/100 * (n-1)).
+ * 0 when empty; fatal() on p outside [0, 100].
+ */
+double percentile(std::span<const double> xs, double p);
+
+/** The tail-latency percentile triple reported by SLO summaries. */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** p50/p95/p99 of @p xs with one sort (all 0 when empty). */
+Percentiles percentilesOf(std::span<const double> xs);
 
 /**
  * Speedup series relative to the first element.

@@ -91,5 +91,51 @@ TEST(Serving, EmptyRequestListIsSafe)
     EXPECT_DOUBLE_EQ(result.makespanSeconds, 0.0);
 }
 
+TEST(Serving, OpenLoopLatencyIsQueueingPlusService)
+{
+    // Staggered arrivals with some overlap: each request's latency
+    // must decompose exactly into time-in-queue plus time-in-
+    // service, with no unaccounted gaps.
+    const std::vector<ServingRequest> requests = {
+        {484, 0.0}, {881, 10.0}, {484, 20.0}, {484, 1e6}};
+    const auto result =
+        simulateServing(sys::serverPlatform(), requests);
+    ASSERT_EQ(result.requests.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const auto &r = result.requests[i];
+        const double queueing =
+            r.startSeconds - requests[i].arrivalSeconds;
+        EXPECT_GE(queueing, -1e-9);
+        EXPECT_NEAR(r.latencySeconds, queueing + r.serviceSeconds,
+                    1e-9);
+        EXPECT_NEAR(r.finishSeconds,
+                    r.startSeconds + r.serviceSeconds, 1e-9);
+    }
+}
+
+TEST(Serving, WarmCacheStrictlyDominatesColdOnSameStream)
+{
+    // Identical request stream, cold vs persistent model state: the
+    // warm run must finish every request no later, and sustain
+    // strictly higher throughput.
+    std::vector<ServingRequest> requests;
+    for (int i = 0; i < 6; ++i)
+        requests.push_back({i % 2 ? 881u : 484u, 0.0});
+    ServingOptions warm;
+    warm.persistentModelState = true;
+    const auto cold =
+        simulateServing(sys::serverPlatform(), requests);
+    const auto persistent =
+        simulateServing(sys::serverPlatform(), requests, warm);
+
+    ASSERT_EQ(cold.requests.size(), persistent.requests.size());
+    for (size_t i = 0; i < cold.requests.size(); ++i)
+        EXPECT_LE(persistent.requests[i].finishSeconds,
+                  cold.requests[i].finishSeconds + 1e-9);
+    EXPECT_GT(persistent.throughputPerHour,
+              cold.throughputPerHour);
+    EXPECT_LT(persistent.makespanSeconds, cold.makespanSeconds);
+}
+
 } // namespace
 } // namespace afsb::gpusim

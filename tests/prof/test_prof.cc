@@ -110,5 +110,21 @@ TEST(Repetition, CollectsStatsAndChecksCv)
     EXPECT_FALSE(unstable.stable());
 }
 
+TEST(Repetition, KeepsSamplesAndReportsPercentiles)
+{
+    const auto rep = repeatMeasurement(5, [](size_t run) {
+        return 10.0 + static_cast<double>(run);
+    });
+    ASSERT_EQ(rep.samples.size(), 5u);
+    EXPECT_DOUBLE_EQ(rep.samples.front(), 10.0);
+    EXPECT_DOUBLE_EQ(rep.samples.back(), 14.0);
+    EXPECT_DOUBLE_EQ(rep.median(), 12.0);
+    const auto p = rep.percentiles();
+    EXPECT_DOUBLE_EQ(p.p50, 12.0);
+    EXPECT_GE(p.p95, p.p50);
+    EXPECT_GE(p.p99, p.p95);
+    EXPECT_LE(p.p99, 14.0);
+}
+
 } // namespace
 } // namespace afsb::prof

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * End-to-end tests for the serving-cluster simulation.
+ *
+ * All tests share one small 2PV7-only workload so the per-sample MSA
+ * characterization run (the only expensive part) happens on a single
+ * cheap sample; the event loop itself is effectively free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/workspace.hh"
+#include "serve/cluster.hh"
+
+namespace afsb::serve {
+namespace {
+
+/** Cheap config: few threads, coarse trace, one jackhmmer pass. */
+ClusterConfig
+fastConfig()
+{
+    ClusterConfig cfg;
+    cfg.msaWorkers = 2;
+    cfg.gpuWorkers = 1;
+    cfg.msaThreadsPerWorker = 2;
+    cfg.msaOptions.traceStride = 16;
+    cfg.msaOptions.jackhmmerIterations = 1;
+    return cfg;
+}
+
+std::vector<Request>
+smallWorkload(uint32_t variants = 2)
+{
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 6000.0;
+    spec.seed = 777;
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = variants;
+    return generateRequests(spec);
+}
+
+TEST(Cluster, LatencyDecomposesAndTimestampsAreMonotonic)
+{
+    const auto requests = smallWorkload();
+    const auto result =
+        simulateCluster(sys::serverPlatform(),
+                        core::Workspace::shared(), requests,
+                        fastConfig());
+    ASSERT_EQ(result.records.size(), requests.size());
+    EXPECT_GT(result.completed, 0u);
+    for (const auto &rec : result.records) {
+        if (rec.outcome != Outcome::Completed)
+            continue;
+        EXPECT_GE(rec.msaStartSeconds,
+                  rec.request.arrivalSeconds - 1e-9);
+        EXPECT_GE(rec.msaEndSeconds, rec.msaStartSeconds);
+        EXPECT_GE(rec.gpuStartSeconds, rec.msaEndSeconds - 1e-9);
+        EXPECT_GT(rec.finishSeconds, rec.gpuStartSeconds);
+        EXPECT_NEAR(rec.latencySeconds(),
+                    rec.queueSeconds() + rec.serviceSeconds(),
+                    1e-9);
+        EXPECT_GE(rec.queueSeconds(), -1e-9);
+        EXPECT_GT(rec.serviceSeconds(), 0.0);
+    }
+}
+
+TEST(Cluster, SameInputsAreBitIdentical)
+{
+    const auto requests = smallWorkload();
+    const auto a = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, fastConfig());
+    const auto b = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, fastConfig());
+    ASSERT_EQ(a.records.size(), b.records.size());
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+        EXPECT_EQ(a.records[i].msaCacheHit,
+                  b.records[i].msaCacheHit);
+        EXPECT_EQ(a.records[i].msaStartSeconds,
+                  b.records[i].msaStartSeconds);
+        EXPECT_EQ(a.records[i].finishSeconds,
+                  b.records[i].finishSeconds);
+    }
+}
+
+TEST(Cluster, MsaCacheCutsLatencyOnRepeatedQueries)
+{
+    // One distinct query per sample: every arrival after the first
+    // is a repeat, so the cache should absorb the MSA stage.
+    const auto requests = smallWorkload(1);
+    ASSERT_GT(requests.size(), 2u);
+
+    auto cached = fastConfig();
+    cached.msaCacheBudgetBytes = 512ull << 20;
+    auto uncached = fastConfig();
+    uncached.msaCacheBudgetBytes = 0;
+
+    const auto warm = simulateCluster(sys::serverPlatform(),
+                                      core::Workspace::shared(),
+                                      requests, cached);
+    const auto cold = simulateCluster(sys::serverPlatform(),
+                                      core::Workspace::shared(),
+                                      requests, uncached);
+
+    EXPECT_GT(warm.cacheStats.hits, 0u);
+    EXPECT_EQ(cold.cacheStats.hits, 0u);
+    EXPECT_GE(warm.completed, cold.completed);
+
+    const auto meanLatency = [](const ClusterResult &r) {
+        double sum = 0.0;
+        for (double x : r.completedLatencies())
+            sum += x;
+        return sum / static_cast<double>(
+                         r.completedLatencies().size());
+    };
+    EXPECT_LT(meanLatency(warm), meanLatency(cold));
+}
+
+TEST(Cluster, AccountingIsConsistent)
+{
+    const auto requests = smallWorkload();
+    const auto result =
+        simulateCluster(sys::serverPlatform(),
+                        core::Workspace::shared(), requests,
+                        fastConfig());
+    EXPECT_EQ(result.offered, requests.size());
+    EXPECT_EQ(result.completed + result.shed, result.offered);
+    EXPECT_GE(result.msaUtilization(), 0.0);
+    EXPECT_LE(result.msaUtilization(), 1.0 + 1e-9);
+    EXPECT_GE(result.gpuUtilization(), 0.0);
+    EXPECT_LE(result.gpuUtilization(), 1.0 + 1e-9);
+    EXPECT_EQ(result.completedLatencies().size(),
+              result.completed);
+    for (const auto &rec : result.records) {
+        if (rec.outcome == Outcome::Completed) {
+            EXPECT_LE(rec.finishSeconds,
+                      result.makespanSeconds + 1e-9);
+        }
+    }
+    EXPECT_EQ(result.msaSecondsBySample.size(), 1u);
+    EXPECT_GT(result.msaSecondsBySample.at("2PV7"), 0.0);
+}
+
+TEST(Cluster, TinyAdmissionCapacitySheds)
+{
+    const auto requests = smallWorkload();
+    ASSERT_GT(requests.size(), 1u);
+    auto cfg = fastConfig();
+    cfg.admissionCapacity = 1;
+    const auto result =
+        simulateCluster(sys::serverPlatform(),
+                        core::Workspace::shared(), requests, cfg);
+    EXPECT_GT(result.shed, 0u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_LE(result.maxInSystem, 1u);
+    for (const auto &rec : result.records) {
+        if (rec.outcome == Outcome::Shed) {
+            EXPECT_EQ(rec.finishSeconds,
+                      rec.request.arrivalSeconds);
+        }
+    }
+}
+
+TEST(Cluster, SjfPolicyCompletesSameRequestSet)
+{
+    const auto requests = smallWorkload();
+    auto cfg = fastConfig();
+    cfg.policy = SchedPolicy::Sjf;
+    const auto result =
+        simulateCluster(sys::serverPlatform(),
+                        core::Workspace::shared(), requests, cfg);
+    EXPECT_EQ(result.completed + result.shed, result.offered);
+    EXPECT_GT(result.completed, 0u);
+}
+
+} // namespace
+} // namespace afsb::serve

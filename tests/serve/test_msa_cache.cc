@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the content-addressed MSA result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/msa_cache.hh"
+
+namespace afsb::serve {
+namespace {
+
+TEST(MsaCache, MissThenHit)
+{
+    MsaResultCache cache(1 << 20);
+    EXPECT_FALSE(cache.lookup(0xabc));
+    cache.insert(0xabc, 1000);
+    EXPECT_TRUE(cache.lookup(0xabc));
+    EXPECT_EQ(cache.stats().lookups, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytesInUse(), 1000u);
+}
+
+TEST(MsaCache, EvictsLeastRecentlyUsedUnderBudget)
+{
+    MsaResultCache cache(300);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    cache.insert(3, 100);
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_TRUE(cache.lookup(1));
+    cache.insert(4, 100);
+    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_FALSE(cache.lookup(2));
+    EXPECT_TRUE(cache.lookup(3));
+    EXPECT_TRUE(cache.lookup(4));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.bytesInUse(), cache.budgetBytes());
+}
+
+TEST(MsaCache, RejectsEntriesLargerThanBudget)
+{
+    MsaResultCache cache(100);
+    cache.insert(7, 101);
+    EXPECT_FALSE(cache.lookup(7));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytesInUse(), 0u);
+}
+
+TEST(MsaCache, ZeroBudgetDisablesStorage)
+{
+    MsaResultCache cache(0);
+    cache.insert(1, 1);
+    EXPECT_FALSE(cache.lookup(1));
+    EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(MsaCache, ReinsertRefreshesWithoutDuplicating)
+{
+    MsaResultCache cache(250);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    cache.insert(1, 100); // refresh: 2 is now the LRU victim
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.bytesInUse(), 200u);
+    cache.insert(3, 100);
+    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_FALSE(cache.lookup(2));
+    EXPECT_TRUE(cache.lookup(3));
+}
+
+TEST(MsaCache, EvictsMultipleToFitLargeEntry)
+{
+    MsaResultCache cache(300);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    cache.insert(3, 100);
+    cache.insert(4, 250);
+    EXPECT_FALSE(cache.lookup(1));
+    EXPECT_FALSE(cache.lookup(2));
+    EXPECT_FALSE(cache.lookup(3));
+    EXPECT_TRUE(cache.lookup(4));
+    EXPECT_EQ(cache.stats().evictions, 3u);
+    EXPECT_LE(cache.bytesInUse(), cache.budgetBytes());
+}
+
+} // namespace
+} // namespace afsb::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for admission control and dispatch-queue policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/scheduler.hh"
+#include "util/logging.hh"
+
+namespace afsb::serve {
+namespace {
+
+Request
+req(uint64_t id, size_t tokens)
+{
+    Request r;
+    r.id = id;
+    r.tokens = tokens;
+    return r;
+}
+
+TEST(Scheduler, FifoPopsInArrivalOrder)
+{
+    DispatchQueue q(SchedPolicy::Fifo);
+    q.push(req(0, 900));
+    q.push(req(1, 100));
+    q.push(req(2, 500));
+    EXPECT_EQ(q.pop().id, 0u);
+    EXPECT_EQ(q.pop().id, 1u);
+    EXPECT_EQ(q.pop().id, 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Scheduler, SjfPopsShortestFirstTiesById)
+{
+    DispatchQueue q(SchedPolicy::Sjf);
+    q.push(req(0, 900));
+    q.push(req(1, 100));
+    q.push(req(2, 100));
+    q.push(req(3, 500));
+    EXPECT_EQ(q.pop().id, 1u); // shortest, earliest id wins the tie
+    EXPECT_EQ(q.pop().id, 2u);
+    EXPECT_EQ(q.pop().id, 3u);
+    EXPECT_EQ(q.pop().id, 0u);
+}
+
+TEST(Scheduler, TracksMaxDepth)
+{
+    DispatchQueue q(SchedPolicy::Fifo);
+    q.push(req(0, 1));
+    q.push(req(1, 1));
+    q.pop();
+    q.push(req(2, 1));
+    EXPECT_EQ(q.maxDepth(), 2u);
+    EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(Scheduler, PopOnEmptyIsFatal)
+{
+    DispatchQueue q(SchedPolicy::Fifo);
+    EXPECT_THROW(q.pop(), FatalError);
+}
+
+TEST(Scheduler, PolicyNamesRoundTrip)
+{
+    EXPECT_EQ(policyByName("fifo"), SchedPolicy::Fifo);
+    EXPECT_EQ(policyByName("sjf"), SchedPolicy::Sjf);
+    EXPECT_STREQ(policyName(SchedPolicy::Fifo), "fifo");
+    EXPECT_STREQ(policyName(SchedPolicy::Sjf), "sjf");
+    EXPECT_THROW(policyByName("lifo"), FatalError);
+}
+
+TEST(Admission, ShedsBeyondCapacityUntilReleases)
+{
+    AdmissionController adm(2);
+    EXPECT_TRUE(adm.tryAdmit());
+    EXPECT_TRUE(adm.tryAdmit());
+    EXPECT_FALSE(adm.tryAdmit());
+    EXPECT_EQ(adm.shedCount(), 1u);
+    EXPECT_EQ(adm.inSystem(), 2u);
+    adm.release();
+    EXPECT_TRUE(adm.tryAdmit());
+    EXPECT_EQ(adm.maxInSystem(), 2u);
+    EXPECT_EQ(adm.capacity(), 2u);
+}
+
+} // namespace
+} // namespace afsb::serve

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the open-loop workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/samples.hh"
+#include "serve/workload.hh"
+#include "util/logging.hh"
+
+namespace afsb::serve {
+namespace {
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.1;
+    spec.durationSeconds = 2000.0;
+    spec.seed = 1234;
+    return spec;
+}
+
+TEST(Workload, SameSeedIsBitIdentical)
+{
+    const auto a = generateRequests(smallSpec());
+    const auto b = generateRequests(smallSpec());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].sample, b[i].sample);
+        EXPECT_EQ(a[i].variant, b[i].variant);
+        EXPECT_EQ(a[i].tokens, b[i].tokens);
+        EXPECT_EQ(a[i].contentHash, b[i].contentHash);
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+    }
+}
+
+TEST(Workload, DifferentSeedsDiffer)
+{
+    auto spec = smallSpec();
+    const auto a = generateRequests(spec);
+    spec.seed = 4321;
+    const auto b = generateRequests(spec);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    // Arrival processes from independent seeds should not coincide.
+    bool differs = a.size() != b.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].arrivalSeconds != b[i].arrivalSeconds;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, PoissonRateIsApproximatelyHonored)
+{
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.5;
+    spec.durationSeconds = 10000.0;
+    spec.seed = 99;
+    const auto requests = generateRequests(spec);
+    const double expected =
+        spec.requestsPerSecond * spec.durationSeconds;
+    // 5000 expected arrivals; +-5 sigma ~= +-354.
+    EXPECT_NEAR(static_cast<double>(requests.size()), expected,
+                5.0 * std::sqrt(expected));
+}
+
+TEST(Workload, ArrivalsSortedWithinWindowAndIdsSequential)
+{
+    const auto requests = generateRequests(smallSpec());
+    ASSERT_FALSE(requests.empty());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(requests[i].id, i);
+        EXPECT_GE(requests[i].arrivalSeconds, 0.0);
+        EXPECT_LT(requests[i].arrivalSeconds,
+                  smallSpec().durationSeconds);
+        if (i > 0) {
+            EXPECT_GE(requests[i].arrivalSeconds,
+                      requests[i - 1].arrivalSeconds);
+        }
+        EXPECT_GT(requests[i].tokens, 0u);
+    }
+}
+
+TEST(Workload, MixRestrictsSamplesAndWeightsSkew)
+{
+    auto spec = smallSpec();
+    spec.durationSeconds = 20000.0;
+    spec.mix = parseMix("2PV7=10,promo=1");
+    const auto requests = generateRequests(spec);
+    size_t small = 0, large = 0;
+    for (const auto &r : requests) {
+        ASSERT_TRUE(r.sample == "2PV7" || r.sample == "promo");
+        (r.sample == "2PV7" ? small : large)++;
+    }
+    EXPECT_GT(small, large);
+}
+
+TEST(Workload, SingleVariantMakesAllRequestsRepeats)
+{
+    auto spec = smallSpec();
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 1;
+    const auto requests = generateRequests(spec);
+    ASSERT_GT(requests.size(), 1u);
+    for (const auto &r : requests) {
+        EXPECT_EQ(r.variant, 0u);
+        EXPECT_EQ(r.contentHash, requests[0].contentHash);
+    }
+}
+
+TEST(Workload, ParseMixValidates)
+{
+    const auto mix = parseMix("2PV7=3,promo=1");
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_EQ(mix[0].sample, "2PV7");
+    EXPECT_DOUBLE_EQ(mix[0].weight, 3.0);
+    EXPECT_DOUBLE_EQ(mix[1].weight, 1.0);
+
+    const auto equal = parseMix("2PV7,promo");
+    EXPECT_DOUBLE_EQ(equal[0].weight, equal[1].weight);
+
+    EXPECT_THROW(parseMix("NOPE=1"), FatalError);
+    EXPECT_THROW(parseMix("2PV7=0"), FatalError);
+    EXPECT_THROW(parseMix("2PV7=-2"), FatalError);
+    EXPECT_THROW(parseMix(""), FatalError);
+}
+
+TEST(Workload, ContentHashSeparatesVariantsAndSamples)
+{
+    const auto a = bio::makeSample("2PV7");
+    const auto b = bio::makeSample("promo");
+    EXPECT_EQ(queryContentHash(a.complex, 0),
+              queryContentHash(a.complex, 0));
+    EXPECT_NE(queryContentHash(a.complex, 0),
+              queryContentHash(a.complex, 1));
+    EXPECT_NE(queryContentHash(a.complex, 0),
+              queryContentHash(b.complex, 0));
+}
+
+} // namespace
+} // namespace afsb::serve

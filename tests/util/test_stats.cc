@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/histogram.hh"
 #include "util/logging.hh"
@@ -67,6 +68,51 @@ TEST(Stats, MeanMedianGeomean)
     EXPECT_DOUBLE_EQ(medianOf({4, 1, 3, 2}), 2.5);
     EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
     EXPECT_THROW(geomean({1.0, 0.0}), FatalError);
+}
+
+TEST(Percentile, LinearInterpolationMatchesHandValues)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 50.5);
+    EXPECT_NEAR(percentile(xs, 95.0), 95.05, 1e-12);
+    EXPECT_NEAR(percentile(xs, 99.0), 99.01, 1e-12);
+}
+
+TEST(Percentile, InputOrderDoesNotMatter)
+{
+    const std::vector<double> shuffled = {7, 1, 9, 3, 5};
+    const std::vector<double> sorted = {1, 3, 5, 7, 9};
+    for (double p : {0.0, 25.0, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile(shuffled, p),
+                         percentile(sorted, p));
+}
+
+TEST(Percentile, EdgeCases)
+{
+    const std::vector<double> empty;
+    const std::vector<double> one = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(empty, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 99.0), 42.0);
+    EXPECT_THROW(percentile(one, -1.0), FatalError);
+    EXPECT_THROW(percentile(one, 100.5), FatalError);
+}
+
+TEST(Percentile, PercentilesOfBundlesAllThree)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 1000; ++i)
+        xs.push_back(static_cast<double>(i));
+    const auto p = percentilesOf(xs);
+    EXPECT_DOUBLE_EQ(p.p50, percentile(xs, 50.0));
+    EXPECT_DOUBLE_EQ(p.p95, percentile(xs, 95.0));
+    EXPECT_DOUBLE_EQ(p.p99, percentile(xs, 99.0));
+    EXPECT_LT(p.p50, p.p95);
+    EXPECT_LT(p.p95, p.p99);
 }
 
 TEST(Stats, SpeedupSeries)

@@ -13,6 +13,10 @@
  *                        [--preload] [--csv out.csv]
  *   afsysbench inference --sample 2PV7 --platform server
  *                        [--persistent] [--requests 3]
+ *   afsysbench serve     --platform server --msa-workers 4
+ *                        --gpu-workers 2 --rps 0.5 --duration 3600
+ *                        --cache-mb 512 [--policy fifo|sjf]
+ *                        [--csv out.csv]
  *   afsysbench estimate  --sample 6QNR --platform desktop
  *   afsysbench advise    --sample 1YY9 --platform server
  */
@@ -24,6 +28,7 @@
 #include "core/memory_estimator.hh"
 #include "core/pipeline.hh"
 #include "prof/repetition.hh"
+#include "serve/report.hh"
 #include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -35,6 +40,11 @@ using namespace afsb;
 
 namespace {
 
+/** Accepted --platform names, in canonical order; keep the check
+ *  chain, error message, and usage text enumerating exactly these. */
+constexpr const char *kPlatformNames =
+    "server, server-cxl, desktop, desktop-128";
+
 sys::PlatformSpec
 platformByName(const std::string &name)
 {
@@ -42,12 +52,12 @@ platformByName(const std::string &name)
         return sys::serverPlatform();
     if (name == "server-cxl")
         return sys::serverPlatformWithCxl();
-    if (name == "desktop-128")
-        return sys::desktopPlatformUpgraded();
     if (name == "desktop")
         return sys::desktopPlatform();
-    fatal("unknown platform '" + name +
-          "' (server, server-cxl, desktop, desktop-128)");
+    if (name == "desktop-128")
+        return sys::desktopPlatformUpgraded();
+    fatal("unknown platform '" + name + "' (" + kPlatformNames +
+          ")");
 }
 
 int
@@ -191,6 +201,70 @@ cmdInference(const CliArgs &args)
 }
 
 int
+cmdServe(const CliArgs &args)
+{
+    const auto platform =
+        platformByName(args.get("platform", "server"));
+
+    serve::WorkloadSpec workload;
+    workload.requestsPerSecond = args.getDouble("rps", 0.05);
+    workload.durationSeconds = args.getDouble("duration", 3600.0);
+    workload.seed =
+        static_cast<uint64_t>(args.getInt("seed", 0x5e7eaf3b));
+    workload.variantsPerSample =
+        static_cast<uint32_t>(args.getInt("unique", 4));
+    if (args.has("mix"))
+        workload.mix = serve::parseMix(args.get("mix"));
+
+    serve::ClusterConfig cluster;
+    cluster.msaWorkers =
+        static_cast<uint32_t>(args.getInt("msa-workers", 4));
+    cluster.gpuWorkers =
+        static_cast<uint32_t>(args.getInt("gpu-workers", 2));
+    cluster.admissionCapacity =
+        static_cast<size_t>(args.getInt("queue-cap", 64));
+    cluster.policy =
+        serve::policyByName(args.get("policy", "fifo"));
+    cluster.msaCacheBudgetBytes =
+        static_cast<uint64_t>(args.getInt("cache-mb", 512)) << 20;
+    cluster.msaThreadsPerWorker =
+        static_cast<uint32_t>(args.getInt("msa-threads", 8));
+
+    std::printf(
+        "Serving cluster on %s: %u MSA workers (%uT each), "
+        "%u GPU workers, policy %s,\n"
+        "admission cap %zu, MSA cache %s; open-loop %.3f req/s "
+        "for %.0f s (seed %llu)\n\n",
+        platform.name.c_str(), cluster.msaWorkers,
+        cluster.msaThreadsPerWorker, cluster.gpuWorkers,
+        serve::policyName(cluster.policy),
+        cluster.admissionCapacity,
+        formatBytes(cluster.msaCacheBudgetBytes).c_str(),
+        workload.requestsPerSecond, workload.durationSeconds,
+        static_cast<unsigned long long>(workload.seed));
+
+    const auto requests = serve::generateRequests(workload);
+    const auto result = serve::simulateCluster(
+        platform, core::Workspace::shared(), requests, cluster);
+    const auto report = serve::buildSloReport(result);
+    printSloReport(report, platform.name);
+
+    TextTable samples("Per-sample MSA service time (memoized)");
+    samples.setHeader({"Sample", "MSA (s)"});
+    for (const auto &[name, secs] : result.msaSecondsBySample)
+        samples.addRow({name, strformat("%.1f", secs)});
+    if (samples.rowCount() > 0)
+        samples.print();
+
+    if (args.has("csv")) {
+        serve::requestCsv(result).writeFile(args.get("csv"));
+        std::printf("Per-request CSV written to %s\n",
+                    args.get("csv").c_str());
+    }
+    return 0;
+}
+
+int
 cmdEstimate(const CliArgs &args)
 {
     const auto sample = bio::makeSample(args.get("sample", "6QNR"));
@@ -233,6 +307,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "inference")
             return cmdInference(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         if (cmd == "estimate")
             return cmdEstimate(args);
         if (cmd == "advise")
@@ -242,8 +318,17 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf(
-        "usage: afsysbench <list|run|inference|estimate|advise> "
-        "[--sample S] [--platform P] [--threads 1,2,4] "
-        "[--repeats N] [--preload] [--persistent] [--csv FILE]\n");
+        "usage: afsysbench <list|run|inference|serve|estimate|"
+        "advise>\n"
+        "  common: [--sample S] [--platform P] [--threads 1,2,4] "
+        "[--repeats N]\n"
+        "          [--preload] [--persistent] [--csv FILE]\n"
+        "  serve:  [--msa-workers N] [--gpu-workers M] [--rps R] "
+        "[--duration S]\n"
+        "          [--cache-mb MB] [--policy fifo|sjf] "
+        "[--queue-cap N] [--mix \"2PV7=2,promo=1\"]\n"
+        "          [--unique K] [--seed N] [--msa-threads T]\n"
+        "  platforms: %s\n",
+        kPlatformNames);
     return cmd == "help" ? 0 : 1;
 }
