@@ -5,77 +5,170 @@
  * Pairformer layers, and diffusion attention — actual wall-clock of
  * the executable implementations, complementing the simulated
  * paper-scale numbers.
+ *
+ * Each DP kernel is benchmarked twice: the native striped path
+ * (default, what production untraced runs execute) and the scalar
+ * reference loop (KernelConfig::forceScalar, the traced-path
+ * arithmetic without a sink). The tensor primitives likewise pair
+ * the blocked branch-free kernels against local copies of the
+ * original naive loops, plus pool-parallel variants.
+ *
+ * Usage: bench_kernels [--json <path>] [google-benchmark flags]
+ *
+ * --json writes a machine-readable summary: one record per benchmark
+ * with ns/op, iteration count, and every user counter (GFLOP/s,
+ * cells/s) finalized the same way the console output is.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "bio/seqgen.hh"
-#include "model/layers.hh"
 #include "model/diffusion.hh"
+#include "model/layers.hh"
 #include "msa/dp_kernels.hh"
 #include "tensor/ops.hh"
+#include "util/json.hh"
+#include "util/threadpool.hh"
 
 using namespace afsb;
 
 namespace {
 
+/** Worker count for the pool-parallel benchmark variants. */
+constexpr size_t kBenchPoolThreads = 4;
+
 // --- MSA kernels ---------------------------------------------------------
+
+msa::ProfileHmm
+benchProfile(size_t m, uint64_t seed)
+{
+    bio::SequenceGenerator gen(seed);
+    const auto q = gen.random("q", bio::MoleculeType::Protein, m);
+    return msa::ProfileHmm::fromSequence(q,
+                                         msa::ScoreMatrix::blosum62());
+}
+
+void
+runMsvFilter(benchmark::State &state, bool scalar)
+{
+    const auto m = static_cast<size_t>(state.range(0));
+    bio::SequenceGenerator gen(1);
+    const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
+    const auto prof = benchProfile(m, 1);
+    msa::KernelConfig cfg;
+    cfg.forceScalar = scalar;
+    uint64_t cells = 0;
+    for (auto _ : state) {
+        const auto r = msa::msvFilter(prof, t, cfg);
+        benchmark::DoNotOptimize(r.score);
+        cells += r.cells;
+    }
+    state.counters["cells/s"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
 
 void
 BM_MsvFilter(benchmark::State &state)
 {
-    const auto m = static_cast<size_t>(state.range(0));
-    bio::SequenceGenerator gen(1);
-    const auto q = gen.random("q", bio::MoleculeType::Protein, m);
-    const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
-    const auto prof =
-        msa::ProfileHmm::fromSequence(q, msa::ScoreMatrix::blosum62());
-    uint64_t cells = 0;
-    for (auto _ : state) {
-        const auto r = msa::msvFilter(prof, t);
-        benchmark::DoNotOptimize(r.score);
-        cells += r.cells;
-    }
-    state.counters["cells/s"] = benchmark::Counter(
-        static_cast<double>(cells), benchmark::Counter::kIsRate);
+    runMsvFilter(state, false);
 }
 BENCHMARK(BM_MsvFilter)->Arg(128)->Arg(256)->Arg(512);
 
 void
-BM_CalcBand9(benchmark::State &state)
+BM_MsvFilterScalar(benchmark::State &state)
+{
+    runMsvFilter(state, true);
+}
+BENCHMARK(BM_MsvFilterScalar)->Arg(128)->Arg(256)->Arg(512);
+
+void
+runCalcBand9(benchmark::State &state, bool scalar)
 {
     const auto m = static_cast<size_t>(state.range(0));
     bio::SequenceGenerator gen(2);
-    const auto q = gen.random("q", bio::MoleculeType::Protein, m);
     const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
-    const auto prof =
-        msa::ProfileHmm::fromSequence(q, msa::ScoreMatrix::blosum62());
+    const auto prof = benchProfile(m, 2);
+    msa::KernelConfig cfg;
+    cfg.band = static_cast<size_t>(state.range(1));
+    cfg.forceScalar = scalar;
     uint64_t cells = 0;
     for (auto _ : state) {
-        const auto r = msa::calcBand9(prof, t);
+        const auto r = msa::calcBand9(prof, t, cfg);
         benchmark::DoNotOptimize(r.score);
         cells += r.cells;
     }
     state.counters["cells/s"] = benchmark::Counter(
         static_cast<double>(cells), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_CalcBand9)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_CalcBand9(benchmark::State &state)
+{
+    runCalcBand9(state, false);
+}
+BENCHMARK(BM_CalcBand9)
+    ->Args({128, 96})
+    ->Args({256, 96})
+    ->Args({512, 96})
+    ->Args({256, 16});
+
+void
+BM_CalcBand9Scalar(benchmark::State &state)
+{
+    runCalcBand9(state, true);
+}
+BENCHMARK(BM_CalcBand9Scalar)
+    ->Args({128, 96})
+    ->Args({256, 96})
+    ->Args({512, 96})
+    ->Args({256, 16});
+
+void
+runCalcBand10(benchmark::State &state, bool scalar)
+{
+    const auto m = static_cast<size_t>(state.range(0));
+    bio::SequenceGenerator gen(3);
+    const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
+    const auto prof = benchProfile(m, 3);
+    msa::KernelConfig cfg;
+    cfg.band = static_cast<size_t>(state.range(1));
+    cfg.forceScalar = scalar;
+    uint64_t cells = 0;
+    for (auto _ : state) {
+        const auto r = msa::calcBand10(prof, t, cfg);
+        benchmark::DoNotOptimize(r.logOdds);
+        cells += r.cells;
+    }
+    state.counters["cells/s"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
 
 void
 BM_CalcBand10(benchmark::State &state)
 {
-    const auto m = static_cast<size_t>(state.range(0));
-    bio::SequenceGenerator gen(3);
-    const auto q = gen.random("q", bio::MoleculeType::Protein, m);
-    const auto t = gen.random("t", bio::MoleculeType::Protein, 400);
-    const auto prof =
-        msa::ProfileHmm::fromSequence(q, msa::ScoreMatrix::blosum62());
-    for (auto _ : state) {
-        const auto r = msa::calcBand10(prof, t);
-        benchmark::DoNotOptimize(r.logOdds);
-    }
+    runCalcBand10(state, false);
 }
-BENCHMARK(BM_CalcBand10)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_CalcBand10)
+    ->Args({128, 96})
+    ->Args({256, 96})
+    ->Args({512, 96})
+    ->Args({256, 16});
+
+void
+BM_CalcBand10Scalar(benchmark::State &state)
+{
+    runCalcBand10(state, true);
+}
+BENCHMARK(BM_CalcBand10Scalar)
+    ->Args({128, 96})
+    ->Args({256, 96})
+    ->Args({512, 96})
+    ->Args({256, 16});
 
 // --- Pairformer layers -----------------------------------------------------
 
@@ -112,7 +205,7 @@ BENCHMARK(BM_TriangleAttention)
     ->Complexity(benchmark::oNCubed);
 
 void
-BM_TriangleMultUpdate(benchmark::State &state)
+runTriangleMultUpdate(benchmark::State &state, ThreadPool *pool)
 {
     const auto n = static_cast<size_t>(state.range(0));
     const auto cfg = benchConfig();
@@ -121,11 +214,25 @@ BM_TriangleMultUpdate(benchmark::State &state)
                                              rng);
     const auto w = model::TriangleMultWeights::init(cfg, rng);
     for (auto _ : state) {
-        model::triangleMultiplicativeUpdate(pair, w, true);
+        model::triangleMultiplicativeUpdate(pair, w, true, pool);
         benchmark::DoNotOptimize(pair.data());
     }
 }
+
+void
+BM_TriangleMultUpdate(benchmark::State &state)
+{
+    runTriangleMultUpdate(state, nullptr);
+}
 BENCHMARK(BM_TriangleMultUpdate)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_TriangleMultUpdatePool(benchmark::State &state)
+{
+    ThreadPool pool(kBenchPoolThreads);
+    runTriangleMultUpdate(state, &pool);
+}
+BENCHMARK(BM_TriangleMultUpdatePool)->Arg(32)->Arg(64);
 
 void
 BM_DiffusionStep(benchmark::State &state)
@@ -148,6 +255,64 @@ BENCHMARK(BM_DiffusionStep)->Arg(32)->Arg(64);
 
 // --- Tensor primitives ------------------------------------------------------
 
+/** The seed's matmul loop (zero-skip branch, no blocking), kept as
+ *  the speedup baseline for the blocked branch-free kernel. */
+tensor::Tensor
+naiveMatmul(const tensor::Tensor &a, const tensor::Tensor &b)
+{
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    tensor::Tensor c({m, n});
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + kk * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+/** The seed's linear loop (zero-skip branch), speedup baseline. */
+tensor::Tensor
+naiveLinear(const tensor::Tensor &x, const tensor::Tensor &w,
+            const tensor::Tensor &b)
+{
+    const size_t in = w.dim(0), out = w.dim(1);
+    std::vector<size_t> outShape = x.shape();
+    outShape.back() = out;
+    tensor::Tensor y(std::move(outShape));
+    const size_t rows = x.size() / in;
+    for (size_t r = 0; r < rows; ++r) {
+        const float *xi = x.data() + r * in;
+        float *yo = y.data() + r * out;
+        for (size_t o = 0; o < out; ++o)
+            yo[o] = b[o];
+        for (size_t i = 0; i < in; ++i) {
+            const float xv = xi[i];
+            if (xv == 0.0f)
+                continue;
+            const float *wrow = w.data() + i * out;
+            for (size_t o = 0; o < out; ++o)
+                yo[o] += xv * wrow[o];
+        }
+    }
+    return y;
+}
+
+void
+matmulFlops(benchmark::State &state, size_t n)
+{
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * static_cast<double>(n) * n * n * 1e-9 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
 void
 BM_Matmul(benchmark::State &state)
 {
@@ -159,12 +324,89 @@ BM_Matmul(benchmark::State &state)
         const auto c = tensor::matmul(a, b);
         benchmark::DoNotOptimize(c.data());
     }
-    state.counters["GFLOP/s"] = benchmark::Counter(
-        2.0 * static_cast<double>(n) * n * n * 1e-9 *
-            static_cast<double>(state.iterations()),
-        benchmark::Counter::kIsRate);
+    matmulFlops(state, n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulNaive(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(8);
+    const auto a = tensor::Tensor::randomNormal({n, n}, rng);
+    const auto b = tensor::Tensor::randomNormal({n, n}, rng);
+    for (auto _ : state) {
+        const auto c = naiveMatmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    matmulFlops(state, n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulPool(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    ThreadPool pool(kBenchPoolThreads);
+    Rng rng(8);
+    const auto a = tensor::Tensor::randomNormal({n, n}, rng);
+    const auto b = tensor::Tensor::randomNormal({n, n}, rng);
+    for (auto _ : state) {
+        const auto c = tensor::matmul(a, b, &pool);
+        benchmark::DoNotOptimize(c.data());
+    }
+    matmulFlops(state, n);
+}
+BENCHMARK(BM_MatmulPool)->Arg(128)->Arg(256);
+
+void
+BM_Linear(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(10);
+    const auto x = tensor::Tensor::randomNormal({n, n}, rng);
+    const auto w = tensor::Tensor::randomNormal({n, n}, rng);
+    const tensor::Tensor b({n});
+    for (auto _ : state) {
+        const auto y = tensor::linear(x, w, b);
+        benchmark::DoNotOptimize(y.data());
+    }
+    matmulFlops(state, n);
+}
+BENCHMARK(BM_Linear)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_LinearNaive(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Rng rng(10);
+    const auto x = tensor::Tensor::randomNormal({n, n}, rng);
+    const auto w = tensor::Tensor::randomNormal({n, n}, rng);
+    const tensor::Tensor b({n});
+    for (auto _ : state) {
+        const auto y = naiveLinear(x, w, b);
+        benchmark::DoNotOptimize(y.data());
+    }
+    matmulFlops(state, n);
+}
+BENCHMARK(BM_LinearNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_LinearPool(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    ThreadPool pool(kBenchPoolThreads);
+    Rng rng(10);
+    const auto x = tensor::Tensor::randomNormal({n, n}, rng);
+    const auto w = tensor::Tensor::randomNormal({n, n}, rng);
+    const tensor::Tensor b({n});
+    for (auto _ : state) {
+        const auto y = tensor::linear(x, w, b, &pool);
+        benchmark::DoNotOptimize(y.data());
+    }
+    matmulFlops(state, n);
+}
+BENCHMARK(BM_LinearPool)->Arg(128)->Arg(256);
 
 void
 BM_Softmax(benchmark::State &state)
@@ -178,6 +420,103 @@ BM_Softmax(benchmark::State &state)
 }
 BENCHMARK(BM_Softmax);
 
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    Rng rng(11);
+    const auto x = tensor::Tensor::randomNormal({256, 256}, rng);
+    for (auto _ : state) {
+        const auto y = tensor::layerNorm(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_LayerNorm);
+
+// --- --json reporting -------------------------------------------------------
+
+/**
+ * Console reporter that additionally captures every per-iteration
+ * run so a JSON summary can be written after the fact. Counters are
+ * finalized (rates divided by elapsed seconds) the same way the
+ * console printer does it.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            JsonValue rec = JsonValue::makeObject();
+            rec["name"] = run.benchmark_name();
+            rec["iterations"] =
+                static_cast<int64_t>(run.iterations);
+            rec["ns_per_op"] = adjustedNs(run);
+            JsonValue counters = JsonValue::makeObject();
+            // Counters reaching the reporter are already finalized
+            // (rates divided by elapsed time by the runner).
+            for (const auto &[name, c] : run.counters)
+                counters[name] = c.value;
+            rec["counters"] = counters;
+            records_.push(std::move(rec));
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    /** Write `{"benchmarks": [...]}` to @p path. */
+    bool write(const std::string &path) const
+    {
+        JsonValue doc = JsonValue::makeObject();
+        doc["benchmarks"] = records_;
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << doc.dumpPretty() << "\n";
+        return out.good();
+    }
+
+  private:
+    /** Real time per iteration in nanoseconds, regardless of the
+     *  benchmark's display time unit. */
+    static double adjustedNs(const Run &run)
+    {
+        if (run.iterations == 0)
+            return run.real_accumulated_time * 1e9;
+        return run.real_accumulated_time * 1e9 /
+               static_cast<double>(run.iterations);
+    }
+
+    JsonValue records_ = JsonValue::makeArray();
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip our own --json flag before google-benchmark sees argv.
+    std::string jsonPath;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!jsonPath.empty() && !reporter.write(jsonPath)) {
+        std::fprintf(stderr, "bench_kernels: cannot write %s\n",
+                     jsonPath.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -17,6 +17,10 @@
 
 #include <cstddef>
 
+namespace afsb {
+class ThreadPool;
+}
+
 namespace afsb::model {
 
 /** Architecture hyperparameters. */
@@ -52,6 +56,16 @@ struct ModelConfig
 
     /** Diffusion samples generated per request (AF3 default 5). */
     size_t diffusionSamples = 5;
+
+    /**
+     * Opt-in worker pool for the native tensor path. When set, the
+     * heavy kernels (matmul/linear/softmax/layerNorm, the O(N^3)
+     * triangle loops, and token attention) partition output rows
+     * across the pool. Row ownership is static, so results are
+     * bit-identical to the serial path at every pool size. nullptr
+     * (default) keeps every layer serial.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Published AF3 dimensions (FLOP accounting / GPU simulation). */

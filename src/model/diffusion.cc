@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
+#include "util/threadpool.hh"
 
 namespace afsb::model {
 
@@ -57,50 +59,60 @@ tokenAttention(Tensor &h, const AttnBlockWeights &w,
     const size_t hd = heads * dh;
     const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
     const Tensor zb({hd});
+    ThreadPool *pool = cfg.pool;
 
-    const Tensor normed = tensor::layerNorm(h);
-    const Tensor q = linear(normed, w.q, zb);
-    const Tensor k = linear(normed, w.k, zb);
-    const Tensor v = linear(normed, w.v, zb);
+    const Tensor normed = tensor::layerNorm(h, 1e-5f, pool);
+    const Tensor q = linear(normed, w.q, zb, pool);
+    const Tensor k = linear(normed, w.k, zb, pool);
+    const Tensor v = linear(normed, w.v, zb, pool);
 
     Tensor ctx({n, hd});
-    std::vector<float> logits;
-    for (size_t head = 0; head < heads; ++head) {
-        const size_t ho = head * dh;
-        for (size_t i = 0; i < n; ++i) {
+    // Token-parallel: each (i, head) context row is independent.
+    auto rows = [&](size_t i0, size_t i1) {
+        std::vector<float> logits;
+        for (size_t i = i0; i < i1; ++i) {
             size_t lo = 0, hi = n;
             if (window > 0) {
                 lo = i > window / 2 ? i - window / 2 : 0;
                 hi = std::min(n, lo + window);
             }
-            logits.assign(hi - lo, 0.0f);
-            const float *qv = q.data() + i * hd + ho;
-            float mx = -1e30f;
-            for (size_t j = lo; j < hi; ++j) {
-                const float *kv = k.data() + j * hd + ho;
-                float dot = 0.0f;
-                for (size_t d = 0; d < dh; ++d)
-                    dot += qv[d] * kv[d];
-                logits[j - lo] = dot * invSqrt;
-                mx = std::max(mx, logits[j - lo]);
-            }
-            float sum = 0.0f;
-            for (auto &l : logits) {
-                l = std::exp(l - mx);
-                sum += l;
-            }
-            const float inv = 1.0f / sum;
-            float *o = ctx.data() + i * hd + ho;
-            for (size_t j = lo; j < hi; ++j) {
-                const float p = logits[j - lo] * inv;
-                const float *vv = v.data() + j * hd + ho;
-                for (size_t d = 0; d < dh; ++d)
-                    o[d] += p * vv[d];
+            for (size_t head = 0; head < heads; ++head) {
+                const size_t ho = head * dh;
+                logits.assign(hi - lo, 0.0f);
+                const float *qv = q.data() + i * hd + ho;
+                float mx = -1e30f;
+                for (size_t j = lo; j < hi; ++j) {
+                    const float *kv = k.data() + j * hd + ho;
+                    float dot = 0.0f;
+                    for (size_t d = 0; d < dh; ++d)
+                        dot += qv[d] * kv[d];
+                    logits[j - lo] = dot * invSqrt;
+                    mx = std::max(mx, logits[j - lo]);
+                }
+                float sum = 0.0f;
+                for (auto &l : logits) {
+                    l = std::exp(l - mx);
+                    sum += l;
+                }
+                const float inv = 1.0f / sum;
+                float *AFSB_RESTRICT o = ctx.data() + i * hd + ho;
+                for (size_t j = lo; j < hi; ++j) {
+                    const float p = logits[j - lo] * inv;
+                    const float *AFSB_RESTRICT vv =
+                        v.data() + j * hd + ho;
+                    AFSB_VECTORIZE_LOOP
+                    for (size_t d = 0; d < dh; ++d)
+                        o[d] += p * vv[d];
+                }
             }
         }
-    }
-    tensor::addInPlace(h, linear(ctx, w.outProj, w.outBias));
-    pairTransition(h, w.transition);
+    };
+    if (pool)
+        pool->parallelFor(n, 1, rows);
+    else
+        rows(0, n);
+    tensor::addInPlace(h, linear(ctx, w.outProj, w.outBias, pool));
+    pairTransition(h, w.transition, pool);
 }
 
 } // namespace
@@ -176,7 +188,7 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
         const Tensor zb({ct});
         Tensor scaled = tensor::scale(coords, cScale);
         tensor::addInPlace(
-            h, linear(scaled, weights_.coordEmbed, zb));
+            h, linear(scaled, weights_.coordEmbed, zb, cfg_.pool));
     }
 
     for (const auto &w : weights_.localEnc) {
@@ -196,8 +208,9 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
     LayerTimer t(hook, "coordinate_update");
     const Tensor denoised = tensor::add(
         tensor::scale(coords, 0.5f),
-        linear(tensor::layerNorm(h), weights_.coordOut,
-               weights_.coordOutBias));
+        linear(tensor::layerNorm(h, 1e-5f, cfg_.pool),
+               weights_.coordOut, weights_.coordOutBias,
+               cfg_.pool));
     const float blend = static_cast<float>(
         1.0 / (1.0 + sigma));  // stronger pull at low noise
     for (size_t i = 0; i < n; ++i)
@@ -216,7 +229,7 @@ DiffusionModule::sample(const PairState &state, Rng &rng,
 
     // Conditioning from the trunk single representation.
     const Tensor cond = linear(state.single, weights_.condProj,
-                               weights_.condBias);
+                               weights_.condBias, cfg_.pool);
 
     Structure out;
     out.coords = Tensor::randomNormal(

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
+#include "util/threadpool.hh"
 
 namespace afsb::model {
 
@@ -28,6 +30,18 @@ initWeight(size_t in, size_t out, Rng &rng)
     return Tensor::randomNormal(
         {in, out}, rng,
         1.0f / std::sqrt(static_cast<float>(in)));
+}
+
+/** Row-parallel helper: fn(begin, end) over [0, n) pair rows. Each
+ *  row is computed whole by one task, so results match serial. */
+void
+forPairRows(size_t n, ThreadPool *pool,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    if (pool)
+        pool->parallelFor(n, 1, fn);
+    else
+        fn(0, n);
 }
 
 } // namespace
@@ -90,7 +104,7 @@ SingleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
 void
 triangleMultiplicativeUpdate(Tensor &pair,
                              const TriangleMultWeights &w,
-                             bool outgoing)
+                             bool outgoing, ThreadPool *pool)
 {
     panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
             "triangleMult: pair must be (N, N, c)");
@@ -98,32 +112,39 @@ triangleMultiplicativeUpdate(Tensor &pair,
     const size_t c = pair.dim(2);
     const Tensor zb = zeroBias(c);
 
-    const Tensor normed = layerNorm(pair);
-    const Tensor a = tensor::mul(sigmoid(linear(normed, w.gateA, zb)),
-                                 linear(normed, w.projA, zb));
-    const Tensor b = tensor::mul(sigmoid(linear(normed, w.gateB, zb)),
-                                 linear(normed, w.projB, zb));
+    const Tensor normed = layerNorm(pair, 1e-5f, pool);
+    const Tensor a =
+        tensor::mul(sigmoid(linear(normed, w.gateA, zb, pool)),
+                    linear(normed, w.projA, zb, pool));
+    const Tensor b =
+        tensor::mul(sigmoid(linear(normed, w.gateB, zb, pool)),
+                    linear(normed, w.projB, zb, pool));
 
-    // The O(N^3 c) triangle einsum.
+    // The O(N^3 c) triangle einsum, row-parallel over i.
     Tensor out({n, n, c});
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < n; ++j) {
-            float *o = out.data() + (i * n + j) * c;
-            for (size_t k = 0; k < n; ++k) {
-                const float *ai =
-                    outgoing ? a.data() + (i * n + k) * c
-                             : a.data() + (k * n + i) * c;
-                const float *bj =
-                    outgoing ? b.data() + (j * n + k) * c
-                             : b.data() + (k * n + j) * c;
-                for (size_t ch = 0; ch < c; ++ch)
-                    o[ch] += ai[ch] * bj[ch];
+    forPairRows(n, pool, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                float *AFSB_RESTRICT o =
+                    out.data() + (i * n + j) * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const float *AFSB_RESTRICT ai =
+                        outgoing ? a.data() + (i * n + k) * c
+                                 : a.data() + (k * n + i) * c;
+                    const float *AFSB_RESTRICT bj =
+                        outgoing ? b.data() + (j * n + k) * c
+                                 : b.data() + (k * n + j) * c;
+                    AFSB_VECTORIZE_LOOP
+                    for (size_t ch = 0; ch < c; ++ch)
+                        o[ch] += ai[ch] * bj[ch];
+                }
             }
         }
-    }
+    });
 
-    const Tensor update = linear(layerNorm(out), w.outProj, w.bias);
-    const Tensor gate = sigmoid(linear(normed, w.outGate, zb));
+    const Tensor update =
+        linear(layerNorm(out, 1e-5f, pool), w.outProj, w.bias, pool);
+    const Tensor gate = sigmoid(linear(normed, w.outGate, zb, pool));
     tensor::addInPlace(pair, tensor::mul(update, gate));
 }
 
@@ -139,65 +160,78 @@ triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
     const size_t hd = heads * dh;
     const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
 
-    const Tensor normed = layerNorm(pair);
+    ThreadPool *pool = cfg.pool;
+    const Tensor normed = layerNorm(pair, 1e-5f, pool);
     const Tensor zbHd = zeroBias(hd);
     const Tensor zbH = zeroBias(heads);
-    const Tensor q = linear(normed, w.q, zbHd);   // (N, N, h*dh)
-    const Tensor k = linear(normed, w.k, zbHd);
-    const Tensor v = linear(normed, w.v, zbHd);
-    const Tensor bias = linear(normed, w.biasProj, zbH);  // (N,N,h)
+    const Tensor q = linear(normed, w.q, zbHd, pool); // (N, N, h*dh)
+    const Tensor k = linear(normed, w.k, zbHd, pool);
+    const Tensor v = linear(normed, w.v, zbHd, pool);
+    const Tensor bias =
+        linear(normed, w.biasProj, zbH, pool);  // (N,N,h)
 
     Tensor ctx({n, n, hd});
-    std::vector<float> logits(n);
-    std::vector<float> probs(n);
-
-    for (size_t h = 0; h < heads; ++h) {
-        const size_t ho = h * dh;
-        for (size_t i = 0; i < n; ++i) {
-            for (size_t j = 0; j < n; ++j) {
-                const float *qv = q.data() + (i * n + j) * hd + ho;
-                // Logits over intermediates kk.
-                float mx = -1e30f;
-                for (size_t kk = 0; kk < n; ++kk) {
-                    const float *kv =
-                        starting ? k.data() + (i * n + kk) * hd + ho
-                                 : k.data() + (kk * n + j) * hd + ho;
-                    float dot = 0.0f;
-                    for (size_t d = 0; d < dh; ++d)
-                        dot += qv[d] * kv[d];
-                    const float b =
-                        starting
-                            ? bias[(j * n + kk) * heads + h]
-                            : bias[(kk * n + i) * heads + h];
-                    logits[kk] = dot * invSqrt + b;
-                    mx = std::max(mx, logits[kk]);
-                }
-                float sum = 0.0f;
-                for (size_t kk = 0; kk < n; ++kk) {
-                    probs[kk] = std::exp(logits[kk] - mx);
-                    sum += probs[kk];
-                }
-                const float inv = 1.0f / sum;
-                float *o = ctx.data() + (i * n + j) * hd + ho;
-                for (size_t kk = 0; kk < n; ++kk) {
-                    const float p = probs[kk] * inv;
-                    const float *vv =
-                        starting ? v.data() + (i * n + kk) * hd + ho
-                                 : v.data() + (kk * n + j) * hd + ho;
-                    for (size_t d = 0; d < dh; ++d)
-                        o[d] += p * vv[d];
+    // Row-parallel over i; each (i, j, h) cell is independent, the
+    // per-task scratch keeps the dispatch allocation-free inside.
+    forPairRows(n, pool, [&](size_t i0, size_t i1) {
+        std::vector<float> logits(n);
+        std::vector<float> probs(n);
+        for (size_t i = i0; i < i1; ++i) {
+            for (size_t h = 0; h < heads; ++h) {
+                const size_t ho = h * dh;
+                for (size_t j = 0; j < n; ++j) {
+                    const float *qv =
+                        q.data() + (i * n + j) * hd + ho;
+                    // Logits over intermediates kk.
+                    float mx = -1e30f;
+                    for (size_t kk = 0; kk < n; ++kk) {
+                        const float *kv =
+                            starting
+                                ? k.data() + (i * n + kk) * hd + ho
+                                : k.data() + (kk * n + j) * hd + ho;
+                        float dot = 0.0f;
+                        for (size_t d = 0; d < dh; ++d)
+                            dot += qv[d] * kv[d];
+                        const float b =
+                            starting
+                                ? bias[(j * n + kk) * heads + h]
+                                : bias[(kk * n + i) * heads + h];
+                        logits[kk] = dot * invSqrt + b;
+                        mx = std::max(mx, logits[kk]);
+                    }
+                    float sum = 0.0f;
+                    for (size_t kk = 0; kk < n; ++kk) {
+                        probs[kk] = std::exp(logits[kk] - mx);
+                        sum += probs[kk];
+                    }
+                    const float inv = 1.0f / sum;
+                    float *AFSB_RESTRICT o =
+                        ctx.data() + (i * n + j) * hd + ho;
+                    for (size_t kk = 0; kk < n; ++kk) {
+                        const float p = probs[kk] * inv;
+                        const float *AFSB_RESTRICT vv =
+                            starting
+                                ? v.data() + (i * n + kk) * hd + ho
+                                : v.data() + (kk * n + j) * hd + ho;
+                        AFSB_VECTORIZE_LOOP
+                        for (size_t d = 0; d < dh; ++d)
+                            o[d] += p * vv[d];
+                    }
                 }
             }
         }
-    }
-    tensor::addInPlace(pair, linear(ctx, w.outProj, w.outBias));
+    });
+    tensor::addInPlace(pair,
+                       linear(ctx, w.outProj, w.outBias, pool));
 }
 
 void
-pairTransition(Tensor &pair, const TransitionWeights &w)
+pairTransition(Tensor &pair, const TransitionWeights &w,
+               ThreadPool *pool)
 {
-    const Tensor h = gelu(linear(layerNorm(pair), w.w1, w.b1));
-    tensor::addInPlace(pair, linear(h, w.w2, w.b2));
+    const Tensor h =
+        gelu(linear(layerNorm(pair, 1e-5f, pool), w.w1, w.b1, pool));
+    tensor::addInPlace(pair, linear(h, w.w2, w.b2, pool));
 }
 
 void
@@ -212,47 +246,54 @@ singleAttentionWithPairBias(Tensor &single, const Tensor &pair,
     const size_t hd = heads * dh;
     const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
 
-    const Tensor normed = layerNorm(single);
+    ThreadPool *pool = cfg.pool;
+    const Tensor normed = layerNorm(single, 1e-5f, pool);
     const Tensor zbHd = zeroBias(hd);
     const Tensor zbH = zeroBias(heads);
-    const Tensor q = linear(normed, w.q, zbHd);  // (N, h*dh)
-    const Tensor k = linear(normed, w.k, zbHd);
-    const Tensor v = linear(normed, w.v, zbHd);
+    const Tensor q = linear(normed, w.q, zbHd, pool);  // (N, h*dh)
+    const Tensor k = linear(normed, w.k, zbHd, pool);
+    const Tensor v = linear(normed, w.v, zbHd, pool);
     const Tensor bias =
-        linear(layerNorm(pair), w.pairBias, zbH);  // (N, N, h)
+        linear(layerNorm(pair, 1e-5f, pool), w.pairBias, zbH,
+               pool);  // (N, N, h)
 
     Tensor ctx({n, hd});
-    std::vector<float> logits(n);
-    for (size_t h = 0; h < heads; ++h) {
-        const size_t ho = h * dh;
-        for (size_t i = 0; i < n; ++i) {
-            const float *qv = q.data() + i * hd + ho;
-            float mx = -1e30f;
-            for (size_t j = 0; j < n; ++j) {
-                const float *kv = k.data() + j * hd + ho;
-                float dot = 0.0f;
-                for (size_t d = 0; d < dh; ++d)
-                    dot += qv[d] * kv[d];
-                logits[j] = dot * invSqrt +
-                            bias[(i * n + j) * heads + h];
-                mx = std::max(mx, logits[j]);
-            }
-            float sum = 0.0f;
-            for (size_t j = 0; j < n; ++j) {
-                logits[j] = std::exp(logits[j] - mx);
-                sum += logits[j];
-            }
-            const float inv = 1.0f / sum;
-            float *o = ctx.data() + i * hd + ho;
-            for (size_t j = 0; j < n; ++j) {
-                const float p = logits[j] * inv;
-                const float *vv = v.data() + j * hd + ho;
-                for (size_t d = 0; d < dh; ++d)
-                    o[d] += p * vv[d];
+    forPairRows(n, pool, [&](size_t i0, size_t i1) {
+        std::vector<float> logits(n);
+        for (size_t i = i0; i < i1; ++i) {
+            for (size_t h = 0; h < heads; ++h) {
+                const size_t ho = h * dh;
+                const float *qv = q.data() + i * hd + ho;
+                float mx = -1e30f;
+                for (size_t j = 0; j < n; ++j) {
+                    const float *kv = k.data() + j * hd + ho;
+                    float dot = 0.0f;
+                    for (size_t d = 0; d < dh; ++d)
+                        dot += qv[d] * kv[d];
+                    logits[j] = dot * invSqrt +
+                                bias[(i * n + j) * heads + h];
+                    mx = std::max(mx, logits[j]);
+                }
+                float sum = 0.0f;
+                for (size_t j = 0; j < n; ++j) {
+                    logits[j] = std::exp(logits[j] - mx);
+                    sum += logits[j];
+                }
+                const float inv = 1.0f / sum;
+                float *AFSB_RESTRICT o = ctx.data() + i * hd + ho;
+                for (size_t j = 0; j < n; ++j) {
+                    const float p = logits[j] * inv;
+                    const float *AFSB_RESTRICT vv =
+                        v.data() + j * hd + ho;
+                    AFSB_VECTORIZE_LOOP
+                    for (size_t d = 0; d < dh; ++d)
+                        o[d] += p * vv[d];
+                }
             }
         }
-    }
-    tensor::addInPlace(single, linear(ctx, w.outProj, w.outBias));
+    });
+    tensor::addInPlace(single,
+                       linear(ctx, w.outProj, w.outBias, pool));
 }
 
 } // namespace afsb::model

@@ -74,10 +74,13 @@ struct SingleAttnWeights
  * @param pair (N, N, c) pair representation, updated in place.
  * @param outgoing True for the outgoing-edge variant (i->k, j->k);
  *        false aggregates incoming edges (k->i, k->j).
+ * @param pool Optional worker pool for row-parallel execution
+ *        (bit-identical to serial; see ModelConfig::pool).
  */
 void triangleMultiplicativeUpdate(Tensor &pair,
                                   const TriangleMultWeights &w,
-                                  bool outgoing);
+                                  bool outgoing,
+                                  ThreadPool *pool = nullptr);
 
 /**
  * Triangle self-attention.
@@ -88,7 +91,8 @@ void triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
                        const ModelConfig &cfg, bool starting);
 
 /** Per-element two-layer MLP with GELU, residual. */
-void pairTransition(Tensor &pair, const TransitionWeights &w);
+void pairTransition(Tensor &pair, const TransitionWeights &w,
+                    ThreadPool *pool = nullptr);
 
 /** Single-representation attention biased by the pair tensor. */
 void singleAttentionWithPairBias(Tensor &single, const Tensor &pair,

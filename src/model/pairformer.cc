@@ -61,12 +61,12 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         {
             LayerTimer t(hook, "triangle_mult_outgoing");
             triangleMultiplicativeUpdate(state.pair, w.triMultOut,
-                                         true);
+                                         true, cfg_.pool);
         }
         {
             LayerTimer t(hook, "triangle_mult_incoming");
             triangleMultiplicativeUpdate(state.pair, w.triMultIn,
-                                         false);
+                                         false, cfg_.pool);
         }
         {
             LayerTimer t(hook, "triangle_attention_starting");
@@ -79,7 +79,7 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         }
         {
             LayerTimer t(hook, "pair_transition");
-            pairTransition(state.pair, w.pairTrans);
+            pairTransition(state.pair, w.pairTrans, cfg_.pool);
         }
         {
             LayerTimer t(hook, "single_attention");
@@ -88,7 +88,7 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         }
         {
             LayerTimer t(hook, "single_transition");
-            pairTransition(state.single, w.singleTrans);
+            pairTransition(state.single, w.singleTrans, cfg_.pool);
         }
     }
 }

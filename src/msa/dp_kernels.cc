@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace afsb::msa {
 
@@ -129,6 +130,274 @@ bandBounds(size_t j, size_t target_len, size_t profile_len,
         k_hi = k_lo;
 }
 
+/*
+ * Native (untraced) striped kernels
+ * ---------------------------------
+ * The scalar loops above interleave trace emission with the DP
+ * recurrence, which forces a branch and a strided int16 emission
+ * lookup into every cell. The implementations below are what runs on
+ * the wall-clock path (sink == nullptr): per-residue emission rows
+ * are transposed into contiguous int/double arrays once per target,
+ * and each DP row is computed in stripes the compiler autovectorizes
+ * — the M and I states depend only on the previous row, the
+ * loop-carried D state runs as a short scalar second pass. Integer
+ * results are bit-identical to the scalar path; the Forward kernel
+ * evaluates the same expressions in the same accumulation order.
+ */
+
+/** Transposed per-residue int emission rows, filled lazily so short
+ *  targets never pay for unused alphabet letters. */
+class IntEmissions
+{
+  public:
+    explicit IntEmissions(const ProfileHmm &prof)
+        : prof_(prof), m_(prof.length()),
+          data_(prof.alphabet() * prof.length()),
+          built_(prof.alphabet(), 0)
+    {}
+
+    const int *row(uint8_t res)
+    {
+        int *r = data_.data() + static_cast<size_t>(res) * m_;
+        if (!built_[res]) {
+            for (size_t k = 0; k < m_; ++k)
+                r[k] = prof_.matchScore(k, res);
+            built_[res] = 1;
+        }
+        return r;
+    }
+
+  private:
+    const ProfileHmm &prof_;
+    size_t m_;
+    std::vector<int> data_;
+    std::vector<uint8_t> built_;
+};
+
+/** Transposed per-residue Forward emission probabilities,
+ *  exp2(score/2), computed once per residue instead of per cell.
+ *  Same exp2 call per (pos, res) as the scalar loop, so values are
+ *  bit-identical. */
+class DoubleEmissions
+{
+  public:
+    explicit DoubleEmissions(const ProfileHmm &prof)
+        : prof_(prof), m_(prof.length()),
+          data_(prof.alphabet() * prof.length()),
+          built_(prof.alphabet(), 0)
+    {}
+
+    const double *row(uint8_t res)
+    {
+        double *r = data_.data() + static_cast<size_t>(res) * m_;
+        if (!built_[res]) {
+            for (size_t k = 0; k < m_; ++k)
+                r[k] = std::exp2(0.5 * prof_.matchScore(k, res));
+            built_[res] = 1;
+        }
+        return r;
+    }
+
+  private:
+    const ProfileHmm &prof_;
+    size_t m_;
+    std::vector<double> data_;
+    std::vector<uint8_t> built_;
+};
+
+MsvResult
+msvFilterFast(const ProfileHmm &prof, const bio::Sequence &target)
+{
+    const size_t M = prof.length();
+    const size_t L = target.length();
+    MsvResult result;
+
+    IntEmissions emit(prof);
+    std::vector<int> rowA(M + 1, 0), rowB(M + 1, 0);
+    int *prev = rowA.data();
+    int *cur = rowB.data();
+    int best = 0;
+    for (size_t j = 1; j <= L; ++j) {
+        const int *AFSB_RESTRICT e = emit.row(target[j - 1]);
+        const int *AFSB_RESTRICT p = prev;
+        int *AFSB_RESTRICT c = cur;
+        c[0] = 0;
+        int rowBest = 0;
+        AFSB_VECTORIZE_LOOP
+        for (size_t k = 0; k < M; ++k) {
+            const int s = std::max(0, p[k] + e[k]);
+            c[k + 1] = s;
+            rowBest = std::max(rowBest, s);
+        }
+        best = std::max(best, rowBest);
+        std::swap(prev, cur);
+    }
+    result.score = best;
+    result.cells = static_cast<uint64_t>(L) * M;
+    return result;
+}
+
+ViterbiResult
+calcBand9Fast(const ProfileHmm &prof, const bio::Sequence &target,
+              const KernelConfig &cfg)
+{
+    const size_t M = prof.length();
+    const size_t L = target.length();
+    ViterbiResult result;
+
+    const int open = prof.gaps().open;
+    const int extend = prof.gaps().extend;
+    IntEmissions emit(prof);
+
+    std::vector<int> bufs[6];
+    for (auto &b : bufs)
+        b.assign(M + 1, kNeg);
+    int *pM = bufs[0].data(), *pI = bufs[1].data(),
+        *pD = bufs[2].data();
+    int *cM = bufs[3].data(), *cI = bufs[4].data(),
+        *cD = bufs[5].data();
+
+    int best = 0;
+    uint64_t cells = 0;
+    for (size_t j = 1; j <= L; ++j) {
+        const int *AFSB_RESTRICT e = emit.row(target[j - 1]);
+        size_t kLo, kHi;
+        bandBounds(j, L, M, cfg.band, kLo, kHi);
+        std::fill(cM, cM + M + 1, kNeg);
+        std::fill(cI, cI + M + 1, kNeg);
+        std::fill(cD, cD + M + 1, kNeg);
+
+        {
+            // M and I read the previous row only: no carried
+            // dependence, a straight-line vector stripe.
+            const int *AFSB_RESTRICT prevM = pM;
+            const int *AFSB_RESTRICT prevI = pI;
+            const int *AFSB_RESTRICT prevD = pD;
+            int *AFSB_RESTRICT curM = cM;
+            int *AFSB_RESTRICT curI = cI;
+            AFSB_VECTORIZE_LOOP
+            for (size_t k = kLo; k <= kHi; ++k) {
+                const int diag = std::max(
+                    std::max(0, prevM[k - 1]),
+                    std::max(prevI[k - 1], prevD[k - 1]));
+                curM[k] = diag + e[k - 1];
+                curI[k] = std::max(prevM[k] - open,
+                                   prevI[k] - extend);
+            }
+        }
+        // D carries along the row: short scalar chain.
+        for (size_t k = kLo; k <= kHi; ++k)
+            cD[k] = std::max(cM[k - 1] - open, cD[k - 1] - extend);
+
+        // The scalar loop records the first cell whose score beats
+        // every earlier cell; that is the first occurrence of the
+        // row max whenever the row max improves on `best`.
+        int rowMax = kNeg;
+        {
+            const int *AFSB_RESTRICT curM = cM;
+            AFSB_VECTORIZE_LOOP
+            for (size_t k = kLo; k <= kHi; ++k)
+                rowMax = std::max(rowMax, curM[k]);
+        }
+        if (rowMax > best) {
+            best = rowMax;
+            result.endTarget = j - 1;
+            for (size_t k = kLo; k <= kHi; ++k) {
+                if (cM[k] == rowMax) {
+                    result.endProfile = k - 1;
+                    break;
+                }
+            }
+        }
+        cells += kHi - kLo + 1;
+        std::swap(pM, cM);
+        std::swap(pI, cI);
+        std::swap(pD, cD);
+    }
+    result.score = best;
+    result.cells = cells;
+    return result;
+}
+
+ForwardResult
+calcBand10Fast(const ProfileHmm &prof, const bio::Sequence &target,
+               const KernelConfig &cfg)
+{
+    const size_t M = prof.length();
+    const size_t L = target.length();
+    ForwardResult result;
+
+    constexpr double tMM = 0.90, tIM = 0.40, tDM = 0.40;
+    constexpr double tMI = 0.05, tII = 0.60;
+    constexpr double tMD = 0.05, tDD = 0.60;
+    const double entry = 1.0 / static_cast<double>(M);
+    DoubleEmissions emit(prof);
+
+    std::vector<double> bufs[6];
+    for (auto &b : bufs)
+        b.assign(M + 1, 0.0);
+    double *pM = bufs[0].data(), *pI = bufs[1].data(),
+           *pD = bufs[2].data();
+    double *cM = bufs[3].data(), *cI = bufs[4].data(),
+           *cD = bufs[5].data();
+
+    double total = 0.0;
+    double logScale = 0.0;
+    uint64_t cells = 0;
+    for (size_t j = 1; j <= L; ++j) {
+        const double *AFSB_RESTRICT e = emit.row(target[j - 1]);
+        size_t kLo, kHi;
+        bandBounds(j, L, M, cfg.band, kLo, kHi);
+        std::fill(cM, cM + M + 1, 0.0);
+        std::fill(cI, cI + M + 1, 0.0);
+        std::fill(cD, cD + M + 1, 0.0);
+
+        {
+            const double *AFSB_RESTRICT prevM = pM;
+            const double *AFSB_RESTRICT prevI = pI;
+            const double *AFSB_RESTRICT prevD = pD;
+            double *AFSB_RESTRICT curM = cM;
+            double *AFSB_RESTRICT curI = cI;
+            AFSB_VECTORIZE_LOOP
+            for (size_t k = kLo; k <= kHi; ++k) {
+                curM[k] = e[k - 1] *
+                          (prevM[k - 1] * tMM + prevI[k - 1] * tIM +
+                           prevD[k - 1] * tDM + entry);
+                curI[k] = prevM[k] * tMI + prevI[k] * tII;
+            }
+        }
+        for (size_t k = kLo; k <= kHi; ++k)
+            cD[k] = cM[k - 1] * tMD + cD[k - 1] * tDD;
+
+        // Exit mass and row max in the scalar loop's ascending-k
+        // accumulation order, so `total` sums identically.
+        double rowMax = 0.0;
+        for (size_t k = kLo; k <= kHi; ++k) {
+            total += cM[k] * 0.05;
+            rowMax = std::max(rowMax, cM[k]);
+        }
+
+        if (rowMax > 1e100) {
+            const double inv = 1e-100;
+            for (size_t k = kLo; k <= kHi; ++k) {
+                cM[k] *= inv;
+                cI[k] *= inv;
+                cD[k] *= inv;
+            }
+            total *= inv;
+            logScale += 100.0 * std::log2(10.0);
+        }
+        cells += kHi - kLo + 1;
+        std::swap(pM, cM);
+        std::swap(pI, cI);
+        std::swap(pD, cD);
+    }
+    result.logOdds =
+        total > 0.0 ? std::log2(total) + logScale : -1e9;
+    result.cells = cells;
+    return result;
+}
+
 } // namespace
 
 MsvResult
@@ -140,6 +409,8 @@ msvFilter(const ProfileHmm &prof, const bio::Sequence &target,
     MsvResult result;
     if (L == 0 || M == 0)
         return result;
+    if (sink == nullptr && !cfg.forceScalar)
+        return msvFilterFast(prof, target);
 
     // Single rolling row: S[k] = best ungapped segment ending at
     // (j, k). Two alternating buffers keep diagonal dependencies.
@@ -191,6 +462,8 @@ calcBand9(const ProfileHmm &prof, const bio::Sequence &target,
     ViterbiResult result;
     if (L == 0 || M == 0)
         return result;
+    if (sink == nullptr && !cfg.forceScalar)
+        return calcBand9Fast(prof, target, cfg);
 
     const int open = prof.gaps().open;
     const int extend = prof.gaps().extend;
@@ -261,6 +534,8 @@ calcBand10(const ProfileHmm &prof, const bio::Sequence &target,
     ForwardResult result;
     if (L == 0 || M == 0)
         return result;
+    if (sink == nullptr && !cfg.forceScalar)
+        return calcBand10Fast(prof, target, cfg);
 
     // Probability-space Forward with per-row rescaling (the HMMER3
     // approach). Emission probabilities come from half-bit scores:

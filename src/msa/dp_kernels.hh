@@ -19,6 +19,26 @@
  * MemTraceSink attached they additionally emit a (sampled) memory
  * reference stream plus instruction/branch counts so the cache
  * simulator can reproduce the paper's per-platform counters.
+ *
+ * Two execution paths
+ * -------------------
+ * Each kernel has two implementations that compute the same values:
+ *
+ *  - traced/scalar: the reference cell-by-cell loop, interleaved
+ *    with per-SIMD-block trace emission. Selected whenever a
+ *    MemTraceSink is attached (or KernelConfig::forceScalar is set).
+ *    Its trace stream, instruction counts, and results are the
+ *    stability contract for the cache simulator — they must stay
+ *    byte-identical across refactors.
+ *  - native/striped: branch-light loops over transposed per-residue
+ *    emission rows, written so the compiler autovectorizes the
+ *    previous-row-only recurrences (M/I states; the loop-carried D
+ *    state runs as a short scalar pass). Selected when no sink is
+ *    attached — the wall-clock path the paper's Table IV timings
+ *    come from. Integer kernels (msvFilter, calcBand9) return
+ *    bit-identical results to the scalar path; calcBand10 evaluates
+ *    the same expressions in the same order, differing at most by
+ *    FP contraction when the compiler fuses multiply-adds.
  */
 
 #ifndef AFSB_MSA_DP_KERNELS_HH
@@ -73,6 +93,13 @@ struct KernelConfig
      */
     uint64_t arenaBase = 0x7f50'0000'0000ull;
     uint64_t arenaBytes = 13ull << 20;
+
+    /**
+     * Force the traced/scalar reference loops even without a sink.
+     * Used by equivalence tests and the bench_kernels baselines; the
+     * untraced default picks the striped native path.
+     */
+    bool forceScalar = false;
 };
 
 /** Cells between successive arena capacity references. */

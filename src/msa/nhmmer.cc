@@ -75,9 +75,6 @@ runNhmmer(const bio::Sequence &query, const SequenceDatabase &db,
     if (!sinks.empty() && sinks.size() < workers)
         fatal("nhmmer: fewer sinks than workers");
 
-    std::vector<SearchStats> partial(std::max<size_t>(1, workers));
-    std::vector<std::vector<Hit>> partialHits(partial.size());
-
     constexpr uint64_t kStreamBase = 0x6800'0000'0000ull;
     const double bytesPerWindow =
         windows.empty()
@@ -85,9 +82,9 @@ runNhmmer(const bio::Sequence &query, const SequenceDatabase &db,
             : static_cast<double>(db.info().scaledBytes) /
                   static_cast<double>(windows.size());
 
-    auto scan = [&](size_t w, size_t begin, size_t end) {
-        MemTraceSink *sink = sinks.empty() ? nullptr : sinks[w];
-        SearchStats &stats = partial[w];
+    auto scan = [&](MemTraceSink *sink, SearchStats &stats,
+                    std::vector<Hit> &hitsOut, size_t begin,
+                    size_t end) {
         KernelConfig kernel = cfg.search.kernel;
         for (size_t i = begin; i < end; ++i) {
             const bio::Sequence &target = windows[i];
@@ -136,14 +133,38 @@ runNhmmer(const bio::Sequence &query, const SequenceDatabase &db,
             if (fwd.logOdds < cfg.search.forwardThreshold)
                 continue;
             ++stats.hits;
-            partialHits[w].push_back(
+            hitsOut.push_back(
                 {windowSource[i], vit.score, fwd.logOdds});
         }
     };
 
+    std::vector<SearchStats> partial;
+    std::vector<std::vector<Hit>> partialHits;
     if (workers <= 1 || !pool) {
-        scan(0, 0, windows.size());
+        partial.resize(1);
+        partialHits.resize(1);
+        scan(sinks.empty() ? nullptr : sinks[0], partial[0],
+             partialHits[0], 0, windows.size());
+    } else if (sinks.empty()) {
+        // Untraced: window costs vary (survivors rescore), so use
+        // blocks finer than the worker count and let the pool
+        // balance; block-order merge keeps results deterministic.
+        const size_t grain = std::max<size_t>(
+            1, windows.size() / (workers * 8));
+        const size_t blocks =
+            (windows.size() + grain - 1) / grain;
+        partial.resize(blocks);
+        partialHits.resize(blocks);
+        pool->parallelFor(
+            windows.size(), grain, [&](size_t b, size_t e) {
+                scan(nullptr, partial[b / grain],
+                     partialHits[b / grain], b, e);
+            });
     } else {
+        // Traced: keep the per-worker equal split — the worker ->
+        // sink mapping is part of the trace contract.
+        partial.resize(workers);
+        partialHits.resize(workers);
         const size_t chunk =
             (windows.size() + workers - 1) / workers;
         pool->parallelBlocks(workers,
@@ -153,7 +174,8 @@ runNhmmer(const bio::Sequence &query, const SequenceDatabase &db,
                                      const size_t e = std::min(
                                          windows.size(), b + chunk);
                                      if (b < e)
-                                         scan(w, b, e);
+                                         scan(sinks[w], partial[w],
+                                              partialHits[w], b, e);
                                  }
                              });
     }

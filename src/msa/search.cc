@@ -174,7 +174,29 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
     if (workers <= 1 || !pool) {
         scanRange(prof, db, cache, cacheMutex, cfg, now, 0, n,
                   sinks.empty() ? nullptr : sinks[0], result);
+    } else if (sinks.empty()) {
+        // Untraced wall-clock scan: targets cost wildly different
+        // amounts (MSV survivors run two more kernels), so carve the
+        // range into blocks much finer than the worker count and let
+        // the pool balance them. Partials are merged in block order,
+        // so results are deterministic for a given worker count.
+        const size_t grain =
+            std::max<size_t>(1, n / (workers * 8));
+        const size_t blocks = (n + grain - 1) / grain;
+        std::vector<SearchResult> partial(blocks);
+        pool->parallelFor(n, grain, [&](size_t begin, size_t end) {
+            scanRange(prof, db, cache, cacheMutex, cfg, now, begin,
+                      end, nullptr, partial[begin / grain]);
+        });
+        for (auto &p : partial) {
+            result.stats.merge(p.stats);
+            result.hits.insert(result.hits.end(), p.hits.begin(),
+                               p.hits.end());
+        }
     } else {
+        // Traced scan: the worker -> sink -> target partition is
+        // part of the simulated trace contract; keep the original
+        // equal-count split so the streams stay byte-identical.
         std::vector<SearchResult> partial(workers);
         const size_t chunk = (n + workers - 1) / workers;
         pool->parallelBlocks(
@@ -185,9 +207,7 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
                     if (begin >= end)
                         continue;
                     scanRange(prof, db, cache, cacheMutex, cfg, now,
-                              begin, end,
-                              sinks.empty() ? nullptr : sinks[w],
-                              partial[w]);
+                              begin, end, sinks[w], partial[w]);
                 }
             });
         for (auto &p : partial) {

@@ -1,6 +1,14 @@
 /**
  * @file
  * Tensor operations used by the Pairformer and Diffusion modules.
+ *
+ * The four heavy kernels (matmul, linear, softmax, layerNorm) accept
+ * an optional ThreadPool: when supplied, output rows are partitioned
+ * across the pool. Ownership of a row is static (each row is computed
+ * start-to-finish by one task with the same serial inner loops), so
+ * results are bit-identical to the serial path at every thread count.
+ * The default is nullptr — serial — so existing callers and
+ * deterministic tests are unaffected.
  */
 
 #ifndef AFSB_TENSOR_OPS_HH
@@ -8,22 +16,29 @@
 
 #include "tensor/tensor.hh"
 
+namespace afsb {
+class ThreadPool;
+}
+
 namespace afsb::tensor {
 
 /** C = A (m x k) * B (k x n). */
-Tensor matmul(const Tensor &a, const Tensor &b);
+Tensor matmul(const Tensor &a, const Tensor &b,
+              ThreadPool *pool = nullptr);
 
 /**
  * y = x * W + b over the last dimension: x is (..., in), W is
  * (in, out), b is (out).
  */
-Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b);
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b,
+              ThreadPool *pool = nullptr);
 
 /** Softmax over the last dimension (numerically stable). */
-Tensor softmax(const Tensor &x);
+Tensor softmax(const Tensor &x, ThreadPool *pool = nullptr);
 
 /** Layer normalization over the last dimension. */
-Tensor layerNorm(const Tensor &x, float eps = 1e-5f);
+Tensor layerNorm(const Tensor &x, float eps = 1e-5f,
+                 ThreadPool *pool = nullptr);
 
 /** Elementwise GELU (tanh approximation). */
 Tensor gelu(const Tensor &x);

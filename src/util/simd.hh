@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Portability shims for the vectorized native kernels.
+ *
+ * The fast (untraced) DP filters and the blocked tensor kernels are
+ * written as plain fixed-stride loops over contiguous arrays — no
+ * intrinsics — and rely on the compiler's autovectorizer. These
+ * macros give the vectorizer what it needs: no-alias guarantees on
+ * the hot pointers and an explicit no-loop-carried-dependence hint
+ * on the striped loops.
+ */
+
+#ifndef AFSB_UTIL_SIMD_HH
+#define AFSB_UTIL_SIMD_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AFSB_RESTRICT __restrict__
+#else
+#define AFSB_RESTRICT
+#endif
+
+/** Marks the following loop free of loop-carried dependences. */
+#if defined(__clang__)
+#define AFSB_VECTORIZE_LOOP \
+    _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define AFSB_VECTORIZE_LOOP _Pragma("GCC ivdep")
+#else
+#define AFSB_VECTORIZE_LOOP
+#endif
+
+#endif // AFSB_UTIL_SIMD_HH

@@ -4,6 +4,15 @@
 
 namespace afsb {
 
+namespace {
+
+/// True on threads owned by any ThreadPool; parallel dispatch from
+/// such a thread must run inline (wait() counts the caller itself as
+/// active, so re-entrant dispatch would never drain).
+thread_local bool tls_pool_worker = false;
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
     const size_t n = std::max<size_t>(1, num_threads);
@@ -50,11 +59,36 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 }
 
 void
+ThreadPool::parallelFor(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = std::max<size_t>(1, n / (4 * workers_.size()));
+    const size_t blocks = (n + grain - 1) / grain;
+    if (blocks <= 1 || workers_.size() <= 1 || tls_pool_worker) {
+        fn(0, n);
+        return;
+    }
+    for (size_t b = 0; b < blocks; ++b) {
+        const size_t begin = b * grain;
+        const size_t end = std::min(n, begin + grain);
+        submit([begin, end, &fn] { fn(begin, end); });
+    }
+    wait();
+}
+
+void
 ThreadPool::parallelBlocks(
     size_t n, const std::function<void(size_t, size_t, size_t)> &fn)
 {
     if (n == 0)
         return;
+    if (tls_pool_worker) {
+        fn(0, 0, n);
+        return;
+    }
     const size_t nw = std::min(workers_.size(), n);
     const size_t chunk = (n + nw - 1) / nw;
     for (size_t w = 0; w < nw; ++w) {
@@ -70,6 +104,7 @@ ThreadPool::parallelBlocks(
 void
 ThreadPool::workerLoop()
 {
+    tls_pool_worker = true;
     for (;;) {
         std::function<void()> task;
         {

@@ -53,6 +53,22 @@ class ThreadPool
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
     /**
+     * Chunked parallel-for: run fn(begin, end) over contiguous
+     * blocks of ~grain iterations and wait. One std::function
+     * dispatch per block (not per index), and more blocks than
+     * workers, so skewed per-item cost load-balances dynamically
+     * while each index is still processed by exactly one task.
+     *
+     * @param grain Iterations per block; 0 picks ~4 blocks per
+     *        worker. Runs inline (serially) when the range fits one
+     *        block, the pool has a single worker, or the caller is
+     *        itself a pool worker — nested dispatch would deadlock
+     *        on wait().
+     */
+    void parallelFor(size_t n, size_t grain,
+                     const std::function<void(size_t, size_t)> &fn);
+
+    /**
      * Run fn(worker_id, begin, end) over a static block partition of
      * [0, n) and wait. Exposes the worker id so callers can keep
      * per-thread state (e.g. per-thread cache simulators).

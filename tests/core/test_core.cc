@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "core/adaptive_threads.hh"
 #include "core/memory_estimator.hh"
 #include "core/pipeline.hh"
@@ -147,6 +150,36 @@ TEST(Pipeline, EndToEndSharesMatchFig7)
     EXPECT_LT(r.msaShare(), 0.995);
     EXPECT_GT(r.phases.seconds("msa"), 0.0);
     EXPECT_GT(r.phases.seconds("gpu_compute"), 0.0);
+}
+
+/** Reinterpret a raw IEEE-754 bit pattern as a double. */
+double
+doubleFromBits(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+TEST(Pipeline, EndToEndGoldenIsStable)
+{
+    // Golden end-to-end numbers captured before the striped/blocked
+    // kernels landed. The simulated pipeline output is part of the
+    // repo's stability contract: faster kernels must not perturb a
+    // single bit of the reported seconds or instruction counts.
+    const auto &ws = Workspace::shared();
+    const auto sample = bio::makeSample("2PV7");
+    PipelineOptions opt;
+    opt.msaThreads = 2;
+    opt.msa = fastMsa();
+    const auto r = runPipeline(sample.complex,
+                               sys::serverPlatform(), ws, opt);
+    EXPECT_FALSE(r.oom);
+    EXPECT_DOUBLE_EQ(r.msa.seconds,
+                     doubleFromBits(0x40875b0ebc87d28aull));
+    EXPECT_EQ(r.msa.totals.instructions, 18774033696746ull);
+    EXPECT_DOUBLE_EQ(r.inference.totalSeconds(),
+                     doubleFromBits(0x404f79cafa8bb10cull));
 }
 
 TEST(Pipeline, PersistentXlaCacheEliminatesCompile)

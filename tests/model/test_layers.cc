@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "model/diffusion.hh"
 #include "model/layers.hh"
+#include "util/threadpool.hh"
 
 namespace afsb::model {
 namespace {
@@ -131,6 +133,70 @@ TEST_F(LayerFixture, LayersAreDeterministic)
     triangleAttention(a, wa, cfg, true);
     triangleAttention(b, wb, cfg, true);
     EXPECT_TRUE(a == b);
+}
+
+TEST_F(LayerFixture, PoolResultsBitIdenticalToSerial)
+{
+    // Row-parallel layers own each output row statically: any pool
+    // size must reproduce the serial result exactly, not just
+    // within tolerance.
+    Rng rng(32);
+    const auto wMult = TriangleMultWeights::init(cfg, rng);
+    const auto wAttn = TriangleAttnWeights::init(cfg, rng);
+    const auto wTrans = TransitionWeights::init(cfg.pairDim, rng);
+    const auto wSingle = SingleAttnWeights::init(cfg, rng);
+
+    Tensor pairSerial = pair;
+    Tensor singleSerial = single;
+    triangleMultiplicativeUpdate(pairSerial, wMult, true);
+    triangleAttention(pairSerial, wAttn, cfg, false);
+    pairTransition(pairSerial, wTrans);
+    singleAttentionWithPairBias(singleSerial, pairSerial, wSingle,
+                                cfg);
+
+    for (size_t threads : {2u, 5u}) {
+        ThreadPool pool(threads);
+        ModelConfig pooled = cfg;
+        pooled.pool = &pool;
+        Tensor pairPar = pair;
+        Tensor singlePar = single;
+        triangleMultiplicativeUpdate(pairPar, wMult, true, &pool);
+        triangleAttention(pairPar, wAttn, pooled, false);
+        pairTransition(pairPar, wTrans, &pool);
+        singleAttentionWithPairBias(singlePar, pairPar, wSingle,
+                                    pooled);
+        EXPECT_TRUE(pairPar == pairSerial)
+            << threads << " threads";
+        EXPECT_TRUE(singlePar == singleSerial)
+            << threads << " threads";
+    }
+}
+
+TEST_F(LayerFixture, DiffusionSamplePoolMatchesSerial)
+{
+    // End-to-end through token attention and the denoising loop.
+    ModelConfig dcfg = cfg;
+    dcfg.diffusionTokenDim = 16;
+    dcfg.diffusionSteps = 2;
+    dcfg.diffusionBlocks = 1;
+    dcfg.globalBlocks = 1;
+    Rng rngInit(33);
+    const DiffusionModule diffusion(dcfg, rngInit);
+    PairState state;
+    state.pair = pair;
+    state.single = single;
+
+    Rng noiseA(34);
+    const auto serial = diffusion.sample(state, noiseA);
+
+    ThreadPool pool(3);
+    ModelConfig pooled = dcfg;
+    pooled.pool = &pool;
+    Rng rngInit2(33);
+    const DiffusionModule diffusionPooled(pooled, rngInit2);
+    Rng noiseB(34);
+    const auto parallel = diffusionPooled.sample(state, noiseB);
+    EXPECT_TRUE(parallel.coords == serial.coords);
 }
 
 } // namespace

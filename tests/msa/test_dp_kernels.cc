@@ -22,6 +22,17 @@ profFor(const Sequence &q)
     return ProfileHmm::fromSequence(q, ScoreMatrix::blosum62());
 }
 
+/** Sink that only counts references (forces the traced path). */
+class CountingTraceSink : public MemTraceSink
+{
+  public:
+    uint64_t accesses = 0;
+
+    void access(const MemAccess &) override { ++accesses; }
+    void instructions(FuncId, uint64_t) override {}
+    void branches(FuncId, uint64_t, uint64_t) override {}
+};
+
 TEST(MsvFilter, SelfHitScoresSumOfDiagonal)
 {
     bio::SequenceGenerator gen(1);
@@ -204,6 +215,175 @@ TEST_P(KernelDominance, ViterbiAtLeastUngapped)
 INSTANTIATE_TEST_SUITE_P(MutationSweep, KernelDominance,
                          ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3,
                                            0.4));
+
+// --- native / scalar path equivalence -----------------------------------
+//
+// The untraced kernels are a separate striped implementation; these
+// sweeps pin them to the scalar reference (KernelConfig::forceScalar)
+// over odd lengths, non-lane-multiple lengths, band widths from
+// degenerate to unbanded, and both alphabets.
+
+constexpr size_t kProfileLens[] = {1, 7, 15, 16, 17, 33, 128, 250};
+constexpr size_t kTargetLens[] = {1, 5, 31, 400};
+constexpr size_t kBands[] = {1, 3, 16, 96, 10000};
+
+TEST(KernelEquivalence, MsvBitIdenticalToScalar)
+{
+    bio::SequenceGenerator gen(100);
+    for (size_t m : kProfileLens) {
+        const auto q = gen.random("q", MoleculeType::Protein, m);
+        const auto prof = profFor(q);
+        for (size_t l : kTargetLens) {
+            const auto t =
+                gen.random("t", MoleculeType::Protein, l);
+            KernelConfig scalar;
+            scalar.forceScalar = true;
+            const auto fast = msvFilter(prof, t);
+            const auto ref = msvFilter(prof, t, scalar);
+            EXPECT_EQ(fast.score, ref.score)
+                << "M=" << m << " L=" << l;
+            EXPECT_EQ(fast.cells, ref.cells);
+        }
+    }
+}
+
+TEST(KernelEquivalence, Band9BitIdenticalToScalar)
+{
+    bio::SequenceGenerator gen(101);
+    for (size_t m : kProfileLens) {
+        const auto q = gen.random("q", MoleculeType::Protein, m);
+        const auto prof = profFor(q);
+        for (size_t l : kTargetLens) {
+            const auto t =
+                gen.random("t", MoleculeType::Protein, l);
+            for (size_t band : kBands) {
+                KernelConfig cfg;
+                cfg.band = band;
+                KernelConfig scalar = cfg;
+                scalar.forceScalar = true;
+                const auto fast = calcBand9(prof, t, cfg);
+                const auto ref = calcBand9(prof, t, scalar);
+                EXPECT_EQ(fast.score, ref.score)
+                    << "M=" << m << " L=" << l << " band=" << band;
+                EXPECT_EQ(fast.endTarget, ref.endTarget);
+                EXPECT_EQ(fast.endProfile, ref.endProfile);
+                EXPECT_EQ(fast.cells, ref.cells);
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, Band9HomologEndpointsMatch)
+{
+    // High-scoring targets exercise the best-cell tracking; a random
+    // decoy mostly keeps score 0.
+    bio::SequenceGenerator gen(102);
+    const auto q = gen.random("q", MoleculeType::Protein, 150);
+    const auto prof = profFor(q);
+    bio::MutationParams params;
+    params.substitutionRate = 0.1;
+    params.insertionRate = 0.02;
+    params.deletionRate = 0.02;
+    const auto hom = gen.mutate(q, "h", params);
+    const auto frag = gen.embedFragment(q, "f", 60, 200);
+    for (const auto *t : {&hom, &frag}) {
+        for (size_t band : kBands) {
+            KernelConfig cfg;
+            cfg.band = band;
+            KernelConfig scalar = cfg;
+            scalar.forceScalar = true;
+            const auto fast = calcBand9(prof, *t, cfg);
+            const auto ref = calcBand9(prof, *t, scalar);
+            EXPECT_EQ(fast.score, ref.score) << "band=" << band;
+            EXPECT_EQ(fast.endTarget, ref.endTarget);
+            EXPECT_EQ(fast.endProfile, ref.endProfile);
+        }
+    }
+}
+
+TEST(KernelEquivalence, Band10MatchesScalarWithinTolerance)
+{
+    bio::SequenceGenerator gen(103);
+    for (size_t m : kProfileLens) {
+        const auto q = gen.random("q", MoleculeType::Protein, m);
+        const auto prof = profFor(q);
+        for (size_t l : kTargetLens) {
+            const auto t =
+                gen.random("t", MoleculeType::Protein, l);
+            for (size_t band : kBands) {
+                KernelConfig cfg;
+                cfg.band = band;
+                KernelConfig scalar = cfg;
+                scalar.forceScalar = true;
+                const auto fast = calcBand10(prof, t, cfg);
+                const auto ref = calcBand10(prof, t, scalar);
+                EXPECT_EQ(fast.cells, ref.cells);
+                const double tol =
+                    1e-4 * std::max(1.0, std::abs(ref.logOdds));
+                EXPECT_NEAR(fast.logOdds, ref.logOdds, tol)
+                    << "M=" << m << " L=" << l << " band=" << band;
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, Band10RescalingPathMatches)
+{
+    // A long self-alignment drives the per-row rescaling branch.
+    bio::SequenceGenerator gen(104);
+    const auto q = gen.random("q", MoleculeType::Protein, 800);
+    const auto prof = profFor(q);
+    KernelConfig scalar;
+    scalar.forceScalar = true;
+    const auto fast = calcBand10(prof, q);
+    const auto ref = calcBand10(prof, q, scalar);
+    EXPECT_TRUE(std::isfinite(fast.logOdds));
+    EXPECT_NEAR(fast.logOdds, ref.logOdds,
+                1e-4 * std::abs(ref.logOdds));
+}
+
+TEST(KernelEquivalence, NucleotideAlphabetMatches)
+{
+    bio::SequenceGenerator gen(105);
+    const auto q = gen.random("q", MoleculeType::Rna, 90);
+    const auto prof =
+        ProfileHmm::fromSequence(q, ScoreMatrix::nucleotide());
+    bio::MutationParams params;
+    params.substitutionRate = 0.15;
+    const auto t = gen.mutate(q, "t", params);
+    KernelConfig scalar;
+    scalar.forceScalar = true;
+    EXPECT_EQ(msvFilter(prof, t).score,
+              msvFilter(prof, t, scalar).score);
+    const auto fastV = calcBand9(prof, t);
+    const auto refV = calcBand9(prof, t, scalar);
+    EXPECT_EQ(fastV.score, refV.score);
+    EXPECT_EQ(fastV.endTarget, refV.endTarget);
+    EXPECT_EQ(fastV.endProfile, refV.endProfile);
+    const auto fastF = calcBand10(prof, t);
+    const auto refF = calcBand10(prof, t, scalar);
+    EXPECT_NEAR(fastF.logOdds, refF.logOdds,
+                1e-4 * std::max(1.0, std::abs(refF.logOdds)));
+}
+
+TEST(KernelEquivalence, TracedPathMatchesForceScalar)
+{
+    // A sink must select the scalar loops: results with a sink
+    // attached equal forceScalar exactly, including trace-free runs.
+    bio::SequenceGenerator gen(106);
+    const auto q = gen.random("q", MoleculeType::Protein, 120);
+    const auto t = gen.random("t", MoleculeType::Protein, 200);
+    const auto prof = profFor(q);
+    CountingTraceSink sink;
+    KernelConfig cfg;
+    KernelConfig scalar;
+    scalar.forceScalar = true;
+    EXPECT_EQ(calcBand9(prof, t, cfg, &sink).score,
+              calcBand9(prof, t, scalar).score);
+    EXPECT_EQ(calcBand10(prof, t, cfg, &sink).logOdds,
+              calcBand10(prof, t, scalar).logOdds);
+    EXPECT_GT(sink.accesses, 0u);
+}
 
 } // namespace
 } // namespace afsb::msa

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
+#include "util/threadpool.hh"
 
 namespace afsb::tensor {
 namespace {
@@ -173,6 +175,107 @@ TEST(Ops, AddInPlaceAccumulates)
     addInPlace(a, b);
     for (size_t i = 0; i < 4; ++i)
         EXPECT_FLOAT_EQ(a[i], 3.5f);
+}
+
+// --- blocked-kernel equivalence and pool determinism --------------------
+
+/** Textbook ijk reference matmul, double accumulation. */
+Tensor
+refMatmul(const Tensor &a, const Tensor &b)
+{
+    const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (size_t kk = 0; kk < k; ++kk)
+                s += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+            c.at(i, j) = static_cast<float>(s);
+        }
+    return c;
+}
+
+void
+expectClose(const Tensor &got, const Tensor &want, float rel)
+{
+    ASSERT_EQ(got.shape(), want.shape());
+    for (size_t i = 0; i < got.size(); ++i) {
+        const float tol =
+            rel * std::max(1.0f, std::abs(want[i]));
+        ASSERT_NEAR(got[i], want[i], tol) << "index " << i;
+    }
+}
+
+TEST(OpsBlocked, MatmulMatchesReferenceOnOddShapes)
+{
+    // Odd / non-lane-multiple dims exercise every K-unroll and
+    // column-tile remainder path, including rows hitting the
+    // unpaired tail kernel.
+    const size_t shapes[][3] = {{1, 1, 1},   {1, 7, 3},
+                                {3, 5, 2},   {5, 3, 9},
+                                {17, 31, 13}, {33, 129, 65},
+                                {64, 64, 64}, {7, 513, 11}};
+    Rng rng(41);
+    for (const auto &s : shapes) {
+        const auto a = Tensor::randomNormal({s[0], s[1]}, rng);
+        const auto b = Tensor::randomNormal({s[1], s[2]}, rng);
+        expectClose(matmul(a, b), refMatmul(a, b), 1e-4f);
+    }
+}
+
+TEST(OpsBlocked, LinearMatchesMatmulPlusBiasOnOddShapes)
+{
+    Rng rng(42);
+    const size_t shapes[][3] = {
+        {1, 3, 5}, {9, 17, 7}, {31, 33, 129}, {2, 64, 65}};
+    for (const auto &s : shapes) {
+        const auto x = Tensor::randomNormal({s[0], s[1]}, rng);
+        const auto w = Tensor::randomNormal({s[1], s[2]}, rng);
+        const auto b = Tensor::randomNormal({s[2]}, rng);
+        auto want = refMatmul(x, w);
+        for (size_t r = 0; r < s[0]; ++r)
+            for (size_t o = 0; o < s[2]; ++o)
+                want.at(r, o) += b[o];
+        expectClose(linear(x, w, b), want, 1e-4f);
+    }
+}
+
+TEST(OpsBlocked, ZeroRichInputsExact)
+{
+    // The removed zero-skip branch must not change results on the
+    // inputs it used to special-case.
+    Rng rng(43);
+    auto a = Tensor::randomNormal({9, 13}, rng);
+    auto b = Tensor::randomNormal({13, 7}, rng);
+    for (size_t i = 0; i < a.size(); i += 3)
+        a[i] = 0.0f;
+    for (size_t i = 1; i < b.size(); i += 2)
+        b[i] = 0.0f;
+    expectClose(matmul(a, b), refMatmul(a, b), 1e-5f);
+}
+
+TEST(OpsBlocked, PoolResultsBitIdenticalToSerial)
+{
+    Rng rng(44);
+    const auto a = Tensor::randomNormal({67, 129}, rng);
+    const auto b = Tensor::randomNormal({129, 33}, rng);
+    const auto bias = Tensor::randomNormal({33}, rng);
+    const auto x = Tensor::randomNormal({67, 129}, rng);
+    const auto serialMm = matmul(a, b);
+    const auto serialLin = linear(a, b, bias);
+    const auto serialSm = softmax(x);
+    const auto serialLn = layerNorm(x);
+    for (size_t threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_TRUE(matmul(a, b, &pool) == serialMm)
+            << threads << " threads";
+        EXPECT_TRUE(linear(a, b, bias, &pool) == serialLin)
+            << threads << " threads";
+        EXPECT_TRUE(softmax(x, &pool) == serialSm)
+            << threads << " threads";
+        EXPECT_TRUE(layerNorm(x, 1e-5f, &pool) == serialLn)
+            << threads << " threads";
+    }
 }
 
 } // namespace

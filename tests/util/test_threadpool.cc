@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/threadpool.hh"
@@ -86,6 +89,100 @@ TEST(ThreadPool, MoreWorkersThanItems)
     std::atomic<int> count{0};
     pool.parallelFor(3, [&](size_t) { ++count; });
     EXPECT_EQ(count.load(), 3);
+}
+
+// --- chunked parallelFor ------------------------------------------------
+
+TEST(ThreadPool, ChunkedCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+        for (size_t grain : {1u, 3u, 16u, 1000u, 5000u}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallelFor(n, grain, [&](size_t b, size_t e) {
+                ASSERT_LE(b, e);
+                ASSERT_LE(e, n);
+                for (size_t i = b; i < e; ++i)
+                    ++hits[i];
+            });
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "n=" << n << " grain=" << grain
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ChunkedBlocksAlignToGrain)
+{
+    // Every block must start at a multiple of the grain (the GEMM
+    // row-pairing contract) and be at most grain long.
+    ThreadPool pool(3);
+    constexpr size_t kGrain = 7;
+    std::mutex m;
+    std::vector<std::pair<size_t, size_t>> blocks;
+    pool.parallelFor(95, kGrain, [&](size_t b, size_t e) {
+        std::lock_guard lock(m);
+        blocks.emplace_back(b, e);
+    });
+    for (auto [b, e] : blocks) {
+        EXPECT_EQ(b % kGrain, 0u);
+        EXPECT_LE(e - b, kGrain);
+    }
+    EXPECT_EQ(blocks.size(), (95 + kGrain - 1) / kGrain);
+}
+
+TEST(ThreadPool, ChunkedAutoGrainCoversRange)
+{
+    ThreadPool pool(4);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(1000, 0, [&](size_t b, size_t e) {
+        total += e - b;
+    });
+    EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, ChunkedSingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen;
+    pool.parallelFor(10, 2, [&](size_t, size_t) {
+        seen.push_back(std::this_thread::get_id());
+    });
+    ASSERT_FALSE(seen.empty());
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ChunkedNestedDispatchDoesNotDeadlock)
+{
+    // A pool worker re-entering parallelFor must run the nested
+    // range inline instead of submitting (and then waiting on) the
+    // pool it is itself part of.
+    ThreadPool pool(2);
+    std::atomic<size_t> inner{0};
+    pool.parallelFor(4, 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            pool.parallelFor(8, 2, [&](size_t ib, size_t ie) {
+                inner += ie - ib;
+            });
+    });
+    EXPECT_EQ(inner.load(), 4u * 8u);
+}
+
+TEST(ThreadPool, ChunkedNestedParallelBlocksDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<size_t> inner{0};
+    pool.parallelFor(4, 1, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            pool.parallelBlocks(6, [&](size_t, size_t ib,
+                                       size_t ie) {
+                inner += ie - ib;
+            });
+    });
+    EXPECT_EQ(inner.load(), 4u * 6u);
 }
 
 } // namespace
