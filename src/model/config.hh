@@ -21,6 +21,10 @@ namespace afsb {
 class ThreadPool;
 }
 
+namespace afsb::tensor {
+class Arena;
+}
+
 namespace afsb::model {
 
 /** Architecture hyperparameters. */
@@ -66,6 +70,26 @@ struct ModelConfig
      * (default) keeps every layer serial.
      */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Opt-in workspace arena for layer temporaries. When set, every
+     * intra-layer tensor (normed inputs, projections, attention
+     * scratch) is a bump-pointer allocation rewound at layer exit,
+     * eliminating per-layer heap traffic. Results are bit-identical
+     * with and without an arena. nullptr (default) keeps the
+     * allocate-per-tensor behavior.
+     */
+    tensor::Arena *arena = nullptr;
+
+    /**
+     * Force the reference (naive-loop) kernels for triangle
+     * attention, triangle multiplicative update, single attention,
+     * and diffusion token attention instead of the GEMM-shaped
+     * fast paths. The naive kernels are the correctness baseline:
+     * the equivalence tests hold the fast paths to <= 1e-4 max
+     * relative difference against them.
+     */
+    bool forceNaive = false;
 };
 
 /** Published AF3 dimensions (FLOP accounting / GPU simulation). */

@@ -9,6 +9,7 @@
 
 namespace afsb::model {
 
+using tensor::gemmAcc;
 using tensor::linear;
 
 namespace {
@@ -45,10 +46,110 @@ class LayerTimer
     std::chrono::steady_clock::time_point start_;
 };
 
+/** Per-worker scratch for the GEMM-shaped attention path. */
+thread_local std::vector<float> tlsKt;
+thread_local std::vector<float> tlsLogits;
+
+/** Softmax each n-wide row in place with the branch-free fastExpf
+ *  (the fast path's only numeric departure from the reference). */
+void
+softmaxRowsFast(float *AFSB_RESTRICT m, size_t rows, size_t n)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        float *AFSB_RESTRICT row = m + r * n;
+        float mx = row[0];
+        for (size_t i = 1; i < n; ++i)
+            mx = std::max(mx, row[i]);
+        // No reduction in the exp pass (so it vectorizes without
+        // -ffast-math); four partial sums break the serial float
+        // add chain the compiler may not reassociate.
+        AFSB_VECTORIZE_LOOP
+        for (size_t i = 0; i < n; ++i)
+            row[i] = fastExpf(row[i] - mx);
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            s0 += row[i];
+            s1 += row[i + 1];
+            s2 += row[i + 2];
+            s3 += row[i + 3];
+        }
+        for (; i < n; ++i)
+            s0 += row[i];
+        const float inv = 1.0f / ((s0 + s1) + (s2 + s3));
+        AFSB_VECTORIZE_LOOP
+        for (size_t i2 = 0; i2 < n; ++i2)
+            row[i2] *= inv;
+    }
+}
+
 /**
- * Attention over tokens; @p window 0 means global, otherwise each
- * token attends within its local window only.
+ * GEMM-shaped token attention. One unit = one head: K is gathered
+ * into a contiguous dh x n transposed slab once per head, then
+ * global attention (@p window 0) runs the full n x n logit GEMM +
+ * row softmax + context GEMM, while local attention runs one
+ * windowed row GEMM per token against the slab's [lo, hi) columns.
  */
+void
+tokenAttentionFast(Tensor &ctx, const Tensor &q, const Tensor &k,
+                   const Tensor &v, size_t n, size_t heads,
+                   size_t dh, size_t window, float invSqrt,
+                   ThreadPool *pool, tensor::Arena *arena)
+{
+    const size_t hd = heads * dh;
+    const Tensor qs = tensor::scale(q, invSqrt, arena);
+    const size_t span = window > 0 ? window : n;
+    const size_t flops = 4 * n * span * dh;
+    auto unit = [&](size_t h0, size_t h1) {
+        std::vector<float> &ktp = tlsKt;
+        std::vector<float> &logits = tlsLogits;
+        ktp.resize(dh * n);
+        logits.resize(window > 0 ? span : n * n);
+        for (size_t h = h0; h < h1; ++h) {
+            const size_t ho = h * dh;
+            for (size_t j = 0; j < n; ++j) {
+                const float *AFSB_RESTRICT kv =
+                    k.data() + j * hd + ho;
+                for (size_t d = 0; d < dh; ++d)
+                    ktp[d * n + j] = kv[d];
+            }
+            if (window == 0) {
+                std::fill(logits.begin(), logits.end(), 0.0f);
+                gemmAcc(qs.data() + ho, hd, ktp.data(), n,
+                        logits.data(), n, n, dh, n);
+                softmaxRowsFast(logits.data(), n, n);
+                gemmAcc(logits.data(), n, v.data() + ho, hd,
+                        ctx.data() + ho, hd, n, n, dh);
+                continue;
+            }
+            for (size_t i = 0; i < n; ++i) {
+                const size_t lo =
+                    i > window / 2 ? i - window / 2 : 0;
+                const size_t hi = std::min(n, lo + window);
+                const size_t len = hi - lo;
+                std::fill(logits.begin(), logits.begin() + len,
+                          0.0f);
+                gemmAcc(qs.data() + i * hd + ho, hd,
+                        ktp.data() + lo, n, logits.data(), len, 1,
+                        dh, len);
+                softmaxRowsFast(logits.data(), 1, len);
+                gemmAcc(logits.data(), len,
+                        v.data() + lo * hd + ho, hd,
+                        ctx.data() + i * hd + ho, hd, 1, len, dh);
+            }
+        }
+    };
+    if (!pool) {
+        unit(0, heads);
+        return;
+    }
+    const size_t grain = std::max<size_t>(
+        1, (1 << 18) / std::max<size_t>(1, flops));
+    pool->parallelFor(heads, grain, unit);
+}
+
+} // namespace
+
 void
 tokenAttention(Tensor &h, const AttnBlockWeights &w,
                const ModelConfig &cfg, size_t window)
@@ -58,64 +159,71 @@ tokenAttention(Tensor &h, const AttnBlockWeights &w,
     const size_t dh = cfg.headDim;
     const size_t hd = heads * dh;
     const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
-    const Tensor zb({hd});
     ThreadPool *pool = cfg.pool;
+    tensor::Arena *arena = cfg.arena;
+    tensor::Arena::Scope scope(arena);
 
-    const Tensor normed = tensor::layerNorm(h, 1e-5f, pool);
-    const Tensor q = linear(normed, w.q, zb, pool);
-    const Tensor k = linear(normed, w.k, zb, pool);
-    const Tensor v = linear(normed, w.v, zb, pool);
+    const Tensor normed = tensor::layerNorm(h, 1e-5f, pool, arena);
+    const Tensor q = linear(normed, w.q, pool, arena);
+    const Tensor k = linear(normed, w.k, pool, arena);
+    const Tensor v = linear(normed, w.v, pool, arena);
 
-    Tensor ctx({n, hd});
-    // Token-parallel: each (i, head) context row is independent.
-    auto rows = [&](size_t i0, size_t i1) {
-        std::vector<float> logits;
-        for (size_t i = i0; i < i1; ++i) {
-            size_t lo = 0, hi = n;
-            if (window > 0) {
-                lo = i > window / 2 ? i - window / 2 : 0;
-                hi = std::min(n, lo + window);
+    Tensor ctx = Tensor::zeros({n, hd}, arena);
+    if (cfg.forceNaive) {
+        // Reference loop (seed implementation, unchanged):
+        // token-parallel, each (i, head) context row independent.
+        auto rows = [&](size_t i0, size_t i1) {
+            std::vector<float> logits;
+            for (size_t i = i0; i < i1; ++i) {
+                size_t lo = 0, hi = n;
+                if (window > 0) {
+                    lo = i > window / 2 ? i - window / 2 : 0;
+                    hi = std::min(n, lo + window);
+                }
+                for (size_t head = 0; head < heads; ++head) {
+                    const size_t ho = head * dh;
+                    logits.assign(hi - lo, 0.0f);
+                    const float *qv = q.data() + i * hd + ho;
+                    float mx = -1e30f;
+                    for (size_t j = lo; j < hi; ++j) {
+                        const float *kv = k.data() + j * hd + ho;
+                        float dot = 0.0f;
+                        for (size_t d = 0; d < dh; ++d)
+                            dot += qv[d] * kv[d];
+                        logits[j - lo] = dot * invSqrt;
+                        mx = std::max(mx, logits[j - lo]);
+                    }
+                    float sum = 0.0f;
+                    for (auto &l : logits) {
+                        l = std::exp(l - mx);
+                        sum += l;
+                    }
+                    const float inv = 1.0f / sum;
+                    float *AFSB_RESTRICT o =
+                        ctx.data() + i * hd + ho;
+                    for (size_t j = lo; j < hi; ++j) {
+                        const float p = logits[j - lo] * inv;
+                        const float *AFSB_RESTRICT vv =
+                            v.data() + j * hd + ho;
+                        AFSB_VECTORIZE_LOOP
+                        for (size_t d = 0; d < dh; ++d)
+                            o[d] += p * vv[d];
+                    }
+                }
             }
-            for (size_t head = 0; head < heads; ++head) {
-                const size_t ho = head * dh;
-                logits.assign(hi - lo, 0.0f);
-                const float *qv = q.data() + i * hd + ho;
-                float mx = -1e30f;
-                for (size_t j = lo; j < hi; ++j) {
-                    const float *kv = k.data() + j * hd + ho;
-                    float dot = 0.0f;
-                    for (size_t d = 0; d < dh; ++d)
-                        dot += qv[d] * kv[d];
-                    logits[j - lo] = dot * invSqrt;
-                    mx = std::max(mx, logits[j - lo]);
-                }
-                float sum = 0.0f;
-                for (auto &l : logits) {
-                    l = std::exp(l - mx);
-                    sum += l;
-                }
-                const float inv = 1.0f / sum;
-                float *AFSB_RESTRICT o = ctx.data() + i * hd + ho;
-                for (size_t j = lo; j < hi; ++j) {
-                    const float p = logits[j - lo] * inv;
-                    const float *AFSB_RESTRICT vv =
-                        v.data() + j * hd + ho;
-                    AFSB_VECTORIZE_LOOP
-                    for (size_t d = 0; d < dh; ++d)
-                        o[d] += p * vv[d];
-                }
-            }
-        }
-    };
-    if (pool)
-        pool->parallelFor(n, 1, rows);
-    else
-        rows(0, n);
-    tensor::addInPlace(h, linear(ctx, w.outProj, w.outBias, pool));
-    pairTransition(h, w.transition, pool);
+        };
+        if (pool)
+            pool->parallelFor(n, 1, rows);
+        else
+            rows(0, n);
+    } else {
+        tokenAttentionFast(ctx, q, k, v, n, heads, dh, window,
+                           invSqrt, pool, arena);
+    }
+    tensor::addInPlace(
+        h, linear(ctx, w.outProj, w.outBias, pool, arena));
+    pairTransition(h, w.transition, pool, arena);
 }
-
-} // namespace
 
 AttnBlockWeights
 AttnBlockWeights::init(size_t dim, const ModelConfig &cfg, Rng &rng)
@@ -177,7 +285,8 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
                              const LayerTimeHook &hook) const
 {
     const size_t n = coords.dim(0);
-    const size_t ct = cfg_.diffusionTokenDim;
+    tensor::Arena *arena = cfg_.arena;
+    tensor::Arena::Scope scope(arena);
 
     // Token features = conditioning + embedded noisy coordinates,
     // scaled into the unit regime for the current noise level.
@@ -185,10 +294,10 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
     const float cScale =
         1.0f / std::sqrt(1.0f + static_cast<float>(sigma * sigma));
     {
-        const Tensor zb({ct});
-        Tensor scaled = tensor::scale(coords, cScale);
+        const Tensor scaled = tensor::scale(coords, cScale, arena);
         tensor::addInPlace(
-            h, linear(scaled, weights_.coordEmbed, zb, cfg_.pool));
+            h, linear(scaled, weights_.coordEmbed, cfg_.pool,
+                      arena));
     }
 
     for (const auto &w : weights_.localEnc) {
@@ -207,10 +316,11 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
     // Denoised estimate; coordinates step toward it.
     LayerTimer t(hook, "coordinate_update");
     const Tensor denoised = tensor::add(
-        tensor::scale(coords, 0.5f),
-        linear(tensor::layerNorm(h, 1e-5f, cfg_.pool),
-               weights_.coordOut, weights_.coordOutBias,
-               cfg_.pool));
+        tensor::scale(coords, 0.5f, arena),
+        linear(tensor::layerNorm(h, 1e-5f, cfg_.pool, arena),
+               weights_.coordOut, weights_.coordOutBias, cfg_.pool,
+               arena),
+        arena);
     const float blend = static_cast<float>(
         1.0 / (1.0 + sigma));  // stronger pull at low noise
     for (size_t i = 0; i < n; ++i)
@@ -227,9 +337,14 @@ DiffusionModule::sample(const PairState &state, Rng &rng,
     const size_t n = state.tokens();
     const auto schedule = noiseSchedule(cfg_.diffusionSteps);
 
-    // Conditioning from the trunk single representation.
-    const Tensor cond = linear(state.single, weights_.condProj,
-                               weights_.condBias, cfg_.pool);
+    // Conditioning from the trunk single representation. Allocated
+    // under sample's own arena scope: every denoiseStep opens a
+    // nested scope above this mark, so cond survives all steps and
+    // the per-step scratch is rewound between them.
+    tensor::Arena::Scope scope(cfg_.arena);
+    const Tensor cond =
+        linear(state.single, weights_.condProj, weights_.condBias,
+               cfg_.pool, cfg_.arena);
 
     Structure out;
     out.coords = Tensor::randomNormal(

@@ -48,6 +48,21 @@ struct DiffusionWeights
     static DiffusionWeights init(const ModelConfig &cfg, Rng &rng);
 };
 
+/**
+ * Attention over tokens, the diffusion transformer's building block:
+ * layer-normed q/k/v projections, softmax attention, output
+ * projection with residual, then a transition MLP. @p window 0 means
+ * global attention; otherwise each token attends within its local
+ * window only (AF3's sequence-local atom attention).
+ *
+ * Honors cfg.pool / cfg.arena / cfg.forceNaive like the Pairformer
+ * layers: the fast path runs per-head logit and context GEMMs
+ * (windowed rows for local attention) and is held to <= 1e-4 max
+ * relative difference against the reference loop.
+ */
+void tokenAttention(Tensor &h, const AttnBlockWeights &w,
+                    const ModelConfig &cfg, size_t window);
+
 /** Predicted structure: one 3-D coordinate per token. */
 struct Structure
 {

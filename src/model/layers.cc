@@ -1,6 +1,7 @@
 #include "model/layers.hh"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.hh"
 #include "util/simd.hh"
@@ -9,19 +10,14 @@
 namespace afsb::model {
 
 using tensor::add;
+using tensor::Arena;
 using tensor::gelu;
+using tensor::gemmAcc;
 using tensor::layerNorm;
 using tensor::linear;
 using tensor::sigmoid;
 
 namespace {
-
-/** Zero bias helper for projection layers without bias terms. */
-Tensor
-zeroBias(size_t dim)
-{
-    return Tensor({dim});
-}
 
 /** Xavier-ish init: stddev 1/sqrt(fan_in). */
 Tensor
@@ -44,135 +40,79 @@ forPairRows(size_t n, ThreadPool *pool,
         fn(0, n);
 }
 
-} // namespace
-
-TriangleMultWeights
-TriangleMultWeights::init(const ModelConfig &cfg, Rng &rng)
-{
-    const size_t c = cfg.pairDim;
-    TriangleMultWeights w;
-    w.projA = initWeight(c, c, rng);
-    w.projB = initWeight(c, c, rng);
-    w.gateA = initWeight(c, c, rng);
-    w.gateB = initWeight(c, c, rng);
-    w.outProj = initWeight(c, c, rng);
-    w.outGate = initWeight(c, c, rng);
-    w.bias = Tensor({c});
-    return w;
-}
-
-TriangleAttnWeights
-TriangleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
-{
-    const size_t c = cfg.pairDim;
-    const size_t hd = cfg.heads * cfg.headDim;
-    TriangleAttnWeights w;
-    w.q = initWeight(c, hd, rng);
-    w.k = initWeight(c, hd, rng);
-    w.v = initWeight(c, hd, rng);
-    w.biasProj = initWeight(c, cfg.heads, rng);
-    w.outProj = initWeight(hd, c, rng);
-    w.outBias = Tensor({c});
-    return w;
-}
-
-TransitionWeights
-TransitionWeights::init(size_t dim, Rng &rng)
-{
-    TransitionWeights w;
-    w.w1 = initWeight(dim, 4 * dim, rng);
-    w.b1 = Tensor({4 * dim});
-    w.w2 = initWeight(4 * dim, dim, rng);
-    w.b2 = Tensor({dim});
-    return w;
-}
-
-SingleAttnWeights
-SingleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
-{
-    const size_t hd = cfg.heads * cfg.headDim;
-    SingleAttnWeights w;
-    w.q = initWeight(cfg.singleDim, hd, rng);
-    w.k = initWeight(cfg.singleDim, hd, rng);
-    w.v = initWeight(cfg.singleDim, hd, rng);
-    w.pairBias = initWeight(cfg.pairDim, cfg.heads, rng);
-    w.outProj = initWeight(hd, cfg.singleDim, rng);
-    w.outBias = Tensor({cfg.singleDim});
-    return w;
-}
-
+/** Work-unit dispatcher for the GEMM-shaped kernels: fn(begin, end)
+ *  over [0, units), grain sized so one task carries roughly
+ *  @p flops_per_unit-independent ~0.25 Mflop of work. Units are
+ *  self-contained, so any partition gives identical results. */
 void
-triangleMultiplicativeUpdate(Tensor &pair,
-                             const TriangleMultWeights &w,
-                             bool outgoing, ThreadPool *pool)
+forUnits(size_t units, size_t flops_per_unit, ThreadPool *pool,
+         const std::function<void(size_t, size_t)> &fn)
 {
-    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
-            "triangleMult: pair must be (N, N, c)");
-    const size_t n = pair.dim(0);
-    const size_t c = pair.dim(2);
-    const Tensor zb = zeroBias(c);
+    if (!pool) {
+        fn(0, units);
+        return;
+    }
+    const size_t grain = std::max<size_t>(
+        1, (1 << 18) / std::max<size_t>(1, flops_per_unit));
+    pool->parallelFor(units, grain, fn);
+}
 
-    const Tensor normed = layerNorm(pair, 1e-5f, pool);
-    const Tensor a =
-        tensor::mul(sigmoid(linear(normed, w.gateA, zb, pool)),
-                    linear(normed, w.projA, zb, pool));
-    const Tensor b =
-        tensor::mul(sigmoid(linear(normed, w.gateB, zb, pool)),
-                    linear(normed, w.projB, zb, pool));
-
-    // The O(N^3 c) triangle einsum, row-parallel over i.
-    Tensor out({n, n, c});
-    forPairRows(n, pool, [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            for (size_t j = 0; j < n; ++j) {
-                float *AFSB_RESTRICT o =
-                    out.data() + (i * n + j) * c;
-                for (size_t k = 0; k < n; ++k) {
-                    const float *AFSB_RESTRICT ai =
-                        outgoing ? a.data() + (i * n + k) * c
-                                 : a.data() + (k * n + i) * c;
-                    const float *AFSB_RESTRICT bj =
-                        outgoing ? b.data() + (j * n + k) * c
-                                 : b.data() + (k * n + j) * c;
-                    AFSB_VECTORIZE_LOOP
-                    for (size_t ch = 0; ch < c; ++ch)
-                        o[ch] += ai[ch] * bj[ch];
-                }
-            }
+/** Softmax each n-wide row of @p rows rows in place, using the
+ *  branch-free fastExpf (the fast paths' only deliberate numeric
+ *  departure from the reference kernels — std::exp is the single
+ *  largest scalar cost in the naive attention loops). The exp pass
+ *  carries no reduction so it vectorizes without -ffast-math; the
+ *  sum uses four explicit partial accumulators because without
+ *  fast-math the compiler may not reassociate a serial float sum,
+ *  and a single 4-cycle add chain would dominate the row. */
+void
+softmaxRowsFast(float *AFSB_RESTRICT m, size_t rows, size_t n)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        float *AFSB_RESTRICT row = m + r * n;
+        float mx = row[0];
+        for (size_t i = 1; i < n; ++i)
+            mx = std::max(mx, row[i]);
+        AFSB_VECTORIZE_LOOP
+        for (size_t i = 0; i < n; ++i)
+            row[i] = fastExpf(row[i] - mx);
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            s0 += row[i];
+            s1 += row[i + 1];
+            s2 += row[i + 2];
+            s3 += row[i + 3];
         }
-    });
-
-    const Tensor update =
-        linear(layerNorm(out, 1e-5f, pool), w.outProj, w.bias, pool);
-    const Tensor gate = sigmoid(linear(normed, w.outGate, zb, pool));
-    tensor::addInPlace(pair, tensor::mul(update, gate));
+        for (; i < n; ++i)
+            s0 += row[i];
+        const float inv = 1.0f / ((s0 + s1) + (s2 + s3));
+        AFSB_VECTORIZE_LOOP
+        for (size_t i2 = 0; i2 < n; ++i2)
+            row[i2] *= inv;
+    }
 }
 
+/** Per-worker scratch for the GEMM-shaped kernels. Thread-locals
+ *  instead of arena slabs: units run on pool workers, and the arena
+ *  is single-threaded by contract (allocations happen on the
+ *  dispatching thread only). */
+thread_local std::vector<float> tlsPackA;
+thread_local std::vector<float> tlsTile;
+
+/**
+ * The reference triangle-attention loop (seed implementation,
+ * unchanged): per (i, h, j), strided dot-product logits over the
+ * intermediates kk, std::exp softmax, strided context accumulation.
+ */
 void
-triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
-                  const ModelConfig &cfg, bool starting)
+triangleAttentionNaive(Tensor &ctx, const Tensor &q, const Tensor &k,
+                       const Tensor &v, const Tensor &bias, size_t n,
+                       size_t heads, size_t dh, bool starting,
+                       ThreadPool *pool)
 {
-    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
-            "triangleAttention: pair must be (N, N, c)");
-    const size_t n = pair.dim(0);
-    const size_t heads = cfg.heads;
-    const size_t dh = cfg.headDim;
     const size_t hd = heads * dh;
     const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
-
-    ThreadPool *pool = cfg.pool;
-    const Tensor normed = layerNorm(pair, 1e-5f, pool);
-    const Tensor zbHd = zeroBias(hd);
-    const Tensor zbH = zeroBias(heads);
-    const Tensor q = linear(normed, w.q, zbHd, pool); // (N, N, h*dh)
-    const Tensor k = linear(normed, w.k, zbHd, pool);
-    const Tensor v = linear(normed, w.v, zbHd, pool);
-    const Tensor bias =
-        linear(normed, w.biasProj, zbH, pool);  // (N,N,h)
-
-    Tensor ctx({n, n, hd});
-    // Row-parallel over i; each (i, j, h) cell is independent, the
-    // per-task scratch keeps the dispatch allocation-free inside.
     forPairRows(n, pool, [&](size_t i0, size_t i1) {
         std::vector<float> logits(n);
         std::vector<float> probs(n);
@@ -221,17 +161,584 @@ triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
             }
         }
     });
-    tensor::addInPlace(pair,
-                       linear(ctx, w.outProj, w.outBias, pool));
+}
+
+/**
+ * GEMM-shaped triangle attention. One unit = one (line, head): the
+ * n x n logit matrix for that line is built as
+ *   logits = (invSqrt * Q_line) * K_line^T + B_head
+ * with Q addressed in place (strided rows through the microkernel),
+ * K gathered once into a contiguous dh x n transposed slab, and the
+ * bias pre-packed per head (shared by every line). After a fastExpf
+ * row softmax, the context is the second GEMM
+ *   ctx_line = P * V_line
+ * with V addressed in place. ~4*n^2*dh flops per unit.
+ */
+void
+triangleAttentionFast(Tensor &ctx, const Tensor &qs, const Tensor &k,
+                      const Tensor &v, const Tensor &bias, size_t n,
+                      size_t heads, size_t dh, bool starting,
+                      ThreadPool *pool, Arena *arena)
+{
+    const size_t hd = heads * dh;
+
+    // Bias pre-pack, per head: P_h(x, y) is the bias added to
+    // logits[x][y] in this mode. Starting: logits rows are j,
+    // columns kk, bias term bias[(j*n+kk)*heads+h]. Ending: rows i,
+    // columns kk, term bias[(kk*n+i)*heads+h].
+    Tensor biasPack = Tensor::uninitialized({heads, n, n}, arena);
+    forUnits(heads * n, 2 * n, pool, [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+            const size_t h = r / n;
+            const size_t x = r % n;
+            float *AFSB_RESTRICT dst =
+                biasPack.data() + (h * n + x) * n;
+            if (starting) {
+                const float *AFSB_RESTRICT src =
+                    bias.data() + x * n * heads + h;
+                for (size_t y = 0; y < n; ++y)
+                    dst[y] = src[y * heads];
+            } else {
+                const float *AFSB_RESTRICT src =
+                    bias.data() + x * heads + h;
+                for (size_t y = 0; y < n; ++y)
+                    dst[y] = src[y * n * heads];
+            }
+        }
+    });
+
+    forUnits(n * heads, 4 * n * n * dh, pool,
+             [&](size_t u0, size_t u1) {
+        std::vector<float> &ktp = tlsPackA;
+        std::vector<float> &logits = tlsTile;
+        ktp.resize(dh * n);
+        logits.resize(n * n);
+        for (size_t u = u0; u < u1; ++u) {
+            const size_t line = u / heads;
+            const size_t h = u % heads;
+            const size_t ho = h * dh;
+
+            // Line bases: starting fixes i = line (unit rows sweep
+            // j, logits columns sweep kk along row i); ending fixes
+            // j = line (rows sweep i, columns sweep kk down column
+            // j). Row strides through the (N, N, hd) tensors follow.
+            const size_t lineBase =
+                starting ? line * n * hd : line * hd;
+            const size_t rowStride = starting ? hd : n * hd;
+
+            // K^T slab: ktp[d][kk] = K(kk)[d] for this line/head.
+            const float *AFSB_RESTRICT kbase =
+                k.data() + lineBase + ho;
+            for (size_t kk = 0; kk < n; ++kk) {
+                const float *AFSB_RESTRICT kv =
+                    kbase + kk * rowStride;
+                for (size_t d = 0; d < dh; ++d)
+                    ktp[d * n + kk] = kv[d];
+            }
+
+            // logits = bias pack, then += Qs * K^T.
+            std::memcpy(logits.data(),
+                        biasPack.data() + h * n * n,
+                        n * n * sizeof(float));
+            gemmAcc(qs.data() + lineBase + ho, rowStride,
+                    ktp.data(), n, logits.data(), n, n, dh, n);
+
+            softmaxRowsFast(logits.data(), n, n);
+
+            // ctx_line += P * V (ctx rows start zeroed).
+            gemmAcc(logits.data(), n, v.data() + lineBase + ho,
+                    rowStride, ctx.data() + lineBase + ho,
+                    rowStride, n, n, dh);
+        }
+    });
+}
+
+/** Reference einsum loop (seed implementation, unchanged). */
+void
+triangleMultNaive(Tensor &out, const Tensor &a, const Tensor &b,
+                  size_t n, size_t c, bool outgoing,
+                  ThreadPool *pool)
+{
+    forPairRows(n, pool, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                float *AFSB_RESTRICT o =
+                    out.data() + (i * n + j) * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const float *AFSB_RESTRICT ai =
+                        outgoing ? a.data() + (i * n + k) * c
+                                 : a.data() + (k * n + i) * c;
+                    const float *AFSB_RESTRICT bj =
+                        outgoing ? b.data() + (j * n + k) * c
+                                 : b.data() + (k * n + j) * c;
+                    AFSB_VECTORIZE_LOOP
+                    for (size_t ch = 0; ch < c; ++ch)
+                        o[ch] += ai[ch] * bj[ch];
+                }
+            }
+        }
+    });
+}
+
+/** Swap the two line dims of an (n, n, c) tensor, keeping the
+ *  contiguous channel rows intact: dst(i, k, :) = src(k, i, :).
+ *  Brings the incoming orientation into outgoing layout so the hot
+ *  einsum loop below always walks k with stride c. */
+Tensor
+transposeLines(const Tensor &src, size_t n, size_t c,
+               ThreadPool *pool, Arena *arena)
+{
+    Tensor dst = Tensor::uninitialized({n, n, c}, arena);
+    forUnits(n, 2 * n * c, pool, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            for (size_t k = 0; k < n; ++k)
+                std::memcpy(dst.data() + (i * n + k) * c,
+                            src.data() + (k * n + i) * c,
+                            c * sizeof(float));
+    });
+    return dst;
+}
+
+/**
+ * Register-tiled einsum over the contiguous channel axis:
+ * out[i,j,ch] = sum_k A(i,k)[ch] * B(j,k)[ch].
+ *
+ * The naive loop already vectorizes over the c contiguous channels,
+ * so decomposing into c per-channel N x N GEMMs loses everything it
+ * gains to the stride-c gathers (one cache line touched per element;
+ * measured ~1.0x). Instead keep channels in the vector lanes and
+ * tile the (i, j) space: for a block of kChanBlock = 16 channels
+ * (exactly one cache line) and kColTile = 4 output columns, the
+ * 4 x 16 accumulator tile fits in eight YMM registers and stays
+ * there across the whole k sweep -- per k step that is ten vector
+ * loads and eight FMAs with no accumulator spill, and each a-row
+ * load is shared by four columns. The j loop runs outside i within
+ * a kRowTile-row unit so the four b-rows stay cache-resident across
+ * the tile, cutting naive's full-B re-stream per output row (the
+ * real bottleneck: ~n/kRowTile x less B traffic).
+ *
+ * One unit = kRowTile output rows, each (i, j, ch) accumulated in
+ * ascending k by exactly one task => bit-identical across pool
+ * sizes. Channel / column remainders take scalar tail loops with
+ * the same summation order.
+ */
+void
+triangleMultFast(Tensor &out, const Tensor &a, const Tensor &b,
+                 size_t n, size_t c, bool outgoing, ThreadPool *pool,
+                 Arena *arena)
+{
+    constexpr size_t kChanBlock = 16;
+    constexpr size_t kColTile = 4;
+    constexpr size_t kRowTile = 16;
+
+    Tensor aT, bT;
+    const float *AFSB_RESTRICT ap = a.data();
+    const float *AFSB_RESTRICT bp = b.data();
+    if (!outgoing) {
+        aT = transposeLines(a, n, c, pool, arena);
+        bT = transposeLines(b, n, c, pool, arena);
+        ap = aT.data();
+        bp = bT.data();
+    }
+
+    const size_t cFull = c - c % kChanBlock;
+    const size_t jFull = n - n % kColTile;
+    const size_t units = (n + kRowTile - 1) / kRowTile;
+    forUnits(units, 2 * n * n * c * kRowTile, pool,
+             [&](size_t u0, size_t u1) {
+        for (size_t u = u0; u < u1; ++u) {
+            const size_t i0 = u * kRowTile;
+            const size_t i1 = std::min(n, i0 + kRowTile);
+            for (size_t ch0 = 0; ch0 < cFull; ch0 += kChanBlock) {
+                for (size_t j0 = 0; j0 < jFull; j0 += kColTile) {
+                    // Named accumulators (not acc[t][e]) so the
+                    // tile is fully unrolled and register-promoted;
+                    // a rolled t loop round-trips the tile through
+                    // the stack every iteration.
+                    const float *AFSB_RESTRICT b0 =
+                        bp + (j0 + 0) * n * c + ch0;
+                    const float *AFSB_RESTRICT b1 =
+                        bp + (j0 + 1) * n * c + ch0;
+                    const float *AFSB_RESTRICT b2 =
+                        bp + (j0 + 2) * n * c + ch0;
+                    const float *AFSB_RESTRICT b3 =
+                        bp + (j0 + 3) * n * c + ch0;
+                    for (size_t i = i0; i < i1; ++i) {
+                        const float *AFSB_RESTRICT arow =
+                            ap + i * n * c + ch0;
+                        float acc0[kChanBlock] = {};
+                        float acc1[kChanBlock] = {};
+                        float acc2[kChanBlock] = {};
+                        float acc3[kChanBlock] = {};
+                        for (size_t k = 0; k < n; ++k) {
+                            const float *AFSB_RESTRICT av =
+                                arow + k * c;
+                            const float *AFSB_RESTRICT bv0 =
+                                b0 + k * c;
+                            const float *AFSB_RESTRICT bv1 =
+                                b1 + k * c;
+                            const float *AFSB_RESTRICT bv2 =
+                                b2 + k * c;
+                            const float *AFSB_RESTRICT bv3 =
+                                b3 + k * c;
+                            AFSB_VECTORIZE_LOOP
+                            for (size_t e = 0; e < kChanBlock;
+                                 ++e) {
+                                const float av_e = av[e];
+                                acc0[e] += av_e * bv0[e];
+                                acc1[e] += av_e * bv1[e];
+                                acc2[e] += av_e * bv2[e];
+                                acc3[e] += av_e * bv3[e];
+                            }
+                        }
+                        float *AFSB_RESTRICT orow =
+                            out.data() + (i * n + j0) * c + ch0;
+                        std::memcpy(orow, acc0,
+                                    kChanBlock * sizeof(float));
+                        std::memcpy(orow + c, acc1,
+                                    kChanBlock * sizeof(float));
+                        std::memcpy(orow + 2 * c, acc2,
+                                    kChanBlock * sizeof(float));
+                        std::memcpy(orow + 3 * c, acc3,
+                                    kChanBlock * sizeof(float));
+                    }
+                }
+                // Column tail: j in [jFull, n), one column at a time.
+                for (size_t j = jFull; j < n; ++j) {
+                    const float *AFSB_RESTRICT brow =
+                        bp + j * n * c + ch0;
+                    for (size_t i = i0; i < i1; ++i) {
+                        const float *AFSB_RESTRICT arow =
+                            ap + i * n * c + ch0;
+                        float acc[kChanBlock] = {};
+                        for (size_t k = 0; k < n; ++k) {
+                            const float *AFSB_RESTRICT av =
+                                arow + k * c;
+                            const float *AFSB_RESTRICT bv =
+                                brow + k * c;
+                            AFSB_VECTORIZE_LOOP
+                            for (size_t e = 0; e < kChanBlock; ++e)
+                                acc[e] += av[e] * bv[e];
+                        }
+                        std::memcpy(out.data() + (i * n + j) * c +
+                                        ch0,
+                                    acc, kChanBlock * sizeof(float));
+                    }
+                }
+            }
+            // Channel tail: ch in [cFull, c), runtime-width tile.
+            if (cFull < c) {
+                const size_t ctail = c - cFull;
+                for (size_t i = i0; i < i1; ++i) {
+                    const float *AFSB_RESTRICT arow =
+                        ap + i * n * c + cFull;
+                    for (size_t j = 0; j < n; ++j) {
+                        const float *AFSB_RESTRICT brow =
+                            bp + j * n * c + cFull;
+                        float acc[kChanBlock] = {};
+                        for (size_t k = 0; k < n; ++k) {
+                            const float *AFSB_RESTRICT av =
+                                arow + k * c;
+                            const float *AFSB_RESTRICT bv =
+                                brow + k * c;
+                            for (size_t e = 0; e < ctail; ++e)
+                                acc[e] += av[e] * bv[e];
+                        }
+                        float *AFSB_RESTRICT o =
+                            out.data() + (i * n + j) * c + cFull;
+                        for (size_t e = 0; e < ctail; ++e)
+                            o[e] = acc[e];
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace
+
+TriangleMultWeights
+TriangleMultWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t c = cfg.pairDim;
+    TriangleMultWeights w;
+    w.projA = initWeight(c, c, rng);
+    w.projB = initWeight(c, c, rng);
+    w.gateA = initWeight(c, c, rng);
+    w.gateB = initWeight(c, c, rng);
+    w.outProj = initWeight(c, c, rng);
+    w.outGate = initWeight(c, c, rng);
+    w.bias = Tensor({c});
+    return w;
+}
+
+uint64_t
+TriangleMultWeights::bytes() const
+{
+    return projA.bytes() + projB.bytes() + gateA.bytes() +
+           gateB.bytes() + outProj.bytes() + outGate.bytes() +
+           bias.bytes();
+}
+
+TriangleAttnWeights
+TriangleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t c = cfg.pairDim;
+    const size_t hd = cfg.heads * cfg.headDim;
+    TriangleAttnWeights w;
+    w.q = initWeight(c, hd, rng);
+    w.k = initWeight(c, hd, rng);
+    w.v = initWeight(c, hd, rng);
+    w.biasProj = initWeight(c, cfg.heads, rng);
+    w.outProj = initWeight(hd, c, rng);
+    w.outBias = Tensor({c});
+    return w;
+}
+
+uint64_t
+TriangleAttnWeights::bytes() const
+{
+    return q.bytes() + k.bytes() + v.bytes() + biasProj.bytes() +
+           outProj.bytes() + outBias.bytes();
+}
+
+TransitionWeights
+TransitionWeights::init(size_t dim, Rng &rng)
+{
+    TransitionWeights w;
+    w.w1 = initWeight(dim, 4 * dim, rng);
+    w.b1 = Tensor({4 * dim});
+    w.w2 = initWeight(4 * dim, dim, rng);
+    w.b2 = Tensor({dim});
+    return w;
+}
+
+uint64_t
+TransitionWeights::bytes() const
+{
+    return w1.bytes() + b1.bytes() + w2.bytes() + b2.bytes();
+}
+
+SingleAttnWeights
+SingleAttnWeights::init(const ModelConfig &cfg, Rng &rng)
+{
+    const size_t hd = cfg.heads * cfg.headDim;
+    SingleAttnWeights w;
+    w.q = initWeight(cfg.singleDim, hd, rng);
+    w.k = initWeight(cfg.singleDim, hd, rng);
+    w.v = initWeight(cfg.singleDim, hd, rng);
+    w.pairBias = initWeight(cfg.pairDim, cfg.heads, rng);
+    w.outProj = initWeight(hd, cfg.singleDim, rng);
+    w.outBias = Tensor({cfg.singleDim});
+    return w;
+}
+
+uint64_t
+SingleAttnWeights::bytes() const
+{
+    return q.bytes() + k.bytes() + v.bytes() + pairBias.bytes() +
+           outProj.bytes() + outBias.bytes();
+}
+
+Tensor
+triangleAttentionCore(const Tensor &q, const Tensor &k,
+                      const Tensor &v, const Tensor &bias,
+                      size_t heads, size_t headDim, bool starting,
+                      bool naive, ThreadPool *pool, Arena *arena)
+{
+    panicIf(q.rank() != 3 || q.dim(0) != q.dim(1),
+            "triangleAttentionCore: q must be (N, N, h*dh)");
+    const size_t n = q.dim(0);
+    const size_t hd = heads * headDim;
+    panicIf(q.dim(2) != hd,
+            "triangleAttentionCore: channel dim mismatch");
+
+    Tensor ctx = Tensor::zeros({n, n, hd}, arena);
+    if (naive) {
+        triangleAttentionNaive(ctx, q, k, v, bias, n, heads,
+                               headDim, starting, pool);
+    } else {
+        const Tensor qs = tensor::scale(
+            q, 1.0f / std::sqrt(static_cast<float>(headDim)),
+            arena);
+        triangleAttentionFast(ctx, qs, k, v, bias, n, heads,
+                              headDim, starting, pool, arena);
+    }
+    return ctx;
+}
+
+Tensor
+triangleMultEinsum(const Tensor &a, const Tensor &b, bool outgoing,
+                   bool naive, ThreadPool *pool, Arena *arena)
+{
+    panicIf(a.rank() != 3 || a.dim(0) != a.dim(1) ||
+                a.shape() != b.shape(),
+            "triangleMultEinsum: inputs must both be (N, N, c)");
+    const size_t n = a.dim(0);
+    const size_t c = a.dim(2);
+
+    if (naive) {
+        Tensor out = Tensor::zeros({n, n, c}, arena);
+        triangleMultNaive(out, a, b, n, c, outgoing, pool);
+        return out;
+    }
+    Tensor out = Tensor::uninitialized({n, n, c}, arena);
+    triangleMultFast(out, a, b, n, c, outgoing, pool, arena);
+    return out;
+}
+
+Tensor
+singleAttentionCore(const Tensor &q, const Tensor &k,
+                    const Tensor &v, const Tensor &bias,
+                    size_t heads, size_t headDim, bool naive,
+                    ThreadPool *pool, Arena *arena)
+{
+    panicIf(q.rank() != 2, "singleAttentionCore: q must be (N, h*dh)");
+    const size_t n = q.dim(0);
+    const size_t dh = headDim;
+    const size_t hd = heads * dh;
+    panicIf(q.dim(1) != hd,
+            "singleAttentionCore: channel dim mismatch");
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor ctx = Tensor::zeros({n, hd}, arena);
+    if (naive) {
+        // Reference loop (seed implementation, unchanged).
+        forPairRows(n, pool, [&](size_t i0, size_t i1) {
+            std::vector<float> logits(n);
+            for (size_t i = i0; i < i1; ++i) {
+                for (size_t h = 0; h < heads; ++h) {
+                    const size_t ho = h * dh;
+                    const float *qv = q.data() + i * hd + ho;
+                    float mx = -1e30f;
+                    for (size_t j = 0; j < n; ++j) {
+                        const float *kv = k.data() + j * hd + ho;
+                        float dot = 0.0f;
+                        for (size_t d = 0; d < dh; ++d)
+                            dot += qv[d] * kv[d];
+                        logits[j] = dot * invSqrt +
+                                    bias[(i * n + j) * heads + h];
+                        mx = std::max(mx, logits[j]);
+                    }
+                    float sum = 0.0f;
+                    for (size_t j = 0; j < n; ++j) {
+                        logits[j] = std::exp(logits[j] - mx);
+                        sum += logits[j];
+                    }
+                    const float inv = 1.0f / sum;
+                    float *AFSB_RESTRICT o =
+                        ctx.data() + i * hd + ho;
+                    for (size_t j = 0; j < n; ++j) {
+                        const float p = logits[j] * inv;
+                        const float *AFSB_RESTRICT vv =
+                            v.data() + j * hd + ho;
+                        AFSB_VECTORIZE_LOOP
+                        for (size_t d = 0; d < dh; ++d)
+                            o[d] += p * vv[d];
+                    }
+                }
+            }
+        });
+        return ctx;
+    }
+
+    // One unit per head: the triangle-attention unit without the
+    // line loop. Bias pack P_h(i, j) = bias[(i*n+j)*heads+h].
+    const Tensor qs = tensor::scale(q, invSqrt, arena);
+    forUnits(heads, 4 * n * n * dh, pool, [&](size_t h0, size_t h1) {
+        std::vector<float> &ktp = tlsPackA;
+        std::vector<float> &logits = tlsTile;
+        ktp.resize(dh * n);
+        logits.resize(n * n);
+        for (size_t h = h0; h < h1; ++h) {
+            const size_t ho = h * dh;
+            for (size_t j = 0; j < n; ++j) {
+                const float *AFSB_RESTRICT kv =
+                    k.data() + j * hd + ho;
+                for (size_t d = 0; d < dh; ++d)
+                    ktp[d * n + j] = kv[d];
+            }
+            for (size_t i = 0; i < n; ++i) {
+                float *AFSB_RESTRICT dst = logits.data() + i * n;
+                const float *AFSB_RESTRICT src =
+                    bias.data() + i * n * heads + h;
+                for (size_t j = 0; j < n; ++j)
+                    dst[j] = src[j * heads];
+            }
+            gemmAcc(qs.data() + ho, hd, ktp.data(), n,
+                    logits.data(), n, n, dh, n);
+            softmaxRowsFast(logits.data(), n, n);
+            gemmAcc(logits.data(), n, v.data() + ho, hd,
+                    ctx.data() + ho, hd, n, n, dh);
+        }
+    });
+    return ctx;
+}
+
+void
+triangleMultiplicativeUpdate(Tensor &pair,
+                             const TriangleMultWeights &w,
+                             const ModelConfig &cfg, bool outgoing)
+{
+    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
+            "triangleMult: pair must be (N, N, c)");
+    ThreadPool *pool = cfg.pool;
+    Arena *arena = cfg.arena;
+    Arena::Scope scope(arena);
+
+    const Tensor normed = layerNorm(pair, 1e-5f, pool, arena);
+    const Tensor a = tensor::mul(
+        sigmoid(linear(normed, w.gateA, pool, arena), arena),
+        linear(normed, w.projA, pool, arena), arena);
+    const Tensor b = tensor::mul(
+        sigmoid(linear(normed, w.gateB, pool, arena), arena),
+        linear(normed, w.projB, pool, arena), arena);
+
+    const Tensor out = triangleMultEinsum(a, b, outgoing,
+                                          cfg.forceNaive, pool,
+                                          arena);
+    const Tensor update =
+        linear(layerNorm(out, 1e-5f, pool, arena), w.outProj,
+               w.bias, pool, arena);
+    const Tensor gate = sigmoid(
+        linear(normed, w.outGate, pool, arena), arena);
+    tensor::addInPlace(pair, tensor::mul(update, gate, arena));
+}
+
+void
+triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
+                  const ModelConfig &cfg, bool starting)
+{
+    panicIf(pair.rank() != 3 || pair.dim(0) != pair.dim(1),
+            "triangleAttention: pair must be (N, N, c)");
+    ThreadPool *pool = cfg.pool;
+    Arena *arena = cfg.arena;
+    Arena::Scope scope(arena);
+
+    const Tensor normed = layerNorm(pair, 1e-5f, pool, arena);
+    const Tensor q = linear(normed, w.q, pool, arena); // (N,N,h*dh)
+    const Tensor k = linear(normed, w.k, pool, arena);
+    const Tensor v = linear(normed, w.v, pool, arena);
+    const Tensor bias =
+        linear(normed, w.biasProj, pool, arena);  // (N, N, h)
+
+    const Tensor ctx =
+        triangleAttentionCore(q, k, v, bias, cfg.heads, cfg.headDim,
+                              starting, cfg.forceNaive, pool, arena);
+    tensor::addInPlace(
+        pair, linear(ctx, w.outProj, w.outBias, pool, arena));
 }
 
 void
 pairTransition(Tensor &pair, const TransitionWeights &w,
-               ThreadPool *pool)
+               ThreadPool *pool, Arena *arena)
 {
+    Arena::Scope scope(arena);
     const Tensor h =
-        gelu(linear(layerNorm(pair, 1e-5f, pool), w.w1, w.b1, pool));
-    tensor::addInPlace(pair, linear(h, w.w2, w.b2, pool));
+        gelu(linear(layerNorm(pair, 1e-5f, pool, arena), w.w1, w.b1,
+                    pool, arena),
+             arena);
+    tensor::addInPlace(pair, linear(h, w.w2, w.b2, pool, arena));
 }
 
 void
@@ -240,60 +747,23 @@ singleAttentionWithPairBias(Tensor &single, const Tensor &pair,
                             const ModelConfig &cfg)
 {
     panicIf(single.rank() != 2, "singleAttention: single is (N, c)");
-    const size_t n = single.dim(0);
-    const size_t heads = cfg.heads;
-    const size_t dh = cfg.headDim;
-    const size_t hd = heads * dh;
-    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(dh));
-
     ThreadPool *pool = cfg.pool;
-    const Tensor normed = layerNorm(single, 1e-5f, pool);
-    const Tensor zbHd = zeroBias(hd);
-    const Tensor zbH = zeroBias(heads);
-    const Tensor q = linear(normed, w.q, zbHd, pool);  // (N, h*dh)
-    const Tensor k = linear(normed, w.k, zbHd, pool);
-    const Tensor v = linear(normed, w.v, zbHd, pool);
-    const Tensor bias =
-        linear(layerNorm(pair, 1e-5f, pool), w.pairBias, zbH,
-               pool);  // (N, N, h)
+    Arena *arena = cfg.arena;
+    Arena::Scope scope(arena);
 
-    Tensor ctx({n, hd});
-    forPairRows(n, pool, [&](size_t i0, size_t i1) {
-        std::vector<float> logits(n);
-        for (size_t i = i0; i < i1; ++i) {
-            for (size_t h = 0; h < heads; ++h) {
-                const size_t ho = h * dh;
-                const float *qv = q.data() + i * hd + ho;
-                float mx = -1e30f;
-                for (size_t j = 0; j < n; ++j) {
-                    const float *kv = k.data() + j * hd + ho;
-                    float dot = 0.0f;
-                    for (size_t d = 0; d < dh; ++d)
-                        dot += qv[d] * kv[d];
-                    logits[j] = dot * invSqrt +
-                                bias[(i * n + j) * heads + h];
-                    mx = std::max(mx, logits[j]);
-                }
-                float sum = 0.0f;
-                for (size_t j = 0; j < n; ++j) {
-                    logits[j] = std::exp(logits[j] - mx);
-                    sum += logits[j];
-                }
-                const float inv = 1.0f / sum;
-                float *AFSB_RESTRICT o = ctx.data() + i * hd + ho;
-                for (size_t j = 0; j < n; ++j) {
-                    const float p = logits[j] * inv;
-                    const float *AFSB_RESTRICT vv =
-                        v.data() + j * hd + ho;
-                    AFSB_VECTORIZE_LOOP
-                    for (size_t d = 0; d < dh; ++d)
-                        o[d] += p * vv[d];
-                }
-            }
-        }
-    });
-    tensor::addInPlace(single,
-                       linear(ctx, w.outProj, w.outBias, pool));
+    const Tensor normed = layerNorm(single, 1e-5f, pool, arena);
+    const Tensor q = linear(normed, w.q, pool, arena);  // (N, h*dh)
+    const Tensor k = linear(normed, w.k, pool, arena);
+    const Tensor v = linear(normed, w.v, pool, arena);
+    const Tensor bias =
+        linear(layerNorm(pair, 1e-5f, pool, arena), w.pairBias,
+               pool, arena);  // (N, N, h)
+
+    const Tensor ctx =
+        singleAttentionCore(q, k, v, bias, cfg.heads, cfg.headDim,
+                            cfg.forceNaive, pool, arena);
+    tensor::addInPlace(
+        single, linear(ctx, w.outProj, w.outBias, pool, arena));
 }
 
 } // namespace afsb::model

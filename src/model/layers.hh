@@ -13,12 +13,21 @@
  *  - Pair transition: 2-layer MLP on each pair element.
  *  - Single attention with pair bias: sequence attention whose
  *    logits are biased by the pair representation.
+ *
+ * Each O(N^3) kernel exists in two forms: a reference naive-loop
+ * variant (the seed implementation, kept verbatim) and a GEMM-shaped
+ * fast path that runs the same arithmetic through the cache-blocked
+ * matmul microkernel (tensor::gemmAcc). ModelConfig::forceNaive
+ * selects the reference form; the fast paths are held to <= 1e-4 max
+ * relative difference against it and are bit-identical across pool
+ * sizes and with/without a workspace arena.
  */
 
 #ifndef AFSB_MODEL_LAYERS_HH
 #define AFSB_MODEL_LAYERS_HH
 
 #include "model/config.hh"
+#include "tensor/arena.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
 
@@ -36,6 +45,9 @@ struct TriangleMultWeights
     Tensor bias;            ///< (c)
 
     static TriangleMultWeights init(const ModelConfig &cfg, Rng &rng);
+
+    /** Total parameter bytes across every member tensor. */
+    uint64_t bytes() const;
 };
 
 /** Weights for one triangle attention layer. */
@@ -47,6 +59,9 @@ struct TriangleAttnWeights
     Tensor outBias;         ///< (c)
 
     static TriangleAttnWeights init(const ModelConfig &cfg, Rng &rng);
+
+    /** Total parameter bytes across every member tensor. */
+    uint64_t bytes() const;
 };
 
 /** Weights for the pair-transition MLP. */
@@ -56,6 +71,9 @@ struct TransitionWeights
     Tensor w2, b2;          ///< (4c, c), (c)
 
     static TransitionWeights init(size_t dim, Rng &rng);
+
+    /** Total parameter bytes across every member tensor. */
+    uint64_t bytes() const;
 };
 
 /** Weights for single attention with pair bias. */
@@ -67,20 +85,79 @@ struct SingleAttnWeights
     Tensor outBias;         ///< (c_s)
 
     static SingleAttnWeights init(const ModelConfig &cfg, Rng &rng);
+
+    /** Total parameter bytes across every member tensor. */
+    uint64_t bytes() const;
 };
+
+/**
+ * Triangle-attention core: given projected q/k/v (N, N, heads*headDim)
+ * and the bias projection (N, N, heads), produce the attention
+ * context (N, N, heads*headDim).
+ *
+ * The fast path treats each (line, head) as one unit of work — a
+ * line is a fixed i (starting mode) or fixed j (ending mode) — and
+ * runs it as two GEMMs around a row softmax: logits = Qs * K^T + B_h
+ * (K transposed into a contiguous per-head slab, bias pre-packed per
+ * head), then ctx = P * V with V addressed in place through the
+ * strided microkernel. Each unit is computed start-to-finish by one
+ * task with a fixed internal order, so results are bit-identical at
+ * every pool size.
+ *
+ * @param naive Run the reference per-(i,j,k) loop instead.
+ */
+Tensor triangleAttentionCore(const Tensor &q, const Tensor &k,
+                             const Tensor &v, const Tensor &bias,
+                             size_t heads, size_t headDim,
+                             bool starting, bool naive,
+                             ThreadPool *pool = nullptr,
+                             tensor::Arena *arena = nullptr);
+
+/**
+ * Triangle multiplicative-update core: the O(N^3 c) einsum
+ *   out[i,j,ch] = sum_k a[i,k,ch] * b[j,k,ch]        (outgoing)
+ *   out[i,j,ch] = sum_k a[k,i,ch] * b[k,j,ch]        (incoming)
+ * over (N, N, c) inputs.
+ *
+ * The fast path decomposes the einsum into c independent N x N
+ * A_ch * B_ch^T products: each channel's A and B^T planes are
+ * gathered into contiguous scratch (the gather also normalizes the
+ * outgoing/incoming index order), multiplied with the register-tiled
+ * microkernel, and scattered back to the channel-strided output.
+ * One channel is one unit of work, so results are bit-identical at
+ * every pool size.
+ *
+ * @param naive Run the reference per-(i,j,k) loop instead.
+ */
+Tensor triangleMultEinsum(const Tensor &a, const Tensor &b,
+                          bool outgoing, bool naive,
+                          ThreadPool *pool = nullptr,
+                          tensor::Arena *arena = nullptr);
+
+/**
+ * Single-attention core: q/k/v are (N, heads*headDim), bias is
+ * (N, N, heads); returns the context (N, heads*headDim). One head is
+ * one unit of work in the fast path (logits GEMM + row softmax + ctx
+ * GEMM, exactly the triangle-attention unit without the line loop).
+ */
+Tensor singleAttentionCore(const Tensor &q, const Tensor &k,
+                           const Tensor &v, const Tensor &bias,
+                           size_t heads, size_t headDim, bool naive,
+                           ThreadPool *pool = nullptr,
+                           tensor::Arena *arena = nullptr);
 
 /**
  * Triangle multiplicative update.
  * @param pair (N, N, c) pair representation, updated in place.
+ * @param cfg Supplies the pool, workspace arena, and forceNaive
+ *        kernel selection.
  * @param outgoing True for the outgoing-edge variant (i->k, j->k);
  *        false aggregates incoming edges (k->i, k->j).
- * @param pool Optional worker pool for row-parallel execution
- *        (bit-identical to serial; see ModelConfig::pool).
  */
 void triangleMultiplicativeUpdate(Tensor &pair,
                                   const TriangleMultWeights &w,
-                                  bool outgoing,
-                                  ThreadPool *pool = nullptr);
+                                  const ModelConfig &cfg,
+                                  bool outgoing);
 
 /**
  * Triangle self-attention.
@@ -92,7 +169,8 @@ void triangleAttention(Tensor &pair, const TriangleAttnWeights &w,
 
 /** Per-element two-layer MLP with GELU, residual. */
 void pairTransition(Tensor &pair, const TransitionWeights &w,
-                    ThreadPool *pool = nullptr);
+                    ThreadPool *pool = nullptr,
+                    tensor::Arena *arena = nullptr);
 
 /** Single-representation attention biased by the pair tensor. */
 void singleAttentionWithPairBias(Tensor &single, const Tensor &pair,

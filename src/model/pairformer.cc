@@ -61,12 +61,12 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         {
             LayerTimer t(hook, "triangle_mult_outgoing");
             triangleMultiplicativeUpdate(state.pair, w.triMultOut,
-                                         true, cfg_.pool);
+                                         cfg_, true);
         }
         {
             LayerTimer t(hook, "triangle_mult_incoming");
             triangleMultiplicativeUpdate(state.pair, w.triMultIn,
-                                         false, cfg_.pool);
+                                         cfg_, false);
         }
         {
             LayerTimer t(hook, "triangle_attention_starting");
@@ -79,7 +79,8 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         }
         {
             LayerTimer t(hook, "pair_transition");
-            pairTransition(state.pair, w.pairTrans, cfg_.pool);
+            pairTransition(state.pair, w.pairTrans, cfg_.pool,
+                           cfg_.arena);
         }
         {
             LayerTimer t(hook, "single_attention");
@@ -88,42 +89,32 @@ Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
         }
         {
             LayerTimer t(hook, "single_transition");
-            pairTransition(state.single, w.singleTrans, cfg_.pool);
+            pairTransition(state.single, w.singleTrans, cfg_.pool,
+                           cfg_.arena);
         }
     }
 }
 
 uint64_t
+PairformerBlockWeights::bytes() const
+{
+    return triMultOut.bytes() + triMultIn.bytes() +
+           triAttnStart.bytes() + triAttnEnd.bytes() +
+           pairTrans.bytes() + singleAttn.bytes() +
+           singleTrans.bytes();
+}
+
+uint64_t
 Pairformer::weightBytes() const
 {
-    auto tensorBytes = [](const Tensor &t) { return t.bytes(); };
+    // Sum per-struct bytes() rather than hand-multiplied member
+    // counts: the old arithmetic silently under-counted whenever a
+    // weight struct gained a member (it already assumed projA's
+    // shape for all six TriangleMultWeights matrices and skipped
+    // none-of-the-above members entirely).
     uint64_t total = 0;
-    for (const auto &w : blocks_) {
-        total += tensorBytes(w.triMultOut.projA) * 6 +
-                 tensorBytes(w.triMultOut.bias);
-        total += tensorBytes(w.triMultIn.projA) * 6 +
-                 tensorBytes(w.triMultIn.bias);
-        total += tensorBytes(w.triAttnStart.q) * 3 +
-                 tensorBytes(w.triAttnStart.biasProj) +
-                 tensorBytes(w.triAttnStart.outProj) +
-                 tensorBytes(w.triAttnStart.outBias);
-        total += tensorBytes(w.triAttnEnd.q) * 3 +
-                 tensorBytes(w.triAttnEnd.biasProj) +
-                 tensorBytes(w.triAttnEnd.outProj) +
-                 tensorBytes(w.triAttnEnd.outBias);
-        total += tensorBytes(w.pairTrans.w1) +
-                 tensorBytes(w.pairTrans.b1) +
-                 tensorBytes(w.pairTrans.w2) +
-                 tensorBytes(w.pairTrans.b2);
-        total += tensorBytes(w.singleAttn.q) * 3 +
-                 tensorBytes(w.singleAttn.pairBias) +
-                 tensorBytes(w.singleAttn.outProj) +
-                 tensorBytes(w.singleAttn.outBias);
-        total += tensorBytes(w.singleTrans.w1) +
-                 tensorBytes(w.singleTrans.b1) +
-                 tensorBytes(w.singleTrans.w2) +
-                 tensorBytes(w.singleTrans.b2);
-    }
+    for (const auto &w : blocks_)
+        total += w.bytes();
     return total;
 }
 

@@ -42,6 +42,9 @@ struct PairformerBlockWeights
 
     static PairformerBlockWeights init(const ModelConfig &cfg,
                                        Rng &rng);
+
+    /** Total parameter bytes across every member struct. */
+    uint64_t bytes() const;
 };
 
 /**

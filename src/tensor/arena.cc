@@ -1,0 +1,108 @@
+#include "tensor/arena.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace afsb::tensor {
+
+namespace {
+
+/** Smallest block ever allocated (floats). */
+constexpr size_t kMinBlockFloats = 1 << 16;
+
+/** Round a request up to a 16-float (64-byte) boundary. */
+inline size_t
+roundUp(size_t n)
+{
+    return (n + 15) & ~static_cast<size_t>(15);
+}
+
+} // namespace
+
+Arena::Arena(size_t initial_floats)
+{
+    if (initial_floats > 0) {
+        Block b;
+        b.data.resize(roundUp(initial_floats));
+        blocks_.push_back(std::move(b));
+    }
+}
+
+float *
+Arena::alloc(size_t n)
+{
+    n = roundUp(std::max<size_t>(n, 1));
+    // Advance through blocks left over from earlier high-water marks
+    // before growing; rewind() keeps their capacity.
+    while (cur_ < blocks_.size()) {
+        Block &b = blocks_[cur_];
+        if (b.used + n <= b.data.size()) {
+            float *p = b.data.data() + b.used;
+            b.used += n;
+            live_ += n;
+            highWater_ = std::max(highWater_, live_);
+            return p;
+        }
+        if (cur_ + 1 >= blocks_.size())
+            break;
+        ++cur_;
+    }
+    // Geometric growth so a deep stack settles into O(1) blocks.
+    Block fresh;
+    const size_t prev =
+        blocks_.empty() ? kMinBlockFloats
+                        : blocks_.back().data.size() * 2;
+    fresh.data.resize(std::max(prev, n));
+    fresh.used = n;
+    blocks_.push_back(std::move(fresh));
+    cur_ = blocks_.size() - 1;
+    live_ += n;
+    highWater_ = std::max(highWater_, live_);
+    return blocks_.back().data.data();
+}
+
+float *
+Arena::allocZero(size_t n)
+{
+    float *p = alloc(n);
+    std::memset(p, 0, roundUp(std::max<size_t>(n, 1)) *
+                          sizeof(float));
+    return p;
+}
+
+Arena::Mark
+Arena::mark() const
+{
+    if (blocks_.empty())
+        return Mark{};
+    return Mark{cur_, blocks_[cur_].used};
+}
+
+void
+Arena::rewind(Mark m)
+{
+    if (blocks_.empty())
+        return;
+    if (m.block >= blocks_.size()) {
+        m.block = blocks_.size() - 1;
+        m.used = blocks_[m.block].used;
+    }
+    blocks_[m.block].used = m.used;
+    for (size_t b = m.block + 1; b < blocks_.size(); ++b)
+        blocks_[b].used = 0;
+    cur_ = m.block;
+    live_ = 0;
+    for (const Block &b : blocks_)
+        live_ += b.used;
+}
+
+size_t
+Arena::capacityFloats() const
+{
+    size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.data.size();
+    return total;
+}
+
+} // namespace afsb::tensor

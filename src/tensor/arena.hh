@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bump-pointer workspace arena for layer temporaries.
+ *
+ * The Pairformer/Diffusion stack allocates the same (N, N, c) and
+ * (N, hd) intermediates for every one of the 48 blocks x recycling
+ * iterations; with plain owning tensors each of those is a fresh
+ * allocation plus a zero-fill. An Arena hands the same memory back
+ * layer after layer: ops draw scratch with alloc()/allocZero(), and a
+ * per-layer Arena::Scope rewinds the bump pointer on exit so the next
+ * layer reuses the now-hot pages.
+ *
+ * Contract:
+ *  - alloc()/rewind() are called from one thread at a time (layers
+ *    allocate on the dispatching thread before any parallelFor).
+ *  - Tensors backed by the arena (Tensor::zeros / Tensor::uninitialized
+ *    with a non-null arena) are views: they must not outlive the Scope
+ *    they were allocated under. Copying one yields an owning tensor.
+ *  - Results are bit-identical with and without an arena; the arena
+ *    only changes where scratch lives, never what is computed.
+ */
+
+#ifndef AFSB_TENSOR_ARENA_HH
+#define AFSB_TENSOR_ARENA_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace afsb::tensor {
+
+/** Growable bump-pointer float arena with scoped rewind. */
+class Arena
+{
+  public:
+    /** @param initial_floats Capacity of the first block (0 defers
+     *         the first allocation to the first alloc call). */
+    explicit Arena(size_t initial_floats = 0);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Uninitialized scratch of @p n floats (may contain stale data
+     * from a previous scope; every element must be written before it
+     * is read). Requests are rounded up to a 16-float boundary so
+     * consecutive slabs stay vector-aligned relative to each other.
+     */
+    float *alloc(size_t n);
+
+    /** Zero-filled scratch of @p n floats. */
+    float *allocZero(size_t n);
+
+    /** Position of the bump pointer; pass to rewind(). */
+    struct Mark
+    {
+        size_t block = 0;
+        size_t used = 0;
+    };
+
+    Mark mark() const;
+
+    /** Release everything allocated after @p m (capacity is kept). */
+    void rewind(Mark m);
+
+    /** Floats currently allocated across all blocks. */
+    size_t liveFloats() const { return live_; }
+
+    /** Peak of liveFloats() over the arena's lifetime. */
+    size_t highWaterFloats() const { return highWater_; }
+
+    /** Total reserved capacity in floats. */
+    size_t capacityFloats() const;
+
+    /** Number of backing blocks (growth diagnostic). */
+    size_t blockCount() const { return blocks_.size(); }
+
+    /**
+     * RAII rewind: captures the mark on entry, rewinds on exit.
+     * A null arena makes the scope a no-op, so call sites can thread
+     * an optional `Arena *` without branching.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(Arena *arena) : arena_(arena)
+        {
+            if (arena_)
+                mark_ = arena_->mark();
+        }
+
+        ~Scope()
+        {
+            if (arena_)
+                arena_->rewind(mark_);
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Arena *arena_;
+        Mark mark_{};
+    };
+
+  private:
+    struct Block
+    {
+        std::vector<float> data;
+        size_t used = 0;
+    };
+
+    std::vector<Block> blocks_;
+    size_t cur_ = 0;        ///< block the bump pointer lives in
+    size_t live_ = 0;
+    size_t highWater_ = 0;
+};
+
+} // namespace afsb::tensor
+
+#endif // AFSB_TENSOR_ARENA_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/arena.hh"
 #include "util/logging.hh"
 #include "util/simd.hh"
 #include "util/threadpool.hh"
@@ -35,12 +36,13 @@ constexpr size_t kColTile = 512;
  * so the accumulator tile stays cache-hot. Branch-free: zero A values
  * multiply through instead of branching — the old
  * `if (av == 0.0f) continue;` zero-skip blocked vectorization and
- * mispredicted on dense weights.
+ * mispredicted on dense weights. B rows are @p bstride floats apart
+ * (== n for a dense row-major B, wider for packed sub-matrices).
  */
 inline void
 accumulateRow(const float *AFSB_RESTRICT arow,
               const float *AFSB_RESTRICT b, float *AFSB_RESTRICT crow,
-              size_t k, size_t n)
+              size_t k, size_t n, size_t bstride)
 {
     for (size_t j0 = 0; j0 < n; j0 += kColTile) {
         const size_t j1 = std::min(n, j0 + kColTile);
@@ -50,14 +52,14 @@ accumulateRow(const float *AFSB_RESTRICT arow,
             const float a2 = arow[kk + 2], a3 = arow[kk + 3];
             const float a4 = arow[kk + 4], a5 = arow[kk + 5];
             const float a6 = arow[kk + 6], a7 = arow[kk + 7];
-            const float *AFSB_RESTRICT b0 = b + kk * n;
-            const float *AFSB_RESTRICT b1 = b0 + n;
-            const float *AFSB_RESTRICT b2 = b1 + n;
-            const float *AFSB_RESTRICT b3 = b2 + n;
-            const float *AFSB_RESTRICT b4 = b3 + n;
-            const float *AFSB_RESTRICT b5 = b4 + n;
-            const float *AFSB_RESTRICT b6 = b5 + n;
-            const float *AFSB_RESTRICT b7 = b6 + n;
+            const float *AFSB_RESTRICT b0 = b + kk * bstride;
+            const float *AFSB_RESTRICT b1 = b0 + bstride;
+            const float *AFSB_RESTRICT b2 = b1 + bstride;
+            const float *AFSB_RESTRICT b3 = b2 + bstride;
+            const float *AFSB_RESTRICT b4 = b3 + bstride;
+            const float *AFSB_RESTRICT b5 = b4 + bstride;
+            const float *AFSB_RESTRICT b6 = b5 + bstride;
+            const float *AFSB_RESTRICT b7 = b6 + bstride;
             AFSB_VECTORIZE_LOOP
             for (size_t j = j0; j < j1; ++j)
                 crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] +
@@ -66,7 +68,7 @@ accumulateRow(const float *AFSB_RESTRICT arow,
         }
         for (; kk < k; ++kk) {
             const float av = arow[kk];
-            const float *AFSB_RESTRICT brow = b + kk * n;
+            const float *AFSB_RESTRICT brow = b + kk * bstride;
             AFSB_VECTORIZE_LOOP
             for (size_t j = j0; j < j1; ++j)
                 crow[j] += av * brow[j];
@@ -85,7 +87,7 @@ accumulateRowPair(const float *AFSB_RESTRICT arow0,
                   const float *AFSB_RESTRICT arow1,
                   const float *AFSB_RESTRICT b,
                   float *AFSB_RESTRICT c0, float *AFSB_RESTRICT c1,
-                  size_t k, size_t n)
+                  size_t k, size_t n, size_t bstride)
 {
     for (size_t j0 = 0; j0 < n; j0 += kColTile) {
         const size_t j1 = std::min(n, j0 + kColTile);
@@ -99,14 +101,14 @@ accumulateRowPair(const float *AFSB_RESTRICT arow0,
             const float a12 = arow1[kk + 2], a13 = arow1[kk + 3];
             const float a14 = arow1[kk + 4], a15 = arow1[kk + 5];
             const float a16 = arow1[kk + 6], a17 = arow1[kk + 7];
-            const float *AFSB_RESTRICT b0 = b + kk * n;
-            const float *AFSB_RESTRICT b1 = b0 + n;
-            const float *AFSB_RESTRICT b2 = b1 + n;
-            const float *AFSB_RESTRICT b3 = b2 + n;
-            const float *AFSB_RESTRICT b4 = b3 + n;
-            const float *AFSB_RESTRICT b5 = b4 + n;
-            const float *AFSB_RESTRICT b6 = b5 + n;
-            const float *AFSB_RESTRICT b7 = b6 + n;
+            const float *AFSB_RESTRICT b0 = b + kk * bstride;
+            const float *AFSB_RESTRICT b1 = b0 + bstride;
+            const float *AFSB_RESTRICT b2 = b1 + bstride;
+            const float *AFSB_RESTRICT b3 = b2 + bstride;
+            const float *AFSB_RESTRICT b4 = b3 + bstride;
+            const float *AFSB_RESTRICT b5 = b4 + bstride;
+            const float *AFSB_RESTRICT b6 = b5 + bstride;
+            const float *AFSB_RESTRICT b7 = b6 + bstride;
             AFSB_VECTORIZE_LOOP
             for (size_t j = j0; j < j1; ++j) {
                 c0[j] += a00 * b0[j] + a01 * b1[j] + a02 * b2[j] +
@@ -119,7 +121,7 @@ accumulateRowPair(const float *AFSB_RESTRICT arow0,
         }
         for (; kk < k; ++kk) {
             const float a0v = arow0[kk], a1v = arow1[kk];
-            const float *AFSB_RESTRICT brow = b + kk * n;
+            const float *AFSB_RESTRICT brow = b + kk * bstride;
             AFSB_VECTORIZE_LOOP
             for (size_t j = j0; j < j1; ++j) {
                 c0[j] += a0v * brow[j];
@@ -166,36 +168,49 @@ forRowsAligned(size_t rows, size_t flops_per_row, size_t align,
  *  tail. Callers must hand in align-2 blocks (forRowsAligned) so the
  *  pairing is position-independent. */
 inline void
-gemmRows(const float *a, const float *b, float *c, size_t k, size_t n,
+gemmRows(const float *a, size_t astride, const float *b,
+         size_t bstride, float *c, size_t cstride, size_t k, size_t n,
          size_t r0, size_t r1)
 {
     size_t i = r0;
     for (; i + 2 <= r1; i += 2)
-        accumulateRowPair(a + i * k, a + (i + 1) * k, b, c + i * n,
-                          c + (i + 1) * n, k, n);
+        accumulateRowPair(a + i * astride, a + (i + 1) * astride, b,
+                          c + i * cstride, c + (i + 1) * cstride, k,
+                          n, bstride);
     if (i < r1)
-        accumulateRow(a + i * k, b, c + i * n, k, n);
+        accumulateRow(a + i * astride, b, c + i * cstride, k, n,
+                      bstride);
 }
 
 } // namespace
 
+void
+gemmAcc(const float *a, size_t astride, const float *b,
+        size_t bstride, float *c, size_t cstride, size_t m, size_t k,
+        size_t n)
+{
+    gemmRows(a, astride, b, bstride, c, cstride, k, n, 0, m);
+}
+
 Tensor
-matmul(const Tensor &a, const Tensor &b, ThreadPool *pool)
+matmul(const Tensor &a, const Tensor &b, ThreadPool *pool,
+       Arena *arena)
 {
     panicIf(a.rank() != 2 || b.rank() != 2, "matmul: rank-2 only");
     const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
     panicIf(b.dim(0) != k, "matmul: inner dims differ");
 
-    Tensor c({m, n});
+    Tensor c = Tensor::zeros({m, n}, arena);
     forRowsAligned(m, 2 * k * n, 2, pool, [&](size_t r0, size_t r1) {
-        gemmRows(a.data(), b.data(), c.data(), k, n, r0, r1);
+        gemmRows(a.data(), k, b.data(), n, c.data(), n, k, n, r0,
+                 r1);
     });
     return c;
 }
 
 Tensor
 linear(const Tensor &x, const Tensor &w, const Tensor &b,
-       ThreadPool *pool)
+       ThreadPool *pool, Arena *arena)
 {
     panicIf(w.rank() != 2, "linear: weight must be rank 2");
     const size_t in = w.dim(0), out = w.dim(1);
@@ -205,7 +220,7 @@ linear(const Tensor &x, const Tensor &w, const Tensor &b,
 
     std::vector<size_t> outShape = x.shape();
     outShape.back() = out;
-    Tensor y(std::move(outShape));
+    Tensor y = Tensor::uninitialized(std::move(outShape), arena);
 
     const size_t rows = x.size() / in;
     forRowsAligned(rows, 2 * in * out, 2, pool,
@@ -217,26 +232,55 @@ linear(const Tensor &x, const Tensor &w, const Tensor &b,
             for (size_t o = 0; o < out; ++o)
                 yo[o] = bp[o];
         }
-        gemmRows(x.data(), w.data(), y.data(), in, out, r0, r1);
+        gemmRows(x.data(), in, w.data(), out, y.data(), out, in,
+                 out, r0, r1);
     });
     return y;
 }
 
 Tensor
-softmax(const Tensor &x, ThreadPool *pool)
+linear(const Tensor &x, const Tensor &w, ThreadPool *pool,
+       Arena *arena)
+{
+    panicIf(w.rank() != 2, "linear: weight must be rank 2");
+    const size_t in = w.dim(0), out = w.dim(1);
+    panicIf(x.dim(x.rank() - 1) != in, "linear: input dim mismatch");
+
+    std::vector<size_t> outShape = x.shape();
+    outShape.back() = out;
+    Tensor y = Tensor::uninitialized(std::move(outShape), arena);
+
+    const size_t rows = x.size() / in;
+    forRowsAligned(rows, 2 * in * out, 2, pool,
+                   [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+            float *AFSB_RESTRICT yo = y.data() + r * out;
+            AFSB_VECTORIZE_LOOP
+            for (size_t o = 0; o < out; ++o)
+                yo[o] = 0.0f;
+        }
+        gemmRows(x.data(), in, w.data(), out, y.data(), out, in,
+                 out, r0, r1);
+    });
+    return y;
+}
+
+Tensor
+softmax(const Tensor &x, ThreadPool *pool, Arena *arena)
 {
     const size_t d = x.dim(x.rank() - 1);
-    Tensor y = x;
+    Tensor y = Tensor::uninitialized(x.shape(), arena);
     const size_t rows = x.size() / d;
     forRows(rows, 8 * d, pool, [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
+            const float *AFSB_RESTRICT src = x.data() + r * d;
             float *AFSB_RESTRICT row = y.data() + r * d;
-            float mx = row[0];
+            float mx = src[0];
             for (size_t i = 1; i < d; ++i)
-                mx = std::max(mx, row[i]);
+                mx = std::max(mx, src[i]);
             float sum = 0.0f;
             for (size_t i = 0; i < d; ++i) {
-                row[i] = std::exp(row[i] - mx);
+                row[i] = std::exp(src[i] - mx);
                 sum += row[i];
             }
             const float inv = 1.0f / sum;
@@ -249,40 +293,41 @@ softmax(const Tensor &x, ThreadPool *pool)
 }
 
 Tensor
-layerNorm(const Tensor &x, float eps, ThreadPool *pool)
+layerNorm(const Tensor &x, float eps, ThreadPool *pool, Arena *arena)
 {
     const size_t d = x.dim(x.rank() - 1);
-    Tensor y = x;
+    Tensor y = Tensor::uninitialized(x.shape(), arena);
     const size_t rows = x.size() / d;
     forRows(rows, 6 * d, pool, [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
+            const float *AFSB_RESTRICT src = x.data() + r * d;
             float *AFSB_RESTRICT row = y.data() + r * d;
             float mean = 0.0f;
             for (size_t i = 0; i < d; ++i)
-                mean += row[i];
+                mean += src[i];
             mean /= static_cast<float>(d);
             float var = 0.0f;
             for (size_t i = 0; i < d; ++i) {
-                const float c = row[i] - mean;
+                const float c = src[i] - mean;
                 var += c * c;
             }
             var /= static_cast<float>(d);
             const float inv = 1.0f / std::sqrt(var + eps);
             AFSB_VECTORIZE_LOOP
             for (size_t i = 0; i < d; ++i)
-                row[i] = (row[i] - mean) * inv;
+                row[i] = (src[i] - mean) * inv;
         }
     });
     return y;
 }
 
 Tensor
-gelu(const Tensor &x)
+gelu(const Tensor &x, Arena *arena)
 {
-    Tensor y = x;
+    Tensor y = Tensor::uninitialized(x.shape(), arena);
     constexpr float c = 0.7978845608f;  // sqrt(2/pi)
     for (size_t i = 0; i < y.size(); ++i) {
-        const float v = y[i];
+        const float v = x[i];
         y[i] = 0.5f * v *
                (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
     }
@@ -290,49 +335,49 @@ gelu(const Tensor &x)
 }
 
 Tensor
-sigmoid(const Tensor &x)
+sigmoid(const Tensor &x, Arena *arena)
 {
-    Tensor y = x;
+    Tensor y = Tensor::uninitialized(x.shape(), arena);
     for (size_t i = 0; i < y.size(); ++i)
-        y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
     return y;
 }
 
 Tensor
-relu(const Tensor &x)
+relu(const Tensor &x, Arena *arena)
 {
-    Tensor y = x;
+    Tensor y = Tensor::uninitialized(x.shape(), arena);
     for (size_t i = 0; i < y.size(); ++i)
-        y[i] = std::max(0.0f, y[i]);
+        y[i] = std::max(0.0f, x[i]);
     return y;
 }
 
 Tensor
-add(const Tensor &a, const Tensor &b)
+add(const Tensor &a, const Tensor &b, Arena *arena)
 {
     panicIf(a.shape() != b.shape(), "add: shape mismatch");
-    Tensor c = a;
+    Tensor c = Tensor::uninitialized(a.shape(), arena);
     for (size_t i = 0; i < c.size(); ++i)
-        c[i] += b[i];
+        c[i] = a[i] + b[i];
     return c;
 }
 
 Tensor
-mul(const Tensor &a, const Tensor &b)
+mul(const Tensor &a, const Tensor &b, Arena *arena)
 {
     panicIf(a.shape() != b.shape(), "mul: shape mismatch");
-    Tensor c = a;
+    Tensor c = Tensor::uninitialized(a.shape(), arena);
     for (size_t i = 0; i < c.size(); ++i)
-        c[i] *= b[i];
+        c[i] = a[i] * b[i];
     return c;
 }
 
 Tensor
-scale(const Tensor &a, float s)
+scale(const Tensor &a, float s, Arena *arena)
 {
-    Tensor c = a;
+    Tensor c = Tensor::uninitialized(a.shape(), arena);
     for (size_t i = 0; i < c.size(); ++i)
-        c[i] *= s;
+        c[i] = a[i] * s;
     return c;
 }
 
@@ -363,6 +408,21 @@ meanAbsDiff(const Tensor &a, const Tensor &b)
     for (size_t i = 0; i < a.size(); ++i)
         s += std::abs(static_cast<double>(a[i]) - b[i]);
     return a.size() ? s / static_cast<double>(a.size()) : 0.0;
+}
+
+double
+maxRelDiff(const Tensor &a, const Tensor &b)
+{
+    panicIf(a.shape() != b.shape(), "maxRelDiff: shape mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double ref = std::max(1.0, std::abs(
+                                             static_cast<double>(b[i])));
+        worst = std::max(
+            worst,
+            std::abs(static_cast<double>(a[i]) - b[i]) / ref);
+    }
+    return worst;
 }
 
 } // namespace afsb::tensor

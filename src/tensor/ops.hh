@@ -9,6 +9,11 @@
  * results are bit-identical to the serial path at every thread count.
  * The default is nullptr — serial — so existing callers and
  * deterministic tests are unaffected.
+ *
+ * Every op additionally accepts an optional tensor::Arena: when
+ * supplied, the result tensor is a scoped arena view instead of a
+ * fresh allocation (see arena.hh for the lifetime rules). Results are
+ * bit-identical with and without an arena.
  */
 
 #ifndef AFSB_TENSOR_OPS_HH
@@ -22,41 +27,65 @@ class ThreadPool;
 
 namespace afsb::tensor {
 
+class Arena;
+
 /** C = A (m x k) * B (k x n). */
 Tensor matmul(const Tensor &a, const Tensor &b,
-              ThreadPool *pool = nullptr);
+              ThreadPool *pool = nullptr, Arena *arena = nullptr);
 
 /**
  * y = x * W + b over the last dimension: x is (..., in), W is
  * (in, out), b is (out).
  */
 Tensor linear(const Tensor &x, const Tensor &w, const Tensor &b,
-              ThreadPool *pool = nullptr);
+              ThreadPool *pool = nullptr, Arena *arena = nullptr);
+
+/**
+ * Bias-free projection: y = x * W. Bit-identical to linear() with a
+ * zero bias, without materializing one per call site.
+ */
+Tensor linear(const Tensor &x, const Tensor &w,
+              ThreadPool *pool = nullptr, Arena *arena = nullptr);
+
+/**
+ * c (m rows spaced @p cstride floats apart) += a (m rows spaced
+ * @p astride, each k wide) * b (k rows spaced @p bstride, each n
+ * wide). The cache-blocked, two-row register-blocked microkernel
+ * behind matmul/linear, exposed with explicit row strides so the
+ * attention kernels can run packed per-head slabs through it. Rows
+ * of c must be initialized (the kernel accumulates); row pairing is
+ * fixed from row 0 of the call, so one call is one deterministic
+ * unit of work regardless of how callers parallelize around it.
+ */
+void gemmAcc(const float *a, size_t astride, const float *b,
+             size_t bstride, float *c, size_t cstride, size_t m,
+             size_t k, size_t n);
 
 /** Softmax over the last dimension (numerically stable). */
-Tensor softmax(const Tensor &x, ThreadPool *pool = nullptr);
+Tensor softmax(const Tensor &x, ThreadPool *pool = nullptr,
+               Arena *arena = nullptr);
 
 /** Layer normalization over the last dimension. */
 Tensor layerNorm(const Tensor &x, float eps = 1e-5f,
-                 ThreadPool *pool = nullptr);
+                 ThreadPool *pool = nullptr, Arena *arena = nullptr);
 
 /** Elementwise GELU (tanh approximation). */
-Tensor gelu(const Tensor &x);
+Tensor gelu(const Tensor &x, Arena *arena = nullptr);
 
 /** Elementwise logistic sigmoid. */
-Tensor sigmoid(const Tensor &x);
+Tensor sigmoid(const Tensor &x, Arena *arena = nullptr);
 
 /** Elementwise ReLU. */
-Tensor relu(const Tensor &x);
+Tensor relu(const Tensor &x, Arena *arena = nullptr);
 
 /** Elementwise sum (shapes must match). */
-Tensor add(const Tensor &a, const Tensor &b);
+Tensor add(const Tensor &a, const Tensor &b, Arena *arena = nullptr);
 
 /** Elementwise product (shapes must match). */
-Tensor mul(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b, Arena *arena = nullptr);
 
 /** Scale by a constant. */
-Tensor scale(const Tensor &a, float s);
+Tensor scale(const Tensor &a, float s, Arena *arena = nullptr);
 
 /** In-place a += b. */
 void addInPlace(Tensor &a, const Tensor &b);
@@ -66,6 +95,9 @@ Tensor transpose(const Tensor &a);
 
 /** Mean of |a - b| (test helper). */
 double meanAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Max of |a - b| / max(1, |b|) (equivalence-test helper). */
+double maxRelDiff(const Tensor &a, const Tensor &b);
 
 } // namespace afsb::tensor
 

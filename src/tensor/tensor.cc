@@ -1,7 +1,10 @@
 #include "tensor/tensor.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "tensor/arena.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -23,21 +26,97 @@ shapeSize(const std::vector<size_t> &shape)
 } // namespace
 
 Tensor::Tensor(std::vector<size_t> shape)
-    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0f)
+    : shape_(std::move(shape)),
+      own_(shapeSize(shape_), 0.0f),
+      ptr_(own_.data()),
+      size_(own_.size())
 {}
 
 Tensor::Tensor(std::vector<size_t> shape, float value)
-    : shape_(std::move(shape)), data_(shapeSize(shape_), value)
+    : shape_(std::move(shape)),
+      own_(shapeSize(shape_), value),
+      ptr_(own_.data()),
+      size_(own_.size())
 {}
+
+Tensor
+Tensor::zeros(std::vector<size_t> shape, Arena *arena)
+{
+    if (!arena)
+        return Tensor(std::move(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.size_ = shapeSize(t.shape_);
+    t.ptr_ = arena->allocZero(t.size_);
+    return t;
+}
+
+Tensor
+Tensor::uninitialized(std::vector<size_t> shape, Arena *arena)
+{
+    if (!arena)
+        return Tensor(std::move(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.size_ = shapeSize(t.shape_);
+    t.ptr_ = arena->alloc(t.size_);
+    return t;
+}
 
 Tensor
 Tensor::randomNormal(std::vector<size_t> shape, Rng &rng,
                      float stddev)
 {
     Tensor t(std::move(shape));
-    for (auto &v : t.data_)
-        v = stddev * static_cast<float>(rng.nextGaussian());
+    for (size_t i = 0; i < t.size_; ++i)
+        t.ptr_[i] =
+            stddev * static_cast<float>(rng.nextGaussian());
     return t;
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_),
+      own_(other.ptr_, other.ptr_ + other.size_),
+      ptr_(own_.data()),
+      size_(other.size_)
+{}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    shape_ = other.shape_;
+    own_.assign(other.ptr_, other.ptr_ + other.size_);
+    ptr_ = own_.data();
+    size_ = other.size_;
+    return *this;
+}
+
+Tensor::Tensor(Tensor &&other) noexcept
+    : shape_(std::move(other.shape_)),
+      own_(std::move(other.own_)),
+      ptr_(own_.empty() ? other.ptr_ : own_.data()),
+      size_(other.size_)
+{
+    other.shape_.clear();
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    shape_ = std::move(other.shape_);
+    own_ = std::move(other.own_);
+    ptr_ = own_.empty() ? other.ptr_ : own_.data();
+    size_ = other.size_;
+    other.shape_.clear();
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    return *this;
 }
 
 size_t
@@ -65,65 +144,64 @@ float &
 Tensor::at(size_t i)
 {
     panicIf(rank() != 1, "Tensor: rank-1 access on " + shapeString());
-    return data_[i];
+    return ptr_[i];
 }
 
-float &Tensor::at(size_t i, size_t j) { return data_[offset(i, j)]; }
+float &Tensor::at(size_t i, size_t j) { return ptr_[offset(i, j)]; }
 
 float &
 Tensor::at(size_t i, size_t j, size_t k)
 {
-    return data_[offset(i, j, k)];
+    return ptr_[offset(i, j, k)];
 }
 
 float &
 Tensor::at(size_t i, size_t j, size_t k, size_t l)
 {
-    return data_[offset(i, j, k, l)];
+    return ptr_[offset(i, j, k, l)];
 }
 
 float
 Tensor::at(size_t i) const
 {
     panicIf(rank() != 1, "Tensor: rank-1 access on " + shapeString());
-    return data_[i];
+    return ptr_[i];
 }
 
-float Tensor::at(size_t i, size_t j) const { return data_[offset(i, j)]; }
+float Tensor::at(size_t i, size_t j) const { return ptr_[offset(i, j)]; }
 
 float
 Tensor::at(size_t i, size_t j, size_t k) const
 {
-    return data_[offset(i, j, k)];
+    return ptr_[offset(i, j, k)];
 }
 
 float
 Tensor::at(size_t i, size_t j, size_t k, size_t l) const
 {
-    return data_[offset(i, j, k, l)];
+    return ptr_[offset(i, j, k, l)];
 }
 
 void
 Tensor::fill(float value)
 {
-    for (auto &v : data_)
-        v = value;
+    std::fill(ptr_, ptr_ + size_, value);
 }
 
 double
 Tensor::sum() const
 {
     double s = 0.0;
-    for (float v : data_)
-        s += v;
+    for (size_t i = 0; i < size_; ++i)
+        s += ptr_[i];
     return s;
 }
 
 bool
 Tensor::hasNonFinite() const
 {
-    for (float v : data_)
-        if (!std::isfinite(v))
+    for (size_t i = 0; i < size_; ++i)
+        if (!std::isfinite(ptr_[i]))
             return true;
     return false;
 }
@@ -138,6 +216,13 @@ Tensor::shapeString() const
         out += strformat("%zu", shape_[i]);
     }
     return out + "]";
+}
+
+bool
+Tensor::operator==(const Tensor &other) const
+{
+    return shape_ == other.shape_ &&
+           std::equal(ptr_, ptr_ + size_, other.ptr_);
 }
 
 } // namespace afsb::tensor

@@ -7,6 +7,12 @@
  * initialization. No views, no broadcasting, no autograd — the model
  * runs inference only and the performance-relevant structure (shape,
  * layout, arithmetic volume) is what matters.
+ *
+ * Storage is either owning (a private buffer, the default) or a slab
+ * borrowed from a tensor::Arena via zeros()/uninitialized(). Arena
+ * tensors are views scoped by Arena::Scope: they must not outlive
+ * their scope, and copying one always produces an owning tensor, so
+ * anything that escapes a layer by value is safe by construction.
  */
 
 #ifndef AFSB_TENSOR_TENSOR_HH
@@ -20,35 +26,62 @@
 
 namespace afsb::tensor {
 
+class Arena;
+
 /** Dense row-major float tensor. */
 class Tensor
 {
   public:
     Tensor() = default;
 
-    /** Zero-initialized tensor of the given shape. */
+    /** Zero-initialized tensor of the given shape (owning). */
     explicit Tensor(std::vector<size_t> shape);
 
-    /** Tensor filled with @p value. */
+    /** Tensor filled with @p value (owning). */
     Tensor(std::vector<size_t> shape, float value);
+
+    /**
+     * Zero-filled tensor drawing storage from @p arena; owning when
+     * @p arena is null. Bit-identical semantics either way.
+     */
+    static Tensor zeros(std::vector<size_t> shape, Arena *arena);
+
+    /**
+     * Scratch tensor whose contents are unspecified until written
+     * (arena slabs carry stale data from earlier scopes; owning
+     * storage happens to be zeroed). Every element must be stored
+     * before it is loaded.
+     */
+    static Tensor uninitialized(std::vector<size_t> shape,
+                                Arena *arena);
 
     /** Gaussian-initialized tensor (std = 1/sqrt(fan_in)-style). */
     static Tensor randomNormal(std::vector<size_t> shape, Rng &rng,
                                float stddev = 1.0f);
 
+    /** Copies deep-copy into owning storage, even from a view. */
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept;
+    Tensor &operator=(Tensor &&other) noexcept;
+    ~Tensor() = default;
+
     const std::vector<size_t> &shape() const { return shape_; }
     size_t rank() const { return shape_.size(); }
-    size_t size() const { return data_.size(); }
-    uint64_t bytes() const { return data_.size() * sizeof(float); }
+    size_t size() const { return size_; }
+    uint64_t bytes() const { return size_ * sizeof(float); }
+
+    /** True when the storage is an arena slab (not owned). */
+    bool isView() const { return ptr_ != nullptr && own_.empty(); }
 
     /** Dimension @p i of the shape. */
     size_t dim(size_t i) const { return shape_.at(i); }
 
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
+    float *data() { return ptr_; }
+    const float *data() const { return ptr_; }
 
-    float &operator[](size_t i) { return data_[i]; }
-    float operator[](size_t i) const { return data_[i]; }
+    float &operator[](size_t i) { return ptr_[i]; }
+    float operator[](size_t i) const { return ptr_[i]; }
 
     /** Element accessors (rank-checked with panic on mismatch). */
     float &at(size_t i);
@@ -72,7 +105,8 @@ class Tensor
     /** "[2, 3, 4]" */
     std::string shapeString() const;
 
-    bool operator==(const Tensor &other) const = default;
+    /** Same shape and bitwise-equal elements. */
+    bool operator==(const Tensor &other) const;
 
   private:
     size_t offset(size_t i, size_t j) const;
@@ -80,7 +114,9 @@ class Tensor
     size_t offset(size_t i, size_t j, size_t k, size_t l) const;
 
     std::vector<size_t> shape_;
-    std::vector<float> data_;
+    std::vector<float> own_;    ///< owning storage; empty for views
+    float *ptr_ = nullptr;
+    size_t size_ = 0;
 };
 
 } // namespace afsb::tensor

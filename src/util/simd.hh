@@ -13,6 +13,9 @@
 #ifndef AFSB_UTIL_SIMD_HH
 #define AFSB_UTIL_SIMD_HH
 
+#include <bit>
+#include <cstdint>
+
 #if defined(__GNUC__) || defined(__clang__)
 #define AFSB_RESTRICT __restrict__
 #else
@@ -28,5 +31,70 @@
 #else
 #define AFSB_VECTORIZE_LOOP
 #endif
+
+namespace afsb {
+
+/** Maps a float's bits to an integer whose two's-complement order
+ *  matches the float order (flips the magnitude bits of negatives).
+ *  Self-inverse; lets comparisons against float constants run as
+ *  integer compares. */
+constexpr int32_t
+floatOrderKey(float f)
+{
+    const int32_t i = std::bit_cast<int32_t>(f);
+    return i ^ ((i >> 31) & 0x7fffffff);
+}
+
+/**
+ * Branch-free polynomial expf for the optimized softmax paths.
+ *
+ * Cephes-style range reduction: split x into n*ln2 + r with
+ * |r| <= ln2/2 (nearest-n split), evaluate a degree-5 minimax
+ * polynomial for e^r, and scale by 2^n through the float exponent
+ * bits. Written without float compares or std::floor: GCC treats
+ * those as potentially trapping and refuses to if-convert them
+ * unless -fno-trapping-math is on, which would keep a softmax row
+ * sweep scalar. The clamp instead runs on order-preserving integer
+ * keys and the nearest-integer split uses the 1.5*2^23 magic-number
+ * trick (exact under round-to-nearest, |x*log2e| < 2^22). ~8e-8 max
+ * relative error over the clamped domain, far inside the 1e-4
+ * equivalence budget the optimized kernels are held to.
+ */
+inline float
+fastExpf(float x)
+{
+    // Below/above these, expf saturates to 0 / +inf in float anyway.
+    constexpr int32_t kLoKey = floatOrderKey(-87.0f);
+    constexpr int32_t kHiKey = floatOrderKey(88.0f);
+    int32_t key = floatOrderKey(x);
+    key = key < kLoKey ? kLoKey : key;
+    key = key > kHiKey ? kHiKey : key;
+    x = std::bit_cast<float>(key ^ ((key >> 31) & 0x7fffffff));
+
+    constexpr float kLog2e = 1.44269504088896341f;
+    constexpr float kLn2Hi = 0.693359375f;
+    constexpr float kLn2Lo = -2.12194440e-4f;
+    constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23
+
+    const float fn = (x * kLog2e + kMagic) - kMagic;
+    const int32_t n = static_cast<int32_t>(fn);
+    // Two-step Cody-Waite reduction keeps r accurate near |x| ~ 87.
+    const float r = (x - fn * kLn2Hi) - fn * kLn2Lo;
+
+    // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2].
+    float p = 1.9875691500e-4f;
+    p = p * r + 1.3981999507e-3f;
+    p = p * r + 8.3334519073e-3f;
+    p = p * r + 4.1665795894e-2f;
+    p = p * r + 1.6666665459e-1f;
+    p = p * r + 5.0000001201e-1f;
+    p = p * r * r + r + 1.0f;
+
+    // Scale by 2^n through the exponent field (n is in [-126, 127]
+    // after the clamp, so no denormal/overflow handling needed).
+    return p * std::bit_cast<float>((n + 127) << 23);
+}
+
+} // namespace afsb
 
 #endif // AFSB_UTIL_SIMD_HH

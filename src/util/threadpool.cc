@@ -71,11 +71,19 @@ ThreadPool::parallelFor(size_t n, size_t grain,
         fn(0, n);
         return;
     }
-    for (size_t b = 0; b < blocks; ++b) {
-        const size_t begin = b * grain;
-        const size_t end = std::min(n, begin + grain);
-        submit([begin, end, &fn] { fn(begin, end); });
+    // Enqueue the whole batch under one lock and wake every worker
+    // at once: per-block submit() would take the lock and signal
+    // `blocks` times, which shows up at fine grains (many blocks of
+    // ~100us work).
+    {
+        std::unique_lock lock(mutex_);
+        for (size_t b = 0; b < blocks; ++b) {
+            const size_t begin = b * grain;
+            const size_t end = std::min(n, begin + grain);
+            tasks_.push([begin, end, &fn] { fn(begin, end); });
+        }
     }
+    taskCv_.notify_all();
     wait();
 }
 

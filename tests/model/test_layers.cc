@@ -45,7 +45,7 @@ TEST_F(LayerFixture, TriangleMultPreservesShapeAndChanges)
     Rng rng(21);
     const auto w = TriangleMultWeights::init(cfg, rng);
     const Tensor before = pair;
-    triangleMultiplicativeUpdate(pair, w, true);
+    triangleMultiplicativeUpdate(pair, w, cfg, true);
     EXPECT_EQ(pair.shape(), before.shape());
     EXPECT_GT(tensor::meanAbsDiff(pair, before), 1e-6);
     EXPECT_FALSE(pair.hasNonFinite());
@@ -57,8 +57,8 @@ TEST_F(LayerFixture, TriangleMultVariantsDiffer)
     const auto w = TriangleMultWeights::init(cfg, rng);
     Tensor outgoing = pair;
     Tensor incoming = pair;
-    triangleMultiplicativeUpdate(outgoing, w, true);
-    triangleMultiplicativeUpdate(incoming, w, false);
+    triangleMultiplicativeUpdate(outgoing, w, cfg, true);
+    triangleMultiplicativeUpdate(incoming, w, cfg, false);
     EXPECT_GT(tensor::meanAbsDiff(outgoing, incoming), 1e-6);
 }
 
@@ -71,7 +71,7 @@ TEST_F(LayerFixture, TriangleMultEinsum)
     w.outProj.fill(0.0f);
     w.bias.fill(0.0f);
     const Tensor before = pair;
-    triangleMultiplicativeUpdate(pair, w, true);
+    triangleMultiplicativeUpdate(pair, w, cfg, true);
     EXPECT_LT(tensor::meanAbsDiff(pair, before), 1e-7);
 }
 
@@ -148,7 +148,7 @@ TEST_F(LayerFixture, PoolResultsBitIdenticalToSerial)
 
     Tensor pairSerial = pair;
     Tensor singleSerial = single;
-    triangleMultiplicativeUpdate(pairSerial, wMult, true);
+    triangleMultiplicativeUpdate(pairSerial, wMult, cfg, true);
     triangleAttention(pairSerial, wAttn, cfg, false);
     pairTransition(pairSerial, wTrans);
     singleAttentionWithPairBias(singleSerial, pairSerial, wSingle,
@@ -160,7 +160,7 @@ TEST_F(LayerFixture, PoolResultsBitIdenticalToSerial)
         pooled.pool = &pool;
         Tensor pairPar = pair;
         Tensor singlePar = single;
-        triangleMultiplicativeUpdate(pairPar, wMult, true, &pool);
+        triangleMultiplicativeUpdate(pairPar, wMult, pooled, true);
         triangleAttention(pairPar, wAttn, pooled, false);
         pairTransition(pairPar, wTrans, &pool);
         singleAttentionWithPairBias(singlePar, pairPar, wSingle,

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the bump-pointer workspace arena: allocation and
+ * rewind semantics, capacity reuse, and arena-backed tensor views.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace afsb::tensor {
+namespace {
+
+TEST(Arena, AllocatesAlignedSlabs)
+{
+    Arena arena;
+    float *a = arena.alloc(3);
+    float *b = arena.alloc(5);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // Requests round up to 16-float slabs, so consecutive slabs stay
+    // 64-byte aligned relative to each other.
+    EXPECT_EQ(b - a, 16);
+    EXPECT_EQ(arena.liveFloats(), 32u);
+}
+
+TEST(Arena, ZeroAllocIsZeroFilled)
+{
+    Arena arena;
+    float *dirty = arena.alloc(64);
+    for (size_t i = 0; i < 64; ++i)
+        dirty[i] = 1.0f;
+    arena.rewind(Arena::Mark{});
+    float *clean = arena.allocZero(64);
+    EXPECT_EQ(clean, dirty);  // same storage reused...
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(clean[i], 0.0f) << i;  // ...but scrubbed
+}
+
+TEST(Arena, RewindReusesCapacity)
+{
+    Arena arena;
+    const auto m = arena.mark();
+    float *first = arena.alloc(1000);
+    arena.rewind(m);
+    EXPECT_EQ(arena.liveFloats(), 0u);
+    float *second = arena.alloc(1000);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(arena.highWaterFloats(), arena.liveFloats());
+}
+
+TEST(Arena, GrowsAcrossBlocksAndTracksHighWater)
+{
+    Arena arena(64);
+    arena.alloc(64);
+    arena.alloc(1 << 18);  // outgrows both block 0 and the minimum
+    EXPECT_GE(arena.blockCount(), 2u);
+    EXPECT_GE(arena.capacityFloats(), (1u << 18) + 64u);
+    const size_t peak = arena.highWaterFloats();
+    arena.rewind(Arena::Mark{});
+    EXPECT_EQ(arena.liveFloats(), 0u);
+    EXPECT_EQ(arena.highWaterFloats(), peak);  // peak survives rewind
+    // Capacity is retained: the big request now fits with no growth.
+    const size_t blocksBefore = arena.blockCount();
+    arena.alloc(1 << 18);
+    EXPECT_EQ(arena.blockCount(), blocksBefore);
+}
+
+TEST(Arena, ScopeRewindsAndNests)
+{
+    Arena arena;
+    arena.alloc(16);
+    const size_t outer = arena.liveFloats();
+    {
+        Arena::Scope s1(&arena);
+        arena.alloc(160);
+        {
+            Arena::Scope s2(&arena);
+            arena.alloc(1600);
+            EXPECT_EQ(arena.liveFloats(), outer + 160 + 1600);
+        }
+        EXPECT_EQ(arena.liveFloats(), outer + 160);
+    }
+    EXPECT_EQ(arena.liveFloats(), outer);
+}
+
+TEST(Arena, NullScopeIsNoOp)
+{
+    // Layers thread an optional Arena*; a null scope must be inert.
+    Arena::Scope s(nullptr);
+}
+
+TEST(Arena, TensorViewsDrawFromArenaAndCopiesEscape)
+{
+    Arena arena;
+    Tensor view;
+    {
+        Arena::Scope scope(&arena);
+        Tensor t = Tensor::zeros({4, 4}, &arena);
+        EXPECT_TRUE(t.isView());
+        EXPECT_GE(arena.liveFloats(), 16u);
+        t.at(2, 3) = 7.0f;
+        view = t;  // copy must deep-copy out of the arena
+    }
+    EXPECT_FALSE(view.isView());
+    EXPECT_EQ(arena.liveFloats(), 0u);
+    arena.allocZero(64);  // stomp the old slab
+    EXPECT_EQ(view.at(2, 3), 7.0f);
+}
+
+TEST(Arena, UninitializedTensorOwnsWhenArenaNull)
+{
+    Tensor t = Tensor::uninitialized({3, 3}, nullptr);
+    EXPECT_FALSE(t.isView());
+    EXPECT_EQ(t.size(), 9u);
+}
+
+TEST(Arena, OpsBitIdenticalWithAndWithoutArena)
+{
+    Rng rng(51);
+    const Tensor a = Tensor::randomNormal({17, 23}, rng);
+    const Tensor b = Tensor::randomNormal({23, 19}, rng);
+    const Tensor bias = Tensor::randomNormal({19}, rng);
+
+    const Tensor mm = matmul(a, b);
+    const Tensor lin = linear(a, b, bias);
+    const Tensor linNb = linear(a, b);
+    const Tensor sm = softmax(a);
+    const Tensor ln = layerNorm(a);
+
+    Arena arena;
+    for (int round = 0; round < 2; ++round) {
+        Arena::Scope scope(&arena);
+        EXPECT_TRUE(matmul(a, b, nullptr, &arena) == mm);
+        EXPECT_TRUE(linear(a, b, bias, nullptr, &arena) == lin);
+        EXPECT_TRUE(linear(a, b, nullptr, &arena) == linNb);
+        EXPECT_TRUE(softmax(a, nullptr, &arena) == sm);
+        EXPECT_TRUE(layerNorm(a, 1e-5f, nullptr, &arena) == ln);
+    }
+}
+
+TEST(Arena, NoBiasLinearMatchesZeroBias)
+{
+    Rng rng(52);
+    const Tensor x = Tensor::randomNormal({9, 15}, rng);
+    const Tensor w = Tensor::randomNormal({15, 11}, rng);
+    const Tensor zb({11});
+    EXPECT_TRUE(linear(x, w) == linear(x, w, zb));
+}
+
+} // namespace
+} // namespace afsb::tensor
