@@ -1,18 +1,211 @@
 /**
  * @file
  * Regenerates paper Fig 4: MSA execution time across 1-8 threads
- * for four samples on both platforms.
+ * for four samples on both platforms — and measures the native
+ * wall-clock scan the modeled numbers are extrapolated from, with
+ * the overlapped staged pipeline on and off, so the thread sweep
+ * can attribute where scaling saturates (prefilter starvation,
+ * survivor-queue backpressure, or the I/O stage).
+ *
+ * Flags:
+ *   --json <path>   write the native scan sweep as JSON (same shape
+ *                   as bench_kernels --json, for tools/bench_check)
+ *   --scan-only     skip the modeled Fig 4 tables (CI perf-smoke)
  */
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+
 #include "bench_common.hh"
+#include "bio/seqgen.hh"
 #include "core/msa_phase.hh"
+#include "msa/dbgen.hh"
+#include "msa/search.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 
 using namespace afsb;
 
-int
-main()
+namespace {
+
+/** One measured configuration of the native scan sweep. */
+struct ScanPoint
 {
+    size_t threads = 1;
+    bool overlap = false;
+    double medianSeconds = 0.0;
+    msa::SearchResult result;  ///< from the last repetition
+};
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return dt.count();
+}
+
+/** Exact hit-set equality (scores included). */
+bool
+sameHits(const msa::SearchResult &a, const msa::SearchResult &b)
+{
+    if (a.hits.size() != b.hits.size())
+        return false;
+    for (size_t i = 0; i < a.hits.size(); ++i)
+        if (a.hits[i].targetIndex != b.hits[i].targetIndex ||
+            a.hits[i].viterbiScore != b.hits[i].viterbiScore ||
+            a.hits[i].forwardLogOdds != b.hits[i].forwardLogOdds)
+            return false;
+    return a.msvSurvivors == b.msvSurvivors;
+}
+
+/**
+ * Native wall-clock sweep: a low-complexity query (the paper's
+ * Observation 2 skew) against a generated protein DB, overlap
+ * on/off at each thread count, cold page cache every run.
+ */
+int
+runNativeScanSweep(const std::string &json_path)
+{
+    bio::SequenceGenerator gen(20250807);
+    const auto query = gen.withHomopolymer("polyQ", 240, 64, 'Q');
+
+    io::Vfs vfs;
+    io::StorageDevice dev;
+    io::PageCache cache(4 * GiB, &dev);
+    msa::DbGenConfig dcfg;
+    dcfg.decoyCount = 6000;
+    dcfg.homologsPerQuery = 24;
+    dcfg.fragmentsPerQuery = 16;
+    dcfg.lowComplexityFraction = 0.25;
+    const std::vector<const bio::Sequence *> queries = {&query};
+    msa::generateDatabase(vfs, "sweep.fasta", queries,
+                          bio::MoleculeType::Protein, dcfg);
+    const auto db = msa::SequenceDatabase::load(
+        vfs, cache, "sweep.fasta", bio::MoleculeType::Protein, 0.0);
+    const auto prof = msa::ProfileHmm::fromSequence(
+        query, msa::ScoreMatrix::blosum62());
+
+    constexpr int kReps = 5;
+    const std::vector<size_t> threadCounts = {1, 2, 4, 8};
+    std::vector<ScanPoint> points;
+    for (size_t th : threadCounts) {
+        ThreadPool pool(th);
+        for (bool overlap : {false, true}) {
+            ScanPoint pt;
+            pt.threads = th;
+            pt.overlap = overlap;
+            std::vector<double> reps;
+            for (int r = 0; r < kReps; ++r) {
+                cache.dropAll();  // cold page cache each run
+                msa::SearchConfig cfg;
+                cfg.threads = th;
+                cfg.overlap = overlap;
+                reps.push_back(wallSeconds([&] {
+                    pt.result = msa::searchDatabase(prof, db, cache,
+                                                    &pool, cfg);
+                }));
+            }
+            pt.medianSeconds = medianOf(reps);
+            points.push_back(std::move(pt));
+        }
+    }
+
+    // Every configuration must produce the same hit set.
+    bool identical = true;
+    for (size_t i = 1; i < points.size(); ++i)
+        identical &= sameHits(points[0].result, points[i].result);
+
+    TextTable t("Native scan wall clock (cold cache, median of 5)");
+    t.setHeader({"Threads", "static ms", "overlap ms", "overlap x",
+                 "occupancy", "surv inline", "queue peak"});
+    JsonValue records = JsonValue::makeArray();
+    for (size_t i = 0; i + 1 < points.size(); i += 2) {
+        const ScanPoint &off = points[i];
+        const ScanPoint &on = points[i + 1];
+        const auto &st = on.result.stats.stages;
+        t.addRow({strformat("%zu", off.threads),
+                  strformat("%.2f", off.medianSeconds * 1e3),
+                  strformat("%.2f", on.medianSeconds * 1e3),
+                  strformat("%.2fx",
+                            off.medianSeconds /
+                                std::max(1e-12, on.medianSeconds)),
+                  strformat("%.2f", st.occupancy()),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        st.survivorsInline)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        st.survivorQueuePeak))});
+        for (const ScanPoint *p : {&off, &on}) {
+            JsonValue rec = JsonValue::makeObject();
+            rec["name"] = strformat("MsaScan/threads:%zu/overlap:%s",
+                                    p->threads,
+                                    p->overlap ? "on" : "off");
+            rec["iterations"] = static_cast<int64_t>(kReps);
+            rec["ns_per_op"] = p->medianSeconds * 1e9;
+            JsonValue counters = JsonValue::makeObject();
+            counters["hits"] =
+                static_cast<double>(p->result.stats.hits);
+            counters["msv_passed"] =
+                static_cast<double>(p->result.stats.msvPassed);
+            counters["bytes_streamed"] =
+                static_cast<double>(p->result.stats.bytesStreamed);
+            const auto &ps = p->result.stats.stages;
+            counters["occupancy"] = ps.occupancy();
+            counters["chunks"] = static_cast<double>(ps.chunks);
+            counters["survivors_inline"] =
+                static_cast<double>(ps.survivorsInline);
+            counters["survivor_queue_peak"] =
+                static_cast<double>(ps.survivorQueuePeak);
+            counters["producer_waits"] =
+                static_cast<double>(ps.producerWaits);
+            counters["chunk_waits"] =
+                static_cast<double>(ps.chunkWaits);
+            rec["counters"] = counters;
+            records.push(std::move(rec));
+        }
+    }
+    t.print();
+    std::printf("Hit sets across all configurations: %s\n\n",
+                identical ? "IDENTICAL" : "DIVERGED");
+
+    if (!json_path.empty()) {
+        JsonValue doc = JsonValue::makeObject();
+        doc["benchmarks"] = records;
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "bench_fig4: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << doc.dumpPretty() << "\n";
+    }
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    bool scanOnly = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--scan-only") == 0)
+            scanOnly = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] [--scan-only]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
     bench::banner(
         "Fig 4 — MSA thread scaling (1-8 threads)",
         "Kim et al., IISWC 2025, Fig 4",
@@ -20,41 +213,45 @@ main()
         "samples (2PV7, 7RCE) degrade past 4-6T while larger ones "
         "(1YY9, promo) still benefit at 6-8T");
 
-    const auto &ws = core::Workspace::shared();
-    const std::vector<uint32_t> threads = {1, 2, 4, 6, 8};
-    const char *samples[] = {"2PV7", "7RCE", "1YY9", "promo"};
+    if (!scanOnly) {
+        const auto &ws = core::Workspace::shared();
+        const std::vector<uint32_t> threads = {1, 2, 4, 6, 8};
+        const char *samples[] = {"2PV7", "7RCE", "1YY9", "promo"};
 
-    for (const auto &platform :
-         {sys::serverPlatform(), sys::desktopPlatform()}) {
-        TextTable t(strformat("Fig 4 (%s): MSA seconds by threads",
-                              platform.name.c_str()));
-        std::vector<std::string> header = {"Sample"};
-        for (uint32_t th : threads)
-            header.push_back(strformat("%uT", th));
-        header.push_back("best T");
-        t.setHeader(header);
+        for (const auto &platform :
+             {sys::serverPlatform(), sys::desktopPlatform()}) {
+            TextTable t(strformat(
+                "Fig 4 (%s): MSA seconds by threads",
+                platform.name.c_str()));
+            std::vector<std::string> header = {"Sample"};
+            for (uint32_t th : threads)
+                header.push_back(strformat("%uT", th));
+            header.push_back("best T");
+            t.setHeader(header);
 
-        for (const char *name : samples) {
-            const auto sample = bio::makeSample(name);
-            std::vector<std::string> row = {name};
-            std::vector<double> times;
-            for (uint32_t th : threads) {
-                core::MsaPhaseOptions opt;
-                opt.threads = th;
-                opt.traceStride = 16;
-                const auto r = core::runMsaPhase(
-                    sample.complex, platform, ws, opt);
-                times.push_back(r.seconds);
-                row.push_back(bench::secs(r.seconds));
+            for (const char *name : samples) {
+                const auto sample = bio::makeSample(name);
+                std::vector<std::string> row = {name};
+                std::vector<double> times;
+                for (uint32_t th : threads) {
+                    core::MsaPhaseOptions opt;
+                    opt.threads = th;
+                    opt.traceStride = 16;
+                    const auto r = core::runMsaPhase(
+                        sample.complex, platform, ws, opt);
+                    times.push_back(r.seconds);
+                    row.push_back(bench::secs(r.seconds));
+                }
+                size_t best = 0;
+                for (size_t i = 1; i < times.size(); ++i)
+                    if (times[i] < times[best])
+                        best = i;
+                row.push_back(strformat("%u", threads[best]));
+                t.addRow(row);
             }
-            size_t best = 0;
-            for (size_t i = 1; i < times.size(); ++i)
-                if (times[i] < times[best])
-                    best = i;
-            row.push_back(strformat("%u", threads[best]));
-            t.addRow(row);
+            t.print();
         }
-        t.print();
     }
-    return 0;
+
+    return runNativeScanSweep(jsonPath);
 }

@@ -66,6 +66,7 @@ BufferedReader::addbuf(double now)
     // Simulated I/O: page cache decides DRAM vs device.
     const auto io = cache_->read(id_, fileOff_, take, now);
     stats_.ioLatency += io.latency;
+    stats_.bytesFromDisk += io.bytesFromDisk;
 
     // Real byte movement (phantom files deliver zeros).
     const size_t got = vfs_->read(id_, fileOff_,
@@ -147,6 +148,22 @@ BufferedReader::copyToIter(char *dst, size_t len, double now)
     }
     stats_.bytesCopied += copied;
     return copied;
+}
+
+void
+BufferedReader::seek(uint64_t offset)
+{
+    const uint64_t winStart = fileOff_ - bufLen_;
+    if (offset >= winStart && offset <= fileOff_) {
+        // Reposition inside (or to the end of) the buffered window:
+        // just move the cursor.
+        bufPos_ = static_cast<size_t>(offset - winStart);
+        return;
+    }
+    ++stats_.seeks;
+    bufPos_ = 0;
+    bufLen_ = 0;
+    fileOff_ = std::min<uint64_t>(offset, fileSize_);
 }
 
 std::string_view

@@ -32,8 +32,22 @@ struct ReaderStats
 {
     uint64_t refills = 0;        ///< addbuf invocations
     uint64_t bytesCopied = 0;    ///< through copy_to_iter
+    uint64_t bytesFromDisk = 0;  ///< page-cache misses during refills
     uint64_t linesRead = 0;
+    uint64_t seeks = 0;          ///< non-sequential repositions
     double ioLatency = 0.0;      ///< simulated seconds waiting on I/O
+
+    /** Accumulate another reader's counters. */
+    void
+    merge(const ReaderStats &other)
+    {
+        refills += other.refills;
+        bytesCopied += other.bytesCopied;
+        bytesFromDisk += other.bytesFromDisk;
+        linesRead += other.linesRead;
+        seeks += other.seeks;
+        ioLatency += other.ioLatency;
+    }
 };
 
 /** Sequential line/byte reader over a VFS file. */
@@ -69,6 +83,22 @@ class BufferedReader
 
     /** Peek at upcoming bytes without consuming (seebuf analog). */
     std::string_view seebuf(size_t len, double now);
+
+    /**
+     * Reposition the consumption cursor to absolute file @p offset.
+     * A no-op when the offset is already buffered; otherwise the
+     * window is dropped and the next read refills from @p offset.
+     * Lets one reader stream priority-reordered chunk sequences
+     * (the staged-scan prefetcher) without reopening the file.
+     */
+    void seek(uint64_t offset);
+
+    /** Next unconsumed absolute file offset. */
+    uint64_t
+    tell() const
+    {
+        return fileOff_ - (bufLen_ - bufPos_);
+    }
 
     const ReaderStats &stats() const { return stats_; }
 

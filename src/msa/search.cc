@@ -4,9 +4,32 @@
 #include <cmath>
 #include <mutex>
 
+#include "msa/staged_scan.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace afsb::msa {
+
+void
+ScanStageStats::merge(const ScanStageStats &other)
+{
+    overlappedScans += other.overlappedScans;
+    chunks += other.chunks;
+    survivorsQueued += other.survivorsQueued;
+    survivorsInline += other.survivorsInline;
+    chunkQueuePeak = std::max(chunkQueuePeak, other.chunkQueuePeak);
+    survivorQueuePeak =
+        std::max(survivorQueuePeak, other.survivorQueuePeak);
+    producerWaits += other.producerWaits;
+    chunkWaits += other.chunkWaits;
+    survivorWaits += other.survivorWaits;
+    ioSeconds += other.ioSeconds;
+    msvSeconds += other.msvSeconds;
+    bandSeconds += other.bandSeconds;
+    wallSeconds += other.wallSeconds;
+    workersUsed = std::max(workersUsed, other.workersUsed);
+    reader.merge(other.reader);
+}
 
 void
 SearchStats::merge(const SearchStats &other)
@@ -23,6 +46,28 @@ SearchStats::merge(const SearchStats &other)
     bytesStreamed += other.bytesStreamed;
     bytesFromDisk += other.bytesFromDisk;
     ioLatency += other.ioLatency;
+    stages.merge(other.stages);
+}
+
+size_t
+scanWorkers(const SearchConfig &cfg, const ThreadPool *pool,
+            const char *who)
+{
+    if (!pool)
+        return 1;
+    if (cfg.threads > pool->size())
+        warn(strformat("%s: threads=%zu exceeds pool size %zu; "
+                       "clamping to %zu",
+                       who, cfg.threads, pool->size(),
+                       pool->size()));
+    return std::max<size_t>(1,
+                            std::min(cfg.threads, pool->size()));
+}
+
+size_t
+scanGrain(size_t n, size_t workers)
+{
+    return std::max<size_t>(1, n / (workers * 8));
 }
 
 int
@@ -122,6 +167,7 @@ scanRange(const ProfileHmm &prof, const SequenceDatabase &db,
         if (msv.score < threshold)
             continue;
         ++out.stats.msvPassed;
+        out.msvSurvivors.push_back(static_cast<uint32_t>(i));
 
         // MSV survivors run both banded kernels (HMMER rescored
         // every survivor with Forward before domain definition).
@@ -152,6 +198,133 @@ scanRange(const ProfileHmm &prof, const SequenceDatabase &db,
     }
 }
 
+/**
+ * Staged overlapped scan (see staged_scan.hh): one producer streams
+ * target chunks through a BufferedReader into rotating slabs while
+ * the remaining workers prefilter chunks and dynamically drain
+ * prefilter survivors. Kernel calls and thresholds are identical to
+ * scanRange's, so the hit set is bit-identical to the static path.
+ */
+void
+scanOverlapped(const ProfileHmm &prof, const SequenceDatabase &db,
+               io::PageCache &cache, ThreadPool &pool,
+               const SearchConfig &cfg, double now, size_t workers,
+               SearchResult &result)
+{
+    const auto &targets = db.sequences();
+    const size_t n = db.size();
+
+    staged::ScanShape shape;
+    shape.workers = workers;
+    shape.targets = n;
+    shape.grain = scanGrain(n, workers);
+    shape.prefetchChunks = cfg.prefetchChunks;
+    shape.survivorDepth = cfg.survivorQueueDepth;
+    shape.priority = cfg.priorityTargets;
+
+    // Same per-epoch virtual stream window as scanRange (the
+    // kernels only consult it for trace addresses, but keeping the
+    // configs identical makes path equivalence unconditional).
+    constexpr uint64_t kStreamBase = 0x6000'0000'0000ull;
+    const uint64_t epochBase =
+        kStreamBase +
+        static_cast<uint64_t>(cfg.streamEpoch) *
+            (db.info().scaledBytes + (1ull << 20));
+
+    // Stage 1 state: one sequential reader plus rotating staging
+    // slabs sized for the largest chunk. The slab copy is the
+    // copy_to_iter byte movement the parse stage performs in HMMER;
+    // the chunk-queue bound keeps at most `prefetchChunks` slabs in
+    // flight, which is what makes this double buffering rather than
+    // unbounded readahead.
+    io::BufferedReader reader(db.vfs(), &cache, db.fileId());
+    const size_t grain = shape.grain;
+    uint64_t maxChunkBytes = 1;
+    for (size_t b = 0; b < n; b += grain) {
+        const size_t e = std::min(n, b + grain);
+        const auto first = db.byteExtent(b);
+        const auto last = db.byteExtent(e - 1);
+        maxChunkBytes = std::max(
+            maxChunkBytes, last.offset + last.length - first.offset);
+    }
+    std::vector<std::vector<char>> slabs(
+        std::max<size_t>(2, cfg.prefetchChunks));
+    for (auto &s : slabs)
+        s.resize(maxChunkBytes);
+
+    SearchStats ioStats;
+    auto stream = [&](size_t chunk, size_t begin, size_t end) {
+        const auto first = db.byteExtent(begin);
+        const auto last = db.byteExtent(end - 1);
+        const uint64_t len =
+            last.offset + last.length - first.offset;
+        reader.seek(first.offset);
+        auto &slab = slabs[chunk % slabs.size()];
+        reader.copyToIter(slab.data(), static_cast<size_t>(len),
+                          now + reader.stats().ioLatency);
+        ioStats.bytesStreamed += len;
+    };
+
+    std::vector<SearchResult> partial(workers);
+    auto prefilter = [&](size_t w, size_t i) {
+        SearchResult &mine = partial[w];
+        const bio::Sequence &target = targets[i];
+        KernelConfig kernel = cfg.kernel;
+        kernel.targetBase = epochBase + db.byteExtent(i).offset;
+
+        ++mine.stats.targetsScanned;
+        mine.stats.residuesScanned += target.length();
+        const auto msv = msvFilter(prof, target, kernel, nullptr);
+        mine.stats.cellsMsv += msv.cells;
+        if (msv.score < msvThreshold(prof, target.length(), cfg))
+            return false;
+        ++mine.stats.msvPassed;
+        mine.msvSurvivors.push_back(static_cast<uint32_t>(i));
+        return true;
+    };
+
+    auto rescore = [&](size_t w, size_t i) {
+        SearchResult &mine = partial[w];
+        const bio::Sequence &target = targets[i];
+        KernelConfig kernel = cfg.kernel;
+        kernel.targetBase = epochBase + db.byteExtent(i).offset;
+        const int threshold =
+            msvThreshold(prof, target.length(), cfg);
+
+        const auto vit = calcBand9(prof, target, kernel, nullptr);
+        mine.stats.cellsViterbi += vit.cells;
+        const auto fwd = calcBand10(prof, target, kernel, nullptr);
+        mine.stats.cellsForward += fwd.cells;
+        if (vit.score < threshold + cfg.viterbiMargin)
+            return;
+        ++mine.stats.viterbiPassed;
+        ++mine.stats.domainsScored;
+        if (fwd.logOdds < cfg.forwardThreshold)
+            return;
+        ++mine.stats.hits;
+        mine.hits.push_back({i, vit.score, fwd.logOdds});
+    };
+
+    staged::runStagedScan(pool, shape, stream, prefilter, rescore,
+                          result.stats.stages);
+
+    // Counter merges are commutative, and hit/survivor ordering is
+    // canonicalized by the caller, so worker-order concatenation is
+    // deterministic at any thread count.
+    for (auto &p : partial) {
+        result.stats.merge(p.stats);
+        result.hits.insert(result.hits.end(), p.hits.begin(),
+                           p.hits.end());
+        result.msvSurvivors.insert(result.msvSurvivors.end(),
+                                   p.msvSurvivors.begin(),
+                                   p.msvSurvivors.end());
+    }
+    result.stats.bytesStreamed += ioStats.bytesStreamed;
+    result.stats.bytesFromDisk += reader.stats().bytesFromDisk;
+    result.stats.ioLatency += reader.stats().ioLatency;
+    result.stats.stages.reader.merge(reader.stats());
+}
+
 } // namespace
 
 SearchResult
@@ -161,8 +334,7 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
                const std::vector<MemTraceSink *> &sinks)
 {
     const size_t n = db.size();
-    const size_t workers =
-        pool ? std::min(cfg.threads, pool->size()) : 1;
+    const size_t workers = scanWorkers(cfg, pool, "searchDatabase");
     if (!sinks.empty() && sinks.size() < workers)
         fatal("searchDatabase: fewer sinks than workers");
 
@@ -174,14 +346,22 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
     if (workers <= 1 || !pool) {
         scanRange(prof, db, cache, cacheMutex, cfg, now, 0, n,
                   sinks.empty() ? nullptr : sinks[0], result);
+    } else if (sinks.empty() && cfg.overlap && db.vfs() &&
+               !ThreadPool::inWorker()) {
+        // Untraced overlapped scan: staged producer/consumer
+        // pipeline with dynamic survivor scheduling. Falls through
+        // to the static partition when the scan is nested inside a
+        // pool worker (bounded queues + nested dispatch would
+        // deadlock) or the database carries no file store.
+        scanOverlapped(prof, db, cache, *pool, cfg, now, workers,
+                       result);
     } else if (sinks.empty()) {
         // Untraced wall-clock scan: targets cost wildly different
         // amounts (MSV survivors run two more kernels), so carve the
         // range into blocks much finer than the worker count and let
         // the pool balance them. Partials are merged in block order,
         // so results are deterministic for a given worker count.
-        const size_t grain =
-            std::max<size_t>(1, n / (workers * 8));
+        const size_t grain = scanGrain(n, workers);
         const size_t blocks = (n + grain - 1) / grain;
         std::vector<SearchResult> partial(blocks);
         pool->parallelFor(n, grain, [&](size_t begin, size_t end) {
@@ -192,6 +372,9 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
             result.stats.merge(p.stats);
             result.hits.insert(result.hits.end(), p.hits.begin(),
                                p.hits.end());
+            result.msvSurvivors.insert(result.msvSurvivors.end(),
+                                       p.msvSurvivors.begin(),
+                                       p.msvSurvivors.end());
         }
     } else {
         // Traced scan: the worker -> sink -> target partition is
@@ -214,15 +397,24 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
             result.stats.merge(p.stats);
             result.hits.insert(result.hits.end(), p.hits.begin(),
                                p.hits.end());
+            result.msvSurvivors.insert(result.msvSurvivors.end(),
+                                       p.msvSurvivors.begin(),
+                                       p.msvSurvivors.end());
         }
     }
 
+    // Canonical ordering regardless of which path (and which worker
+    // interleaving) produced the results: hits by descending Forward
+    // score with the target index as a total-order tie break,
+    // survivors ascending.
     std::sort(result.hits.begin(), result.hits.end(),
               [](const Hit &a, const Hit &b) {
                   if (a.forwardLogOdds != b.forwardLogOdds)
                       return a.forwardLogOdds > b.forwardLogOdds;
                   return a.targetIndex < b.targetIndex;
               });
+    std::sort(result.msvSurvivors.begin(),
+              result.msvSurvivors.end());
     return result;
 }
 

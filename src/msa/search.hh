@@ -54,6 +54,43 @@ struct SearchConfig
      * caches the way re-reading a 60 GiB collection would.
      */
     uint32_t streamEpoch = 0;
+
+    /**
+     * Staged overlapped scan (untraced multi-thread path only): an
+     * I/O stage prefetches target chunks through a BufferedReader
+     * into rotating slabs while MSV prefilter workers fan out over
+     * the chunk queue and banded-kernel workers drain prefilter
+     * survivors from a bounded MPMC queue. Off falls back to the
+     * static block-partitioned scan. Traced scans (any sink
+     * attached) always use the static partition — the per-worker
+     * trace streams are the simulator's stability contract.
+     */
+    bool overlap = true;
+
+    /**
+     * Chunk-queue bound: how many prefetched chunks the I/O stage
+     * may run ahead of compute (the double-buffering depth; also
+     * the number of staging slabs).
+     */
+    size_t prefetchChunks = 2;
+
+    /**
+     * Survivor-queue bound. Prefilter workers that would overflow
+     * it rescore a queued survivor themselves (backpressure by
+     * helping), so band-heavy queries throttle the prefilter
+     * instead of growing an unbounded backlog.
+     */
+    size_t survivorQueueDepth = 64;
+
+    /**
+     * Optional scan-priority hint: target indices (e.g. the
+     * previous jackhmmer round's MSV survivors) whose chunks are
+     * streamed and prefiltered first, so the expensive banded
+     * rescoring surfaces early and overlaps the remaining stream.
+     * Only consulted by the overlapped path; never changes the hit
+     * set. Not owned; must outlive the call.
+     */
+    const std::vector<uint32_t> *priorityTargets = nullptr;
 };
 
 /** One accepted hit. */
@@ -62,6 +99,49 @@ struct Hit
     size_t targetIndex = 0;
     int viterbiScore = 0;
     double forwardLogOdds = 0.0;
+};
+
+/**
+ * Per-stage counters for the overlapped staged scan. Zero when only
+ * the static/serial/traced paths ran. Busy-seconds are real
+ * wall-clock (not simulated) and attribute where a thread sweep
+ * saturates: I/O-bound scans show producer waits and low compute
+ * occupancy; band-skewed scans show survivor-queue pressure.
+ */
+struct ScanStageStats
+{
+    uint64_t overlappedScans = 0;   ///< scans that took the staged path
+    uint64_t chunks = 0;            ///< prefetched target chunks
+    uint64_t survivorsQueued = 0;   ///< survivors pushed to the queue
+    uint64_t survivorsInline = 0;   ///< rescored by the pusher (backpressure)
+
+    uint64_t chunkQueuePeak = 0;    ///< max prefetched chunks in flight
+    uint64_t survivorQueuePeak = 0; ///< max queued survivors
+    uint64_t producerWaits = 0;     ///< I/O stage blocked on full chunk queue
+    uint64_t chunkWaits = 0;        ///< compute starved waiting for a chunk
+    uint64_t survivorWaits = 0;     ///< drain blocked on an empty survivor queue
+
+    double ioSeconds = 0.0;         ///< producer stage busy time
+    double msvSeconds = 0.0;        ///< prefilter busy time, summed over workers
+    double bandSeconds = 0.0;       ///< survivor-stage busy time, summed
+    double wallSeconds = 0.0;       ///< staged-scan wall time, summed
+    uint64_t workersUsed = 0;       ///< max workers across merged scans
+
+    /** Prefetch-reader counters (refills, copies, disk bytes). */
+    io::ReaderStats reader;
+
+    void merge(const ScanStageStats &other);
+
+    /** Fraction of worker-seconds spent busy in any stage. */
+    double
+    occupancy() const
+    {
+        const double denom = static_cast<double>(workersUsed) *
+                             wallSeconds;
+        return denom > 0.0
+                   ? (ioSeconds + msvSeconds + bandSeconds) / denom
+                   : 0.0;
+    }
 };
 
 /** Aggregated counters for one scan. */
@@ -82,6 +162,9 @@ struct SearchStats
     uint64_t bytesFromDisk = 0;
     double ioLatency = 0.0;       ///< simulated seconds
 
+    /** Staged-scan stage attribution (overlapped path only). */
+    ScanStageStats stages;
+
     void merge(const SearchStats &other);
 
     /** Prefilter pass rate. */
@@ -100,6 +183,14 @@ struct SearchResult
 {
     std::vector<Hit> hits;  ///< sorted by descending Forward score
     SearchStats stats;
+
+    /**
+     * Target indices that passed the MSV prefilter, ascending.
+     * jackhmmer feeds these back as the next round's
+     * `SearchConfig::priorityTargets` so band-heavy targets are
+     * rescanned first (AF_Cache-style cross-round reuse).
+     */
+    std::vector<uint32_t> msvSurvivors;
 };
 
 /**
@@ -128,6 +219,22 @@ SearchResult searchDatabase(
  */
 int msvThreshold(const ProfileHmm &prof, size_t target_len,
                  const SearchConfig &cfg);
+
+/**
+ * Worker count for a scan: min(cfg.threads, pool size), at least 1.
+ * Warns (once per call) when cfg.threads exceeds the pool — the
+ * request cannot be honored and used to clamp silently.
+ * @param who Caller name for the warning ("searchDatabase", ...).
+ */
+size_t scanWorkers(const SearchConfig &cfg, const ThreadPool *pool,
+                   const char *who);
+
+/**
+ * Shared block-size policy for scan parallelism: ~8 blocks per
+ * worker so skewed per-target cost load-balances, with a floor of
+ * one target per block.
+ */
+size_t scanGrain(size_t n, size_t workers);
 
 } // namespace afsb::msa
 

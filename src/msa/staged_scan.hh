@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Generic staged scan pipeline: I/O prefetch -> MSV prefilter ->
+ * dynamic survivor rescoring.
+ *
+ * The untraced database scan used to run as load -> static-block
+ * parallelFor -> merge: database streaming never overlapped DP
+ * compute, and prefilter-survivor skew (low-complexity queries push
+ * spurious targets into the banded kernels — paper Observation 2)
+ * left workers idle behind the slowest block. This engine decouples
+ * the stages, ParaFold-style:
+ *
+ *  - **Stage 1 (I/O)** — one producer streams target chunks (in
+ *    priority order when a hint is given) and publishes them on a
+ *    bounded chunk queue; the bound is the prefetch depth, so
+ *    streaming runs at most `prefetchChunks` chunks ahead of
+ *    compute and throttles when compute falls behind.
+ *  - **Stage 2 (prefilter)** — workers pop chunks and run the MSV
+ *    prefilter over each target; survivors go onto a bounded MPMC
+ *    survivor queue.
+ *  - **Stage 3 (survivors)** — every worker opportunistically
+ *    drains the survivor queue and runs the banded kernels, so
+ *    band-work skew spreads at per-survivor granularity instead of
+ *    serializing behind static block boundaries. When the survivor
+ *    queue is full, the pusher rescores one survivor itself
+ *    (help-first backpressure — never blocks, never deadlocks).
+ *
+ * Determinism: every target is prefiltered exactly once and every
+ * survivor rescored exactly once with the same kernels and
+ * thresholds as the static path, so the hit set is bit-identical at
+ * any thread count; callers canonicalize ordering afterwards.
+ */
+
+#ifndef AFSB_MSA_STAGED_SCAN_HH
+#define AFSB_MSA_STAGED_SCAN_HH
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "msa/search.hh"
+#include "util/threadpool.hh"
+#include "util/work_queue.hh"
+
+namespace afsb::msa::staged {
+
+/** Engine shape parameters (validated by the caller). */
+struct ScanShape
+{
+    size_t workers = 2;        ///< pool tasks to run (>= 2)
+    size_t targets = 0;        ///< total targets to scan
+    size_t grain = 1;          ///< targets per chunk
+    size_t prefetchChunks = 2; ///< chunk-queue bound
+    size_t survivorDepth = 64; ///< survivor-queue bound
+
+    /** Optional target indices whose chunks go first. */
+    const std::vector<uint32_t> *priority = nullptr;
+};
+
+/**
+ * Run the staged pipeline on @p pool.
+ *
+ * @param stream    `void(size_t chunk, size_t begin, size_t end)` —
+ *                  producer-only; simulate/stage the chunk's I/O.
+ * @param prefilter `bool(size_t worker, size_t target)` — MSV
+ *                  stage; true admits the target to the survivor
+ *                  queue. Must be safe for concurrent distinct
+ *                  workers.
+ * @param rescore   `void(size_t worker, size_t target)` — banded
+ *                  survivor stage.
+ * @param stages    Occupancy / queue-depth counters, accumulated.
+ */
+template <typename StreamFn, typename PrefilterFn, typename RescoreFn>
+void
+runStagedScan(ThreadPool &pool, const ScanShape &shape,
+              StreamFn &&stream, PrefilterFn &&prefilter,
+              RescoreFn &&rescore, ScanStageStats &stages)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto secondsSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    const size_t n = shape.targets;
+    const size_t grain = std::max<size_t>(1, shape.grain);
+    const size_t nChunks = (n + grain - 1) / grain;
+    const size_t workers = shape.workers;
+    if (n == 0 || workers < 2)
+        return;
+
+    // Chunk order: chunks containing priority targets first, both
+    // classes in ascending order (stable), so the pass is
+    // deterministic for a given hint set.
+    std::vector<uint32_t> order(nChunks);
+    std::iota(order.begin(), order.end(), 0u);
+    if (shape.priority && !shape.priority->empty() && nChunks > 1) {
+        std::vector<char> hot(nChunks, 0);
+        for (uint32_t t : *shape.priority)
+            if (t < n)
+                hot[t / grain] = 1;
+        std::stable_partition(order.begin(), order.end(),
+                              [&](uint32_t c) { return hot[c] != 0; });
+    }
+
+    BoundedWorkQueue<uint32_t> chunkQ(shape.prefetchChunks);
+    BoundedWorkQueue<uint32_t> survQ(shape.survivorDepth);
+    std::atomic<size_t> chunksLeft{nChunks};
+    std::atomic<uint64_t> queued{0}, inlined{0};
+
+    std::vector<double> msvSec(workers, 0.0), bandSec(workers, 0.0);
+    double ioSec = 0.0;
+
+    auto rescoreTimed = [&](size_t w, uint32_t t) {
+        const auto t0 = Clock::now();
+        rescore(w, t);
+        bandSec[w] += secondsSince(t0);
+    };
+
+    auto processChunk = [&](size_t w, uint32_t c) {
+        const size_t begin = static_cast<size_t>(c) * grain;
+        const size_t end = std::min(n, begin + grain);
+        for (size_t i = begin; i < end; ++i) {
+            const auto t0 = Clock::now();
+            const bool pass =
+                prefilter(w, i);
+            msvSec[w] += secondsSince(t0);
+            if (!pass)
+                continue;
+            uint32_t idx = static_cast<uint32_t>(i);
+            while (!survQ.tryPush(idx)) {
+                // Full queue: help drain instead of blocking, so a
+                // flood of survivors throttles the prefilter.
+                uint32_t other;
+                if (survQ.tryPop(other)) {
+                    rescoreTimed(w, other);
+                    inlined.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            queued.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Last chunk out closes the survivor queue: all pushes for
+        // every chunk have happened by then (including helped ones).
+        if (chunksLeft.fetch_sub(1) == 1)
+            survQ.close();
+    };
+
+    auto consume = [&](size_t w) {
+        for (;;) {
+            // Survivors first: they are the expensive skewed stage,
+            // and draining them keeps the bounded queue moving.
+            uint32_t s;
+            while (survQ.tryPop(s))
+                rescoreTimed(w, s);
+            uint32_t c;
+            if (!chunkQ.pop(c))
+                break;
+            processChunk(w, c);
+        }
+        uint32_t s;
+        while (survQ.pop(s))
+            rescoreTimed(w, s);
+    };
+
+    const auto wall0 = Clock::now();
+    pool.parallelBlocks(workers, [&](size_t w, size_t, size_t) {
+        if (w == 0) {
+            // Stage 1: stream chunks ahead of compute, then join
+            // the compute stages.
+            for (uint32_t c : order) {
+                const size_t begin = static_cast<size_t>(c) * grain;
+                const size_t end = std::min(n, begin + grain);
+                const auto t0 = Clock::now();
+                stream(static_cast<size_t>(c), begin, end);
+                ioSec += secondsSince(t0);
+                if (!chunkQ.push(c))
+                    break;  // unreachable: nothing closes chunkQ yet
+            }
+            chunkQ.close();
+        }
+        consume(w);
+    });
+
+    stages.overlappedScans += 1;
+    stages.chunks += nChunks;
+    stages.survivorsQueued += queued.load();
+    stages.survivorsInline += inlined.load();
+    const auto cq = chunkQ.stats();
+    const auto sq = survQ.stats();
+    stages.chunkQueuePeak =
+        std::max(stages.chunkQueuePeak, cq.peakDepth);
+    stages.survivorQueuePeak =
+        std::max(stages.survivorQueuePeak, sq.peakDepth);
+    stages.producerWaits += cq.pushWaits;
+    stages.chunkWaits += cq.popWaits;
+    stages.survivorWaits += sq.popWaits;
+    stages.ioSeconds += ioSec;
+    for (size_t w = 0; w < workers; ++w) {
+        stages.msvSeconds += msvSec[w];
+        stages.bandSeconds += bandSec[w];
+    }
+    stages.wallSeconds += secondsSince(wall0);
+    stages.workersUsed =
+        std::max<uint64_t>(stages.workersUsed, workers);
+}
+
+} // namespace afsb::msa::staged
+
+#endif // AFSB_MSA_STAGED_SCAN_HH

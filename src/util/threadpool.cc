@@ -13,6 +13,12 @@ thread_local bool tls_pool_worker = false;
 
 } // namespace
 
+bool
+ThreadPool::inWorker()
+{
+    return tls_pool_worker;
+}
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
     const size_t n = std::max<size_t>(1, num_threads);

@@ -40,6 +40,14 @@ class ThreadPool
     /** Worker count. */
     size_t size() const { return workers_.size(); }
 
+    /**
+     * True when the calling thread is owned by any ThreadPool.
+     * Staged scans use this to avoid nested dispatch: a bounded
+     * producer/consumer pipeline started from inside a worker would
+     * deadlock on its own backpressure.
+     */
+    static bool inWorker();
+
     /** Enqueue a task for asynchronous execution. */
     void submit(std::function<void()> task);
 

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Bounded MPMC work queue for staged producer/consumer pipelines.
+ *
+ * The staged MSA scan (see msa/search.cc) decouples database
+ * streaming, MSV prefiltering, and banded survivor rescoring into
+ * stages connected by these queues. Capacity bounds give
+ * backpressure (the I/O stage cannot run unboundedly ahead of
+ * compute; prefilter workers cannot flood the survivor stage), and
+ * the wait/depth counters are the raw material for the per-stage
+ * occupancy attribution in `ScanStageStats`.
+ *
+ * Blocking `push`/`pop` plus non-blocking `tryPush`/`tryPop` let
+ * producers that are also consumers avoid self-deadlock under
+ * backpressure: when a bounded push would block, the caller drains
+ * one item itself instead (see the survivor stage).
+ */
+
+#ifndef AFSB_UTIL_WORK_QUEUE_HH
+#define AFSB_UTIL_WORK_QUEUE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace afsb {
+
+/** Counters accumulated over a queue's lifetime. */
+struct WorkQueueStats
+{
+    uint64_t pushed = 0;     ///< items accepted
+    uint64_t popped = 0;     ///< items handed out
+    uint64_t peakDepth = 0;  ///< max items resident at once
+    uint64_t pushWaits = 0;  ///< blocking pushes that found the queue full
+    uint64_t popWaits = 0;   ///< blocking pops that found the queue empty
+};
+
+/**
+ * Bounded multi-producer multi-consumer FIFO.
+ *
+ * close() wakes every waiter; after close, pushes are rejected and
+ * pops drain the remaining items before reporting exhaustion.
+ */
+template <typename T>
+class BoundedWorkQueue
+{
+  public:
+    /** @param capacity Maximum resident items; 0 is promoted to 1. */
+    explicit BoundedWorkQueue(size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Block until space is available, then enqueue.
+     * @return false when the queue was closed (item dropped).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(mutex_);
+        if (items_.size() >= capacity_ && !closed_) {
+            ++stats_.pushWaits;
+            spaceCv_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+        }
+        if (closed_)
+            return false;
+        enqueueLocked(std::move(item));
+        lock.unlock();
+        itemCv_.notify_one();
+        return true;
+    }
+
+    /** Enqueue without blocking. @return false when full or closed. */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::unique_lock lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            enqueueLocked(std::move(item));
+        }
+        itemCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained. @return false only on closed-and-empty.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock lock(mutex_);
+        if (items_.empty() && !closed_) {
+            ++stats_.popWaits;
+            itemCv_.wait(lock,
+                         [this] { return closed_ || !items_.empty(); });
+        }
+        if (items_.empty())
+            return false;
+        dequeueLocked(out);
+        lock.unlock();
+        spaceCv_.notify_one();
+        return true;
+    }
+
+    /** Dequeue without blocking. @return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        {
+            std::unique_lock lock(mutex_);
+            if (items_.empty())
+                return false;
+            dequeueLocked(out);
+        }
+        spaceCv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Reject further pushes and wake all waiters. Remaining items
+     * stay poppable; idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::unique_lock lock(mutex_);
+            closed_ = true;
+        }
+        itemCv_.notify_all();
+        spaceCv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::unique_lock lock(mutex_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::unique_lock lock(mutex_);
+        return items_.size();
+    }
+
+    /** Snapshot of the lifetime counters. */
+    WorkQueueStats
+    stats() const
+    {
+        std::unique_lock lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    void
+    enqueueLocked(T &&item)
+    {
+        items_.push_back(std::move(item));
+        ++stats_.pushed;
+        stats_.peakDepth =
+            std::max<uint64_t>(stats_.peakDepth, items_.size());
+    }
+
+    void
+    dequeueLocked(T &out)
+    {
+        out = std::move(items_.front());
+        items_.pop_front();
+        ++stats_.popped;
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable itemCv_;   ///< signals "item available"
+    std::condition_variable spaceCv_;  ///< signals "space available"
+    std::deque<T> items_;
+    bool closed_ = false;
+    WorkQueueStats stats_;
+};
+
+} // namespace afsb
+
+#endif // AFSB_UTIL_WORK_QUEUE_HH

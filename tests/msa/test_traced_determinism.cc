@@ -18,7 +18,10 @@
 #include <cstring>
 
 #include "bio/seqgen.hh"
+#include "msa/dbgen.hh"
 #include "msa/dp_kernels.hh"
+#include "msa/search.hh"
+#include "util/units.hh"
 
 namespace afsb::msa {
 namespace {
@@ -154,6 +157,57 @@ TEST(TracedDeterminism, MsvGoldenAgainstScalarResult)
     KernelConfig scalar = c.cfg;
     scalar.forceScalar = true;
     EXPECT_EQ(r1.score, msvFilter(c.prof, c.t, scalar).score);
+}
+
+TEST(TracedDeterminism, TracedScanIgnoresOverlapKnobs)
+{
+    // A sink-attached database scan must take the scalar static
+    // path regardless of the overlap configuration: the whole trace
+    // stream (reader functions included) has to stay byte-identical
+    // whether the staged pipeline is requested or not, with or
+    // without priority hints. Golden pinned from the pre-overlap
+    // scan path.
+    wellknown::calcBand9();
+    wellknown::calcBand10();
+
+    bio::SequenceGenerator gen(42);
+    const auto query =
+        gen.random("q", bio::MoleculeType::Protein, 120);
+    io::Vfs vfs;
+    io::StorageDevice dev;
+    io::PageCache cache(1 * GiB, &dev);
+    DbGenConfig dcfg;
+    dcfg.decoyCount = 40;
+    dcfg.homologsPerQuery = 4;
+    dcfg.fragmentsPerQuery = 2;
+    const std::vector<const bio::Sequence *> queries = {&query};
+    generateDatabase(vfs, "t.fasta", queries,
+                     bio::MoleculeType::Protein, dcfg);
+    const auto db = SequenceDatabase::load(
+        vfs, cache, "t.fasta", bio::MoleculeType::Protein, 0.0);
+    const auto prof =
+        ProfileHmm::fromSequence(query, ScoreMatrix::blosum62());
+
+    auto tracedHash = [&](bool overlap,
+                          const std::vector<uint32_t> *prio) {
+        SearchConfig cfg;
+        cfg.threads = 1;
+        cfg.overlap = overlap;
+        cfg.priorityTargets = prio;
+        cfg.kernel.traceStride = 4;
+        HashSink sink;
+        const std::vector<MemTraceSink *> sinks = {&sink};
+        const auto r =
+            searchDatabase(prof, db, cache, nullptr, cfg, 0.0, sinks);
+        EXPECT_EQ(r.stats.stages.overlappedScans, 0u);
+        return sink.h;
+    };
+
+    const uint64_t base = tracedHash(false, nullptr);
+    EXPECT_EQ(base, tracedHash(true, nullptr));
+    std::vector<uint32_t> prio = {5, 3, 1};
+    EXPECT_EQ(base, tracedHash(true, &prio));
+    EXPECT_EQ(base, 0xb68f18131503b870ull);
 }
 
 } // namespace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * BoundedWorkQueue unit tests: FIFO order, capacity backpressure,
+ * close/drain semantics, and multi-producer/consumer integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/work_queue.hh"
+
+namespace afsb {
+namespace {
+
+TEST(WorkQueue, FifoOrderSingleThreaded)
+{
+    BoundedWorkQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 5u);
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkQueue, TryPushRespectsCapacity)
+{
+    BoundedWorkQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));  // full
+    int v;
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.tryPush(3));  // space again
+    const auto st = q.stats();
+    EXPECT_EQ(st.pushed, 3u);
+    EXPECT_EQ(st.peakDepth, 2u);
+}
+
+TEST(WorkQueue, ZeroCapacityPromotedToOne)
+{
+    BoundedWorkQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.tryPush(7));
+    EXPECT_FALSE(q.tryPush(8));
+}
+
+TEST(WorkQueue, CloseDrainsRemainingItems)
+{
+    BoundedWorkQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3));     // rejected after close
+    EXPECT_FALSE(q.tryPush(3));
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));      // closed and empty
+}
+
+TEST(WorkQueue, CloseWakesBlockedPopper)
+{
+    BoundedWorkQueue<int> q(4);
+    std::thread popper([&] {
+        int v;
+        EXPECT_FALSE(q.pop(v));  // blocks, then close() wakes it
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    popper.join();
+    EXPECT_GE(q.stats().popWaits, 1u);
+}
+
+TEST(WorkQueue, BlockedPushWakesOnPop)
+{
+    BoundedWorkQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::thread pusher([&] { EXPECT_TRUE(q.push(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    pusher.join();
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_GE(q.stats().pushWaits, 1u);
+}
+
+TEST(WorkQueue, MpmcStressDeliversEveryItemOnce)
+{
+    constexpr int kProducers = 4, kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+    BoundedWorkQueue<int> q(16);
+    std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+    for (auto &s : seen)
+        s.store(0);
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p)
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    std::atomic<int> consumed{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            int v;
+            while (q.pop(v)) {
+                seen[static_cast<size_t>(v)].fetch_add(1);
+                consumed.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+    for (const auto &s : seen)
+        EXPECT_EQ(s.load(), 1);
+    const auto st = q.stats();
+    EXPECT_EQ(st.pushed, st.popped);
+    EXPECT_LE(st.peakDepth, 16u);
+}
+
+} // namespace
+} // namespace afsb

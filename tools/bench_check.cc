@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Benchmark regression gate for CI.
+ *
+ * Compares a current benchmark JSON (bench_kernels --json or
+ * bench_fig4_msa_scaling --json; both emit the same
+ * `{"benchmarks": [{"name", "ns_per_op", ...}]}` shape) against a
+ * committed baseline and fails when any benchmark regresses beyond
+ * the tolerance.
+ *
+ * CI runners and developer machines run at different speeds, so raw
+ * ns comparisons would be meaningless. Instead the per-benchmark
+ * ratio current/baseline is divided by the *median* ratio across
+ * all shared benchmarks — the median absorbs uniform machine-speed
+ * differences, leaving only relative regressions: a benchmark that
+ * slowed down relative to its peers sticks out even when the whole
+ * suite runs 2x slower on a cold CI runner.
+ *
+ * Usage:
+ *   bench_check --baseline <json> --current <json>
+ *               [--tolerance <ratio>]      (default 1.30)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/stats.hh"
+
+using namespace afsb;
+
+namespace {
+
+/** name -> ns_per_op from a bench JSON document. */
+std::map<std::string, double>
+loadBench(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_check: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const JsonValue doc = parseJson(ss.str());
+    std::map<std::string, double> out;
+    const JsonValue &benches = doc.at("benchmarks");
+    for (size_t i = 0; i < benches.size(); ++i) {
+        const JsonValue &b = benches.at(i);
+        out[b.at("name").asString()] =
+            b.at("ns_per_op").asNumber();
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath, currentPath;
+    double tolerance = 1.30;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baselinePath = argv[++i];
+        else if (std::strcmp(argv[i], "--current") == 0 &&
+                 i + 1 < argc)
+            currentPath = argv[++i];
+        else if (std::strcmp(argv[i], "--tolerance") == 0 &&
+                 i + 1 < argc)
+            tolerance = std::atof(argv[++i]);
+        else {
+            std::fprintf(
+                stderr,
+                "usage: bench_check --baseline <json> --current "
+                "<json> [--tolerance <ratio>]\n");
+            return 2;
+        }
+    }
+    if (baselinePath.empty() || currentPath.empty() ||
+        tolerance <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_check: --baseline and --current are "
+                     "required\n");
+        return 2;
+    }
+
+    const auto baseline = loadBench(baselinePath);
+    const auto current = loadBench(currentPath);
+
+    struct Row
+    {
+        std::string name;
+        double ratio;  ///< current / baseline, raw
+    };
+    std::vector<Row> rows;
+    std::vector<double> ratios;
+    for (const auto &[name, ns] : current) {
+        const auto it = baseline.find(name);
+        if (it == baseline.end() || it->second <= 0.0)
+            continue;
+        rows.push_back({name, ns / it->second});
+        ratios.push_back(rows.back().ratio);
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr,
+                     "bench_check: no shared benchmarks between %s "
+                     "and %s\n",
+                     baselinePath.c_str(), currentPath.c_str());
+        return 2;
+    }
+
+    // Machine-speed normalization: divide out the median ratio.
+    const double speed = medianOf(ratios);
+    std::printf("bench_check: %zu shared benchmarks, machine-speed "
+                "factor %.3f, tolerance %.2fx\n",
+                rows.size(), speed, tolerance);
+
+    int failures = 0;
+    for (const auto &row : rows) {
+        const double normalized =
+            speed > 0.0 ? row.ratio / speed : row.ratio;
+        const bool bad = normalized > tolerance;
+        std::printf("  %-48s raw %.3fx  normalized %.3fx%s\n",
+                    row.name.c_str(), row.ratio, normalized,
+                    bad ? "  REGRESSION" : "");
+        failures += bad ? 1 : 0;
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "bench_check: %d benchmark(s) regressed more "
+                     "than %.2fx vs baseline\n",
+                     failures, tolerance);
+        return 1;
+    }
+    std::printf("bench_check: OK\n");
+    return 0;
+}
