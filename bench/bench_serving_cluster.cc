@@ -10,6 +10,8 @@
 
 #include "bench_common.hh"
 #include "serve/cluster.hh"
+#include "serve/report.hh"
+#include "util/cli.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -39,8 +41,9 @@ meanOfLatencies(const serve::ClusterResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliArgs args(argc, argv);
     bench::banner(
         "Serving cluster — worker pools, admission, MSA cache",
         "Kim et al., IISWC 2025, Section VI (deployment "
@@ -118,9 +121,62 @@ main()
     }
 
     std::printf("Mean completed-request latency: %.1f s without "
-                "the MSA cache vs %.1f s with 512 MiB (%.1fx)\n",
+                "the MSA cache vs %.1f s with 512 MiB (%.1fx)\n\n",
                 meanNoCache, meanWithCache,
                 meanWithCache > 0.0 ? meanNoCache / meanWithCache
                                     : 0.0);
+
+    // --- Sweep 3: fault rate at fixed 4x2 pools ------------------
+    // Crashes on both pools plus storage errors/spikes and cache
+    // corruption, all scaled off one knob; shows goodput falling
+    // away from throughput as degraded answers take over the tail.
+    {
+        serve::MsaServiceOracle oracle; // characterize samples once
+        TextTable t("Fault sweep on Server (4 MSA x 2 GPU, "
+                    "retry+degrade enabled)");
+        t.setHeader({"fault prob", "done", "degr", "fail",
+                     "faults", "retries", "respawns", "goodput/h",
+                     "req/h", "p99 clean", "p99 all"});
+        for (double prob : {0.0, 0.02, 0.05, 0.10}) {
+            serve::ClusterConfig cfg;
+            cfg.msaOracle = &oracle;
+            auto &plan = cfg.faultPlan;
+            plan.seed = static_cast<uint64_t>(
+                args.getInt("fault-seed", 0xfa017));
+            plan.msaCrashProb = prob;
+            plan.gpuCrashProb = prob;
+            plan.storageErrorProb = prob / 2.0;
+            plan.storageSpikeProb = prob;
+            plan.cacheCorruptProb = prob;
+            plan.permanentProb =
+                args.getDouble("fault-permanent", 0.1);
+            cfg.recovery.maxAttemptsPerStage = static_cast<uint32_t>(
+                args.getInt("retry-max", 3));
+            const auto r = serve::simulateCluster(
+                platform, core::Workspace::shared(), requests,
+                cfg);
+            const auto rep = serve::buildSloReport(r);
+            t.addRow(
+                {strformat("%.2f", prob),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.completed)),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.degraded)),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.failed)),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.faultsInjected)),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.retries)),
+                 strformat("%llu", static_cast<unsigned long long>(
+                                       r.msaRespawns +
+                                       r.gpuRespawns)),
+                 strformat("%.1f", r.goodputPerHour()),
+                 strformat("%.1f", r.throughputPerHour()),
+                 bench::secs(rep.fault.p99CleanSeconds),
+                 bench::secs(rep.fault.p99AllSeconds)});
+        }
+        t.print();
+    }
     return 0;
 }

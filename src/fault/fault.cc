@@ -1,0 +1,184 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "util/str.hh"
+
+namespace afsb::fault {
+
+namespace {
+
+/** splitmix64 finalizer for decorrelated per-site seeds. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Site
+siteOf(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::MsaWorkerCrash:
+        return Site::MsaService;
+    case FaultKind::GpuWorkerCrash:
+        return Site::GpuService;
+    case FaultKind::StorageReadError:
+    case FaultKind::StorageLatencySpike:
+        return Site::MsaService;
+    case FaultKind::CacheCorruption:
+        return Site::CacheInsert;
+    case FaultKind::RequestTimeout:
+        return Site::MsaService; // deadlines are not scriptable
+    }
+    return Site::MsaService;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::MsaWorkerCrash:
+        return "msa_worker_crash";
+    case FaultKind::GpuWorkerCrash:
+        return "gpu_worker_crash";
+    case FaultKind::StorageReadError:
+        return "storage_read_error";
+    case FaultKind::StorageLatencySpike:
+        return "storage_latency_spike";
+    case FaultKind::CacheCorruption:
+        return "cache_corruption";
+    case FaultKind::RequestTimeout:
+        return "request_timeout";
+    }
+    return "unknown";
+}
+
+bool
+Plan::empty() const
+{
+    return msaCrashProb <= 0.0 && gpuCrashProb <= 0.0 &&
+           storageErrorProb <= 0.0 && storageSpikeProb <= 0.0 &&
+           cacheCorruptProb <= 0.0 && script.empty();
+}
+
+Injector::Injector(const Plan &plan)
+    : plan_(plan),
+      streams_{Rng(mix(plan.seed ^ 0x11)), Rng(mix(plan.seed ^ 0x22)),
+               Rng(mix(plan.seed ^ 0x33))}
+{}
+
+bool
+Injector::scripted(FaultKind kind, uint64_t ordinal,
+                   bool *permanent) const
+{
+    for (const auto &s : plan_.script) {
+        if (s.kind == kind && s.atOrdinal == ordinal) {
+            if (permanent)
+                *permanent = *permanent || s.permanent;
+            return true;
+        }
+    }
+    return false;
+}
+
+Injector::ServiceDecision
+Injector::serviceDecision(Site site, FaultKind crashKind,
+                          bool storageFaults)
+{
+    auto &rng = streams_[static_cast<size_t>(site)];
+    const uint64_t ordinal =
+        ordinals_[static_cast<size_t>(site)]++;
+
+    // Fixed draw schedule — every attempt consumes exactly five
+    // draws so recovery re-entries never desynchronize the stream.
+    const double dCrash = rng.nextDouble();
+    const double dPermanent = rng.nextDouble();
+    const double dError = rng.nextDouble();
+    const double dSpike = rng.nextDouble();
+    const double dFraction = rng.nextDouble();
+
+    const double crashProb = crashKind == FaultKind::GpuWorkerCrash
+                                 ? plan_.gpuCrashProb
+                                 : plan_.msaCrashProb;
+
+    ServiceDecision out;
+    out.crash = dCrash < crashProb;
+    out.permanent = out.crash && dPermanent < plan_.permanentProb;
+    if (scripted(crashKind, ordinal, &out.permanent))
+        out.crash = true;
+    if (storageFaults) {
+        out.storageError = dError < plan_.storageErrorProb ||
+                           scripted(FaultKind::StorageReadError,
+                                    ordinal, nullptr);
+        if (dSpike < plan_.storageSpikeProb ||
+            scripted(FaultKind::StorageLatencySpike, ordinal,
+                     nullptr))
+            out.latencyFactor = plan_.storageSpikeFactor;
+    }
+    // Keep the abort point strictly inside the attempt so lost
+    // service time is nonzero and the retry lands strictly later.
+    out.failFraction = 0.05 + 0.9 * dFraction;
+    return out;
+}
+
+Injector::ServiceDecision
+Injector::msaService()
+{
+    return serviceDecision(Site::MsaService,
+                           FaultKind::MsaWorkerCrash, true);
+}
+
+Injector::ServiceDecision
+Injector::gpuService()
+{
+    return serviceDecision(Site::GpuService,
+                           FaultKind::GpuWorkerCrash, false);
+}
+
+bool
+Injector::cacheInsertCorrupted()
+{
+    auto &rng =
+        streams_[static_cast<size_t>(Site::CacheInsert)];
+    const uint64_t ordinal =
+        ordinals_[static_cast<size_t>(Site::CacheInsert)]++;
+    const double d = rng.nextDouble();
+    return d < plan_.cacheCorruptProb ||
+           scripted(FaultKind::CacheCorruption, ordinal, nullptr);
+}
+
+void
+Injector::record(const FaultEvent &event)
+{
+    ++counts_[static_cast<size_t>(event.kind)];
+    log_.push_back(event);
+}
+
+uint64_t
+Injector::countOf(FaultKind kind) const
+{
+    return counts_[static_cast<size_t>(kind)];
+}
+
+std::string
+Injector::renderLog() const
+{
+    std::string out;
+    out.reserve(log_.size() * 64);
+    for (const auto &e : log_) {
+        out += strformat("t=%.6f kind=%s worker=%u req=%llu%s\n",
+                         e.time, faultKindName(e.kind), e.worker,
+                         static_cast<unsigned long long>(
+                             e.requestId),
+                         e.permanent ? " permanent" : "");
+    }
+    return out;
+}
+
+} // namespace afsb::fault

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the serving path.
+ *
+ * Production AF3 deployments (ParaFold-style MSA/GPU pool splits,
+ * AF_Cache-style result reuse) live or die on how the cluster
+ * behaves when a worker, disk read, or XLA compile *fails*. Every
+ * simulator in this repo runs on a virtual clock from a fixed seed,
+ * so instead of a flaky chaos harness we can make the chaos itself
+ * reproducible: a fault::Plan is a pure function of (fault seed,
+ * knobs, script), and an Injector derives every go/no-go decision
+ * from per-site decision streams. Two runs with the same workload
+ * seed and the same fault plan produce the same faults at the same
+ * virtual times, the same recovery schedule, and a byte-identical
+ * fault log — which is what makes the chaos/property tests in
+ * tests/serve deterministic rather than probabilistic.
+ *
+ * Decision-stream discipline: each injection site owns an
+ * independent xoshiro stream seeded from (plan seed, site id), and
+ * every decision point consumes a fixed number of draws regardless
+ * of the outcome. Adding a fault site therefore never perturbs the
+ * decisions of the existing ones, and the serving simulator's event
+ * order stays bit-stable as recovery paths re-enter the same sites.
+ */
+
+#ifndef AFSB_FAULT_FAULT_HH
+#define AFSB_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace afsb::fault {
+
+/** What broke. */
+enum class FaultKind : uint8_t {
+    MsaWorkerCrash = 0,  ///< MSA worker dies mid-service
+    GpuWorkerCrash,      ///< GPU worker dies (XLA cache lost)
+    StorageReadError,    ///< database read fails mid-service
+    StorageLatencySpike, ///< read path slows by a factor
+    CacheCorruption,     ///< MSA-cache entry fails its checksum
+    RequestTimeout,      ///< per-stage deadline exceeded
+};
+
+constexpr size_t kFaultKinds = 6;
+
+/** Canonical lower-snake name (stable; used in logs and reports). */
+const char *faultKindName(FaultKind kind);
+
+/** Injection sites; each owns an independent decision stream. */
+enum class Site : uint8_t {
+    MsaService = 0, ///< one decision per MSA service attempt
+    GpuService,     ///< one decision per GPU service attempt
+    CacheInsert,    ///< one decision per MSA-cache insertion
+};
+
+constexpr size_t kSites = 3;
+
+/**
+ * One scripted fault: fires on the @p atOrdinal-th decision (0-based)
+ * at the site implied by @p kind, in addition to anything the
+ * probabilistic knobs produce. Scripted entries make "exactly this
+ * failure at exactly this point" tests trivial to write.
+ */
+struct ScriptedFault
+{
+    FaultKind kind = FaultKind::MsaWorkerCrash;
+    uint64_t atOrdinal = 0;
+    bool permanent = false; ///< crashes only: worker never respawns
+};
+
+/**
+ * A reproducible chaos schedule: seeded per-site probabilities plus
+ * an optional explicit script. Default-constructed plans are empty
+ * (inject nothing) and cost nothing on the serving hot path.
+ */
+struct Plan
+{
+    uint64_t seed = 0xfa017c4a05ull;
+
+    /** P(an MSA service attempt crashes its worker). */
+    double msaCrashProb = 0.0;
+
+    /** P(a GPU service attempt crashes its worker). */
+    double gpuCrashProb = 0.0;
+
+    /** P(a crash is permanent — the worker never respawns). */
+    double permanentProb = 0.0;
+
+    /** P(an MSA service attempt hits a storage read error). */
+    double storageErrorProb = 0.0;
+
+    /** P(an MSA service attempt hits a storage latency spike). */
+    double storageSpikeProb = 0.0;
+
+    /** Service-time multiplier applied by a latency spike. */
+    double storageSpikeFactor = 8.0;
+
+    /** P(an MSA-cache insertion is corrupted in storage). */
+    double cacheCorruptProb = 0.0;
+
+    /** Explicit faults on top of the probabilistic knobs. */
+    std::vector<ScriptedFault> script;
+
+    /** True when the plan can never inject anything. */
+    bool empty() const;
+};
+
+/** One injected fault, on the virtual clock. */
+struct FaultEvent
+{
+    double time = 0.0;
+    FaultKind kind = FaultKind::MsaWorkerCrash;
+    uint32_t worker = 0;     ///< victim worker id (crashes/spikes)
+    uint64_t requestId = 0;  ///< request in flight at the site
+    bool permanent = false;  ///< crashes only
+};
+
+/**
+ * Stateful decision engine for one simulation run. The caller (the
+ * serving cluster) asks a site-specific question at each decision
+ * point and records the resulting fault events with their virtual
+ * timestamps; renderLog() serializes the whole run for byte-compare
+ * determinism tests.
+ */
+class Injector
+{
+  public:
+    explicit Injector(const Plan &plan);
+
+    /** Outcome of one service-attempt decision. */
+    struct ServiceDecision
+    {
+        bool crash = false;       ///< worker dies this attempt
+        bool permanent = false;   ///< ... and never respawns
+        bool storageError = false;///< read error aborts the attempt
+        /** Service-time multiplier (1.0, or the spike factor). */
+        double latencyFactor = 1.0;
+        /** Fraction of the (scaled) service completed before the
+         *  crash / read error aborts it, in (0, 1). */
+        double failFraction = 1.0;
+
+        bool failed() const { return crash || storageError; }
+    };
+
+    /** Decide the fate of the next MSA service attempt. */
+    ServiceDecision msaService();
+
+    /** Decide the fate of the next GPU service attempt. */
+    ServiceDecision gpuService();
+
+    /** True when the next MSA-cache insertion is corrupted. */
+    bool cacheInsertCorrupted();
+
+    /** Append @p event to the fault log (caller supplies time). */
+    void record(const FaultEvent &event);
+
+    const std::vector<FaultEvent> &log() const { return log_; }
+
+    /** Total injected faults (log size). */
+    uint64_t injectedCount() const { return log_.size(); }
+
+    /** Injected count for one kind. */
+    uint64_t countOf(FaultKind kind) const;
+
+    /** Per-kind injected counts, indexed by FaultKind. */
+    const std::array<uint64_t, kFaultKinds> &countsByKind() const
+    {
+        return counts_;
+    }
+
+    /**
+     * Canonical text serialization of the fault log, one line per
+     * event — byte-identical across runs with identical seeds.
+     */
+    std::string renderLog() const;
+
+    const Plan &plan() const { return plan_; }
+
+  private:
+    /** True when a scripted fault of @p kind fires at this ordinal. */
+    bool scripted(FaultKind kind, uint64_t ordinal,
+                  bool *permanent) const;
+
+    ServiceDecision serviceDecision(Site site, FaultKind crashKind,
+                                    bool storageFaults);
+
+    Plan plan_;
+    std::array<Rng, kSites> streams_;
+    std::array<uint64_t, kSites> ordinals_{};
+    std::array<uint64_t, kFaultKinds> counts_{};
+    std::vector<FaultEvent> log_;
+};
+
+} // namespace afsb::fault
+
+#endif // AFSB_FAULT_FAULT_HH

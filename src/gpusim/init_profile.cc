@@ -1,6 +1,7 @@
 #include "gpusim/init_profile.hh"
 
 #include "util/memtrace.hh"
+#include "util/units.hh"
 
 namespace afsb::gpusim {
 
@@ -57,6 +58,19 @@ profileInitPhase(const sys::PlatformSpec &platform, size_t tokens,
         {"LLC Load Misses", "copy_to_iter",
          pct(copyMisses, otherLlcMisses)},
     };
+}
+
+double
+initPhaseSeconds(const sys::PlatformSpec &platform,
+                 const XlaCostModel &costs)
+{
+    const double hostFactor =
+        costs.refClockGhz / platform.cpu.maxClockGhz;
+    return hostFactor *
+           (costs.baseInitSeconds +
+            costs.initPerVramGib *
+                static_cast<double>(platform.gpu.vramBytes) /
+                static_cast<double>(GiB));
 }
 
 } // namespace afsb::gpusim

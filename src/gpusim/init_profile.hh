@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/xla.hh"
 #include "model/flops.hh"
 #include "sys/platform.hh"
 
@@ -43,6 +44,18 @@ struct InitBottleneckRow
 std::vector<InitBottleneckRow> profileInitPhase(
     const sys::PlatformSpec &platform, size_t tokens,
     const model::ModelConfig &cfg = model::paperConfig());
+
+/**
+ * Modeled wall-clock of the GPU-initialization phase on
+ * @p platform: driver/context setup plus VRAM mapping, scaled by
+ * host single-thread speed — the same cost model evaluateXlaPhases
+ * charges a cold process. The serving cluster uses this as the
+ * boot cost a respawned GPU worker repays before it can accept
+ * work again (its persistent XLA cache is lost separately and
+ * re-warms per shape bucket on the first requests it serves).
+ */
+double initPhaseSeconds(const sys::PlatformSpec &platform,
+                        const XlaCostModel &costs = {});
 
 } // namespace afsb::gpusim
 

@@ -58,7 +58,7 @@ BufferedReader::addbuf(double now)
     bufLen_ = tail;
 
     const size_t want = buffer_.size() - bufLen_;
-    if (want == 0 || fileOff_ >= fileSize_)
+    if (want == 0 || fileOff_ >= fileSize_ || failed_)
         return;
     const auto take = static_cast<size_t>(
         std::min<uint64_t>(want, fileSize_ - fileOff_));
@@ -67,6 +67,13 @@ BufferedReader::addbuf(double now)
     const auto io = cache_->read(id_, fileOff_, take, now);
     stats_.ioLatency += io.latency;
     stats_.bytesFromDisk += io.bytesFromDisk;
+    if (io.failed) {
+        // The device surfaced a read error after its retries: the
+        // window gets no new bytes and the stream is poisoned.
+        failed_ = true;
+        ++stats_.readErrors;
+        return;
+    }
 
     // Real byte movement (phantom files deliver zeros).
     const size_t got = vfs_->read(id_, fileOff_,

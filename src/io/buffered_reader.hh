@@ -35,6 +35,7 @@ struct ReaderStats
     uint64_t bytesFromDisk = 0;  ///< page-cache misses during refills
     uint64_t linesRead = 0;
     uint64_t seeks = 0;          ///< non-sequential repositions
+    uint64_t readErrors = 0;     ///< failed refills (injected faults)
     double ioLatency = 0.0;      ///< simulated seconds waiting on I/O
 
     /** Accumulate another reader's counters. */
@@ -46,6 +47,7 @@ struct ReaderStats
         bytesFromDisk += other.bytesFromDisk;
         linesRead += other.linesRead;
         seeks += other.seeks;
+        readErrors += other.readErrors;
         ioLatency += other.ioLatency;
     }
 };
@@ -68,6 +70,15 @@ class BufferedReader
 
     /** True at end of file with an empty buffer. */
     bool eof() const;
+
+    /**
+     * True once a refill hit a storage read error (injected via the
+     * device's StorageFaultHook). The reader then behaves as if at
+     * EOF — readLine()/copyToIter() stop making progress — so the
+     * caller can distinguish a clean EOF from a failed stream and
+     * retry or surface the error instead of silently truncating.
+     */
+    bool failed() const { return failed_; }
 
     /**
      * Read the next line (newline stripped) at simulated time @p now.
@@ -116,6 +127,7 @@ class BufferedReader
     MemTraceSink *sink_;
 
     std::vector<char> buffer_;
+    bool failed_ = false;  ///< a refill hit a device read error
     size_t bufPos_ = 0;    ///< consumption cursor within buffer_
     size_t bufLen_ = 0;    ///< valid bytes in buffer_
     uint64_t fileOff_ = 0; ///< next file offset to fetch

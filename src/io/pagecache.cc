@@ -64,8 +64,10 @@ PageCache::read(FileId id, uint64_t offset, uint64_t len, double now)
     auto flushMiss = [&] {
         if (pendingMiss == 0)
             return;
-        result.latency += device_->read(pendingMiss * kExtentSize,
-                                        now + result.latency);
+        const auto io = device_->readChecked(
+            pendingMiss * kExtentSize, now + result.latency);
+        result.latency += io.latency;
+        result.failed = result.failed || io.failed;
         result.bytesFromDisk += pendingMiss * kExtentSize;
         pendingMiss = 0;
     };

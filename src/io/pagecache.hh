@@ -31,6 +31,7 @@ struct CachedReadResult
     uint64_t bytesFromCache = 0;
     uint64_t bytesFromDisk = 0;
     double latency = 0.0;  ///< total simulated latency in seconds
+    bool failed = false;   ///< a device read errored (fault hook)
 };
 
 /** LRU page cache in front of a StorageDevice. */

@@ -35,8 +35,15 @@ StorageDevice::StorageDevice(StorageSpec spec)
 double
 StorageDevice::read(uint64_t bytes, double now)
 {
-    const double service =
-        static_cast<double>(bytes) / spec_.seqReadBandwidth;
+    return readChecked(bytes, now).latency;
+}
+
+StorageDevice::ReadOutcome
+StorageDevice::readChecked(uint64_t bytes, double now)
+{
+    const double factor = fault_ ? fault_->latencyFactor() : 1.0;
+    const double service = factor * static_cast<double>(bytes) /
+                           spec_.seqReadBandwidth;
 
     // The device may still be draining earlier requests; queueing
     // delay is the gap between now and when it frees up, bounded by
@@ -48,11 +55,17 @@ StorageDevice::read(uint64_t bytes, double now)
 
     const double latency = spec_.baseLatency + queueWait + service;
 
+    ReadOutcome out;
+    out.latency = latency;
+    out.failed = fault_ && fault_->readFails();
+
     ++stats_.readRequests;
     stats_.bytesRead += bytes;
     stats_.busyTime += service;
     stats_.totalLatency += latency;
-    return latency;
+    if (out.failed)
+        ++stats_.readErrors;
+    return out;
 }
 
 StorageStats

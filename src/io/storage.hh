@@ -34,11 +34,30 @@ struct StorageSpec
     uint32_t queueDepth = 32;
 };
 
+/**
+ * Per-read fault decisions for a StorageDevice. The device asks on
+ * every read; the default hook never faults. Implementations must
+ * be deterministic (seeded) so simulated timelines stay bit-stable.
+ */
+class StorageFaultHook
+{
+  public:
+    virtual ~StorageFaultHook() = default;
+
+    /** True when the next read fails (media error / timeout). */
+    virtual bool readFails() { return false; }
+
+    /** Service-time multiplier for the next read (>= 1.0 for a
+     *  latency spike; 1.0 for a healthy device). */
+    virtual double latencyFactor() { return 1.0; }
+};
+
 /** iostat-like counters over an observation window. */
 struct StorageStats
 {
     uint64_t readRequests = 0;
     uint64_t bytesRead = 0;
+    uint64_t readErrors = 0;    ///< injected read failures
     double busyTime = 0.0;      ///< seconds the device was active
     double windowTime = 0.0;    ///< observation window length
     double totalLatency = 0.0;  ///< sum of per-request latencies
@@ -64,11 +83,31 @@ class StorageDevice
 
     const StorageSpec &spec() const { return spec_; }
 
+    /** Outcome of one checked read. */
+    struct ReadOutcome
+    {
+        double latency = 0.0; ///< completion latency in seconds
+        bool failed = false;  ///< the read errored (fault hook)
+    };
+
     /**
      * Issue a sequential read of @p bytes at simulated time @p now.
-     * @return Request completion latency in seconds.
+     * @return Request completion latency in seconds. Injected
+     *         failures are counted in stats but not reported here;
+     *         callers that recover use readChecked().
      */
     double read(uint64_t bytes, double now);
+
+    /**
+     * Like read(), but reports injected failures. A failed read
+     * still occupies the device for its service time (the drive
+     * retries internally before surfacing the error).
+     */
+    ReadOutcome readChecked(uint64_t bytes, double now);
+
+    /** Install a fault hook (not owned; nullptr restores healthy
+     *  behaviour). */
+    void setFaultHook(StorageFaultHook *hook) { fault_ = hook; }
 
     /**
      * Close the observation window at time @p now and return the
@@ -83,6 +122,7 @@ class StorageDevice
   private:
     StorageSpec spec_;
     StorageStats stats_;
+    StorageFaultHook *fault_ = nullptr;
     double windowStart_ = 0.0;
     double deviceFreeAt_ = 0.0;  ///< when the device drains its queue
 };

@@ -45,12 +45,12 @@ Vfs::createPhantom(const std::string &name, uint64_t size)
     return id;
 }
 
-FileId
+std::optional<FileId>
 Vfs::open(const std::string &name) const
 {
     auto it = byName_.find(name);
     if (it == byName_.end())
-        fatal("Vfs: no such file '" + name + "'");
+        return std::nullopt;
     return it->second;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,8 +37,13 @@ class Vfs
      */
     FileId createPhantom(const std::string &name, uint64_t size);
 
-    /** Look up a file id; fatal() when absent. */
-    FileId open(const std::string &name) const;
+    /**
+     * Look up a file id; empty when absent. A missing file is a
+     * recoverable condition (callers decide whether it is fatal),
+     * so injected open failures propagate instead of aborting the
+     * whole simulation.
+     */
+    std::optional<FileId> open(const std::string &name) const;
 
     /** True when @p name exists. */
     bool exists(const std::string &name) const;

@@ -11,7 +11,10 @@ SequenceDatabase::load(const io::Vfs &vfs, io::PageCache &cache,
                        double *io_latency_out, MemTraceSink *sink)
 {
     SequenceDatabase db;
-    const io::FileId id = vfs.open(file_name);
+    const auto opened = vfs.open(file_name);
+    if (!opened)
+        fatal("SequenceDatabase: no such file '" + file_name + "'");
+    const io::FileId id = *opened;
     db.info_.name = file_name;
     db.info_.type = type;
     db.info_.scaledBytes = vfs.size(id);
@@ -49,6 +52,8 @@ SequenceDatabase::load(const io::Vfs &vfs, io::PageCache &cache,
             residues += line;
         }
     }
+    if (reader.failed())
+        fatal("database: storage read error loading " + file_name);
     flush();
 
     db.info_.sequenceCount = db.seqs_.size();

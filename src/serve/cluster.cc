@@ -1,9 +1,11 @@
 #include "serve/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "gpusim/inference_sim.hh"
+#include "gpusim/init_profile.hh"
 #include "util/logging.hh"
 
 namespace afsb::serve {
@@ -19,83 +21,76 @@ ClusterResult::completedLatencies() const
     return out;
 }
 
-namespace {
-
-/**
- * Deterministic service-time oracle. The MSA phase depends only on
- * (sample, platform, worker threads), so each distinct sample is
- * characterized once with the real engine and the result reused for
- * every request — the simulation equivalent of every worker running
- * identical software on identical inputs.
- */
-class ServiceModel
+std::vector<double>
+ClusterResult::servedLatencies() const
 {
-  public:
-    ServiceModel(const sys::PlatformSpec &platform,
-                 const core::Workspace &workspace,
-                 const ClusterConfig &config)
-        : platform_(platform), workspace_(workspace),
-          config_(config)
-    {}
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &rec : records)
+        if (rec.outcome == Outcome::Completed ||
+            rec.outcome == Outcome::Degraded)
+            out.push_back(rec.latencySeconds());
+    return out;
+}
 
-    struct MsaService
-    {
-        double seconds = 0.0;
-        uint64_t resultBytes = 0;
-    };
+const MsaServiceOracle::Service &
+MsaServiceOracle::characterize(const sys::PlatformSpec &platform,
+                               const core::Workspace &workspace,
+                               const ClusterConfig &config,
+                               const std::string &sample)
+{
+    auto it = memo_.find(sample);
+    if (it != memo_.end())
+        return it->second;
 
-    const MsaService &
-    msaService(const std::string &sample)
-    {
-        auto it = msa_.find(sample);
-        if (it != msa_.end())
-            return it->second;
+    const auto input = bio::makeSample(sample);
+    core::MsaPhaseOptions opt = config.msaOptions;
+    opt.threads = config.msaThreadsPerWorker;
+    const auto r =
+        core::runMsaPhase(input.complex, platform, workspace, opt);
+    if (r.oom)
+        fatal("serve: MSA phase for sample '" + sample +
+              "' OOMs on " + platform.name + "; use `estimate` first");
 
-        const auto input = bio::makeSample(sample);
-        core::MsaPhaseOptions opt = config_.msaOptions;
-        opt.threads = config_.msaThreadsPerWorker;
-        const auto r = core::runMsaPhase(input.complex, platform_,
-                                         workspace_, opt);
-        if (r.oom)
-            fatal("serve: MSA phase for sample '" + sample +
-                  "' OOMs on " + platform_.name +
-                  "; use `estimate` first");
+    Service svc;
+    svc.seconds = r.seconds;
+    // Stored-alignment footprint: one byte per residue per aligned
+    // row, per chain (an a3m-like encoding).
+    uint64_t bytes = 0;
+    const auto &chains = input.complex.chains();
+    for (size_t i = 0;
+         i < chains.size() && i < r.msaDepthPerChain.size(); ++i)
+        bytes += static_cast<uint64_t>(r.msaDepthPerChain[i]) *
+                 chains[i].length();
+    svc.resultBytes = std::max<uint64_t>(bytes, 1024);
+    return memo_.emplace(sample, svc).first->second;
+}
 
-        MsaService svc;
-        svc.seconds = r.seconds;
-        // Stored-alignment footprint: one byte per residue per
-        // aligned row, per chain (an a3m-like encoding).
-        uint64_t bytes = 0;
-        const auto &chains = input.complex.chains();
-        for (size_t i = 0;
-             i < chains.size() && i < r.msaDepthPerChain.size();
-             ++i)
-            bytes += static_cast<uint64_t>(r.msaDepthPerChain[i]) *
-                     chains[i].length();
-        svc.resultBytes = std::max<uint64_t>(bytes, 1024);
-        return msa_.emplace(sample, svc).first->second;
-    }
-
-  private:
-    const sys::PlatformSpec &platform_;
-    const core::Workspace &workspace_;
-    const ClusterConfig &config_;
-    std::map<std::string, MsaService> msa_;
-};
+namespace {
 
 /** A long-lived GPU worker process with persistent model state. */
 struct GpuWorker
 {
     gpusim::XlaCache xla;
     uint64_t served = 0;
+    /** GPU context up (init paid): set on first dispatch, kept by a
+     *  respawn — the boot cost covers re-init, only the XLA cache is
+     *  lost. */
+    bool initialized = false;
 };
 
-/** A stage completion on the event clock. */
+/** A stage completion (or mid-service fault) on the event clock. */
 struct Completion
 {
     double time = 0.0;
     uint32_t worker = 0;
     size_t record = 0;
+
+    /** The attempt aborts at @c time instead of finishing. */
+    bool fault = false;
+    fault::FaultKind kind = fault::FaultKind::MsaWorkerCrash;
+    bool workerDies = false;
+    bool permanent = false;
 
     bool
     operator>(const Completion &other) const
@@ -110,10 +105,49 @@ using CompletionQueue =
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>;
 
+/** A crashed worker finishing its boot. */
+struct Respawn
+{
+    double time = 0.0;
+    uint32_t worker = 0;
+    bool gpuPool = false;
+    uint64_t seq = 0;
+
+    bool
+    operator>(const Respawn &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+/** A request re-entering a stage queue after backoff. */
+struct Requeue
+{
+    double time = 0.0;
+    size_t record = 0;
+    bool gpuStage = false;
+    uint64_t seq = 0;
+
+    bool
+    operator>(const Requeue &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+template <typename T>
+using MinQueue =
+    std::priority_queue<T, std::vector<T>, std::greater<T>>;
+
 constexpr double kNoEvent = 1e300;
 
+template <typename Q>
 double
-nextTime(const CompletionQueue &q)
+nextTime(const Q &q)
 {
     return q.empty() ? kNoEvent : q.top().time;
 }
@@ -130,6 +164,9 @@ simulateCluster(const sys::PlatformSpec &platform,
         fatal("serve: need at least one worker in each pool");
     if (config.admissionCapacity == 0)
         fatal("serve: admission capacity must be >= 1");
+    const RecoveryPolicy &recovery = config.recovery;
+    if (recovery.maxAttemptsPerStage == 0)
+        fatal("serve: maxAttemptsPerStage must be >= 1");
 
     ClusterResult result;
     result.msaWorkers = config.msaWorkers;
@@ -147,7 +184,15 @@ simulateCluster(const sys::PlatformSpec &platform,
         result.records[i].request = arrivals[i];
     }
 
-    ServiceModel model(platform, workspace, config);
+    MsaServiceOracle localOracle;
+    MsaServiceOracle &oracle =
+        config.msaOracle ? *config.msaOracle : localOracle;
+    const auto msaService = [&](const std::string &sample)
+        -> const MsaServiceOracle::Service & {
+        return oracle.characterize(platform, workspace, config,
+                                   sample);
+    };
+
     MsaResultCache cache(config.msaCacheBudgetBytes);
     AdmissionController admission(config.admissionCapacity);
     DispatchQueue msaQueue(config.policy);
@@ -157,10 +202,43 @@ simulateCluster(const sys::PlatformSpec &platform,
     std::vector<uint32_t> freeGpu;
     for (uint32_t w = config.gpuWorkers; w-- > 0;)
         freeGpu.push_back(w); // back() pops the lowest id first
-    uint32_t freeMsa = config.msaWorkers;
+    std::vector<uint32_t> freeMsa;
+    for (uint32_t w = config.msaWorkers; w-- > 0;)
+        freeMsa.push_back(w);
 
     CompletionQueue msaBusy;
     CompletionQueue gpuBusy;
+    MinQueue<Respawn> respawnQueue;
+    MinQueue<Requeue> requeueQueue;
+    uint64_t eventSeq = 0;
+
+    fault::Injector injector(config.faultPlan);
+    const bool faultsOn = !config.faultPlan.empty();
+    // Deadlines inject timeouts even without a plan, so they also
+    // switch the fault section of reports on.
+    result.faultsEnabled = faultsOn ||
+                           recovery.msaDeadlineSeconds > 0.0 ||
+                           recovery.gpuDeadlineSeconds > 0.0;
+    // Workers not permanently lost; the last live replica of a pool
+    // is never lost permanently (the supervisor always restarts the
+    // final replica), so no queue can strand.
+    uint32_t liveMsa = config.msaWorkers;
+    uint32_t liveGpu = config.gpuWorkers;
+    uint64_t retriesUsed = 0;
+
+    const double msaRespawnDelay =
+        recovery.respawnSpawnSeconds + recovery.msaRespawnSeconds;
+    const double gpuRespawnDelay =
+        recovery.respawnSpawnSeconds +
+        (recovery.gpuRespawnSeconds >= 0.0
+             ? recovery.gpuRespawnSeconds
+             : gpusim::initPhaseSeconds(platform));
+
+    // Per-request time of the latest entry into its current stage
+    // queue (deadlines run from here); terminal flag for the
+    // conservation check.
+    std::vector<double> stageEnqueue(arrivals.size(), 0.0);
+    std::vector<char> finished(arrivals.size(), 0);
 
     gpusim::InferenceSimOptions inferOptions;
     inferOptions.threads = config.inferenceThreads;
@@ -169,23 +247,138 @@ simulateCluster(const sys::PlatformSpec &platform,
     size_t nextArrival = 0;
     double clock = 0.0;
 
+    const auto finish = [&](RequestRecord &rec, Outcome outcome,
+                            double now) {
+        rec.outcome = outcome;
+        rec.finishSeconds = now;
+        finished[rec.request.id] = 1;
+        admission.release();
+    };
+
+    /**
+     * A service attempt for @p rec on @p stage just died at @p now
+     * (injected fault or deadline): retry with backoff while the
+     * per-stage attempt cap and the cluster retry budget allow,
+     * else degrade (shed the MSA stage, reduced-recycling GPU pass)
+     * or fail hard.
+     */
+    const auto failAttempt = [&](RequestRecord &rec, bool gpuStage,
+                                 double now, fault::FaultKind kind,
+                                 uint32_t worker, bool permanent) {
+        ++rec.faultsSeen;
+        injector.record({now, kind, worker, rec.request.id,
+                         permanent});
+        if (kind == fault::FaultKind::RequestTimeout)
+            ++result.timeouts;
+
+        const uint32_t attempts =
+            gpuStage ? rec.gpuAttempts : rec.msaAttempts;
+        if (attempts < recovery.maxAttemptsPerStage &&
+            retriesUsed < recovery.retryBudget) {
+            ++retriesUsed;
+            ++result.retries;
+            const double backoff =
+                recovery.backoffBaseSeconds *
+                std::pow(recovery.backoffMultiplier,
+                         static_cast<double>(attempts) - 1.0);
+            requeueQueue.push(
+                {now + backoff, rec.request.id, gpuStage,
+                 eventSeq++});
+            return;
+        }
+        if (recovery.degradeOnExhaustion) {
+            if (!rec.degradedPath) {
+                rec.degradedPath = true;
+                if (!gpuStage) // no-MSA fallback: skip the stage
+                    rec.msaEndSeconds = now;
+            }
+            requeueQueue.push(
+                {now, rec.request.id, true, eventSeq++});
+            return;
+        }
+        finish(rec, Outcome::Failed, now);
+    };
+
     const auto dispatch = [&](double now) {
-        while (freeMsa > 0 && !msaQueue.empty()) {
+        while (!freeMsa.empty() && !msaQueue.empty()) {
             const Request r = msaQueue.pop();
             auto &rec = result.records[r.id];
-            const auto &svc = model.msaService(r.sample);
+            // Expired while queued: the attempt never starts.
+            if (recovery.msaDeadlineSeconds > 0.0 &&
+                now - stageEnqueue[r.id] >=
+                    recovery.msaDeadlineSeconds) {
+                ++rec.msaAttempts;
+                failAttempt(rec, false, now,
+                            fault::FaultKind::RequestTimeout, 0,
+                            false);
+                continue;
+            }
+            const uint32_t wid = freeMsa.back();
+            freeMsa.pop_back();
+            ++rec.msaAttempts;
+            const auto &svc = msaService(r.sample);
+            double service = svc.seconds;
+
+            Completion c{now + service, wid, r.id};
+            if (faultsOn) {
+                const auto d = injector.msaService();
+                if (d.latencyFactor > 1.0) {
+                    service *= d.latencyFactor;
+                    c.time = now + service;
+                    injector.record(
+                        {now,
+                         fault::FaultKind::StorageLatencySpike, wid,
+                         r.id, false});
+                    ++rec.faultsSeen;
+                }
+                if (d.failed()) {
+                    c.fault = true;
+                    c.kind =
+                        d.crash
+                            ? fault::FaultKind::MsaWorkerCrash
+                            : fault::FaultKind::StorageReadError;
+                    c.workerDies = d.crash;
+                    c.permanent = d.crash && d.permanent;
+                    c.time = now + service * d.failFraction;
+                }
+            }
+            if (recovery.msaDeadlineSeconds > 0.0) {
+                const double deadline =
+                    stageEnqueue[r.id] +
+                    recovery.msaDeadlineSeconds;
+                if (deadline < c.time) {
+                    c.time = deadline;
+                    c.fault = true;
+                    c.kind = fault::FaultKind::RequestTimeout;
+                    c.workerDies = false;
+                    c.permanent = false;
+                }
+            }
             rec.msaStartSeconds = now;
-            --freeMsa;
-            result.msaBusySeconds += svc.seconds;
-            msaBusy.push({now + svc.seconds, 0, r.id});
+            const double occupied = c.time - now;
+            result.msaBusySeconds += occupied;
+            if (c.fault)
+                result.lostServiceSeconds += occupied;
+            msaBusy.push(c);
         }
         while (!freeGpu.empty() && !gpuQueue.empty()) {
             const Request r = gpuQueue.pop();
             auto &rec = result.records[r.id];
+            const bool degraded = rec.degradedPath;
+            if (!degraded && recovery.gpuDeadlineSeconds > 0.0 &&
+                now - stageEnqueue[r.id] >=
+                    recovery.gpuDeadlineSeconds) {
+                ++rec.gpuAttempts;
+                failAttempt(rec, true, now,
+                            fault::FaultKind::RequestTimeout, 0,
+                            false);
+                continue;
+            }
             const uint32_t wid = freeGpu.back();
             freeGpu.pop_back();
+            ++rec.gpuAttempts;
             auto &worker = gpuWorkers[wid];
-            inferOptions.gpuAlreadyInitialized = worker.served > 0;
+            inferOptions.gpuAlreadyInitialized = worker.initialized;
             const auto infer = gpusim::simulateInference(
                 platform, r.tokens, worker.xla, inferOptions);
             if (infer.oom)
@@ -193,22 +386,80 @@ simulateCluster(const sys::PlatformSpec &platform,
                       "' OOMs on " + platform.name +
                       " without unified memory");
             ++worker.served;
+            worker.initialized = true;
             rec.gpuStartSeconds = now;
             rec.compileSeconds = infer.compileSeconds;
-            const double service = infer.totalSeconds();
-            result.gpuBusySeconds += service;
-            gpuBusy.push({now + service, wid, r.id});
+            double service = infer.totalSeconds();
+            if (degraded)
+                // Reduced-recycling fallback: fewer diffusion
+                // recycles, proportionally less GPU compute.
+                service -= infer.gpuComputeSeconds *
+                           (1.0 - recovery.degradedRecyclingFactor);
+
+            Completion c{now + service, wid, r.id};
+            // The degraded pass is the last-ditch answer: exempt
+            // from injection and deadlines so it always completes.
+            if (faultsOn && !degraded) {
+                const auto d = injector.gpuService();
+                if (d.crash) {
+                    c.fault = true;
+                    c.kind = fault::FaultKind::GpuWorkerCrash;
+                    c.workerDies = true;
+                    c.permanent = d.permanent;
+                    c.time = now + service * d.failFraction;
+                }
+            }
+            if (!degraded && recovery.gpuDeadlineSeconds > 0.0) {
+                const double deadline =
+                    stageEnqueue[r.id] +
+                    recovery.gpuDeadlineSeconds;
+                if (deadline < c.time) {
+                    c.time = deadline;
+                    c.fault = true;
+                    c.kind = fault::FaultKind::RequestTimeout;
+                    c.workerDies = false;
+                    c.permanent = false;
+                }
+            }
+            const double occupied = c.time - now;
+            result.gpuBusySeconds += occupied;
+            if (c.fault)
+                result.lostServiceSeconds += occupied;
+            gpuBusy.push(c);
         }
     };
 
+    /** Handle a crash: respawn after the boot delay, or shrink the
+     *  pool permanently — never below one live replica. */
+    const auto crashWorker = [&](uint32_t wid, bool gpuPool,
+                                 double now, bool permanent) {
+        uint32_t &live = gpuPool ? liveGpu : liveMsa;
+        if (permanent && live <= 1)
+            permanent = false; // supervisor restarts the last one
+        if (gpuPool)
+            gpuWorkers[wid].xla.clear(); // persistent state lost
+        if (permanent) {
+            --live;
+            ++result.permanentWorkerLosses;
+            return permanent;
+        }
+        respawnQueue.push(
+            {now + (gpuPool ? gpuRespawnDelay : msaRespawnDelay),
+             wid, gpuPool, eventSeq++});
+        return permanent;
+    };
+
     while (nextArrival < arrivals.size() || !msaBusy.empty() ||
-           !gpuBusy.empty()) {
+           !gpuBusy.empty() || !respawnQueue.empty() ||
+           !requeueQueue.empty()) {
         const double arrivalTime =
             nextArrival < arrivals.size()
                 ? arrivals[nextArrival].arrivalSeconds
                 : kNoEvent;
         clock = std::min({arrivalTime, nextTime(msaBusy),
-                          nextTime(gpuBusy)});
+                          nextTime(gpuBusy),
+                          nextTime(respawnQueue),
+                          nextTime(requeueQueue)});
 
         // Completions first, so capacity freed at this instant is
         // visible to a simultaneous arrival.
@@ -216,26 +467,80 @@ simulateCluster(const sys::PlatformSpec &platform,
             const Completion done = gpuBusy.top();
             gpuBusy.pop();
             auto &rec = result.records[done.record];
-            rec.finishSeconds = done.time;
-            rec.outcome = Outcome::Completed;
-            freeGpu.push_back(done.worker);
-            admission.release();
+            if (!done.fault) {
+                finish(rec,
+                       rec.degradedPath ? Outcome::Degraded
+                                        : Outcome::Completed,
+                       done.time);
+                freeGpu.push_back(done.worker);
+                continue;
+            }
+            const bool permanent =
+                done.workerDies
+                    ? crashWorker(done.worker, true, done.time,
+                                  done.permanent)
+                    : (freeGpu.push_back(done.worker), false);
+            failAttempt(rec, true, done.time, done.kind,
+                        done.worker, permanent);
         }
-        // Keep the free-worker list ordered so the lowest id is
-        // always dispatched next (determinism).
-        std::sort(freeGpu.begin(), freeGpu.end(),
-                  std::greater<uint32_t>());
 
         while (!msaBusy.empty() && msaBusy.top().time <= clock) {
             const Completion done = msaBusy.top();
             msaBusy.pop();
             auto &rec = result.records[done.record];
-            rec.msaEndSeconds = done.time;
-            ++freeMsa;
-            cache.insert(rec.request.contentHash,
-                         model.msaService(rec.request.sample)
-                             .resultBytes);
-            gpuQueue.push(rec.request);
+            if (!done.fault) {
+                rec.msaEndSeconds = done.time;
+                freeMsa.push_back(done.worker);
+                const uint64_t key = rec.request.contentHash;
+                const bool corrupt =
+                    faultsOn && injector.cacheInsertCorrupted();
+                cache.insert(
+                    key, msaService(rec.request.sample).resultBytes);
+                if (corrupt && cache.corrupt(key))
+                    injector.record(
+                        {done.time,
+                         fault::FaultKind::CacheCorruption, 0,
+                         rec.request.id, false});
+                stageEnqueue[rec.request.id] = done.time;
+                gpuQueue.push(rec.request);
+                continue;
+            }
+            const bool permanent =
+                done.workerDies
+                    ? crashWorker(done.worker, false, done.time,
+                                  done.permanent)
+                    : (freeMsa.push_back(done.worker), false);
+            failAttempt(rec, false, done.time, done.kind,
+                        done.worker, permanent);
+        }
+
+        while (!respawnQueue.empty() &&
+               respawnQueue.top().time <= clock) {
+            const Respawn up = respawnQueue.top();
+            respawnQueue.pop();
+            if (up.gpuPool) {
+                ++result.gpuRespawns;
+                freeGpu.push_back(up.worker);
+            } else {
+                ++result.msaRespawns;
+                freeMsa.push_back(up.worker);
+            }
+        }
+
+        // Keep the free-worker lists ordered so the lowest id is
+        // always dispatched next (determinism).
+        std::sort(freeGpu.begin(), freeGpu.end(),
+                  std::greater<uint32_t>());
+        std::sort(freeMsa.begin(), freeMsa.end(),
+                  std::greater<uint32_t>());
+
+        while (!requeueQueue.empty() &&
+               requeueQueue.top().time <= clock) {
+            const Requeue rq = requeueQueue.top();
+            requeueQueue.pop();
+            auto &rec = result.records[rq.record];
+            stageEnqueue[rq.record] = rq.time;
+            (rq.gpuStage ? gpuQueue : msaQueue).push(rec.request);
         }
 
         while (nextArrival < arrivals.size() &&
@@ -248,15 +553,20 @@ simulateCluster(const sys::PlatformSpec &platform,
                 rec.msaStartSeconds = rec.msaEndSeconds =
                     rec.gpuStartSeconds = rec.finishSeconds =
                         r.arrivalSeconds;
+                finished[r.id] = 1;
                 continue;
             }
-            if (cache.lookup(r.contentHash)) {
+            stageEnqueue[r.id] = r.arrivalSeconds;
+            if (cache.lookup(r.contentHash) ==
+                MsaResultCache::Lookup::Hit) {
                 // AF_Cache hit: the MSA stage vanishes.
                 rec.msaCacheHit = true;
                 rec.msaStartSeconds = rec.msaEndSeconds =
                     r.arrivalSeconds;
                 gpuQueue.push(r);
             } else {
+                // Miss, or a corrupted entry detected and dropped
+                // at lookup — either way the MSA stage runs.
                 msaQueue.push(r);
             }
         }
@@ -266,11 +576,23 @@ simulateCluster(const sys::PlatformSpec &platform,
             std::max(result.makespanSeconds, clock);
     }
 
-    for (const auto &rec : result.records) {
-        if (rec.outcome == Outcome::Completed)
+    for (size_t i = 0; i < result.records.size(); ++i) {
+        panicIf(!finished[i],
+                "serve: request lost by the event loop");
+        switch (result.records[i].outcome) {
+        case Outcome::Completed:
             ++result.completed;
-        else
+            break;
+        case Outcome::Degraded:
+            ++result.degraded;
+            break;
+        case Outcome::Failed:
+            ++result.failed;
+            break;
+        case Outcome::Shed:
             ++result.shed;
+            break;
+        }
     }
     result.cacheStats = cache.stats();
     result.cacheBytesInUse = cache.bytesInUse();
@@ -279,11 +601,15 @@ simulateCluster(const sys::PlatformSpec &platform,
     result.gpuQueueMaxDepth = gpuQueue.maxDepth();
     result.maxInSystem = admission.maxInSystem();
 
+    result.faultsInjected = injector.injectedCount();
+    result.faultsByKind = injector.countsByKind();
+    result.faultLog = injector.renderLog();
+
     for (const auto &rec : result.records) {
         const std::string &s = rec.request.sample;
         if (!result.msaSecondsBySample.count(s) &&
             rec.outcome == Outcome::Completed &&
-            !rec.msaCacheHit)
+            !rec.msaCacheHit && !rec.faultAffected())
             result.msaSecondsBySample[s] =
                 rec.msaEndSeconds - rec.msaStartSeconds;
     }

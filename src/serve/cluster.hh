@@ -18,20 +18,110 @@
  * The simulation advances a virtual clock over arrival/completion
  * events; with a fixed workload seed the outcome is bit-identical
  * across runs.
+ *
+ * Fault tolerance: a fault::Plan threads seeded chaos through both
+ * stages — worker crashes (GPU workers lose their persistent XLA
+ * cache and re-warm after respawn), storage read errors and latency
+ * spikes during MSA service, MSA-cache corruption, and per-stage
+ * deadlines. Recovery is per-request retry with exponential backoff
+ * under a cluster-wide retry budget, worker respawn with a modeled
+ * cold-start cost, and graceful degradation: when retries are
+ * exhausted a request sheds its MSA stage and runs a
+ * reduced-recycling inference pass, finishing as Outcome::Degraded
+ * rather than being dropped. With an empty plan the event sequence
+ * is bit-identical to a build without the fault machinery.
  */
 
 #ifndef AFSB_SERVE_CLUSTER_HH
 #define AFSB_SERVE_CLUSTER_HH
 
+#include <array>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/msa_phase.hh"
+#include "fault/fault.hh"
 #include "serve/msa_cache.hh"
 #include "serve/scheduler.hh"
 #include "serve/workload.hh"
 
 namespace afsb::serve {
+
+struct ClusterConfig;
+
+/**
+ * Deterministic per-sample MSA characterization, shared across
+ * simulations. The MSA phase depends only on (sample, platform,
+ * engine options), so each distinct sample is run once through the
+ * real engine and memoized. Passing one oracle to many
+ * simulateCluster calls (e.g. a 200-seed chaos sweep over the same
+ * mix) pays the engine runs once; the caller must not reuse an
+ * oracle across different platforms or MSA options.
+ */
+class MsaServiceOracle
+{
+  public:
+    struct Service
+    {
+        double seconds = 0.0;
+        uint64_t resultBytes = 0;
+    };
+
+    const Service &characterize(const sys::PlatformSpec &platform,
+                                const core::Workspace &workspace,
+                                const ClusterConfig &config,
+                                const std::string &sample);
+
+  private:
+    std::map<std::string, Service> memo_;
+};
+
+/**
+ * How the cluster recovers from injected faults. All knobs are
+ * inert on a fault-free run (deadlines default off; nothing retries
+ * when nothing fails).
+ */
+struct RecoveryPolicy
+{
+    /** Service dispatches allowed per stage, first try included. */
+    uint32_t maxAttemptsPerStage = 3;
+
+    /** Cluster-wide cap on retry dispatches across all requests;
+     *  once spent, further failures degrade (or fail) directly. */
+    uint64_t retryBudget = 1ull << 20;
+
+    /** First retry waits this long; each further retry doubles it
+     *  (times backoffMultiplier). */
+    double backoffBaseSeconds = 20.0;
+    double backoffMultiplier = 2.0;
+
+    /** Per-attempt stage deadlines measured from stage enqueue;
+     *  0 disables. An overrun aborts the attempt (kind
+     *  request_timeout) and requeues under the retry policy. */
+    double msaDeadlineSeconds = 0.0;
+    double gpuDeadlineSeconds = 0.0;
+
+    /** Supervisor delay before any crashed worker begins booting. */
+    double respawnSpawnSeconds = 2.0;
+
+    /** Boot cost of a respawned MSA worker process. */
+    double msaRespawnSeconds = 15.0;
+
+    /** Boot cost of a respawned GPU worker; negative derives it
+     *  from gpusim::initPhaseSeconds (driver/context setup + VRAM
+     *  mapping on the target platform). The respawned worker comes
+     *  back with its context up but its XLA cache cold. */
+    double gpuRespawnSeconds = -1.0;
+
+    /** On retry exhaustion, shed to the no-MSA / reduced-recycling
+     *  fallback (Outcome::Degraded) instead of failing hard. */
+    bool degradeOnExhaustion = true;
+
+    /** Fraction of the normal GPU-compute time a degraded
+     *  (reduced-recycling) inference pass spends. */
+    double degradedRecyclingFactor = 0.25;
+};
 
 /** Serving-cluster configuration. */
 struct ClusterConfig
@@ -68,6 +158,16 @@ struct ClusterConfig
      */
     core::MsaPhaseOptions msaOptions = makeDefaultMsaOptions();
 
+    /** Seeded chaos schedule; default-empty injects nothing. */
+    fault::Plan faultPlan;
+
+    /** Retry / respawn / degradation policy. */
+    RecoveryPolicy recovery;
+
+    /** Optional shared per-sample MSA characterization (multi-run
+     *  sweeps reuse one oracle); null uses a run-local one. */
+    MsaServiceOracle *msaOracle = nullptr;
+
     static core::MsaPhaseOptions
     makeDefaultMsaOptions()
     {
@@ -87,6 +187,8 @@ struct ClusterResult
 
     uint64_t offered = 0;   ///< arrivals
     uint64_t completed = 0; ///< served through both stages
+    uint64_t degraded = 0;  ///< served via the fallback path
+    uint64_t failed = 0;    ///< gave up (retries out, degrade off)
     uint64_t shed = 0;      ///< rejected by admission control
 
     MsaResultCache::Stats cacheStats;
@@ -102,6 +204,27 @@ struct ClusterResult
     size_t msaQueueMaxDepth = 0;
     size_t gpuQueueMaxDepth = 0;
     size_t maxInSystem = 0;
+
+    /** True when the configured fault plan could inject anything;
+     *  gates the fault section of reports so fault-free output is
+     *  byte-identical to a build without the machinery. */
+    bool faultsEnabled = false;
+
+    uint64_t faultsInjected = 0; ///< fault-log length
+    std::array<uint64_t, fault::kFaultKinds> faultsByKind{};
+
+    uint64_t retries = 0;  ///< retry dispatches scheduled
+    uint64_t timeouts = 0; ///< per-stage deadline expiries
+    uint64_t msaRespawns = 0;
+    uint64_t gpuRespawns = 0;
+    uint64_t permanentWorkerLosses = 0;
+
+    /** Worker-seconds burned by attempts a fault aborted. */
+    double lostServiceSeconds = 0.0;
+
+    /** Canonical fault log (fault::Injector::renderLog) —
+     *  byte-identical across runs with identical seeds. */
+    std::string faultLog;
 
     /** Deterministic per-sample MSA service time (the memoized
      *  characterization runs). */
@@ -123,8 +246,21 @@ struct ClusterResult
         return cap > 0.0 ? gpuBusySeconds / cap : 0.0;
     }
 
+    /** All responses per hour: full-quality and degraded alike. */
     double
     throughputPerHour() const
+    {
+        return makespanSeconds > 0.0
+                   ? 3600.0 *
+                         static_cast<double>(completed + degraded) /
+                         makespanSeconds
+                   : 0.0;
+    }
+
+    /** Full-quality responses per hour — what throughput degrades
+     *  to once fallback answers stop counting. */
+    double
+    goodputPerHour() const
     {
         return makespanSeconds > 0.0
                    ? 3600.0 * static_cast<double>(completed) /
@@ -134,6 +270,9 @@ struct ClusterResult
 
     /** End-to-end latencies of completed requests, arrival order. */
     std::vector<double> completedLatencies() const;
+
+    /** Latencies of every served response (completed + degraded). */
+    std::vector<double> servedLatencies() const;
 };
 
 /**

@@ -4,16 +4,34 @@
 
 namespace afsb::serve {
 
-bool
+uint64_t
+MsaResultCache::checksumOf(uint64_t key, uint64_t bytes)
+{
+    // splitmix64 finalizer over the entry identity: cheap, and any
+    // single-bit corruption of the stored value is detected.
+    uint64_t x = key ^ (bytes * 0x9e3779b97f4a7c15ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+MsaResultCache::Lookup
 MsaResultCache::lookup(uint64_t key)
 {
     ++stats_.lookups;
     const auto it = index_.find(key);
     if (it == index_.end())
-        return false;
+        return Lookup::Miss;
+    if (it->second->checksum != checksumOf(key, it->second->bytes)) {
+        ++stats_.corrupted;
+        bytesInUse_ -= it->second->bytes;
+        lru_.erase(it->second);
+        index_.erase(it);
+        return Lookup::Corrupt;
+    }
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return true;
+    return Lookup::Hit;
 }
 
 void
@@ -29,16 +47,27 @@ MsaResultCache::insert(uint64_t key, uint64_t bytes)
         // misses on one key); keep one copy, update its footprint.
         bytesInUse_ -= it->second->bytes;
         it->second->bytes = bytes;
+        it->second->checksum = checksumOf(key, bytes);
         bytesInUse_ += bytes;
         lru_.splice(lru_.begin(), lru_, it->second);
     } else {
-        lru_.push_front({key, bytes});
+        lru_.push_front({key, bytes, checksumOf(key, bytes)});
         index_[key] = lru_.begin();
         bytesInUse_ += bytes;
         ++stats_.insertions;
     }
     while (bytesInUse_ > budgetBytes_)
         evictOne();
+}
+
+bool
+MsaResultCache::corrupt(uint64_t key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    it->second->checksum ^= 1ull << 17;
+    return true;
 }
 
 void

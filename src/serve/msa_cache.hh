@@ -26,6 +26,13 @@ namespace afsb::serve {
 class MsaResultCache
 {
   public:
+    /** Result of one lookup. */
+    enum class Lookup {
+        Miss,    ///< key absent
+        Hit,     ///< key present, checksum verified
+        Corrupt, ///< key present but failed its checksum; dropped
+    };
+
     /** Hit/miss/eviction counters. */
     struct Stats
     {
@@ -33,7 +40,8 @@ class MsaResultCache
         uint64_t hits = 0;
         uint64_t insertions = 0;
         uint64_t evictions = 0;
-        uint64_t rejected = 0; ///< entries larger than the budget
+        uint64_t rejected = 0;  ///< entries larger than the budget
+        uint64_t corrupted = 0; ///< checksum mismatches on lookup
 
         uint64_t misses() const { return lookups - hits; }
 
@@ -53,10 +61,15 @@ class MsaResultCache
     {}
 
     /**
-     * Look up @p key; a hit refreshes its LRU position. Counted in
-     * stats().
+     * Look up @p key; a verified hit refreshes its LRU position.
+     * Every stored entry carries a checksum of (key, bytes) taken
+     * at insertion; a mismatch on lookup (bit rot, or fault
+     * injection via corrupt()) drops the entry and reports
+     * Lookup::Corrupt — the caller re-derives the result through
+     * the MSA stage, exactly as a production cache would on a
+     * failed integrity check. Counted in stats().
      */
-    bool lookup(uint64_t key);
+    Lookup lookup(uint64_t key);
 
     /**
      * Insert (or refresh) @p key at @p bytes, evicting least-
@@ -65,6 +78,14 @@ class MsaResultCache
      * stored).
      */
     void insert(uint64_t key, uint64_t bytes);
+
+    /**
+     * Flip a bit in @p key's stored checksum (fault injection: the
+     * entry decayed in storage). Returns false (no-op) when the key
+     * is absent; the corruption is discovered — and the entry
+     * dropped — only on the next lookup.
+     */
+    bool corrupt(uint64_t key);
 
     const Stats &stats() const { return stats_; }
     uint64_t budgetBytes() const { return budgetBytes_; }
@@ -76,7 +97,12 @@ class MsaResultCache
     {
         uint64_t key;
         uint64_t bytes;
+        uint64_t checksum;
     };
+
+    /** Content digest stored with each entry and re-derived on
+     *  lookup. */
+    static uint64_t checksumOf(uint64_t key, uint64_t bytes);
 
     void evictOne();
 

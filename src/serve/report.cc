@@ -14,6 +14,8 @@ buildSloReport(const ClusterResult &result)
     SloReport report;
     report.offered = result.offered;
     report.completed = result.completed;
+    report.degraded = result.degraded;
+    report.failed = result.failed;
     report.shed = result.shed;
     report.cacheHitRate = result.cacheStats.hitRate();
     report.cacheEvictions = result.cacheStats.evictions;
@@ -44,6 +46,27 @@ buildSloReport(const ClusterResult &result)
         report.meanGpuQueueSeconds = gpuQueue / n;
         report.meanServiceSeconds = service / n;
     }
+
+    report.faultsEnabled = result.faultsEnabled;
+    auto &ft = report.fault;
+    ft.injected = result.faultsInjected;
+    ft.byKind = result.faultsByKind;
+    ft.retries = result.retries;
+    ft.timeouts = result.timeouts;
+    ft.msaRespawns = result.msaRespawns;
+    ft.gpuRespawns = result.gpuRespawns;
+    ft.permanentWorkerLosses = result.permanentWorkerLosses;
+    ft.cacheCorruptionsDetected = result.cacheStats.corrupted;
+    ft.lostServiceSeconds = result.lostServiceSeconds;
+    ft.goodputPerHour = result.goodputPerHour();
+    ft.p99AllSeconds = percentilesOf(result.servedLatencies()).p99;
+    std::vector<double> clean;
+    for (const auto &rec : result.records)
+        if (rec.outcome == Outcome::Completed &&
+            !rec.faultAffected())
+            clean.push_back(rec.latencySeconds());
+    ft.cleanCompleted = clean.size();
+    ft.p99CleanSeconds = percentilesOf(clean).p99;
     return report;
 }
 
@@ -103,6 +126,112 @@ printSloReport(const SloReport &report, const std::string &title)
                 formatBytes(report.cacheBytesInUse).c_str(),
                 static_cast<unsigned long long>(
                     report.cacheEvictions));
+
+    if (!report.faultsEnabled)
+        return;
+    const auto u64 = [](uint64_t v) {
+        return strformat("%llu",
+                         static_cast<unsigned long long>(v));
+    };
+    const auto kindCount = [&](fault::FaultKind k) {
+        return u64(report.fault.byKind[static_cast<size_t>(k)]);
+    };
+
+    TextTable faults(title + " — injected faults");
+    faults.setHeader({"total", "msa crash", "gpu crash",
+                      "storage err", "storage spike",
+                      "cache corrupt", "timeout"});
+    faults.addRow(
+        {u64(report.fault.injected),
+         kindCount(fault::FaultKind::MsaWorkerCrash),
+         kindCount(fault::FaultKind::GpuWorkerCrash),
+         kindCount(fault::FaultKind::StorageReadError),
+         kindCount(fault::FaultKind::StorageLatencySpike),
+         kindCount(fault::FaultKind::CacheCorruption),
+         kindCount(fault::FaultKind::RequestTimeout)});
+    faults.print();
+
+    TextTable recovery(title + " — recovery");
+    recovery.setHeader({"retries", "timeouts", "respawns",
+                        "perm lost", "degraded", "failed",
+                        "lost svc (s)"});
+    recovery.addRow(
+        {u64(report.fault.retries), u64(report.fault.timeouts),
+         u64(report.fault.msaRespawns + report.fault.gpuRespawns),
+         u64(report.fault.permanentWorkerLosses),
+         u64(report.degraded), u64(report.failed),
+         strformat("%.1f", report.fault.lostServiceSeconds)});
+    recovery.print();
+
+    TextTable goodput(title + " — goodput under faults");
+    goodput.setHeader({"goodput/h", "req/h", "p99 clean (s)",
+                       "p99 all (s)", "clean n"});
+    goodput.addRow(
+        {strformat("%.1f", report.fault.goodputPerHour),
+         strformat("%.1f", report.throughputPerHour),
+         strformat("%.1f", report.fault.p99CleanSeconds),
+         strformat("%.1f", report.fault.p99AllSeconds),
+         u64(report.fault.cleanCompleted)});
+    goodput.print();
+}
+
+std::string
+canonicalSloText(const SloReport &report)
+{
+    std::string out;
+    const auto addU = [&](const char *key, uint64_t v) {
+        out += strformat("%s=%llu\n", key,
+                         static_cast<unsigned long long>(v));
+    };
+    const auto addF = [&](const char *key, double v) {
+        out += strformat("%s=%.3f\n", key, v);
+    };
+
+    addU("offered", report.offered);
+    addU("completed", report.completed);
+    addU("degraded", report.degraded);
+    addU("failed", report.failed);
+    addU("shed", report.shed);
+    addF("latency_p50_s", report.latency.p50);
+    addF("latency_p95_s", report.latency.p95);
+    addF("latency_p99_s", report.latency.p99);
+    addF("latency_mean_s", report.meanLatency);
+    addF("latency_max_s", report.maxLatency);
+    addF("mean_msa_queue_s", report.meanMsaQueueSeconds);
+    addF("mean_gpu_queue_s", report.meanGpuQueueSeconds);
+    addF("mean_service_s", report.meanServiceSeconds);
+    addF("cache_hit_rate_pct", 100.0 * report.cacheHitRate);
+    addU("cache_evictions", report.cacheEvictions);
+    addU("cache_entries", report.cacheEntries);
+    addU("cache_bytes", report.cacheBytesInUse);
+    addF("msa_util_pct", 100.0 * report.msaUtilization);
+    addF("gpu_util_pct", 100.0 * report.gpuUtilization);
+    addF("throughput_per_h", report.throughputPerHour);
+    addF("makespan_s", report.makespanSeconds);
+
+    if (!report.faultsEnabled)
+        return out;
+    addU("faults_injected", report.fault.injected);
+    for (size_t k = 0; k < fault::kFaultKinds; ++k)
+        addU(strformat("fault_%s",
+                       faultKindName(
+                           static_cast<fault::FaultKind>(k)))
+                 .c_str(),
+             report.fault.byKind[k]);
+    addU("retries", report.fault.retries);
+    addU("timeouts", report.fault.timeouts);
+    addU("msa_respawns", report.fault.msaRespawns);
+    addU("gpu_respawns", report.fault.gpuRespawns);
+    addU("permanent_worker_losses",
+         report.fault.permanentWorkerLosses);
+    addU("cache_corruptions_detected",
+         report.fault.cacheCorruptionsDetected);
+    addF("lost_service_s", report.fault.lostServiceSeconds);
+    addF("goodput_per_h", report.fault.goodputPerHour);
+    addF("latency_p99_all_s", report.fault.p99AllSeconds);
+    addF("latency_p99_clean_s", report.fault.p99CleanSeconds);
+    addU("clean_completed", report.fault.cleanCompleted);
+    return out;
 }
 
 CsvWriter
@@ -110,11 +239,13 @@ requestCsv(const ClusterResult &result)
 {
     CsvWriter csv;
     csv.setHeader({"id", "sample", "variant", "tokens", "arrival_s",
-                   "outcome", "msa_cache_hit", "msa_queue_s",
-                   "msa_service_s", "gpu_queue_s", "gpu_service_s",
-                   "xla_compile_s", "latency_s"});
+                   "outcome", "msa_cache_hit", "degraded_path",
+                   "msa_attempts", "gpu_attempts", "faults_seen",
+                   "msa_queue_s", "msa_service_s", "gpu_queue_s",
+                   "gpu_service_s", "xla_compile_s", "latency_s"});
     for (const auto &rec : result.records) {
-        const bool done = rec.outcome == Outcome::Completed;
+        const bool served = rec.outcome == Outcome::Completed ||
+                            rec.outcome == Outcome::Degraded;
         csv.addRow(
             {strformat("%llu", static_cast<unsigned long long>(
                                    rec.request.id)),
@@ -122,21 +253,27 @@ requestCsv(const ClusterResult &result)
              strformat("%u", rec.request.variant),
              strformat("%zu", rec.request.tokens),
              strformat("%.3f", rec.request.arrivalSeconds),
-             done ? "completed" : "shed",
+             outcomeName(rec.outcome),
              rec.msaCacheHit ? "1" : "0",
-             strformat("%.3f", done ? rec.msaQueueSeconds() : 0.0),
+             rec.degradedPath ? "1" : "0",
+             strformat("%u", rec.msaAttempts),
+             strformat("%u", rec.gpuAttempts),
+             strformat("%u", rec.faultsSeen),
              strformat("%.3f",
-                       done ? rec.msaEndSeconds -
-                                  rec.msaStartSeconds
-                            : 0.0),
-             strformat("%.3f", done ? rec.gpuQueueSeconds() : 0.0),
+                       served ? rec.msaQueueSeconds() : 0.0),
              strformat("%.3f",
-                       done ? rec.finishSeconds -
-                                  rec.gpuStartSeconds
-                            : 0.0),
+                       served ? rec.msaEndSeconds -
+                                    rec.msaStartSeconds
+                              : 0.0),
+             strformat("%.3f",
+                       served ? rec.gpuQueueSeconds() : 0.0),
+             strformat("%.3f",
+                       served ? rec.finishSeconds -
+                                    rec.gpuStartSeconds
+                              : 0.0),
              strformat("%.3f", rec.compileSeconds),
              strformat("%.3f",
-                       done ? rec.latencySeconds() : 0.0)});
+                       served ? rec.latencySeconds() : 0.0)});
     }
     return csv;
 }

@@ -12,6 +12,7 @@
 #ifndef AFSB_SERVE_REPORT_HH
 #define AFSB_SERVE_REPORT_HH
 
+#include <array>
 #include <string>
 
 #include "serve/cluster.hh"
@@ -25,6 +26,8 @@ struct SloReport
 {
     uint64_t offered = 0;
     uint64_t completed = 0;
+    uint64_t degraded = 0;
+    uint64_t failed = 0;
     uint64_t shed = 0;
 
     /** End-to-end latency over completed requests. */
@@ -48,6 +51,35 @@ struct SloReport
     double throughputPerHour = 0.0;
     double makespanSeconds = 0.0;
 
+    /** True when the run had a live fault plan. Gates the fault
+     *  section everywhere, so fault-free report text is
+     *  byte-identical to a build without the fault machinery. */
+    bool faultsEnabled = false;
+
+    /** Fault / recovery dashboard (all zero on fault-free runs). */
+    struct FaultSection
+    {
+        uint64_t injected = 0;
+        std::array<uint64_t, fault::kFaultKinds> byKind{};
+        uint64_t retries = 0;
+        uint64_t timeouts = 0;
+        uint64_t msaRespawns = 0;
+        uint64_t gpuRespawns = 0;
+        uint64_t permanentWorkerLosses = 0;
+        uint64_t cacheCorruptionsDetected = 0;
+        double lostServiceSeconds = 0.0;
+
+        /** Full-quality vs any-quality responses per hour. */
+        double goodputPerHour = 0.0;
+
+        /** p99 over all served responses (completed + degraded). */
+        double p99AllSeconds = 0.0;
+
+        /** p99 over completed requests no fault ever touched. */
+        double p99CleanSeconds = 0.0;
+        uint64_t cleanCompleted = 0;
+    } fault;
+
     /** Fraction of offered load rejected by admission control. */
     double
     shedRate() const
@@ -64,6 +96,17 @@ SloReport buildSloReport(const ClusterResult &result);
 /** Print the report as ASCII tables under @p title. */
 void printSloReport(const SloReport &report,
                     const std::string &title);
+
+/**
+ * Canonical key=value serialization of @p report, one field per
+ * line, every floating-point value rounded to %.3f. Two runs with
+ * identical seeds render byte-identical text; the fixed rounding
+ * also makes the committed fault-free golden
+ * (bench/baselines/serve_slo.txt) stable across compilers, whose
+ * fused-multiply-add choices differ in the last few ulps. The
+ * fault section is emitted only when faults were enabled.
+ */
+std::string canonicalSloText(const SloReport &report);
 
 /**
  * Per-request CSV export: one row per offered request with

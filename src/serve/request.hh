@@ -32,9 +32,29 @@ struct Request
 
 /** Terminal state of a request. */
 enum class Outcome {
-    Completed, ///< served through both stages
+    Completed, ///< served through both stages at full quality
+    Degraded,  ///< served via the no-MSA / reduced-recycling
+               ///< fallback after the retry budget ran out
+    Failed,    ///< gave up: retries exhausted, degradation off
     Shed,      ///< rejected by admission control
 };
+
+/** Canonical lower-case name (stable; used in CSV and reports). */
+inline const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+    case Outcome::Completed:
+        return "completed";
+    case Outcome::Degraded:
+        return "degraded";
+    case Outcome::Failed:
+        return "failed";
+    case Outcome::Shed:
+        return "shed";
+    }
+    return "unknown";
+}
 
 /** Full per-request trace through the cluster. */
 struct RequestRecord
@@ -45,6 +65,19 @@ struct RequestRecord
     /** MSA stage skipped via the content-addressed result cache. */
     bool msaCacheHit = false;
 
+    /** Finished (or failed) on the degraded fallback path. */
+    bool degradedPath = false;
+
+    /** Service dispatches per stage (1 on a fault-free run; each
+     *  retry adds one). */
+    uint32_t msaAttempts = 0;
+    uint32_t gpuAttempts = 0;
+
+    /** Faults (injected or deadline timeouts) this request hit. */
+    uint32_t faultsSeen = 0;
+
+    /** Timestamps below describe the *successful* attempt; earlier
+     *  failed attempts and their backoff show up as queue time. */
     double msaStartSeconds = 0.0; ///< MSA service begins (hit: skip)
     double msaEndSeconds = 0.0;   ///< MSA result available
     double gpuStartSeconds = 0.0; ///< inference service begins
@@ -53,6 +86,15 @@ struct RequestRecord
     /** XLA compile paid on the assigned GPU worker (0 once the
      *  worker's persistent cache holds the shape bucket). */
     double compileSeconds = 0.0;
+
+    /** Touched by at least one fault, retry, or timeout — the SLO
+     *  report's clean-vs-affected tail split keys off this. */
+    bool
+    faultAffected() const
+    {
+        return faultsSeen > 0 || degradedPath || msaAttempts > 1 ||
+               gpuAttempts > 1;
+    }
 
     /** Wait before an MSA worker (0 on a cache hit). */
     double

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for FASTA parsing and writing: round-trips and
+ * malformed-input handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/fasta.hh"
+#include "util/logging.hh"
+
+namespace afsb::bio {
+namespace {
+
+TEST(Fasta, ParsesMultipleRecords)
+{
+    const auto seqs = parseFasta(">one\nACDEF\n>two\nGHIK\nLMNP\n",
+                                 MoleculeType::Protein);
+    ASSERT_EQ(seqs.size(), 2u);
+    EXPECT_EQ(seqs[0].id(), "one");
+    EXPECT_EQ(seqs[0].toString(), "ACDEF");
+    EXPECT_EQ(seqs[1].id(), "two");
+    EXPECT_EQ(seqs[1].toString(), "GHIKLMNP"); // wrapped lines join
+}
+
+TEST(Fasta, IgnoresBlankLinesAndTrimsNothingElse)
+{
+    const auto seqs = parseFasta("\n>a\n\nAC\n\nDE\n\n",
+                                 MoleculeType::Protein);
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(seqs[0].toString(), "ACDE");
+}
+
+TEST(Fasta, RoundTripsThroughWriter)
+{
+    const std::vector<Sequence> original = {
+        {"chainA", MoleculeType::Protein, "MKVLAT"},
+        {"chainB", MoleculeType::Protein,
+         std::string(150, 'A')}, // forces line wrapping
+    };
+    const std::string text = writeFasta(original, 60);
+    const auto parsed = parseFasta(text, MoleculeType::Protein);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].id(), original[i].id());
+        EXPECT_EQ(parsed[i].toString(), original[i].toString());
+    }
+}
+
+TEST(Fasta, WriterWrapsAtRequestedWidth)
+{
+    const std::vector<Sequence> seqs = {
+        {"x", MoleculeType::Protein, std::string(10, 'G')}};
+    const std::string text = writeFasta(seqs, 4);
+    EXPECT_NE(text.find(">x\nGGGG\nGGGG\nGG\n"), std::string::npos);
+}
+
+TEST(Fasta, EmptyInputYieldsNoSequences)
+{
+    EXPECT_TRUE(parseFasta("", MoleculeType::Protein).empty());
+    EXPECT_TRUE(parseFasta("\n\n", MoleculeType::Protein).empty());
+}
+
+TEST(Fasta, InvalidResidueIsFatal)
+{
+    EXPECT_THROW(parseFasta(">bad\nAC1DE\n", MoleculeType::Protein),
+                 FatalError);
+}
+
+TEST(Fasta, ResiduesBeforeFirstHeaderAreFatal)
+{
+    EXPECT_THROW(parseFasta("ACDE\n>late\nAC\n",
+                            MoleculeType::Protein),
+                 FatalError);
+}
+
+TEST(Fasta, EmptyHeaderIsFatal)
+{
+    EXPECT_THROW(parseFasta(">\nACDE\n", MoleculeType::Protein),
+                 FatalError);
+}
+
+TEST(Fasta, HeaderIdStopsAtWhitespace)
+{
+    const auto seqs = parseFasta(">sp|P1|X some description\nAC\n",
+                                 MoleculeType::Protein);
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(seqs[0].id(), "sp|P1|X");
+}
+
+TEST(Fasta, DnaAlphabetIsEnforced)
+{
+    const auto ok = parseFasta(">d\nACGT\n", MoleculeType::Dna);
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0].toString(), "ACGT");
+    // 'E' is a valid protein residue but not a DNA base.
+    EXPECT_THROW(parseFasta(">d\nACGE\n", MoleculeType::Dna),
+                 FatalError);
+}
+
+} // namespace
+} // namespace afsb::bio

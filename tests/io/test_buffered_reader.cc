@@ -162,5 +162,48 @@ TEST(BufferedReader, EmptyFile)
     EXPECT_TRUE(reader.eof());
 }
 
+/** Hook that fails every device read. */
+class FailingHook : public StorageFaultHook
+{
+  public:
+    bool readFails() override { return true; }
+};
+
+TEST(BufferedReader, StorageReadErrorPoisonsStream)
+{
+    Fixture f;
+    FailingHook hook;
+    f.dev.setFaultHook(&hook);
+    const FileId id = f.vfs.createFile("f", "line1\nline2\n");
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::string line;
+    EXPECT_FALSE(reader.readLine(line, 0.0));
+    EXPECT_TRUE(reader.failed());
+    EXPECT_GE(reader.stats().readErrors, 1u);
+    // The poisoned stream yields nothing more, ever.
+    EXPECT_FALSE(reader.readLine(line, 0.0));
+    char buf[16];
+    EXPECT_EQ(reader.copyToIter(buf, sizeof(buf), 0.0), 0u);
+}
+
+TEST(BufferedReader, HealthyDeviceAfterFaultyRunStartsClean)
+{
+    Fixture f;
+    FailingHook hook;
+    f.dev.setFaultHook(&hook);
+    const FileId id = f.vfs.createFile("f", "data\n");
+    {
+        BufferedReader reader(&f.vfs, &f.cache, id);
+        std::string line;
+        EXPECT_FALSE(reader.readLine(line, 0.0));
+    }
+    f.dev.setFaultHook(nullptr);
+    BufferedReader reader(&f.vfs, &f.cache, id);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line, 0.0));
+    EXPECT_EQ(line, "data");
+    EXPECT_FALSE(reader.failed());
+}
+
 } // namespace
 } // namespace afsb::io

@@ -84,5 +84,61 @@ TEST(Storage, EmptyWindowIsSafe)
     EXPECT_DOUBLE_EQ(stats.readThroughput(), 0.0);
 }
 
+/** Scriptable hook: fail or stretch the next reads on demand. */
+class ScriptedFaultHook : public StorageFaultHook
+{
+  public:
+    bool fail = false;
+    double factor = 1.0;
+
+    bool readFails() override { return fail; }
+    double latencyFactor() override { return factor; }
+};
+
+TEST(Storage, FaultHookLatencySpikeStretchesService)
+{
+    StorageDevice dev(testSpec());
+    ScriptedFaultHook hook;
+    hook.factor = 8.0;
+    dev.setFaultHook(&hook);
+    // 1 MB at 1 GB/s = 1 ms service, spiked 8x, plus 0.1 ms base.
+    const auto out = dev.readChecked(1'000'000, 0.0);
+    EXPECT_FALSE(out.failed);
+    EXPECT_NEAR(out.latency, 0.0001 + 0.008, 1e-9);
+    EXPECT_EQ(dev.peek(1.0).readErrors, 0u);
+}
+
+TEST(Storage, FaultHookReadErrorCountsAndOccupiesDevice)
+{
+    StorageDevice dev(testSpec());
+    ScriptedFaultHook hook;
+    hook.fail = true;
+    dev.setFaultHook(&hook);
+    const auto bad = dev.readChecked(10'000'000, 0.0);
+    EXPECT_TRUE(bad.failed);
+    // The failed read still held the device: a back-to-back retry
+    // queues behind it.
+    hook.fail = false;
+    const auto retry = dev.readChecked(10'000'000, 0.0);
+    EXPECT_FALSE(retry.failed);
+    EXPECT_GT(retry.latency, bad.latency);
+    const auto stats = dev.peek(1.0);
+    EXPECT_EQ(stats.readErrors, 1u);
+    EXPECT_EQ(stats.readRequests, 2u);
+}
+
+TEST(Storage, ClearingFaultHookRestoresHealth)
+{
+    StorageDevice dev(testSpec());
+    ScriptedFaultHook hook;
+    hook.fail = true;
+    dev.setFaultHook(&hook);
+    EXPECT_TRUE(dev.readChecked(1000, 0.0).failed);
+    dev.setFaultHook(nullptr);
+    EXPECT_FALSE(dev.readChecked(1000, 10.0).failed);
+    // The unchecked read() path stays usable throughout.
+    EXPECT_GT(dev.read(1000, 20.0), 0.0);
+}
+
 } // namespace
 } // namespace afsb::io

@@ -52,8 +52,11 @@ TEST(Vfs, OpenByNameAndExistence)
     vfs.createFile("a", "x");
     EXPECT_TRUE(vfs.exists("a"));
     EXPECT_FALSE(vfs.exists("b"));
-    EXPECT_EQ(vfs.open("a"), 0u);
-    EXPECT_THROW(vfs.open("b"), FatalError);
+    ASSERT_TRUE(vfs.open("a").has_value());
+    EXPECT_EQ(*vfs.open("a"), 0u);
+    // A missing file is a recoverable error, not a fatal() — the
+    // serving path's injected open failures must propagate.
+    EXPECT_FALSE(vfs.open("b").has_value());
 }
 
 TEST(Vfs, ReplaceKeepsId)

@@ -65,7 +65,7 @@ TEST_F(SearchFixture, DatabaseLoadParsesEverything)
         EXPECT_GT(e.length, 0u);
         prev = e.offset + e.length;
     }
-    EXPECT_EQ(prev, vfs.size(vfs.open("prot.fasta")));
+    EXPECT_EQ(prev, vfs.size(*vfs.open("prot.fasta")));
 }
 
 TEST_F(SearchFixture, FindsPlantedHomologs)
@@ -129,7 +129,7 @@ TEST_F(SearchFixture, StreamsDatabaseBytesThroughCache)
     const auto warm =
         searchDatabase(prof, db, cache(), nullptr, cfg);
     EXPECT_EQ(warm.stats.bytesStreamed,
-              vfs.size(vfs.open("prot.fasta")));
+              vfs.size(*vfs.open("prot.fasta")));
     EXPECT_EQ(warm.stats.bytesFromDisk, 0u);
     EXPECT_DOUBLE_EQ(warm.stats.ioLatency, 0.0);
 

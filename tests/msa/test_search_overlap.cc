@@ -143,7 +143,7 @@ TEST_F(OverlapFixture, StageCountersAccountForTheScan)
     // The prefetch reader streamed the whole FASTA once.
     EXPECT_EQ(st.reader.bytesCopied, r.stats.bytesStreamed);
     EXPECT_EQ(r.stats.bytesStreamed,
-              vfs.size(vfs.open("prot.fasta")));
+              vfs.size(*vfs.open("prot.fasta")));
     EXPECT_GT(st.msvSeconds, 0.0);
     EXPECT_GT(st.wallSeconds, 0.0);
     EXPECT_GT(st.occupancy(), 0.0);

@@ -13,9 +13,9 @@ namespace {
 TEST(MsaCache, MissThenHit)
 {
     MsaResultCache cache(1 << 20);
-    EXPECT_FALSE(cache.lookup(0xabc));
+    EXPECT_EQ(cache.lookup(0xabc), MsaResultCache::Lookup::Miss);
     cache.insert(0xabc, 1000);
-    EXPECT_TRUE(cache.lookup(0xabc));
+    EXPECT_EQ(cache.lookup(0xabc), MsaResultCache::Lookup::Hit);
     EXPECT_EQ(cache.stats().lookups, 2u);
     EXPECT_EQ(cache.stats().hits, 1u);
     EXPECT_EQ(cache.stats().misses(), 1u);
@@ -31,12 +31,12 @@ TEST(MsaCache, EvictsLeastRecentlyUsedUnderBudget)
     cache.insert(2, 100);
     cache.insert(3, 100);
     // Touch 1 so 2 becomes the LRU victim.
-    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
     cache.insert(4, 100);
-    EXPECT_TRUE(cache.lookup(1));
-    EXPECT_FALSE(cache.lookup(2));
-    EXPECT_TRUE(cache.lookup(3));
-    EXPECT_TRUE(cache.lookup(4));
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
+    EXPECT_EQ(cache.lookup(2), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.lookup(3), MsaResultCache::Lookup::Hit);
+    EXPECT_EQ(cache.lookup(4), MsaResultCache::Lookup::Hit);
     EXPECT_EQ(cache.stats().evictions, 1u);
     EXPECT_LE(cache.bytesInUse(), cache.budgetBytes());
 }
@@ -45,7 +45,7 @@ TEST(MsaCache, RejectsEntriesLargerThanBudget)
 {
     MsaResultCache cache(100);
     cache.insert(7, 101);
-    EXPECT_FALSE(cache.lookup(7));
+    EXPECT_EQ(cache.lookup(7), MsaResultCache::Lookup::Miss);
     EXPECT_EQ(cache.stats().rejected, 1u);
     EXPECT_EQ(cache.entries(), 0u);
     EXPECT_EQ(cache.bytesInUse(), 0u);
@@ -55,7 +55,7 @@ TEST(MsaCache, ZeroBudgetDisablesStorage)
 {
     MsaResultCache cache(0);
     cache.insert(1, 1);
-    EXPECT_FALSE(cache.lookup(1));
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Miss);
     EXPECT_EQ(cache.entries(), 0u);
 }
 
@@ -68,9 +68,9 @@ TEST(MsaCache, ReinsertRefreshesWithoutDuplicating)
     EXPECT_EQ(cache.entries(), 2u);
     EXPECT_EQ(cache.bytesInUse(), 200u);
     cache.insert(3, 100);
-    EXPECT_TRUE(cache.lookup(1));
-    EXPECT_FALSE(cache.lookup(2));
-    EXPECT_TRUE(cache.lookup(3));
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
+    EXPECT_EQ(cache.lookup(2), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.lookup(3), MsaResultCache::Lookup::Hit);
 }
 
 TEST(MsaCache, EvictsMultipleToFitLargeEntry)
@@ -80,12 +80,38 @@ TEST(MsaCache, EvictsMultipleToFitLargeEntry)
     cache.insert(2, 100);
     cache.insert(3, 100);
     cache.insert(4, 250);
-    EXPECT_FALSE(cache.lookup(1));
-    EXPECT_FALSE(cache.lookup(2));
-    EXPECT_FALSE(cache.lookup(3));
-    EXPECT_TRUE(cache.lookup(4));
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.lookup(2), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.lookup(3), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.lookup(4), MsaResultCache::Lookup::Hit);
     EXPECT_EQ(cache.stats().evictions, 3u);
     EXPECT_LE(cache.bytesInUse(), cache.budgetBytes());
+}
+
+TEST(MsaCache, CorruptedEntryIsDetectedAndDropped)
+{
+    MsaResultCache cache(1 << 20);
+    cache.insert(1, 100);
+    cache.insert(2, 100);
+    cache.corrupt(1);
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Corrupt);
+    EXPECT_EQ(cache.stats().corrupted, 1u);
+    // The corrupted entry is gone (its bytes reclaimed); a healthy
+    // sibling is untouched, and re-inserting the key heals it.
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytesInUse(), 100u);
+    EXPECT_EQ(cache.lookup(2), MsaResultCache::Lookup::Hit);
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Miss);
+    cache.insert(1, 100);
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
+}
+
+TEST(MsaCache, CorruptOnMissingKeyIsNoOp)
+{
+    MsaResultCache cache(1 << 20);
+    cache.corrupt(42);
+    EXPECT_EQ(cache.lookup(42), MsaResultCache::Lookup::Miss);
+    EXPECT_EQ(cache.stats().corrupted, 0u);
 }
 
 } // namespace

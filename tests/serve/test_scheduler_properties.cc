@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Seeded property tests for the dispatch queue and the admission
+ * controller: 200-seed sweeps asserting ordering and conservation
+ * invariants over random workloads. Everything is driven by
+ * util::Rng, so a failure reproduces from its seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/scheduler.hh"
+#include "util/rng.hh"
+
+namespace afsb::serve {
+namespace {
+
+constexpr int kSeeds = 200;
+
+std::vector<Request>
+randomRequests(Rng &rng, size_t n)
+{
+    std::vector<Request> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        Request r;
+        r.id = i;
+        r.tokens = static_cast<size_t>(rng.nextBounded(50)) + 1;
+        r.arrivalSeconds = rng.nextDouble() * 100.0;
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(SchedulerProperties, FifoPopsInPushOrder)
+{
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed));
+        const size_t n = rng.nextBounded(40) + 1;
+        const auto reqs = randomRequests(rng, n);
+        DispatchQueue q(SchedPolicy::Fifo);
+        for (const auto &r : reqs)
+            q.push(r);
+        EXPECT_EQ(q.maxDepth(), n);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(q.pop().id, reqs[i].id) << "seed " << seed;
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(SchedulerProperties, SjfPopsShortestFirstWithIdTieBreak)
+{
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) ^ 0x5f5u);
+        const size_t n = rng.nextBounded(40) + 2;
+        const auto reqs = randomRequests(rng, n);
+        DispatchQueue q(SchedPolicy::Sjf);
+        for (const auto &r : reqs)
+            q.push(r);
+        Request prev = q.pop();
+        while (!q.empty()) {
+            const Request next = q.pop();
+            const bool ordered =
+                prev.tokens < next.tokens ||
+                (prev.tokens == next.tokens && prev.id < next.id);
+            EXPECT_TRUE(ordered)
+                << "seed " << seed << ": (" << prev.tokens << ","
+                << prev.id << ") before (" << next.tokens << ","
+                << next.id << ")";
+            prev = next;
+        }
+    }
+}
+
+TEST(SchedulerProperties, PoliciesDrainTheSameMultiset)
+{
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) ^ 0xabcdu);
+        const auto reqs =
+            randomRequests(rng, rng.nextBounded(30) + 1);
+        std::vector<uint64_t> fifoIds, sjfIds;
+        for (auto policy :
+             {SchedPolicy::Fifo, SchedPolicy::Sjf}) {
+            DispatchQueue q(policy);
+            for (const auto &r : reqs)
+                q.push(r);
+            auto &ids = policy == SchedPolicy::Fifo ? fifoIds
+                                                    : sjfIds;
+            while (!q.empty())
+                ids.push_back(q.pop().id);
+        }
+        std::sort(fifoIds.begin(), fifoIds.end());
+        std::sort(sjfIds.begin(), sjfIds.end());
+        EXPECT_EQ(fifoIds, sjfIds) << "seed " << seed;
+    }
+}
+
+TEST(SchedulerProperties, AdmissionConservesAndBoundsPopulation)
+{
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) ^ 0x7777u);
+        const size_t cap = rng.nextBounded(8) + 1;
+        AdmissionController adm(cap);
+        uint64_t attempts = 0, admitted = 0, released = 0;
+        for (int step = 0; step < 500; ++step) {
+            if (adm.inSystem() > 0 && rng.nextBool(0.45)) {
+                adm.release();
+                ++released;
+            } else {
+                ++attempts;
+                if (adm.tryAdmit())
+                    ++admitted;
+            }
+            EXPECT_LE(adm.inSystem(), cap) << "seed " << seed;
+        }
+        EXPECT_EQ(admitted + adm.shedCount(), attempts)
+            << "seed " << seed;
+        EXPECT_EQ(admitted - released, adm.inSystem())
+            << "seed " << seed;
+        EXPECT_LE(adm.maxInSystem(), cap);
+        // Drain: in-system population returns to zero.
+        while (adm.inSystem() > 0)
+            adm.release();
+        EXPECT_EQ(adm.inSystem(), 0u);
+    }
+}
+
+} // namespace
+} // namespace afsb::serve

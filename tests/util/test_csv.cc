@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the CSV writer (RFC-4180 quoting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Csv, RendersHeaderAndRows)
+{
+    CsvWriter csv;
+    csv.setHeader({"a", "b"});
+    csv.addRow({"1", "2"});
+    csv.addRow({"3", "4"});
+    EXPECT_EQ(csv.render(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(Csv, NoHeaderEmitsRowsOnly)
+{
+    CsvWriter csv;
+    csv.addRow({"x"});
+    EXPECT_EQ(csv.render(), "x\n");
+}
+
+TEST(Csv, QuotesFieldsWithSeparatorsAndQuotes)
+{
+    CsvWriter csv;
+    csv.addRow({"plain", "has,comma", "has\"quote", "has\nnewline"});
+    EXPECT_EQ(csv.render(),
+              "plain,\"has,comma\",\"has\"\"quote\","
+              "\"has\nnewline\"\n");
+}
+
+TEST(Csv, EmptyFieldsSurviveRoundTrip)
+{
+    CsvWriter csv;
+    csv.setHeader({"a", "b", "c"});
+    csv.addRow({"", "mid", ""});
+    EXPECT_EQ(csv.render(), "a,b,c\n,mid,\n");
+}
+
+TEST(Csv, WriteFileRoundTrips)
+{
+    CsvWriter csv;
+    csv.setHeader({"k", "v"});
+    csv.addRow({"x", "1,2"});
+    const std::string path = "test_csv_roundtrip.tmp.csv";
+    csv.writeFile(path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[256] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), csv.render());
+}
+
+TEST(Csv, WriteFileToBadPathIsFatal)
+{
+    CsvWriter csv;
+    csv.addRow({"x"});
+    EXPECT_THROW(csv.writeFile("/nonexistent-dir/out.csv"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace afsb

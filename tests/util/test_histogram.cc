@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the fixed-bucket histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Histogram, BucketsSamplesByValue)
+{
+    Histogram h(0.0, 10.0, 5); // width 2
+    h.add(0.0);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.9);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeGoesToOverflowBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-0.1);
+    h.add(10.0); // upper bound is exclusive
+    h.add(1e9);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    for (size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+}
+
+TEST(Histogram, BucketEdgesAreLinear)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 12.5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 17.5);
+}
+
+TEST(Histogram, MeanIsExactOverAllSamples)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(10.0);
+    h.add(20.0);
+    h.add(1000.0); // overflow still contributes to the mean
+    EXPECT_NEAR(h.mean(), (10.0 + 20.0 + 1000.0) / 3.0, 1e-12);
+}
+
+TEST(Histogram, QuantileApproximatesFromMidpoints)
+{
+    Histogram h(0.0, 100.0, 100); // width-1 buckets
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    // Midpoint resolution is +-0.5 with width-1 buckets.
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, EmptyHistogramIsSafe)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_FALSE(h.summary().empty());
+}
+
+TEST(Histogram, SummaryMentionsCount)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(5.0);
+    h.add(5.0);
+    const std::string s = h.summary();
+    EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+} // namespace
+} // namespace afsb

@@ -45,6 +45,16 @@ namespace {
 constexpr const char *kPlatformNames =
     "server, server-cxl, desktop, desktop-128";
 
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '" + path + "' for writing");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
 sys::PlatformSpec
 platformByName(const std::string &name)
 {
@@ -230,6 +240,39 @@ cmdServe(const CliArgs &args)
     cluster.msaThreadsPerWorker =
         static_cast<uint32_t>(args.getInt("msa-threads", 8));
 
+    fault::Plan &plan = cluster.faultPlan;
+    if (args.has("fault-seed"))
+        plan.seed =
+            static_cast<uint64_t>(args.getInt("fault-seed", 0));
+    plan.msaCrashProb = args.getDouble("fault-msa-crash", 0.0);
+    plan.gpuCrashProb = args.getDouble("fault-gpu-crash", 0.0);
+    plan.permanentProb = args.getDouble("fault-permanent", 0.0);
+    plan.storageErrorProb =
+        args.getDouble("fault-storage-err", 0.0);
+    plan.storageSpikeProb =
+        args.getDouble("fault-storage-spike", 0.0);
+    plan.storageSpikeFactor =
+        args.getDouble("fault-spike-factor", 8.0);
+    plan.cacheCorruptProb =
+        args.getDouble("fault-cache-corrupt", 0.0);
+
+    serve::RecoveryPolicy &recovery = cluster.recovery;
+    recovery.maxAttemptsPerStage =
+        static_cast<uint32_t>(args.getInt("retry-max", 3));
+    recovery.retryBudget =
+        static_cast<uint64_t>(args.getInt("retry-budget", 1 << 20));
+    recovery.backoffBaseSeconds = args.getDouble("backoff", 20.0);
+    recovery.backoffMultiplier =
+        args.getDouble("backoff-mult", 2.0);
+    recovery.msaDeadlineSeconds =
+        args.getDouble("deadline-msa", 0.0);
+    recovery.gpuDeadlineSeconds =
+        args.getDouble("deadline-gpu", 0.0);
+    if (args.has("respawn-s"))
+        recovery.gpuRespawnSeconds =
+            args.getDouble("respawn-s", 0.0);
+    recovery.degradeOnExhaustion = !args.getSwitch("no-degrade");
+
     std::printf(
         "Serving cluster on %s: %u MSA workers (%uT each), "
         "%u GPU workers, policy %s,\n"
@@ -242,6 +285,19 @@ cmdServe(const CliArgs &args)
         formatBytes(cluster.msaCacheBudgetBytes).c_str(),
         workload.requestsPerSecond, workload.durationSeconds,
         static_cast<unsigned long long>(workload.seed));
+
+    if (!plan.empty())
+        std::printf("Fault plan (seed %llu): msa-crash %.3f, "
+                    "gpu-crash %.3f, permanent %.3f,\n"
+                    "  storage-err %.3f, storage-spike %.3f "
+                    "(x%.1f), cache-corrupt %.3f; retries <= %u "
+                    "per stage\n\n",
+                    static_cast<unsigned long long>(plan.seed),
+                    plan.msaCrashProb, plan.gpuCrashProb,
+                    plan.permanentProb, plan.storageErrorProb,
+                    plan.storageSpikeProb, plan.storageSpikeFactor,
+                    plan.cacheCorruptProb,
+                    recovery.maxAttemptsPerStage);
 
     const auto requests = serve::generateRequests(workload);
     const auto result = serve::simulateCluster(
@@ -260,6 +316,19 @@ cmdServe(const CliArgs &args)
         serve::requestCsv(result).writeFile(args.get("csv"));
         std::printf("Per-request CSV written to %s\n",
                     args.get("csv").c_str());
+    }
+    if (args.has("report-out")) {
+        writeTextFile(args.get("report-out"),
+                      serve::canonicalSloText(report));
+        std::printf("Canonical report written to %s\n",
+                    args.get("report-out").c_str());
+    }
+    if (args.has("fault-log")) {
+        writeTextFile(args.get("fault-log"), result.faultLog);
+        std::printf("Fault log (%llu events) written to %s\n",
+                    static_cast<unsigned long long>(
+                        result.faultsInjected),
+                    args.get("fault-log").c_str());
     }
     return 0;
 }
@@ -328,6 +397,17 @@ main(int argc, char **argv)
         "          [--cache-mb MB] [--policy fifo|sjf] "
         "[--queue-cap N] [--mix \"2PV7=2,promo=1\"]\n"
         "          [--unique K] [--seed N] [--msa-threads T]\n"
+        "          faults: [--fault-seed N] [--fault-msa-crash P] "
+        "[--fault-gpu-crash P]\n"
+        "          [--fault-permanent P] [--fault-storage-err P] "
+        "[--fault-storage-spike P]\n"
+        "          [--fault-spike-factor F] "
+        "[--fault-cache-corrupt P]\n"
+        "          recovery: [--retry-max N] [--retry-budget N] "
+        "[--backoff S] [--backoff-mult F]\n"
+        "          [--deadline-msa S] [--deadline-gpu S] "
+        "[--respawn-s S] [--no-degrade]\n"
+        "          output: [--report-out FILE] [--fault-log FILE]\n"
         "  platforms: %s\n",
         kPlatformNames);
     return cmd == "help" ? 0 : 1;
