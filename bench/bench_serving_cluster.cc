@@ -6,12 +6,20 @@
  * GPU inference pool) plus the AF_Cache-style content-addressed MSA
  * cache are the paper's two Section VI deployment levers; this bench
  * quantifies both against tail latency and shed rate.
+ *
+ * --json <path> writes every sweep point as a bench-JSON record
+ * (same shape as bench_kernels --json). The simulation runs on a
+ * virtual clock, so the values are seed-deterministic; the repo-root
+ * BENCH_serving.json trend file is seeded from this output and gated
+ * by tools/bench_check --trend --absolute.
  */
 
 #include "bench_common.hh"
+#include "io/textfile.hh"
 #include "serve/cluster.hh"
 #include "serve/report.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -38,6 +46,36 @@ meanOfLatencies(const serve::ClusterResult &r)
     return xs.empty() ? 0.0 : meanOf(xs);
 }
 
+/**
+ * One sweep point as a bench-JSON record. The simulation runs on a
+ * virtual clock, so ns_per_op (mean completed-request latency) and
+ * every counter are seed-deterministic — bench_check --absolute can
+ * gate them with zero tolerance for machine speed.
+ */
+JsonValue
+record(const std::string &name, const serve::ClusterResult &r)
+{
+    const auto p = percentilesOf(r.completedLatencies());
+    JsonValue rec = JsonValue::makeObject();
+    rec["name"] = name;
+    rec["iterations"] = static_cast<int64_t>(1);
+    rec["ns_per_op"] = meanOfLatencies(r) * 1e9;
+    JsonValue counters = JsonValue::makeObject();
+    counters["completed"] = r.completed;
+    counters["degraded"] = r.degraded;
+    counters["failed"] = r.failed;
+    counters["shed"] = r.shed;
+    counters["p50_s"] = p.p50;
+    counters["p95_s"] = p.p95;
+    counters["p99_s"] = p.p99;
+    counters["cache_hit_rate"] = r.cacheStats.hitRate();
+    counters["msa_util"] = r.msaUtilization();
+    counters["gpu_util"] = r.gpuUtilization();
+    counters["req_per_h"] = r.throughputPerHour();
+    rec["counters"] = counters;
+    return rec;
+}
+
 } // namespace
 
 int
@@ -59,6 +97,8 @@ main(int argc, char **argv)
                 requests.size(), workload().durationSeconds,
                 static_cast<unsigned long long>(workload().seed));
 
+    JsonValue records = JsonValue::makeArray();
+
     // --- Sweep 1: worker-pool sizing at a fixed 512 MiB cache ----
     {
         TextTable t("Worker-pool sweep on Server (cache 512 MiB, "
@@ -75,6 +115,9 @@ main(int argc, char **argv)
                 platform, core::Workspace::shared(), requests,
                 cfg);
             const auto p = percentilesOf(r.completedLatencies());
+            records.push(record(
+                strformat("ServeCluster/pools:%ux%u", msaW, gpuW),
+                r));
             t.addRow({strformat("%ux%u", msaW, gpuW),
                       strformat("%llu",
                                 static_cast<unsigned long long>(
@@ -104,6 +147,10 @@ main(int argc, char **argv)
                 platform, core::Workspace::shared(), requests,
                 cfg);
             const auto p = percentilesOf(r.completedLatencies());
+            records.push(record(
+                strformat("ServeCluster/cacheMiB:%llu",
+                          static_cast<unsigned long long>(mb)),
+                r));
             const double mean = meanOfLatencies(r);
             if (mb == 0)
                 meanNoCache = mean;
@@ -156,6 +203,9 @@ main(int argc, char **argv)
                 platform, core::Workspace::shared(), requests,
                 cfg);
             const auto rep = serve::buildSloReport(r);
+            records.push(
+                record(strformat("ServeCluster/fault:%.2f", prob),
+                       r));
             t.addRow(
                 {strformat("%.2f", prob),
                  strformat("%llu", static_cast<unsigned long long>(
@@ -177,6 +227,15 @@ main(int argc, char **argv)
                  bench::secs(rep.fault.p99AllSeconds)});
         }
         t.print();
+    }
+
+    const std::string jsonPath = args.get("json");
+    if (!jsonPath.empty()) {
+        JsonValue doc = JsonValue::makeObject();
+        doc["benchmarks"] = records;
+        io::writeTextFile(jsonPath, doc.dumpPretty() + "\n");
+        std::printf("Wrote %zu deterministic sweep records to %s\n",
+                    records.size(), jsonPath.c_str());
     }
     return 0;
 }

@@ -32,7 +32,10 @@ siteOf(FaultKind kind)
     case FaultKind::CacheCorruption:
         return Site::CacheInsert;
     case FaultKind::RequestTimeout:
-        return Site::MsaService; // deadlines are not scriptable
+    case FaultKind::NodeFailure:
+        // Deadlines and node kills are scheduled on the virtual
+        // clock, not by per-attempt ordinals.
+        return Site::MsaService;
     }
     return Site::MsaService;
 }
@@ -55,6 +58,8 @@ faultKindName(FaultKind kind)
         return "cache_corruption";
     case FaultKind::RequestTimeout:
         return "request_timeout";
+    case FaultKind::NodeFailure:
+        return "node_failure";
     }
     return "unknown";
 }
@@ -64,7 +69,8 @@ Plan::empty() const
 {
     return msaCrashProb <= 0.0 && gpuCrashProb <= 0.0 &&
            storageErrorProb <= 0.0 && storageSpikeProb <= 0.0 &&
-           cacheCorruptProb <= 0.0 && script.empty();
+           cacheCorruptProb <= 0.0 && script.empty() &&
+           nodeKills.empty();
 }
 
 Injector::Injector(const Plan &plan)

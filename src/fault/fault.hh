@@ -43,9 +43,10 @@ enum class FaultKind : uint8_t {
     StorageLatencySpike, ///< read path slows by a factor
     CacheCorruption,     ///< MSA-cache entry fails its checksum
     RequestTimeout,      ///< per-stage deadline exceeded
+    NodeFailure,         ///< whole node lost (multi-node serving)
 };
 
-constexpr size_t kFaultKinds = 6;
+constexpr size_t kFaultKinds = 7;
 
 /** Canonical lower-snake name (stable; used in logs and reports). */
 const char *faultKindName(FaultKind kind);
@@ -70,6 +71,24 @@ struct ScriptedFault
     FaultKind kind = FaultKind::MsaWorkerCrash;
     uint64_t atOrdinal = 0;
     bool permanent = false; ///< crashes only: worker never respawns
+};
+
+/**
+ * One scripted whole-node failure (multi-node serving only): at
+ * @p atSeconds on the virtual clock the node's workers, queues, and
+ * MSA-cache shard vanish; queued and in-flight requests re-route
+ * through the request router to the surviving nodes. A kill that
+ * would leave zero live nodes is ignored.
+ */
+struct NodeKill
+{
+    double atSeconds = 0.0;
+    uint32_t node = 0;
+
+    /** Seconds after the kill until the node rejoins with a full
+     *  worker complement, cold XLA caches, and an empty cache
+     *  shard; negative means it never comes back. */
+    double rebuildSeconds = -1.0;
 };
 
 /**
@@ -104,6 +123,10 @@ struct Plan
 
     /** Explicit faults on top of the probabilistic knobs. */
     std::vector<ScriptedFault> script;
+
+    /** Scripted whole-node failures (ignored when the serving
+     *  topology has a single node). */
+    std::vector<NodeKill> nodeKills;
 
     /** True when the plan can never inject anything. */
     bool empty() const;

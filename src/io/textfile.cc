@@ -1,0 +1,37 @@
+#include "io/textfile.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace afsb::io {
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '" + path + "' for writing");
+    const size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok)
+        fatal("short write to '" + path + "'");
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '" + path + "' for reading");
+    std::string out;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, got);
+    std::fclose(f);
+    return out;
+}
+
+} // namespace afsb::io

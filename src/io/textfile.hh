@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Real-filesystem text helpers for report/trace artifacts.
+ *
+ * Everything simulated goes through io::Vfs; these helpers are for
+ * the handful of artifacts that leave the simulation — canonical
+ * SLO reports, fault logs, communication traces, bench JSON — and
+ * land on the host filesystem for CI to diff and upload.
+ */
+
+#ifndef AFSB_IO_TEXTFILE_HH
+#define AFSB_IO_TEXTFILE_HH
+
+#include <string>
+
+namespace afsb::io {
+
+/** Write @p text to @p path, replacing it; fatal() on I/O error. */
+void writeTextFile(const std::string &path,
+                   const std::string &text);
+
+/** Read all of @p path; fatal() when it cannot be opened. */
+std::string readTextFile(const std::string &path);
+
+} // namespace afsb::io
+
+#endif // AFSB_IO_TEXTFILE_HH

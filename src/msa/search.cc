@@ -339,15 +339,23 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
         fatal("searchDatabase: fewer sinks than workers");
 
     SearchResult result;
-    if (n == 0)
+    // Shard subrange [b, e): the default config covers the whole
+    // database and changes nothing; a shard's slice disables the
+    // overlapped path (its chunk schedule is a whole-file
+    // contract) and partitions only its own targets.
+    const size_t b = std::min(cfg.targetBegin, n);
+    const size_t e = std::min(cfg.targetEnd, n);
+    if (b >= e)
         return result;
+    const size_t count = e - b;
+    const bool fullRange = b == 0 && e == n;
 
     std::mutex cacheMutex;
     if (workers <= 1 || !pool) {
-        scanRange(prof, db, cache, cacheMutex, cfg, now, 0, n,
+        scanRange(prof, db, cache, cacheMutex, cfg, now, b, e,
                   sinks.empty() ? nullptr : sinks[0], result);
-    } else if (sinks.empty() && cfg.overlap && db.vfs() &&
-               !ThreadPool::inWorker()) {
+    } else if (fullRange && sinks.empty() && cfg.overlap &&
+               db.vfs() && !ThreadPool::inWorker()) {
         // Untraced overlapped scan: staged producer/consumer
         // pipeline with dynamic survivor scheduling. Falls through
         // to the static partition when the scan is nested inside a
@@ -361,13 +369,16 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
         // range into blocks much finer than the worker count and let
         // the pool balance them. Partials are merged in block order,
         // so results are deterministic for a given worker count.
-        const size_t grain = scanGrain(n, workers);
-        const size_t blocks = (n + grain - 1) / grain;
+        const size_t grain = scanGrain(count, workers);
+        const size_t blocks = (count + grain - 1) / grain;
         std::vector<SearchResult> partial(blocks);
-        pool->parallelFor(n, grain, [&](size_t begin, size_t end) {
-            scanRange(prof, db, cache, cacheMutex, cfg, now, begin,
-                      end, nullptr, partial[begin / grain]);
-        });
+        pool->parallelFor(count, grain,
+                          [&](size_t begin, size_t end) {
+                              scanRange(prof, db, cache, cacheMutex,
+                                        cfg, now, b + begin, b + end,
+                                        nullptr,
+                                        partial[begin / grain]);
+                          });
         for (auto &p : partial) {
             result.stats.merge(p.stats);
             result.hits.insert(result.hits.end(), p.hits.begin(),
@@ -381,12 +392,12 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
         // part of the simulated trace contract; keep the original
         // equal-count split so the streams stay byte-identical.
         std::vector<SearchResult> partial(workers);
-        const size_t chunk = (n + workers - 1) / workers;
+        const size_t chunk = (count + workers - 1) / workers;
         pool->parallelBlocks(
             workers, [&](size_t, size_t wb, size_t we) {
                 for (size_t w = wb; w < we; ++w) {
-                    const size_t begin = w * chunk;
-                    const size_t end = std::min(n, begin + chunk);
+                    const size_t begin = b + w * chunk;
+                    const size_t end = std::min(e, begin + chunk);
                     if (begin >= end)
                         continue;
                     scanRange(prof, db, cache, cacheMutex, cfg, now,

@@ -83,6 +83,17 @@ struct SearchConfig
     size_t survivorQueueDepth = 64;
 
     /**
+     * Target index subrange [targetBegin, min(targetEnd, db size))
+     * to scan — how a shard scans only its slice of a partitioned
+     * database (msa/sharded_search.hh). The default covers the
+     * whole database and leaves every code path (including the
+     * staged overlapped scan) exactly as before; a proper subrange
+     * always uses the statically partitioned scan.
+     */
+    size_t targetBegin = 0;
+    size_t targetEnd = SIZE_MAX;
+
+    /**
      * Optional scan-priority hint: target indices (e.g. the
      * previous jackhmmer round's MSV survivors) whose chunks are
      * streamed and prefiltered first, so the expensive banded

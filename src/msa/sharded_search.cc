@@ -1,0 +1,108 @@
+#include "msa/sharded_search.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+std::pair<size_t, size_t>
+shardRange(size_t n, uint32_t nodes, uint32_t shard)
+{
+    if (nodes == 0 || shard >= nodes)
+        fatal("shardRange: shard out of range");
+    const size_t begin = n * shard / nodes;
+    const size_t end = n * (shard + 1) / nodes;
+    return {begin, end};
+}
+
+ShardedSearchResult
+searchDatabaseSharded(const ProfileHmm &prof,
+                      const SequenceDatabase &db, io::PageCache &cache,
+                      ThreadPool *pool, const SearchConfig &cfg,
+                      const net::TopologyConfig &topology,
+                      net::Interconnect *net, double now)
+{
+    ShardedSearchResult out;
+    out.gatherCompleteSeconds = now;
+
+    const uint32_t nodes = topology.nodes;
+    if (nodes <= 1) {
+        // Single node: the unsharded scan, verbatim — same code
+        // path, same result bytes, no interconnect involvement.
+        out.merged = searchDatabase(prof, db, cache, pool, cfg, now);
+        return out;
+    }
+    if (!net)
+        fatal("searchDatabaseSharded: interconnect required for "
+              "nodes > 1");
+
+    const size_t n = db.size();
+    std::vector<SearchResult> shard(nodes);
+    for (uint32_t s = 0; s < nodes; ++s) {
+        const auto [begin, end] = shardRange(n, nodes, s);
+        SearchConfig local = cfg;
+        local.targetBegin = begin;
+        local.targetEnd = end;
+        shard[s] =
+            searchDatabase(prof, db, cache, pool, local, now);
+    }
+
+    // Displacement-counted gather to node 0: counts first, then the
+    // exclusive prefix sum locating each shard's span in the packed
+    // receive buffer. Shard 0's contribution is already resident.
+    out.survivorCounts.resize(nodes);
+    out.survivorDispls.resize(nodes);
+    out.hitCounts.resize(nodes);
+    out.hitDispls.resize(nodes);
+    uint64_t survivorOffset = 0;
+    uint64_t hitOffset = 0;
+    for (uint32_t s = 0; s < nodes; ++s) {
+        out.survivorCounts[s] =
+            static_cast<uint32_t>(shard[s].msvSurvivors.size());
+        out.hitCounts[s] =
+            static_cast<uint32_t>(shard[s].hits.size());
+        out.survivorDispls[s] = survivorOffset;
+        out.hitDispls[s] = hitOffset;
+        survivorOffset += out.survivorCounts[s] * kSurvivorWireBytes;
+        hitOffset += out.hitCounts[s] * kHitWireBytes;
+    }
+
+    double gathered = now;
+    for (uint32_t s = 1; s < nodes; ++s) {
+        const auto sv =
+            net->send(now, s, 0,
+                      out.survivorCounts[s] * kSurvivorWireBytes,
+                      net::MsgKind::SurvivorExchange, s);
+        const auto al =
+            net->send(now, s, 0, out.hitCounts[s] * kHitWireBytes,
+                      net::MsgKind::AlignmentGather, s);
+        gathered = std::max(gathered,
+                            std::max(sv.arriveTime, al.arriveTime));
+    }
+    out.gatherCompleteSeconds = gathered;
+
+    // Merge in shard order, then impose the same canonical ordering
+    // searchDatabase() ends with; the disjoint partition makes the
+    // result bit-identical to the single-node scan.
+    SearchResult &merged = out.merged;
+    for (auto &p : shard) {
+        merged.stats.merge(p.stats);
+        merged.hits.insert(merged.hits.end(), p.hits.begin(),
+                           p.hits.end());
+        merged.msvSurvivors.insert(merged.msvSurvivors.end(),
+                                   p.msvSurvivors.begin(),
+                                   p.msvSurvivors.end());
+    }
+    std::sort(merged.hits.begin(), merged.hits.end(),
+              [](const Hit &a, const Hit &b) {
+                  if (a.forwardLogOdds != b.forwardLogOdds)
+                      return a.forwardLogOdds > b.forwardLogOdds;
+                  return a.targetIndex < b.targetIndex;
+              });
+    std::sort(merged.msvSurvivors.begin(),
+              merged.msvSurvivors.end());
+    return out;
+}
+
+} // namespace afsb::msa

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sharded multi-node database scan.
+ *
+ * The synthetic sequence database is partitioned into contiguous
+ * target shards, one per simulated node; each node runs the
+ * profile-HMM cascade over only its slice (SearchConfig's
+ * targetBegin/targetEnd subrange) and ships its MSV survivors and
+ * accepted alignments to node 0 through the modeled interconnect.
+ * The gather uses displacement-counted buffers — per-shard element
+ * counts plus exclusive prefix-sum displacements into one packed
+ * wire buffer — the classic MPI_Alltoallv shape, so the comm trace
+ * records exactly the bytes an MPI jackhmmer port would move.
+ *
+ * Because every per-target accept/reject decision in the cascade is
+ * independent of its neighbors, the union of shard-local results
+ * over a disjoint partition equals the whole-database scan, and the
+ * canonical final ordering (descending Forward score, target-index
+ * tie break; survivors ascending) makes the merged result
+ * bit-identical to a single-node searchDatabase() over the same
+ * database. nodes <= 1 delegates directly to searchDatabase() and
+ * never touches the interconnect — the nodes=1 equivalence anchor.
+ */
+
+#ifndef AFSB_MSA_SHARDED_SEARCH_HH
+#define AFSB_MSA_SHARDED_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "msa/search.hh"
+#include "net/interconnect.hh"
+
+namespace afsb::msa {
+
+/** Wire cost of one MSV-survivor index (uint32 target id). */
+inline constexpr uint64_t kSurvivorWireBytes = 4;
+
+/** Wire cost of one accepted hit: uint64 target index, int32
+ *  Viterbi score, double Forward log-odds. */
+inline constexpr uint64_t kHitWireBytes = 20;
+
+/** Result of one sharded scan. */
+struct ShardedSearchResult
+{
+    /** Merged result, ordered exactly as searchDatabase() orders
+     *  a single-node scan of the same database. */
+    SearchResult merged;
+
+    /** Per-shard element counts and exclusive prefix-sum byte
+     *  displacements for the gathered buffers (size nodes; empty
+     *  after the nodes<=1 delegation path). */
+    std::vector<uint32_t> survivorCounts;
+    std::vector<uint64_t> survivorDispls;
+    std::vector<uint32_t> hitCounts;
+    std::vector<uint64_t> hitDispls;
+
+    /** Simulated time when node 0 holds every shard's data (equal
+     *  to the scan start when no cross-node transfer happened). */
+    double gatherCompleteSeconds = 0.0;
+};
+
+/**
+ * Contiguous shard bounds for @p shard of @p nodes over @p n
+ * targets: [shard*n/nodes, (shard+1)*n/nodes).
+ */
+std::pair<size_t, size_t> shardRange(size_t n, uint32_t nodes,
+                                     uint32_t shard);
+
+/**
+ * Scan @p db sharded across @p topology.nodes simulated nodes.
+ *
+ * Each shard scans its slice with @p cfg (the subrange fields are
+ * overwritten per shard); shards other than 0 then send their
+ * survivors (SurvivorExchange) and hits (AlignmentGather) to node 0
+ * through @p net at time @p now. @p net may be null only when
+ * topology.nodes <= 1.
+ *
+ * The shard scans share @p cache — a deliberate approximation (the
+ * page-cache stats describe aggregate traffic, not per-node
+ * residency); the hit and survivor sets are unaffected because
+ * caching never changes cascade decisions.
+ */
+ShardedSearchResult searchDatabaseSharded(
+    const ProfileHmm &prof, const SequenceDatabase &db,
+    io::PageCache &cache, ThreadPool *pool, const SearchConfig &cfg,
+    const net::TopologyConfig &topology, net::Interconnect *net,
+    double now = 0.0);
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_SHARDED_SEARCH_HH

@@ -1,0 +1,143 @@
+#include "net/comm_trace.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::net {
+
+const char *
+msgKindName(MsgKind kind)
+{
+    switch (kind) {
+    case MsgKind::RouteRequest:
+        return "route_request";
+    case MsgKind::RouteResponse:
+        return "route_response";
+    case MsgKind::CacheLookup:
+        return "cache_lookup";
+    case MsgKind::CacheReply:
+        return "cache_reply";
+    case MsgKind::CacheResult:
+        return "cache_result";
+    case MsgKind::CacheInsert:
+        return "cache_insert";
+    case MsgKind::SurvivorExchange:
+        return "survivor_exchange";
+    case MsgKind::AlignmentGather:
+        return "alignment_gather";
+    }
+    return "unknown";
+}
+
+bool
+msgKindByName(const std::string &name, MsgKind *out)
+{
+    for (size_t k = 0; k < kMsgKinds; ++k) {
+        const auto kind = static_cast<MsgKind>(k);
+        if (name == msgKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CommTrace::render() const
+{
+    std::string out = "# afsb-comm-trace v1\n";
+    out.reserve(out.size() + events_.size() * 96);
+    for (const auto &e : events_) {
+        out += strformat(
+            "t=%.6f src=%u dst=%u kind=%s bytes=%llu ser=%.6f "
+            "xfer=%.6f arrive=%.6f tag=%llu\n",
+            e.sendTime, e.src, e.dst, msgKindName(e.kind),
+            static_cast<unsigned long long>(e.bytes),
+            e.serializeSeconds, e.transferSeconds, e.arriveTime,
+            static_cast<unsigned long long>(e.tag));
+    }
+    return out;
+}
+
+namespace {
+
+/** The `value` of a `key=value` token; fatal on key mismatch. */
+std::string
+expectField(const std::string &token, const char *key, size_t line)
+{
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || token.substr(0, eq) != key)
+        fatal(strformat("comm trace line %zu: expected %s=..., got "
+                        "'%s'",
+                        line, key, token.c_str()));
+    return token.substr(eq + 1);
+}
+
+} // namespace
+
+std::vector<CommEvent>
+parseCommTrace(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    if (lines.empty() || lines[0] != "# afsb-comm-trace v1")
+        fatal("comm trace: missing '# afsb-comm-trace v1' header");
+
+    std::vector<CommEvent> events;
+    for (size_t ln = 1; ln < lines.size(); ++ln) {
+        const std::string &line = lines[ln];
+        if (line.empty())
+            continue;
+        std::vector<std::string> tokens;
+        size_t pos = 0;
+        while (pos < line.size()) {
+            size_t sp = line.find(' ', pos);
+            if (sp == std::string::npos)
+                sp = line.size();
+            if (sp > pos)
+                tokens.push_back(line.substr(pos, sp - pos));
+            pos = sp + 1;
+        }
+        if (tokens.size() != 9)
+            fatal(strformat("comm trace line %zu: expected 9 "
+                            "fields, got %zu",
+                            ln + 1, tokens.size()));
+        CommEvent e;
+        e.sendTime =
+            std::strtod(expectField(tokens[0], "t", ln).c_str(),
+                        nullptr);
+        e.src = static_cast<uint32_t>(std::strtoul(
+            expectField(tokens[1], "src", ln).c_str(), nullptr, 10));
+        e.dst = static_cast<uint32_t>(std::strtoul(
+            expectField(tokens[2], "dst", ln).c_str(), nullptr, 10));
+        const std::string kind = expectField(tokens[3], "kind", ln);
+        if (!msgKindByName(kind, &e.kind))
+            fatal(strformat("comm trace line %zu: unknown message "
+                            "kind '%s'",
+                            ln + 1, kind.c_str()));
+        e.bytes = std::strtoull(
+            expectField(tokens[4], "bytes", ln).c_str(), nullptr,
+            10);
+        e.serializeSeconds = std::strtod(
+            expectField(tokens[5], "ser", ln).c_str(), nullptr);
+        e.transferSeconds = std::strtod(
+            expectField(tokens[6], "xfer", ln).c_str(), nullptr);
+        e.arriveTime = std::strtod(
+            expectField(tokens[7], "arrive", ln).c_str(), nullptr);
+        e.tag = std::strtoull(
+            expectField(tokens[8], "tag", ln).c_str(), nullptr, 10);
+        events.push_back(e);
+    }
+    return events;
+}
+
+} // namespace afsb::net

@@ -1,0 +1,91 @@
+#include "net/interconnect.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::net {
+
+Interconnect::Interconnect(const TopologyConfig &topology)
+    : topology_(topology)
+{
+    if (topology_.nodes == 0)
+        fatal("net: topology needs at least one node");
+    const size_t n = topology_.endpoints();
+    links_.resize(n * n);
+    freeAt_.assign(n * n, 0.0);
+    for (size_t s = 0; s < n; ++s)
+        for (size_t d = 0; d < n; ++d) {
+            links_[s * n + d].src = static_cast<uint32_t>(s);
+            links_[s * n + d].dst = static_cast<uint32_t>(d);
+        }
+}
+
+Interconnect::Delivery
+Interconnect::send(double now, uint32_t src, uint32_t dst,
+                   uint64_t bytes, MsgKind kind, uint64_t tag)
+{
+    const uint32_t n = topology_.endpoints();
+    if (src >= n || dst >= n)
+        fatal(strformat("net: endpoint %u/%u outside topology of "
+                        "%u endpoints",
+                        src, dst, n));
+    if (src == dst)
+        return {now, 0.0, 0.0};
+
+    const LinkSpec &link = topology_.link;
+    const double serialize =
+        link.serializeBytesPerSec > 0.0
+            ? static_cast<double>(bytes) / link.serializeBytesPerSec
+            : 0.0;
+    const double transfer =
+        link.bandwidthBytesPerSec > 0.0
+            ? static_cast<double>(bytes) / link.bandwidthBytesPerSec
+            : 0.0;
+
+    const size_t li = static_cast<size_t>(src) * n + dst;
+    const double start =
+        std::max(now + serialize, freeAt_[li]);
+    const double arrive = start + transfer + link.latencySeconds;
+    freeAt_[li] = start + transfer;
+
+    LinkStats &ls = links_[li];
+    ++ls.messages;
+    ls.bytes += bytes;
+    ls.busySeconds += transfer;
+
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.serializeSeconds += serialize;
+    stats_.transferSeconds += transfer;
+    stats_.latencySeconds += link.latencySeconds;
+
+    CommEvent e;
+    e.sendTime = now;
+    e.arriveTime = arrive;
+    e.src = src;
+    e.dst = dst;
+    e.bytes = bytes;
+    e.kind = kind;
+    e.serializeSeconds = serialize;
+    e.transferSeconds = transfer;
+    e.tag = tag;
+    trace_.append(e);
+
+    return {arrive, serialize, transfer};
+}
+
+std::vector<LinkStats>
+Interconnect::activeLinks() const
+{
+    std::vector<LinkStats> out;
+    for (const auto &ls : links_)
+        if (ls.messages > 0)
+            out.push_back(ls);
+    // links_ is row-major over (src, dst), so the filtered list is
+    // already sorted by (src, dst).
+    return out;
+}
+
+} // namespace afsb::net

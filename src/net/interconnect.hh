@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic modeled interconnect.
+ *
+ * Each ordered endpoint pair (src, dst) owns an independent
+ * full-duplex link (non-blocking switch). A message first pays the
+ * sender's serialization cost, then queues behind earlier traffic on
+ * its link (the link is busy for bytes/bandwidth), then the wire
+ * latency. Everything is a pure function of the send sequence, so a
+ * simulation that issues sends in a deterministic order gets
+ * bit-identical delivery times, link statistics, and a byte-stable
+ * communication trace.
+ *
+ * Costs:
+ *   serialize = bytes / serializeBytesPerSec        (0 when rate 0)
+ *   start     = max(sendTime + serialize, linkFreeAt[src][dst])
+ *   transfer  = bytes / bandwidthBytesPerSec        (0 when bw 0)
+ *   arrive    = start + transfer + latency
+ *   linkFreeAt[src][dst] = start + transfer
+ *
+ * Local sends (src == dst) are free, unrecorded, and keep a
+ * single-node run's event sequence untouched — the nodes=1
+ * equivalence contract.
+ */
+
+#ifndef AFSB_NET_INTERCONNECT_HH
+#define AFSB_NET_INTERCONNECT_HH
+
+#include <vector>
+
+#include "net/comm_trace.hh"
+#include "net/topology.hh"
+
+namespace afsb::net {
+
+/** Accumulated counters for one directed link. */
+struct LinkStats
+{
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    double busySeconds = 0.0; ///< wire occupancy (transfer time)
+};
+
+/** Whole-fabric counters. */
+struct CommStats
+{
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    double serializeSeconds = 0.0;
+    double transferSeconds = 0.0; ///< summed wire occupancy
+    double latencySeconds = 0.0;  ///< summed wire latency
+
+    /** Endpoint-seconds of communication the fabric performed. */
+    double
+    commSeconds() const
+    {
+        return serializeSeconds + transferSeconds + latencySeconds;
+    }
+};
+
+class Interconnect
+{
+  public:
+    explicit Interconnect(const TopologyConfig &topology);
+
+    /** Outcome of one send. */
+    struct Delivery
+    {
+        double arriveTime = 0.0;
+        double serializeSeconds = 0.0;
+        double transferSeconds = 0.0;
+    };
+
+    /**
+     * Send @p bytes from @p src to @p dst at @p now. Local sends
+     * (src == dst) cost nothing and are not recorded. fatal() on an
+     * endpoint id outside the topology.
+     */
+    Delivery send(double now, uint32_t src, uint32_t dst,
+                  uint64_t bytes, MsgKind kind, uint64_t tag = 0);
+
+    const TopologyConfig &topology() const { return topology_; }
+    const CommStats &stats() const { return stats_; }
+    const CommTrace &trace() const { return trace_; }
+
+    /**
+     * Per-link counters for links that carried at least one
+     * message, sorted by (src, dst) — the stable order reports
+     * emit.
+     */
+    std::vector<LinkStats> activeLinks() const;
+
+  private:
+    TopologyConfig topology_;
+    std::vector<LinkStats> links_; ///< dense endpoints^2, row major
+    std::vector<double> freeAt_;   ///< per-link earliest idle time
+    CommStats stats_;
+    CommTrace trace_;
+};
+
+} // namespace afsb::net
+
+#endif // AFSB_NET_INTERCONNECT_HH

@@ -1,0 +1,39 @@
+#include "net/topology.hh"
+
+namespace afsb::net {
+
+TopologyConfig
+datacenterTopology(uint32_t nodes)
+{
+    TopologyConfig t;
+    t.name = "datacenter-100g";
+    t.nodes = nodes;
+    t.link.bandwidthBytesPerSec = 12.5e9;
+    t.link.latencySeconds = 5e-6;
+    return t;
+}
+
+TopologyConfig
+commodityTopology(uint32_t nodes)
+{
+    TopologyConfig t;
+    t.name = "commodity-10g";
+    t.nodes = nodes;
+    t.link.bandwidthBytesPerSec = 1.25e9;
+    t.link.latencySeconds = 50e-6;
+    return t;
+}
+
+TopologyConfig
+zeroCostTopology(uint32_t nodes)
+{
+    TopologyConfig t;
+    t.name = "zero-cost";
+    t.nodes = nodes;
+    t.link.bandwidthBytesPerSec = 0.0;
+    t.link.latencySeconds = 0.0;
+    t.link.serializeBytesPerSec = 0.0;
+    return t;
+}
+
+} // namespace afsb::net

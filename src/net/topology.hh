@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cluster interconnect topology configuration.
+ *
+ * The paper characterizes a single host; the serving north star is a
+ * multi-node deployment where the synthetic sequence database is
+ * sharded across nodes and a request router fans traffic out to
+ * per-node MSA/GPU pools. Cross-node transfers then stop being an
+ * invisible constant and become first-class measurable events
+ * (CCL-Bench's motivation): every byte moved pays a modeled
+ * serialization cost at the sender plus per-link latency and
+ * bandwidth, and every message lands in a communication trace next
+ * to the compute timeline.
+ *
+ * A TopologyConfig plays the same role for the network that the
+ * Table-1 PlatformSpec plays for a host: a small named value object
+ * with presets, swept by benches. The model is a non-blocking
+ * switch: every ordered endpoint pair (src, dst) owns an
+ * independent full-duplex link, so congestion is per-pair
+ * serialization, not fabric-wide.
+ */
+
+#ifndef AFSB_NET_TOPOLOGY_HH
+#define AFSB_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace afsb::net {
+
+/** One directed link's capability (uniform across the fabric). */
+struct LinkSpec
+{
+    /**
+     * Link bandwidth in bytes/second; 0 means infinite (transfers
+     * are instantaneous once serialized and past the wire latency).
+     */
+    double bandwidthBytesPerSec = 12.5e9; // 100 Gb/s
+
+    /** One-way wire latency per message. */
+    double latencySeconds = 5e-6;
+
+    /**
+     * Sender-side marshalling throughput in bytes/second; 0 means
+     * free. Paid before the message reaches the link, on top of
+     * transfer time (the memcpy/protobuf cost CCL traces attribute
+     * to the endpoint rather than the wire).
+     */
+    double serializeBytesPerSec = 0.0;
+
+    /** True when using this link costs no simulated time at all. */
+    bool
+    free() const
+    {
+        return bandwidthBytesPerSec <= 0.0 &&
+               latencySeconds <= 0.0 && serializeBytesPerSec <= 0.0;
+    }
+};
+
+/** Whole-fabric description. */
+struct TopologyConfig
+{
+    std::string name = "uniform";
+
+    /** Simulated compute nodes (shards). 1 = the single-host paper
+     *  setup; no interconnect traffic is ever generated. */
+    uint32_t nodes = 1;
+
+    /** Uniform per-link capability. */
+    LinkSpec link;
+
+    /**
+     * Endpoint count: the compute nodes plus the request router,
+     * which sits at endpoint id nodes (see routerId()).
+     */
+    uint32_t
+    endpoints() const
+    {
+        return nodes + 1;
+    }
+
+    /** Endpoint id of the request router / front end. */
+    uint32_t
+    routerId() const
+    {
+        return nodes;
+    }
+};
+
+/** 100 Gb/s, 5 us — a contemporary datacenter NIC. */
+TopologyConfig datacenterTopology(uint32_t nodes);
+
+/** 10 Gb/s, 50 us — commodity Ethernet between desktops. */
+TopologyConfig commodityTopology(uint32_t nodes);
+
+/** All-zero-cost links: shape of a multi-node run, none of the
+ *  price. The nodes=1 / zero-cost pair is the determinism anchor
+ *  the equivalence tests compare against. */
+TopologyConfig zeroCostTopology(uint32_t nodes);
+
+} // namespace afsb::net
+
+#endif // AFSB_NET_TOPOLOGY_HH

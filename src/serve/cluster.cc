@@ -83,8 +83,10 @@ struct GpuWorker
 struct Completion
 {
     double time = 0.0;
-    uint32_t worker = 0;
+    uint32_t worker = 0; ///< node-local id within its pool
     size_t record = 0;
+    uint32_t node = 0;
+    double start = 0.0; ///< dispatch time (node-kill refunds)
 
     /** The attempt aborts at @c time instead of finishing. */
     bool fault = false;
@@ -112,6 +114,8 @@ struct Respawn
     uint32_t worker = 0;
     bool gpuPool = false;
     uint64_t seq = 0;
+    uint32_t node = 0;
+    uint64_t gen = 0; ///< node generation; stale respawns drop
 
     bool
     operator>(const Respawn &other) const
@@ -122,16 +126,34 @@ struct Respawn
     }
 };
 
-/** A request re-entering a stage queue after backoff. */
+/** A request (re-)entering a stage queue: retry backoff, a routed
+ *  arrival reaching its node, or a node-kill reroute landing. */
 struct Requeue
 {
     double time = 0.0;
     size_t record = 0;
     bool gpuStage = false;
     uint64_t seq = 0;
+    uint32_t node = 0;
 
     bool
     operator>(const Requeue &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+/** A killed node rejoining the cluster. */
+struct NodeUp
+{
+    double time = 0.0;
+    uint32_t node = 0;
+    uint64_t seq = 0;
+
+    bool
+    operator>(const NodeUp &other) const
     {
         if (time != other.time)
             return time > other.time;
@@ -164,13 +186,27 @@ simulateCluster(const sys::PlatformSpec &platform,
         fatal("serve: need at least one worker in each pool");
     if (config.admissionCapacity == 0)
         fatal("serve: admission capacity must be >= 1");
+    if (config.topology.nodes == 0)
+        fatal("serve: topology needs at least one node");
     const RecoveryPolicy &recovery = config.recovery;
     if (recovery.maxAttemptsPerStage == 0)
         fatal("serve: maxAttemptsPerStage must be >= 1");
 
+    const uint32_t nodes = config.topology.nodes;
+    const bool multiNode = nodes > 1;
+    net::Interconnect fabric(config.topology);
+    const uint32_t router = config.topology.routerId();
+
     ClusterResult result;
-    result.msaWorkers = config.msaWorkers;
-    result.gpuWorkers = config.gpuWorkers;
+    result.msaWorkers = config.msaWorkers * nodes;
+    result.gpuWorkers = config.gpuWorkers * nodes;
+    result.multiNode = multiNode;
+    result.nodes = nodes;
+    result.nodeStats.resize(nodes);
+    for (auto &ns : result.nodeStats) {
+        ns.msaWorkers = config.msaWorkers;
+        ns.gpuWorkers = config.gpuWorkers;
+    }
 
     // Arrival order defines record order and request ids.
     std::vector<Request> arrivals = requests;
@@ -193,23 +229,44 @@ simulateCluster(const sys::PlatformSpec &platform,
                                    sample);
     };
 
-    MsaResultCache cache(config.msaCacheBudgetBytes);
-    AdmissionController admission(config.admissionCapacity);
-    DispatchQueue msaQueue(config.policy);
-    DispatchQueue gpuQueue(config.policy);
+    // The MSA result cache shards by content hash across nodes;
+    // single-node keeps the whole budget in its one shard, so its
+    // behavior is exactly the unsharded cache.
+    const uint64_t perNodeBudget =
+        multiNode ? config.msaCacheBudgetBytes / nodes
+                  : config.msaCacheBudgetBytes;
+    std::vector<MsaResultCache> caches;
+    caches.reserve(nodes);
+    for (uint32_t nd = 0; nd < nodes; ++nd)
+        caches.emplace_back(perNodeBudget);
+    const auto ownerOf = [&](uint64_t key) -> uint32_t {
+        return multiNode ? static_cast<uint32_t>(key % nodes) : 0;
+    };
 
-    std::vector<GpuWorker> gpuWorkers(config.gpuWorkers);
-    std::vector<uint32_t> freeGpu;
-    for (uint32_t w = config.gpuWorkers; w-- > 0;)
-        freeGpu.push_back(w); // back() pops the lowest id first
-    std::vector<uint32_t> freeMsa;
-    for (uint32_t w = config.msaWorkers; w-- > 0;)
-        freeMsa.push_back(w);
+    AdmissionController admission(config.admissionCapacity);
+    std::vector<DispatchQueue> msaQueues;
+    std::vector<DispatchQueue> gpuQueues;
+    for (uint32_t nd = 0; nd < nodes; ++nd) {
+        msaQueues.emplace_back(config.policy);
+        gpuQueues.emplace_back(config.policy);
+    }
+
+    std::vector<std::vector<GpuWorker>> gpuWorkers(
+        nodes, std::vector<GpuWorker>(config.gpuWorkers));
+    std::vector<std::vector<uint32_t>> freeGpu(nodes);
+    std::vector<std::vector<uint32_t>> freeMsa(nodes);
+    for (uint32_t nd = 0; nd < nodes; ++nd) {
+        for (uint32_t w = config.gpuWorkers; w-- > 0;)
+            freeGpu[nd].push_back(w); // back() pops lowest id first
+        for (uint32_t w = config.msaWorkers; w-- > 0;)
+            freeMsa[nd].push_back(w);
+    }
 
     CompletionQueue msaBusy;
     CompletionQueue gpuBusy;
     MinQueue<Respawn> respawnQueue;
     MinQueue<Requeue> requeueQueue;
+    MinQueue<NodeUp> nodeUpQueue;
     uint64_t eventSeq = 0;
 
     fault::Injector injector(config.faultPlan);
@@ -219,12 +276,37 @@ simulateCluster(const sys::PlatformSpec &platform,
     result.faultsEnabled = faultsOn ||
                            recovery.msaDeadlineSeconds > 0.0 ||
                            recovery.gpuDeadlineSeconds > 0.0;
-    // Workers not permanently lost; the last live replica of a pool
-    // is never lost permanently (the supervisor always restarts the
-    // final replica), so no queue can strand.
-    uint32_t liveMsa = config.msaWorkers;
-    uint32_t liveGpu = config.gpuWorkers;
+    // Per-node live-replica counts; the last live replica of a pool
+    // on a node is never lost permanently (the supervisor always
+    // restarts the final replica), so no queue can strand.
+    std::vector<uint32_t> liveMsa(nodes, config.msaWorkers);
+    std::vector<uint32_t> liveGpu(nodes, config.gpuWorkers);
+    std::vector<char> nodeAlive(nodes, 1);
+    std::vector<uint64_t> nodeGen(nodes, 0);
     uint64_t retriesUsed = 0;
+
+    // Scripted node kills, in (time, script order); only meaningful
+    // in a multi-node topology (a kill may never take the last
+    // live node).
+    std::vector<fault::NodeKill> kills = config.faultPlan.nodeKills;
+    std::stable_sort(kills.begin(), kills.end(),
+                     [](const fault::NodeKill &a,
+                        const fault::NodeKill &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+    size_t nextKill = 0;
+    MsaResultCache::Stats lostCacheStats;
+
+    uint64_t routeCounter = 0;
+    const auto pickNode = [&]() -> uint32_t {
+        uint32_t cand = static_cast<uint32_t>(routeCounter % nodes);
+        while (!nodeAlive[cand]) {
+            ++routeCounter;
+            cand = static_cast<uint32_t>(routeCounter % nodes);
+        }
+        ++routeCounter;
+        return cand;
+    };
 
     const double msaRespawnDelay =
         recovery.respawnSpawnSeconds + recovery.msaRespawnSeconds;
@@ -257,14 +339,16 @@ simulateCluster(const sys::PlatformSpec &platform,
 
     /**
      * A service attempt for @p rec on @p stage just died at @p now
-     * (injected fault or deadline): retry with backoff while the
-     * per-stage attempt cap and the cluster retry budget allow,
-     * else degrade (shed the MSA stage, reduced-recycling GPU pass)
-     * or fail hard.
+     * (injected fault, deadline, or node loss): retry with backoff
+     * while the per-stage attempt cap and the cluster retry budget
+     * allow, else degrade (shed the MSA stage, reduced-recycling
+     * GPU pass) or fail hard. @p node is where the retry re-enters;
+     * a dead node reroutes when the requeue fires.
      */
     const auto failAttempt = [&](RequestRecord &rec, bool gpuStage,
                                  double now, fault::FaultKind kind,
-                                 uint32_t worker, bool permanent) {
+                                 uint32_t worker, bool permanent,
+                                 uint32_t node) {
         ++rec.faultsSeen;
         injector.record({now, kind, worker, rec.request.id,
                          permanent});
@@ -283,7 +367,7 @@ simulateCluster(const sys::PlatformSpec &platform,
                          static_cast<double>(attempts) - 1.0);
             requeueQueue.push(
                 {now + backoff, rec.request.id, gpuStage,
-                 eventSeq++});
+                 eventSeq++, node});
             return;
         }
         if (recovery.degradeOnExhaustion) {
@@ -293,151 +377,170 @@ simulateCluster(const sys::PlatformSpec &platform,
                     rec.msaEndSeconds = now;
             }
             requeueQueue.push(
-                {now, rec.request.id, true, eventSeq++});
+                {now, rec.request.id, true, eventSeq++, node});
             return;
         }
         finish(rec, Outcome::Failed, now);
     };
 
     const auto dispatch = [&](double now) {
-        while (!freeMsa.empty() && !msaQueue.empty()) {
-            const Request r = msaQueue.pop();
-            auto &rec = result.records[r.id];
-            // Expired while queued: the attempt never starts.
-            if (recovery.msaDeadlineSeconds > 0.0 &&
-                now - stageEnqueue[r.id] >=
-                    recovery.msaDeadlineSeconds) {
+        for (uint32_t nd = 0; nd < nodes; ++nd) {
+            auto &queue = msaQueues[nd];
+            auto &idle = freeMsa[nd];
+            while (!idle.empty() && !queue.empty()) {
+                const Request r = queue.pop();
+                auto &rec = result.records[r.id];
+                // Expired while queued: the attempt never starts.
+                if (recovery.msaDeadlineSeconds > 0.0 &&
+                    now - stageEnqueue[r.id] >=
+                        recovery.msaDeadlineSeconds) {
+                    ++rec.msaAttempts;
+                    failAttempt(rec, false, now,
+                                fault::FaultKind::RequestTimeout, 0,
+                                false, nd);
+                    continue;
+                }
+                const uint32_t wid = idle.back();
+                idle.pop_back();
                 ++rec.msaAttempts;
-                failAttempt(rec, false, now,
-                            fault::FaultKind::RequestTimeout, 0,
-                            false);
-                continue;
-            }
-            const uint32_t wid = freeMsa.back();
-            freeMsa.pop_back();
-            ++rec.msaAttempts;
-            const auto &svc = msaService(r.sample);
-            double service = svc.seconds;
+                rec.node = nd;
+                const auto &svc = msaService(r.sample);
+                double service = svc.seconds;
 
-            Completion c{now + service, wid, r.id};
-            if (faultsOn) {
-                const auto d = injector.msaService();
-                if (d.latencyFactor > 1.0) {
-                    service *= d.latencyFactor;
-                    c.time = now + service;
-                    injector.record(
-                        {now,
-                         fault::FaultKind::StorageLatencySpike, wid,
-                         r.id, false});
-                    ++rec.faultsSeen;
+                Completion c{now + service, wid, r.id, nd, now};
+                if (faultsOn) {
+                    const auto d = injector.msaService();
+                    if (d.latencyFactor > 1.0) {
+                        service *= d.latencyFactor;
+                        c.time = now + service;
+                        injector.record(
+                            {now,
+                             fault::FaultKind::StorageLatencySpike,
+                             nd * config.msaWorkers + wid, r.id,
+                             false});
+                        ++rec.faultsSeen;
+                    }
+                    if (d.failed()) {
+                        c.fault = true;
+                        c.kind =
+                            d.crash
+                                ? fault::FaultKind::MsaWorkerCrash
+                                : fault::FaultKind::StorageReadError;
+                        c.workerDies = d.crash;
+                        c.permanent = d.crash && d.permanent;
+                        c.time = now + service * d.failFraction;
+                    }
                 }
-                if (d.failed()) {
-                    c.fault = true;
-                    c.kind =
-                        d.crash
-                            ? fault::FaultKind::MsaWorkerCrash
-                            : fault::FaultKind::StorageReadError;
-                    c.workerDies = d.crash;
-                    c.permanent = d.crash && d.permanent;
-                    c.time = now + service * d.failFraction;
+                if (recovery.msaDeadlineSeconds > 0.0) {
+                    const double deadline =
+                        stageEnqueue[r.id] +
+                        recovery.msaDeadlineSeconds;
+                    if (deadline < c.time) {
+                        c.time = deadline;
+                        c.fault = true;
+                        c.kind = fault::FaultKind::RequestTimeout;
+                        c.workerDies = false;
+                        c.permanent = false;
+                    }
                 }
+                rec.msaStartSeconds = now;
+                const double occupied = c.time - now;
+                result.msaBusySeconds += occupied;
+                result.nodeStats[nd].msaBusySeconds += occupied;
+                if (c.fault)
+                    result.lostServiceSeconds += occupied;
+                msaBusy.push(c);
             }
-            if (recovery.msaDeadlineSeconds > 0.0) {
-                const double deadline =
-                    stageEnqueue[r.id] +
-                    recovery.msaDeadlineSeconds;
-                if (deadline < c.time) {
-                    c.time = deadline;
-                    c.fault = true;
-                    c.kind = fault::FaultKind::RequestTimeout;
-                    c.workerDies = false;
-                    c.permanent = false;
-                }
-            }
-            rec.msaStartSeconds = now;
-            const double occupied = c.time - now;
-            result.msaBusySeconds += occupied;
-            if (c.fault)
-                result.lostServiceSeconds += occupied;
-            msaBusy.push(c);
         }
-        while (!freeGpu.empty() && !gpuQueue.empty()) {
-            const Request r = gpuQueue.pop();
-            auto &rec = result.records[r.id];
-            const bool degraded = rec.degradedPath;
-            if (!degraded && recovery.gpuDeadlineSeconds > 0.0 &&
-                now - stageEnqueue[r.id] >=
-                    recovery.gpuDeadlineSeconds) {
+        for (uint32_t nd = 0; nd < nodes; ++nd) {
+            auto &queue = gpuQueues[nd];
+            auto &idle = freeGpu[nd];
+            while (!idle.empty() && !queue.empty()) {
+                const Request r = queue.pop();
+                auto &rec = result.records[r.id];
+                const bool degraded = rec.degradedPath;
+                if (!degraded &&
+                    recovery.gpuDeadlineSeconds > 0.0 &&
+                    now - stageEnqueue[r.id] >=
+                        recovery.gpuDeadlineSeconds) {
+                    ++rec.gpuAttempts;
+                    failAttempt(rec, true, now,
+                                fault::FaultKind::RequestTimeout, 0,
+                                false, nd);
+                    continue;
+                }
+                const uint32_t wid = idle.back();
+                idle.pop_back();
                 ++rec.gpuAttempts;
-                failAttempt(rec, true, now,
-                            fault::FaultKind::RequestTimeout, 0,
-                            false);
-                continue;
-            }
-            const uint32_t wid = freeGpu.back();
-            freeGpu.pop_back();
-            ++rec.gpuAttempts;
-            auto &worker = gpuWorkers[wid];
-            inferOptions.gpuAlreadyInitialized = worker.initialized;
-            const auto infer = gpusim::simulateInference(
-                platform, r.tokens, worker.xla, inferOptions);
-            if (infer.oom)
-                fatal("serve: inference for sample '" + r.sample +
-                      "' OOMs on " + platform.name +
-                      " without unified memory");
-            ++worker.served;
-            worker.initialized = true;
-            rec.gpuStartSeconds = now;
-            rec.compileSeconds = infer.compileSeconds;
-            double service = infer.totalSeconds();
-            if (degraded)
-                // Reduced-recycling fallback: fewer diffusion
-                // recycles, proportionally less GPU compute.
-                service -= infer.gpuComputeSeconds *
-                           (1.0 - recovery.degradedRecyclingFactor);
+                rec.node = nd;
+                auto &worker = gpuWorkers[nd][wid];
+                inferOptions.gpuAlreadyInitialized =
+                    worker.initialized;
+                const auto infer = gpusim::simulateInference(
+                    platform, r.tokens, worker.xla, inferOptions);
+                if (infer.oom)
+                    fatal("serve: inference for sample '" +
+                          r.sample + "' OOMs on " + platform.name +
+                          " without unified memory");
+                ++worker.served;
+                worker.initialized = true;
+                rec.gpuStartSeconds = now;
+                rec.compileSeconds = infer.compileSeconds;
+                double service = infer.totalSeconds();
+                if (degraded)
+                    // Reduced-recycling fallback: fewer diffusion
+                    // recycles, proportionally less GPU compute.
+                    service -=
+                        infer.gpuComputeSeconds *
+                        (1.0 - recovery.degradedRecyclingFactor);
 
-            Completion c{now + service, wid, r.id};
-            // The degraded pass is the last-ditch answer: exempt
-            // from injection and deadlines so it always completes.
-            if (faultsOn && !degraded) {
-                const auto d = injector.gpuService();
-                if (d.crash) {
-                    c.fault = true;
-                    c.kind = fault::FaultKind::GpuWorkerCrash;
-                    c.workerDies = true;
-                    c.permanent = d.permanent;
-                    c.time = now + service * d.failFraction;
+                Completion c{now + service, wid, r.id, nd, now};
+                // The degraded pass is the last-ditch answer:
+                // exempt from injection and deadlines so it always
+                // completes.
+                if (faultsOn && !degraded) {
+                    const auto d = injector.gpuService();
+                    if (d.crash) {
+                        c.fault = true;
+                        c.kind = fault::FaultKind::GpuWorkerCrash;
+                        c.workerDies = true;
+                        c.permanent = d.permanent;
+                        c.time = now + service * d.failFraction;
+                    }
                 }
-            }
-            if (!degraded && recovery.gpuDeadlineSeconds > 0.0) {
-                const double deadline =
-                    stageEnqueue[r.id] +
-                    recovery.gpuDeadlineSeconds;
-                if (deadline < c.time) {
-                    c.time = deadline;
-                    c.fault = true;
-                    c.kind = fault::FaultKind::RequestTimeout;
-                    c.workerDies = false;
-                    c.permanent = false;
+                if (!degraded &&
+                    recovery.gpuDeadlineSeconds > 0.0) {
+                    const double deadline =
+                        stageEnqueue[r.id] +
+                        recovery.gpuDeadlineSeconds;
+                    if (deadline < c.time) {
+                        c.time = deadline;
+                        c.fault = true;
+                        c.kind = fault::FaultKind::RequestTimeout;
+                        c.workerDies = false;
+                        c.permanent = false;
+                    }
                 }
+                const double occupied = c.time - now;
+                result.gpuBusySeconds += occupied;
+                result.nodeStats[nd].gpuBusySeconds += occupied;
+                if (c.fault)
+                    result.lostServiceSeconds += occupied;
+                gpuBusy.push(c);
             }
-            const double occupied = c.time - now;
-            result.gpuBusySeconds += occupied;
-            if (c.fault)
-                result.lostServiceSeconds += occupied;
-            gpuBusy.push(c);
         }
     };
 
     /** Handle a crash: respawn after the boot delay, or shrink the
      *  pool permanently — never below one live replica. */
-    const auto crashWorker = [&](uint32_t wid, bool gpuPool,
-                                 double now, bool permanent) {
-        uint32_t &live = gpuPool ? liveGpu : liveMsa;
+    const auto crashWorker = [&](uint32_t nd, uint32_t wid,
+                                 bool gpuPool, double now,
+                                 bool permanent) {
+        uint32_t &live = gpuPool ? liveGpu[nd] : liveMsa[nd];
         if (permanent && live <= 1)
             permanent = false; // supervisor restarts the last one
         if (gpuPool)
-            gpuWorkers[wid].xla.clear(); // persistent state lost
+            gpuWorkers[nd][wid].xla.clear(); // persistent state lost
         if (permanent) {
             --live;
             ++result.permanentWorkerLosses;
@@ -445,21 +548,52 @@ simulateCluster(const sys::PlatformSpec &platform,
         }
         respawnQueue.push(
             {now + (gpuPool ? gpuRespawnDelay : msaRespawnDelay),
-             wid, gpuPool, eventSeq++});
+             wid, gpuPool, eventSeq++, nd, nodeGen[nd]});
         return permanent;
+    };
+
+    /** The MSA stage for @p rec finished at @p now on @p nd: insert
+     *  the result into its owner's cache shard (paying a transfer
+     *  when the owner is remote) and enter the GPU queue. */
+    const auto msaDone = [&](RequestRecord &rec, uint32_t nd,
+                             double now) {
+        const uint64_t key = rec.request.contentHash;
+        const uint32_t owner = ownerOf(key);
+        if (nodeAlive[owner]) {
+            const bool corrupt =
+                faultsOn && injector.cacheInsertCorrupted();
+            const uint64_t bytes =
+                msaService(rec.request.sample).resultBytes;
+            if (multiNode && owner != nd)
+                fabric.send(now, nd, owner, bytes,
+                            net::MsgKind::CacheInsert,
+                            rec.request.id);
+            caches[owner].insert(key, bytes);
+            if (corrupt && caches[owner].corrupt(key))
+                injector.record({now,
+                                 fault::FaultKind::CacheCorruption,
+                                 owner, rec.request.id, false});
+        }
+        stageEnqueue[rec.request.id] = now;
+        gpuQueues[nd].push(rec.request);
     };
 
     while (nextArrival < arrivals.size() || !msaBusy.empty() ||
            !gpuBusy.empty() || !respawnQueue.empty() ||
-           !requeueQueue.empty()) {
+           !requeueQueue.empty() || !nodeUpQueue.empty() ||
+           nextKill < kills.size()) {
         const double arrivalTime =
             nextArrival < arrivals.size()
                 ? arrivals[nextArrival].arrivalSeconds
                 : kNoEvent;
+        const double killTime = nextKill < kills.size()
+                                    ? kills[nextKill].atSeconds
+                                    : kNoEvent;
         clock = std::min({arrivalTime, nextTime(msaBusy),
                           nextTime(gpuBusy),
                           nextTime(respawnQueue),
-                          nextTime(requeueQueue)});
+                          nextTime(requeueQueue),
+                          nextTime(nodeUpQueue), killTime});
 
         // Completions first, so capacity freed at this instant is
         // visible to a simultaneous arrival.
@@ -468,20 +602,33 @@ simulateCluster(const sys::PlatformSpec &platform,
             gpuBusy.pop();
             auto &rec = result.records[done.record];
             if (!done.fault) {
+                double finishAt = done.time;
+                if (multiNode)
+                    // The structure travels back to the front end;
+                    // the user-visible latency ends at the router.
+                    finishAt =
+                        fabric
+                            .send(done.time, done.node, router,
+                                  config.routeResponseBytes,
+                                  net::MsgKind::RouteResponse,
+                                  rec.request.id)
+                            .arriveTime;
                 finish(rec,
                        rec.degradedPath ? Outcome::Degraded
                                         : Outcome::Completed,
-                       done.time);
-                freeGpu.push_back(done.worker);
+                       finishAt);
+                freeGpu[done.node].push_back(done.worker);
                 continue;
             }
             const bool permanent =
                 done.workerDies
-                    ? crashWorker(done.worker, true, done.time,
-                                  done.permanent)
-                    : (freeGpu.push_back(done.worker), false);
+                    ? crashWorker(done.node, done.worker, true,
+                                  done.time, done.permanent)
+                    : (freeGpu[done.node].push_back(done.worker),
+                       false);
             failAttempt(rec, true, done.time, done.kind,
-                        done.worker, permanent);
+                        done.node * config.gpuWorkers + done.worker,
+                        permanent, done.node);
         }
 
         while (!msaBusy.empty() && msaBusy.top().time <= clock) {
@@ -490,57 +637,190 @@ simulateCluster(const sys::PlatformSpec &platform,
             auto &rec = result.records[done.record];
             if (!done.fault) {
                 rec.msaEndSeconds = done.time;
-                freeMsa.push_back(done.worker);
-                const uint64_t key = rec.request.contentHash;
-                const bool corrupt =
-                    faultsOn && injector.cacheInsertCorrupted();
-                cache.insert(
-                    key, msaService(rec.request.sample).resultBytes);
-                if (corrupt && cache.corrupt(key))
-                    injector.record(
-                        {done.time,
-                         fault::FaultKind::CacheCorruption, 0,
-                         rec.request.id, false});
-                stageEnqueue[rec.request.id] = done.time;
-                gpuQueue.push(rec.request);
+                freeMsa[done.node].push_back(done.worker);
+                msaDone(rec, done.node, done.time);
                 continue;
             }
             const bool permanent =
                 done.workerDies
-                    ? crashWorker(done.worker, false, done.time,
-                                  done.permanent)
-                    : (freeMsa.push_back(done.worker), false);
+                    ? crashWorker(done.node, done.worker, false,
+                                  done.time, done.permanent)
+                    : (freeMsa[done.node].push_back(done.worker),
+                       false);
             failAttempt(rec, false, done.time, done.kind,
-                        done.worker, permanent);
+                        done.node * config.msaWorkers + done.worker,
+                        permanent, done.node);
+        }
+
+        // Scripted node kills: completions at exactly the kill time
+        // made it out; everything still on the node is lost.
+        while (nextKill < kills.size() &&
+               kills[nextKill].atSeconds <= clock) {
+            const fault::NodeKill kill = kills[nextKill++];
+            const double now = kill.atSeconds;
+            if (!multiNode)
+                continue; // a single node is never killable
+            if (kill.node >= nodes)
+                fatal("serve: node kill targets a node beyond the "
+                      "topology");
+            if (!nodeAlive[kill.node])
+                continue;
+            uint32_t liveNodes = 0;
+            for (uint32_t nd = 0; nd < nodes; ++nd)
+                liveNodes += nodeAlive[nd] ? 1 : 0;
+            if (liveNodes <= 1)
+                continue; // never take the last live node
+            const uint32_t nd = kill.node;
+            nodeAlive[nd] = 0;
+            ++nodeGen[nd];
+            ++result.nodeKills;
+            injector.record({now, fault::FaultKind::NodeFailure, nd,
+                             0, kill.rebuildSeconds < 0.0});
+
+            // In-flight attempts die mid-service: refund the busy
+            // time they will never serve, book what they did burn
+            // as lost, and push each through the retry path.
+            const auto extractInflight = [&](CompletionQueue &q,
+                                             bool gpuStage) {
+                std::vector<Completion> keep, lost;
+                while (!q.empty()) {
+                    const Completion c = q.top();
+                    q.pop();
+                    (c.node == nd ? lost : keep).push_back(c);
+                }
+                for (const auto &c : keep)
+                    q.push(c);
+                for (const auto &c : lost) {
+                    const double refund = c.time - now;
+                    double &busy = gpuStage
+                                       ? result.gpuBusySeconds
+                                       : result.msaBusySeconds;
+                    busy -= refund;
+                    auto &ns = result.nodeStats[nd];
+                    (gpuStage ? ns.gpuBusySeconds
+                              : ns.msaBusySeconds) -= refund;
+                    if (c.fault)
+                        result.lostServiceSeconds -= refund;
+                    else
+                        result.lostServiceSeconds += now - c.start;
+                    const uint32_t perPool =
+                        gpuStage ? config.gpuWorkers
+                                 : config.msaWorkers;
+                    failAttempt(result.records[c.record], gpuStage,
+                                now, fault::FaultKind::NodeFailure,
+                                nd * perPool + c.worker, false, nd);
+                }
+            };
+            extractInflight(gpuBusy, true);
+            extractInflight(msaBusy, false);
+
+            // Queued requests reroute through the router to a live
+            // node, paying a fresh forward transfer.
+            const auto drainQueue = [&](DispatchQueue &q,
+                                        bool gpuStage) {
+                while (!q.empty()) {
+                    const Request r = q.pop();
+                    ++result.rerouted;
+                    const uint32_t tgt = pickNode();
+                    ++result.nodeStats[tgt].routed;
+                    result.records[r.id].node = tgt;
+                    const auto d = fabric.send(
+                        now, router, tgt, config.routeRequestBytes,
+                        net::MsgKind::RouteRequest, r.id);
+                    requeueQueue.push({d.arriveTime, r.id, gpuStage,
+                                       eventSeq++, tgt});
+                }
+            };
+            drainQueue(msaQueues[nd], false);
+            drainQueue(gpuQueues[nd], true);
+
+            freeMsa[nd].clear();
+            freeGpu[nd].clear();
+            liveMsa[nd] = 0;
+            liveGpu[nd] = 0;
+
+            // The cache shard dies with the node; keep its counters
+            // for the end-of-run aggregate.
+            const auto &cs = caches[nd].stats();
+            lostCacheStats.lookups += cs.lookups;
+            lostCacheStats.hits += cs.hits;
+            lostCacheStats.insertions += cs.insertions;
+            lostCacheStats.evictions += cs.evictions;
+            lostCacheStats.rejected += cs.rejected;
+            lostCacheStats.corrupted += cs.corrupted;
+            caches[nd] = MsaResultCache(perNodeBudget);
+
+            if (kill.rebuildSeconds >= 0.0)
+                nodeUpQueue.push(
+                    {now + kill.rebuildSeconds, nd, eventSeq++});
         }
 
         while (!respawnQueue.empty() &&
                respawnQueue.top().time <= clock) {
             const Respawn up = respawnQueue.top();
             respawnQueue.pop();
+            // The node died while this worker was booting.
+            if (up.gen != nodeGen[up.node])
+                continue;
             if (up.gpuPool) {
                 ++result.gpuRespawns;
-                freeGpu.push_back(up.worker);
+                freeGpu[up.node].push_back(up.worker);
             } else {
                 ++result.msaRespawns;
-                freeMsa.push_back(up.worker);
+                freeMsa[up.node].push_back(up.worker);
             }
+        }
+
+        while (!nodeUpQueue.empty() &&
+               nodeUpQueue.top().time <= clock) {
+            const NodeUp up = nodeUpQueue.top();
+            nodeUpQueue.pop();
+            const uint32_t nd = up.node;
+            nodeAlive[nd] = 1;
+            ++result.nodeRebuilds;
+            liveMsa[nd] = config.msaWorkers;
+            liveGpu[nd] = config.gpuWorkers;
+            gpuWorkers[nd].assign(config.gpuWorkers, GpuWorker{});
+            freeMsa[nd].clear();
+            freeGpu[nd].clear();
+            for (uint32_t w = config.gpuWorkers; w-- > 0;)
+                freeGpu[nd].push_back(w);
+            for (uint32_t w = config.msaWorkers; w-- > 0;)
+                freeMsa[nd].push_back(w);
         }
 
         // Keep the free-worker lists ordered so the lowest id is
         // always dispatched next (determinism).
-        std::sort(freeGpu.begin(), freeGpu.end(),
-                  std::greater<uint32_t>());
-        std::sort(freeMsa.begin(), freeMsa.end(),
-                  std::greater<uint32_t>());
+        for (uint32_t nd = 0; nd < nodes; ++nd) {
+            std::sort(freeGpu[nd].begin(), freeGpu[nd].end(),
+                      std::greater<uint32_t>());
+            std::sort(freeMsa[nd].begin(), freeMsa[nd].end(),
+                      std::greater<uint32_t>());
+        }
 
         while (!requeueQueue.empty() &&
                requeueQueue.top().time <= clock) {
             const Requeue rq = requeueQueue.top();
             requeueQueue.pop();
             auto &rec = result.records[rq.record];
+            if (multiNode && !nodeAlive[rq.node]) {
+                // Destination died while the request was in flight
+                // or backing off: the router re-forwards it.
+                ++result.rerouted;
+                const uint32_t tgt = pickNode();
+                ++result.nodeStats[tgt].routed;
+                rec.node = tgt;
+                const auto d = fabric.send(
+                    rq.time, router, tgt, config.routeRequestBytes,
+                    net::MsgKind::RouteRequest, rq.record);
+                requeueQueue.push({d.arriveTime, rq.record,
+                                   rq.gpuStage, eventSeq++, tgt});
+                continue;
+            }
             stageEnqueue[rq.record] = rq.time;
-            (rq.gpuStage ? gpuQueue : msaQueue).push(rec.request);
+            (rq.gpuStage ? gpuQueues[rq.node]
+                         : msaQueues[rq.node])
+                .push(rec.request);
         }
 
         while (nextArrival < arrivals.size() &&
@@ -556,19 +836,81 @@ simulateCluster(const sys::PlatformSpec &platform,
                 finished[r.id] = 1;
                 continue;
             }
-            stageEnqueue[r.id] = r.arrivalSeconds;
-            if (cache.lookup(r.contentHash) ==
-                MsaResultCache::Lookup::Hit) {
-                // AF_Cache hit: the MSA stage vanishes.
-                rec.msaCacheHit = true;
-                rec.msaStartSeconds = rec.msaEndSeconds =
-                    r.arrivalSeconds;
-                gpuQueue.push(r);
-            } else {
-                // Miss, or a corrupted entry detected and dropped
-                // at lookup — either way the MSA stage runs.
-                msaQueue.push(r);
+            if (!multiNode) {
+                stageEnqueue[r.id] = r.arrivalSeconds;
+                if (caches[0].lookup(r.contentHash) ==
+                    MsaResultCache::Lookup::Hit) {
+                    // AF_Cache hit: the MSA stage vanishes.
+                    rec.msaCacheHit = true;
+                    rec.msaStartSeconds = rec.msaEndSeconds =
+                        r.arrivalSeconds;
+                    gpuQueues[0].push(r);
+                } else {
+                    // Miss, or a corrupted entry detected and
+                    // dropped at lookup — either way the MSA stage
+                    // runs.
+                    msaQueues[0].push(r);
+                }
+                continue;
             }
+
+            // Multi-node: the router forwards the request to a live
+            // node; the cache shard owning its content hash answers
+            // the MSA-cache probe, paying a control round trip (and
+            // the result transfer on a hit) when it is remote. The
+            // shard's answer is decided here, at forward time — a
+            // modeled approximation that keeps the lookup on the
+            // deterministic arrival order.
+            const uint32_t nd = pickNode();
+            rec.node = nd;
+            ++result.nodeStats[nd].routed;
+            double ready =
+                fabric
+                    .send(r.arrivalSeconds, router, nd,
+                          config.routeRequestBytes,
+                          net::MsgKind::RouteRequest, r.id)
+                    .arriveTime;
+            const uint32_t owner = ownerOf(r.contentHash);
+            bool hit = false;
+            if (nodeAlive[owner]) {
+                if (owner != nd) {
+                    rec.remoteCache = true;
+                    ++result.remoteCacheLookups;
+                    const auto probe = fabric.send(
+                        ready, nd, owner, config.cacheControlBytes,
+                        net::MsgKind::CacheLookup, r.id);
+                    hit = caches[owner].lookup(r.contentHash) ==
+                          MsaResultCache::Lookup::Hit;
+                    if (hit) {
+                        ++result.remoteCacheHits;
+                        ready = fabric
+                                    .send(probe.arriveTime, owner,
+                                          nd,
+                                          msaService(r.sample)
+                                              .resultBytes,
+                                          net::MsgKind::CacheResult,
+                                          r.id)
+                                    .arriveTime;
+                    } else {
+                        ready = fabric
+                                    .send(probe.arriveTime, owner,
+                                          nd,
+                                          config.cacheControlBytes,
+                                          net::MsgKind::CacheReply,
+                                          r.id)
+                                    .arriveTime;
+                    }
+                } else {
+                    hit = caches[owner].lookup(r.contentHash) ==
+                          MsaResultCache::Lookup::Hit;
+                }
+            }
+            if (hit) {
+                rec.msaCacheHit = true;
+                rec.msaStartSeconds = rec.msaEndSeconds = ready;
+            }
+            requeueQueue.push(
+                {ready, r.id, hit, eventSeq++, nd});
         }
 
         dispatch(clock);
@@ -593,17 +935,41 @@ simulateCluster(const sys::PlatformSpec &platform,
             ++result.shed;
             break;
         }
+        // A response may still be on the wire when the last node
+        // event fires; the makespan covers its arrival.
+        result.makespanSeconds =
+            std::max(result.makespanSeconds,
+                     result.records[i].finishSeconds);
     }
-    result.cacheStats = cache.stats();
-    result.cacheBytesInUse = cache.bytesInUse();
-    result.cacheEntries = cache.entries();
-    result.msaQueueMaxDepth = msaQueue.maxDepth();
-    result.gpuQueueMaxDepth = gpuQueue.maxDepth();
+    MsaResultCache::Stats aggStats = lostCacheStats;
+    for (const auto &shard : caches) {
+        const auto &cs = shard.stats();
+        aggStats.lookups += cs.lookups;
+        aggStats.hits += cs.hits;
+        aggStats.insertions += cs.insertions;
+        aggStats.evictions += cs.evictions;
+        aggStats.rejected += cs.rejected;
+        aggStats.corrupted += cs.corrupted;
+        result.cacheBytesInUse += shard.bytesInUse();
+        result.cacheEntries += shard.entries();
+    }
+    result.cacheStats = aggStats;
+    for (uint32_t nd = 0; nd < nodes; ++nd) {
+        result.msaQueueMaxDepth = std::max(
+            result.msaQueueMaxDepth, msaQueues[nd].maxDepth());
+        result.gpuQueueMaxDepth = std::max(
+            result.gpuQueueMaxDepth, gpuQueues[nd].maxDepth());
+    }
     result.maxInSystem = admission.maxInSystem();
 
     result.faultsInjected = injector.injectedCount();
     result.faultsByKind = injector.countsByKind();
     result.faultLog = injector.renderLog();
+
+    result.comm = fabric.stats();
+    result.links = fabric.activeLinks();
+    if (multiNode)
+        result.commTrace = fabric.trace().render();
 
     for (const auto &rec : result.records) {
         const std::string &s = rec.request.sample;

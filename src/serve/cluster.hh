@@ -42,6 +42,7 @@
 
 #include "core/msa_phase.hh"
 #include "fault/fault.hh"
+#include "net/interconnect.hh"
 #include "serve/msa_cache.hh"
 #include "serve/scheduler.hh"
 #include "serve/workload.hh"
@@ -126,11 +127,32 @@ struct RecoveryPolicy
 /** Serving-cluster configuration. */
 struct ClusterConfig
 {
-    /** CPU workers running the MSA phase. */
+    /** CPU workers running the MSA phase — per node. */
     uint32_t msaWorkers = 4;
 
-    /** GPU workers running inference (persistent processes). */
+    /** GPU workers running inference (persistent processes) —
+     *  per node. */
     uint32_t gpuWorkers = 2;
+
+    /**
+     * Serving topology. The default single node reproduces the
+     * paper's single-host setup exactly: no interconnect traffic is
+     * generated and the event sequence is bit-identical to the
+     * pre-topology simulator. With nodes > 1 a request router
+     * (endpoint topology.routerId()) fans arrivals out round-robin
+     * over live nodes, the MSA cache shards by content hash, and
+     * every cross-node byte pays the modeled link cost.
+     */
+    net::TopologyConfig topology;
+
+    /** Wire size of a routed request (query + metadata). */
+    uint64_t routeRequestBytes = 16ull << 10;
+
+    /** Wire size of a finished structure response. */
+    uint64_t routeResponseBytes = 4ull << 20;
+
+    /** Wire size of a cache probe / negative reply. */
+    uint64_t cacheControlBytes = 256;
 
     /** Max requests in the system (queued + in service); arrivals
      *  beyond are shed. */
@@ -198,7 +220,7 @@ struct ClusterResult
     double msaBusySeconds = 0.0; ///< summed MSA service time
     double gpuBusySeconds = 0.0; ///< summed inference service time
 
-    uint32_t msaWorkers = 0; ///< echoed from the config
+    uint32_t msaWorkers = 0; ///< whole-cluster (per-node × nodes)
     uint32_t gpuWorkers = 0;
 
     size_t msaQueueMaxDepth = 0;
@@ -225,6 +247,42 @@ struct ClusterResult
     /** Canonical fault log (fault::Injector::renderLog) —
      *  byte-identical across runs with identical seeds. */
     std::string faultLog;
+
+    /** True when the run used a multi-node topology; gates the
+     *  cross-node section of reports, so single-node output stays
+     *  byte-identical to the pre-topology simulator. */
+    bool multiNode = false;
+
+    uint32_t nodes = 1; ///< serving nodes in the topology
+
+    /** Whole-fabric interconnect counters (all zero single-node). */
+    net::CommStats comm;
+
+    /** Per-link counters, (src, dst) ascending; links that never
+     *  carried a message are omitted. */
+    std::vector<net::LinkStats> links;
+
+    uint64_t nodeKills = 0;    ///< scripted node failures executed
+    uint64_t nodeRebuilds = 0; ///< killed nodes that rejoined
+    uint64_t rerouted = 0;     ///< requests re-sent to another node
+
+    uint64_t remoteCacheLookups = 0; ///< probes to a remote shard
+    uint64_t remoteCacheHits = 0;    ///< ... that shipped a result
+
+    /** Per-node serving counters (size nodes). */
+    struct NodeStats
+    {
+        uint64_t routed = 0; ///< requests the router sent here
+        double msaBusySeconds = 0.0;
+        double gpuBusySeconds = 0.0;
+        uint32_t msaWorkers = 0; ///< configured per-node pool sizes
+        uint32_t gpuWorkers = 0;
+    };
+    std::vector<NodeStats> nodeStats;
+
+    /** Canonical communication trace (net::CommTrace::render);
+     *  empty single-node. */
+    std::string commTrace;
 
     /** Deterministic per-sample MSA service time (the memoized
      *  characterization runs). */

@@ -1,7 +1,9 @@
 #include "serve/report.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -67,6 +69,63 @@ buildSloReport(const ClusterResult &result)
             clean.push_back(rec.latencySeconds());
     ft.cleanCompleted = clean.size();
     ft.p99CleanSeconds = percentilesOf(clean).p99;
+
+    report.multiNode = result.multiNode;
+    if (result.multiNode) {
+        auto &nt = report.net;
+        nt.nodes = result.nodes;
+        nt.nodeKills = result.nodeKills;
+        nt.nodeRebuilds = result.nodeRebuilds;
+        nt.rerouted = result.rerouted;
+        nt.commMessages = result.comm.messages;
+        nt.commBytes = result.comm.bytes;
+        nt.commSerializeSeconds = result.comm.serializeSeconds;
+        nt.commTransferSeconds = result.comm.transferSeconds;
+        nt.commLatencySeconds = result.comm.latencySeconds;
+        const double busy =
+            result.msaBusySeconds + result.gpuBusySeconds;
+        const double comm = result.comm.commSeconds();
+        nt.commShare =
+            busy + comm > 0.0 ? comm / (busy + comm) : 0.0;
+        nt.remoteCacheLookups = result.remoteCacheLookups;
+        nt.remoteCacheHits = result.remoteCacheHits;
+
+        std::vector<double> local, remote;
+        for (const auto &rec : result.records) {
+            if (rec.outcome != Outcome::Completed)
+                continue;
+            (rec.remoteCache ? remote : local)
+                .push_back(rec.latencySeconds());
+        }
+        nt.p99LocalSeconds = percentilesOf(local).p99;
+        nt.p99RemoteSeconds = percentilesOf(remote).p99;
+
+        for (const auto &ns : result.nodeStats) {
+            SloReport::NetSection::NodeLine line;
+            line.routed = ns.routed;
+            const double msaCap = result.makespanSeconds *
+                                  static_cast<double>(ns.msaWorkers);
+            const double gpuCap = result.makespanSeconds *
+                                  static_cast<double>(ns.gpuWorkers);
+            line.msaUtilization =
+                msaCap > 0.0 ? ns.msaBusySeconds / msaCap : 0.0;
+            line.gpuUtilization =
+                gpuCap > 0.0 ? ns.gpuBusySeconds / gpuCap : 0.0;
+            nt.perNode.push_back(line);
+        }
+        for (const auto &ls : result.links) {
+            SloReport::NetSection::LinkLine line;
+            line.src = ls.src;
+            line.dst = ls.dst;
+            line.messages = ls.messages;
+            line.bytes = ls.bytes;
+            line.utilization =
+                result.makespanSeconds > 0.0
+                    ? ls.busySeconds / result.makespanSeconds
+                    : 0.0;
+            nt.links.push_back(line);
+        }
+    }
     return report;
 }
 
@@ -126,6 +185,40 @@ printSloReport(const SloReport &report, const std::string &title)
                 formatBytes(report.cacheBytesInUse).c_str(),
                 static_cast<unsigned long long>(
                     report.cacheEvictions));
+
+    if (report.multiNode) {
+        const auto n64 = [](uint64_t v) {
+            return strformat("%llu",
+                             static_cast<unsigned long long>(v));
+        };
+        const auto &nt = report.net;
+        TextTable xnode(title + " — cross-node");
+        xnode.setHeader({"nodes", "comm msgs", "comm bytes",
+                         "comm share", "remote lookups",
+                         "remote hits", "rerouted", "kills"});
+        xnode.addRow(
+            {n64(nt.nodes), n64(nt.commMessages),
+             formatBytes(nt.commBytes),
+             strformat("%.1f%%", 100.0 * nt.commShare),
+             n64(nt.remoteCacheLookups), n64(nt.remoteCacheHits),
+             n64(nt.rerouted), n64(nt.nodeKills)});
+        xnode.print();
+
+        TextTable perNode(title + " — per node");
+        perNode.setHeader(
+            {"node", "routed", "msa util", "gpu util"});
+        for (size_t i = 0; i < nt.perNode.size(); ++i)
+            perNode.addRow(
+                {strformat("%zu", i), n64(nt.perNode[i].routed),
+                 strformat("%.1f%%",
+                           100.0 * nt.perNode[i].msaUtilization),
+                 strformat("%.1f%%",
+                           100.0 * nt.perNode[i].gpuUtilization)});
+        perNode.print();
+
+        std::printf("p99 local-cache %.1f s, remote-cache %.1f s\n",
+                    nt.p99LocalSeconds, nt.p99RemoteSeconds);
+    }
 
     if (!report.faultsEnabled)
         return;
@@ -209,29 +302,255 @@ canonicalSloText(const SloReport &report)
     addF("throughput_per_h", report.throughputPerHour);
     addF("makespan_s", report.makespanSeconds);
 
-    if (!report.faultsEnabled)
-        return out;
-    addU("faults_injected", report.fault.injected);
-    for (size_t k = 0; k < fault::kFaultKinds; ++k)
-        addU(strformat("fault_%s",
-                       faultKindName(
-                           static_cast<fault::FaultKind>(k)))
-                 .c_str(),
-             report.fault.byKind[k]);
-    addU("retries", report.fault.retries);
-    addU("timeouts", report.fault.timeouts);
-    addU("msa_respawns", report.fault.msaRespawns);
-    addU("gpu_respawns", report.fault.gpuRespawns);
-    addU("permanent_worker_losses",
-         report.fault.permanentWorkerLosses);
-    addU("cache_corruptions_detected",
-         report.fault.cacheCorruptionsDetected);
-    addF("lost_service_s", report.fault.lostServiceSeconds);
-    addF("goodput_per_h", report.fault.goodputPerHour);
-    addF("latency_p99_all_s", report.fault.p99AllSeconds);
-    addF("latency_p99_clean_s", report.fault.p99CleanSeconds);
-    addU("clean_completed", report.fault.cleanCompleted);
+    if (report.faultsEnabled) {
+        addU("faults_injected", report.fault.injected);
+        for (size_t k = 0; k < fault::kFaultKinds; ++k)
+            addU(strformat("fault_%s",
+                           faultKindName(
+                               static_cast<fault::FaultKind>(k)))
+                     .c_str(),
+                 report.fault.byKind[k]);
+        addU("retries", report.fault.retries);
+        addU("timeouts", report.fault.timeouts);
+        addU("msa_respawns", report.fault.msaRespawns);
+        addU("gpu_respawns", report.fault.gpuRespawns);
+        addU("permanent_worker_losses",
+             report.fault.permanentWorkerLosses);
+        addU("cache_corruptions_detected",
+             report.fault.cacheCorruptionsDetected);
+        addF("lost_service_s", report.fault.lostServiceSeconds);
+        addF("goodput_per_h", report.fault.goodputPerHour);
+        addF("latency_p99_all_s", report.fault.p99AllSeconds);
+        addF("latency_p99_clean_s", report.fault.p99CleanSeconds);
+        addU("clean_completed", report.fault.cleanCompleted);
+    }
+    if (report.multiNode) {
+        const auto &nt = report.net;
+        addU("nodes", nt.nodes);
+        addU("node_kills", nt.nodeKills);
+        addU("node_rebuilds", nt.nodeRebuilds);
+        addU("rerouted", nt.rerouted);
+        addU("comm_messages", nt.commMessages);
+        addU("comm_bytes", nt.commBytes);
+        addF("comm_serialize_s", nt.commSerializeSeconds);
+        addF("comm_transfer_s", nt.commTransferSeconds);
+        addF("comm_latency_s", nt.commLatencySeconds);
+        addF("comm_share_pct", 100.0 * nt.commShare);
+        addU("remote_cache_lookups", nt.remoteCacheLookups);
+        addU("remote_cache_hits", nt.remoteCacheHits);
+        addF("latency_p99_local_s", nt.p99LocalSeconds);
+        addF("latency_p99_remote_s", nt.p99RemoteSeconds);
+        for (size_t i = 0; i < nt.perNode.size(); ++i) {
+            addU(strformat("node_%zu_routed", i).c_str(),
+                 nt.perNode[i].routed);
+            addF(strformat("node_%zu_msa_util_pct", i).c_str(),
+                 100.0 * nt.perNode[i].msaUtilization);
+            addF(strformat("node_%zu_gpu_util_pct", i).c_str(),
+                 100.0 * nt.perNode[i].gpuUtilization);
+        }
+        for (const auto &l : nt.links) {
+            addU(strformat("link_%u_%u_messages", l.src, l.dst)
+                     .c_str(),
+                 l.messages);
+            addU(strformat("link_%u_%u_bytes", l.src, l.dst)
+                     .c_str(),
+                 l.bytes);
+            addF(strformat("link_%u_%u_util_pct", l.src, l.dst)
+                     .c_str(),
+                 100.0 * l.utilization);
+        }
+    }
     return out;
+}
+
+namespace {
+
+/**
+ * Sequential cursor over key=value lines; parseSloText consumes
+ * keys in exactly the order canonicalSloText emits them, so any
+ * reordering, omission, or extra line is a hard error.
+ */
+class KvCursor
+{
+  public:
+    explicit KvCursor(const std::string &text)
+    {
+        size_t start = 0;
+        while (start < text.size()) {
+            size_t end = text.find('\n', start);
+            if (end == std::string::npos)
+                fatal("slo parse: missing trailing newline");
+            const std::string line =
+                text.substr(start, end - start);
+            start = end + 1;
+            const size_t eq = line.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("slo parse: malformed line '" + line + "'");
+            kv_.emplace_back(line.substr(0, eq),
+                             line.substr(eq + 1));
+        }
+    }
+
+    bool done() const { return pos_ >= kv_.size(); }
+
+    const std::string &
+    peekKey() const
+    {
+        if (done())
+            fatal("slo parse: unexpected end of text");
+        return kv_[pos_].first;
+    }
+
+    uint64_t
+    nextU(const std::string &key)
+    {
+        const std::string v = nextValue(key);
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0')
+            fatal("slo parse: bad integer for '" + key + "'");
+        return parsed;
+    }
+
+    double
+    nextF(const std::string &key)
+    {
+        const std::string v = nextValue(key);
+        char *end = nullptr;
+        const double parsed = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0')
+            fatal("slo parse: bad number for '" + key + "'");
+        return parsed;
+    }
+
+  private:
+    std::string
+    nextValue(const std::string &key)
+    {
+        if (done())
+            fatal("slo parse: expected '" + key +
+                  "', got end of text");
+        if (kv_[pos_].first != key)
+            fatal("slo parse: expected '" + key + "', got '" +
+                  kv_[pos_].first + "'");
+        return kv_[pos_++].second;
+    }
+
+    std::vector<std::pair<std::string, std::string>> kv_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+SloReport
+parseSloText(const std::string &text)
+{
+    KvCursor in(text);
+    SloReport r;
+    r.offered = in.nextU("offered");
+    r.completed = in.nextU("completed");
+    r.degraded = in.nextU("degraded");
+    r.failed = in.nextU("failed");
+    r.shed = in.nextU("shed");
+    r.latency.p50 = in.nextF("latency_p50_s");
+    r.latency.p95 = in.nextF("latency_p95_s");
+    r.latency.p99 = in.nextF("latency_p99_s");
+    r.meanLatency = in.nextF("latency_mean_s");
+    r.maxLatency = in.nextF("latency_max_s");
+    r.meanMsaQueueSeconds = in.nextF("mean_msa_queue_s");
+    r.meanGpuQueueSeconds = in.nextF("mean_gpu_queue_s");
+    r.meanServiceSeconds = in.nextF("mean_service_s");
+    r.cacheHitRate = in.nextF("cache_hit_rate_pct") / 100.0;
+    r.cacheEvictions = in.nextU("cache_evictions");
+    r.cacheEntries = in.nextU("cache_entries");
+    r.cacheBytesInUse = in.nextU("cache_bytes");
+    r.msaUtilization = in.nextF("msa_util_pct") / 100.0;
+    r.gpuUtilization = in.nextF("gpu_util_pct") / 100.0;
+    r.throughputPerHour = in.nextF("throughput_per_h");
+    r.makespanSeconds = in.nextF("makespan_s");
+
+    if (!in.done() && in.peekKey() == "faults_injected") {
+        r.faultsEnabled = true;
+        auto &ft = r.fault;
+        ft.injected = in.nextU("faults_injected");
+        for (size_t k = 0; k < fault::kFaultKinds; ++k)
+            ft.byKind[k] = in.nextU(strformat(
+                "fault_%s",
+                faultKindName(static_cast<fault::FaultKind>(k))));
+        ft.retries = in.nextU("retries");
+        ft.timeouts = in.nextU("timeouts");
+        ft.msaRespawns = in.nextU("msa_respawns");
+        ft.gpuRespawns = in.nextU("gpu_respawns");
+        ft.permanentWorkerLosses =
+            in.nextU("permanent_worker_losses");
+        ft.cacheCorruptionsDetected =
+            in.nextU("cache_corruptions_detected");
+        ft.lostServiceSeconds = in.nextF("lost_service_s");
+        ft.goodputPerHour = in.nextF("goodput_per_h");
+        ft.p99AllSeconds = in.nextF("latency_p99_all_s");
+        ft.p99CleanSeconds = in.nextF("latency_p99_clean_s");
+        ft.cleanCompleted = in.nextU("clean_completed");
+    }
+
+    if (!in.done() && in.peekKey() == "nodes") {
+        r.multiNode = true;
+        auto &nt = r.net;
+        nt.nodes = static_cast<uint32_t>(in.nextU("nodes"));
+        nt.nodeKills = in.nextU("node_kills");
+        nt.nodeRebuilds = in.nextU("node_rebuilds");
+        nt.rerouted = in.nextU("rerouted");
+        nt.commMessages = in.nextU("comm_messages");
+        nt.commBytes = in.nextU("comm_bytes");
+        nt.commSerializeSeconds = in.nextF("comm_serialize_s");
+        nt.commTransferSeconds = in.nextF("comm_transfer_s");
+        nt.commLatencySeconds = in.nextF("comm_latency_s");
+        nt.commShare = in.nextF("comm_share_pct") / 100.0;
+        nt.remoteCacheLookups = in.nextU("remote_cache_lookups");
+        nt.remoteCacheHits = in.nextU("remote_cache_hits");
+        nt.p99LocalSeconds = in.nextF("latency_p99_local_s");
+        nt.p99RemoteSeconds = in.nextF("latency_p99_remote_s");
+        for (size_t i = 0;
+             !in.done() &&
+             in.peekKey() == strformat("node_%zu_routed", i);
+             ++i) {
+            SloReport::NetSection::NodeLine line;
+            line.routed =
+                in.nextU(strformat("node_%zu_routed", i));
+            line.msaUtilization =
+                in.nextF(strformat("node_%zu_msa_util_pct", i)) /
+                100.0;
+            line.gpuUtilization =
+                in.nextF(strformat("node_%zu_gpu_util_pct", i)) /
+                100.0;
+            nt.perNode.push_back(line);
+        }
+        while (!in.done() &&
+               in.peekKey().compare(0, 5, "link_") == 0) {
+            unsigned src = 0, dst = 0;
+            if (std::sscanf(in.peekKey().c_str(),
+                            "link_%u_%u_messages", &src,
+                            &dst) != 2)
+                fatal("slo parse: malformed link key '" +
+                      in.peekKey() + "'");
+            SloReport::NetSection::LinkLine line;
+            line.src = src;
+            line.dst = dst;
+            line.messages = in.nextU(
+                strformat("link_%u_%u_messages", src, dst));
+            line.bytes =
+                in.nextU(strformat("link_%u_%u_bytes", src, dst));
+            line.utilization =
+                in.nextF(
+                    strformat("link_%u_%u_util_pct", src, dst)) /
+                100.0;
+            nt.links.push_back(line);
+        }
+    }
+
+    if (!in.done())
+        fatal("slo parse: unexpected key '" + in.peekKey() + "'");
+    return r;
 }
 
 CsvWriter

@@ -80,6 +80,59 @@ struct SloReport
         uint64_t cleanCompleted = 0;
     } fault;
 
+    /** True when the run used a multi-node topology. Gates the
+     *  cross-node section, so single-node report text is
+     *  byte-identical to the pre-topology simulator. */
+    bool multiNode = false;
+
+    /** Cross-node dashboard (multi-node runs only). */
+    struct NetSection
+    {
+        uint32_t nodes = 1;
+        uint64_t nodeKills = 0;
+        uint64_t nodeRebuilds = 0;
+        uint64_t rerouted = 0;
+
+        uint64_t commMessages = 0;
+        uint64_t commBytes = 0;
+        double commSerializeSeconds = 0.0;
+        double commTransferSeconds = 0.0;
+        double commLatencySeconds = 0.0;
+
+        /** Communication share of all modeled work:
+         *  comm / (comm + msa busy + gpu busy). */
+        double commShare = 0.0;
+
+        uint64_t remoteCacheLookups = 0;
+        uint64_t remoteCacheHits = 0;
+
+        /** Completed-request p99 split by whether the MSA-cache
+         *  shard was local to the serving node. */
+        double p99LocalSeconds = 0.0;
+        double p99RemoteSeconds = 0.0;
+
+        /** Per-node serving summary, node id ascending. */
+        struct NodeLine
+        {
+            uint64_t routed = 0;
+            double msaUtilization = 0.0;
+            double gpuUtilization = 0.0;
+        };
+        std::vector<NodeLine> perNode;
+
+        /** Per-link traffic, (src, dst) ascending; quiet links are
+         *  omitted. Utilization is wire busy time / makespan. */
+        struct LinkLine
+        {
+            uint32_t src = 0;
+            uint32_t dst = 0;
+            uint64_t messages = 0;
+            uint64_t bytes = 0;
+            double utilization = 0.0;
+        };
+        std::vector<LinkLine> links;
+    } net;
+
     /** Fraction of offered load rejected by admission control. */
     double
     shedRate() const
@@ -107,6 +160,15 @@ void printSloReport(const SloReport &report,
  * fault section is emitted only when faults were enabled.
  */
 std::string canonicalSloText(const SloReport &report);
+
+/**
+ * Inverse of canonicalSloText: parse the canonical key=value text
+ * back into a report. Every field canonicalSloText emits round
+ * trips — re-serializing the parsed report reproduces the input
+ * byte for byte (the %.3f rounding is a fixed point). fatal() on a
+ * malformed line, an unknown key, or keys out of canonical order.
+ */
+SloReport parseSloText(const std::string &text);
 
 /**
  * Per-request CSV export: one row per offered request with

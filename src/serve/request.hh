@@ -68,6 +68,15 @@ struct RequestRecord
     /** Finished (or failed) on the degraded fallback path. */
     bool degradedPath = false;
 
+    /** Node that served (or last attempted) the request; always 0
+     *  in a single-node topology. */
+    uint32_t node = 0;
+
+    /** Multi-node only: the MSA-cache shard owning this request's
+     *  content hash lived on a different node, so the lookup (and
+     *  any hit) paid a modeled cross-node transfer. */
+    bool remoteCache = false;
+
     /** Service dispatches per stage (1 on a fault-free run; each
      *  retry adds one). */
     uint32_t msaAttempts = 0;

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Sharded multi-node scan tests: partition arithmetic, the nodes=1
+ * bit-identity anchor, merged-result equivalence at N > 1,
+ * displacement-buffer consistency, and comm-trace determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hh"
+#include "msa/dbgen.hh"
+#include "msa/sharded_search.hh"
+#include "net/interconnect.hh"
+#include "util/units.hh"
+
+namespace afsb::msa {
+namespace {
+
+using bio::MoleculeType;
+using bio::Sequence;
+
+bool
+sameResult(const SearchResult &a, const SearchResult &b)
+{
+    if (a.hits.size() != b.hits.size() ||
+        a.msvSurvivors != b.msvSurvivors)
+        return false;
+    for (size_t i = 0; i < a.hits.size(); ++i)
+        if (a.hits[i].targetIndex != b.hits[i].targetIndex ||
+            a.hits[i].viterbiScore != b.hits[i].viterbiScore ||
+            a.hits[i].forwardLogOdds != b.hits[i].forwardLogOdds)
+            return false;
+    return true;
+}
+
+struct ShardedFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        bio::SequenceGenerator gen(4242);
+        query = gen.random("q", MoleculeType::Protein, 160);
+
+        DbGenConfig cfg;
+        cfg.decoyCount = 300;
+        cfg.homologsPerQuery = 10;
+        cfg.fragmentsPerQuery = 8;
+        const std::vector<const Sequence *> queries = {&query};
+        generateDatabase(vfs, "shard.fasta", queries,
+                         MoleculeType::Protein, cfg);
+        db = SequenceDatabase::load(vfs, cache(), "shard.fasta",
+                                    MoleculeType::Protein, 0.0);
+        prof = ProfileHmm::fromSequence(query,
+                                        ScoreMatrix::blosum62());
+    }
+
+    io::PageCache &
+    cache()
+    {
+        if (!cache_)
+            cache_ = std::make_unique<io::PageCache>(1 * GiB, &dev);
+        return *cache_;
+    }
+
+    Sequence query;
+    ProfileHmm prof;
+    io::Vfs vfs;
+    io::StorageDevice dev;
+    std::unique_ptr<io::PageCache> cache_;
+    SequenceDatabase db;
+};
+
+TEST(ShardRange, PartitionsExactlyAndContiguously)
+{
+    for (uint32_t nodes : {1u, 2u, 3u, 7u}) {
+        size_t prev = 0;
+        for (uint32_t s = 0; s < nodes; ++s) {
+            const auto [b, e] = shardRange(1001, nodes, s);
+            EXPECT_EQ(b, prev);
+            EXPECT_LE(b, e);
+            prev = e;
+        }
+        EXPECT_EQ(prev, 1001u);
+    }
+    // More shards than targets: some shards are empty, but the
+    // partition still tiles [0, n) exactly.
+    size_t nonEmpty = 0, covered = 0;
+    for (uint32_t s = 0; s < 4; ++s) {
+        const auto [b, e] = shardRange(2, 4, s);
+        nonEmpty += b != e;
+        covered += e - b;
+    }
+    EXPECT_EQ(nonEmpty, 2u);
+    EXPECT_EQ(covered, 2u);
+}
+
+TEST_F(ShardedFixture, SingleNodeDelegatesBitIdentically)
+{
+    SearchConfig cfg;
+    const auto direct =
+        searchDatabase(prof, db, cache(), nullptr, cfg);
+
+    net::TopologyConfig topo = net::datacenterTopology(1);
+    const auto sharded = searchDatabaseSharded(
+        prof, db, cache(), nullptr, cfg, topo, nullptr);
+    EXPECT_TRUE(sameResult(direct, sharded.merged));
+    EXPECT_TRUE(sharded.survivorCounts.empty());
+    EXPECT_DOUBLE_EQ(sharded.gatherCompleteSeconds, 0.0);
+}
+
+TEST_F(ShardedFixture, MultiNodeMergeEqualsSingleNodeScan)
+{
+    SearchConfig cfg;
+    const auto direct =
+        searchDatabase(prof, db, cache(), nullptr, cfg);
+
+    for (uint32_t nodes : {2u, 3u, 5u}) {
+        net::TopologyConfig topo = net::datacenterTopology(nodes);
+        net::Interconnect fabric(topo);
+        const auto sharded = searchDatabaseSharded(
+            prof, db, cache(), nullptr, cfg, topo, &fabric);
+        EXPECT_TRUE(sameResult(direct, sharded.merged))
+            << nodes << " nodes";
+    }
+}
+
+TEST_F(ShardedFixture, DisplacementBuffersAreConsistent)
+{
+    const uint32_t nodes = 4;
+    SearchConfig cfg;
+    net::TopologyConfig topo = net::datacenterTopology(nodes);
+    net::Interconnect fabric(topo);
+    const auto r = searchDatabaseSharded(prof, db, cache(), nullptr,
+                                         cfg, topo, &fabric);
+
+    ASSERT_EQ(r.survivorCounts.size(), nodes);
+    ASSERT_EQ(r.survivorDispls.size(), nodes);
+    ASSERT_EQ(r.hitCounts.size(), nodes);
+    ASSERT_EQ(r.hitDispls.size(), nodes);
+
+    // Displacements are the exclusive prefix sum of counts in wire
+    // bytes, and totals match the merged result.
+    uint64_t survBytes = 0, hitBytes = 0, survTotal = 0,
+             hitTotal = 0;
+    for (uint32_t s = 0; s < nodes; ++s) {
+        EXPECT_EQ(r.survivorDispls[s], survBytes);
+        EXPECT_EQ(r.hitDispls[s], hitBytes);
+        survBytes += r.survivorCounts[s] * kSurvivorWireBytes;
+        hitBytes += r.hitCounts[s] * kHitWireBytes;
+        survTotal += r.survivorCounts[s];
+        hitTotal += r.hitCounts[s];
+    }
+    EXPECT_EQ(survTotal, r.merged.msvSurvivors.size());
+    EXPECT_EQ(hitTotal, r.merged.hits.size());
+
+    // The fabric carried exactly the non-root shards' bytes.
+    uint64_t wireBytes = 0;
+    for (uint32_t s = 1; s < nodes; ++s)
+        wireBytes += r.survivorCounts[s] * kSurvivorWireBytes +
+                     r.hitCounts[s] * kHitWireBytes;
+    EXPECT_EQ(fabric.stats().bytes, wireBytes);
+    EXPECT_GT(r.gatherCompleteSeconds, 0.0);
+}
+
+TEST_F(ShardedFixture, RepeatedShardedScansAreDeterministic)
+{
+    const uint32_t nodes = 3;
+    SearchConfig cfg;
+    net::TopologyConfig topo = net::commodityTopology(nodes);
+
+    net::Interconnect fabA(topo), fabB(topo);
+    const auto a = searchDatabaseSharded(prof, db, cache(), nullptr,
+                                         cfg, topo, &fabA);
+    const auto b = searchDatabaseSharded(prof, db, cache(), nullptr,
+                                         cfg, topo, &fabB);
+    EXPECT_TRUE(sameResult(a.merged, b.merged));
+    EXPECT_EQ(a.survivorCounts, b.survivorCounts);
+    EXPECT_EQ(a.hitDispls, b.hitDispls);
+    EXPECT_DOUBLE_EQ(a.gatherCompleteSeconds,
+                     b.gatherCompleteSeconds);
+    EXPECT_EQ(fabA.trace().render(), fabB.trace().render());
+    EXPECT_FALSE(fabA.trace().empty());
+}
+
+} // namespace
+} // namespace afsb::msa

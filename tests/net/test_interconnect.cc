@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the modeled interconnect: per-link cost arithmetic,
+ * queueing, local-send exemption, stats, and the comm-trace
+ * render/parse round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/comm_trace.hh"
+#include "net/interconnect.hh"
+#include "net/topology.hh"
+#include "util/logging.hh"
+
+namespace afsb::net {
+namespace {
+
+/** 1 GB/s wire, 1 ms latency, 2 GB/s serialization; 2 nodes. */
+TopologyConfig
+testTopology()
+{
+    TopologyConfig t;
+    t.name = "test";
+    t.nodes = 2;
+    t.link.bandwidthBytesPerSec = 1e9;
+    t.link.latencySeconds = 1e-3;
+    t.link.serializeBytesPerSec = 2e9;
+    return t;
+}
+
+TEST(Topology, EndpointLayout)
+{
+    const auto t = datacenterTopology(4);
+    EXPECT_EQ(t.nodes, 4u);
+    EXPECT_EQ(t.endpoints(), 5u);
+    EXPECT_EQ(t.routerId(), 4u);
+}
+
+TEST(Topology, PresetsAndFreeLinks)
+{
+    EXPECT_DOUBLE_EQ(datacenterTopology(2).link.bandwidthBytesPerSec,
+                     12.5e9);
+    EXPECT_DOUBLE_EQ(commodityTopology(2).link.bandwidthBytesPerSec,
+                     1.25e9);
+    EXPECT_FALSE(datacenterTopology(2).link.free());
+    EXPECT_TRUE(zeroCostTopology(2).link.free());
+}
+
+TEST(Interconnect, CostArithmetic)
+{
+    Interconnect net(testTopology());
+    // 1e9 bytes: serialize 0.5 s, transfer 1.0 s, latency 1e-3.
+    const auto d =
+        net.send(0.0, 0, 1, 1000000000ull, MsgKind::RouteRequest);
+    EXPECT_DOUBLE_EQ(d.serializeSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(d.transferSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(d.arriveTime, 0.5 + 1.0 + 1e-3);
+}
+
+TEST(Interconnect, MessagesQueueBehindEarlierTrafficOnOneLink)
+{
+    Interconnect net(testTopology());
+    net.send(0.0, 0, 1, 1000000000ull, MsgKind::RouteRequest);
+    // Link busy until 1.5 (serialize end 0.5 + transfer 1.0); the
+    // second message serializes by 0.5 but must wait for the wire.
+    const auto d =
+        net.send(0.0, 0, 1, 1000000000ull, MsgKind::RouteRequest);
+    EXPECT_DOUBLE_EQ(d.arriveTime, 1.5 + 1.0 + 1e-3);
+}
+
+TEST(Interconnect, OrderedPairsAreIndependentFullDuplexLinks)
+{
+    Interconnect net(testTopology());
+    net.send(0.0, 0, 1, 1000000000ull, MsgKind::RouteRequest);
+    // Reverse direction and a different destination never queue
+    // behind 0 -> 1 traffic.
+    const auto back =
+        net.send(0.0, 1, 0, 1000000000ull, MsgKind::RouteResponse);
+    EXPECT_DOUBLE_EQ(back.arriveTime, 0.5 + 1.0 + 1e-3);
+    const auto router =
+        net.send(0.0, 0, 2, 1000000000ull, MsgKind::RouteResponse);
+    EXPECT_DOUBLE_EQ(router.arriveTime, 0.5 + 1.0 + 1e-3);
+}
+
+TEST(Interconnect, ZeroRatesMeanFree)
+{
+    auto topo = testTopology();
+    topo.link.bandwidthBytesPerSec = 0.0; // infinite wire
+    topo.link.serializeBytesPerSec = 0.0; // free marshalling
+    topo.link.latencySeconds = 0.0;
+    Interconnect net(topo);
+    const auto d =
+        net.send(3.5, 0, 1, 1ull << 40, MsgKind::CacheResult);
+    EXPECT_DOUBLE_EQ(d.arriveTime, 3.5);
+    EXPECT_DOUBLE_EQ(d.serializeSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(d.transferSeconds, 0.0);
+    // Still recorded: zero cost, not zero traffic.
+    EXPECT_EQ(net.stats().messages, 1u);
+}
+
+TEST(Interconnect, LocalSendsAreFreeAndUnrecorded)
+{
+    Interconnect net(testTopology());
+    const auto d =
+        net.send(7.0, 1, 1, 1ull << 30, MsgKind::CacheInsert);
+    EXPECT_DOUBLE_EQ(d.arriveTime, 7.0);
+    EXPECT_EQ(net.stats().messages, 0u);
+    EXPECT_EQ(net.stats().bytes, 0u);
+    EXPECT_TRUE(net.trace().empty());
+    EXPECT_TRUE(net.activeLinks().empty());
+}
+
+TEST(Interconnect, EndpointOutOfRangeIsFatal)
+{
+    Interconnect net(testTopology()); // endpoints 0..2
+    EXPECT_THROW(net.send(0.0, 3, 0, 1, MsgKind::RouteRequest),
+                 FatalError);
+    EXPECT_THROW(net.send(0.0, 0, 3, 1, MsgKind::RouteRequest),
+                 FatalError);
+}
+
+TEST(Interconnect, StatsAndActiveLinksAccumulate)
+{
+    Interconnect net(testTopology());
+    net.send(0.0, 2, 0, 1000ull, MsgKind::RouteRequest, 11);
+    net.send(0.0, 2, 1, 2000ull, MsgKind::RouteRequest, 12);
+    net.send(1.0, 2, 0, 3000ull, MsgKind::RouteRequest, 13);
+    net.send(1.0, 1, 1, 4000ull, MsgKind::CacheInsert); // local
+    const auto &s = net.stats();
+    EXPECT_EQ(s.messages, 3u);
+    EXPECT_EQ(s.bytes, 6000u);
+    EXPECT_DOUBLE_EQ(s.latencySeconds, 3e-3);
+
+    const auto links = net.activeLinks();
+    ASSERT_EQ(links.size(), 2u); // (2,0) and (2,1), sorted
+    EXPECT_EQ(links[0].src, 2u);
+    EXPECT_EQ(links[0].dst, 0u);
+    EXPECT_EQ(links[0].messages, 2u);
+    EXPECT_EQ(links[0].bytes, 4000u);
+    EXPECT_EQ(links[1].dst, 1u);
+    EXPECT_EQ(links[1].messages, 1u);
+}
+
+TEST(Interconnect, IdenticalSendSequencesRenderIdenticalTraces)
+{
+    const auto run = [] {
+        Interconnect net(testTopology());
+        net.send(0.25, 2, 0, 16384ull, MsgKind::RouteRequest, 1);
+        net.send(0.50, 0, 1, 256ull, MsgKind::CacheLookup, 1);
+        net.send(0.75, 1, 0, 4096ull, MsgKind::CacheResult, 1);
+        return net.trace().render();
+    };
+    const std::string a = run(), b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(MsgKind, NamesRoundTrip)
+{
+    for (size_t i = 0; i < kMsgKinds; ++i) {
+        const auto kind = static_cast<MsgKind>(i);
+        MsgKind back;
+        ASSERT_TRUE(msgKindByName(msgKindName(kind), &back))
+            << msgKindName(kind);
+        EXPECT_EQ(back, kind);
+    }
+    MsgKind out;
+    EXPECT_FALSE(msgKindByName("carrier_pigeon", &out));
+}
+
+TEST(CommTrace, RenderParseRoundTripIsByteStable)
+{
+    Interconnect net(testTopology());
+    net.send(0.0, 2, 0, 16384ull, MsgKind::RouteRequest, 7);
+    net.send(0.0, 0, 1, 256ull, MsgKind::CacheLookup, 7);
+    net.send(0.5, 1, 0, 1048576ull, MsgKind::CacheResult, 7);
+    net.send(0.5, 0, 2, 4194304ull, MsgKind::RouteResponse, 7);
+    const std::string text = net.trace().render();
+
+    const auto events = parseCommTrace(text);
+    ASSERT_EQ(events.size(), net.trace().size());
+    CommTrace reparsed;
+    for (const auto &e : events)
+        reparsed.append(e);
+    EXPECT_EQ(reparsed.render(), text);
+
+    const auto &orig = net.trace().events();
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].src, orig[i].src);
+        EXPECT_EQ(events[i].dst, orig[i].dst);
+        EXPECT_EQ(events[i].bytes, orig[i].bytes);
+        EXPECT_EQ(events[i].kind, orig[i].kind);
+        EXPECT_EQ(events[i].tag, orig[i].tag);
+    }
+}
+
+TEST(CommTrace, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(parseCommTrace("no header\n"), FatalError);
+    const std::string header = "# afsb-comm-trace v1\n";
+    EXPECT_THROW(parseCommTrace(header + "t=zero src=0\n"),
+                 FatalError);
+    EXPECT_THROW(
+        parseCommTrace(header +
+                       "t=0.000000 src=0 dst=1 kind=warp_drive "
+                       "bytes=1 ser=0.000000 xfer=0.000000 "
+                       "arrive=0.000000 tag=0\n"),
+        FatalError);
+}
+
+TEST(CommTrace, EmptyTraceRendersHeaderOnly)
+{
+    CommTrace trace;
+    const auto events = parseCommTrace(trace.render());
+    EXPECT_TRUE(events.empty());
+}
+
+} // namespace
+} // namespace afsb::net

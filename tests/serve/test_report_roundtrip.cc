@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SLO-report round-trip tests: canonicalSloText -> parseSloText ->
+ * canonicalSloText must be the identity on bytes, for every section
+ * combination (base, +fault, +net, +both). The %.3f rounding in the
+ * canonical form is a fixed point, so the byte-compare is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/workspace.hh"
+#include "fault/fault.hh"
+#include "serve/cluster.hh"
+#include "serve/report.hh"
+#include "util/logging.hh"
+
+namespace afsb::serve {
+namespace {
+
+ClusterConfig
+fastConfig()
+{
+    ClusterConfig cfg;
+    cfg.msaWorkers = 2;
+    cfg.gpuWorkers = 1;
+    cfg.msaThreadsPerWorker = 2;
+    cfg.msaOptions.traceStride = 16;
+    cfg.msaOptions.jackhmmerIterations = 1;
+    return cfg;
+}
+
+std::vector<Request>
+smallWorkload()
+{
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 2000.0;
+    spec.seed = 777;
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 2;
+    return generateRequests(spec);
+}
+
+std::string
+runToText(ClusterConfig cfg)
+{
+    static MsaServiceOracle oracle;
+    cfg.msaOracle = &oracle;
+    const auto r = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   smallWorkload(), cfg);
+    return canonicalSloText(buildSloReport(r));
+}
+
+void
+expectRoundTrip(const std::string &text)
+{
+    const SloReport parsed = parseSloText(text);
+    EXPECT_EQ(canonicalSloText(parsed), text);
+}
+
+TEST(ReportRoundTrip, FaultFreeSingleNode)
+{
+    const std::string text = runToText(fastConfig());
+    EXPECT_EQ(text.find("faults_injected"), std::string::npos);
+    EXPECT_EQ(text.find("nodes="), std::string::npos);
+    expectRoundTrip(text);
+}
+
+TEST(ReportRoundTrip, FaultSection)
+{
+    auto cfg = fastConfig();
+    cfg.faultPlan.seed = 0xc4a05;
+    cfg.faultPlan.msaCrashProb = 0.15;
+    cfg.faultPlan.gpuCrashProb = 0.10;
+    cfg.faultPlan.cacheCorruptProb = 0.20;
+    const std::string text = runToText(cfg);
+    EXPECT_NE(text.find("faults_injected="), std::string::npos);
+    expectRoundTrip(text);
+}
+
+TEST(ReportRoundTrip, NetSection)
+{
+    auto cfg = fastConfig();
+    cfg.topology = net::datacenterTopology(3);
+    const std::string text = runToText(cfg);
+    EXPECT_NE(text.find("nodes=3\n"), std::string::npos);
+    EXPECT_NE(text.find("link_"), std::string::npos);
+    expectRoundTrip(text);
+}
+
+TEST(ReportRoundTrip, FaultAndNetSections)
+{
+    auto cfg = fastConfig();
+    cfg.topology = net::datacenterTopology(4);
+    cfg.faultPlan.seed = 0xdead;
+    cfg.faultPlan.msaCrashProb = 0.10;
+    fault::NodeKill kill;
+    kill.atSeconds = 600.0;
+    kill.node = 2;
+    kill.rebuildSeconds = 300.0;
+    cfg.faultPlan.nodeKills.push_back(kill);
+    const std::string text = runToText(cfg);
+    EXPECT_NE(text.find("faults_injected="), std::string::npos);
+    EXPECT_NE(text.find("node_kills=1\n"), std::string::npos);
+    EXPECT_NE(text.find("node_rebuilds=1\n"), std::string::npos);
+    expectRoundTrip(text);
+}
+
+TEST(ReportRoundTrip, ParsedFieldsMatchTheReport)
+{
+    static MsaServiceOracle oracle;
+    auto cfg = fastConfig();
+    cfg.msaOracle = &oracle;
+    cfg.topology = net::datacenterTopology(2);
+    const auto r = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   smallWorkload(), cfg);
+    const auto rep = buildSloReport(r);
+    const auto parsed = parseSloText(canonicalSloText(rep));
+    EXPECT_EQ(parsed.offered, rep.offered);
+    EXPECT_EQ(parsed.completed, rep.completed);
+    EXPECT_EQ(parsed.shed, rep.shed);
+    EXPECT_TRUE(parsed.multiNode);
+    EXPECT_EQ(parsed.net.nodes, rep.net.nodes);
+    EXPECT_EQ(parsed.net.perNode.size(), rep.net.perNode.size());
+    EXPECT_EQ(parsed.net.links.size(), rep.net.links.size());
+    EXPECT_NEAR(parsed.latency.p99, rep.latency.p99, 5e-4);
+}
+
+TEST(ReportRoundTrip, ParseRejectsMalformedText)
+{
+    const std::string text = runToText(fastConfig());
+    EXPECT_THROW(parseSloText("not a report"), FatalError);
+    // Missing trailing newline.
+    EXPECT_THROW(parseSloText(text.substr(0, text.size() - 1)),
+                 FatalError);
+    // A line without '='.
+    EXPECT_THROW(parseSloText("offered\n"), FatalError);
+    // Keys out of canonical order: swap the first two lines.
+    const size_t firstEol = text.find('\n');
+    const size_t secondEol = text.find('\n', firstEol + 1);
+    const std::string swapped =
+        text.substr(firstEol + 1, secondEol - firstEol) +
+        text.substr(0, firstEol + 1) + text.substr(secondEol + 1);
+    EXPECT_THROW(parseSloText(swapped), FatalError);
+    // Trailing unknown key.
+    EXPECT_THROW(parseSloText(text + "mystery=1\n"), FatalError);
+}
+
+} // namespace
+} // namespace afsb::serve

@@ -51,6 +51,28 @@ TEST(Json, ParsesUnicodeEscapeToUtf8)
     EXPECT_EQ(v.asString(), "\xc3\xa9");
 }
 
+TEST(Json, UnicodeEscapesCoverAllUtf8Widths)
+{
+    // 1-byte (ASCII), 2-byte (é), and 3-byte (snowman) code points.
+    EXPECT_EQ(parseJson(R"("A")").asString(), "A");
+    EXPECT_EQ(parseJson(R"("é")").asString(), "\xc3\xa9");
+    EXPECT_EQ(parseJson(R"("☃")").asString(),
+              "\xe2\x98\x83");
+    // Hex digits are case-insensitive.
+    EXPECT_EQ(parseJson(R"("é")").asString(), "\xc3\xa9");
+    // Escaped and adjacent literal text compose.
+    EXPECT_EQ(parseJson(R"("a☃b")").asString(),
+              "a\xe2\x98\x83" "b");
+}
+
+TEST(Json, RejectsMalformedUnicodeEscapes)
+{
+    EXPECT_THROW(parseJson(R"("\u12")"), FatalError);   // short
+    EXPECT_THROW(parseJson(R"("\u12g4")"), FatalError); // non-hex
+    EXPECT_THROW(parseJson(R"("\u")"), FatalError);     // empty
+    EXPECT_THROW(parseJson("\"\\u123"), FatalError);    // truncated
+}
+
 TEST(Json, RoundTripsThroughDump)
 {
     const std::string doc =
@@ -106,6 +128,50 @@ TEST(Json, BuildsDocumentsProgrammatically)
     const auto round = parseJson(obj.dump());
     EXPECT_EQ(round.at("name").asString(), "promo");
     EXPECT_EQ(round.at("seeds").size(), 2u);
+}
+
+TEST(Json, BenchSchemaRoundTrips)
+{
+    // The `{"benchmarks": [{"name", "ns_per_op", "counters"}]}`
+    // shape every bench --json writer emits and tools/bench_check
+    // consumes, including a trend-file wrapper around it.
+    auto rec = JsonValue::makeObject();
+    rec["name"] = JsonValue("ServeCluster/pools:4x2");
+    rec["iterations"] = JsonValue(static_cast<int64_t>(1));
+    rec["ns_per_op"] = JsonValue(10176672090570.549);
+    auto counters = JsonValue::makeObject();
+    counters["completed"] = JsonValue(static_cast<uint64_t>(68));
+    counters["cache_hit_rate"] = JsonValue(0.30882352941176472);
+    rec["counters"] = counters;
+    auto benches = JsonValue::makeArray();
+    benches.push(rec);
+    auto doc = JsonValue::makeObject();
+    doc["benchmarks"] = benches;
+
+    auto entry = JsonValue::makeObject();
+    entry["label"] = JsonValue("seed");
+    entry["benchmarks"] = doc.at("benchmarks");
+    auto entries = JsonValue::makeArray();
+    entries.push(entry);
+    auto trend = JsonValue::makeObject();
+    trend["entries"] = entries;
+
+    for (const JsonValue *v : {&doc, &trend}) {
+        const auto compact = parseJson(v->dump());
+        const auto pretty = parseJson(v->dumpPretty());
+        EXPECT_TRUE(compact == *v);
+        EXPECT_TRUE(pretty == *v);
+    }
+    const auto back = parseJson(trend.dump());
+    const auto &b =
+        back.at("entries").at(0).at("benchmarks").at(0);
+    EXPECT_EQ(b.at("name").asString(), "ServeCluster/pools:4x2");
+    // Doubles survive the writer's round-trip-precision format.
+    EXPECT_DOUBLE_EQ(b.at("ns_per_op").asNumber(),
+                     10176672090570.549);
+    EXPECT_DOUBLE_EQ(
+        b.at("counters").at("cache_hit_rate").asNumber(),
+        0.30882352941176472);
 }
 
 TEST(Json, IntegersSerializeWithoutDecimalPoint)

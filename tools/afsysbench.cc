@@ -27,6 +27,7 @@
 #include "core/adaptive_threads.hh"
 #include "core/memory_estimator.hh"
 #include "core/pipeline.hh"
+#include "io/textfile.hh"
 #include "prof/repetition.hh"
 #include "serve/report.hh"
 #include "util/cli.hh"
@@ -44,16 +45,6 @@ namespace {
  *  chain, error message, and usage text enumerating exactly these. */
 constexpr const char *kPlatformNames =
     "server, server-cxl, desktop, desktop-128";
-
-void
-writeTextFile(const std::string &path, const std::string &text)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '" + path + "' for writing");
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-}
 
 sys::PlatformSpec
 platformByName(const std::string &name)
@@ -240,6 +231,18 @@ cmdServe(const CliArgs &args)
     cluster.msaThreadsPerWorker =
         static_cast<uint32_t>(args.getInt("msa-threads", 8));
 
+    cluster.topology.nodes =
+        static_cast<uint32_t>(args.getInt("nodes", 1));
+    if (args.has("link-gbps"))
+        cluster.topology.link.bandwidthBytesPerSec =
+            args.getDouble("link-gbps", 100.0) * 1e9 / 8.0;
+    if (args.has("link-latency-us"))
+        cluster.topology.link.latencySeconds =
+            args.getDouble("link-latency-us", 5.0) * 1e-6;
+    if (args.has("link-serialize-gbps"))
+        cluster.topology.link.serializeBytesPerSec =
+            args.getDouble("link-serialize-gbps", 0.0) * 1e9 / 8.0;
+
     fault::Plan &plan = cluster.faultPlan;
     if (args.has("fault-seed"))
         plan.seed =
@@ -255,6 +258,15 @@ cmdServe(const CliArgs &args)
         args.getDouble("fault-spike-factor", 8.0);
     plan.cacheCorruptProb =
         args.getDouble("fault-cache-corrupt", 0.0);
+    if (args.has("kill-node")) {
+        fault::NodeKill kill;
+        kill.node =
+            static_cast<uint32_t>(args.getInt("kill-node", 0));
+        kill.atSeconds = args.getDouble("kill-at", 0.0);
+        kill.rebuildSeconds =
+            args.getDouble("kill-rebuild", -1.0);
+        plan.nodeKills.push_back(kill);
+    }
 
     serve::RecoveryPolicy &recovery = cluster.recovery;
     recovery.maxAttemptsPerStage =
@@ -285,6 +297,14 @@ cmdServe(const CliArgs &args)
         formatBytes(cluster.msaCacheBudgetBytes).c_str(),
         workload.requestsPerSecond, workload.durationSeconds,
         static_cast<unsigned long long>(workload.seed));
+
+    if (cluster.topology.nodes > 1)
+        std::printf("Topology: %u nodes (worker pools per node), "
+                    "links %.1f Gb/s, %.1f us latency\n\n",
+                    cluster.topology.nodes,
+                    cluster.topology.link.bandwidthBytesPerSec *
+                        8.0 / 1e9,
+                    cluster.topology.link.latencySeconds * 1e6);
 
     if (!plan.empty())
         std::printf("Fault plan (seed %llu): msa-crash %.3f, "
@@ -318,17 +338,25 @@ cmdServe(const CliArgs &args)
                     args.get("csv").c_str());
     }
     if (args.has("report-out")) {
-        writeTextFile(args.get("report-out"),
-                      serve::canonicalSloText(report));
+        io::writeTextFile(args.get("report-out"),
+                          serve::canonicalSloText(report));
         std::printf("Canonical report written to %s\n",
                     args.get("report-out").c_str());
     }
     if (args.has("fault-log")) {
-        writeTextFile(args.get("fault-log"), result.faultLog);
+        io::writeTextFile(args.get("fault-log"), result.faultLog);
         std::printf("Fault log (%llu events) written to %s\n",
                     static_cast<unsigned long long>(
                         result.faultsInjected),
                     args.get("fault-log").c_str());
+    }
+    if (args.has("comm-trace")) {
+        io::writeTextFile(args.get("comm-trace"),
+                          result.commTrace);
+        std::printf("Comm trace (%llu messages) written to %s\n",
+                    static_cast<unsigned long long>(
+                        result.comm.messages),
+                    args.get("comm-trace").c_str());
     }
     return 0;
 }
@@ -407,7 +435,12 @@ main(int argc, char **argv)
         "[--backoff S] [--backoff-mult F]\n"
         "          [--deadline-msa S] [--deadline-gpu S] "
         "[--respawn-s S] [--no-degrade]\n"
-        "          output: [--report-out FILE] [--fault-log FILE]\n"
+        "          topology: [--nodes N] [--link-gbps G] "
+        "[--link-latency-us U]\n"
+        "          [--link-serialize-gbps G] "
+        "[--kill-node N --kill-at S [--kill-rebuild S]]\n"
+        "          output: [--report-out FILE] [--fault-log FILE] "
+        "[--comm-trace FILE]\n"
         "  platforms: %s\n",
         kPlatformNames);
     return cmd == "help" ? 0 : 1;
