@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hh"
+
 namespace afsb::gpusim {
 
 double
@@ -111,6 +113,152 @@ simulateInference(const sys::PlatformSpec &platform, size_t tokens,
     result.timeline.addSpanAt("finalize", TimelineLane::Host, cursor,
                               result.finalizeSeconds);
     return result;
+}
+
+size_t
+maxBatchForVram(const sys::PlatformSpec &platform,
+                size_t execTokens, const model::ModelConfig &cfg)
+{
+    const uint64_t weights = model::weightBytes(cfg);
+    const uint64_t act = model::activationBytes(execTokens, cfg);
+    if (platform.gpu.vramBytes <= weights || act == 0)
+        return 1;
+    const uint64_t fit = (platform.gpu.vramBytes - weights) / act;
+    return std::max<size_t>(1, static_cast<size_t>(fit));
+}
+
+BatchedInferenceResult
+simulateBatchedInference(const sys::PlatformSpec &platform,
+                         const std::vector<size_t> &tokensList,
+                         XlaCache &cache,
+                         const InferenceSimOptions &options,
+                         uint32_t gpus)
+{
+    BatchedInferenceResult out;
+    out.batchSize = tokensList.size();
+    out.gpus = std::max<uint32_t>(1, gpus);
+    if (tokensList.empty())
+        return out;
+
+    const auto &cfg = options.config;
+    if (tokensList.size() == 1) {
+        // A solo dispatch runs at its native length and must be
+        // bit-identical to the unbatched simulator.
+        const auto solo = simulateInference(platform, tokensList[0],
+                                            cache, options);
+        out.oom = solo.oom;
+        out.usedUnifiedMemory = solo.usedUnifiedMemory;
+        out.execTokens = tokensList[0];
+        out.initSeconds = solo.initSeconds;
+        out.compileSeconds = solo.compileSeconds;
+        out.gpuComputeSeconds = solo.gpuComputeSeconds;
+        out.finalizeSeconds = solo.finalizeSeconds;
+        out.deviceStats = solo.deviceStats;
+        if (!solo.oom)
+            out.usefulFlops = model::totalFlops(
+                model::operatorGraph(tokensList[0], cfg));
+        return out;
+    }
+
+    const uint32_t bucket = cache.bucketOf(tokensList[0]);
+    size_t sumTokens = 0;
+    for (size_t t : tokensList) {
+        panicIf(cache.bucketOf(t) != bucket,
+                "batched inference: members span token buckets");
+        sumTokens += t;
+    }
+    const size_t execTokens = cache.paddedTokens(tokensList[0]);
+    out.execTokens = execTokens;
+    const auto graph = model::operatorGraph(execTokens, cfg);
+
+    // Round-robin data parallelism: device g serves members
+    // g, g+G, g+2G, ...; the largest shard bounds the GPU phase.
+    const size_t batch = tokensList.size();
+    const uint32_t devices = out.gpus;
+    const size_t maxShard = (batch + devices - 1) / devices;
+
+    // Memory placement per device: replicated weights + the shard's
+    // padded activations vs VRAM.
+    const uint64_t footprint =
+        static_cast<uint64_t>(maxShard) *
+            model::activationBytes(execTokens, cfg) +
+        model::weightBytes(cfg);
+    const bool spills = footprint > platform.gpu.vramBytes;
+    if (spills && !options.unifiedMemory) {
+        out.oom = true;
+        return out;
+    }
+    out.usedUnifiedMemory = spills;
+    const double spillFraction =
+        spills ? 1.0 - static_cast<double>(platform.gpu.vramBytes) /
+                           static_cast<double>(footprint)
+               : 0.0;
+
+    // Host phases are paid once for the whole batch: one shared
+    // (layer, bucket) compile — execTokens stays inside the member
+    // bucket by construction — and one init on a cold worker.
+    const XlaPhases phases =
+        evaluateXlaPhases(platform, graph, execTokens, cache);
+    const double threadScale =
+        (1.0 - options.hostParallelFraction) +
+        options.hostParallelFraction /
+            std::max<uint32_t>(1, options.threads);
+    out.initSeconds = options.gpuAlreadyInitialized
+                          ? 0.0
+                          : phases.initSeconds * threadScale;
+    out.compileSeconds = phases.compileSeconds * threadScale;
+
+    // Finalize: the base (teardown, dispatch unwind) amortizes over
+    // the batch; per-token output assembly covers every member's
+    // real tokens (pad tokens produce no output).
+    const XlaCostModel costs;
+    out.finalizeSeconds =
+        hostClockFactor(platform, costs) *
+        (costs.baseFinalizeSeconds +
+         costs.finalizePerToken * static_cast<double>(sumTokens)) *
+        threadScale;
+
+    // GPU execution: every kernel runs batch-scaled (flops and
+    // activation traffic x shard size), which amortizes the launch
+    // cost and the utilization ramp across members. Each device in
+    // the fan-out executes its own shard; the phase ends when the
+    // largest shard does.
+    for (uint32_t g = 0; g < devices; ++g) {
+        const size_t shard =
+            batch / devices + (g < batch % devices ? 1 : 0);
+        if (shard == 0)
+            continue;
+        GpuDevice device(platform.gpu);
+        double shardSeconds = 0.0;
+        for (const auto &layer : graph) {
+            for (uint32_t i = 0; i < layer.count; ++i)
+                shardSeconds += device.executeKernel(
+                    layer.cost.flops * static_cast<double>(shard),
+                    layer.cost.bytes * static_cast<double>(shard) *
+                        (1.0 +
+                         spillFraction *
+                             (platform.gpu.unifiedMemPenalty - 1.0)),
+                    false);
+        }
+        out.gpuComputeSeconds =
+            std::max(out.gpuComputeSeconds, shardSeconds);
+        const DeviceStats st = device.stats();
+        out.deviceStats.kernelsLaunched += st.kernelsLaunched;
+        out.deviceStats.flopsExecuted += st.flopsExecuted;
+        out.deviceStats.bytesMoved += st.bytesMoved;
+        out.deviceStats.busySeconds += st.busySeconds;
+        out.deviceStats.launchSeconds += st.launchSeconds;
+    }
+
+    // Useful vs pad FLOPs: the device executed every member at the
+    // padded length; only the members' native graphs are useful.
+    const double executedFlops =
+        model::totalFlops(graph) * static_cast<double>(batch);
+    for (size_t t : tokensList)
+        out.usefulFlops +=
+            model::totalFlops(model::operatorGraph(t, cfg));
+    out.paddedFlops = std::max(0.0, executedFlops - out.usefulFlops);
+    return out;
 }
 
 } // namespace afsb::gpusim

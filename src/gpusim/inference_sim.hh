@@ -97,6 +97,76 @@ InferenceSimResult simulateInference(
     const sys::PlatformSpec &platform, size_t tokens,
     XlaCache &cache, const InferenceSimOptions &options = {});
 
+/**
+ * Outcome of one batched dispatch: B requests from the same token
+ * bucket executed together. The batch pays the host phases once
+ * (one shared (layer, bucket) compile, one finalize base), runs
+ * batch-scaled kernels on the roofline device — amortizing launch
+ * overhead and the per-kernel utilization ramp — and accounts the
+ * FLOPs spent on pad tokens separately from useful work.
+ */
+struct BatchedInferenceResult
+{
+    bool oom = false; ///< a per-device shard exceeds VRAM without UM
+    bool usedUnifiedMemory = false;
+
+    size_t batchSize = 0;
+    size_t execTokens = 0; ///< padded per-member execution length
+    uint32_t gpus = 1;     ///< devices the batch fanned out across
+
+    double initSeconds = 0.0;
+    double compileSeconds = 0.0;
+    double gpuComputeSeconds = 0.0; ///< max over device shards
+    double finalizeSeconds = 0.0;
+
+    /** FLOPs that serve real tokens vs pad tokens. */
+    double usefulFlops = 0.0;
+    double paddedFlops = 0.0;
+
+    /** Aggregated over all devices in the fan-out. */
+    DeviceStats deviceStats;
+
+    double
+    totalSeconds() const
+    {
+        return initSeconds + compileSeconds + gpuComputeSeconds +
+               finalizeSeconds;
+    }
+
+    /** Share of executed FLOPs burned on padding. */
+    double
+    paddingWasteFraction() const
+    {
+        const double total = usefulFlops + paddedFlops;
+        return total > 0.0 ? paddedFlops / total : 0.0;
+    }
+};
+
+/**
+ * Largest batch whose activations fit one device alongside the
+ * replicated weights at execution length @p execTokens; at least 1
+ * (a single over-VRAM request falls back to unified memory or OOM,
+ * exactly like the solo path).
+ */
+size_t maxBatchForVram(const sys::PlatformSpec &platform,
+                       size_t execTokens,
+                       const model::ModelConfig &cfg);
+
+/**
+ * Simulate one batched dispatch of @p tokensList requests, which
+ * must all fall in the same @p cache token bucket. A batch of one
+ * runs at its native length and reproduces simulateInference
+ * bit-identically; larger batches pad every member to the bucket's
+ * execution length (cache.paddedTokens). With @p gpus > 1 the batch
+ * shards round-robin across data-parallel devices (weights
+ * replicated, compile still paid once) and the GPU phase is the
+ * slowest shard.
+ */
+BatchedInferenceResult simulateBatchedInference(
+    const sys::PlatformSpec &platform,
+    const std::vector<size_t> &tokensList, XlaCache &cache,
+    const InferenceSimOptions &options = {}, uint32_t gpus = 1);
+
 } // namespace afsb::gpusim
 
 #endif // AFSB_GPUSIM_INFERENCE_SIM_HH

@@ -49,13 +49,20 @@ simulateServing(const sys::PlatformSpec &platform,
         result.requests.push_back(served);
     }
 
+    // Degenerate streams must still produce well-defined
+    // aggregates: an empty request list keeps every metric at 0.0
+    // (no NaN/inf from 0/0), and a single request defines the
+    // steady state as its own latency below.
     if (result.requests.empty())
         return result;
 
     result.makespanSeconds = clock;
     result.throughputPerHour =
-        3600.0 * static_cast<double>(result.requests.size()) /
-        std::max(1e-9, result.makespanSeconds);
+        result.makespanSeconds > 0.0
+            ? 3600.0 *
+                  static_cast<double>(result.requests.size()) /
+                  result.makespanSeconds
+            : 0.0;
     result.firstRequestLatency =
         result.requests.front().latencySeconds;
 

@@ -7,9 +7,15 @@ namespace afsb::gpusim {
 bool
 XlaCache::lookupOrInsert(model::LayerKind kind, size_t tokens)
 {
-    const ShapeKey key{
-        kind, static_cast<uint32_t>(tokens / kBucketTokens)};
+    const ShapeKey key{kind, bucketOf(tokens)};
     return !compiled_.insert(key).second;
+}
+
+double
+hostClockFactor(const sys::PlatformSpec &platform,
+                const XlaCostModel &costs)
+{
+    return costs.refClockGhz / platform.cpu.maxClockGhz;
 }
 
 XlaPhases
@@ -23,8 +29,7 @@ evaluateXlaPhases(const sys::PlatformSpec &platform,
     // Host phases run on one thread at the platform's peak clock;
     // slower hosts (Server's 4.0 GHz Xeon vs Desktop's 5.6 GHz
     // Ryzen) stretch every phase.
-    const double hostFactor =
-        costs.refClockGhz / platform.cpu.maxClockGhz;
+    const double hostFactor = hostClockFactor(platform, costs);
 
     out.initSeconds =
         hostFactor *

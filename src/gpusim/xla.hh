@@ -46,17 +46,48 @@ struct ShapeKey
 class XlaCache
 {
   public:
-    /** Bucket width for shape polymorphism (XLA re-specializes on
-     *  shape changes beyond padding buckets). */
+    /** Default bucket width for shape polymorphism (XLA
+     *  re-specializes on shape changes beyond padding buckets). */
     static constexpr uint32_t kBucketTokens = 64;
+
+    /** @param bucketTokens Bucket width in tokens; clamped to >= 1
+     *  (width 1 compiles one executable per exact token count). */
+    explicit XlaCache(uint32_t bucketTokens = kBucketTokens)
+        : bucketTokens_(bucketTokens == 0 ? 1 : bucketTokens)
+    {}
 
     /** True when the shape is already compiled (and record it). */
     bool lookupOrInsert(model::LayerKind kind, size_t tokens);
+
+    /** Bucket a token count falls into. */
+    uint32_t
+    bucketOf(size_t tokens) const
+    {
+        return static_cast<uint32_t>(tokens / bucketTokens_);
+    }
+
+    /**
+     * Execution length for @p tokens: the largest token count in its
+     * bucket (the shape the bucket's one compiled executable must
+     * support). Batched dispatches pad every member to this, so the
+     * padded length stays inside the member bucket and one
+     * executable covers the whole bucket. Width 1 pads nothing.
+     */
+    size_t
+    paddedTokens(size_t tokens) const
+    {
+        return static_cast<size_t>(bucketOf(tokens) + 1) *
+                   bucketTokens_ -
+               1;
+    }
+
+    uint32_t bucketTokens() const { return bucketTokens_; }
 
     size_t size() const { return compiled_.size(); }
     void clear() { compiled_.clear(); }
 
   private:
+    uint32_t bucketTokens_;
     std::set<ShapeKey> compiled_;
 };
 
@@ -90,6 +121,10 @@ struct XlaPhases
     double finalizeSeconds = 0.0;
     uint32_t kernelsCompiled = 0;
 };
+
+/** Host single-thread slowdown vs the calibration reference. */
+double hostClockFactor(const sys::PlatformSpec &platform,
+                       const XlaCostModel &costs = {});
 
 /**
  * Evaluate host-side overheads for running @p graph on @p platform.

@@ -88,6 +88,12 @@ struct Completion
     uint32_t node = 0;
     double start = 0.0; ///< dispatch time (node-kill refunds)
 
+    /** Batched GPU dispatch: record ids of every member, in
+     *  dispatch (policy) order. Empty on the solo path — handlers
+     *  treat that as the single `record` member, keeping the
+     *  legacy event sequence untouched. */
+    std::vector<uint64_t> members = {};
+
     /** The attempt aborts at @c time instead of finishing. */
     bool fault = false;
     fault::FaultKind kind = fault::FaultKind::MsaWorkerCrash;
@@ -100,6 +106,23 @@ struct Completion
         if (time != other.time)
             return time > other.time;
         return record > other.record;
+    }
+};
+
+/** A batch-wait expiry: wakes the dispatcher so a partially formed
+ *  batch stops holding for co-batchees. Carries no payload — the
+ *  dispatch pass re-derives the decision from queue state. */
+struct BatchTimer
+{
+    double time = 0.0;
+    uint64_t seq = 0;
+
+    bool
+    operator>(const BatchTimer &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
     }
 };
 
@@ -191,6 +214,14 @@ simulateCluster(const sys::PlatformSpec &platform,
     const RecoveryPolicy &recovery = config.recovery;
     if (recovery.maxAttemptsPerStage == 0)
         fatal("serve: maxAttemptsPerStage must be >= 1");
+    if (config.batchMax == 0)
+        fatal("serve: batchMax must be >= 1");
+    if (config.batchWaitSeconds < 0.0)
+        fatal("serve: batchWaitSeconds must be >= 0");
+    if (config.gpusPerNode == 0)
+        fatal("serve: gpusPerNode must be >= 1");
+    if (config.bucketTokens == 0)
+        fatal("serve: bucketTokens must be >= 1");
 
     const uint32_t nodes = config.topology.nodes;
     const bool multiNode = nodes > 1;
@@ -251,8 +282,13 @@ simulateCluster(const sys::PlatformSpec &platform,
         gpuQueues.emplace_back(config.policy);
     }
 
+    // GPU workers carry persistent compile caches at the configured
+    // bucket width (the batch former groups by the same buckets).
+    const GpuWorker freshGpuWorker{
+        gpusim::XlaCache(config.bucketTokens), 0, false};
     std::vector<std::vector<GpuWorker>> gpuWorkers(
-        nodes, std::vector<GpuWorker>(config.gpuWorkers));
+        nodes,
+        std::vector<GpuWorker>(config.gpuWorkers, freshGpuWorker));
     std::vector<std::vector<uint32_t>> freeGpu(nodes);
     std::vector<std::vector<uint32_t>> freeMsa(nodes);
     for (uint32_t nd = 0; nd < nodes; ++nd) {
@@ -267,7 +303,16 @@ simulateCluster(const sys::PlatformSpec &platform,
     MinQueue<Respawn> respawnQueue;
     MinQueue<Requeue> requeueQueue;
     MinQueue<NodeUp> nodeUpQueue;
+    MinQueue<BatchTimer> batchTimerQueue;
     uint64_t eventSeq = 0;
+
+    // Continuous batching: each GPU worker drives an equal share of
+    // the node's data-parallel devices (at least one).
+    const bool batching = config.batchMax > 1;
+    const uint32_t gpusPerWorker = std::max<uint32_t>(
+        1, config.gpusPerNode / config.gpuWorkers);
+    result.batchingEnabled = batching;
+    result.gpusPerNode = config.gpusPerNode;
 
     fault::Injector injector(config.faultPlan);
     const bool faultsOn = !config.faultPlan.empty();
@@ -455,7 +500,10 @@ simulateCluster(const sys::PlatformSpec &platform,
         for (uint32_t nd = 0; nd < nodes; ++nd) {
             auto &queue = gpuQueues[nd];
             auto &idle = freeGpu[nd];
-            while (!idle.empty() && !queue.empty()) {
+            // Solo dispatch (batching off): the pre-batching code
+            // path, kept verbatim so batchMax == 1 is bit-identical
+            // to the legacy simulator.
+            while (!batching && !idle.empty() && !queue.empty()) {
                 const Request r = queue.pop();
                 auto &rec = result.records[r.id];
                 const bool degraded = rec.degradedPath;
@@ -528,6 +576,186 @@ simulateCluster(const sys::PlatformSpec &platform,
                     result.lostServiceSeconds += occupied;
                 gpuBusy.push(c);
             }
+
+            // Continuous batching: the policy head leads a batch of
+            // bucket-compatible queued requests; the whole batch
+            // runs as one padded dispatch on the worker's device
+            // share, paying compile and finalize base once.
+            while (batching && !idle.empty() && !queue.empty()) {
+                const Request head = queue.peek();
+                auto &headRec = result.records[head.id];
+                const bool degraded = headRec.degradedPath;
+                if (!degraded &&
+                    recovery.gpuDeadlineSeconds > 0.0 &&
+                    now - stageEnqueue[head.id] >=
+                        recovery.gpuDeadlineSeconds) {
+                    queue.pop();
+                    ++headRec.gpuAttempts;
+                    failAttempt(headRec, true, now,
+                                fault::FaultKind::RequestTimeout, 0,
+                                false, nd);
+                    continue;
+                }
+
+                std::vector<Request> members;
+                if (degraded) {
+                    // The degraded pass dispatches solo: it is the
+                    // last-ditch answer, never held for co-batchees
+                    // and never mixed into a shared executable run.
+                    queue.pop();
+                    members.push_back(head);
+                } else {
+                    const uint32_t bucket = static_cast<uint32_t>(
+                        head.tokens / config.bucketTokens);
+                    const auto accept =
+                        [&](const Request &cand) -> bool {
+                        const auto &rec = result.records[cand.id];
+                        if (rec.degradedPath)
+                            return false;
+                        // Expired candidates stay queued; they fail
+                        // at the head, exactly like the solo path.
+                        if (recovery.gpuDeadlineSeconds > 0.0 &&
+                            now - stageEnqueue[cand.id] >=
+                                recovery.gpuDeadlineSeconds)
+                            return false;
+                        return cand.tokens / config.bucketTokens ==
+                               bucket;
+                    };
+                    // VRAM gate: the batch's padded activations
+                    // must fit the worker's device share; an
+                    // oversized group splits (the remainder stays
+                    // queued for the next free worker).
+                    const size_t execTokens =
+                        static_cast<size_t>(bucket + 1) *
+                            config.bucketTokens -
+                        1;
+                    const size_t vramCap =
+                        gpusim::maxBatchForVram(
+                            platform, execTokens,
+                            inferOptions.config) *
+                        gpusPerWorker;
+                    const size_t cap = std::min<size_t>(
+                        config.batchMax,
+                        std::max<size_t>(1, vramCap));
+                    const size_t avail = queue.countIf(accept);
+                    // Compare against the same rounded sum the
+                    // timer carries, so the hold always ends once
+                    // the clock reaches the pushed wake-up.
+                    const double waitDeadline =
+                        stageEnqueue[head.id] +
+                        config.batchWaitSeconds;
+                    if (avail < cap &&
+                        config.batchWaitSeconds > 0.0 &&
+                        now < waitDeadline) {
+                        // Hold for co-batchees: wake the dispatcher
+                        // when the head's wait budget expires.
+                        batchTimerQueue.push(
+                            {waitDeadline, eventSeq++});
+                        break; // head-of-line holds this queue
+                    }
+                    if (cap < config.batchMax && avail > cap)
+                        ++result.vramBatchSplits;
+                    members = queue.popBatch(cap, accept);
+                }
+
+                const uint32_t wid = idle.back();
+                idle.pop_back();
+                auto &worker = gpuWorkers[nd][wid];
+                inferOptions.gpuAlreadyInitialized =
+                    worker.initialized;
+                std::vector<size_t> tokensList;
+                tokensList.reserve(members.size());
+                for (const auto &m : members)
+                    tokensList.push_back(m.tokens);
+                const auto infer =
+                    gpusim::simulateBatchedInference(
+                        platform, tokensList, worker.xla,
+                        inferOptions, gpusPerWorker);
+                if (infer.oom)
+                    fatal("serve: batched inference for sample '" +
+                          head.sample + "' OOMs on " +
+                          platform.name +
+                          " without unified memory");
+                worker.served += members.size();
+                worker.initialized = true;
+
+                double service = infer.totalSeconds();
+                if (degraded)
+                    service -=
+                        infer.gpuComputeSeconds *
+                        (1.0 - recovery.degradedRecyclingFactor);
+
+                Completion c{now + service, wid, head.id, nd, now};
+                c.members.reserve(members.size());
+                for (const auto &m : members) {
+                    auto &rec = result.records[m.id];
+                    ++rec.gpuAttempts;
+                    rec.node = nd;
+                    rec.gpuStartSeconds = now;
+                    rec.compileSeconds = infer.compileSeconds;
+                    rec.batchSize =
+                        static_cast<uint32_t>(members.size());
+                    c.members.push_back(m.id);
+                }
+
+                // Former accounting; the degraded singleton is the
+                // fallback path, not a formed batch.
+                if (!degraded) {
+                    ++result.batchesFormed;
+                    result.batchedRequests += members.size();
+                    result.maxBatchOccupancy =
+                        std::max<uint64_t>(result.maxBatchOccupancy,
+                                           members.size());
+                    result.batchUsefulFlops += infer.usefulFlops;
+                    result.batchPaddedFlops += infer.paddedFlops;
+                    if (infer.compileSeconds > 0.0) {
+                        ++result.batchCompiles;
+                        result.batchCompileSeconds +=
+                            infer.compileSeconds;
+                        result.compileSharedRequests +=
+                            members.size();
+                    }
+                }
+
+                // One service attempt per dispatch: a batch draws
+                // the injector exactly once, like a solo dispatch,
+                // so enabling batching never shifts the decision
+                // stream of later sites.
+                if (faultsOn && !degraded) {
+                    const auto d = injector.gpuService();
+                    if (d.crash) {
+                        c.fault = true;
+                        c.kind = fault::FaultKind::GpuWorkerCrash;
+                        c.workerDies = true;
+                        c.permanent = d.permanent;
+                        c.time = now + service * d.failFraction;
+                    }
+                }
+                if (!degraded &&
+                    recovery.gpuDeadlineSeconds > 0.0) {
+                    // The batch must beat the tightest member
+                    // deadline; an overrun aborts every member.
+                    double deadline = kNoEvent;
+                    for (const auto &m : members)
+                        deadline = std::min(
+                            deadline,
+                            stageEnqueue[m.id] +
+                                recovery.gpuDeadlineSeconds);
+                    if (deadline < c.time) {
+                        c.time = deadline;
+                        c.fault = true;
+                        c.kind = fault::FaultKind::RequestTimeout;
+                        c.workerDies = false;
+                        c.permanent = false;
+                    }
+                }
+                const double occupied = c.time - now;
+                result.gpuBusySeconds += occupied;
+                result.nodeStats[nd].gpuBusySeconds += occupied;
+                if (c.fault)
+                    result.lostServiceSeconds += occupied;
+                gpuBusy.push(c);
+            }
         }
     };
 
@@ -581,7 +809,7 @@ simulateCluster(const sys::PlatformSpec &platform,
     while (nextArrival < arrivals.size() || !msaBusy.empty() ||
            !gpuBusy.empty() || !respawnQueue.empty() ||
            !requeueQueue.empty() || !nodeUpQueue.empty() ||
-           nextKill < kills.size()) {
+           !batchTimerQueue.empty() || nextKill < kills.size()) {
         const double arrivalTime =
             nextArrival < arrivals.size()
                 ? arrivals[nextArrival].arrivalSeconds
@@ -593,30 +821,46 @@ simulateCluster(const sys::PlatformSpec &platform,
                           nextTime(gpuBusy),
                           nextTime(respawnQueue),
                           nextTime(requeueQueue),
-                          nextTime(nodeUpQueue), killTime});
+                          nextTime(nodeUpQueue),
+                          nextTime(batchTimerQueue), killTime});
+
+        // Batch-wait timers only advance the clock: the dispatch
+        // pass below re-derives everything from queue state.
+        while (!batchTimerQueue.empty() &&
+               batchTimerQueue.top().time <= clock)
+            batchTimerQueue.pop();
 
         // Completions first, so capacity freed at this instant is
         // visible to a simultaneous arrival.
         while (!gpuBusy.empty() && gpuBusy.top().time <= clock) {
             const Completion done = gpuBusy.top();
             gpuBusy.pop();
-            auto &rec = result.records[done.record];
+            // Solo completions carry one record; batched ones carry
+            // every member of the dispatch, finished (or failed) in
+            // dispatch order.
+            std::vector<uint64_t> ids = done.members;
+            if (ids.empty())
+                ids.push_back(done.record);
             if (!done.fault) {
-                double finishAt = done.time;
-                if (multiNode)
-                    // The structure travels back to the front end;
-                    // the user-visible latency ends at the router.
-                    finishAt =
-                        fabric
-                            .send(done.time, done.node, router,
-                                  config.routeResponseBytes,
-                                  net::MsgKind::RouteResponse,
-                                  rec.request.id)
-                            .arriveTime;
-                finish(rec,
-                       rec.degradedPath ? Outcome::Degraded
-                                        : Outcome::Completed,
-                       finishAt);
+                for (uint64_t id : ids) {
+                    auto &rec = result.records[id];
+                    double finishAt = done.time;
+                    if (multiNode)
+                        // The structure travels back to the front
+                        // end; the user-visible latency ends at the
+                        // router.
+                        finishAt =
+                            fabric
+                                .send(done.time, done.node, router,
+                                      config.routeResponseBytes,
+                                      net::MsgKind::RouteResponse,
+                                      rec.request.id)
+                                .arriveTime;
+                    finish(rec,
+                           rec.degradedPath ? Outcome::Degraded
+                                            : Outcome::Completed,
+                           finishAt);
+                }
                 freeGpu[done.node].push_back(done.worker);
                 continue;
             }
@@ -626,9 +870,14 @@ simulateCluster(const sys::PlatformSpec &platform,
                                   done.time, done.permanent)
                     : (freeGpu[done.node].push_back(done.worker),
                        false);
-            failAttempt(rec, true, done.time, done.kind,
-                        done.node * config.gpuWorkers + done.worker,
-                        permanent, done.node);
+            // A mid-batch crash or timeout aborts every member; each
+            // re-enters the retry path with its own backoff budget.
+            for (uint64_t id : ids)
+                failAttempt(result.records[id], true, done.time,
+                            done.kind,
+                            done.node * config.gpuWorkers +
+                                done.worker,
+                            permanent, done.node);
         }
 
         while (!msaBusy.empty() && msaBusy.top().time <= clock) {
@@ -706,9 +955,18 @@ simulateCluster(const sys::PlatformSpec &platform,
                     const uint32_t perPool =
                         gpuStage ? config.gpuWorkers
                                  : config.msaWorkers;
-                    failAttempt(result.records[c.record], gpuStage,
-                                now, fault::FaultKind::NodeFailure,
-                                nd * perPool + c.worker, false, nd);
+                    // Every batch member aboard a dying node fails
+                    // and retries (busy/lost time refunds above are
+                    // per dispatch, not per member).
+                    std::vector<uint64_t> ids = c.members;
+                    if (ids.empty())
+                        ids.push_back(c.record);
+                    for (uint64_t id : ids)
+                        failAttempt(result.records[id], gpuStage,
+                                    now,
+                                    fault::FaultKind::NodeFailure,
+                                    nd * perPool + c.worker, false,
+                                    nd);
                 }
             };
             extractInflight(gpuBusy, true);
@@ -780,7 +1038,8 @@ simulateCluster(const sys::PlatformSpec &platform,
             ++result.nodeRebuilds;
             liveMsa[nd] = config.msaWorkers;
             liveGpu[nd] = config.gpuWorkers;
-            gpuWorkers[nd].assign(config.gpuWorkers, GpuWorker{});
+            gpuWorkers[nd].assign(config.gpuWorkers,
+                                  freshGpuWorker);
             freeMsa[nd].clear();
             freeGpu[nd].clear();
             for (uint32_t w = config.gpuWorkers; w-- > 0;)

@@ -42,6 +42,7 @@
 
 #include "core/msa_phase.hh"
 #include "fault/fault.hh"
+#include "gpusim/xla.hh"
 #include "net/interconnect.hh"
 #include "serve/msa_cache.hh"
 #include "serve/scheduler.hh"
@@ -174,6 +175,31 @@ struct ClusterConfig
     bool unifiedMemory = true;
 
     /**
+     * Continuous batching: max requests one GPU dispatch coalesces.
+     * 1 (the default) disables the batch former and reproduces the
+     * solo-dispatch event sequence bit-identically. Larger values
+     * group queued requests by XLA token bucket, pad each member to
+     * the bucket's execution length, and share one compiled
+     * executable + one finalize across the batch.
+     */
+    uint32_t batchMax = 1;
+
+    /** Max seconds the queue head waits for co-batchees before a
+     *  partial batch dispatches; 0 dispatches whatever is queued
+     *  the moment a worker frees up. */
+    double batchWaitSeconds = 0.0;
+
+    /** Data-parallel GPUs per node. Each GPU worker drives an equal
+     *  share (at least one device); batches fan out across the
+     *  share round-robin. The default matches the pre-batching
+     *  model of one device per worker. */
+    uint32_t gpusPerNode = 1;
+
+    /** XLA shape-bucket width in tokens for the per-worker compile
+     *  caches (and batch compatibility grouping). */
+    uint32_t bucketTokens = gpusim::XlaCache::kBucketTokens;
+
+    /**
      * MSA engine options per worker (threads overridden by
      * msaThreadsPerWorker). Default stride 16 keeps the one-off
      * per-sample characterization runs fast.
@@ -247,6 +273,61 @@ struct ClusterResult
     /** Canonical fault log (fault::Injector::renderLog) —
      *  byte-identical across runs with identical seeds. */
     std::string faultLog;
+
+    /** True when the run used the batch former (batchMax > 1);
+     *  gates the batching section of reports, so solo-dispatch
+     *  output stays byte-identical to the pre-batching simulator. */
+    bool batchingEnabled = false;
+
+    uint32_t gpusPerNode = 1; ///< data-parallel devices per node
+
+    uint64_t batchesFormed = 0;   ///< GPU dispatches via the former
+    uint64_t batchedRequests = 0; ///< members across all batches
+    uint64_t maxBatchOccupancy = 0;
+
+    /** Dispatches whose size the VRAM capacity gate cut below the
+     *  configured batchMax (the oversized remainder stays queued). */
+    uint64_t vramBatchSplits = 0;
+
+    uint64_t batchCompiles = 0; ///< batches that paid any compile
+    double batchCompileSeconds = 0.0;
+
+    /** Members riding batches that paid a compile — the numerator
+     *  of the compile amortization factor. */
+    uint64_t compileSharedRequests = 0;
+
+    /** Executed FLOPs split into real-token work vs pad tokens. */
+    double batchUsefulFlops = 0.0;
+    double batchPaddedFlops = 0.0;
+
+    /** Mean members per formed batch. */
+    double
+    meanBatchOccupancy() const
+    {
+        return batchesFormed > 0
+                   ? static_cast<double>(batchedRequests) /
+                         static_cast<double>(batchesFormed)
+                   : 0.0;
+    }
+
+    /** Share of executed FLOPs burned on padding. */
+    double
+    paddingWasteFraction() const
+    {
+        const double total = batchUsefulFlops + batchPaddedFlops;
+        return total > 0.0 ? batchPaddedFlops / total : 0.0;
+    }
+
+    /** Requests served per compile paid: how far one shared
+     *  executable stretched. */
+    double
+    compileAmortizationFactor() const
+    {
+        return batchCompiles > 0
+                   ? static_cast<double>(compileSharedRequests) /
+                         static_cast<double>(batchCompiles)
+                   : 0.0;
+    }
 
     /** True when the run used a multi-node topology; gates the
      *  cross-node section of reports, so single-node output stays

@@ -49,6 +49,20 @@ buildSloReport(const ClusterResult &result)
         report.meanServiceSeconds = service / n;
     }
 
+    report.batchingEnabled = result.batchingEnabled;
+    if (result.batchingEnabled) {
+        auto &bt = report.batch;
+        bt.batchesFormed = result.batchesFormed;
+        bt.batchedRequests = result.batchedRequests;
+        bt.meanOccupancy = result.meanBatchOccupancy();
+        bt.maxOccupancy = result.maxBatchOccupancy;
+        bt.paddingWastePct = 100.0 * result.paddingWasteFraction();
+        bt.batchCompiles = result.batchCompiles;
+        bt.compileAmortization = result.compileAmortizationFactor();
+        bt.vramSplits = result.vramBatchSplits;
+        bt.gpusPerNode = result.gpusPerNode;
+    }
+
     report.faultsEnabled = result.faultsEnabled;
     auto &ft = report.fault;
     ft.injected = result.faultsInjected;
@@ -186,6 +200,28 @@ printSloReport(const SloReport &report, const std::string &title)
                 static_cast<unsigned long long>(
                     report.cacheEvictions));
 
+    if (report.batchingEnabled) {
+        const auto b64 = [](uint64_t v) {
+            return strformat("%llu",
+                             static_cast<unsigned long long>(v));
+        };
+        const auto &bt = report.batch;
+        TextTable batching(title + " — continuous batching");
+        batching.setHeader({"batches", "batched reqs", "occ mean",
+                            "occ max", "pad waste", "compiles",
+                            "compile amort", "vram splits",
+                            "gpus/node"});
+        batching.addRow(
+            {b64(bt.batchesFormed), b64(bt.batchedRequests),
+             strformat("%.2f", bt.meanOccupancy),
+             b64(bt.maxOccupancy),
+             strformat("%.1f%%", bt.paddingWastePct),
+             b64(bt.batchCompiles),
+             strformat("%.2fx", bt.compileAmortization),
+             b64(bt.vramSplits), b64(bt.gpusPerNode)});
+        batching.print();
+    }
+
     if (report.multiNode) {
         const auto n64 = [](uint64_t v) {
             return strformat("%llu",
@@ -302,6 +338,18 @@ canonicalSloText(const SloReport &report)
     addF("throughput_per_h", report.throughputPerHour);
     addF("makespan_s", report.makespanSeconds);
 
+    if (report.batchingEnabled) {
+        const auto &bt = report.batch;
+        addU("batches_formed", bt.batchesFormed);
+        addU("batched_requests", bt.batchedRequests);
+        addF("batch_occupancy_mean", bt.meanOccupancy);
+        addU("batch_occupancy_max", bt.maxOccupancy);
+        addF("batch_padding_waste_pct", bt.paddingWastePct);
+        addU("batch_compiles", bt.batchCompiles);
+        addF("batch_compile_amortization", bt.compileAmortization);
+        addU("batch_vram_splits", bt.vramSplits);
+        addU("batch_gpus_per_node", bt.gpusPerNode);
+    }
     if (report.faultsEnabled) {
         addU("faults_injected", report.fault.injected);
         for (size_t k = 0; k < fault::kFaultKinds; ++k)
@@ -470,6 +518,22 @@ parseSloText(const std::string &text)
     r.throughputPerHour = in.nextF("throughput_per_h");
     r.makespanSeconds = in.nextF("makespan_s");
 
+    if (!in.done() && in.peekKey() == "batches_formed") {
+        r.batchingEnabled = true;
+        auto &bt = r.batch;
+        bt.batchesFormed = in.nextU("batches_formed");
+        bt.batchedRequests = in.nextU("batched_requests");
+        bt.meanOccupancy = in.nextF("batch_occupancy_mean");
+        bt.maxOccupancy = in.nextU("batch_occupancy_max");
+        bt.paddingWastePct = in.nextF("batch_padding_waste_pct");
+        bt.batchCompiles = in.nextU("batch_compiles");
+        bt.compileAmortization =
+            in.nextF("batch_compile_amortization");
+        bt.vramSplits = in.nextU("batch_vram_splits");
+        bt.gpusPerNode =
+            static_cast<uint32_t>(in.nextU("batch_gpus_per_node"));
+    }
+
     if (!in.done() && in.peekKey() == "faults_injected") {
         r.faultsEnabled = true;
         auto &ft = r.fault;
@@ -561,7 +625,8 @@ requestCsv(const ClusterResult &result)
                    "outcome", "msa_cache_hit", "degraded_path",
                    "msa_attempts", "gpu_attempts", "faults_seen",
                    "msa_queue_s", "msa_service_s", "gpu_queue_s",
-                   "gpu_service_s", "xla_compile_s", "latency_s"});
+                   "gpu_service_s", "xla_compile_s", "batch_size",
+                   "latency_s"});
     for (const auto &rec : result.records) {
         const bool served = rec.outcome == Outcome::Completed ||
                             rec.outcome == Outcome::Degraded;
@@ -591,6 +656,7 @@ requestCsv(const ClusterResult &result)
                                     rec.gpuStartSeconds
                               : 0.0),
              strformat("%.3f", rec.compileSeconds),
+             strformat("%u", rec.batchSize),
              strformat("%.3f",
                        served ? rec.latencySeconds() : 0.0)});
     }

@@ -51,6 +51,35 @@ struct SloReport
     double throughputPerHour = 0.0;
     double makespanSeconds = 0.0;
 
+    /** True when the run used continuous batching (batch-max > 1).
+     *  Gates the batching section everywhere, so solo-dispatch
+     *  report text is byte-identical to the pre-batching
+     *  simulator. */
+    bool batchingEnabled = false;
+
+    /** Continuous-batching dashboard (batched runs only). */
+    struct BatchSection
+    {
+        uint64_t batchesFormed = 0;
+        uint64_t batchedRequests = 0;
+        double meanOccupancy = 0.0;
+        uint64_t maxOccupancy = 0;
+
+        /** Padded-token FLOPs as a share of all executed FLOPs. */
+        double paddingWastePct = 0.0;
+
+        uint64_t batchCompiles = 0;
+
+        /** Requests served per compile actually paid: > 1 means
+         *  the shape-bucketed executables were shared. */
+        double compileAmortization = 0.0;
+
+        /** Dispatches truncated below batch-max by the VRAM cap. */
+        uint64_t vramSplits = 0;
+
+        uint32_t gpusPerNode = 1;
+    } batch;
+
     /** True when the run had a live fault plan. Gates the fault
      *  section everywhere, so fault-free report text is
      *  byte-identical to a build without the fault machinery. */

@@ -93,8 +93,15 @@ struct RequestRecord
     double finishSeconds = 0.0;   ///< response complete
 
     /** XLA compile paid on the assigned GPU worker (0 once the
-     *  worker's persistent cache holds the shape bucket). */
+     *  worker's persistent cache holds the shape bucket). In a
+     *  batched dispatch every member records the one shared
+     *  compile it waited through. */
     double compileSeconds = 0.0;
+
+    /** Members in the GPU dispatch that served this request: 0 on
+     *  the solo path (batching off), >= 1 through the batch former
+     *  (1 = a singleton batch). */
+    uint32_t batchSize = 0;
 
     /** Touched by at least one fault, retry, or timeout — the SLO
      *  report's clean-vs-affected tail split keys off this. */

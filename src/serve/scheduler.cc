@@ -29,23 +29,90 @@ DispatchQueue::push(Request request)
     maxDepth_ = std::max(maxDepth_, queue_.size());
 }
 
+namespace {
+
+/** SJF order: shortest predicted job, ties by arrival id. */
+bool
+sjfBefore(const Request &a, const Request &b)
+{
+    if (a.tokens != b.tokens)
+        return a.tokens < b.tokens;
+    return a.id < b.id;
+}
+
+} // namespace
+
 Request
 DispatchQueue::pop()
 {
     if (queue_.empty())
         fatal("DispatchQueue: pop on empty queue");
     auto it = queue_.begin();
-    if (policy_ == SchedPolicy::Sjf) {
-        it = std::min_element(
-            queue_.begin(), queue_.end(),
-            [](const Request &a, const Request &b) {
-                if (a.tokens != b.tokens)
-                    return a.tokens < b.tokens;
-                return a.id < b.id;
-            });
-    }
+    if (policy_ == SchedPolicy::Sjf)
+        it = std::min_element(queue_.begin(), queue_.end(),
+                              sjfBefore);
     Request out = std::move(*it);
     queue_.erase(it);
+    return out;
+}
+
+const Request &
+DispatchQueue::peek() const
+{
+    if (queue_.empty())
+        fatal("DispatchQueue: peek on empty queue");
+    if (policy_ == SchedPolicy::Sjf)
+        return *std::min_element(queue_.begin(), queue_.end(),
+                                 sjfBefore);
+    return queue_.front();
+}
+
+size_t
+DispatchQueue::countIf(
+    const std::function<bool(const Request &)> &accept) const
+{
+    size_t n = 0;
+    for (const auto &r : queue_)
+        n += accept(r) ? 1 : 0;
+    return n;
+}
+
+std::vector<Request>
+DispatchQueue::popBatch(
+    size_t maxCount,
+    const std::function<bool(const Request &)> &accept)
+{
+    if (queue_.empty())
+        fatal("DispatchQueue: popBatch on empty queue");
+    if (maxCount == 0)
+        fatal("DispatchQueue: popBatch with zero capacity");
+
+    // Visit queued requests in policy order, deterministically.
+    std::vector<size_t> order(queue_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (policy_ == SchedPolicy::Sjf)
+        std::sort(order.begin(), order.end(),
+                  [this](size_t a, size_t b) {
+                      return sjfBefore(queue_[a], queue_[b]);
+                  });
+
+    std::vector<size_t> taken;
+    taken.push_back(order[0]); // the policy head, unconditionally
+    for (size_t k = 1;
+         k < order.size() && taken.size() < maxCount; ++k)
+        if (accept(queue_[order[k]]))
+            taken.push_back(order[k]);
+
+    std::vector<Request> out;
+    out.reserve(taken.size());
+    for (size_t idx : taken)
+        out.push_back(queue_[idx]);
+    // Erase back-to-front so earlier indices stay valid.
+    std::sort(taken.begin(), taken.end());
+    for (size_t k = taken.size(); k-- > 0;)
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(taken[k]));
     return out;
 }
 

@@ -16,7 +16,9 @@
 #define AFSB_SERVE_SCHEDULER_HH
 
 #include <deque>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "serve/request.hh"
 
@@ -49,6 +51,24 @@ class DispatchQueue
     /** Next request per policy; fatal() when empty. Ties in SJF
      *  break by arrival id, keeping dispatch deterministic. */
     Request pop();
+
+    /** The request pop() would return, without removing it. */
+    const Request &peek() const;
+
+    /** Queued requests satisfying @p accept (batch-former probe). */
+    size_t countIf(
+        const std::function<bool(const Request &)> &accept) const;
+
+    /**
+     * Batch extraction: pop the policy head, then up to
+     * @p maxCount - 1 further requests satisfying @p accept, taken
+     * in policy order. The head is returned unconditionally (the
+     * caller groups by its shape bucket), so it must satisfy
+     * @p accept by construction. fatal() when empty.
+     */
+    std::vector<Request> popBatch(
+        size_t maxCount,
+        const std::function<bool(const Request &)> &accept);
 
     bool empty() const { return queue_.empty(); }
     size_t depth() const { return queue_.size(); }

@@ -89,6 +89,26 @@ TEST(Serving, EmptyRequestListIsSafe)
         simulateServing(sys::serverPlatform(), {});
     EXPECT_EQ(result.requests.size(), 0u);
     EXPECT_DOUBLE_EQ(result.makespanSeconds, 0.0);
+    // Every derived aggregate stays a well-defined zero — no 0/0.
+    EXPECT_DOUBLE_EQ(result.throughputPerHour, 0.0);
+    EXPECT_DOUBLE_EQ(result.meanLatency, 0.0);
+    EXPECT_DOUBLE_EQ(result.firstRequestLatency, 0.0);
+    EXPECT_DOUBLE_EQ(result.steadyLatency, 0.0);
+}
+
+TEST(Serving, SingleRequestDefinesItsOwnSteadyState)
+{
+    const auto result = simulateServing(sys::serverPlatform(),
+                                        batchRequests(1, 484));
+    ASSERT_EQ(result.requests.size(), 1u);
+    EXPECT_GT(result.makespanSeconds, 0.0);
+    EXPECT_GT(result.throughputPerHour, 0.0);
+    // With no steady stream behind it, the lone request is its own
+    // steady state; mean and first collapse onto it too.
+    EXPECT_DOUBLE_EQ(result.steadyLatency,
+                     result.firstRequestLatency);
+    EXPECT_DOUBLE_EQ(result.meanLatency,
+                     result.firstRequestLatency);
 }
 
 TEST(Serving, OpenLoopLatencyIsQueueingPlusService)

@@ -107,6 +107,63 @@ TEST(ReportRoundTrip, FaultAndNetSections)
     expectRoundTrip(text);
 }
 
+TEST(ReportRoundTrip, BatchingSection)
+{
+    auto cfg = fastConfig();
+    cfg.batchMax = 4;
+    const std::string text = runToText(cfg);
+    EXPECT_NE(text.find("batches_formed="), std::string::npos);
+    EXPECT_NE(text.find("batch_gpus_per_node=1\n"),
+              std::string::npos);
+    expectRoundTrip(text);
+
+    // Solo dispatch must not leak the section: its text stays
+    // byte-identical to the pre-batching report.
+    const std::string solo = runToText(fastConfig());
+    EXPECT_EQ(solo.find("batches_formed"), std::string::npos);
+}
+
+TEST(ReportRoundTrip, BatchingWithFaultAndNetSections)
+{
+    auto cfg = fastConfig();
+    cfg.batchMax = 4;
+    cfg.gpusPerNode = 2;
+    cfg.topology = net::datacenterTopology(2);
+    cfg.faultPlan.seed = 0xbead;
+    cfg.faultPlan.gpuCrashProb = 0.10;
+    const std::string text = runToText(cfg);
+    EXPECT_NE(text.find("batches_formed="), std::string::npos);
+    EXPECT_NE(text.find("batch_gpus_per_node=2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("faults_injected="), std::string::npos);
+    EXPECT_NE(text.find("nodes=2\n"), std::string::npos);
+    expectRoundTrip(text);
+}
+
+TEST(ReportRoundTrip, ParsedBatchingFieldsMatchTheReport)
+{
+    static MsaServiceOracle oracle;
+    auto cfg = fastConfig();
+    cfg.msaOracle = &oracle;
+    cfg.batchMax = 4;
+    const auto r = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   smallWorkload(), cfg);
+    const auto rep = buildSloReport(r);
+    ASSERT_TRUE(rep.batchingEnabled);
+    const auto parsed = parseSloText(canonicalSloText(rep));
+    EXPECT_TRUE(parsed.batchingEnabled);
+    EXPECT_EQ(parsed.batch.batchesFormed, rep.batch.batchesFormed);
+    EXPECT_EQ(parsed.batch.batchedRequests,
+              rep.batch.batchedRequests);
+    EXPECT_EQ(parsed.batch.maxOccupancy, rep.batch.maxOccupancy);
+    EXPECT_EQ(parsed.batch.batchCompiles, rep.batch.batchCompiles);
+    EXPECT_EQ(parsed.batch.vramSplits, rep.batch.vramSplits);
+    EXPECT_EQ(parsed.batch.gpusPerNode, rep.batch.gpusPerNode);
+    EXPECT_NEAR(parsed.batch.meanOccupancy,
+                rep.batch.meanOccupancy, 5e-4);
+}
+
 TEST(ReportRoundTrip, ParsedFieldsMatchTheReport)
 {
     static MsaServiceOracle oracle;

@@ -207,6 +207,40 @@ cmdServe(const CliArgs &args)
     const auto platform =
         platformByName(args.get("platform", "server"));
 
+    // Validate flag combinations up front, on the signed parses,
+    // so a bad value fails with one clear line instead of wrapping
+    // through an unsigned cast into the simulator.
+    if (args.getDouble("rps", 0.05) <= 0.0)
+        fatal("serve: --rps must be > 0");
+    if (args.getDouble("duration", 3600.0) <= 0.0)
+        fatal("serve: --duration must be > 0");
+    if (args.getInt("msa-workers", 4) < 1)
+        fatal("serve: --msa-workers must be >= 1");
+    if (args.getInt("gpu-workers", 2) < 1)
+        fatal("serve: --gpu-workers must be >= 1");
+    if (args.getInt("queue-cap", 64) < 1)
+        fatal("serve: --queue-cap must be >= 1");
+    if (args.getInt("batch-max", 1) < 1)
+        fatal("serve: --batch-max must be >= 1");
+    if (args.getDouble("batch-wait-ms", 0.0) < 0.0)
+        fatal("serve: --batch-wait-ms must be >= 0");
+    if (args.getInt("gpus-per-node", 1) < 1)
+        fatal("serve: --gpus-per-node must be >= 1");
+    if (args.getInt("bucket-tokens",
+                    gpusim::XlaCache::kBucketTokens) < 1)
+        fatal("serve: --bucket-tokens must be >= 1");
+    if (args.has("kill-node")) {
+        const int64_t nodes = args.getInt("nodes", 1);
+        const int64_t kill = args.getInt("kill-node", 0);
+        if (nodes < 2)
+            fatal("serve: --kill-node needs a multi-node topology "
+                  "(--nodes >= 2)");
+        if (kill < 0 || kill >= nodes)
+            fatal("serve: --kill-node " + std::to_string(kill) +
+                  " is out of range for --nodes " +
+                  std::to_string(nodes));
+    }
+
     serve::WorkloadSpec workload;
     workload.requestsPerSecond = args.getDouble("rps", 0.05);
     workload.durationSeconds = args.getDouble("duration", 3600.0);
@@ -230,6 +264,14 @@ cmdServe(const CliArgs &args)
         static_cast<uint64_t>(args.getInt("cache-mb", 512)) << 20;
     cluster.msaThreadsPerWorker =
         static_cast<uint32_t>(args.getInt("msa-threads", 8));
+    cluster.batchMax =
+        static_cast<uint32_t>(args.getInt("batch-max", 1));
+    cluster.batchWaitSeconds =
+        args.getDouble("batch-wait-ms", 0.0) / 1000.0;
+    cluster.gpusPerNode =
+        static_cast<uint32_t>(args.getInt("gpus-per-node", 1));
+    cluster.bucketTokens = static_cast<uint32_t>(args.getInt(
+        "bucket-tokens", gpusim::XlaCache::kBucketTokens));
 
     cluster.topology.nodes =
         static_cast<uint32_t>(args.getInt("nodes", 1));
@@ -297,6 +339,14 @@ cmdServe(const CliArgs &args)
         formatBytes(cluster.msaCacheBudgetBytes).c_str(),
         workload.requestsPerSecond, workload.durationSeconds,
         static_cast<unsigned long long>(workload.seed));
+
+    if (cluster.batchMax > 1)
+        std::printf("Continuous batching: up to %u per dispatch, "
+                    "wait %.0f ms, bucket %u tokens, "
+                    "%u GPUs/node\n\n",
+                    cluster.batchMax,
+                    cluster.batchWaitSeconds * 1000.0,
+                    cluster.bucketTokens, cluster.gpusPerNode);
 
     if (cluster.topology.nodes > 1)
         std::printf("Topology: %u nodes (worker pools per node), "
@@ -425,6 +475,9 @@ main(int argc, char **argv)
         "          [--cache-mb MB] [--policy fifo|sjf] "
         "[--queue-cap N] [--mix \"2PV7=2,promo=1\"]\n"
         "          [--unique K] [--seed N] [--msa-threads T]\n"
+        "          batching: [--batch-max B] [--batch-wait-ms W] "
+        "[--gpus-per-node G]\n"
+        "          [--bucket-tokens T]\n"
         "          faults: [--fault-seed N] [--fault-msa-crash P] "
         "[--fault-gpu-crash P]\n"
         "          [--fault-permanent P] [--fault-storage-err P] "
