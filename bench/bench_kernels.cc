@@ -30,10 +30,14 @@
 #include "bio/seqgen.hh"
 #include "model/diffusion.hh"
 #include "model/layers.hh"
+#include "model/pairformer.hh"
+#include "msa/dbgen.hh"
 #include "msa/dp_kernels.hh"
+#include "msa/search.hh"
 #include "tensor/ops.hh"
 #include "util/json.hh"
 #include "util/threadpool.hh"
+#include "util/units.hh"
 
 using namespace afsb;
 
@@ -455,6 +459,106 @@ BM_DiffusionStepArena(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DiffusionStepArena)->Arg(32)->Arg(64);
+
+// --- Task-graph schedulers --------------------------------------------------
+//
+// Fork-join vs task-graph pairs for the acceptance comparison: the
+// same pool, shape, and compiled unit bodies; only the scheduler
+// differs (barriered parallelFor sweeps vs one TaskGroup dependency
+// graph per block), so the ratio isolates barrier drain time.
+
+void
+runPairformerBlockBench(benchmark::State &state, bool taskGraph)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    auto cfg = benchConfig();
+    cfg.pairformerBlocks = 1;
+    ThreadPool pool(kBenchPoolThreads);
+    tensor::Arena arena;
+    cfg.pool = &pool;
+    cfg.arena = &arena;
+    cfg.taskGraph = taskGraph;
+    Rng rng(14);
+    const model::Pairformer block(cfg, rng);
+    model::PairState s;
+    s.pair = tensor::Tensor::randomNormal({n, n, cfg.pairDim}, rng);
+    s.single =
+        tensor::Tensor::randomNormal({n, cfg.singleDim}, rng);
+    for (auto _ : state) {
+        block.forward(s);
+        benchmark::DoNotOptimize(s.pair.data());
+    }
+}
+
+void
+BM_PairformerBlockForkJoin(benchmark::State &state)
+{
+    runPairformerBlockBench(state, false);
+}
+BENCHMARK(BM_PairformerBlockForkJoin)->Arg(32)->Arg(64);
+
+void
+BM_PairformerBlockTaskGraph(benchmark::State &state)
+{
+    runPairformerBlockBench(state, true);
+}
+BENCHMARK(BM_PairformerBlockTaskGraph)->Arg(32)->Arg(64);
+
+/**
+ * Overlapped staged database scan, queue engine vs TaskGroup engine
+ * (SearchConfig::taskScan). A homopolymer-skewed query inflates the
+ * survivor stage — the skew the dynamic stages exist to balance —
+ * and the page cache stays warm after the first iteration, so the
+ * steady state measures scheduling, not disk.
+ */
+void
+runStagedScanBench(benchmark::State &state, bool taskScan)
+{
+    const auto decoys = static_cast<size_t>(state.range(0));
+    bio::SequenceGenerator gen(4242);
+    const auto query = gen.withHomopolymer("q", 200, 48, 'Q');
+    io::Vfs vfs;
+    io::StorageDevice dev;
+    io::PageCache cache(1 * GiB, &dev);
+    msa::DbGenConfig dcfg;
+    dcfg.decoyCount = decoys;
+    dcfg.homologsPerQuery = 8;
+    dcfg.fragmentsPerQuery = 6;
+    dcfg.lowComplexityFraction = 0.1;
+    const std::vector<const bio::Sequence *> queries = {&query};
+    msa::generateDatabase(vfs, "bench.fasta", queries,
+                          bio::MoleculeType::Protein, dcfg);
+    const auto db = msa::SequenceDatabase::load(
+        vfs, cache, "bench.fasta", bio::MoleculeType::Protein, 0.0);
+    const auto prof = msa::ProfileHmm::fromSequence(
+        query, msa::ScoreMatrix::blosum62());
+
+    ThreadPool pool(kBenchPoolThreads);
+    msa::SearchConfig cfg;
+    cfg.threads = kBenchPoolThreads;
+    cfg.overlap = true;
+    cfg.taskScan = taskScan;
+
+    for (auto _ : state) {
+        const auto r =
+            msa::searchDatabase(prof, db, cache, &pool, cfg);
+        benchmark::DoNotOptimize(r.stats.hits);
+    }
+}
+
+void
+BM_StagedScanQueue(benchmark::State &state)
+{
+    runStagedScanBench(state, false);
+}
+BENCHMARK(BM_StagedScanQueue)->Arg(300);
+
+void
+BM_StagedScanTaskGraph(benchmark::State &state)
+{
+    runStagedScanBench(state, true);
+}
+BENCHMARK(BM_StagedScanTaskGraph)->Arg(300);
 
 // --- Tensor primitives ------------------------------------------------------
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Task-graph schedulers for the barrier-heavy model phases.
+ *
+ * The fork-join fast paths in layers.cc / diffusion.cc run each
+ * sub-layer as a sequence of parallelFor sweeps with an implicit
+ * barrier between every sweep: layer-norm all lines, barrier,
+ * project all lines, barrier, run all attention units, barrier,
+ * apply the residual, barrier, next sub-layer.  At the tail of every
+ * sweep most workers idle while the last task drains.
+ *
+ * The schedulers here recast one Pairformer block and one diffusion
+ * token-transformer stack as TaskGroup task graphs instead: work is
+ * decomposed into the same units the fork-join path uses (rowops row
+ * blocks, unitk attention/einsum units), and dependencies are
+ * expressed with TaskGroup gates, so independent units of the *next*
+ * sub-layer start as soon as the lines they read are finished — the
+ * epilogue of triangle-mult-outgoing on one line block overlaps the
+ * prologue of triangle-mult-incoming on another.
+ *
+ * Determinism: every task calls the same compiled bodies
+ * (tensor::rowops, model::unitk) on the same pre-assigned ranges and
+ * output slots as the fork-join path; partitions are pure functions
+ * of the problem shape (16-line blocks, fixed unit ids) and
+ * GEMM-backed ranges start on even rows.  Results are therefore
+ * bit-identical to the fork-join path at every pool size — the
+ * TaskGraph sweep tests byte-compare both engines across worker
+ * counts.
+ *
+ * All tensors a graph touches are allocated on the spawning thread
+ * before any task runs (the tensor::Arena is single-threaded by
+ * contract); each sync window opens its own Arena::Scope so scratch
+ * is rewound as the graph advances.
+ */
+
+#ifndef AFSB_MODEL_BLOCK_GRAPH_HH
+#define AFSB_MODEL_BLOCK_GRAPH_HH
+
+#include "model/diffusion.hh"
+#include "model/pairformer.hh"
+
+namespace afsb::model::graph {
+
+/**
+ * True when the task-graph scheduler should run: opted in
+ * (cfg.taskGraph), a pool to schedule on, fast kernels selected, no
+ * per-layer timing hook (the hook needs sub-layer barriers for
+ * attribution), and not already inside a pool worker or task (where
+ * a group would run inline and the classic path is cheaper).
+ */
+bool taskGraphEligible(const ModelConfig &cfg, bool hooked);
+
+/**
+ * One Pairformer block as a task graph: three sync windows —
+ * {triMultOut, triMultIn}, {triAttnStart, triAttnEnd}, {pairTrans,
+ * singleAttn, singleTrans} — with per-line-block chaining between
+ * the sub-layers inside a window.  Updates pair and single in place;
+ * bit-identical to the layers.cc sequence.
+ */
+void runPairformerBlock(Tensor &pair, Tensor &single,
+                        const PairformerBlockWeights &w,
+                        const ModelConfig &cfg);
+
+/**
+ * The diffusion token-transformer stack (local encoder, global
+ * attention, local decoder) as a task graph: attention blocks are
+ * grouped into sync windows of four, and inside a window each
+ * token-row block chains residual + transition + next block's
+ * projections without waiting for the other rows.  Updates h in
+ * place; bit-identical to the tokenAttention loop in diffusion.cc.
+ */
+void runDiffusionTokenStack(Tensor &h, const DiffusionWeights &w,
+                            const ModelConfig &cfg);
+
+} // namespace afsb::model::graph
+
+#endif // AFSB_MODEL_BLOCK_GRAPH_HH

@@ -90,6 +90,20 @@ struct ModelConfig
      * relative difference against them.
      */
     bool forceNaive = false;
+
+    /**
+     * Schedule the fast-path Pairformer block and diffusion token
+     * transformer as TaskGroup task graphs (block_graph.cc) instead
+     * of a barriered sequence of parallelFor sweeps. Independent
+     * units of the next sub-layer start as soon as the lines they
+     * read are finished, so workers never idle at a sub-layer
+     * barrier. Unit bodies, partitions, and output slots are shared
+     * with the fork-join path, so results are bit-identical at every
+     * pool size and with the flag off. Ignored (classic path) when
+     * pool is nullptr, forceNaive is set, or a layer-time hook needs
+     * per-layer barriers for attribution.
+     */
+    bool taskGraph = true;
 };
 
 /** Published AF3 dimensions (FLOP accounting / GPU simulation). */

@@ -3,13 +3,15 @@
 #include <chrono>
 #include <cmath>
 
+#include "model/block_graph.hh"
+#include "model/unit_kernels.hh"
+#include "util/grain.hh"
 #include "util/logging.hh"
 #include "util/simd.hh"
 #include "util/threadpool.hh"
 
 namespace afsb::model {
 
-using tensor::gemmAcc;
 using tensor::linear;
 
 namespace {
@@ -46,49 +48,14 @@ class LayerTimer
     std::chrono::steady_clock::time_point start_;
 };
 
-/** Per-worker scratch for the GEMM-shaped attention path. */
-thread_local std::vector<float> tlsKt;
-thread_local std::vector<float> tlsLogits;
-
-/** Softmax each n-wide row in place with the branch-free fastExpf
- *  (the fast path's only numeric departure from the reference). */
-void
-softmaxRowsFast(float *AFSB_RESTRICT m, size_t rows, size_t n)
-{
-    for (size_t r = 0; r < rows; ++r) {
-        float *AFSB_RESTRICT row = m + r * n;
-        float mx = row[0];
-        for (size_t i = 1; i < n; ++i)
-            mx = std::max(mx, row[i]);
-        // No reduction in the exp pass (so it vectorizes without
-        // -ffast-math); four partial sums break the serial float
-        // add chain the compiler may not reassociate.
-        AFSB_VECTORIZE_LOOP
-        for (size_t i = 0; i < n; ++i)
-            row[i] = fastExpf(row[i] - mx);
-        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-        size_t i = 0;
-        for (; i + 4 <= n; i += 4) {
-            s0 += row[i];
-            s1 += row[i + 1];
-            s2 += row[i + 2];
-            s3 += row[i + 3];
-        }
-        for (; i < n; ++i)
-            s0 += row[i];
-        const float inv = 1.0f / ((s0 + s1) + (s2 + s3));
-        AFSB_VECTORIZE_LOOP
-        for (size_t i2 = 0; i2 < n; ++i2)
-            row[i2] *= inv;
-    }
-}
-
 /**
  * GEMM-shaped token attention. One unit = one head: K is gathered
  * into a contiguous dh x n transposed slab once per head, then
  * global attention (@p window 0) runs the full n x n logit GEMM +
  * row softmax + context GEMM, while local attention runs one
  * windowed row GEMM per token against the slab's [lo, hi) columns.
+ * Unit bodies live in unit_kernels.cc so the task-graph path
+ * (block_graph.cc) shares the compiled code exactly.
  */
 void
 tokenAttentionFast(Tensor &ctx, const Tensor &q, const Tensor &k,
@@ -96,56 +63,25 @@ tokenAttentionFast(Tensor &ctx, const Tensor &q, const Tensor &k,
                    size_t dh, size_t window, float invSqrt,
                    ThreadPool *pool, tensor::Arena *arena)
 {
-    const size_t hd = heads * dh;
     const Tensor qs = tensor::scale(q, invSqrt, arena);
     const size_t span = window > 0 ? window : n;
     const size_t flops = 4 * n * span * dh;
     auto unit = [&](size_t h0, size_t h1) {
-        std::vector<float> &ktp = tlsKt;
-        std::vector<float> &logits = tlsLogits;
+        std::vector<float> &ktp = unitk::tlsScratchA();
         ktp.resize(dh * n);
-        logits.resize(window > 0 ? span : n * n);
         for (size_t h = h0; h < h1; ++h) {
-            const size_t ho = h * dh;
-            for (size_t j = 0; j < n; ++j) {
-                const float *AFSB_RESTRICT kv =
-                    k.data() + j * hd + ho;
-                for (size_t d = 0; d < dh; ++d)
-                    ktp[d * n + j] = kv[d];
-            }
-            if (window == 0) {
-                std::fill(logits.begin(), logits.end(), 0.0f);
-                gemmAcc(qs.data() + ho, hd, ktp.data(), n,
-                        logits.data(), n, n, dh, n);
-                softmaxRowsFast(logits.data(), n, n);
-                gemmAcc(logits.data(), n, v.data() + ho, hd,
-                        ctx.data() + ho, hd, n, n, dh);
-                continue;
-            }
-            for (size_t i = 0; i < n; ++i) {
-                const size_t lo =
-                    i > window / 2 ? i - window / 2 : 0;
-                const size_t hi = std::min(n, lo + window);
-                const size_t len = hi - lo;
-                std::fill(logits.begin(), logits.begin() + len,
-                          0.0f);
-                gemmAcc(qs.data() + i * hd + ho, hd,
-                        ktp.data() + lo, n, logits.data(), len, 1,
-                        dh, len);
-                softmaxRowsFast(logits.data(), 1, len);
-                gemmAcc(logits.data(), len,
-                        v.data() + lo * hd + ho, hd,
-                        ctx.data() + i * hd + ho, hd, 1, len, dh);
-            }
+            unitk::tokenAttnSlab(ktp.data(), k.data(), n, heads,
+                                 dh, h);
+            unitk::tokenAttnRows(ctx.data(), qs.data(), ktp.data(),
+                                 v.data(), n, heads, dh, h, window,
+                                 0, n, unitk::tlsScratchB());
         }
     };
     if (!pool) {
         unit(0, heads);
         return;
     }
-    const size_t grain = std::max<size_t>(
-        1, (1 << 18) / std::max<size_t>(1, flops));
-    pool->parallelFor(heads, grain, unit);
+    pool->parallelFor(heads, grain::forFlops(flops), unit);
 }
 
 } // namespace
@@ -300,17 +236,24 @@ DiffusionModule::denoiseStep(Tensor &coords, const Tensor &cond,
                       arena));
     }
 
-    for (const auto &w : weights_.localEnc) {
-        LayerTimer t(hook, "local_attention_encoder");
-        tokenAttention(h, w, cfg_, cfg_.localWindow);
-    }
-    for (const auto &w : weights_.globalAttn) {
-        LayerTimer t(hook, "global_attention");
-        tokenAttention(h, w, cfg_, 0);
-    }
-    for (const auto &w : weights_.localDec) {
-        LayerTimer t(hook, "local_attention_decoder");
-        tokenAttention(h, w, cfg_, cfg_.localWindow);
+    // Task-graph scheduler for the token-transformer stack:
+    // bit-identical to the loop below (shared unit bodies), kept
+    // behind the same eligibility gate as the Pairformer graph.
+    if (graph::taskGraphEligible(cfg_, hook != nullptr)) {
+        graph::runDiffusionTokenStack(h, weights_, cfg_);
+    } else {
+        for (const auto &w : weights_.localEnc) {
+            LayerTimer t(hook, "local_attention_encoder");
+            tokenAttention(h, w, cfg_, cfg_.localWindow);
+        }
+        for (const auto &w : weights_.globalAttn) {
+            LayerTimer t(hook, "global_attention");
+            tokenAttention(h, w, cfg_, 0);
+        }
+        for (const auto &w : weights_.localDec) {
+            LayerTimer t(hook, "local_attention_decoder");
+            tokenAttention(h, w, cfg_, cfg_.localWindow);
+        }
     }
 
     // Denoised estimate; coordinates step toward it.

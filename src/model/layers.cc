@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "model/unit_kernels.hh"
+
+#include "util/grain.hh"
 #include "util/logging.hh"
 #include "util/simd.hh"
 #include "util/threadpool.hh"
@@ -52,53 +55,8 @@ forUnits(size_t units, size_t flops_per_unit, ThreadPool *pool,
         fn(0, units);
         return;
     }
-    const size_t grain = std::max<size_t>(
-        1, (1 << 18) / std::max<size_t>(1, flops_per_unit));
-    pool->parallelFor(units, grain, fn);
+    pool->parallelFor(units, grain::forFlops(flops_per_unit), fn);
 }
-
-/** Softmax each n-wide row of @p rows rows in place, using the
- *  branch-free fastExpf (the fast paths' only deliberate numeric
- *  departure from the reference kernels — std::exp is the single
- *  largest scalar cost in the naive attention loops). The exp pass
- *  carries no reduction so it vectorizes without -ffast-math; the
- *  sum uses four explicit partial accumulators because without
- *  fast-math the compiler may not reassociate a serial float sum,
- *  and a single 4-cycle add chain would dominate the row. */
-void
-softmaxRowsFast(float *AFSB_RESTRICT m, size_t rows, size_t n)
-{
-    for (size_t r = 0; r < rows; ++r) {
-        float *AFSB_RESTRICT row = m + r * n;
-        float mx = row[0];
-        for (size_t i = 1; i < n; ++i)
-            mx = std::max(mx, row[i]);
-        AFSB_VECTORIZE_LOOP
-        for (size_t i = 0; i < n; ++i)
-            row[i] = fastExpf(row[i] - mx);
-        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-        size_t i = 0;
-        for (; i + 4 <= n; i += 4) {
-            s0 += row[i];
-            s1 += row[i + 1];
-            s2 += row[i + 2];
-            s3 += row[i + 3];
-        }
-        for (; i < n; ++i)
-            s0 += row[i];
-        const float inv = 1.0f / ((s0 + s1) + (s2 + s3));
-        AFSB_VECTORIZE_LOOP
-        for (size_t i2 = 0; i2 < n; ++i2)
-            row[i2] *= inv;
-    }
-}
-
-/** Per-worker scratch for the GEMM-shaped kernels. Thread-locals
- *  instead of arena slabs: units run on pool workers, and the arena
- *  is single-threaded by contract (allocations happen on the
- *  dispatching thread only). */
-thread_local std::vector<float> tlsPackA;
-thread_local std::vector<float> tlsTile;
 
 /**
  * The reference triangle-attention loop (seed implementation,
@@ -180,76 +138,21 @@ triangleAttentionFast(Tensor &ctx, const Tensor &qs, const Tensor &k,
                       size_t heads, size_t dh, bool starting,
                       ThreadPool *pool, Arena *arena)
 {
-    const size_t hd = heads * dh;
-
     // Bias pre-pack, per head: P_h(x, y) is the bias added to
-    // logits[x][y] in this mode. Starting: logits rows are j,
-    // columns kk, bias term bias[(j*n+kk)*heads+h]. Ending: rows i,
-    // columns kk, term bias[(kk*n+i)*heads+h].
+    // logits[x][y] in this mode (see unitk::packTriBiasRows).
     Tensor biasPack = Tensor::uninitialized({heads, n, n}, arena);
     forUnits(heads * n, 2 * n, pool, [&](size_t r0, size_t r1) {
-        for (size_t r = r0; r < r1; ++r) {
-            const size_t h = r / n;
-            const size_t x = r % n;
-            float *AFSB_RESTRICT dst =
-                biasPack.data() + (h * n + x) * n;
-            if (starting) {
-                const float *AFSB_RESTRICT src =
-                    bias.data() + x * n * heads + h;
-                for (size_t y = 0; y < n; ++y)
-                    dst[y] = src[y * heads];
-            } else {
-                const float *AFSB_RESTRICT src =
-                    bias.data() + x * heads + h;
-                for (size_t y = 0; y < n; ++y)
-                    dst[y] = src[y * n * heads];
-            }
-        }
+        unitk::packTriBiasRows(biasPack.data(), bias.data(), n,
+                               heads, starting, r0, r1);
     });
 
     forUnits(n * heads, 4 * n * n * dh, pool,
              [&](size_t u0, size_t u1) {
-        std::vector<float> &ktp = tlsPackA;
-        std::vector<float> &logits = tlsTile;
-        ktp.resize(dh * n);
-        logits.resize(n * n);
-        for (size_t u = u0; u < u1; ++u) {
-            const size_t line = u / heads;
-            const size_t h = u % heads;
-            const size_t ho = h * dh;
-
-            // Line bases: starting fixes i = line (unit rows sweep
-            // j, logits columns sweep kk along row i); ending fixes
-            // j = line (rows sweep i, columns sweep kk down column
-            // j). Row strides through the (N, N, hd) tensors follow.
-            const size_t lineBase =
-                starting ? line * n * hd : line * hd;
-            const size_t rowStride = starting ? hd : n * hd;
-
-            // K^T slab: ktp[d][kk] = K(kk)[d] for this line/head.
-            const float *AFSB_RESTRICT kbase =
-                k.data() + lineBase + ho;
-            for (size_t kk = 0; kk < n; ++kk) {
-                const float *AFSB_RESTRICT kv =
-                    kbase + kk * rowStride;
-                for (size_t d = 0; d < dh; ++d)
-                    ktp[d * n + kk] = kv[d];
-            }
-
-            // logits = bias pack, then += Qs * K^T.
-            std::memcpy(logits.data(),
-                        biasPack.data() + h * n * n,
-                        n * n * sizeof(float));
-            gemmAcc(qs.data() + lineBase + ho, rowStride,
-                    ktp.data(), n, logits.data(), n, n, dh, n);
-
-            softmaxRowsFast(logits.data(), n, n);
-
-            // ctx_line += P * V (ctx rows start zeroed).
-            gemmAcc(logits.data(), n, v.data() + lineBase + ho,
-                    rowStride, ctx.data() + lineBase + ho,
-                    rowStride, n, n, dh);
-        }
+        for (size_t u = u0; u < u1; ++u)
+            unitk::triAttnUnit(ctx.data(), qs.data(), k.data(),
+                               v.data(), biasPack.data(), n, heads,
+                               dh, starting, u, unitk::tlsScratchA(),
+                               unitk::tlsScratchB());
     });
 }
 
@@ -290,11 +193,8 @@ transposeLines(const Tensor &src, size_t n, size_t c,
 {
     Tensor dst = Tensor::uninitialized({n, n, c}, arena);
     forUnits(n, 2 * n * c, pool, [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i)
-            for (size_t k = 0; k < n; ++k)
-                std::memcpy(dst.data() + (i * n + k) * c,
-                            src.data() + (k * n + i) * c,
-                            c * sizeof(float));
+        unitk::transposeLinesRange(dst.data(), src.data(), n, c, i0,
+                                   i1);
     });
     return dst;
 }
@@ -327,13 +227,9 @@ triangleMultFast(Tensor &out, const Tensor &a, const Tensor &b,
                  size_t n, size_t c, bool outgoing, ThreadPool *pool,
                  Arena *arena)
 {
-    constexpr size_t kChanBlock = 16;
-    constexpr size_t kColTile = 4;
-    constexpr size_t kRowTile = 16;
-
     Tensor aT, bT;
-    const float *AFSB_RESTRICT ap = a.data();
-    const float *AFSB_RESTRICT bp = b.data();
+    const float *ap = a.data();
+    const float *bp = b.data();
     if (!outgoing) {
         aT = transposeLines(a, n, c, pool, arena);
         bT = transposeLines(b, n, c, pool, arena);
@@ -341,117 +237,11 @@ triangleMultFast(Tensor &out, const Tensor &a, const Tensor &b,
         bp = bT.data();
     }
 
-    const size_t cFull = c - c % kChanBlock;
-    const size_t jFull = n - n % kColTile;
-    const size_t units = (n + kRowTile - 1) / kRowTile;
-    forUnits(units, 2 * n * n * c * kRowTile, pool,
+    forUnits(unitk::multUnits(n),
+             2 * n * n * c * unitk::kMultRowTile, pool,
              [&](size_t u0, size_t u1) {
-        for (size_t u = u0; u < u1; ++u) {
-            const size_t i0 = u * kRowTile;
-            const size_t i1 = std::min(n, i0 + kRowTile);
-            for (size_t ch0 = 0; ch0 < cFull; ch0 += kChanBlock) {
-                for (size_t j0 = 0; j0 < jFull; j0 += kColTile) {
-                    // Named accumulators (not acc[t][e]) so the
-                    // tile is fully unrolled and register-promoted;
-                    // a rolled t loop round-trips the tile through
-                    // the stack every iteration.
-                    const float *AFSB_RESTRICT b0 =
-                        bp + (j0 + 0) * n * c + ch0;
-                    const float *AFSB_RESTRICT b1 =
-                        bp + (j0 + 1) * n * c + ch0;
-                    const float *AFSB_RESTRICT b2 =
-                        bp + (j0 + 2) * n * c + ch0;
-                    const float *AFSB_RESTRICT b3 =
-                        bp + (j0 + 3) * n * c + ch0;
-                    for (size_t i = i0; i < i1; ++i) {
-                        const float *AFSB_RESTRICT arow =
-                            ap + i * n * c + ch0;
-                        float acc0[kChanBlock] = {};
-                        float acc1[kChanBlock] = {};
-                        float acc2[kChanBlock] = {};
-                        float acc3[kChanBlock] = {};
-                        for (size_t k = 0; k < n; ++k) {
-                            const float *AFSB_RESTRICT av =
-                                arow + k * c;
-                            const float *AFSB_RESTRICT bv0 =
-                                b0 + k * c;
-                            const float *AFSB_RESTRICT bv1 =
-                                b1 + k * c;
-                            const float *AFSB_RESTRICT bv2 =
-                                b2 + k * c;
-                            const float *AFSB_RESTRICT bv3 =
-                                b3 + k * c;
-                            AFSB_VECTORIZE_LOOP
-                            for (size_t e = 0; e < kChanBlock;
-                                 ++e) {
-                                const float av_e = av[e];
-                                acc0[e] += av_e * bv0[e];
-                                acc1[e] += av_e * bv1[e];
-                                acc2[e] += av_e * bv2[e];
-                                acc3[e] += av_e * bv3[e];
-                            }
-                        }
-                        float *AFSB_RESTRICT orow =
-                            out.data() + (i * n + j0) * c + ch0;
-                        std::memcpy(orow, acc0,
-                                    kChanBlock * sizeof(float));
-                        std::memcpy(orow + c, acc1,
-                                    kChanBlock * sizeof(float));
-                        std::memcpy(orow + 2 * c, acc2,
-                                    kChanBlock * sizeof(float));
-                        std::memcpy(orow + 3 * c, acc3,
-                                    kChanBlock * sizeof(float));
-                    }
-                }
-                // Column tail: j in [jFull, n), one column at a time.
-                for (size_t j = jFull; j < n; ++j) {
-                    const float *AFSB_RESTRICT brow =
-                        bp + j * n * c + ch0;
-                    for (size_t i = i0; i < i1; ++i) {
-                        const float *AFSB_RESTRICT arow =
-                            ap + i * n * c + ch0;
-                        float acc[kChanBlock] = {};
-                        for (size_t k = 0; k < n; ++k) {
-                            const float *AFSB_RESTRICT av =
-                                arow + k * c;
-                            const float *AFSB_RESTRICT bv =
-                                brow + k * c;
-                            AFSB_VECTORIZE_LOOP
-                            for (size_t e = 0; e < kChanBlock; ++e)
-                                acc[e] += av[e] * bv[e];
-                        }
-                        std::memcpy(out.data() + (i * n + j) * c +
-                                        ch0,
-                                    acc, kChanBlock * sizeof(float));
-                    }
-                }
-            }
-            // Channel tail: ch in [cFull, c), runtime-width tile.
-            if (cFull < c) {
-                const size_t ctail = c - cFull;
-                for (size_t i = i0; i < i1; ++i) {
-                    const float *AFSB_RESTRICT arow =
-                        ap + i * n * c + cFull;
-                    for (size_t j = 0; j < n; ++j) {
-                        const float *AFSB_RESTRICT brow =
-                            bp + j * n * c + cFull;
-                        float acc[kChanBlock] = {};
-                        for (size_t k = 0; k < n; ++k) {
-                            const float *AFSB_RESTRICT av =
-                                arow + k * c;
-                            const float *AFSB_RESTRICT bv =
-                                brow + k * c;
-                            for (size_t e = 0; e < ctail; ++e)
-                                acc[e] += av[e] * bv[e];
-                        }
-                        float *AFSB_RESTRICT o =
-                            out.data() + (i * n + j) * c + cFull;
-                        for (size_t e = 0; e < ctail; ++e)
-                            o[e] = acc[e];
-                    }
-                }
-            }
-        }
+        for (size_t u = u0; u < u1; ++u)
+            unitk::triMultTile(out.data(), ap, bp, n, c, u);
     });
 }
 
@@ -646,31 +436,11 @@ singleAttentionCore(const Tensor &q, const Tensor &k,
     // line loop. Bias pack P_h(i, j) = bias[(i*n+j)*heads+h].
     const Tensor qs = tensor::scale(q, invSqrt, arena);
     forUnits(heads, 4 * n * n * dh, pool, [&](size_t h0, size_t h1) {
-        std::vector<float> &ktp = tlsPackA;
-        std::vector<float> &logits = tlsTile;
-        ktp.resize(dh * n);
-        logits.resize(n * n);
-        for (size_t h = h0; h < h1; ++h) {
-            const size_t ho = h * dh;
-            for (size_t j = 0; j < n; ++j) {
-                const float *AFSB_RESTRICT kv =
-                    k.data() + j * hd + ho;
-                for (size_t d = 0; d < dh; ++d)
-                    ktp[d * n + j] = kv[d];
-            }
-            for (size_t i = 0; i < n; ++i) {
-                float *AFSB_RESTRICT dst = logits.data() + i * n;
-                const float *AFSB_RESTRICT src =
-                    bias.data() + i * n * heads + h;
-                for (size_t j = 0; j < n; ++j)
-                    dst[j] = src[j * heads];
-            }
-            gemmAcc(qs.data() + ho, hd, ktp.data(), n,
-                    logits.data(), n, n, dh, n);
-            softmaxRowsFast(logits.data(), n, n);
-            gemmAcc(logits.data(), n, v.data() + ho, hd,
-                    ctx.data() + ho, hd, n, n, dh);
-        }
+        for (size_t h = h0; h < h1; ++h)
+            unitk::singleAttnHead(ctx.data(), qs.data(), k.data(),
+                                  v.data(), bias.data(), n, heads, dh,
+                                  h, unitk::tlsScratchA(),
+                                  unitk::tlsScratchB());
     });
     return ctx;
 }

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "model/block_graph.hh"
+
 namespace afsb::model {
 
 namespace {
@@ -57,6 +59,17 @@ Pairformer::Pairformer(const ModelConfig &cfg, Rng &rng) : cfg_(cfg)
 void
 Pairformer::forward(PairState &state, const LayerTimeHook &hook) const
 {
+    // Task-graph scheduler: one dependency graph per block instead
+    // of seven barriered layers. Bit-identical to the classic path
+    // (shared unit bodies, even-aligned partitions); the classic
+    // path remains for per-layer timing attribution, forceNaive,
+    // and the no-pool case.
+    if (graph::taskGraphEligible(cfg_, hook != nullptr)) {
+        for (const auto &w : blocks_)
+            graph::runPairformerBlock(state.pair, state.single, w,
+                                      cfg_);
+        return;
+    }
     for (const auto &w : blocks_) {
         {
             LayerTimer t(hook, "triangle_mult_outgoing");

@@ -239,8 +239,13 @@ runNhmmer(const bio::Sequence &query, const SequenceDatabase &db,
                 {windowSource[i], vit.score, fwd.logOdds});
         };
 
-        staged::runStagedScan(*pool, shape, stream, prefilter,
-                              rescore, combined.stats.stages);
+        if (cfg.search.taskScan)
+            staged::runStagedScanTasks(*pool, shape, stream,
+                                       prefilter, rescore,
+                                       combined.stats.stages);
+        else
+            staged::runStagedScan(*pool, shape, stream, prefilter,
+                                  rescore, combined.stats.stages);
 
         // The producer streamed the whole file; account it the same
         // way the static path's single sequential read does.

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "msa/staged_scan.hh"
+#include "util/grain.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -67,7 +68,7 @@ scanWorkers(const SearchConfig &cfg, const ThreadPool *pool,
 size_t
 scanGrain(size_t n, size_t workers)
 {
-    return std::max<size_t>(1, n / (workers * 8));
+    return grain::forScan(n, workers);
 }
 
 int
@@ -305,8 +306,12 @@ scanOverlapped(const ProfileHmm &prof, const SequenceDatabase &db,
         mine.hits.push_back({i, vit.score, fwd.logOdds});
     };
 
-    staged::runStagedScan(pool, shape, stream, prefilter, rescore,
-                          result.stats.stages);
+    if (cfg.taskScan)
+        staged::runStagedScanTasks(pool, shape, stream, prefilter,
+                                   rescore, result.stats.stages);
+    else
+        staged::runStagedScan(pool, shape, stream, prefilter,
+                              rescore, result.stats.stages);
 
     // Counter merges are commutative, and hit/survivor ordering is
     // canonicalized by the caller, so worker-order concatenation is

@@ -83,6 +83,19 @@ struct SearchConfig
     size_t survivorQueueDepth = 64;
 
     /**
+     * Schedule the overlapped scan on the TaskGroup runtime
+     * (staged::runStagedScanTasks): streaming, prefiltering, and
+     * survivor rescoring become work-stealing tasks chained per
+     * chunk — the producer throttles by helping instead of blocking
+     * on the chunk queue, and each MSV survivor's banded rescore is
+     * spawned as its own task instead of crossing an MPMC queue.
+     * Off falls back to the queue-based staged engine. Hit sets,
+     * survivor lists, and pipeline counters are identical either
+     * way; only thread scheduling differs.
+     */
+    bool taskScan = true;
+
+    /**
      * Target index subrange [targetBegin, min(targetEnd, db size))
      * to scan — how a shard scans only its slice of a partitioned
      * database (msa/sharded_search.hh). The default covers the

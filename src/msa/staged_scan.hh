@@ -39,9 +39,11 @@
 #include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "msa/search.hh"
+#include "util/task.hh"
 #include "util/threadpool.hh"
 #include "util/work_queue.hh"
 
@@ -59,6 +61,28 @@ struct ScanShape
     /** Optional target indices whose chunks go first. */
     const std::vector<uint32_t> *priority = nullptr;
 };
+
+/**
+ * Chunk schedule shared by both engines: chunks containing priority
+ * targets first, both classes in ascending order (stable), so the
+ * pass is deterministic for a given hint set.
+ */
+inline std::vector<uint32_t>
+chunkOrder(const ScanShape &shape, size_t n, size_t grain,
+           size_t nChunks)
+{
+    std::vector<uint32_t> order(nChunks);
+    std::iota(order.begin(), order.end(), 0u);
+    if (shape.priority && !shape.priority->empty() && nChunks > 1) {
+        std::vector<char> hot(nChunks, 0);
+        for (uint32_t t : *shape.priority)
+            if (t < n)
+                hot[t / grain] = 1;
+        std::stable_partition(order.begin(), order.end(),
+                              [&](uint32_t c) { return hot[c] != 0; });
+    }
+    return order;
+}
 
 /**
  * Run the staged pipeline on @p pool.
@@ -92,19 +116,8 @@ runStagedScan(ThreadPool &pool, const ScanShape &shape,
     if (n == 0 || workers < 2)
         return;
 
-    // Chunk order: chunks containing priority targets first, both
-    // classes in ascending order (stable), so the pass is
-    // deterministic for a given hint set.
-    std::vector<uint32_t> order(nChunks);
-    std::iota(order.begin(), order.end(), 0u);
-    if (shape.priority && !shape.priority->empty() && nChunks > 1) {
-        std::vector<char> hot(nChunks, 0);
-        for (uint32_t t : *shape.priority)
-            if (t < n)
-                hot[t / grain] = 1;
-        std::stable_partition(order.begin(), order.end(),
-                              [&](uint32_t c) { return hot[c] != 0; });
-    }
+    const std::vector<uint32_t> order =
+        chunkOrder(shape, n, grain, nChunks);
 
     BoundedWorkQueue<uint32_t> chunkQ(shape.prefetchChunks);
     BoundedWorkQueue<uint32_t> survQ(shape.survivorDepth);
@@ -205,6 +218,184 @@ runStagedScan(ThreadPool &pool, const ScanShape &shape,
     stages.wallSeconds += secondsSince(wall0);
     stages.workersUsed =
         std::max<uint64_t>(stages.workersUsed, workers);
+}
+
+/**
+ * The staged pipeline as a TaskGroup task graph (the queue-based
+ * engine above kept behind `SearchConfig::taskScan = false`).
+ *
+ * Same three stages, but instead of worker loops blocking on bounded
+ * queues, every unit of work is a task on one work-stealing group:
+ *
+ *  - the producer is a task that streams chunks in schedule order
+ *    and spawns one *chunk task* per streamed chunk; when the
+ *    prefetch window is full it throttles by running pending tasks
+ *    itself (`runOne()` help-first) instead of blocking, so the
+ *    streaming thread converts into a compute worker exactly when
+ *    compute is the bottleneck;
+ *  - a chunk task runs the MSV prefilter over its targets and chains
+ *    one *rescore task* (banded Viterbi + Forward) per survivor, so
+ *    the stage handoff is a task spawn rather than a queue round
+ *    trip and survivors start draining while the chunk is still
+ *    being prefiltered elsewhere;
+ *  - the spawned-but-unscored survivor count is bounded by
+ *    `survivorDepth`: past it the prefiltering task rescores the
+ *    survivor in place (the same help-first backpressure as the
+ *    queue engine's pusher-drains rule).
+ *
+ * The group borrows `workers - 1` pool workers, so with the owner
+ * exactly `workers` threads participate — workersUsed and the
+ * occupancy denominator stay comparable with the queue engine.
+ * Callbacks receive `TaskGroup::currentSlot()` as their worker id
+ * (0..workers-1, one thread per slot), so per-worker partials work
+ * unchanged.  Every target is prefiltered exactly once and every
+ * survivor rescored exactly once with identical kernels, so hit
+ * sets and pipeline counters are bit-identical to the queue engine
+ * and to the static path at any thread count.
+ */
+template <typename StreamFn, typename PrefilterFn, typename RescoreFn>
+void
+runStagedScanTasks(ThreadPool &pool, const ScanShape &shape,
+                   StreamFn &&stream, PrefilterFn &&prefilter,
+                   RescoreFn &&rescore, ScanStageStats &stages)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto secondsSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    const size_t n = shape.targets;
+    const size_t grain = std::max<size_t>(1, shape.grain);
+    const size_t nChunks = (n + grain - 1) / grain;
+    const size_t workers = shape.workers;
+    if (n == 0 || workers < 2)
+        return;
+
+    const std::vector<uint32_t> order =
+        chunkOrder(shape, n, grain, nChunks);
+    const size_t prefetch = std::max<size_t>(1, shape.prefetchChunks);
+    const size_t survivorDepth =
+        std::max<size_t>(1, shape.survivorDepth);
+
+    TaskGroup group(&pool, workers - 1);
+    const size_t slots = group.slots();
+
+    // Queue depths become in-flight counters: streamed-but-unstarted
+    // chunks gate the producer; spawned-but-unscored survivors gate
+    // the prefilter. Same bounds, no blocking anywhere.
+    std::atomic<size_t> chunksAhead{0};
+    std::atomic<size_t> survivorsAhead{0};
+    std::atomic<uint64_t> queued{0}, inlined{0};
+    std::atomic<uint64_t> chunkPeak{0}, survivorPeak{0};
+    std::atomic<uint64_t> throttles{0};
+
+    std::vector<double> msvSec(slots, 0.0), bandSec(slots, 0.0);
+    double ioSec = 0.0;
+
+    auto bumpPeak = [](std::atomic<uint64_t> &peak, uint64_t v) {
+        uint64_t cur = peak.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !peak.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed))
+            ;
+    };
+
+    auto rescoreTimed = [&](uint32_t t) {
+        const size_t w = group.currentSlot();
+        const auto t0 = Clock::now();
+        rescore(w, static_cast<size_t>(t));
+        bandSec[w] += secondsSince(t0);
+    };
+
+    auto runChunk = [&](uint32_t c) {
+        // The chunk leaves the prefetch window the moment a worker
+        // starts it (mirror of the queue engine's pop).
+        chunksAhead.fetch_sub(1, std::memory_order_relaxed);
+        const size_t w = group.currentSlot();
+        const size_t begin = static_cast<size_t>(c) * grain;
+        const size_t end = std::min(n, begin + grain);
+        for (size_t i = begin; i < end; ++i) {
+            const auto t0 = Clock::now();
+            const bool pass = prefilter(w, i);
+            msvSec[w] += secondsSince(t0);
+            if (!pass)
+                continue;
+            queued.fetch_add(1, std::memory_order_relaxed);
+            const uint32_t idx = static_cast<uint32_t>(i);
+            if (survivorsAhead.fetch_add(
+                    1, std::memory_order_relaxed) >= survivorDepth) {
+                // Full survivor window: rescore in place so a flood
+                // of survivors throttles the prefilter.
+                survivorsAhead.fetch_sub(1,
+                                         std::memory_order_relaxed);
+                inlined.fetch_add(1, std::memory_order_relaxed);
+                rescoreTimed(idx);
+                continue;
+            }
+            bumpPeak(survivorPeak,
+                     survivorsAhead.load(std::memory_order_relaxed));
+            group.spawn([&, idx] {
+                rescoreTimed(idx);
+                survivorsAhead.fetch_sub(1,
+                                         std::memory_order_relaxed);
+            });
+        }
+    };
+
+    const auto wall0 = Clock::now();
+    group.spawn([&] {
+        for (uint32_t c : order) {
+            const size_t begin = static_cast<size_t>(c) * grain;
+            const size_t end = std::min(n, begin + grain);
+            const auto t0 = Clock::now();
+            stream(static_cast<size_t>(c), begin, end);
+            ioSec += secondsSince(t0);
+            chunksAhead.fetch_add(1, std::memory_order_relaxed);
+            bumpPeak(chunkPeak,
+                     chunksAhead.load(std::memory_order_relaxed));
+            group.spawn([&, c] { runChunk(c); });
+            if (chunksAhead.load(std::memory_order_relaxed) <
+                prefetch)
+                continue;
+            throttles.fetch_add(1, std::memory_order_relaxed);
+            // Throttle by helping, never by blocking: run pending
+            // tasks (usually the chunk just published) until the
+            // prefetch window reopens. When there is nothing to
+            // help with (every published chunk is mid-execution),
+            // back off to a short sleep instead of burning a core.
+            int idleSpins = 0;
+            while (chunksAhead.load(std::memory_order_relaxed) >=
+                   prefetch) {
+                if (group.runOne())
+                    idleSpins = 0;
+                else if (++idleSpins <= 64)
+                    std::this_thread::yield();
+                else
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50));
+            }
+        }
+    });
+    group.sync();
+
+    stages.overlappedScans += 1;
+    stages.chunks += nChunks;
+    stages.survivorsQueued += queued.load();
+    stages.survivorsInline += inlined.load();
+    stages.chunkQueuePeak =
+        std::max(stages.chunkQueuePeak, chunkPeak.load());
+    stages.survivorQueuePeak =
+        std::max(stages.survivorQueuePeak, survivorPeak.load());
+    stages.producerWaits += throttles.load();
+    stages.ioSeconds += ioSec;
+    for (size_t w = 0; w < slots; ++w) {
+        stages.msvSeconds += msvSec[w];
+        stages.bandSeconds += bandSec[w];
+    }
+    stages.wallSeconds += secondsSince(wall0);
+    stages.workersUsed =
+        std::max<uint64_t>(stages.workersUsed, slots);
 }
 
 } // namespace afsb::msa::staged

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/arena.hh"
+#include "util/grain.hh"
 #include "util/logging.hh"
 #include "util/simd.hh"
 #include "util/threadpool.hh"
@@ -12,15 +13,11 @@ namespace afsb::tensor {
 
 namespace {
 
-/** Flop target per parallel task: large enough that the single
- *  std::function dispatch per block is noise. */
-constexpr size_t kFlopsPerTask = 1 << 18;
-
+/** Rows per parallel task (shared flop-budget policy). */
 inline size_t
 rowGrain(size_t flops_per_row)
 {
-    return std::max<size_t>(
-        1, kFlopsPerTask / std::max<size_t>(1, flops_per_row));
+    return grain::forFlops(flops_per_row);
 }
 
 /**
@@ -156,9 +153,8 @@ forRowsAligned(size_t rows, size_t flops_per_row, size_t align,
                const std::function<void(size_t, size_t)> &fn)
 {
     if (pool) {
-        size_t grain = rowGrain(flops_per_row);
-        grain += (align - grain % align) % align;
-        pool->parallelFor(rows, grain, fn);
+        pool->parallelFor(
+            rows, grain::forFlopsAligned(flops_per_row, align), fn);
     } else {
         fn(0, rows);
     }
@@ -225,15 +221,8 @@ linear(const Tensor &x, const Tensor &w, const Tensor &b,
     const size_t rows = x.size() / in;
     forRowsAligned(rows, 2 * in * out, 2, pool,
                    [&](size_t r0, size_t r1) {
-        for (size_t r = r0; r < r1; ++r) {
-            float *AFSB_RESTRICT yo = y.data() + r * out;
-            const float *AFSB_RESTRICT bp = b.data();
-            AFSB_VECTORIZE_LOOP
-            for (size_t o = 0; o < out; ++o)
-                yo[o] = bp[o];
-        }
-        gemmRows(x.data(), in, w.data(), out, y.data(), out, in,
-                 out, r0, r1);
+        rowops::linearRows(x.data(), w.data(), b.data(), y.data(),
+                           in, out, r0, r1);
     });
     return y;
 }
@@ -253,14 +242,8 @@ linear(const Tensor &x, const Tensor &w, ThreadPool *pool,
     const size_t rows = x.size() / in;
     forRowsAligned(rows, 2 * in * out, 2, pool,
                    [&](size_t r0, size_t r1) {
-        for (size_t r = r0; r < r1; ++r) {
-            float *AFSB_RESTRICT yo = y.data() + r * out;
-            AFSB_VECTORIZE_LOOP
-            for (size_t o = 0; o < out; ++o)
-                yo[o] = 0.0f;
-        }
-        gemmRows(x.data(), in, w.data(), out, y.data(), out, in,
-                 out, r0, r1);
+        rowops::linearRows(x.data(), w.data(), nullptr, y.data(),
+                           in, out, r0, r1);
     });
     return y;
 }
@@ -299,24 +282,7 @@ layerNorm(const Tensor &x, float eps, ThreadPool *pool, Arena *arena)
     Tensor y = Tensor::uninitialized(x.shape(), arena);
     const size_t rows = x.size() / d;
     forRows(rows, 6 * d, pool, [&](size_t r0, size_t r1) {
-        for (size_t r = r0; r < r1; ++r) {
-            const float *AFSB_RESTRICT src = x.data() + r * d;
-            float *AFSB_RESTRICT row = y.data() + r * d;
-            float mean = 0.0f;
-            for (size_t i = 0; i < d; ++i)
-                mean += src[i];
-            mean /= static_cast<float>(d);
-            float var = 0.0f;
-            for (size_t i = 0; i < d; ++i) {
-                const float c = src[i] - mean;
-                var += c * c;
-            }
-            var /= static_cast<float>(d);
-            const float inv = 1.0f / std::sqrt(var + eps);
-            AFSB_VECTORIZE_LOOP
-            for (size_t i = 0; i < d; ++i)
-                row[i] = (src[i] - mean) * inv;
-        }
+        rowops::layerNormRows(x.data(), y.data(), d, eps, r0, r1);
     });
     return y;
 }
@@ -325,12 +291,7 @@ Tensor
 gelu(const Tensor &x, Arena *arena)
 {
     Tensor y = Tensor::uninitialized(x.shape(), arena);
-    constexpr float c = 0.7978845608f;  // sqrt(2/pi)
-    for (size_t i = 0; i < y.size(); ++i) {
-        const float v = x[i];
-        y[i] = 0.5f * v *
-               (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
-    }
+    rowops::geluRange(x.data(), y.data(), 0, y.size());
     return y;
 }
 
@@ -338,8 +299,7 @@ Tensor
 sigmoid(const Tensor &x, Arena *arena)
 {
     Tensor y = Tensor::uninitialized(x.shape(), arena);
-    for (size_t i = 0; i < y.size(); ++i)
-        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    rowops::sigmoidRange(x.data(), y.data(), 0, y.size());
     return y;
 }
 
@@ -367,8 +327,7 @@ mul(const Tensor &a, const Tensor &b, Arena *arena)
 {
     panicIf(a.shape() != b.shape(), "mul: shape mismatch");
     Tensor c = Tensor::uninitialized(a.shape(), arena);
-    for (size_t i = 0; i < c.size(); ++i)
-        c[i] = a[i] * b[i];
+    rowops::mulRange(a.data(), b.data(), c.data(), 0, c.size());
     return c;
 }
 
@@ -376,8 +335,7 @@ Tensor
 scale(const Tensor &a, float s, Arena *arena)
 {
     Tensor c = Tensor::uninitialized(a.shape(), arena);
-    for (size_t i = 0; i < c.size(); ++i)
-        c[i] = a[i] * s;
+    rowops::scaleRange(a.data(), c.data(), s, 0, c.size());
     return c;
 }
 
@@ -385,8 +343,7 @@ void
 addInPlace(Tensor &a, const Tensor &b)
 {
     panicIf(a.shape() != b.shape(), "addInPlace: shape mismatch");
-    for (size_t i = 0; i < a.size(); ++i)
-        a[i] += b[i];
+    rowops::addRange(a.data(), b.data(), 0, a.size());
 }
 
 Tensor
@@ -409,6 +366,97 @@ meanAbsDiff(const Tensor &a, const Tensor &b)
         s += std::abs(static_cast<double>(a[i]) - b[i]);
     return a.size() ? s / static_cast<double>(a.size()) : 0.0;
 }
+
+namespace rowops {
+
+void
+layerNormRows(const float *x, float *y, size_t d, float eps,
+              size_t r0, size_t r1)
+{
+    for (size_t r = r0; r < r1; ++r) {
+        const float *AFSB_RESTRICT src = x + r * d;
+        float *AFSB_RESTRICT row = y + r * d;
+        float mean = 0.0f;
+        for (size_t i = 0; i < d; ++i)
+            mean += src[i];
+        mean /= static_cast<float>(d);
+        float var = 0.0f;
+        for (size_t i = 0; i < d; ++i) {
+            const float c = src[i] - mean;
+            var += c * c;
+        }
+        var /= static_cast<float>(d);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        AFSB_VECTORIZE_LOOP
+        for (size_t i = 0; i < d; ++i)
+            row[i] = (src[i] - mean) * inv;
+    }
+}
+
+void
+linearRows(const float *x, const float *w, const float *bias,
+           float *y, size_t in, size_t out, size_t r0, size_t r1)
+{
+    if (bias) {
+        for (size_t r = r0; r < r1; ++r) {
+            float *AFSB_RESTRICT yo = y + r * out;
+            const float *AFSB_RESTRICT bp = bias;
+            AFSB_VECTORIZE_LOOP
+            for (size_t o = 0; o < out; ++o)
+                yo[o] = bp[o];
+        }
+    } else {
+        for (size_t r = r0; r < r1; ++r) {
+            float *AFSB_RESTRICT yo = y + r * out;
+            AFSB_VECTORIZE_LOOP
+            for (size_t o = 0; o < out; ++o)
+                yo[o] = 0.0f;
+        }
+    }
+    gemmRows(x, in, w, out, y, out, in, out, r0, r1);
+}
+
+void
+sigmoidRange(const float *x, float *y, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void
+geluRange(const float *x, float *y, size_t i0, size_t i1)
+{
+    constexpr float c = 0.7978845608f;  // sqrt(2/pi)
+    for (size_t i = i0; i < i1; ++i) {
+        const float v = x[i];
+        y[i] = 0.5f * v *
+               (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+    }
+}
+
+void
+mulRange(const float *a, const float *b, float *c, size_t i0,
+         size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        c[i] = a[i] * b[i];
+}
+
+void
+addRange(float *a, const float *b, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        a[i] += b[i];
+}
+
+void
+scaleRange(const float *x, float *y, float s, size_t i0, size_t i1)
+{
+    for (size_t i = i0; i < i1; ++i)
+        y[i] = x[i] * s;
+}
+
+} // namespace rowops
 
 double
 maxRelDiff(const Tensor &a, const Tensor &b)

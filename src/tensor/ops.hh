@@ -99,6 +99,53 @@ double meanAbsDiff(const Tensor &a, const Tensor &b);
 /** Max of |a - b| / max(1, |b|) (equivalence-test helper). */
 double maxRelDiff(const Tensor &a, const Tensor &b);
 
+/**
+ * Row/element-range building blocks behind the whole-tensor ops
+ * above.  The task-graph scheduler (model/block_graph.cc) spawns one
+ * task per row block and calls these directly; the whole-tensor ops
+ * call the very same compiled bodies from their parallelFor blocks.
+ * One shared implementation is what makes the task-graph path
+ * bit-identical to the fork-join path by construction: the same
+ * instruction sequence produces every element, only the executing
+ * thread differs.
+ *
+ * GEMM-backed ranges (linearRows) must start on an even row so the
+ * 2-row pairing inside gemmAcc is a function of the absolute row
+ * index (the pool-determinism contract).
+ */
+namespace rowops {
+
+/** y rows [r0, r1) = layerNorm(x rows).  d = row width. */
+void layerNormRows(const float *x, float *y, size_t d, float eps,
+                   size_t r0, size_t r1);
+
+/**
+ * y rows [r0, r1) = x rows * W (+ bias when non-null).  r0 must be
+ * even (see above).
+ */
+void linearRows(const float *x, const float *w, const float *bias,
+                float *y, size_t in, size_t out, size_t r0,
+                size_t r1);
+
+/** y[i] = sigmoid(x[i]) over the element range [i0, i1). */
+void sigmoidRange(const float *x, float *y, size_t i0, size_t i1);
+
+/** y[i] = gelu(x[i]) (tanh approximation) over [i0, i1). */
+void geluRange(const float *x, float *y, size_t i0, size_t i1);
+
+/** c[i] = a[i] * b[i] over [i0, i1). */
+void mulRange(const float *a, const float *b, float *c, size_t i0,
+              size_t i1);
+
+/** a[i] += b[i] over [i0, i1). */
+void addRange(float *a, const float *b, size_t i0, size_t i1);
+
+/** y[i] = x[i] * s over [i0, i1). */
+void scaleRange(const float *x, float *y, float s, size_t i0,
+                size_t i1);
+
+} // namespace rowops
+
 } // namespace afsb::tensor
 
 #endif // AFSB_TENSOR_OPS_HH

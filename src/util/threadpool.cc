@@ -1,5 +1,7 @@
 #include "util/threadpool.hh"
 
+#include "util/task.hh"
+
 #include <algorithm>
 
 namespace afsb {
@@ -73,14 +75,35 @@ ThreadPool::parallelFor(size_t n, size_t grain,
     if (grain == 0)
         grain = std::max<size_t>(1, n / (4 * workers_.size()));
     const size_t blocks = (n + grain - 1) / grain;
-    if (blocks <= 1 || workers_.size() <= 1 || tls_pool_worker) {
+    // The TaskGroup::inTask() leg is the nested-dispatch guard for
+    // task-graph code: a task that calls parallelFor (directly or via
+    // a tensor op) must run it inline — dispatching to the pool and
+    // blocking in wait() from inside a task could deadlock, since the
+    // pool workers may all be parked in participant loops of the
+    // caller's own group.
+    if (blocks <= 1 || workers_.size() <= 1 || tls_pool_worker
+        || TaskGroup::inTask()) {
         fn(0, n);
         return;
     }
-    // Enqueue the whole batch under one lock and wake every worker
-    // at once: per-block submit() would take the lock and signal
-    // `blocks` times, which shows up at fine grains (many blocks of
-    // ~100us work).
+    if (chunkedStealing_) {
+        // Same block partition, work-stealing execution: blocks start
+        // spread round-robin across per-runner deques and migrate to
+        // idle runners, and the calling thread helps instead of
+        // blocking in wait().
+        TaskGroup group(this, blocks);
+        for (size_t b = 0; b < blocks; ++b) {
+            const size_t begin = b * grain;
+            const size_t end = std::min(n, begin + grain);
+            group.spawn([begin, end, &fn] { fn(begin, end); });
+        }
+        group.sync();
+        return;
+    }
+    // Legacy engine: enqueue the whole batch under one lock and wake
+    // every worker at once — per-block submit() would take the lock
+    // and signal `blocks` times, which shows up at fine grains (many
+    // blocks of ~100us work).
     {
         std::unique_lock lock(mutex_);
         for (size_t b = 0; b < blocks; ++b) {
@@ -99,7 +122,7 @@ ThreadPool::parallelBlocks(
 {
     if (n == 0)
         return;
-    if (tls_pool_worker) {
+    if (tls_pool_worker || TaskGroup::inTask()) {
         fn(0, 0, n);
         return;
     }

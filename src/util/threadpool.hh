@@ -67,14 +67,29 @@ class ThreadPool
      * workers, so skewed per-item cost load-balances dynamically
      * while each index is still processed by exactly one task.
      *
+     * Dispatches through a work-stealing TaskGroup (the calling
+     * thread helps), so skewed blocks load-balance; set
+     * setChunkedStealing(false) to keep the legacy shared-queue
+     * static dispatch.  Either way the block partition — and thus
+     * the result — is identical.
+     *
      * @param grain Iterations per block; 0 picks ~4 blocks per
      *        worker. Runs inline (serially) when the range fits one
      *        block, the pool has a single worker, or the caller is
-     *        itself a pool worker — nested dispatch would deadlock
-     *        on wait().
+     *        itself a pool worker or a TaskGroup task — nested
+     *        dispatch would deadlock on wait().
      */
     void parallelFor(size_t n, size_t grain,
                      const std::function<void(size_t, size_t)> &fn);
+
+    /**
+     * Select the chunked parallelFor engine: true (default) routes
+     * blocks through a work-stealing TaskGroup; false keeps the
+     * legacy shared-queue batch enqueue.  The traced-scan paths use
+     * parallelBlocks' static per-worker split regardless — that
+     * contract is unaffected by this knob.
+     */
+    void setChunkedStealing(bool on) { chunkedStealing_ = on; }
 
     /**
      * Run fn(worker_id, begin, end) over a static block partition of
@@ -88,6 +103,7 @@ class ThreadPool
   private:
     void workerLoop();
 
+    bool chunkedStealing_ = true;
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;

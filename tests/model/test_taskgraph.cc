@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Task-graph scheduler sweep (block_graph.cc): the TaskGroup-
+ * scheduled Pairformer block and diffusion token stack must be
+ * byte-identical to the fork-join fast path — same unit bodies,
+ * same partitions, different thread scheduling — at every pool
+ * size, with and without a workspace arena, and across repeated
+ * runs.  Float equality here is exact (Tensor::operator==): the
+ * contract is bit-identity, not tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/block_graph.hh"
+#include "model/diffusion.hh"
+#include "model/pairformer.hh"
+#include "tensor/arena.hh"
+#include "util/rng.hh"
+#include "util/threadpool.hh"
+
+namespace afsb::model {
+namespace {
+
+/** Odd token count: exercises the 16-line block tail, the gemm
+ *  pair-row tail, and the final partial token-row block. */
+constexpr size_t kTokens = 13;
+
+ModelConfig
+testConfig()
+{
+    ModelConfig cfg = miniConfig();
+    cfg.pairformerBlocks = 2;
+    cfg.diffusionSteps = 2;
+    return cfg;
+}
+
+PairState
+makeState(const ModelConfig &cfg)
+{
+    Rng rng(907);
+    PairState s;
+    s.pair = Tensor::randomNormal({kTokens, kTokens, cfg.pairDim},
+                                  rng, 0.5f);
+    s.single =
+        Tensor::randomNormal({kTokens, cfg.singleDim}, rng, 0.5f);
+    return s;
+}
+
+TEST(TaskGraphSweep, PairformerMatchesForkJoinAtEveryPoolSize)
+{
+    ModelConfig cfg = testConfig();
+    Rng wrng(11);
+    tensor::Arena arena(16ull << 20);
+
+    // Fork-join reference: same weights, taskGraph off.
+    ThreadPool refPool(2);
+    cfg.pool = &refPool;
+    cfg.arena = &arena;
+    cfg.taskGraph = false;
+    const Pairformer model(cfg, wrng);
+    PairState ref = makeState(cfg);
+    model.forward(ref);
+
+    for (size_t threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        ModelConfig run = cfg;
+        run.pool = &pool;
+        run.taskGraph = true;
+        ASSERT_TRUE(graph::taskGraphEligible(run, false));
+        PairState s = makeState(cfg);
+        // Same weights as the reference model: reseed and reinit.
+        Rng wrng2(11);
+        const Pairformer graphModel(run, wrng2);
+        graphModel.forward(s);
+        EXPECT_TRUE(s.pair == ref.pair) << "threads=" << threads;
+        EXPECT_TRUE(s.single == ref.single)
+            << "threads=" << threads;
+    }
+}
+
+TEST(TaskGraphSweep, PairformerRepeatedRunsAndNoArena)
+{
+    ModelConfig cfg = testConfig();
+    ThreadPool pool(4);
+    cfg.pool = &pool;
+    cfg.taskGraph = true;
+
+    Rng w1(23);
+    const Pairformer model(cfg, w1);
+    PairState a = makeState(cfg);
+    model.forward(a);
+    PairState b = makeState(cfg);
+    model.forward(b);
+    EXPECT_TRUE(a.pair == b.pair);
+    EXPECT_TRUE(a.single == b.single);
+
+    // Arena only moves scratch, never arithmetic.
+    tensor::Arena arena(16ull << 20);
+    ModelConfig withArena = cfg;
+    withArena.arena = &arena;
+    Rng w2(23);
+    const Pairformer arenaModel(withArena, w2);
+    PairState c = makeState(cfg);
+    arenaModel.forward(c);
+    EXPECT_TRUE(a.pair == c.pair);
+    EXPECT_TRUE(a.single == c.single);
+}
+
+TEST(TaskGraphSweep, DiffusionMatchesForkJoinAtEveryPoolSize)
+{
+    ModelConfig cfg = testConfig();
+    tensor::Arena arena(16ull << 20);
+
+    ThreadPool refPool(2);
+    cfg.pool = &refPool;
+    cfg.arena = &arena;
+    cfg.taskGraph = false;
+    Rng wrng(31);
+    const DiffusionModule ref(cfg, wrng);
+    const PairState state = makeState(cfg);
+    Rng sampleRng(77);
+    const Structure want = ref.sample(state, sampleRng);
+
+    for (size_t threads : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        ModelConfig run = cfg;
+        run.pool = &pool;
+        run.taskGraph = true;
+        Rng wrng2(31);
+        const DiffusionModule graphModel(run, wrng2);
+        Rng sampleRng2(77);
+        const Structure got = graphModel.sample(state, sampleRng2);
+        EXPECT_TRUE(got.coords == want.coords)
+            << "threads=" << threads;
+    }
+}
+
+TEST(TaskGraphSweep, EligibilityGates)
+{
+    ModelConfig cfg = testConfig();
+    EXPECT_FALSE(graph::taskGraphEligible(cfg, false));  // no pool
+
+    ThreadPool pool(2);
+    cfg.pool = &pool;
+    EXPECT_TRUE(graph::taskGraphEligible(cfg, false));
+    EXPECT_FALSE(graph::taskGraphEligible(cfg, true));  // hooked
+
+    cfg.forceNaive = true;
+    EXPECT_FALSE(graph::taskGraphEligible(cfg, false));
+    cfg.forceNaive = false;
+
+    cfg.taskGraph = false;
+    EXPECT_FALSE(graph::taskGraphEligible(cfg, false));
+}
+
+} // namespace
+} // namespace afsb::model

@@ -78,12 +78,14 @@ struct OverlapFixture : public ::testing::Test
 
     SearchResult
     scan(ThreadPool *pool, size_t threads, bool overlap,
-         const std::vector<uint32_t> *priority = nullptr)
+         const std::vector<uint32_t> *priority = nullptr,
+         bool taskScan = true)
     {
         SearchConfig cfg;
         cfg.threads = threads;
         cfg.overlap = overlap;
         cfg.priorityTargets = priority;
+        cfg.taskScan = taskScan;
         return searchDatabase(*prof, db, *cache, pool, cfg);
     }
 
@@ -106,6 +108,31 @@ TEST_F(OverlapFixture, MatchesStaticPathAcrossThreadCounts)
         const auto fixed = scan(&pool, threads, false);
         expectIdentical(reference, overlapped);
         expectIdentical(reference, fixed);
+    }
+}
+
+TEST_F(OverlapFixture, TaskEngineMatchesQueueEngineAcrossThreads)
+{
+    // The default overlapped path runs on the TaskGroup engine
+    // (runStagedScanTasks); taskScan = false selects the queue
+    // engine. Both must match the serial reference bit-exactly,
+    // and the task engine must keep the queue engine's pipeline
+    // accounting invariants.
+    const auto reference = scan(nullptr, 1, false);
+    for (size_t threads : {2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        const auto tasked =
+            scan(&pool, threads, true, nullptr, true);
+        const auto queued =
+            scan(&pool, threads, true, nullptr, false);
+        expectIdentical(reference, tasked);
+        expectIdentical(reference, queued);
+        EXPECT_EQ(tasked.stats.stages.workersUsed, threads);
+        EXPECT_EQ(tasked.stats.stages.survivorsQueued,
+                  tasked.stats.msvPassed);
+        EXPECT_LE(tasked.stats.stages.survivorsInline,
+                  tasked.stats.stages.survivorsQueued);
+        EXPECT_LE(tasked.stats.stages.occupancy(), 1.0 + 1e-9);
     }
 }
 

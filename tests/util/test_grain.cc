@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the shared grain-size policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/grain.hh"
+
+namespace afsb {
+namespace {
+
+TEST(Grain, ForFlopsMatchesBudget)
+{
+    // Cheap units pack many iterations per task...
+    EXPECT_EQ(grain::forFlops(1), grain::kFlopsPerTask);
+    EXPECT_EQ(grain::forFlops(1024), grain::kFlopsPerTask / 1024);
+    // ...expensive units degrade to one iteration, never zero.
+    EXPECT_EQ(grain::forFlops(grain::kFlopsPerTask), 1u);
+    EXPECT_EQ(grain::forFlops(grain::kFlopsPerTask * 10), 1u);
+    EXPECT_EQ(grain::forFlops(0), grain::kFlopsPerTask);
+}
+
+TEST(Grain, ForFlopsIsWorkerCountIndependent)
+{
+    // The determinism contract: the same problem yields the same
+    // grain no matter what pool executes it.  forFlops takes no
+    // worker count at all; this pins the per-flop values so a future
+    // "scale by pool size" change has to break a test.
+    EXPECT_EQ(grain::forFlops(2 * 64 * 64), 32u);
+    EXPECT_EQ(grain::forFlops(2 * 128 * 128), 8u);
+}
+
+TEST(Grain, ForFlopsAlignedRoundsUp)
+{
+    // Alignment preserves the 2-row GEMM pairing: blocks must never
+    // split an even/odd row pair.
+    EXPECT_EQ(grain::forFlopsAligned(grain::kFlopsPerTask, 2), 2u);
+    EXPECT_EQ(grain::forFlopsAligned(1 << 17, 2), 2u);
+    EXPECT_EQ(grain::forFlopsAligned(100, 2) % 2, 0u);
+    EXPECT_EQ(grain::forFlopsAligned(1000, 16) % 16, 0u);
+    // Already-aligned grains pass through unchanged.
+    EXPECT_EQ(grain::forFlopsAligned(1 << 16, 2), 4u);
+}
+
+TEST(Grain, ForScanTargetsEightBlocksPerWorker)
+{
+    EXPECT_EQ(grain::forScan(800, 4), 25u);
+    EXPECT_EQ(grain::forScan(64, 8), 1u);
+    // Small scans never produce a zero grain.
+    EXPECT_EQ(grain::forScan(3, 8), 1u);
+    EXPECT_EQ(grain::forScan(0, 4), 1u);
+    // Zero workers is promoted rather than dividing by zero.
+    EXPECT_EQ(grain::forScan(80, 0), 10u);
+}
+
+} // namespace
+} // namespace afsb

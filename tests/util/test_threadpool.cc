@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/task.hh"
 #include "util/threadpool.hh"
 
 namespace afsb {
@@ -183,6 +184,56 @@ TEST(ThreadPool, ChunkedNestedParallelBlocksDoesNotDeadlock)
             });
     });
     EXPECT_EQ(inner.load(), 4u * 6u);
+}
+
+TEST(ThreadPool, ChunkedDispatchFromTaskGroupTaskRunsInline)
+{
+    // Regression: the nested-dispatch guard must cover TaskGroup
+    // reentry, not just pool workers.  A task running on the *owner*
+    // thread is not a pool worker, so before the TaskGroup::inTask()
+    // leg, parallelFor from such a task would enqueue blocks and
+    // block in wait() while every pool worker sat in the group's own
+    // participant loops — deadlock.
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    std::atomic<size_t> covered{0};
+    for (int t = 0; t < 4; ++t)
+        group.spawn([&] {
+            pool.parallelFor(64, 8, [&](size_t b, size_t e) {
+                covered += e - b;
+            });
+            pool.parallelBlocks(6, [&](size_t, size_t b, size_t e) {
+                covered += e - b;
+            });
+        });
+    group.sync();
+    EXPECT_EQ(covered.load(), 4u * (64u + 6u));
+}
+
+TEST(ThreadPool, ChunkedStealingAndLegacyCoverIdentically)
+{
+    // Both engines must produce the exact same block partition; only
+    // the executing threads differ.
+    ThreadPool pool(4);
+    for (bool stealing : {true, false}) {
+        pool.setChunkedStealing(stealing);
+        std::mutex m;
+        std::vector<std::pair<size_t, size_t>> blocks;
+        pool.parallelFor(95, 7, [&](size_t b, size_t e) {
+            std::lock_guard lock(m);
+            blocks.emplace_back(b, e);
+        });
+        std::sort(blocks.begin(), blocks.end());
+        ASSERT_EQ(blocks.size(), (95u + 6u) / 7u) << stealing;
+        size_t expect = 0;
+        for (auto [b, e] : blocks) {
+            EXPECT_EQ(b, expect);
+            EXPECT_EQ(b % 7, 0u);
+            expect = e;
+        }
+        EXPECT_EQ(expect, 95u);
+    }
+    pool.setChunkedStealing(true);
 }
 
 } // namespace
