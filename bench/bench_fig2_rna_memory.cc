@@ -7,8 +7,12 @@
 
 #include "bench_common.hh"
 #include "bio/samples.hh"
+#include "core/workspace.hh"
+#include "io/storage.hh"
 #include "msa/memory_model.hh"
+#include "msa/search.hh"
 #include "sys/memory_model.hh"
+#include "util/units.hh"
 
 using namespace afsb;
 
@@ -70,11 +74,87 @@ main()
     }
     p.print();
 
-    std::printf("Capacity lines: main memory %s, with CXL %s\n",
+    std::printf("Capacity lines: main memory %s, with CXL %s\n\n",
                 formatBytes(sys::serverPlatform().memory.dramBytes)
                     .c_str(),
                 formatBytes(sys::serverPlatformWithCxl()
                                 .totalMemoryBytes())
                     .c_str());
+
+    // Streaming compressed database: run the RNA collection through
+    // the real I/O plumbing (AFBC container -> BufferedReader ->
+    // page cache -> storage model) with a bounded decode budget, so
+    // the 89 GiB paper footprint is scanned without ever holding it
+    // in RAM — the complement to the Fig 2 DP-matrix blow-up above.
+    {
+        const uint64_t budget = 2 * MiB;
+        io::Vfs vfs = core::Workspace::shared().vfs();
+        io::StorageDevice dev;
+        io::PageCache cache(256 * MiB, &dev);
+
+        const auto comp = msa::compressDatabase(
+            vfs, "rfam_scaled.fasta", "rfam_scaled.afbc");
+        auto sdb = msa::StreamingSequenceDatabase::open(
+            vfs, cache, "rfam_scaled.afbc", bio::MoleculeType::Rna,
+            0.0, budget);
+        sdb.setPaperScaleBytes(msa::paperdb::kRnaDbBytes);
+
+        const auto query = sdb.materialize(0, 0.0);
+        const auto prof = msa::ProfileHmm::fromSequence(
+            query, msa::ScoreMatrix::nucleotide());
+        const auto scan = msa::searchDatabaseStreaming(prof, sdb, {});
+
+        // At paper scale only the compressed bytes grow; the decode
+        // LRU + reader window + target index stay bounded, so the
+        // extrapolated residency is (index scaled up) + budget-bound
+        // decode state — versus materializing 89 GiB of FASTA.
+        const double scale = sdb.info().scaleFactor();
+        const uint64_t paperResident = static_cast<uint64_t>(
+            static_cast<double>(sdb.peakResidentBytes() -
+                                sdb.blockStats().peakResidentBytes) *
+                scale +
+            static_cast<double>(sdb.blockStats().peakResidentBytes));
+
+        TextTable s("Streaming compressed RNA database "
+                    "(real I/O plumbing)");
+        s.setHeader({"Metric", "Scaled run", "Paper scale (89 GiB)"});
+        s.addRow({"collection bytes (FASTA)",
+                  formatBytes(comp.rawBytes),
+                  formatBytes(sdb.info().paperScaleBytes)});
+        s.addRow({"container bytes (AFBC)",
+                  formatBytes(comp.compressedBytes),
+                  formatBytes(static_cast<uint64_t>(
+                      static_cast<double>(
+                          sdb.info().paperScaleBytes) /
+                      comp.ratio()))});
+        s.addRow({"compression ratio",
+                  strformat("%.2fx", comp.ratio()),
+                  strformat("%.2fx", comp.ratio())});
+        s.addRow({"targets scanned",
+                  strformat("%llu",
+                            static_cast<unsigned long long>(
+                                scan.stats.targetsScanned)),
+                  "all (streamed)"});
+        s.addRow({"decode budget", formatBytes(budget),
+                  formatBytes(budget)});
+        s.addRow({"peak resident", formatBytes(sdb.peakResidentBytes()),
+                  formatBytes(paperResident)});
+        s.print();
+
+        const uint64_t cap = budget +
+                             io::BufferedReader::kBufferSize +
+                             sdb.peakResidentBytes() -
+                             sdb.blockStats().peakResidentBytes;
+        if (sdb.blockStats().peakResidentBytes >
+            budget + io::BufferedReader::kBufferSize + 64 * KiB) {
+            std::printf("FAIL: decode residency exceeded budget\n");
+            return 1;
+        }
+        std::printf("Streaming scan stayed within its RAM budget "
+                    "(%s cap); an in-RAM scan of the paper-scale "
+                    "collection needs %s.\n",
+                    formatBytes(cap).c_str(),
+                    formatBytes(sdb.info().paperScaleBytes).c_str());
+    }
     return 0;
 }

@@ -88,6 +88,136 @@ msvThreshold(const ProfileHmm &prof, size_t target_len,
 
 namespace {
 
+/**
+ * Per-epoch virtual stream window base: within a pass the scan
+ * streams sequentially (prefetchable, compulsory misses once), and
+ * every new pass over the collection is fresh — exactly how
+ * re-reading a paper-scale database behaves.
+ */
+uint64_t
+streamEpochBase(const SequenceDatabase &db, const SearchConfig &cfg)
+{
+    constexpr uint64_t kStreamBase = 0x6000'0000'0000ull;
+    return kStreamBase +
+           static_cast<uint64_t>(cfg.streamEpoch) *
+               (db.info().scaledBytes + (1ull << 20));
+}
+
+/**
+ * The filter cascade proper for one parsed target: MSV prefilter,
+ * banded Viterbi/Forward on survivors, domain accounting. Shared by
+ * the static range scan, the delta re-search, and the streaming
+ * scan so every path applies bit-identical thresholds.
+ */
+void
+pipelineTarget(const ProfileHmm &prof, const bio::Sequence &target,
+               const KernelConfig &kernel, const SearchConfig &cfg,
+               size_t i, MemTraceSink *sink, SearchResult &out)
+{
+    ++out.stats.targetsScanned;
+    out.stats.residuesScanned += target.length();
+
+    const auto msv = msvFilter(prof, target, kernel, sink);
+    out.stats.cellsMsv += msv.cells;
+    const int threshold = msvThreshold(prof, target.length(), cfg);
+    if (msv.score < threshold)
+        return;
+    ++out.stats.msvPassed;
+    out.msvSurvivors.push_back(static_cast<uint32_t>(i));
+
+    // MSV survivors run both banded kernels (HMMER rescored
+    // every survivor with Forward before domain definition).
+    const auto vit = calcBand9(prof, target, kernel, sink);
+    out.stats.cellsViterbi += vit.cells;
+    const auto fwd = calcBand10(prof, target, kernel, sink);
+    out.stats.cellsForward += fwd.cells;
+    if (vit.score < threshold + cfg.viterbiMargin)
+        return;
+    ++out.stats.viterbiPassed;
+
+    // Every surviving candidate goes through domain definition
+    // and null2 rescoring — full-width DP over the envelope.
+    // This is where low-complexity queries burn their time: the
+    // "ambiguous or partial alignments that still must be
+    // scored and filtered" (paper Observation 2).
+    ++out.stats.domainsScored;
+    if (sink)
+        sink->instructions(
+            wellknown::calcBand10(),
+            16ull * target.length() * prof.length());
+
+    if (fwd.logOdds < cfg.forwardThreshold)
+        return;
+
+    ++out.stats.hits;
+    out.hits.push_back({i, vit.score, fwd.logOdds});
+}
+
+/**
+ * Run one target through the full filter cascade: page-cache
+ * streaming, MSV prefilter, banded Viterbi/Forward on survivors.
+ * Shared by the static range scan and the delta re-search so both
+ * apply bit-identical thresholds and accounting.
+ */
+void
+scanTarget(const ProfileHmm &prof, const SequenceDatabase &db,
+           io::PageCache &cache, std::mutex &cache_mutex,
+           const SearchConfig &cfg, uint64_t epoch_base, double now,
+           size_t i, MemTraceSink *sink, SearchResult &out)
+{
+    const bio::Sequence &target = db.sequences()[i];
+    const auto extent = db.byteExtent(i);
+    KernelConfig kernel = cfg.kernel;
+    kernel.targetBase = epoch_base + extent.offset;
+
+    // Stream the target's bytes through the page-cache model;
+    // the cache is shared state, so guard it. (Real HMMER also
+    // funnels reads through one esl_buffer.)
+    {
+        std::lock_guard lock(cache_mutex);
+        const auto io =
+            cache.read(db.fileId(), extent.offset, extent.length,
+                       now + out.stats.ioLatency);
+        out.stats.bytesStreamed += extent.length;
+        out.stats.bytesFromDisk += io.bytesFromDisk;
+        out.stats.ioLatency += io.latency;
+    }
+
+    // Reader-thread work: the master thread parses and buffers
+    // this target before any worker can align it. Instruction
+    // densities per input byte are HMMER-calibrated (Table IV
+    // puts addbuf+seebuf at ~23% of MSA cycles); copy_to_iter
+    // first-touches the target's stream lines, which is where
+    // its cache misses come from.
+    if (sink) {
+        const uint64_t bytes = extent.length;
+        sink->instructions(wellknown::addbuf(), bytes * 24);
+        sink->instructions(wellknown::seebuf(), bytes * 9);
+        sink->instructions(wellknown::copyToIter(), bytes * 8);
+        sink->branches(wellknown::addbuf(), bytes / 4, 0);
+        // Per-target header allocation from the recycled
+        // malloc pool (hot after warm-up).
+        sink->access({0x7f70'0000'0000ull +
+                          kernel.targetBase % (4ull << 20),
+                      64, true, wellknown::addbuf()});
+        const uint64_t step =
+            64ull * cfg.kernel.traceStride;
+        for (uint64_t off = 0; off < bytes; off += step) {
+            sink->access({kernel.targetBase + off, 64, true,
+                          wellknown::copyToIter()});
+            // Cyclic parse buffer touches (addbuf/seebuf).
+            constexpr uint64_t kParseBuf = 0x7f40'0000'0000ull;
+            sink->access({kParseBuf + off % (256 * 1024), 64,
+                          false, wellknown::addbuf()});
+            if (off % (2 * step) == 0)
+                sink->access({kParseBuf + off % (256 * 1024),
+                              32, false, wellknown::seebuf()});
+        }
+    }
+
+    pipelineTarget(prof, target, kernel, cfg, i, sink, out);
+}
+
 /** Per-worker scan over an index range. */
 void
 scanRange(const ProfileHmm &prof, const SequenceDatabase &db,
@@ -95,108 +225,10 @@ scanRange(const ProfileHmm &prof, const SequenceDatabase &db,
           const SearchConfig &cfg, double now, size_t begin,
           size_t end, MemTraceSink *sink, SearchResult &out)
 {
-    const auto &targets = db.sequences();
-    // Target stream addresses live in a per-epoch virtual window:
-    // within a pass the scan streams sequentially (prefetchable,
-    // compulsory misses once), and every new pass over the
-    // collection is fresh — exactly how re-reading a paper-scale
-    // database behaves.
-    constexpr uint64_t kStreamBase = 0x6000'0000'0000ull;
-    const uint64_t epochBase =
-        kStreamBase +
-        static_cast<uint64_t>(cfg.streamEpoch) *
-            (db.info().scaledBytes + (1ull << 20));
-
-    KernelConfig kernel = cfg.kernel;
-    for (size_t i = begin; i < end; ++i) {
-        const bio::Sequence &target = targets[i];
-        const auto extent = db.byteExtent(i);
-        kernel.targetBase = epochBase + extent.offset;
-
-        // Stream the target's bytes through the page-cache model;
-        // the cache is shared state, so guard it. (Real HMMER also
-        // funnels reads through one esl_buffer.)
-        {
-            std::lock_guard lock(cache_mutex);
-            const auto io =
-                cache.read(db.fileId(), extent.offset, extent.length,
-                           now + out.stats.ioLatency);
-            out.stats.bytesStreamed += extent.length;
-            out.stats.bytesFromDisk += io.bytesFromDisk;
-            out.stats.ioLatency += io.latency;
-        }
-
-        ++out.stats.targetsScanned;
-        out.stats.residuesScanned += target.length();
-
-        // Reader-thread work: the master thread parses and buffers
-        // this target before any worker can align it. Instruction
-        // densities per input byte are HMMER-calibrated (Table IV
-        // puts addbuf+seebuf at ~23% of MSA cycles); copy_to_iter
-        // first-touches the target's stream lines, which is where
-        // its cache misses come from.
-        if (sink) {
-            const uint64_t bytes = extent.length;
-            sink->instructions(wellknown::addbuf(), bytes * 24);
-            sink->instructions(wellknown::seebuf(), bytes * 9);
-            sink->instructions(wellknown::copyToIter(), bytes * 8);
-            sink->branches(wellknown::addbuf(), bytes / 4, 0);
-            // Per-target header allocation from the recycled
-            // malloc pool (hot after warm-up).
-            sink->access({0x7f70'0000'0000ull +
-                              kernel.targetBase % (4ull << 20),
-                          64, true, wellknown::addbuf()});
-            const uint64_t step =
-                64ull * cfg.kernel.traceStride;
-            for (uint64_t off = 0; off < bytes; off += step) {
-                sink->access({kernel.targetBase + off, 64, true,
-                              wellknown::copyToIter()});
-                // Cyclic parse buffer touches (addbuf/seebuf).
-                constexpr uint64_t kParseBuf = 0x7f40'0000'0000ull;
-                sink->access({kParseBuf + off % (256 * 1024), 64,
-                              false, wellknown::addbuf()});
-                if (off % (2 * step) == 0)
-                    sink->access({kParseBuf + off % (256 * 1024),
-                                  32, false, wellknown::seebuf()});
-            }
-        }
-
-        const auto msv = msvFilter(prof, target, kernel, sink);
-        out.stats.cellsMsv += msv.cells;
-        const int threshold = msvThreshold(prof, target.length(),
-                                           cfg);
-        if (msv.score < threshold)
-            continue;
-        ++out.stats.msvPassed;
-        out.msvSurvivors.push_back(static_cast<uint32_t>(i));
-
-        // MSV survivors run both banded kernels (HMMER rescored
-        // every survivor with Forward before domain definition).
-        const auto vit = calcBand9(prof, target, kernel, sink);
-        out.stats.cellsViterbi += vit.cells;
-        const auto fwd = calcBand10(prof, target, kernel, sink);
-        out.stats.cellsForward += fwd.cells;
-        if (vit.score < threshold + cfg.viterbiMargin)
-            continue;
-        ++out.stats.viterbiPassed;
-
-        // Every surviving candidate goes through domain definition
-        // and null2 rescoring — full-width DP over the envelope.
-        // This is where low-complexity queries burn their time: the
-        // "ambiguous or partial alignments that still must be
-        // scored and filtered" (paper Observation 2).
-        ++out.stats.domainsScored;
-        if (sink)
-            sink->instructions(
-                wellknown::calcBand10(),
-                16ull * target.length() * prof.length());
-
-        if (fwd.logOdds < cfg.forwardThreshold)
-            continue;
-
-        ++out.stats.hits;
-        out.hits.push_back({i, vit.score, fwd.logOdds});
-    }
+    const uint64_t epochBase = streamEpochBase(db, cfg);
+    for (size_t i = begin; i < end; ++i)
+        scanTarget(prof, db, cache, cache_mutex, cfg, epochBase, now,
+                   i, sink, out);
 }
 
 /**
@@ -226,11 +258,7 @@ scanOverlapped(const ProfileHmm &prof, const SequenceDatabase &db,
     // Same per-epoch virtual stream window as scanRange (the
     // kernels only consult it for trace addresses, but keeping the
     // configs identical makes path equivalence unconditional).
-    constexpr uint64_t kStreamBase = 0x6000'0000'0000ull;
-    const uint64_t epochBase =
-        kStreamBase +
-        static_cast<uint64_t>(cfg.streamEpoch) *
-            (db.info().scaledBytes + (1ull << 20));
+    const uint64_t epochBase = streamEpochBase(db, cfg);
 
     // Stage 1 state: one sequential reader plus rotating staging
     // slabs sized for the largest chunk. The slab copy is the
@@ -423,6 +451,96 @@ searchDatabase(const ProfileHmm &prof, const SequenceDatabase &db,
     // interleaving) produced the results: hits by descending Forward
     // score with the target index as a total-order tie break,
     // survivors ascending.
+    std::sort(result.hits.begin(), result.hits.end(),
+              [](const Hit &a, const Hit &b) {
+                  if (a.forwardLogOdds != b.forwardLogOdds)
+                      return a.forwardLogOdds > b.forwardLogOdds;
+                  return a.targetIndex < b.targetIndex;
+              });
+    std::sort(result.msvSurvivors.begin(),
+              result.msvSurvivors.end());
+    return result;
+}
+
+DeltaSearchResult
+deltaSearch(const ProfileHmm &prof, const SequenceDatabase &db,
+            io::PageCache &cache, const SearchConfig &cfg,
+            const std::vector<uint32_t> &survivors, double now,
+            double min_retention)
+{
+    DeltaSearchResult delta;
+    const size_t n = db.size();
+    const uint64_t epochBase = streamEpochBase(db, cfg);
+    std::mutex cacheMutex;
+
+    // The survivor set is a small fraction of the database (the MSV
+    // pass rate is ~20-30%), so the delta runs single-threaded; its
+    // whole point is doing orders of magnitude less work than the
+    // full scan, not parallelizing what's left.
+    for (const uint32_t idx : survivors) {
+        if (idx >= n)
+            continue; // stale survivor beyond this database's range
+        ++delta.survivorsRescored;
+        scanTarget(prof, db, cache, cacheMutex, cfg, epochBase, now,
+                   idx, nullptr, delta.result);
+    }
+    delta.survivorsRetained = delta.result.stats.msvPassed;
+
+    // Acceptance: if the mutated query drops too many of the cached
+    // survivors at the prefilter, the cached set likely also misses
+    // targets a full scan would now admit — reject and let the
+    // caller fall back to the full sharded scan.
+    delta.accepted = delta.survivorsRescored > 0 &&
+                     delta.retention() >= min_retention;
+
+    std::sort(delta.result.hits.begin(), delta.result.hits.end(),
+              [](const Hit &a, const Hit &b) {
+                  if (a.forwardLogOdds != b.forwardLogOdds)
+                      return a.forwardLogOdds > b.forwardLogOdds;
+                  return a.targetIndex < b.targetIndex;
+              });
+    std::sort(delta.result.msvSurvivors.begin(),
+              delta.result.msvSurvivors.end());
+    return delta;
+}
+
+SearchResult
+searchDatabaseStreaming(const ProfileHmm &prof,
+                        const StreamingSequenceDatabase &db,
+                        const SearchConfig &cfg, double now)
+{
+    SearchResult result;
+    const size_t n = db.size();
+    const size_t b = std::min(cfg.targetBegin, n);
+    const size_t e = std::min(cfg.targetEnd, n);
+
+    // Same per-epoch virtual window as the in-RAM scan so the
+    // kernels' trace-address config matches (no sink is ever
+    // attached here, but identical configs keep the equivalence
+    // unconditional).
+    constexpr uint64_t kStreamBase = 0x6000'0000'0000ull;
+    const uint64_t epochBase =
+        kStreamBase + static_cast<uint64_t>(cfg.streamEpoch) *
+                          (db.info().scaledBytes + (1ull << 20));
+
+    const uint64_t disk0 = db.readerStats().bytesFromDisk;
+    const double lat0 = db.readerStats().ioLatency;
+    for (size_t i = b; i < e; ++i) {
+        // Decode through the bounded block LRU; sequential scans
+        // keep at most the decode budget resident, so the loop
+        // never materializes the collection.
+        const bio::Sequence target = db.materialize(i, now);
+        const auto extent = db.byteExtent(i);
+        KernelConfig kernel = cfg.kernel;
+        kernel.targetBase = epochBase + extent.offset;
+        result.stats.bytesStreamed += extent.length;
+        pipelineTarget(prof, target, kernel, cfg, i, nullptr,
+                       result);
+    }
+    result.stats.bytesFromDisk +=
+        db.readerStats().bytesFromDisk - disk0;
+    result.stats.ioLatency += db.readerStats().ioLatency - lat0;
+
     std::sort(result.hits.begin(), result.hits.end(),
               [](const Hit &a, const Hit &b) {
                   if (a.forwardLogOdds != b.forwardLogOdds)

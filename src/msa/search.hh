@@ -236,6 +236,70 @@ SearchResult searchDatabase(
     double now = 0.0,
     const std::vector<MemTraceSink *> &sinks = {});
 
+/** Outcome of a delta re-search against a cached survivor set. */
+struct DeltaSearchResult
+{
+    /**
+     * True when the delta's acceptance check held: the rescored
+     * survivor set retained at least `minRetention` of its members
+     * past the MSV prefilter. A rejected delta means the cached
+     * survivor set no longer covers this query — the caller must
+     * fall back to a full database scan.
+     */
+    bool accepted = false;
+
+    /** Hits/stats over the survivor subset only (canonical order). */
+    SearchResult result;
+
+    uint64_t survivorsRescored = 0; ///< cached survivors re-run
+    uint64_t survivorsRetained = 0; ///< still past the MSV filter
+
+    double
+    retention() const
+    {
+        return survivorsRescored
+                   ? static_cast<double>(survivorsRetained) /
+                         static_cast<double>(survivorsRescored)
+                   : 0.0;
+    }
+};
+
+/**
+ * Delta re-search: rescore only @p survivors (a cached query's MSV
+ * survivor set, ascending target indices) against @p prof instead of
+ * scanning the whole database — the similarity-cache fast path for a
+ * near-identical query. Runs the identical MSV -> Viterbi -> Forward
+ * pipeline per target (same thresholds, same page-cache streaming),
+ * so for the *same* query the delta's hit set equals the full scan's
+ * (full-scan hits are always a subset of its MSV survivors).
+ *
+ * Acceptance: the fraction of survivors still passing the MSV
+ * prefilter must be >= @p min_retention (and the set non-empty);
+ * otherwise `accepted` is false and `result` must be discarded in
+ * favor of a full scan.
+ */
+DeltaSearchResult deltaSearch(const ProfileHmm &prof,
+                              const SequenceDatabase &db,
+                              io::PageCache &cache,
+                              const SearchConfig &cfg,
+                              const std::vector<uint32_t> &survivors,
+                              double now = 0.0,
+                              double min_retention = 0.5);
+
+/**
+ * Scan a block-compressed streaming database: targets are decoded
+ * on demand through the container's bounded LRU (see
+ * msa/database.hh), so peak residency is the decode budget — not
+ * the collection size. Single-threaded sequential pass; runs the
+ * identical per-target filter cascade as searchDatabase, so the hit
+ * set over the same FASTA bytes is bit-identical to the in-RAM
+ * scan's. I/O (compressed-side reads through the page cache /
+ * storage models) is accounted in the returned stats.
+ */
+SearchResult searchDatabaseStreaming(
+    const ProfileHmm &prof, const StreamingSequenceDatabase &db,
+    const SearchConfig &cfg, double now = 0.0);
+
 /**
  * Prefilter threshold for a profile: the expected best random
  * ungapped segment score against a target of length @p target_len

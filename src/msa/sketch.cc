@@ -1,0 +1,139 @@
+#include "msa/sketch.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace afsb::msa {
+
+namespace {
+
+/** splitmix64 finalizer: the repo's standard cheap bit mixer. */
+uint64_t
+mix64(uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Per-slot hash seed: one virtual hash function per signature
+ *  position, derived deterministically from the slot index. */
+uint64_t
+slotSeed(size_t slot)
+{
+    return mix64(0x9e3779b97f4a7c15ull * (slot + 1));
+}
+
+/** Fold one k-mer hash into every signature slot's running min. */
+void
+foldKmer(uint64_t kmer_hash, std::vector<uint64_t> &minhash)
+{
+    for (size_t s = 0; s < minhash.size(); ++s) {
+        const uint64_t h = mix64(kmer_hash ^ slotSeed(s));
+        minhash[s] = std::min(minhash[s], h);
+    }
+}
+
+} // namespace
+
+std::vector<uint64_t>
+QuerySketch::bandHashes(const SketchConfig &cfg) const
+{
+    std::vector<uint64_t> bands;
+    if (minhash.size() != cfg.hashes || cfg.bands == 0)
+        return bands;
+    const size_t rows = cfg.rowsPerBand();
+    panicIf(rows == 0 || cfg.bands * rows != cfg.hashes,
+            "QuerySketch: bands must divide hashes");
+    bands.reserve(cfg.bands);
+    for (size_t b = 0; b < cfg.bands; ++b) {
+        // FNV-1a over the band's rows plus a band salt, so the same
+        // row values in different bands hash apart.
+        uint64_t h = 0xcbf29ce484222325ull ^ mix64(b + 0x5151ull);
+        for (size_t r = 0; r < rows; ++r) {
+            h ^= minhash[b * rows + r];
+            h *= 0x100000001b3ull;
+        }
+        bands.push_back(mix64(h));
+    }
+    return bands;
+}
+
+QuerySketch
+sketchCodes(const std::vector<uint8_t> &codes, uint64_t salt,
+            const SketchConfig &cfg)
+{
+    QuerySketch sketch;
+    if (cfg.hashes == 0)
+        return sketch;
+    sketch.minhash.assign(cfg.hashes, UINT64_MAX);
+
+    const size_t k = std::max<size_t>(1, cfg.k);
+    if (codes.size() < k) {
+        // Whole-chain token: short chains still sketch, and two
+        // identical short chains still match exactly.
+        uint64_t h = salt ^ 0x7307ull;
+        for (const uint8_t c : codes)
+            h = mix64(h ^ c);
+        foldKmer(h, sketch.minhash);
+        return sketch;
+    }
+
+    // Rolling FNV-style window: hash the k codes at each offset.
+    // Residue alphabets are tiny (<= 20 symbols) so k-mer identity,
+    // not hash dispersion per symbol, is what matters.
+    for (size_t i = 0; i + k <= codes.size(); ++i) {
+        uint64_t h = salt ^ 0xcbf29ce484222325ull;
+        for (size_t j = 0; j < k; ++j) {
+            h ^= codes[i + j];
+            h *= 0x100000001b3ull;
+        }
+        foldKmer(mix64(h), sketch.minhash);
+    }
+    return sketch;
+}
+
+QuerySketch
+sketchComplex(const bio::Complex &complex, uint32_t variant,
+              const SketchConfig &cfg)
+{
+    QuerySketch sketch;
+    if (cfg.hashes == 0)
+        return sketch;
+    sketch.minhash.assign(cfg.hashes, UINT64_MAX);
+
+    const uint64_t variantSalt =
+        mix64(0xaf3'0000ull + static_cast<uint64_t>(variant));
+    bool any = false;
+    for (const bio::Sequence *chain : complex.msaChains()) {
+        // Salt per modality: a protein k-mer and an RNA k-mer with
+        // equal codes must not collide.
+        const uint64_t salt =
+            variantSalt ^
+            mix64(static_cast<uint64_t>(chain->type()) + 0xbeefull);
+        const QuerySketch chainSketch =
+            sketchCodes(chain->codes(), salt, cfg);
+        for (size_t s = 0; s < cfg.hashes; ++s)
+            sketch.minhash[s] = std::min(sketch.minhash[s],
+                                         chainSketch.minhash[s]);
+        any = true;
+    }
+    if (!any)
+        sketch.minhash.clear();
+    return sketch;
+}
+
+double
+jaccardEstimate(const QuerySketch &a, const QuerySketch &b)
+{
+    if (a.empty() || a.minhash.size() != b.minhash.size())
+        return 0.0;
+    size_t agree = 0;
+    for (size_t s = 0; s < a.minhash.size(); ++s)
+        agree += a.minhash[s] == b.minhash[s];
+    return static_cast<double>(agree) /
+           static_cast<double>(a.minhash.size());
+}
+
+} // namespace afsb::msa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * k-mer MinHash sketches for similarity-keyed MSA reuse.
+ *
+ * Real serving traffic is full of near-duplicate chains (point
+ * mutants, truncations); an exact content-addressed cache misses all
+ * of them. A MinHash sketch over the query's k-mer set gives an
+ * unbiased Jaccard estimate between two queries in O(hashes) time,
+ * and LSH banding over the signature turns "find a near-identical
+ * cached query" into a handful of hash-table probes — the AF_Cache
+ * similarity tier.
+ *
+ * Sketches are salted with chain modality and the workload variant
+ * index, so distinct variants of one sample are uncorrelated while
+ * point-mutated copies of the same (sample, variant) land within a
+ * few signature positions of each other.
+ */
+
+#ifndef AFSB_MSA_SKETCH_HH
+#define AFSB_MSA_SKETCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bio/sequence.hh"
+
+namespace afsb::msa {
+
+/** MinHash/LSH shape knobs. */
+struct SketchConfig
+{
+    /** k-mer width. 6 keeps a 2%-mutated chain at Jaccard ~0.8. */
+    size_t k = 6;
+
+    /** Signature size (number of independent min-hashes). */
+    size_t hashes = 32;
+
+    /**
+     * LSH bands over the signature; rows per band = hashes / bands.
+     * 8 bands x 4 rows puts the collision-probability knee near
+     * Jaccard 0.6 — below it near-misses rarely collide, above it
+     * near-duplicates almost always do.
+     */
+    size_t bands = 8;
+
+    size_t rowsPerBand() const { return hashes / bands; }
+};
+
+/** MinHash signature of one query (all MSA-eligible chains). */
+struct QuerySketch
+{
+    std::vector<uint64_t> minhash; ///< size = SketchConfig::hashes
+
+    bool empty() const { return minhash.empty(); }
+
+    /**
+     * One 64-bit hash per LSH band (bands of rowsPerBand()
+     * consecutive signature slots). Two sketches that agree on every
+     * slot of any band collide in that band's hash table.
+     */
+    std::vector<uint64_t> bandHashes(const SketchConfig &cfg) const;
+};
+
+/**
+ * Sketch a query complex: the union of k-mer sets over its
+ * MSA-eligible chains, salted with chain modality and @p variant.
+ * Chains shorter than k contribute a single whole-chain token so no
+ * query sketches empty.
+ */
+QuerySketch sketchComplex(const bio::Complex &complex,
+                          uint32_t variant,
+                          const SketchConfig &cfg = {});
+
+/** Sketch a single raw code vector (testing / chain-level use). */
+QuerySketch sketchCodes(const std::vector<uint8_t> &codes,
+                        uint64_t salt, const SketchConfig &cfg = {});
+
+/**
+ * Unbiased Jaccard estimate: fraction of matching signature slots.
+ * 0 when either sketch is empty or the sizes differ.
+ */
+double jaccardEstimate(const QuerySketch &a, const QuerySketch &b);
+
+} // namespace afsb::msa
+
+#endif // AFSB_MSA_SKETCH_HH

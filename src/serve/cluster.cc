@@ -63,6 +63,24 @@ MsaServiceOracle::characterize(const sys::PlatformSpec &platform,
         bytes += static_cast<uint64_t>(r.msaDepthPerChain[i]) *
                  chains[i].length();
     svc.resultBytes = std::max<uint64_t>(bytes, 1024);
+
+    // Delta re-search cost model from the engine's own counters: a
+    // survivors-only rescan touches the MSV cells of the survivor
+    // fraction of targets, plus all Viterbi/Forward cells (the full
+    // scan ran those kernels only on survivors anyway).
+    const auto &sc = r.scanStats;
+    const double fullCells =
+        static_cast<double>(sc.cellsMsv + sc.cellsViterbi +
+                            sc.cellsForward);
+    double fraction = 1.0;
+    if (fullCells > 0.0)
+        fraction = (sc.msvPassRate() *
+                        static_cast<double>(sc.cellsMsv) +
+                    static_cast<double>(sc.cellsViterbi) +
+                    static_cast<double>(sc.cellsForward)) /
+                   fullCells;
+    fraction = std::min(1.0, std::max(0.01, fraction));
+    svc.deltaSeconds = svc.seconds * fraction;
     return memo_.emplace(sample, svc).first->second;
 }
 
@@ -222,9 +240,17 @@ simulateCluster(const sys::PlatformSpec &platform,
         fatal("serve: gpusPerNode must be >= 1");
     if (config.bucketTokens == 0)
         fatal("serve: bucketTokens must be >= 1");
+    if (config.simCacheThreshold < 0.0 ||
+        config.simCacheThreshold > 1.0)
+        fatal("serve: simCacheThreshold must be in (0, 1] "
+              "(0 disables)");
+    if (config.simCacheMinRetention < 0.0 ||
+        config.simCacheMinRetention > 1.0)
+        fatal("serve: simCacheMinRetention must be in [0, 1]");
 
     const uint32_t nodes = config.topology.nodes;
     const bool multiNode = nodes > 1;
+    const bool simEnabled = config.simCacheThreshold > 0.0;
     net::Interconnect fabric(config.topology);
     const uint32_t router = config.topology.routerId();
 
@@ -232,6 +258,8 @@ simulateCluster(const sys::PlatformSpec &platform,
     result.msaWorkers = config.msaWorkers * nodes;
     result.gpuWorkers = config.gpuWorkers * nodes;
     result.multiNode = multiNode;
+    result.simCacheEnabled = simEnabled;
+    result.simCacheThreshold = config.simCacheThreshold;
     result.nodes = nodes;
     result.nodeStats.resize(nodes);
     for (auto &ns : result.nodeStats) {
@@ -451,6 +479,22 @@ simulateCluster(const sys::PlatformSpec &platform,
                 rec.node = nd;
                 const auto &svc = msaService(r.sample);
                 double service = svc.seconds;
+                if (rec.approxHit) {
+                    // Similarity tier: the stage is a delta
+                    // re-search over the cached survivor set, not a
+                    // full database scan.
+                    service = svc.deltaSeconds;
+                    if (rec.msaAttempts == 1)
+                        result.deltaSecondsSaved +=
+                            svc.seconds - svc.deltaSeconds;
+                } else if (rec.deltaFallback) {
+                    // Rejected delta: the re-search ran, failed its
+                    // acceptance check, and the full scan followed.
+                    service = svc.deltaSeconds + svc.seconds;
+                    if (rec.msaAttempts == 1)
+                        result.deltaSecondsSaved -=
+                            svc.deltaSeconds;
+                }
 
                 Completion c{now + service, wid, r.id, nd, now};
                 if (faultsOn) {
@@ -796,7 +840,14 @@ simulateCluster(const sys::PlatformSpec &platform,
                 fabric.send(now, nd, owner, bytes,
                             net::MsgKind::CacheInsert,
                             rec.request.id);
-            caches[owner].insert(key, bytes);
+            if (simEnabled && !rec.request.sketch.empty())
+                // Register the query's sketch so later
+                // near-duplicates can find this entry's survivor
+                // set through the LSH bands.
+                caches[owner].insert(key, bytes,
+                                     rec.request.sketch);
+            else
+                caches[owner].insert(key, bytes);
             if (corrupt && caches[owner].corrupt(key))
                 injector.record({now,
                                  fault::FaultKind::CacheCorruption,
@@ -1006,6 +1057,8 @@ simulateCluster(const sys::PlatformSpec &platform,
             lostCacheStats.evictions += cs.evictions;
             lostCacheStats.rejected += cs.rejected;
             lostCacheStats.corrupted += cs.corrupted;
+            lostCacheStats.approxLookups += cs.approxLookups;
+            lostCacheStats.approxHits += cs.approxHits;
             caches[nd] = MsaResultCache(perNodeBudget);
 
             if (kill.rebuildSeconds >= 0.0)
@@ -1107,7 +1160,23 @@ simulateCluster(const sys::PlatformSpec &platform,
                 } else {
                     // Miss, or a corrupted entry detected and
                     // dropped at lookup — either way the MSA stage
-                    // runs.
+                    // runs. With the similarity tier on, a
+                    // near-identical cached query can still shrink
+                    // it to a delta re-search.
+                    if (simEnabled && !r.sketch.empty()) {
+                        const auto ap = caches[0].approxLookup(
+                            r.sketch, config.simCacheThreshold);
+                        if (ap.accepted) {
+                            if (ap.jaccard >=
+                                config.simCacheMinRetention) {
+                                rec.approxHit = true;
+                                ++result.approxHits;
+                            } else {
+                                rec.deltaFallback = true;
+                                ++result.deltaFallbacks;
+                            }
+                        }
+                    }
                     msaQueues[0].push(r);
                 }
                 continue;
@@ -1167,6 +1236,78 @@ simulateCluster(const sys::PlatformSpec &platform,
             if (hit) {
                 rec.msaCacheHit = true;
                 rec.msaStartSeconds = rec.msaEndSeconds = ready;
+            } else if (simEnabled && !r.sketch.empty()) {
+                // Exact miss: broadcast the similarity probe to
+                // every live cache shard (the sketch index is
+                // sharded with the entries it describes). All
+                // probes go out in parallel; the request proceeds
+                // once the last reply — and the survivor set from
+                // an accepting shard — is in.
+                MsaResultCache::ApproxResult best;
+                uint32_t bestShard = 0;
+                double repliesIn = ready;
+                for (uint32_t shard = 0; shard < nodes; ++shard) {
+                    if (!nodeAlive[shard])
+                        continue;
+                    double shardReady = ready;
+                    if (shard != nd) {
+                        ++result.remoteApproxProbes;
+                        shardReady =
+                            fabric
+                                .send(ready, nd, shard,
+                                      config.cacheControlBytes,
+                                      net::MsgKind::CacheLookup,
+                                      r.id)
+                                .arriveTime;
+                    }
+                    const auto ap = caches[shard].approxLookup(
+                        r.sketch, config.simCacheThreshold);
+                    const bool better =
+                        ap.candidate &&
+                        (!best.candidate ||
+                         ap.jaccard > best.jaccard ||
+                         (ap.jaccard == best.jaccard &&
+                          ap.key < best.key));
+                    if (better) {
+                        best = ap;
+                        bestShard = shard;
+                    }
+                    if (shard != nd) {
+                        // A shard with an accepted candidate ships
+                        // its survivor set (it cannot know whether
+                        // another shard holds a better one); the
+                        // rest send a control-size negative reply.
+                        const bool ships = ap.accepted;
+                        const double back =
+                            fabric
+                                .send(shardReady, shard, nd,
+                                      ships ? config
+                                                  .simCacheSurvivorBytes
+                                            : config
+                                                  .cacheControlBytes,
+                                      ships
+                                          ? net::MsgKind::CacheResult
+                                          : net::MsgKind::CacheReply,
+                                      r.id)
+                                .arriveTime;
+                        repliesIn = std::max(repliesIn, back);
+                    }
+                }
+                if (best.accepted) {
+                    if (bestShard != nd) {
+                        rec.remoteCache = true;
+                        ++result.remoteApproxHits;
+                    }
+                    if (best.jaccard >=
+                        config.simCacheMinRetention) {
+                        rec.approxHit = true;
+                        ++result.approxHits;
+                    } else {
+                        rec.deltaFallback = true;
+                        ++result.deltaFallbacks;
+                    }
+                }
+                ready = repliesIn;
             }
             requeueQueue.push(
                 {ready, r.id, hit, eventSeq++, nd});
@@ -1209,6 +1350,8 @@ simulateCluster(const sys::PlatformSpec &platform,
         aggStats.evictions += cs.evictions;
         aggStats.rejected += cs.rejected;
         aggStats.corrupted += cs.corrupted;
+        aggStats.approxLookups += cs.approxLookups;
+        aggStats.approxHits += cs.approxHits;
         result.cacheBytesInUse += shard.bytesInUse();
         result.cacheEntries += shard.entries();
     }

@@ -68,6 +68,17 @@ class MsaServiceOracle
     {
         double seconds = 0.0;
         uint64_t resultBytes = 0;
+
+        /**
+         * Modeled cost of a delta re-search (msa::deltaSearch) for
+         * a near-duplicate of this sample: the full MSA seconds
+         * scaled by the fraction of pipeline cells a
+         * survivors-only rescan touches (MSV over survivors
+         * instead of the whole collection; the banded kernels ran
+         * only on survivors to begin with), derived from the
+         * engine's own scan counters.
+         */
+        double deltaSeconds = 0.0;
     };
 
     const Service &characterize(const sys::PlatformSpec &platform,
@@ -164,6 +175,30 @@ struct ClusterConfig
 
     /** MSA result cache budget; 0 disables the cache. */
     uint64_t msaCacheBudgetBytes = 512ull << 20;
+
+    /**
+     * Similarity cache tier: minimum estimated Jaccard between a
+     * query's sketch and a cached entry's for an approximate hit
+     * (which turns the MSA stage into a delta re-search). 0, the
+     * default, disables the tier entirely — the event sequence is
+     * bit-identical to the exact-only simulator. Must be in (0, 1]
+     * when set.
+     */
+    double simCacheThreshold = 0.0;
+
+    /**
+     * Delta-search acceptance rule, modeled: the Jaccard estimate
+     * stands in for the survivor-retention fraction the real
+     * msa::deltaSearch checks. An approximate hit whose similarity
+     * falls below this still pays the delta re-search, then falls
+     * back to the full scan (RequestRecord::deltaFallback).
+     */
+    double simCacheMinRetention = 0.5;
+
+    /** Wire size of a cached survivor set shipped from a remote
+     *  shard on an accepted approximate hit (target indices, not
+     *  the full alignment). */
+    uint64_t simCacheSurvivorBytes = 256ull << 10;
 
     /** CPU threads each MSA worker uses (AF3 default 8). */
     uint32_t msaThreadsPerWorker = 8;
@@ -328,6 +363,27 @@ struct ClusterResult
                          static_cast<double>(batchCompiles)
                    : 0.0;
     }
+
+    /** True when the run used the similarity cache tier
+     *  (simCacheThreshold > 0); gates the approximate-hit section
+     *  of reports, so exact-only output stays byte-identical to the
+     *  pre-similarity simulator. */
+    bool simCacheEnabled = false;
+
+    double simCacheThreshold = 0.0; ///< configured Jaccard threshold
+
+    uint64_t approxHits = 0;      ///< requests served via a delta
+    uint64_t deltaFallbacks = 0;  ///< deltas rejected -> full scan
+
+    /** Net MSA service seconds the similarity tier avoided: the
+     *  full-minus-delta gap on every accepted delta, minus the
+     *  wasted delta time on every fallback. */
+    double deltaSecondsSaved = 0.0;
+
+    /** Multi-node only: similarity probes answered by (and accepted
+     *  survivor sets shipped from) a remote cache shard. */
+    uint64_t remoteApproxProbes = 0;
+    uint64_t remoteApproxHits = 0;
 
     /** True when the run used a multi-node topology; gates the
      *  cross-node section of reports, so single-node output stays

@@ -1,5 +1,7 @@
 #include "serve/msa_cache.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace afsb::serve {
@@ -27,6 +29,10 @@ MsaResultCache::lookup(uint64_t key)
         bytesInUse_ -= it->second->bytes;
         lru_.erase(it->second);
         index_.erase(it);
+        // The survivor set behind this entry is gone with it; a
+        // dangling sketch would hand deltaSearch a key whose exact
+        // entry no longer exists.
+        dropSketch(key);
         return Lookup::Corrupt;
     }
     ++stats_.hits;
@@ -60,6 +66,72 @@ MsaResultCache::insert(uint64_t key, uint64_t bytes)
         evictOne();
 }
 
+void
+MsaResultCache::insert(uint64_t key, uint64_t bytes,
+                       const msa::QuerySketch &sketch)
+{
+    if (sketch.empty()) {
+        insert(key, bytes);
+        return;
+    }
+    if (bytes > budgetBytes_) {
+        ++stats_.rejected;
+        return;
+    }
+    // Register the sketch before the base insert: if the insert
+    // evicts this very key (budget exactly consumed by newer
+    // entries), evictOne's dropSketch must see it to stay coherent.
+    if (!sketches_.contains(key)) {
+        for (const uint64_t band : sketch.bandHashes(lsh_))
+            bands_[band].push_back(key);
+        sketches_.emplace(key, sketch);
+    }
+    insert(key, bytes);
+}
+
+MsaResultCache::ApproxResult
+MsaResultCache::approxLookup(const msa::QuerySketch &probe,
+                             double threshold)
+{
+    ++stats_.approxLookups;
+    ApproxResult res;
+    if (probe.empty())
+        return res;
+
+    for (const uint64_t band : probe.bandHashes(lsh_)) {
+        const auto it = bands_.find(band);
+        if (it == bands_.end())
+            continue;
+        for (const uint64_t key : it->second) {
+            const auto sk = sketches_.find(key);
+            if (sk == sketches_.end())
+                continue;
+            const double j = msa::jaccardEstimate(probe, sk->second);
+            // Deterministic best: higher Jaccard, ties to the
+            // smaller key (band tables iterate in push order, but a
+            // key can collide in several bands).
+            if (!res.candidate || j > res.jaccard ||
+                (j == res.jaccard && key < res.key)) {
+                res.key = key;
+                res.jaccard = j;
+            }
+            res.candidate = true;
+        }
+    }
+    if (!res.candidate)
+        return res;
+    if (res.jaccard >= threshold) {
+        res.accepted = true;
+        ++stats_.approxHits;
+        // The delta re-search is about to reuse this entry's
+        // survivor set: treat it as touched.
+        const auto it = index_.find(res.key);
+        if (it != index_.end())
+            lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    return res;
+}
+
 bool
 MsaResultCache::corrupt(uint64_t key)
 {
@@ -77,8 +149,28 @@ MsaResultCache::evictOne()
     const Entry &victim = lru_.back();
     bytesInUse_ -= victim.bytes;
     index_.erase(victim.key);
+    dropSketch(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
+}
+
+void
+MsaResultCache::dropSketch(uint64_t key)
+{
+    const auto it = sketches_.find(key);
+    if (it == sketches_.end())
+        return;
+    for (const uint64_t band : it->second.bandHashes(lsh_)) {
+        const auto bi = bands_.find(band);
+        if (bi == bands_.end())
+            continue;
+        auto &keys = bi->second;
+        keys.erase(std::remove(keys.begin(), keys.end(), key),
+                   keys.end());
+        if (keys.empty())
+            bands_.erase(bi);
+    }
+    sketches_.erase(it);
 }
 
 } // namespace afsb::serve

@@ -1,7 +1,9 @@
 /**
  * @file
  * Content-addressed MSA result cache with LRU eviction under a byte
- * budget — the AF_Cache optimization.
+ * budget — the AF_Cache optimization — plus an optional similarity
+ * tier: an LSH-banded MinHash sketch index that finds the cached
+ * entry of a *near-identical* query when the exact key misses.
  *
  * The MSA phase dominates end-to-end AF3 latency (70-94% in the
  * paper) yet its output depends only on the query sequences, so a
@@ -9,7 +11,11 @@
  * entirely for repeated queries. Keys are 64-bit digests of the
  * query content (serve::queryContentHash); values are the byte
  * footprint of the stored alignment, which drives eviction against
- * the configured budget.
+ * the configured budget. Entries inserted with a sketch additionally
+ * register in per-band hash tables; approxLookup() probes those
+ * bands and returns the best Jaccard-estimated candidate, which the
+ * serving path turns into a delta re-search (msa::deltaSearch)
+ * instead of a full database scan.
  */
 
 #ifndef AFSB_SERVE_MSA_CACHE_HH
@@ -19,6 +25,9 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
+
+#include "msa/sketch.hh"
 
 namespace afsb::serve {
 
@@ -33,6 +42,19 @@ class MsaResultCache
         Corrupt, ///< key present but failed its checksum; dropped
     };
 
+    /** Outcome of one similarity probe. */
+    struct ApproxResult
+    {
+        /** A banded candidate existed (regardless of threshold). */
+        bool candidate = false;
+
+        /** Candidate met the Jaccard threshold; `key` is usable. */
+        bool accepted = false;
+
+        uint64_t key = 0;     ///< best candidate's exact cache key
+        double jaccard = 0.0; ///< its estimated Jaccard similarity
+    };
+
     /** Hit/miss/eviction counters. */
     struct Stats
     {
@@ -43,6 +65,9 @@ class MsaResultCache
         uint64_t rejected = 0;  ///< entries larger than the budget
         uint64_t corrupted = 0; ///< checksum mismatches on lookup
 
+        uint64_t approxLookups = 0; ///< similarity probes
+        uint64_t approxHits = 0;    ///< probes accepted at threshold
+
         uint64_t misses() const { return lookups - hits; }
 
         double
@@ -51,6 +76,15 @@ class MsaResultCache
             return lookups
                        ? static_cast<double>(hits) /
                              static_cast<double>(lookups)
+                       : 0.0;
+        }
+
+        double
+        approxHitRate() const
+        {
+            return approxLookups
+                       ? static_cast<double>(approxHits) /
+                             static_cast<double>(approxLookups)
                        : 0.0;
         }
     };
@@ -64,10 +98,10 @@ class MsaResultCache
      * Look up @p key; a verified hit refreshes its LRU position.
      * Every stored entry carries a checksum of (key, bytes) taken
      * at insertion; a mismatch on lookup (bit rot, or fault
-     * injection via corrupt()) drops the entry and reports
-     * Lookup::Corrupt — the caller re-derives the result through
-     * the MSA stage, exactly as a production cache would on a
-     * failed integrity check. Counted in stats().
+     * injection via corrupt()) drops the entry — and its sketch
+     * bands — and reports Lookup::Corrupt; the caller re-derives
+     * the result through the MSA stage, exactly as a production
+     * cache would on a failed integrity check. Counted in stats().
      */
     Lookup lookup(uint64_t key);
 
@@ -78,6 +112,27 @@ class MsaResultCache
      * stored).
      */
     void insert(uint64_t key, uint64_t bytes);
+
+    /**
+     * Insert with a query sketch: additionally registers the entry
+     * in the LSH band tables so later approxLookup() probes can find
+     * it. An empty sketch degrades to the exact-only insert.
+     */
+    void insert(uint64_t key, uint64_t bytes,
+                const msa::QuerySketch &sketch);
+
+    /**
+     * Similarity probe: hash @p probe into each LSH band, collect
+     * the cached entries colliding in any band, and return the one
+     * with the highest estimated Jaccard (ties to the smaller key,
+     * so the result is deterministic regardless of hash-table
+     * iteration order). `accepted` requires jaccard >= @p threshold;
+     * an accepted probe refreshes the candidate's LRU position (the
+     * delta re-search is about to reuse its survivor set). Does not
+     * count toward exact lookup/hit stats.
+     */
+    ApproxResult approxLookup(const msa::QuerySketch &probe,
+                              double threshold);
 
     /**
      * Flip a bit in @p key's stored checksum (fault injection: the
@@ -91,6 +146,12 @@ class MsaResultCache
     uint64_t budgetBytes() const { return budgetBytes_; }
     uint64_t bytesInUse() const { return bytesInUse_; }
     size_t entries() const { return index_.size(); }
+
+    /** Entries carrying a sketch (== keys registered in bands). */
+    size_t sketchedEntries() const { return sketches_.size(); }
+
+    /** LSH shape shared by sketching and banding. */
+    const msa::SketchConfig &sketchConfig() const { return lsh_; }
 
   private:
     struct Entry
@@ -106,10 +167,21 @@ class MsaResultCache
 
     void evictOne();
 
+    /** Drop @p key from the band tables and sketch store (no-op
+     *  when the entry never carried a sketch). */
+    void dropSketch(uint64_t key);
+
     uint64_t budgetBytes_;
     uint64_t bytesInUse_ = 0;
     std::list<Entry> lru_; ///< front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+
+    msa::SketchConfig lsh_;
+    /** key -> its sketch (kept for Jaccard scoring on probes). */
+    std::unordered_map<uint64_t, msa::QuerySketch> sketches_;
+    /** band hash -> keys whose sketch collides in that band. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> bands_;
+
     Stats stats_;
 };
 

@@ -49,6 +49,19 @@ buildSloReport(const ClusterResult &result)
         report.meanServiceSeconds = service / n;
     }
 
+    report.simCacheEnabled = result.simCacheEnabled;
+    if (result.simCacheEnabled) {
+        auto &sm = report.sim;
+        sm.threshold = result.simCacheThreshold;
+        sm.approxLookups = result.cacheStats.approxLookups;
+        sm.approxHits = result.approxHits;
+        sm.deltaFallbacks = result.deltaFallbacks;
+        sm.approxHitRate = result.cacheStats.approxHitRate();
+        sm.deltaSecondsSaved = result.deltaSecondsSaved;
+        sm.remoteApproxProbes = result.remoteApproxProbes;
+        sm.remoteApproxHits = result.remoteApproxHits;
+    }
+
     report.batchingEnabled = result.batchingEnabled;
     if (result.batchingEnabled) {
         auto &bt = report.batch;
@@ -200,6 +213,26 @@ printSloReport(const SloReport &report, const std::string &title)
                 static_cast<unsigned long long>(
                     report.cacheEvictions));
 
+    if (report.simCacheEnabled) {
+        const auto s64 = [](uint64_t v) {
+            return strformat("%llu",
+                             static_cast<unsigned long long>(v));
+        };
+        const auto &sm = report.sim;
+        TextTable sim(title + " — similarity cache tier");
+        sim.setHeader({"threshold", "probes", "approx hits",
+                       "fallbacks", "probe accept", "msa saved (s)",
+                       "remote probes", "remote hits"});
+        sim.addRow({strformat("%.2f", sm.threshold),
+                    s64(sm.approxLookups), s64(sm.approxHits),
+                    s64(sm.deltaFallbacks),
+                    strformat("%.1f%%", 100.0 * sm.approxHitRate),
+                    strformat("%.1f", sm.deltaSecondsSaved),
+                    s64(sm.remoteApproxProbes),
+                    s64(sm.remoteApproxHits)});
+        sim.print();
+    }
+
     if (report.batchingEnabled) {
         const auto b64 = [](uint64_t v) {
             return strformat("%llu",
@@ -338,6 +371,17 @@ canonicalSloText(const SloReport &report)
     addF("throughput_per_h", report.throughputPerHour);
     addF("makespan_s", report.makespanSeconds);
 
+    if (report.simCacheEnabled) {
+        const auto &sm = report.sim;
+        addF("sim_cache_threshold", sm.threshold);
+        addU("sim_approx_lookups", sm.approxLookups);
+        addU("sim_approx_hits", sm.approxHits);
+        addU("sim_delta_fallbacks", sm.deltaFallbacks);
+        addF("sim_approx_hit_rate_pct", 100.0 * sm.approxHitRate);
+        addF("sim_delta_saved_s", sm.deltaSecondsSaved);
+        addU("sim_remote_probes", sm.remoteApproxProbes);
+        addU("sim_remote_hits", sm.remoteApproxHits);
+    }
     if (report.batchingEnabled) {
         const auto &bt = report.batch;
         addU("batches_formed", bt.batchesFormed);
@@ -517,6 +561,20 @@ parseSloText(const std::string &text)
     r.gpuUtilization = in.nextF("gpu_util_pct") / 100.0;
     r.throughputPerHour = in.nextF("throughput_per_h");
     r.makespanSeconds = in.nextF("makespan_s");
+
+    if (!in.done() && in.peekKey() == "sim_cache_threshold") {
+        r.simCacheEnabled = true;
+        auto &sm = r.sim;
+        sm.threshold = in.nextF("sim_cache_threshold");
+        sm.approxLookups = in.nextU("sim_approx_lookups");
+        sm.approxHits = in.nextU("sim_approx_hits");
+        sm.deltaFallbacks = in.nextU("sim_delta_fallbacks");
+        sm.approxHitRate =
+            in.nextF("sim_approx_hit_rate_pct") / 100.0;
+        sm.deltaSecondsSaved = in.nextF("sim_delta_saved_s");
+        sm.remoteApproxProbes = in.nextU("sim_remote_probes");
+        sm.remoteApproxHits = in.nextU("sim_remote_hits");
+    }
 
     if (!in.done() && in.peekKey() == "batches_formed") {
         r.batchingEnabled = true;

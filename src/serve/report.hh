@@ -51,6 +51,44 @@ struct SloReport
     double throughputPerHour = 0.0;
     double makespanSeconds = 0.0;
 
+    /** True when the run used the similarity cache tier
+     *  (sim-cache-threshold > 0). Gates the approximate-hit section
+     *  everywhere, so exact-only report text is byte-identical to
+     *  the pre-similarity simulator. */
+    bool simCacheEnabled = false;
+
+    /** Similarity-tier dashboard (approximate hits + delta
+     *  re-search; sim-cache runs only). */
+    struct SimSection
+    {
+        /** Configured Jaccard acceptance threshold. */
+        double threshold = 0.0;
+
+        /** LSH probes issued on exact-cache misses (cache level —
+         *  a multi-node broadcast counts once per shard). */
+        uint64_t approxLookups = 0;
+
+        /** Requests whose MSA stage ran as an accepted delta
+         *  re-search over a cached survivor set. */
+        uint64_t approxHits = 0;
+
+        /** Requests whose delta was rejected by its acceptance
+         *  check: they paid the delta *and* the full scan. */
+        uint64_t deltaFallbacks = 0;
+
+        /** Accepted probes / probes, at the cache level. */
+        double approxHitRate = 0.0;
+
+        /** Net MSA service seconds avoided (full-minus-delta gap
+         *  on accepted deltas, minus wasted fallback deltas). */
+        double deltaSecondsSaved = 0.0;
+
+        /** Multi-node only: similarity probes answered by / hits
+         *  served from a remote cache shard. */
+        uint64_t remoteApproxProbes = 0;
+        uint64_t remoteApproxHits = 0;
+    } sim;
+
     /** True when the run used continuous batching (batch-max > 1).
      *  Gates the batching section everywhere, so solo-dispatch
      *  report text is byte-identical to the pre-batching

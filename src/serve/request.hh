@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "msa/sketch.hh"
+
 namespace afsb::serve {
 
 /** One user query in the open-loop request stream. */
@@ -28,6 +30,10 @@ struct Request
     size_t tokens = 0;        ///< total residues (the SJF predictor)
     uint64_t contentHash = 0; ///< content-addressed MSA cache key
     double arrivalSeconds = 0.0;
+
+    /** MinHash sketch for the similarity cache tier; empty unless
+     *  the workload was generated with sketching on. */
+    msa::QuerySketch sketch;
 };
 
 /** Terminal state of a request. */
@@ -64,6 +70,16 @@ struct RequestRecord
 
     /** MSA stage skipped via the content-addressed result cache. */
     bool msaCacheHit = false;
+
+    /** Served via the similarity tier: a near-identical cached
+     *  query's survivor set was reused, the MSA stage ran as a
+     *  delta re-search instead of a full database scan. */
+    bool approxHit = false;
+
+    /** A similarity candidate was found but the delta's acceptance
+     *  check failed: the request paid the delta re-search *and* the
+     *  full scan it fell back to. */
+    bool deltaFallback = false;
 
     /** Finished (or failed) on the degraded fallback path. */
     bool degradedPath = false;

@@ -82,6 +82,8 @@ generateRequests(const WorkloadSpec &spec)
         fatal("workload: durationSeconds must be positive");
     if (spec.variantsPerSample == 0)
         fatal("workload: variantsPerSample must be >= 1");
+    if (spec.mutationRate < 0.0 || spec.mutationRate >= 1.0)
+        fatal("workload: mutationRate must be in [0, 1)");
 
     std::vector<MixEntry> mix = spec.mix;
     if (mix.empty())
@@ -93,21 +95,32 @@ generateRequests(const WorkloadSpec &spec)
     for (const auto &e : mix)
         weights.push_back(e.weight);
 
+    const bool mutate = spec.mutationRate > 0.0;
+    const bool sketch = spec.sketchQueries || mutate;
+
     // Token counts and content hashes are derived once per
     // (sample, variant); samples themselves are deterministic.
     struct SampleInfo
     {
         size_t tokens = 0;
-        std::vector<uint64_t> hashes; // one per variant
+        std::vector<uint64_t> hashes;          // one per variant
+        std::vector<msa::QuerySketch> sketches; // one per variant
+        bio::Complex base;                      // mutation source
     };
     std::vector<SampleInfo> infos(mix.size());
     for (size_t i = 0; i < mix.size(); ++i) {
         const auto sample = bio::makeSample(mix[i].sample);
         infos[i].tokens = sample.complex.totalResidues();
         infos[i].hashes.reserve(spec.variantsPerSample);
-        for (uint32_t v = 0; v < spec.variantsPerSample; ++v)
+        for (uint32_t v = 0; v < spec.variantsPerSample; ++v) {
             infos[i].hashes.push_back(
                 queryContentHash(sample.complex, v));
+            if (sketch && !mutate)
+                infos[i].sketches.push_back(
+                    msa::sketchComplex(sample.complex, v));
+        }
+        if (mutate)
+            infos[i].base = sample.complex;
     }
 
     Rng rng(spec.seed);
@@ -130,6 +143,37 @@ generateRequests(const WorkloadSpec &spec)
         r.tokens = infos[pick].tokens;
         r.contentHash = infos[pick].hashes[variant];
         r.arrivalSeconds = clock;
+        if (mutate) {
+            // Near-duplicate arrival: an independent point-mutated
+            // copy of the base (sample, variant) query. Substitution
+            // only, so the token count (and workload character) is
+            // unchanged while the content hash almost always
+            // diverges from the base — exactly the traffic an exact
+            // content-addressed cache misses and the similarity
+            // tier recovers.
+            bio::Complex mutated(infos[pick].base.name());
+            for (const auto &chain : infos[pick].base.chains()) {
+                std::vector<uint8_t> codes = chain.codes();
+                const size_t k = bio::alphabetSize(chain.type());
+                for (auto &code : codes) {
+                    if (rng.nextDouble() >= spec.mutationRate)
+                        continue;
+                    // Substitute with a *different* symbol so the
+                    // realized mutation rate equals the knob.
+                    uint8_t sub = static_cast<uint8_t>(
+                        rng.nextBounded(k - 1));
+                    if (sub >= code)
+                        ++sub;
+                    code = sub;
+                }
+                mutated.addChain(bio::Sequence(
+                    chain.id(), chain.type(), std::move(codes)));
+            }
+            r.contentHash = queryContentHash(mutated, variant);
+            r.sketch = msa::sketchComplex(mutated, variant);
+        } else if (sketch) {
+            r.sketch = infos[pick].sketches[variant];
+        }
         requests.push_back(std::move(r));
     }
     return requests;

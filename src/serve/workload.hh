@@ -50,6 +50,27 @@ struct WorkloadSpec
      * values approximate an all-unique stream.
      */
     uint32_t variantsPerSample = 4;
+
+    /**
+     * Near-duplicate traffic: per-residue point-mutation
+     * probability applied to each arrival's base (sample, variant)
+     * query. 0 (the default) disables mutation entirely — the rng
+     * draw sequence and every generated request are bit-identical
+     * to the pre-mutation generator. Positive rates make almost
+     * every arrival a distinct content hash (exact-cache misses)
+     * while staying within a few percent of its base query — the
+     * traffic shape the similarity cache tier exists for. Must be
+     * in [0, 1).
+     */
+    double mutationRate = 0.0;
+
+    /**
+     * Compute a MinHash sketch per request (Request::sketch) so the
+     * serving path can probe the similarity tier. Implied by
+     * mutationRate > 0; off (with rate 0) keeps requests
+     * byte-identical to the pre-sketch generator.
+     */
+    bool sketchQueries = false;
 };
 
 /**

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * MinHash sketch / LSH banding tests, plus the delta re-search
+ * acceptance and equivalence contracts the similarity cache relies
+ * on: for the same query a delta over the cached MSV survivor set
+ * yields exactly the full scan's hits, and an unrelated query's
+ * delta is rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "bio/samples.hh"
+#include "bio/seqgen.hh"
+#include "msa/dbgen.hh"
+#include "msa/search.hh"
+#include "msa/sketch.hh"
+#include "util/units.hh"
+
+namespace afsb::msa {
+namespace {
+
+using bio::MoleculeType;
+using bio::Sequence;
+
+std::vector<uint8_t>
+randomCodes(size_t n, uint32_t seed, size_t alphabet = 20)
+{
+    std::mt19937 rng(seed);
+    std::vector<uint8_t> codes(n);
+    for (auto &c : codes)
+        c = static_cast<uint8_t>(rng() % alphabet);
+    return codes;
+}
+
+std::vector<uint8_t>
+mutate(std::vector<uint8_t> codes, double rate, uint32_t seed,
+       size_t alphabet = 20)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (auto &c : codes) {
+        if (u(rng) >= rate)
+            continue;
+        uint8_t sub = static_cast<uint8_t>(rng() % (alphabet - 1));
+        if (sub >= c)
+            ++sub;
+        c = sub;
+    }
+    return codes;
+}
+
+TEST(Sketch, DeterministicAndSelfSimilar)
+{
+    const auto codes = randomCodes(600, 11);
+    const auto a = sketchCodes(codes, 0);
+    const auto b = sketchCodes(codes, 0);
+    ASSERT_EQ(a.minhash.size(), SketchConfig{}.hashes);
+    EXPECT_EQ(a.minhash, b.minhash);
+    EXPECT_DOUBLE_EQ(jaccardEstimate(a, b), 1.0);
+}
+
+TEST(Sketch, NearDuplicateScoresHighUnrelatedScoresLow)
+{
+    const auto base = randomCodes(600, 11);
+    const auto near = sketchCodes(mutate(base, 0.02, 5), 0);
+    const auto self = sketchCodes(base, 0);
+    const auto other = sketchCodes(randomCodes(600, 99), 0);
+    EXPECT_GT(jaccardEstimate(self, near), 0.6);
+    EXPECT_LT(jaccardEstimate(self, other), 0.3);
+}
+
+TEST(Sketch, SaltDecorrelatesVariants)
+{
+    const auto codes = randomCodes(600, 11);
+    const auto v0 = sketchCodes(codes, 0);
+    const auto v1 = sketchCodes(codes, 1);
+    EXPECT_NE(v0.minhash, v1.minhash);
+    EXPECT_LT(jaccardEstimate(v0, v1), 0.3);
+}
+
+TEST(Sketch, EmptySketchNeverMatches)
+{
+    const QuerySketch empty;
+    const auto a = sketchCodes(randomCodes(100, 3), 0);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(jaccardEstimate(empty, a), 0.0);
+    EXPECT_DOUBLE_EQ(jaccardEstimate(a, empty), 0.0);
+}
+
+TEST(Sketch, BandsCollideForNearDuplicatesOnly)
+{
+    const SketchConfig cfg;
+    const auto base = randomCodes(600, 11);
+    const auto self = sketchCodes(base, 0).bandHashes(cfg);
+    const auto near =
+        sketchCodes(mutate(base, 0.02, 5), 0).bandHashes(cfg);
+    const auto other =
+        sketchCodes(randomCodes(600, 99), 0).bandHashes(cfg);
+    ASSERT_EQ(self.size(), cfg.bands);
+
+    const std::unordered_set<uint64_t> mine(self.begin(), self.end());
+    size_t nearShared = 0;
+    size_t otherShared = 0;
+    for (const auto h : near)
+        nearShared += mine.count(h);
+    for (const auto h : other)
+        otherShared += mine.count(h);
+    EXPECT_GT(nearShared, 0u); // probe finds the cached entry
+    EXPECT_EQ(otherShared, 0u);
+}
+
+TEST(Sketch, ComplexSketchCoversShortChains)
+{
+    // Chains shorter than k must still contribute (whole-chain
+    // token), so no query sketches empty.
+    bio::Complex c("tiny");
+    c.addChain(Sequence("a", MoleculeType::Protein,
+                        std::vector<uint8_t>{1, 2, 3}));
+    const auto s = sketchComplex(c, 0);
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(Sketch, SampleComplexesAreMutuallyDissimilar)
+{
+    const auto a =
+        sketchComplex(bio::makeSample("2PV7").complex, 0);
+    const auto b =
+        sketchComplex(bio::makeSample("7RCE").complex, 0);
+    EXPECT_DOUBLE_EQ(jaccardEstimate(a, a), 1.0);
+    EXPECT_LT(jaccardEstimate(a, b), 0.3);
+}
+
+/** Planted-homolog database shared by the delta-search tests. */
+struct DeltaSearchFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        gen = std::make_unique<bio::SequenceGenerator>(101);
+        query = gen->random("q", MoleculeType::Protein, 180);
+
+        DbGenConfig cfg;
+        cfg.decoyCount = 250;
+        cfg.homologsPerQuery = 8;
+        cfg.fragmentsPerQuery = 6;
+        const std::vector<const Sequence *> queries = {&query};
+        generateDatabase(vfs, "prot.fasta", queries,
+                         MoleculeType::Protein, cfg);
+        db = SequenceDatabase::load(vfs, cache(), "prot.fasta",
+                                    MoleculeType::Protein, 0.0);
+    }
+
+    io::PageCache &
+    cache()
+    {
+        if (!cache_)
+            cache_ = std::make_unique<io::PageCache>(1 * GiB, &dev);
+        return *cache_;
+    }
+
+    std::unique_ptr<bio::SequenceGenerator> gen;
+    Sequence query;
+    io::Vfs vfs;
+    io::StorageDevice dev;
+    std::unique_ptr<io::PageCache> cache_;
+    SequenceDatabase db;
+};
+
+TEST_F(DeltaSearchFixture, SameQueryDeltaEqualsFullScan)
+{
+    const auto prof =
+        ProfileHmm::fromSequence(query, ScoreMatrix::blosum62());
+    SearchConfig cfg;
+    const auto full =
+        searchDatabase(prof, db, cache(), nullptr, cfg);
+    ASSERT_FALSE(full.msvSurvivors.empty());
+
+    const auto delta = deltaSearch(prof, db, cache(), cfg,
+                                   full.msvSurvivors);
+    EXPECT_TRUE(delta.accepted);
+    EXPECT_EQ(delta.survivorsRescored, full.msvSurvivors.size());
+    EXPECT_EQ(delta.survivorsRetained, full.msvSurvivors.size());
+    EXPECT_DOUBLE_EQ(delta.retention(), 1.0);
+
+    // Hits are a subset of the MSV survivors, so rescoring only the
+    // survivors reproduces the full scan's hit set exactly.
+    ASSERT_EQ(delta.result.hits.size(), full.hits.size());
+    for (size_t i = 0; i < full.hits.size(); ++i) {
+        EXPECT_EQ(delta.result.hits[i].targetIndex,
+                  full.hits[i].targetIndex);
+        EXPECT_EQ(delta.result.hits[i].viterbiScore,
+                  full.hits[i].viterbiScore);
+        EXPECT_DOUBLE_EQ(delta.result.hits[i].forwardLogOdds,
+                         full.hits[i].forwardLogOdds);
+    }
+    EXPECT_EQ(delta.result.msvSurvivors, full.msvSurvivors);
+    // The delta touches only the survivor subset.
+    EXPECT_EQ(delta.result.stats.targetsScanned,
+              full.msvSurvivors.size());
+    EXPECT_LT(delta.result.stats.cellsMsv, full.stats.cellsMsv);
+}
+
+TEST_F(DeltaSearchFixture, NearDuplicateQueryDeltaAccepted)
+{
+    const auto prof =
+        ProfileHmm::fromSequence(query, ScoreMatrix::blosum62());
+    SearchConfig cfg;
+    const auto full =
+        searchDatabase(prof, db, cache(), nullptr, cfg);
+
+    // 2%-mutated copy of the query: the cached survivor set still
+    // covers it, so the delta is accepted.
+    auto codes = query.codes();
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (auto &c : codes)
+        if (u(rng) < 0.02)
+            c = static_cast<uint8_t>(rng() % 20);
+    const Sequence mutated("q_mut", MoleculeType::Protein, codes);
+    const auto mprof =
+        ProfileHmm::fromSequence(mutated, ScoreMatrix::blosum62());
+
+    const auto delta = deltaSearch(mprof, db, cache(), cfg,
+                                   full.msvSurvivors);
+    EXPECT_TRUE(delta.accepted);
+    EXPECT_GE(delta.retention(), 0.5);
+}
+
+TEST_F(DeltaSearchFixture, UnrelatedQueryDeltaRejected)
+{
+    const auto prof =
+        ProfileHmm::fromSequence(query, ScoreMatrix::blosum62());
+    SearchConfig cfg;
+    const auto full =
+        searchDatabase(prof, db, cache(), nullptr, cfg);
+
+    const auto other = gen->random("other", MoleculeType::Protein,
+                                   180);
+    const auto oprof =
+        ProfileHmm::fromSequence(other, ScoreMatrix::blosum62());
+    const auto delta = deltaSearch(oprof, db, cache(), cfg,
+                                   full.msvSurvivors);
+    // The cached survivors were selected for the original query;
+    // an unrelated query retains too few of them past the MSV
+    // prefilter to trust the delta.
+    EXPECT_FALSE(delta.accepted);
+    EXPECT_LT(delta.retention(), 0.5);
+}
+
+TEST_F(DeltaSearchFixture, EmptySurvivorSetIsRejected)
+{
+    const auto prof =
+        ProfileHmm::fromSequence(query, ScoreMatrix::blosum62());
+    const auto delta = deltaSearch(prof, db, cache(), {}, {});
+    EXPECT_FALSE(delta.accepted);
+    EXPECT_EQ(delta.survivorsRescored, 0u);
+}
+
+} // namespace
+} // namespace afsb::msa

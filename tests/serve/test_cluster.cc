@@ -11,6 +11,7 @@
 
 #include "core/workspace.hh"
 #include "serve/cluster.hh"
+#include "serve/report.hh"
 
 namespace afsb::serve {
 namespace {
@@ -163,6 +164,67 @@ TEST(Cluster, TinyAdmissionCapacitySheds)
                       rec.request.arrivalSeconds);
         }
     }
+}
+
+TEST(Cluster, SimilarityTierServesNearDuplicates)
+{
+    // Near-duplicate traffic (1% point mutation) always misses the
+    // exact content-addressed cache; only the similarity tier can
+    // recover it as delta re-searches.
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 6000.0;
+    spec.seed = 777;
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 1;
+    spec.mutationRate = 0.01;
+    const auto requests = generateRequests(spec);
+    ASSERT_GT(requests.size(), 3u);
+
+    auto sim = fastConfig();
+    sim.msaCacheBudgetBytes = 512ull << 20;
+    sim.simCacheThreshold = 0.6;
+    auto exact = fastConfig();
+    exact.msaCacheBudgetBytes = 512ull << 20;
+
+    const auto a = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, sim);
+    const auto b = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, exact);
+
+    EXPECT_TRUE(a.simCacheEnabled);
+    EXPECT_GT(a.approxHits, 0u);
+    EXPECT_GT(a.deltaSecondsSaved, 0.0);
+    bool sawApproxRecord = false;
+    for (const auto &rec : a.records)
+        sawApproxRecord |= rec.approxHit;
+    EXPECT_TRUE(sawApproxRecord);
+
+    // The exact-only run misses everything after the first arrival.
+    EXPECT_FALSE(b.simCacheEnabled);
+    EXPECT_EQ(b.approxHits, 0u);
+    EXPECT_EQ(b.cacheStats.hits, 0u);
+}
+
+TEST(Cluster, SimilarityTierOffIsByteIdenticalToBaseline)
+{
+    // simCacheThreshold 0 must leave the simulator — and its
+    // canonical report — exactly as the pre-similarity code.
+    const auto requests = smallWorkload();
+    auto off = fastConfig();
+    off.simCacheThreshold = 0.0;
+    const auto a = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, off);
+    const auto b = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   requests, fastConfig());
+    EXPECT_FALSE(a.simCacheEnabled);
+    const auto textA = canonicalSloText(buildSloReport(a));
+    EXPECT_EQ(textA, canonicalSloText(buildSloReport(b)));
+    EXPECT_EQ(textA.find("sim_cache_threshold"), std::string::npos);
 }
 
 TEST(Cluster, SjfPolicyCompletesSameRequestSet)

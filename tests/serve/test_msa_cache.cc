@@ -5,10 +5,31 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "serve/msa_cache.hh"
 
 namespace afsb::serve {
 namespace {
+
+/** Deterministic sketch over random codes; @p mutation perturbs a
+ *  fraction of residues so two sketches are near-duplicates. */
+msa::QuerySketch
+testSketch(uint32_t seed, double mutation = 0.0)
+{
+    std::mt19937 rng(seed);
+    std::vector<uint8_t> codes(600);
+    for (auto &c : codes)
+        c = static_cast<uint8_t>(rng() % 20);
+    if (mutation > 0.0) {
+        std::mt19937 mrng(seed + 7777);
+        std::uniform_real_distribution<double> u(0.0, 1.0);
+        for (auto &c : codes)
+            if (u(mrng) < mutation)
+                c = static_cast<uint8_t>(mrng() % 20);
+    }
+    return msa::sketchCodes(codes, 0);
+}
 
 TEST(MsaCache, MissThenHit)
 {
@@ -112,6 +133,111 @@ TEST(MsaCache, CorruptOnMissingKeyIsNoOp)
     cache.corrupt(42);
     EXPECT_EQ(cache.lookup(42), MsaResultCache::Lookup::Miss);
     EXPECT_EQ(cache.stats().corrupted, 0u);
+}
+
+TEST(MsaCache, ApproxLookupFindsNearDuplicate)
+{
+    MsaResultCache cache(1 << 20);
+    cache.insert(0x111, 100, testSketch(1));
+    cache.insert(0x222, 100, testSketch(2));
+    EXPECT_EQ(cache.sketchedEntries(), 2u);
+
+    // A 2%-mutated copy of entry 1's query: misses the exact key
+    // but collides in the LSH bands and clears the threshold.
+    const auto probe = testSketch(1, 0.02);
+    const auto r = cache.approxLookup(probe, 0.5);
+    EXPECT_TRUE(r.candidate);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.key, 0x111u);
+    EXPECT_GT(r.jaccard, 0.5);
+    EXPECT_EQ(cache.stats().approxLookups, 1u);
+    EXPECT_EQ(cache.stats().approxHits, 1u);
+
+    // An unrelated probe finds nothing (or nothing acceptable).
+    const auto miss = cache.approxLookup(testSketch(99), 0.5);
+    EXPECT_FALSE(miss.accepted);
+    EXPECT_EQ(cache.stats().approxLookups, 2u);
+    EXPECT_EQ(cache.stats().approxHits, 1u);
+}
+
+TEST(MsaCache, ApproxThresholdGatesAcceptance)
+{
+    MsaResultCache cache(1 << 20);
+    cache.insert(0x111, 100, testSketch(1));
+    const auto probe = testSketch(1, 0.02);
+    const auto loose = cache.approxLookup(probe, 0.1);
+    ASSERT_TRUE(loose.candidate);
+    EXPECT_TRUE(loose.accepted);
+    // Same probe against an impossible threshold: candidate found,
+    // not accepted.
+    const auto strict = cache.approxLookup(probe, 0.999);
+    EXPECT_TRUE(strict.candidate);
+    EXPECT_FALSE(strict.accepted);
+}
+
+TEST(MsaCache, CorruptEntryDropsItsSketch)
+{
+    MsaResultCache cache(1 << 20);
+    cache.insert(0x111, 100, testSketch(1));
+    const auto probe = testSketch(1, 0.02);
+    ASSERT_TRUE(cache.approxLookup(probe, 0.5).accepted);
+
+    cache.corrupt(0x111);
+    EXPECT_EQ(cache.lookup(0x111), MsaResultCache::Lookup::Corrupt);
+    // The integrity failure evicted the sketch and its band
+    // registrations along with the entry.
+    EXPECT_EQ(cache.sketchedEntries(), 0u);
+    const auto r = cache.approxLookup(probe, 0.5);
+    EXPECT_FALSE(r.candidate);
+    EXPECT_FALSE(r.accepted);
+}
+
+TEST(MsaCache, EvictionDropsSketchAndBands)
+{
+    MsaResultCache cache(250);
+    cache.insert(1, 100, testSketch(1));
+    cache.insert(2, 100, testSketch(2));
+    EXPECT_EQ(cache.sketchedEntries(), 2u);
+    // Key 1 is the LRU victim.
+    cache.insert(3, 100, testSketch(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.sketchedEntries(), 2u);
+    const auto r = cache.approxLookup(testSketch(1, 0.02), 0.5);
+    EXPECT_FALSE(r.candidate); // evicted entry left no bands behind
+    // Survivors are still probe-able.
+    EXPECT_TRUE(cache.approxLookup(testSketch(2, 0.02), 0.5).accepted);
+}
+
+TEST(MsaCache, AcceptedApproxProbeRefreshesLru)
+{
+    MsaResultCache cache(250);
+    cache.insert(1, 100, testSketch(1));
+    cache.insert(2, 100, testSketch(2));
+    // Probe-refresh key 1 so key 2 becomes the LRU victim.
+    ASSERT_TRUE(cache.approxLookup(testSketch(1, 0.02), 0.5).accepted);
+    cache.insert(3, 100);
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
+    EXPECT_EQ(cache.lookup(2), MsaResultCache::Lookup::Miss);
+}
+
+TEST(MsaCache, OverBudgetSketchedInsertLeavesNoResidue)
+{
+    MsaResultCache cache(100);
+    cache.insert(1, 101, testSketch(1));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.sketchedEntries(), 0u);
+    EXPECT_FALSE(cache.approxLookup(testSketch(1, 0.02), 0.5)
+                     .candidate);
+}
+
+TEST(MsaCache, EmptySketchDegradesToExactInsert)
+{
+    MsaResultCache cache(1 << 20);
+    cache.insert(1, 100, msa::QuerySketch{});
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.sketchedEntries(), 0u);
+    EXPECT_EQ(cache.lookup(1), MsaResultCache::Lookup::Hit);
 }
 
 } // namespace

@@ -162,6 +162,46 @@ TEST(Multinode, RemoteCacheShardsServeRepeatQueries)
     EXPECT_TRUE(sawRemoteHit);
 }
 
+TEST(Multinode, RemoteShardsAnswerSimilarityProbes)
+{
+    // Near-duplicate traffic sharded over 4 nodes: exact lookups
+    // miss, the sketch probe broadcasts to every shard, and most
+    // accepted candidates live on a remote shard (which ships its
+    // survivor set over the fabric).
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 6000.0;
+    spec.seed = 777;
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 1;
+    spec.mutationRate = 0.01;
+    const auto requests = generateRequests(spec);
+
+    auto cfg = fastConfig();
+    cfg.topology = net::datacenterTopology(4);
+    cfg.msaCacheBudgetBytes = 512ull << 20;
+    cfg.simCacheThreshold = 0.6;
+    const auto r = runFast(requests, cfg);
+
+    expectConservation(r);
+    EXPECT_TRUE(r.simCacheEnabled);
+    EXPECT_GT(r.remoteApproxProbes, 0u);
+    EXPECT_GT(r.remoteApproxHits, 0u);
+    EXPECT_GT(r.approxHits, 0u);
+    bool sawRemoteApprox = false;
+    for (const auto &rec : r.records)
+        sawRemoteApprox |= rec.remoteCache && rec.approxHit;
+    EXPECT_TRUE(sawRemoteApprox);
+
+    // The round-trip report carries the remote counters.
+    const auto rep = buildSloReport(r);
+    EXPECT_EQ(rep.sim.remoteApproxProbes, r.remoteApproxProbes);
+    EXPECT_EQ(rep.sim.remoteApproxHits, r.remoteApproxHits);
+    const std::string text = canonicalSloText(rep);
+    EXPECT_NE(text.find("sim_remote_probes="), std::string::npos);
+    EXPECT_EQ(canonicalSloText(parseSloText(text)), text);
+}
+
 TEST(Multinode, NodeKillConservesEveryAdmittedRequest)
 {
     const auto requests = smallWorkload();

@@ -140,6 +140,46 @@ TEST(ReportRoundTrip, BatchingWithFaultAndNetSections)
     expectRoundTrip(text);
 }
 
+TEST(ReportRoundTrip, SimilaritySection)
+{
+    WorkloadSpec spec;
+    spec.requestsPerSecond = 0.02;
+    spec.durationSeconds = 4000.0;
+    spec.seed = 777;
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 1;
+    spec.mutationRate = 0.01;
+
+    static MsaServiceOracle oracle;
+    auto cfg = fastConfig();
+    cfg.msaOracle = &oracle;
+    cfg.msaCacheBudgetBytes = 512ull << 20;
+    cfg.simCacheThreshold = 0.6;
+    const auto r = simulateCluster(sys::serverPlatform(),
+                                   core::Workspace::shared(),
+                                   generateRequests(spec), cfg);
+    const auto rep = buildSloReport(r);
+    ASSERT_TRUE(rep.simCacheEnabled);
+    const std::string text = canonicalSloText(rep);
+    EXPECT_NE(text.find("sim_cache_threshold="), std::string::npos);
+    EXPECT_NE(text.find("sim_approx_hits="), std::string::npos);
+    expectRoundTrip(text);
+
+    const auto parsed = parseSloText(text);
+    EXPECT_TRUE(parsed.simCacheEnabled);
+    EXPECT_EQ(parsed.sim.approxLookups, rep.sim.approxLookups);
+    EXPECT_EQ(parsed.sim.approxHits, rep.sim.approxHits);
+    EXPECT_EQ(parsed.sim.deltaFallbacks, rep.sim.deltaFallbacks);
+    EXPECT_EQ(parsed.sim.remoteApproxProbes,
+              rep.sim.remoteApproxProbes);
+    EXPECT_EQ(parsed.sim.remoteApproxHits,
+              rep.sim.remoteApproxHits);
+
+    // Threshold off: no sim section leaks into the text.
+    const std::string off = runToText(fastConfig());
+    EXPECT_EQ(off.find("sim_cache_threshold"), std::string::npos);
+}
+
 TEST(ReportRoundTrip, ParsedBatchingFieldsMatchTheReport)
 {
     static MsaServiceOracle oracle;

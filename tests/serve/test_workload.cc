@@ -141,5 +141,89 @@ TEST(Workload, ContentHashSeparatesVariantsAndSamples)
               queryContentHash(b.complex, 0));
 }
 
+TEST(Workload, MutationSameSeedIsBitIdentical)
+{
+    auto spec = smallSpec();
+    spec.mix = parseMix("2PV7");
+    spec.mutationRate = 0.02;
+    const auto a = generateRequests(spec);
+    const auto b = generateRequests(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].contentHash, b[i].contentHash);
+        EXPECT_EQ(a[i].sketch.minhash, b[i].sketch.minhash);
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+    }
+}
+
+TEST(Workload, NoMutationNoSketchLeavesRequestsUntouched)
+{
+    // The pre-similarity generator: sketches stay empty, and the
+    // stream matches a plain spec byte for byte.
+    const auto plain = generateRequests(smallSpec());
+    auto spec = smallSpec();
+    spec.mutationRate = 0.0;
+    spec.sketchQueries = false;
+    const auto off = generateRequests(spec);
+    ASSERT_EQ(off.size(), plain.size());
+    for (size_t i = 0; i < off.size(); ++i) {
+        EXPECT_TRUE(off[i].sketch.empty());
+        EXPECT_EQ(off[i].contentHash, plain[i].contentHash);
+        EXPECT_DOUBLE_EQ(off[i].arrivalSeconds,
+                         plain[i].arrivalSeconds);
+    }
+}
+
+TEST(Workload, SketchWithoutMutationSketchesBaseQueries)
+{
+    auto spec = smallSpec();
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 2;
+    spec.sketchQueries = true;
+    const auto requests = generateRequests(spec);
+    ASSERT_FALSE(requests.empty());
+    for (const auto &r : requests)
+        EXPECT_FALSE(r.sketch.empty());
+    // Repeats of one (sample, variant) share the identical sketch.
+    for (size_t i = 1; i < requests.size(); ++i)
+        for (size_t j = 0; j < i; ++j)
+            if (requests[i].variant == requests[j].variant)
+                EXPECT_EQ(requests[i].sketch.minhash,
+                          requests[j].sketch.minhash);
+}
+
+TEST(Workload, MutationKeepsTokensButDivergesContent)
+{
+    auto spec = smallSpec();
+    spec.mix = parseMix("2PV7");
+    spec.variantsPerSample = 1;
+    spec.mutationRate = 0.02;
+    const auto requests = generateRequests(spec);
+    ASSERT_GT(requests.size(), 10u);
+
+    const auto sample = bio::makeSample("2PV7");
+    const uint64_t baseHash = queryContentHash(sample.complex, 0);
+    size_t diverged = 0;
+    for (const auto &r : requests) {
+        // Substitution-only mutation: workload character (token
+        // count) is preserved while content diverges.
+        EXPECT_EQ(r.tokens, sample.complex.totalResidues());
+        EXPECT_FALSE(r.sketch.empty());
+        diverged += r.contentHash != baseHash;
+    }
+    EXPECT_GT(diverged, requests.size() / 2);
+    // Near-duplicates are not literal repeats of each other either.
+    EXPECT_NE(requests[0].contentHash, requests[1].contentHash);
+}
+
+TEST(Workload, MutationRateValidates)
+{
+    auto spec = smallSpec();
+    spec.mutationRate = -0.1;
+    EXPECT_THROW(generateRequests(spec), FatalError);
+    spec.mutationRate = 1.0;
+    EXPECT_THROW(generateRequests(spec), FatalError);
+}
+
 } // namespace
 } // namespace afsb::serve

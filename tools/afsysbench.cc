@@ -229,6 +229,23 @@ cmdServe(const CliArgs &args)
     if (args.getInt("bucket-tokens",
                     gpusim::XlaCache::kBucketTokens) < 1)
         fatal("serve: --bucket-tokens must be >= 1");
+    if (args.has("sim-cache-threshold")) {
+        const double t = args.getDouble("sim-cache-threshold", 0.0);
+        if (t <= 0.0 || t > 1.0)
+            fatal("serve: --sim-cache-threshold must be in (0, 1]");
+    }
+    {
+        const double ret = args.getDouble("sim-cache-retention", 0.5);
+        if (ret < 0.0 || ret > 1.0)
+            fatal("serve: --sim-cache-retention must be in [0, 1]");
+    }
+    {
+        const double mut = args.getDouble("mutation-rate", 0.0);
+        if (mut < 0.0 || mut >= 1.0)
+            fatal("serve: --mutation-rate must be in [0, 1)");
+    }
+    if (args.getInt("db-budget-mb", 8) < 1)
+        fatal("serve: --db-budget-mb must be >= 1");
     if (args.has("kill-node")) {
         const int64_t nodes = args.getInt("nodes", 1);
         const int64_t kill = args.getInt("kill-node", 0);
@@ -250,6 +267,8 @@ cmdServe(const CliArgs &args)
         static_cast<uint32_t>(args.getInt("unique", 4));
     if (args.has("mix"))
         workload.mix = serve::parseMix(args.get("mix"));
+    workload.mutationRate = args.getDouble("mutation-rate", 0.0);
+    workload.sketchQueries = args.has("sim-cache-threshold");
 
     serve::ClusterConfig cluster;
     cluster.msaWorkers =
@@ -272,6 +291,10 @@ cmdServe(const CliArgs &args)
         static_cast<uint32_t>(args.getInt("gpus-per-node", 1));
     cluster.bucketTokens = static_cast<uint32_t>(args.getInt(
         "bucket-tokens", gpusim::XlaCache::kBucketTokens));
+    cluster.simCacheThreshold =
+        args.getDouble("sim-cache-threshold", 0.0);
+    cluster.simCacheMinRetention =
+        args.getDouble("sim-cache-retention", 0.5);
 
     cluster.topology.nodes =
         static_cast<uint32_t>(args.getInt("nodes", 1));
@@ -340,6 +363,14 @@ cmdServe(const CliArgs &args)
         workload.requestsPerSecond, workload.durationSeconds,
         static_cast<unsigned long long>(workload.seed));
 
+    if (cluster.simCacheThreshold > 0.0)
+        std::printf("Similarity cache tier: Jaccard threshold "
+                    "%.2f, delta retention %.2f, workload "
+                    "mutation rate %.3f%%\n\n",
+                    cluster.simCacheThreshold,
+                    cluster.simCacheMinRetention,
+                    100.0 * workload.mutationRate);
+
     if (cluster.batchMax > 1)
         std::printf("Continuous batching: up to %u per dispatch, "
                     "wait %.0f ms, bucket %u tokens, "
@@ -381,6 +412,50 @@ cmdServe(const CliArgs &args)
         samples.addRow({name, strformat("%.1f", secs)});
     if (samples.rowCount() > 0)
         samples.print();
+
+    if (args.getSwitch("db-streaming")) {
+        // Real-I/O streaming-database check: compress the RNA
+        // collection into an AFBC container (private Vfs copy; the
+        // shared workspace stays untouched), scan it through the
+        // bounded decode cache, and report the residency the
+        // paper-scale footprint would need.
+        const uint64_t budget = static_cast<uint64_t>(
+                                    args.getInt("db-budget-mb", 8))
+                                << 20;
+        io::Vfs vfs = core::Workspace::shared().vfs();
+        io::StorageDevice dev;
+        io::PageCache pcache(256ull << 20, &dev);
+        const auto comp = msa::compressDatabase(
+            vfs, "rfam_scaled.fasta", "rfam_scaled.afbc");
+        auto sdb = msa::StreamingSequenceDatabase::open(
+            vfs, pcache, "rfam_scaled.afbc", bio::MoleculeType::Rna,
+            0.0, budget);
+        sdb.setPaperScaleBytes(msa::paperdb::kRnaDbBytes);
+        const auto query = sdb.materialize(0, 0.0);
+        const auto prof = msa::ProfileHmm::fromSequence(
+            query, msa::ScoreMatrix::nucleotide());
+        const auto scan =
+            msa::searchDatabaseStreaming(prof, sdb, {});
+
+        TextTable st("Streaming compressed database (RNA "
+                     "collection)");
+        st.setHeader({"Metric", "Value"});
+        st.addRow({"FASTA bytes", formatBytes(comp.rawBytes)});
+        st.addRow({"AFBC bytes",
+                   formatBytes(comp.compressedBytes)});
+        st.addRow({"compression ratio",
+                   strformat("%.2fx", comp.ratio())});
+        st.addRow({"targets scanned",
+                   strformat("%llu",
+                             static_cast<unsigned long long>(
+                                 scan.stats.targetsScanned))});
+        st.addRow({"decode budget", formatBytes(budget)});
+        st.addRow({"peak resident",
+                   formatBytes(sdb.peakResidentBytes())});
+        st.addRow({"paper-scale footprint",
+                   formatBytes(sdb.info().paperScaleBytes)});
+        st.print();
+    }
 
     if (args.has("csv")) {
         serve::requestCsv(result).writeFile(args.get("csv"));
@@ -478,6 +553,10 @@ main(int argc, char **argv)
         "          batching: [--batch-max B] [--batch-wait-ms W] "
         "[--gpus-per-node G]\n"
         "          [--bucket-tokens T]\n"
+        "          similarity: [--sim-cache-threshold J] "
+        "[--sim-cache-retention R]\n"
+        "          [--mutation-rate P] [--db-streaming] "
+        "[--db-budget-mb MB]\n"
         "          faults: [--fault-seed N] [--fault-msa-crash P] "
         "[--fault-gpu-crash P]\n"
         "          [--fault-permanent P] [--fault-storage-err P] "
