@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Platform matrix: every platform the suite knows — the paper's two
+ * (Server, Desktop) plus the three shipped config files (RISC-V
+ * vector server, CXL-tiered host, small-VRAM GPU) — against the
+ * Fig 4 sample set (MSA + inference) and the Fig 2 RNA length sweep
+ * (inference + nhmmer memory placement). One run answers "how does
+ * the characterization generalize beyond Table I": where the
+ * MSA/inference balance flips, which platforms spill VRAM and at
+ * what batch size, and how the operator graph's roofline moves.
+ *
+ * Everything here runs on the virtual clock / analytic models, so
+ * the JSON is machine-independent and CI gates it with
+ * `bench_check --trend --absolute` against BENCH_platforms.json.
+ *
+ * Flags:
+ *   --json <path>   write rows as JSON (same shape as
+ *                   bench_kernels --json, for tools/bench_check)
+ */
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "bio/samples.hh"
+#include "bio/seqgen.hh"
+#include "core/msa_phase.hh"
+#include "gpusim/inference_sim.hh"
+#include "msa/memory_model.hh"
+#include "opgraph/build.hh"
+#include "sys/platform_config.hh"
+#include "util/json.hh"
+
+#ifndef AFSB_REPO_ROOT
+#error "AFSB_REPO_ROOT must point at the repository checkout"
+#endif
+
+using namespace afsb;
+
+namespace {
+
+/** The five platforms of the matrix, config files resolved against
+ *  the checkout so the bench runs from any directory. */
+std::vector<sys::PlatformSpec>
+matrixPlatforms()
+{
+    const std::string root = AFSB_REPO_ROOT;
+    return {
+        sys::serverPlatform(),
+        sys::desktopPlatform(),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/riscv-cpu.json"),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/cxl-tiered.json"),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/small-vram.json"),
+    };
+}
+
+/** One inference characterization row (virtual clock). */
+JsonValue
+inferenceRecord(const std::string &name,
+                const sys::PlatformSpec &platform, size_t tokens)
+{
+    gpusim::InferenceSimOptions opt;
+    opt.unifiedMemory = true;  // characterize spill, not OOM
+    gpusim::XlaCache cache;
+    const auto r =
+        gpusim::simulateInference(platform, tokens, cache, opt);
+    const auto graph =
+        opgraph::buildInferenceGraph(tokens, opt.config);
+
+    JsonValue rec = JsonValue::makeObject();
+    rec["name"] = name;
+    rec["iterations"] = static_cast<int64_t>(1);
+    rec["ns_per_op"] = r.totalSeconds() * 1e9;
+    JsonValue counters = JsonValue::makeObject();
+    counters["tokens"] = static_cast<double>(tokens);
+    counters["flops"] = graph.totalFlops();
+    counters["traffic_bytes"] = graph.totalTrafficBytes();
+    counters["kernels"] = static_cast<double>(graph.totalKernels());
+    counters["init_s"] = r.initSeconds;
+    counters["compile_s"] = r.compileSeconds;
+    counters["gpu_compute_s"] = r.gpuComputeSeconds;
+    counters["finalize_s"] = r.finalizeSeconds;
+    counters["unified_memory"] = r.usedUnifiedMemory ? 1.0 : 0.0;
+    counters["max_batch_vram"] = static_cast<double>(
+        gpusim::maxBatchForVram(platform, tokens, opt.config));
+    rec["counters"] = counters;
+    return rec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::fprintf(stderr, "usage: %s [--json <path>]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    bench::banner(
+        "Platform matrix — five platforms x Fig 2/Fig 4 workloads",
+        "Kim et al., IISWC 2025, Tables I/II generalized",
+        "Server amortizes MSA, Desktop is GPU-compute-bound, "
+        "RISC-V is compute-starved on inference, CXL-tiered "
+        "absorbs the Fig 2 RNA footprints, small-VRAM spills to "
+        "unified memory and splits batches");
+
+    const auto &ws = core::Workspace::shared();
+    const char *samples[] = {"2PV7", "7RCE", "1YY9", "promo"};
+    const size_t rnaLengths[] = {621, 935, 1335};
+    JsonValue records = JsonValue::makeArray();
+
+    for (const auto &platform : matrixPlatforms()) {
+        TextTable t(strformat("%s: Fig 4 samples",
+                              platform.name.c_str()));
+        t.setHeader({"Sample", "MSA (s)", "Inference (s)",
+                     "MSA share", "spill", "max batch"});
+
+        for (const char *name : samples) {
+            const auto sample = bio::makeSample(name);
+            core::MsaPhaseOptions mopt;
+            mopt.threads = 8;
+            mopt.traceStride = 16;
+            const auto msa = core::runMsaPhase(sample.complex,
+                                               platform, ws, mopt);
+
+            const size_t tokens = sample.complex.totalResidues();
+            auto rec = inferenceRecord(
+                strformat("PlatformMatrix/%s/%s/inference",
+                          platform.name.c_str(), name),
+                platform, tokens);
+            const double infSeconds =
+                rec.at("ns_per_op").asNumber() / 1e9;
+            const auto &c = rec.at("counters");
+
+            t.addRow({name, bench::secs(msa.seconds),
+                      bench::secs(infSeconds),
+                      bench::pct(msa.seconds /
+                                 (msa.seconds + infSeconds)),
+                      c.at("unified_memory").asNumber() > 0.0
+                          ? "yes"
+                          : "no",
+                      strformat("%.0f",
+                                c.at("max_batch_vram")
+                                    .asNumber())});
+
+            JsonValue msaRec = JsonValue::makeObject();
+            msaRec["name"] =
+                strformat("PlatformMatrix/%s/%s/msa",
+                          platform.name.c_str(), name);
+            msaRec["iterations"] = static_cast<int64_t>(1);
+            msaRec["ns_per_op"] = msa.seconds * 1e9;
+            JsonValue mc = JsonValue::makeObject();
+            mc["peak_mem_bytes"] =
+                static_cast<double>(msa.peakMemoryBytes);
+            msaRec["counters"] = mc;
+            records.push(std::move(msaRec));
+            records.push(std::move(rec));
+        }
+        t.print();
+
+        TextTable r(strformat("%s: Fig 2 RNA lengths",
+                              platform.name.c_str()));
+        r.setHeader({"RNA length", "Inference (s)", "nhmmer peak",
+                     "spill", "max batch"});
+        for (size_t len : rnaLengths) {
+            (void)bio::makeRibosomalRna(len);
+            auto rec = inferenceRecord(
+                strformat("PlatformMatrix/%s/rna%zu/inference",
+                          platform.name.c_str(), len),
+                platform, len);
+            const uint64_t peak = msa::nhmmerPeakMemoryBytes(len);
+            rec["counters"]["nhmmer_peak_bytes"] =
+                static_cast<double>(peak);
+            const auto &c = rec.at("counters");
+            r.addRow({strformat("%zu", len),
+                      bench::secs(rec.at("ns_per_op").asNumber() /
+                                  1e9),
+                      formatBytes(peak),
+                      c.at("unified_memory").asNumber() > 0.0
+                          ? "yes"
+                          : "no",
+                      strformat("%.0f",
+                                c.at("max_batch_vram")
+                                    .asNumber())});
+            records.push(std::move(rec));
+        }
+        r.print();
+    }
+
+    if (!jsonPath.empty()) {
+        JsonValue doc = JsonValue::makeObject();
+        doc["benchmarks"] = records;
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr,
+                         "bench_platform_matrix: cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        out << doc.dumpPretty() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "cachesim/op_attribution.hh"
+
+#include <algorithm>
+
+namespace afsb::cachesim {
+
+GraphAttribution
+attributeOpGraph(const opgraph::OpGraph &graph,
+                 const sys::PlatformSpec &platform)
+{
+    GraphAttribution out;
+    const auto &cpu = platform.cpu;
+    out.peakFlops = static_cast<double>(cpu.cores) *
+                    cpu.allCoreClockGhz * 1e9 *
+                    cpu.vectorFlopsPerCycle;
+    out.memBandwidth = cpu.memBandwidth;
+
+    out.ops.reserve(graph.ops.size());
+    for (const auto &op : graph.ops) {
+        OpAttribution a;
+        a.id = op.id;
+        a.name = op.name();
+        const double reps = static_cast<double>(op.count);
+        a.flops = op.flops * reps;
+        a.trafficBytes = op.trafficBytes() * reps;
+        a.computeSeconds = a.flops / out.peakFlops;
+        a.memorySeconds = a.trafficBytes / out.memBandwidth;
+        a.memoryBound = a.memorySeconds >= a.computeSeconds;
+        a.boundSeconds =
+            std::max(a.computeSeconds, a.memorySeconds);
+        out.totalSeconds += a.boundSeconds;
+        if (a.memoryBound)
+            out.memoryBoundSeconds += a.boundSeconds;
+        out.ops.push_back(std::move(a));
+    }
+
+    if (out.totalSeconds > 0.0) {
+        for (auto &a : out.ops)
+            a.share = a.boundSeconds / out.totalSeconds;
+    }
+    return out;
+}
+
+} // namespace afsb::cachesim

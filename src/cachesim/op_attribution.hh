@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Roofline cost attribution of an operator graph on a platform's
+ * CPU memory system.
+ *
+ * The GPU simulator answers "how long does this graph take on the
+ * accelerator"; this pass answers the complementary question the
+ * paper's Section IV asks of the host: which operators would pin the
+ * memory hierarchy if the graph ran on the CPU, and by how much.
+ * Every op is classified compute- or memory-bound against the chip's
+ * vector FLOP ceiling and DRAM bandwidth, giving the arithmetic-
+ * intensity view behind Fig 9's layer ranking without re-deriving
+ * costs: the numbers come verbatim from the shared opgraph IR.
+ */
+
+#ifndef AFSB_CACHESIM_OP_ATTRIBUTION_HH
+#define AFSB_CACHESIM_OP_ATTRIBUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "opgraph/ir.hh"
+#include "sys/platform.hh"
+
+namespace afsb::cachesim {
+
+/** Roofline attribution of one op (all executions included). */
+struct OpAttribution
+{
+    uint32_t id = 0;
+    std::string name;           ///< layer kind display name
+    double flops = 0.0;         ///< total FLOPs (count included)
+    double trafficBytes = 0.0;  ///< total DRAM bytes
+    double computeSeconds = 0.0;  ///< FLOPs / vector peak
+    double memorySeconds = 0.0;   ///< bytes / DRAM bandwidth
+    bool memoryBound = false;   ///< memorySeconds >= computeSeconds
+    double boundSeconds = 0.0;  ///< max(compute, memory)
+    double share = 0.0;         ///< boundSeconds / graph total
+};
+
+/** Whole-graph attribution summary. */
+struct GraphAttribution
+{
+    /** Peak vector FLOP/s the attribution used (all cores at the
+     *  sustained all-core clock). */
+    double peakFlops = 0.0;
+    double memBandwidth = 0.0;  ///< bytes/s used for memory time
+    double totalSeconds = 0.0;  ///< sum of per-op bound times
+    double memoryBoundSeconds = 0.0;  ///< time in memory-bound ops
+    std::vector<OpAttribution> ops;   ///< graph order
+};
+
+/**
+ * Attribute @p graph against @p platform's CPU roofline. Op order
+ * and per-op totals mirror the IR exactly; only the time columns
+ * depend on the platform.
+ */
+GraphAttribution attributeOpGraph(const opgraph::OpGraph &graph,
+                                  const sys::PlatformSpec &platform);
+
+} // namespace afsb::cachesim
+
+#endif // AFSB_CACHESIM_OP_ATTRIBUTION_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "opgraph/build.hh"
 #include "util/logging.hh"
 
 namespace afsb::gpusim {
@@ -43,7 +44,11 @@ simulateInference(const sys::PlatformSpec &platform, size_t tokens,
 {
     InferenceSimResult result;
     const auto &cfg = options.config;
-    const auto graph = model::operatorGraph(tokens, cfg);
+    // The IR is the single source of the op list: its per-op costs
+    // are copied bit-for-bit from the analytic layer model, so this
+    // replay is bit-identical to the pre-IR inline path (enforced
+    // by tests/opgraph/test_roofline_identity.cc).
+    const auto graph = opgraph::buildInferenceGraph(tokens, cfg);
 
     // Memory placement: weights + activations vs VRAM.
     const uint64_t footprint =
@@ -85,24 +90,23 @@ simulateInference(const sys::PlatformSpec &platform, size_t tokens,
     const double gpuStart =
         result.initSeconds + result.compileSeconds;
     double cursor = gpuStart;
-    for (const auto &layer : graph) {
+    for (const auto &op : graph.ops) {
         double layerTotal = 0.0;
-        for (uint32_t i = 0; i < layer.count; ++i) {
+        for (uint32_t i = 0; i < op.count; ++i) {
             // The spill penalty applies to the bandwidth-bound
             // portion, weighted by how much of the footprint lives
             // across the PCIe link.
             const double t = device.executeKernel(
-                layer.cost.flops,
-                layer.cost.bytes *
+                op.flops,
+                op.trafficBytes() *
                     (1.0 + spillFraction *
                                (platform.gpu.unifiedMemPenalty -
                                 1.0)),
                 false);
             layerTotal += t;
         }
-        result.layerSeconds[model::layerKindName(layer.kind)] +=
-            layerTotal;
-        result.timeline.addSpanAt(model::layerKindName(layer.kind),
+        result.layerSeconds[op.name()] += layerTotal;
+        result.timeline.addSpanAt(op.name(),
                                   TimelineLane::GpuCompute, cursor,
                                   layerTotal);
         cursor += layerTotal;
@@ -155,8 +159,9 @@ simulateBatchedInference(const sys::PlatformSpec &platform,
         out.finalizeSeconds = solo.finalizeSeconds;
         out.deviceStats = solo.deviceStats;
         if (!solo.oom)
-            out.usefulFlops = model::totalFlops(
-                model::operatorGraph(tokensList[0], cfg));
+            out.usefulFlops =
+                opgraph::buildInferenceGraph(tokensList[0], cfg)
+                    .totalFlops();
         return out;
     }
 
@@ -169,7 +174,8 @@ simulateBatchedInference(const sys::PlatformSpec &platform,
     }
     const size_t execTokens = cache.paddedTokens(tokensList[0]);
     out.execTokens = execTokens;
-    const auto graph = model::operatorGraph(execTokens, cfg);
+    const auto graph =
+        opgraph::buildInferenceGraph(execTokens, cfg);
 
     // Round-robin data parallelism: device g serves members
     // g, g+G, g+2G, ...; the largest shard bounds the GPU phase.
@@ -230,11 +236,12 @@ simulateBatchedInference(const sys::PlatformSpec &platform,
             continue;
         GpuDevice device(platform.gpu);
         double shardSeconds = 0.0;
-        for (const auto &layer : graph) {
-            for (uint32_t i = 0; i < layer.count; ++i)
+        for (const auto &op : graph.ops) {
+            for (uint32_t i = 0; i < op.count; ++i)
                 shardSeconds += device.executeKernel(
-                    layer.cost.flops * static_cast<double>(shard),
-                    layer.cost.bytes * static_cast<double>(shard) *
+                    op.flops * static_cast<double>(shard),
+                    op.trafficBytes() *
+                        static_cast<double>(shard) *
                         (1.0 +
                          spillFraction *
                              (platform.gpu.unifiedMemPenalty - 1.0)),
@@ -253,10 +260,10 @@ simulateBatchedInference(const sys::PlatformSpec &platform,
     // Useful vs pad FLOPs: the device executed every member at the
     // padded length; only the members' native graphs are useful.
     const double executedFlops =
-        model::totalFlops(graph) * static_cast<double>(batch);
+        graph.totalFlops() * static_cast<double>(batch);
     for (size_t t : tokensList)
         out.usefulFlops +=
-            model::totalFlops(model::operatorGraph(t, cfg));
+            opgraph::buildInferenceGraph(t, cfg).totalFlops();
     out.paddedFlops = std::max(0.0, executedFlops - out.usefulFlops);
     return out;
 }

@@ -1,5 +1,6 @@
 #include "gpusim/init_profile.hh"
 
+#include "opgraph/build.hh"
 #include "util/memtrace.hh"
 #include "util/units.hh"
 
@@ -28,8 +29,9 @@ profileInitPhase(const sys::PlatformSpec &platform, size_t tokens,
     // pointer-chasing misses per compiled kernel, independent of N.
     const double graphKernels = [&] {
         double k = 0.0;
-        for (const auto &l : model::operatorGraph(tokens, cfg))
-            k += static_cast<double>(l.cost.kernels) * l.count;
+        for (const auto &op :
+             opgraph::buildInferenceGraph(tokens, cfg).ops)
+            k += static_cast<double>(op.kernels) * op.count;
         return k;
     }();
     const double byteSizeOfMisses = 5.0 * graphKernels;

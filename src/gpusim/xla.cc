@@ -18,11 +18,12 @@ hostClockFactor(const sys::PlatformSpec &platform,
     return costs.refClockGhz / platform.cpu.maxClockGhz;
 }
 
+namespace {
+
+/** Shared phase arithmetic; @p kernelsCompiled already summed. */
 XlaPhases
-evaluateXlaPhases(const sys::PlatformSpec &platform,
-                  const std::vector<model::LayerInstance> &graph,
-                  size_t tokens, XlaCache &cache,
-                  const XlaCostModel &costs)
+phasesFor(const sys::PlatformSpec &platform, size_t tokens,
+          uint32_t kernelsCompiled, const XlaCostModel &costs)
 {
     XlaPhases out;
 
@@ -38,10 +39,7 @@ evaluateXlaPhases(const sys::PlatformSpec &platform,
              static_cast<double>(platform.gpu.vramBytes) /
              static_cast<double>(GiB));
 
-    for (const auto &layer : graph) {
-        if (!cache.lookupOrInsert(layer.kind, tokens))
-            out.kernelsCompiled += layer.cost.kernels;
-    }
+    out.kernelsCompiled = kernelsCompiled;
     out.compileSeconds = hostFactor *
                          costs.compileSecondsPerKernel *
                          out.kernelsCompiled;
@@ -51,6 +49,35 @@ evaluateXlaPhases(const sys::PlatformSpec &platform,
                       costs.finalizePerToken *
                           static_cast<double>(tokens));
     return out;
+}
+
+} // namespace
+
+XlaPhases
+evaluateXlaPhases(const sys::PlatformSpec &platform,
+                  const opgraph::OpGraph &graph, size_t tokens,
+                  XlaCache &cache, const XlaCostModel &costs)
+{
+    uint32_t kernelsCompiled = 0;
+    for (const auto &op : graph.ops) {
+        if (!cache.lookupOrInsert(op.kind, tokens))
+            kernelsCompiled += op.kernels;
+    }
+    return phasesFor(platform, tokens, kernelsCompiled, costs);
+}
+
+XlaPhases
+evaluateXlaPhases(const sys::PlatformSpec &platform,
+                  const std::vector<model::LayerInstance> &graph,
+                  size_t tokens, XlaCache &cache,
+                  const XlaCostModel &costs)
+{
+    uint32_t kernelsCompiled = 0;
+    for (const auto &layer : graph) {
+        if (!cache.lookupOrInsert(layer.kind, tokens))
+            kernelsCompiled += layer.cost.kernels;
+    }
+    return phasesFor(platform, tokens, kernelsCompiled, costs);
 }
 
 } // namespace afsb::gpusim

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "model/flops.hh"
+#include "opgraph/ir.hh"
 #include "sys/platform.hh"
 
 namespace afsb::gpusim {
@@ -129,6 +130,17 @@ double hostClockFactor(const sys::PlatformSpec &platform,
 /**
  * Evaluate host-side overheads for running @p graph on @p platform.
  * @param cache Compilation cache (mutated: new shapes inserted).
+ */
+XlaPhases evaluateXlaPhases(
+    const sys::PlatformSpec &platform,
+    const opgraph::OpGraph &graph, size_t tokens, XlaCache &cache,
+    const XlaCostModel &costs = {});
+
+/**
+ * Legacy inline-op-list overload. Kept as the pre-IR reference
+ * path: tests/opgraph/test_roofline_identity.cc replays it to
+ * byte-compare the IR-driven simulator against the original
+ * arithmetic.
  */
 XlaPhases evaluateXlaPhases(
     const sys::PlatformSpec &platform,

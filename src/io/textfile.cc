@@ -30,7 +30,13 @@ readTextFile(const std::string &path)
     size_t got;
     while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
         out.append(buf, got);
+    // fread returning 0 means EOF *or* error; a truncated read
+    // silently handed to a parser shows up as a confusing format
+    // error far from the cause, so check here.
+    const bool readError = std::ferror(f) != 0;
     std::fclose(f);
+    if (readError)
+        fatal("read error on '" + path + "'");
     return out;
 }
 

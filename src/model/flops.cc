@@ -34,6 +34,19 @@ layerKindName(LayerKind kind)
 }
 
 bool
+layerKindByName(const std::string &name, LayerKind *kind)
+{
+    for (int k = 0; k <= 13; ++k) {
+        const auto candidate = static_cast<LayerKind>(k);
+        if (layerKindName(candidate) == name) {
+            *kind = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 isPairformerLayer(LayerKind kind)
 {
     switch (kind) {

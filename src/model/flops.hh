@@ -44,6 +44,12 @@ enum class LayerKind
 /** Display name ("triangle attention", ...). */
 std::string layerKindName(LayerKind kind);
 
+/**
+ * Reverse lookup of layerKindName, for the opgraph IR parsers.
+ * @return false when @p name is not a known layer kind.
+ */
+bool layerKindByName(const std::string &name, LayerKind *kind);
+
 /** True for Pairformer-module layers (red slices in Fig 9). */
 bool isPairformerLayer(LayerKind kind);
 

@@ -71,8 +71,40 @@ expectField(const std::string &token, const char *key, size_t line)
     if (eq == std::string::npos || token.substr(0, eq) != key)
         fatal(strformat("comm trace line %zu: expected %s=..., got "
                         "'%s'",
-                        line, key, token.c_str()));
+                        line + 1, key, token.c_str()));
     return token.substr(eq + 1);
+}
+
+/**
+ * Strict numeric field parsers: the whole value must be consumed
+ * ("1.5x" or an empty value is an error, not a silent prefix
+ * parse), matching the throw-with-context convention of the SLO
+ * report and JSON parsers.
+ */
+double
+numberField(const std::string &value, const char *key, size_t line)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size())
+        fatal(strformat("comm trace line %zu: bad number '%s' for "
+                        "%s",
+                        line + 1, value.c_str(), key));
+    return v;
+}
+
+uint64_t
+uintField(const std::string &value, const char *key, size_t line)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        value[0] == '-')
+        fatal(strformat("comm trace line %zu: bad integer '%s' for "
+                        "%s",
+                        line + 1, value.c_str(), key));
+    return v;
 }
 
 } // namespace
@@ -113,28 +145,26 @@ parseCommTrace(const std::string &text)
                             ln + 1, tokens.size()));
         CommEvent e;
         e.sendTime =
-            std::strtod(expectField(tokens[0], "t", ln).c_str(),
-                        nullptr);
-        e.src = static_cast<uint32_t>(std::strtoul(
-            expectField(tokens[1], "src", ln).c_str(), nullptr, 10));
-        e.dst = static_cast<uint32_t>(std::strtoul(
-            expectField(tokens[2], "dst", ln).c_str(), nullptr, 10));
+            numberField(expectField(tokens[0], "t", ln), "t", ln);
+        e.src = static_cast<uint32_t>(uintField(
+            expectField(tokens[1], "src", ln), "src", ln));
+        e.dst = static_cast<uint32_t>(uintField(
+            expectField(tokens[2], "dst", ln), "dst", ln));
         const std::string kind = expectField(tokens[3], "kind", ln);
         if (!msgKindByName(kind, &e.kind))
             fatal(strformat("comm trace line %zu: unknown message "
                             "kind '%s'",
                             ln + 1, kind.c_str()));
-        e.bytes = std::strtoull(
-            expectField(tokens[4], "bytes", ln).c_str(), nullptr,
-            10);
-        e.serializeSeconds = std::strtod(
-            expectField(tokens[5], "ser", ln).c_str(), nullptr);
-        e.transferSeconds = std::strtod(
-            expectField(tokens[6], "xfer", ln).c_str(), nullptr);
-        e.arriveTime = std::strtod(
-            expectField(tokens[7], "arrive", ln).c_str(), nullptr);
-        e.tag = std::strtoull(
-            expectField(tokens[8], "tag", ln).c_str(), nullptr, 10);
+        e.bytes = uintField(expectField(tokens[4], "bytes", ln),
+                            "bytes", ln);
+        e.serializeSeconds = numberField(
+            expectField(tokens[5], "ser", ln), "ser", ln);
+        e.transferSeconds = numberField(
+            expectField(tokens[6], "xfer", ln), "xfer", ln);
+        e.arriveTime = numberField(
+            expectField(tokens[7], "arrive", ln), "arrive", ln);
+        e.tag = uintField(expectField(tokens[8], "tag", ln), "tag",
+                          ln);
         events.push_back(e);
     }
     return events;

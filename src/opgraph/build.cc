@@ -1,0 +1,179 @@
+#include "opgraph/build.hh"
+
+#include "util/logging.hh"
+
+namespace afsb::opgraph {
+
+namespace {
+
+/** Logical output shape of one execution of @p kind. */
+std::vector<uint64_t>
+outputShape(model::LayerKind kind, size_t tokens,
+            const model::ModelConfig &cfg)
+{
+    const auto n = static_cast<uint64_t>(tokens);
+    const auto cz = static_cast<uint64_t>(cfg.pairDim);
+    const auto cs = static_cast<uint64_t>(cfg.singleDim);
+    const auto ct = static_cast<uint64_t>(cfg.diffusionTokenDim);
+    using K = model::LayerKind;
+    switch (kind) {
+      case K::InputEmbedding:
+      case K::TriangleMultOutgoing:
+      case K::TriangleMultIncoming:
+      case K::TriangleAttnStarting:
+      case K::TriangleAttnEnding:
+      case K::PairTransition:
+        return {n, n, cz};
+      case K::SingleAttention:
+      case K::SingleTransition:
+        return {n, cs};
+      case K::DiffusionConditioning:
+      case K::LocalAttentionEncoder:
+      case K::GlobalAttention:
+      case K::LocalAttentionDecoder:
+        return {n, ct};
+      case K::CoordinateUpdate:
+        return {n, 3};
+      case K::ConfidenceHead:
+        return {n, n, 64};
+    }
+    panic("outputShape: bad enum");
+}
+
+/**
+ * Convert the analytic layer list into IR ops with @p deps edges
+ * looked up by layer kind. Costs are copied bit-for-bit; the DRAM
+ * traffic total is split into two exact halves (see Op doc).
+ */
+OpGraph
+fromLayerList(const std::vector<model::LayerInstance> &layers,
+              const std::string &label, size_t tokens,
+              const model::ModelConfig &cfg,
+              const std::vector<std::vector<model::LayerKind>>
+                  &depKinds)
+{
+    OpGraph g;
+    g.label = label;
+    g.tokens = tokens;
+    panicIf(depKinds.size() != layers.size(),
+            "fromLayerList: deps/layers size mismatch");
+
+    // Kind -> op id of the (single) op instantiated for it.
+    std::vector<int> idOfKind(16, -1);
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const auto &layer = layers[i];
+        Op op;
+        op.id = static_cast<uint32_t>(i);
+        op.kind = layer.kind;
+        op.count = layer.count;
+        op.kernels = layer.cost.kernels;
+        op.flops = layer.cost.flops;
+        op.bytesWritten = layer.cost.bytes * 0.5;
+        op.bytesRead = layer.cost.bytes - op.bytesWritten;
+        op.shape = outputShape(layer.kind, tokens, cfg);
+        for (model::LayerKind dep : depKinds[i]) {
+            const int id = idOfKind[static_cast<size_t>(dep)];
+            panicIf(id < 0, "fromLayerList: dep on a kind that "
+                            "has not been scheduled yet");
+            op.deps.push_back(static_cast<uint32_t>(id));
+        }
+        idOfKind[static_cast<size_t>(layer.kind)] =
+            static_cast<int>(i);
+        g.ops.push_back(std::move(op));
+    }
+    validate(g);
+    return g;
+}
+
+using K = model::LayerKind;
+
+/**
+ * Producer edges for the full inference schedule, by consumer
+ * kind. The trunk is a chain (each sub-layer reads its
+ * predecessor's residual stream); the diffusion stack forks off
+ * the trunk's pair and single outputs; the confidence head joins
+ * the pair representation with the final coordinates.
+ */
+std::vector<model::LayerKind>
+inferenceDeps(model::LayerKind kind)
+{
+    switch (kind) {
+      case K::InputEmbedding:
+        return {};
+      case K::TriangleMultOutgoing:
+        return {K::InputEmbedding};
+      case K::TriangleMultIncoming:
+        return {K::TriangleMultOutgoing};
+      case K::TriangleAttnStarting:
+        return {K::TriangleMultIncoming};
+      case K::TriangleAttnEnding:
+        return {K::TriangleAttnStarting};
+      case K::PairTransition:
+        return {K::TriangleAttnEnding};
+      case K::SingleAttention:
+        return {K::PairTransition};
+      case K::SingleTransition:
+        return {K::SingleAttention};
+      case K::DiffusionConditioning:
+        return {K::PairTransition, K::SingleTransition};
+      case K::LocalAttentionEncoder:
+        return {K::DiffusionConditioning};
+      case K::GlobalAttention:
+        return {K::LocalAttentionEncoder};
+      case K::LocalAttentionDecoder:
+        return {K::GlobalAttention};
+      case K::CoordinateUpdate:
+        return {K::LocalAttentionDecoder};
+      case K::ConfidenceHead:
+        return {K::PairTransition, K::SingleTransition,
+                K::CoordinateUpdate};
+    }
+    panic("inferenceDeps: bad enum");
+}
+
+} // namespace
+
+OpGraph
+buildInferenceGraph(size_t tokens, const model::ModelConfig &cfg)
+{
+    const auto layers = model::operatorGraph(tokens, cfg);
+    std::vector<std::vector<model::LayerKind>> deps;
+    deps.reserve(layers.size());
+    for (const auto &layer : layers)
+        deps.push_back(inferenceDeps(layer.kind));
+    return fromLayerList(layers, "inference", tokens, cfg, deps);
+}
+
+OpGraph
+buildPairformerGraph(size_t tokens, const model::ModelConfig &cfg)
+{
+    std::vector<model::LayerInstance> layers;
+    for (const auto &layer : model::operatorGraph(tokens, cfg))
+        if (model::isPairformerLayer(layer.kind))
+            layers.push_back(layer);
+    // Within the trunk the sub-layers form a chain; the first has
+    // no producer inside the subgraph.
+    std::vector<std::vector<model::LayerKind>> deps;
+    for (size_t i = 0; i < layers.size(); ++i)
+        deps.push_back(i == 0 ? std::vector<model::LayerKind>{}
+                              : std::vector<model::LayerKind>{
+                                    layers[i - 1].kind});
+    return fromLayerList(layers, "pairformer", tokens, cfg, deps);
+}
+
+OpGraph
+buildDiffusionGraph(size_t tokens, const model::ModelConfig &cfg)
+{
+    std::vector<model::LayerInstance> layers;
+    for (const auto &layer : model::operatorGraph(tokens, cfg))
+        if (model::isDiffusionLayer(layer.kind))
+            layers.push_back(layer);
+    std::vector<std::vector<model::LayerKind>> deps;
+    for (size_t i = 0; i < layers.size(); ++i)
+        deps.push_back(i == 0 ? std::vector<model::LayerKind>{}
+                              : std::vector<model::LayerKind>{
+                                    layers[i - 1].kind});
+    return fromLayerList(layers, "diffusion", tokens, cfg, deps);
+}
+
+} // namespace afsb::opgraph

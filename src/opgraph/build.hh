@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Builders instantiating the AF3 operator graph as opgraph IR.
+ *
+ * The per-op costs come verbatim from the analytic layer model
+ * (model::operatorGraph / model::layerCost) so a roofline replay of
+ * the IR is bit-identical to the legacy inline op-list path — the
+ * contract tests/opgraph/test_roofline_identity.cc byte-compares.
+ * The builders add what the flat list lacked: logical output
+ * shapes and producer/consumer dependency edges.
+ */
+
+#ifndef AFSB_OPGRAPH_BUILD_HH
+#define AFSB_OPGRAPH_BUILD_HH
+
+#include "model/config.hh"
+#include "opgraph/ir.hh"
+
+namespace afsb::opgraph {
+
+/**
+ * The full inference graph at @p tokens tokens: input embedding,
+ * the recycled Pairformer trunk, the diffusion token stack, and
+ * the confidence head, with cross-module dependency edges
+ * (diffusion conditioning consumes the trunk's pair and single
+ * outputs; the confidence head consumes the pair representation
+ * and the final coordinates).
+ */
+OpGraph buildInferenceGraph(size_t tokens,
+                            const model::ModelConfig &cfg);
+
+/** The Pairformer-module subgraph (trunk layers only). */
+OpGraph buildPairformerGraph(size_t tokens,
+                             const model::ModelConfig &cfg);
+
+/** The Diffusion-module subgraph (denoising stack only). */
+OpGraph buildDiffusionGraph(size_t tokens,
+                            const model::ModelConfig &cfg);
+
+} // namespace afsb::opgraph
+
+#endif // AFSB_OPGRAPH_BUILD_HH

@@ -1,0 +1,323 @@
+#include "opgraph/ir.hh"
+
+#include <charconv>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace afsb::opgraph {
+
+namespace {
+
+/** Shortest string that parses back to exactly @p v. */
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    const auto res =
+        std::to_chars(buf, buf + sizeof buf, v);
+    panicIf(res.ec != std::errc(), "renderDouble: to_chars failed");
+    return std::string(buf, res.ptr);
+}
+
+/** Strict full-string double parse; fatal() with @p where context. */
+double
+parseDoubleField(const std::string &s, const std::string &where)
+{
+    double v = 0.0;
+    const auto res =
+        std::from_chars(s.data(), s.data() + s.size(), v);
+    if (res.ec != std::errc() || res.ptr != s.data() + s.size())
+        fatal("opgraph parse: bad number '" + s + "' in " + where);
+    return v;
+}
+
+/** Strict full-string unsigned parse; fatal() with context. */
+uint64_t
+parseUintField(const std::string &s, const std::string &where)
+{
+    uint64_t v = 0;
+    const auto res =
+        std::from_chars(s.data(), s.data() + s.size(), v);
+    if (res.ec != std::errc() || res.ptr != s.data() + s.size())
+        fatal("opgraph parse: bad integer '" + s + "' in " + where);
+    return v;
+}
+
+/** `key=value` field with the expected key; fatal() otherwise. */
+std::string
+expectKv(const std::string &token, const std::string &key,
+         const std::string &where)
+{
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos ||
+        token.compare(0, eq, key) != 0)
+        fatal("opgraph parse: expected '" + key + "=...' in " +
+              where + ", got '" + token + "'");
+    return token.substr(eq + 1);
+}
+
+/** Comma-separated unsigned list; "-" renders an empty list. */
+std::vector<uint64_t>
+parseUintList(const std::string &s, const std::string &where)
+{
+    std::vector<uint64_t> out;
+    if (s == "-")
+        return out;
+    for (const auto &part : split(s, ','))
+        out.push_back(parseUintField(part, where));
+    return out;
+}
+
+std::string
+renderUintList(const std::vector<uint64_t> &v)
+{
+    if (v.empty())
+        return "-";
+    std::vector<std::string> parts;
+    parts.reserve(v.size());
+    for (uint64_t x : v)
+        parts.push_back(
+            strformat("%llu", static_cast<unsigned long long>(x)));
+    return join(parts, ",");
+}
+
+} // namespace
+
+double
+OpGraph::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += op.flops * op.count;
+    return total;
+}
+
+double
+OpGraph::totalTrafficBytes() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += op.trafficBytes() * op.count;
+    return total;
+}
+
+double
+OpGraph::totalKernels() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += static_cast<double>(op.kernels) * op.count;
+    return total;
+}
+
+void
+validate(const OpGraph &graph)
+{
+    if (graph.label.empty())
+        fatal("opgraph: empty label");
+    for (size_t i = 0; i < graph.ops.size(); ++i) {
+        const Op &op = graph.ops[i];
+        const std::string where =
+            strformat("op %zu (%s)", i, op.name().c_str());
+        if (op.id != i)
+            fatal("opgraph: " + where +
+                  " id out of schedule order");
+        if (op.count == 0)
+            fatal("opgraph: " + where + " has zero count");
+        if (op.kernels == 0)
+            fatal("opgraph: " + where + " has zero kernels");
+        if (!(op.flops >= 0.0) || !(op.bytesRead >= 0.0) ||
+            !(op.bytesWritten >= 0.0))
+            fatal("opgraph: " + where + " has negative cost");
+        if (op.shape.empty())
+            fatal("opgraph: " + where + " has no shape");
+        for (uint32_t dep : op.deps)
+            if (dep >= op.id)
+                fatal("opgraph: " + where +
+                      strformat(" dep %u breaks schedule order "
+                                "(must be < %u)",
+                                dep, op.id));
+    }
+}
+
+std::string
+render(const OpGraph &graph)
+{
+    validate(graph);
+    std::string out;
+    out += strformat("afsb-opgraph v%u\n", OpGraph::kVersion);
+    out += "label " + graph.label + "\n";
+    out += strformat("tokens %llu\n",
+                     static_cast<unsigned long long>(graph.tokens));
+    out += strformat("ops %zu\n", graph.ops.size());
+    for (const Op &op : graph.ops) {
+        std::vector<uint64_t> deps64(op.deps.begin(),
+                                     op.deps.end());
+        out += strformat("op %u %s count=%u kernels=%u", op.id,
+                         op.name().c_str(), op.count, op.kernels);
+        out += " flops=" + renderDouble(op.flops);
+        out += " read=" + renderDouble(op.bytesRead);
+        out += " write=" + renderDouble(op.bytesWritten);
+        out += " shape=" + renderUintList(op.shape);
+        out += " deps=" + renderUintList(deps64);
+        out += "\n";
+    }
+    return out;
+}
+
+OpGraph
+parse(const std::string &text)
+{
+    // Split into lines, requiring the trailing newline the renderer
+    // always emits; anything after the declared op count is trailing
+    // garbage and a hard error.
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+        const size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            fatal("opgraph parse: missing trailing newline");
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+
+    const std::string header =
+        strformat("afsb-opgraph v%u", OpGraph::kVersion);
+    if (lines.empty() || lines[0] != header)
+        fatal("opgraph parse: missing '" + header + "' header");
+    if (lines.size() < 4)
+        fatal("opgraph parse: truncated preamble");
+    if (lines[1].rfind("label ", 0) != 0)
+        fatal("opgraph parse: expected 'label <name>', got '" +
+              lines[1] + "'");
+    if (lines[2].rfind("tokens ", 0) != 0)
+        fatal("opgraph parse: expected 'tokens <n>', got '" +
+              lines[2] + "'");
+    if (lines[3].rfind("ops ", 0) != 0)
+        fatal("opgraph parse: expected 'ops <n>', got '" +
+              lines[3] + "'");
+
+    OpGraph g;
+    g.label = lines[1].substr(6);
+    g.tokens = parseUintField(lines[2].substr(7), "tokens line");
+    const uint64_t opCount =
+        parseUintField(lines[3].substr(4), "ops line");
+    if (lines.size() != 4 + opCount)
+        fatal(strformat("opgraph parse: declared %llu ops but file "
+                        "has %zu op lines",
+                        static_cast<unsigned long long>(opCount),
+                        lines.size() - 4));
+
+    for (size_t ln = 4; ln < lines.size(); ++ln) {
+        const std::string where = strformat("line %zu", ln + 1);
+        const auto tokens = [&] {
+            std::vector<std::string> t;
+            for (const auto &part : split(lines[ln], ' '))
+                if (!part.empty())
+                    t.push_back(part);
+            return t;
+        }();
+        if (tokens.size() != 10 || tokens[0] != "op")
+            fatal("opgraph parse: malformed op line at " + where +
+                  ": '" + lines[ln] + "'");
+
+        Op op;
+        op.id = static_cast<uint32_t>(
+            parseUintField(tokens[1], where));
+        if (!model::layerKindByName(tokens[2], &op.kind))
+            fatal("opgraph parse: unknown op kind '" + tokens[2] +
+                  "' at " + where);
+        op.count = static_cast<uint32_t>(parseUintField(
+            expectKv(tokens[3], "count", where), where));
+        op.kernels = static_cast<uint32_t>(parseUintField(
+            expectKv(tokens[4], "kernels", where), where));
+        op.flops = parseDoubleField(
+            expectKv(tokens[5], "flops", where), where);
+        op.bytesRead = parseDoubleField(
+            expectKv(tokens[6], "read", where), where);
+        op.bytesWritten = parseDoubleField(
+            expectKv(tokens[7], "write", where), where);
+        op.shape = parseUintList(
+            expectKv(tokens[8], "shape", where), where);
+        for (uint64_t dep : parseUintList(
+                 expectKv(tokens[9], "deps", where), where))
+            op.deps.push_back(static_cast<uint32_t>(dep));
+        g.ops.push_back(std::move(op));
+    }
+    validate(g);
+    return g;
+}
+
+JsonValue
+toJson(const OpGraph &graph)
+{
+    validate(graph);
+    JsonValue doc = JsonValue::makeObject();
+    doc["format"] = "afsb-opgraph";
+    doc["version"] = static_cast<int>(OpGraph::kVersion);
+    doc["label"] = graph.label;
+    doc["tokens"] = graph.tokens;
+    JsonValue ops = JsonValue::makeArray();
+    for (const Op &op : graph.ops) {
+        JsonValue o = JsonValue::makeObject();
+        o["id"] = static_cast<uint64_t>(op.id);
+        o["kind"] = op.name();
+        o["count"] = static_cast<uint64_t>(op.count);
+        o["kernels"] = static_cast<uint64_t>(op.kernels);
+        o["flops"] = op.flops;
+        o["bytes_read"] = op.bytesRead;
+        o["bytes_written"] = op.bytesWritten;
+        JsonValue shape = JsonValue::makeArray();
+        for (uint64_t d : op.shape)
+            shape.push(JsonValue(d));
+        o["shape"] = std::move(shape);
+        JsonValue deps = JsonValue::makeArray();
+        for (uint32_t d : op.deps)
+            deps.push(JsonValue(static_cast<uint64_t>(d)));
+        o["deps"] = std::move(deps);
+        ops.push(std::move(o));
+    }
+    doc["ops"] = std::move(ops);
+    return doc;
+}
+
+OpGraph
+fromJson(const JsonValue &doc)
+{
+    if (doc.at("format").asString() != "afsb-opgraph")
+        fatal("opgraph json: bad 'format' field");
+    if (doc.at("version").asInt() !=
+        static_cast<int64_t>(OpGraph::kVersion))
+        fatal("opgraph json: unsupported version");
+    OpGraph g;
+    g.label = doc.at("label").asString();
+    g.tokens = static_cast<uint64_t>(doc.at("tokens").asInt());
+    const auto &ops = doc.at("ops").asArray();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const JsonValue &o = ops[i];
+        Op op;
+        op.id = static_cast<uint32_t>(o.at("id").asInt());
+        const std::string kind = o.at("kind").asString();
+        if (!model::layerKindByName(kind, &op.kind))
+            fatal("opgraph json: unknown op kind '" + kind + "'");
+        op.count = static_cast<uint32_t>(o.at("count").asInt());
+        op.kernels =
+            static_cast<uint32_t>(o.at("kernels").asInt());
+        op.flops = o.at("flops").asNumber();
+        op.bytesRead = o.at("bytes_read").asNumber();
+        op.bytesWritten = o.at("bytes_written").asNumber();
+        for (const auto &d : o.at("shape").asArray())
+            op.shape.push_back(
+                static_cast<uint64_t>(d.asInt()));
+        for (const auto &d : o.at("deps").asArray())
+            op.deps.push_back(
+                static_cast<uint32_t>(d.asInt()));
+        g.ops.push_back(std::move(op));
+    }
+    validate(g);
+    return g;
+}
+
+} // namespace afsb::opgraph

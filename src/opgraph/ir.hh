@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Portable operator-graph IR for the AF3 inference workload.
+ *
+ * One serializable graph — ops with logical shapes, FLOPs, DRAM
+ * bytes read/written, kernel counts, and dependency edges — drives
+ * every cost model in the repo: the gpusim roofline executor, the
+ * XLA host-phase model, and cachesim cost attribution. New
+ * platforms then become pure data (sys/platform_config.hh): the
+ * same graph is lowered onto whichever machine description is
+ * loaded, in the spirit of StableHLO-style cross-architecture
+ * performance modeling.
+ *
+ * Two renders, both with round-tripping parsers:
+ *  - a canonical byte-stable text form (one `op` line per node,
+ *    shortest-round-trip doubles, fixed field order, trailing
+ *    newline) following the SLO-report / comm-trace conventions —
+ *    render(parse(render(g))) == render(g) byte-exactly; and
+ *  - a JSON form for external tooling, via util/json.
+ *
+ * The op list is a valid execution schedule (every dependency
+ * precedes its dependent), so cost models may simply replay ops in
+ * order; the edges carry the producer/consumer structure for
+ * analyses that want the DAG rather than the schedule.
+ */
+
+#ifndef AFSB_OPGRAPH_IR_HH
+#define AFSB_OPGRAPH_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/flops.hh"
+#include "util/json.hh"
+
+namespace afsb::opgraph {
+
+/** One node of the operator graph. */
+struct Op
+{
+    /** Node id == index in OpGraph::ops (dense, schedule order). */
+    uint32_t id = 0;
+
+    /** Layer taxonomy entry (serialized by its canonical name). */
+    model::LayerKind kind = model::LayerKind::InputEmbedding;
+
+    /** Total executions of this op in one inference. */
+    uint32_t count = 1;
+
+    /** GPU kernels one execution lowers to. */
+    uint32_t kernels = 1;
+
+    /** Arithmetic volume of one execution. */
+    double flops = 0.0;
+
+    /**
+     * DRAM traffic of one execution, split by direction. The
+     * analytic layer model (model/flops.hh) tracks only total
+     * traffic, so the builder splits it into two exact halves —
+     * halving a double is exact in binary floating point, which
+     * keeps bytesRead + bytesWritten bit-equal to the legacy total
+     * and therefore the roofline replay bit-identical. Calibrating
+     * a true per-direction split is future work; consumers that
+     * only care about the roofline should use trafficBytes().
+     */
+    double bytesRead = 0.0;
+    double bytesWritten = 0.0;
+
+    /** Logical output shape (row-major dims). */
+    std::vector<uint64_t> shape;
+
+    /** Ids of producer ops this op consumes (strictly < id). */
+    std::vector<uint32_t> deps;
+
+    /** Total DRAM traffic of one execution (drives the roofline). */
+    double trafficBytes() const { return bytesRead + bytesWritten; }
+
+    /** Canonical name of the op's layer kind. */
+    std::string name() const { return model::layerKindName(kind); }
+
+    bool operator==(const Op &other) const = default;
+};
+
+/** A serializable operator graph. */
+struct OpGraph
+{
+    /** Format version rendered into every dump. */
+    static constexpr uint32_t kVersion = 1;
+
+    /** Graph label ("inference", "pairformer", "diffusion"). */
+    std::string label;
+
+    /** Token count the shapes/costs were instantiated at. */
+    uint64_t tokens = 0;
+
+    /** Ops in schedule order (op i's deps are all < i). */
+    std::vector<Op> ops;
+
+    /** Total FLOPs over the graph (count-weighted, schedule order). */
+    double totalFlops() const;
+
+    /** Total DRAM traffic over the graph (count-weighted). */
+    double totalTrafficBytes() const;
+
+    /** Total GPU kernels launched over the graph (count-weighted). */
+    double totalKernels() const;
+
+    bool operator==(const OpGraph &other) const = default;
+};
+
+/**
+ * Validate graph invariants: dense schedule-ordered ids, acyclic
+ * deps (every dep < op id), non-negative costs, known shapes.
+ * @throws FatalError naming the offending op on violation.
+ */
+void validate(const OpGraph &graph);
+
+/**
+ * Render the canonical byte-stable text form. Doubles are printed
+ * in their shortest round-trip form, so the dump is identical on
+ * every conforming platform and parse(render(g)) == g exactly.
+ */
+std::string render(const OpGraph &graph);
+
+/**
+ * Parse the canonical text form.
+ * @throws FatalError with line context on malformed input,
+ *         including trailing garbage after the last op line.
+ */
+OpGraph parse(const std::string &text);
+
+/** Render as a JSON document (pretty-printed by the caller). */
+JsonValue toJson(const OpGraph &graph);
+
+/**
+ * Parse the JSON form (as produced by toJson).
+ * @throws FatalError on schema violations.
+ */
+OpGraph fromJson(const JsonValue &doc);
+
+} // namespace afsb::opgraph
+
+#endif // AFSB_OPGRAPH_IR_HH

@@ -45,6 +45,7 @@ serverPlatform()
     c.llcChainPrefetch = false;
     c.llcEffectiveFactor = 0.25;  // non-inclusive victim LLC
     c.baseIpc = 4.3;
+    c.vectorFlopsPerCycle = 64.0;  // AVX-512, two FMA pipes
     c.mispredictPenaltyCycles = 17;
     // Golden-Cove-class predictor: ~0.2% observed on the MSA mix.
     c.dataBranchMissRate = 0.006;
@@ -105,6 +106,7 @@ desktopPlatform()
     c.llcChainPrefetch = true;
     c.llcEffectiveFactor = 1.0;
     c.baseIpc = 3.2;
+    c.vectorFlopsPerCycle = 32.0;  // Zen 4 double-pumped AVX-512
     c.mispredictPenaltyCycles = 14;
     // ~0.9% observed branch-miss rate on the MSA mix.
     c.dataBranchMissRate = 0.03;

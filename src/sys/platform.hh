@@ -77,6 +77,15 @@ struct CpuSpec
     /** Peak sustainable IPC on integer-heavy DP code. */
     double baseIpc = 3.5;
 
+    /**
+     * Peak vector FLOPs retired per core per cycle (fp32 FMA lanes
+     * x 2 ops), the compute ceiling for the CPU-side operator
+     * roofline used by cachesim cost attribution. AVX-512 with dual
+     * FMA pipes sustains 64; a double-pumped 256-bit datapath or a
+     * single 512-bit RVV engine sustains 32.
+     */
+    double vectorFlopsPerCycle = 32.0;
+
     /** Branch mispredict flush penalty. */
     double mispredictPenaltyCycles = 15;
 

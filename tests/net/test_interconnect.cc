@@ -11,6 +11,7 @@
 #include "net/interconnect.hh"
 #include "net/topology.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace afsb::net {
 namespace {
@@ -206,6 +207,30 @@ TEST(CommTrace, ParseRejectsMalformedInput)
                        "bytes=1 ser=0.000000 xfer=0.000000 "
                        "arrive=0.000000 tag=0\n"),
         FatalError);
+}
+
+TEST(CommTrace, NumericFieldsRejectTrailingGarbage)
+{
+    // A partially-parsable number ("1.5x", "12abc") must be a hard
+    // error, not a silent prefix parse.
+    const std::string header = "# afsb-comm-trace v1\n";
+    const std::string good =
+        "t=%s src=%s dst=1 kind=route_request bytes=%s "
+        "ser=0.000000 xfer=0.000000 arrive=0.000000 tag=0\n";
+    const auto line = [&](const char *t, const char *src,
+                          const char *bytes) {
+        return header + strformat(good.c_str(), t, src, bytes);
+    };
+    EXPECT_NO_THROW(parseCommTrace(line("1.5", "0", "12")));
+    EXPECT_THROW(parseCommTrace(line("1.5x", "0", "12")),
+                 FatalError);
+    EXPECT_THROW(parseCommTrace(line("1.5", "0y", "12")),
+                 FatalError);
+    EXPECT_THROW(parseCommTrace(line("1.5", "0", "12abc")),
+                 FatalError);
+    EXPECT_THROW(parseCommTrace(line("1.5", "-2", "12")),
+                 FatalError);
+    EXPECT_THROW(parseCommTrace(line("", "0", "12")), FatalError);
 }
 
 TEST(CommTrace, EmptyTraceRendersHeaderOnly)

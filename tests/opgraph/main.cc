@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Custom gtest main for the opgraph suite: `--update-goldens`
+ * regenerates the committed canonical dumps under
+ * tests/opgraph/goldens/ instead of comparing against them.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace afsb::test {
+
+bool updateGoldens = false;
+
+} // namespace afsb::test
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--update-goldens") == 0)
+            afsb::test::updateGoldens = true;
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden-file tests: the canonical text dumps of the Pairformer and
+ * diffusion subgraphs at two sizes are committed under
+ * tests/opgraph/goldens/ and byte-compared here. Run the test
+ * binary with `--update-goldens` to regenerate them after an
+ * intentional cost-model or format change — the diff then shows a
+ * reviewer exactly which ops moved.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/textfile.hh"
+#include "opgraph/build.hh"
+#include "opgraph/ir.hh"
+
+using namespace afsb;
+
+namespace afsb::test {
+extern bool updateGoldens;
+}
+
+namespace {
+
+struct GoldenCase
+{
+    const char *module;
+    size_t tokens;
+};
+
+constexpr GoldenCase kCases[] = {
+    {"pairformer", 256},
+    {"pairformer", 1024},
+    {"diffusion", 256},
+    {"diffusion", 1024},
+};
+
+opgraph::OpGraph
+buildCase(const GoldenCase &c)
+{
+    const model::ModelConfig cfg;
+    return std::string(c.module) == "pairformer"
+               ? opgraph::buildPairformerGraph(c.tokens, cfg)
+               : opgraph::buildDiffusionGraph(c.tokens, cfg);
+}
+
+std::string
+goldenPath(const GoldenCase &c)
+{
+    return std::string(AFSB_REPO_ROOT) +
+           "/tests/opgraph/goldens/" + c.module + "_" +
+           std::to_string(c.tokens) + ".txt";
+}
+
+} // namespace
+
+TEST(OpGraphGoldens, CanonicalDumpsMatchCommittedFiles)
+{
+    for (const auto &c : kCases) {
+        const std::string rendered =
+            opgraph::render(buildCase(c));
+        const std::string path = goldenPath(c);
+        if (test::updateGoldens) {
+            io::writeTextFile(path, rendered);
+            continue;
+        }
+        const std::string golden = io::readTextFile(path);
+        EXPECT_EQ(rendered, golden)
+            << path << " is stale; run test_opgraph "
+            << "--update-goldens and review the diff";
+    }
+}
+
+TEST(OpGraphGoldens, CommittedFilesParseBackToTheBuiltGraph)
+{
+    if (test::updateGoldens)
+        GTEST_SKIP() << "regenerating goldens";
+    for (const auto &c : kCases) {
+        const auto parsed =
+            opgraph::parse(io::readTextFile(goldenPath(c)));
+        EXPECT_EQ(parsed, buildCase(c)) << goldenPath(c);
+    }
+}

@@ -1,0 +1,163 @@
+/** Round-trip and validation tests for the opgraph IR. */
+
+#include <gtest/gtest.h>
+
+#include "opgraph/build.hh"
+#include "opgraph/ir.hh"
+#include "util/logging.hh"
+
+using namespace afsb;
+
+namespace {
+
+opgraph::OpGraph
+sampleGraph(size_t tokens = 300)
+{
+    return opgraph::buildInferenceGraph(tokens,
+                                        model::ModelConfig{});
+}
+
+} // namespace
+
+TEST(OpGraph, BuilderProducesValidatedSchedule)
+{
+    const auto g = sampleGraph();
+    EXPECT_EQ(g.label, "inference");
+    EXPECT_EQ(g.tokens, 300u);
+    ASSERT_FALSE(g.ops.empty());
+    EXPECT_NO_THROW(opgraph::validate(g));
+    // Every op's id is its schedule index and deps look backwards.
+    for (size_t i = 0; i < g.ops.size(); ++i) {
+        EXPECT_EQ(g.ops[i].id, i);
+        for (uint32_t dep : g.ops[i].deps)
+            EXPECT_LT(dep, g.ops[i].id);
+    }
+}
+
+TEST(OpGraph, TrafficSplitPreservesLegacyTotalBitExactly)
+{
+    // The read/write split must re-sum to the analytic layer bytes
+    // bit-for-bit — the roofline bit-identity contract rests on it.
+    const auto g = sampleGraph(857);
+    const auto layers =
+        model::operatorGraph(857, model::ModelConfig{});
+    ASSERT_EQ(g.ops.size(), layers.size());
+    for (size_t i = 0; i < g.ops.size(); ++i) {
+        EXPECT_EQ(g.ops[i].trafficBytes(), layers[i].cost.bytes);
+        EXPECT_EQ(g.ops[i].flops, layers[i].cost.flops);
+        EXPECT_EQ(g.ops[i].count, layers[i].count);
+        EXPECT_EQ(g.ops[i].kernels, layers[i].cost.kernels);
+    }
+}
+
+TEST(OpGraph, TextRoundTripIsExact)
+{
+    const auto g = sampleGraph();
+    const std::string text = opgraph::render(g);
+    const auto parsed = opgraph::parse(text);
+    EXPECT_EQ(parsed, g);
+    // Byte-stability: render(parse(render(g))) == render(g).
+    EXPECT_EQ(opgraph::render(parsed), text);
+}
+
+TEST(OpGraph, JsonRoundTripIsExact)
+{
+    const auto g = sampleGraph(1395);
+    const std::string dumped =
+        opgraph::toJson(g).dumpPretty();
+    const auto parsed =
+        opgraph::fromJson(parseJson(dumped));
+    EXPECT_EQ(parsed, g);
+}
+
+TEST(OpGraph, SubgraphBuildersCoverTheirModules)
+{
+    const model::ModelConfig cfg;
+    const auto pair = opgraph::buildPairformerGraph(256, cfg);
+    const auto diff = opgraph::buildDiffusionGraph(256, cfg);
+    EXPECT_EQ(pair.label, "pairformer");
+    EXPECT_EQ(diff.label, "diffusion");
+    for (const auto &op : pair.ops)
+        EXPECT_TRUE(model::isPairformerLayer(op.kind));
+    for (const auto &op : diff.ops)
+        EXPECT_TRUE(model::isDiffusionLayer(op.kind));
+    // Subgraph totals are strictly inside the full graph's.
+    const auto full = opgraph::buildInferenceGraph(256, cfg);
+    EXPECT_LT(pair.totalFlops() + diff.totalFlops(),
+              full.totalFlops());
+}
+
+TEST(OpGraph, ValidateRejectsBrokenInvariants)
+{
+    auto g = sampleGraph();
+    auto broken = g;
+    broken.ops[3].id = 7;  // out of schedule order
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+
+    broken = g;
+    broken.ops[2].deps.push_back(2);  // self dep
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+
+    broken = g;
+    broken.ops[1].flops = -1.0;
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+
+    broken = g;
+    broken.ops[0].count = 0;
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+
+    broken = g;
+    broken.ops[0].shape.clear();
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+
+    broken = g;
+    broken.label.clear();
+    EXPECT_THROW(opgraph::validate(broken), FatalError);
+}
+
+TEST(OpGraph, ParseRejectsMalformedText)
+{
+    const std::string good = opgraph::render(sampleGraph());
+
+    // Trailing garbage after the declared op count is a hard error.
+    EXPECT_THROW(opgraph::parse(good + "stray line\n"),
+                 FatalError);
+    // A missing trailing newline is a truncation error.
+    EXPECT_THROW(
+        opgraph::parse(good.substr(0, good.size() - 1)),
+        FatalError);
+    // Dropping an op line breaks the declared count.
+    const size_t lastLine = good.rfind("op ");
+    EXPECT_THROW(opgraph::parse(good.substr(0, lastLine)),
+                 FatalError);
+    // Wrong header.
+    EXPECT_THROW(opgraph::parse("afsb-opgraph v9\n" +
+                                good.substr(good.find('\n') + 1)),
+                 FatalError);
+    // Unknown layer kind.
+    std::string bad = good;
+    const size_t pos = bad.find("input_embedding");
+    bad.replace(pos, 15, "input_embeddinG");
+    EXPECT_THROW(opgraph::parse(bad), FatalError);
+    // Numeric field with trailing garbage inside the token.
+    bad = good;
+    const size_t fpos = bad.find("flops=");
+    bad.insert(bad.find(' ', fpos) , "x");
+    EXPECT_THROW(opgraph::parse(bad), FatalError);
+}
+
+TEST(OpGraph, JsonParserRejectsSchemaViolations)
+{
+    const auto g = sampleGraph();
+    auto doc = opgraph::toJson(g);
+    doc["format"] = "not-opgraph";
+    EXPECT_THROW(opgraph::fromJson(doc), FatalError);
+
+    doc = opgraph::toJson(g);
+    doc["version"] = 99;
+    EXPECT_THROW(opgraph::fromJson(doc), FatalError);
+
+    doc = opgraph::toJson(g);
+    doc["ops"].asArray()[0]["kind"] = "mystery_layer";
+    EXPECT_THROW(opgraph::fromJson(doc), FatalError);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Property tests sweeping all five platforms (the paper's server
+ * and desktop plus the three committed JSON configs). The op graph
+ * is a property of the workload, not the machine: executed FLOPs
+ * and kernel counts must be invariant across platforms, simulated
+ * seconds must grow monotonically with model size, and the
+ * maxBatchForVram bound must agree with the batched simulator's
+ * spill decision at the boundary.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/inference_sim.hh"
+#include "sys/platform_config.hh"
+
+using namespace afsb;
+
+namespace {
+
+std::vector<sys::PlatformSpec>
+allPlatforms()
+{
+    const std::string root = AFSB_REPO_ROOT;
+    return {
+        sys::serverPlatform(),
+        sys::desktopPlatform(),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/riscv-cpu.json"),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/cxl-tiered.json"),
+        sys::resolvePlatform(root +
+                             "/configs/platforms/small-vram.json"),
+    };
+}
+
+gpusim::InferenceSimResult
+run(const sys::PlatformSpec &platform, size_t tokens)
+{
+    gpusim::XlaCache cache;
+    gpusim::InferenceSimOptions opt;
+    opt.unifiedMemory = true;
+    return gpusim::simulateInference(platform, tokens, cache, opt);
+}
+
+} // namespace
+
+TEST(PlatformProperties, FlopsAndKernelsInvariantAcrossPlatforms)
+{
+    for (size_t tokens : {256, 857}) {
+        const auto baseline = run(sys::serverPlatform(), tokens);
+        double nonSpillBytes = baseline.deviceStats.bytesMoved;
+        ASSERT_FALSE(baseline.usedUnifiedMemory);
+        for (const auto &platform : allPlatforms()) {
+            const auto r = run(platform, tokens);
+            ASSERT_FALSE(r.oom) << platform.name;
+            // Work is a property of the graph, not the machine.
+            EXPECT_EQ(r.deviceStats.flopsExecuted,
+                      baseline.deviceStats.flopsExecuted)
+                << platform.name;
+            EXPECT_EQ(r.deviceStats.kernelsLaunched,
+                      baseline.deviceStats.kernelsLaunched)
+                << platform.name;
+            // Traffic is too, unless unified-memory spill inflates
+            // it — then it must be strictly larger, never smaller.
+            if (!r.usedUnifiedMemory)
+                EXPECT_EQ(r.deviceStats.bytesMoved, nonSpillBytes)
+                    << platform.name;
+            else
+                EXPECT_GT(r.deviceStats.bytesMoved, nonSpillBytes)
+                    << platform.name;
+        }
+    }
+}
+
+TEST(PlatformProperties, SimulatedSecondsMonotonicInModelSize)
+{
+    for (const auto &platform : allPlatforms()) {
+        double prev = 0.0;
+        for (size_t tokens : {128, 256, 512, 1024}) {
+            const auto r = run(platform, tokens);
+            ASSERT_FALSE(r.oom) << platform.name;
+            EXPECT_GT(r.totalSeconds(), prev)
+                << platform.name << " at " << tokens;
+            EXPECT_GT(r.gpuComputeSeconds, 0.0) << platform.name;
+            prev = r.totalSeconds();
+        }
+    }
+}
+
+TEST(PlatformProperties, MaxBatchForVramMatchesSpillBoundary)
+{
+    const model::ModelConfig cfg;
+    for (const auto &platform : allPlatforms()) {
+        for (size_t tokens : {256, 512, 1024}) {
+            const size_t cap =
+                gpusim::maxBatchForVram(platform, tokens, cfg);
+            ASSERT_GE(cap, 1u) << platform.name;
+
+            const uint64_t footprint =
+                static_cast<uint64_t>(cap) *
+                    model::activationBytes(tokens, cfg) +
+                model::weightBytes(cfg);
+            const bool clamped =
+                footprint > platform.gpu.vramBytes;
+
+            gpusim::InferenceSimOptions opt;
+            opt.unifiedMemory = true;
+            // Bucket width 1: no padding, execTokens == tokens, so
+            // the simulator's footprint math matches ours exactly.
+            gpusim::XlaCache atCap(1);
+            const auto fit = gpusim::simulateBatchedInference(
+                platform, std::vector<size_t>(cap, tokens), atCap,
+                opt);
+            EXPECT_EQ(fit.usedUnifiedMemory, clamped)
+                << platform.name << " cap=" << cap << " tokens="
+                << tokens;
+
+            // One past the bound must spill (cap+1 shards onto one
+            // device can only be over VRAM).
+            gpusim::XlaCache overCap(1);
+            const auto over = gpusim::simulateBatchedInference(
+                platform, std::vector<size_t>(cap + 1, tokens),
+                overCap, opt);
+            EXPECT_TRUE(over.usedUnifiedMemory)
+                << platform.name << " cap+1=" << cap + 1;
+        }
+    }
+}
+
+TEST(PlatformProperties, SmallVramConfigForcesSpillAndUnitBatch)
+{
+    // The committed small-VRAM config exists to exercise the
+    // spill/batch-split path: at 1024 tokens activations alone
+    // exceed the 8 GiB card.
+    const auto smallVram = sys::resolvePlatform(
+        std::string(AFSB_REPO_ROOT) +
+        "/configs/platforms/small-vram.json");
+    const model::ModelConfig cfg;
+    EXPECT_EQ(gpusim::maxBatchForVram(smallVram, 1024, cfg), 1u);
+    const auto r = run(smallVram, 1024);
+    ASSERT_FALSE(r.oom);
+    EXPECT_TRUE(r.usedUnifiedMemory);
+
+    // Without unified memory the same request is an OOM, while the
+    // server platform absorbs it untouched.
+    gpusim::XlaCache cache;
+    gpusim::InferenceSimOptions strict;
+    strict.unifiedMemory = false;
+    EXPECT_TRUE(gpusim::simulateInference(smallVram, 1024, cache,
+                                          strict)
+                    .oom);
+    EXPECT_FALSE(run(sys::serverPlatform(), 1024)
+                     .usedUnifiedMemory);
+}

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Bit-identity contract of the IR-driven roofline: the simulator
+ * consuming opgraph IR must produce byte-identical seconds to the
+ * pre-IR inline path. The legacy path is replicated here verbatim —
+ * model::operatorGraph + the retained vector<LayerInstance>
+ * evaluateXlaPhases overload + the same GpuDevice replay loop — and
+ * every phase duration is compared as a %.17g string (two doubles
+ * render to the same %.17g string iff they are the same bits, NaN
+ * aside). Committed baselines (bench/baselines/serve_slo.txt,
+ * BENCH_serving.json gated with --absolute) depend on this holding.
+ */
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/inference_sim.hh"
+#include "opgraph/build.hh"
+#include "util/str.hh"
+
+using namespace afsb;
+
+namespace {
+
+std::string
+bits(double v)
+{
+    return strformat("%.17g", v);
+}
+
+struct LegacyResult
+{
+    bool oom = false;
+    bool usedUnifiedMemory = false;
+    double initSeconds = 0.0;
+    double compileSeconds = 0.0;
+    double gpuComputeSeconds = 0.0;
+    double finalizeSeconds = 0.0;
+    std::map<std::string, double> layerSeconds;
+    gpusim::DeviceStats deviceStats;
+};
+
+/** Verbatim replica of the pre-IR simulateInference. */
+LegacyResult
+legacySimulateInference(const sys::PlatformSpec &platform,
+                        size_t tokens, gpusim::XlaCache &cache,
+                        const gpusim::InferenceSimOptions &options)
+{
+    LegacyResult result;
+    const auto &cfg = options.config;
+    const auto graph = model::operatorGraph(tokens, cfg);
+
+    const uint64_t footprint =
+        model::activationBytes(tokens, cfg) +
+        model::weightBytes(cfg);
+    const bool spills = footprint > platform.gpu.vramBytes;
+    if (spills && !options.unifiedMemory) {
+        result.oom = true;
+        return result;
+    }
+    result.usedUnifiedMemory = spills;
+    const double spillFraction =
+        spills ? 1.0 - static_cast<double>(platform.gpu.vramBytes) /
+                           static_cast<double>(footprint)
+               : 0.0;
+
+    const gpusim::XlaPhases phases =
+        evaluateXlaPhases(platform, graph, tokens, cache);
+    const double threadScale =
+        (1.0 - options.hostParallelFraction) +
+        options.hostParallelFraction /
+            std::max<uint32_t>(1, options.threads);
+    result.initSeconds = options.gpuAlreadyInitialized
+                             ? 0.0
+                             : phases.initSeconds * threadScale;
+    result.compileSeconds = phases.compileSeconds * threadScale;
+    result.finalizeSeconds = phases.finalizeSeconds * threadScale;
+
+    gpusim::GpuDevice device(platform.gpu);
+    double cursor = result.initSeconds + result.compileSeconds;
+    const double gpuStart = cursor;
+    for (const auto &layer : graph) {
+        double layerTotal = 0.0;
+        for (uint32_t i = 0; i < layer.count; ++i) {
+            layerTotal += device.executeKernel(
+                layer.cost.flops,
+                layer.cost.bytes *
+                    (1.0 + spillFraction *
+                               (platform.gpu.unifiedMemPenalty -
+                                1.0)),
+                false);
+        }
+        result.layerSeconds[model::layerKindName(layer.kind)] +=
+            layerTotal;
+        cursor += layerTotal;
+    }
+    result.gpuComputeSeconds = cursor - gpuStart;
+    result.deviceStats = device.stats();
+    return result;
+}
+
+void
+expectBitIdentical(const LegacyResult &legacy,
+                   const gpusim::InferenceSimResult &ir)
+{
+    ASSERT_EQ(legacy.oom, ir.oom);
+    EXPECT_EQ(legacy.usedUnifiedMemory, ir.usedUnifiedMemory);
+    EXPECT_EQ(bits(legacy.initSeconds), bits(ir.initSeconds));
+    EXPECT_EQ(bits(legacy.compileSeconds),
+              bits(ir.compileSeconds));
+    EXPECT_EQ(bits(legacy.gpuComputeSeconds),
+              bits(ir.gpuComputeSeconds));
+    EXPECT_EQ(bits(legacy.finalizeSeconds),
+              bits(ir.finalizeSeconds));
+    ASSERT_EQ(legacy.layerSeconds.size(), ir.layerSeconds.size());
+    for (const auto &[name, secs] : legacy.layerSeconds) {
+        const auto it = ir.layerSeconds.find(name);
+        ASSERT_NE(it, ir.layerSeconds.end()) << name;
+        EXPECT_EQ(bits(secs), bits(it->second)) << name;
+    }
+    EXPECT_EQ(legacy.deviceStats.kernelsLaunched,
+              ir.deviceStats.kernelsLaunched);
+    EXPECT_EQ(bits(legacy.deviceStats.flopsExecuted),
+              bits(ir.deviceStats.flopsExecuted));
+    EXPECT_EQ(bits(legacy.deviceStats.bytesMoved),
+              bits(ir.deviceStats.bytesMoved));
+    EXPECT_EQ(bits(legacy.deviceStats.busySeconds),
+              bits(ir.deviceStats.busySeconds));
+}
+
+void
+checkPlatformTokens(const sys::PlatformSpec &platform,
+                    size_t tokens,
+                    const gpusim::InferenceSimOptions &options)
+{
+    gpusim::XlaCache legacyCache;
+    gpusim::XlaCache irCache;
+    const auto legacy = legacySimulateInference(
+        platform, tokens, legacyCache, options);
+    const auto ir = gpusim::simulateInference(platform, tokens,
+                                              irCache, options);
+    expectBitIdentical(legacy, ir);
+    // The caches must agree too: identical shapes were compiled.
+    EXPECT_EQ(legacyCache.size(), irCache.size());
+}
+
+} // namespace
+
+TEST(RooflineIdentity, ServerMatchesLegacyAcrossSampleSizes)
+{
+    for (size_t tokens : {128, 484, 857, 1395, 2500})
+        checkPlatformTokens(sys::serverPlatform(), tokens, {});
+}
+
+TEST(RooflineIdentity, DesktopMatchesLegacyIncludingSpill)
+{
+    gpusim::InferenceSimOptions opt;
+    opt.unifiedMemory = true;  // 1395 tokens spills a 16 GB 4080
+    for (size_t tokens : {128, 484, 857, 1395})
+        checkPlatformTokens(sys::desktopPlatform(), tokens, opt);
+}
+
+TEST(RooflineIdentity, OomIdenticalWithoutUnifiedMemory)
+{
+    gpusim::InferenceSimOptions strict;
+    strict.unifiedMemory = false;
+    gpusim::XlaCache legacyCache, irCache;
+    const auto legacy = legacySimulateInference(
+        sys::desktopPlatform(), 1395, legacyCache, strict);
+    const auto ir = gpusim::simulateInference(
+        sys::desktopPlatform(), 1395, irCache, strict);
+    EXPECT_TRUE(legacy.oom);
+    EXPECT_TRUE(ir.oom);
+}
+
+TEST(RooflineIdentity, WarmCacheAndThreadOptionsMatchLegacy)
+{
+    gpusim::InferenceSimOptions opt;
+    opt.threads = 8;
+    opt.gpuAlreadyInitialized = true;
+    // Warm each cache with one request, then compare the second
+    // (compile phase collapses to zero identically).
+    gpusim::XlaCache legacyCache, irCache;
+    (void)legacySimulateInference(sys::serverPlatform(), 484,
+                                  legacyCache, opt);
+    (void)gpusim::simulateInference(sys::serverPlatform(), 484,
+                                    irCache, opt);
+    const auto legacy = legacySimulateInference(
+        sys::serverPlatform(), 484, legacyCache, opt);
+    const auto ir = gpusim::simulateInference(
+        sys::serverPlatform(), 484, irCache, opt);
+    expectBitIdentical(legacy, ir);
+    EXPECT_EQ(bits(legacy.compileSeconds), bits(0.0));
+}
+
+TEST(RooflineIdentity, BatchedPathMatchesLegacy)
+{
+    // Verbatim replica of the pre-IR simulateBatchedInference,
+    // compared field-by-field on both paper platforms.
+    const model::ModelConfig cfg;
+    const std::vector<size_t> members = {470, 478, 484};
+    for (const auto &platform :
+         {sys::serverPlatform(), sys::desktopPlatform()}) {
+        gpusim::InferenceSimOptions options;
+        options.unifiedMemory = true;
+        gpusim::XlaCache legacyCache, irCache;
+
+        // --- legacy replica ---
+        const uint32_t gpus = 2;
+        const size_t execTokens =
+            legacyCache.paddedTokens(members[0]);
+        const auto graph = model::operatorGraph(execTokens, cfg);
+        size_t sumTokens = 0;
+        for (size_t t : members)
+            sumTokens += t;
+        const size_t batch = members.size();
+        const size_t maxShard = (batch + gpus - 1) / gpus;
+        const uint64_t footprint =
+            static_cast<uint64_t>(maxShard) *
+                model::activationBytes(execTokens, cfg) +
+            model::weightBytes(cfg);
+        const bool spills = footprint > platform.gpu.vramBytes;
+        const double spillFraction =
+            spills
+                ? 1.0 -
+                      static_cast<double>(platform.gpu.vramBytes) /
+                          static_cast<double>(footprint)
+                : 0.0;
+        const gpusim::XlaPhases phases = evaluateXlaPhases(
+            platform, graph, execTokens, legacyCache);
+        const double threadScale =
+            (1.0 - options.hostParallelFraction) +
+            options.hostParallelFraction /
+                std::max<uint32_t>(1, options.threads);
+        const double initSeconds =
+            phases.initSeconds * threadScale;
+        const double compileSeconds =
+            phases.compileSeconds * threadScale;
+        const gpusim::XlaCostModel costs;
+        const double finalizeSeconds =
+            hostClockFactor(platform, costs) *
+            (costs.baseFinalizeSeconds +
+             costs.finalizePerToken *
+                 static_cast<double>(sumTokens)) *
+            threadScale;
+        double gpuComputeSeconds = 0.0;
+        for (uint32_t g = 0; g < gpus; ++g) {
+            const size_t shard =
+                batch / gpus + (g < batch % gpus ? 1 : 0);
+            if (shard == 0)
+                continue;
+            gpusim::GpuDevice device(platform.gpu);
+            double shardSeconds = 0.0;
+            for (const auto &layer : graph) {
+                for (uint32_t i = 0; i < layer.count; ++i)
+                    shardSeconds += device.executeKernel(
+                        layer.cost.flops *
+                            static_cast<double>(shard),
+                        layer.cost.bytes *
+                            static_cast<double>(shard) *
+                            (1.0 +
+                             spillFraction *
+                                 (platform.gpu.unifiedMemPenalty -
+                                  1.0)),
+                        false);
+            }
+            gpuComputeSeconds =
+                std::max(gpuComputeSeconds, shardSeconds);
+        }
+        double usefulFlops = 0.0;
+        for (size_t t : members)
+            usefulFlops +=
+                model::totalFlops(model::operatorGraph(t, cfg));
+        const double paddedFlops = std::max(
+            0.0, model::totalFlops(graph) *
+                         static_cast<double>(batch) -
+                     usefulFlops);
+
+        // --- IR-driven path ---
+        const auto ir = gpusim::simulateBatchedInference(
+            platform, members, irCache, options, gpus);
+
+        EXPECT_FALSE(ir.oom);
+        EXPECT_EQ(ir.usedUnifiedMemory, spills);
+        EXPECT_EQ(ir.execTokens, execTokens);
+        EXPECT_EQ(bits(ir.initSeconds), bits(initSeconds));
+        EXPECT_EQ(bits(ir.compileSeconds), bits(compileSeconds));
+        EXPECT_EQ(bits(ir.finalizeSeconds),
+                  bits(finalizeSeconds));
+        EXPECT_EQ(bits(ir.gpuComputeSeconds),
+                  bits(gpuComputeSeconds));
+        EXPECT_EQ(bits(ir.usefulFlops), bits(usefulFlops));
+        EXPECT_EQ(bits(ir.paddedFlops), bits(paddedFlops));
+        EXPECT_EQ(legacyCache.size(), irCache.size());
+    }
+}
+
+TEST(RooflineIdentity, SoloBatchMatchesUnbatchedSimulator)
+{
+    gpusim::XlaCache soloCache, batchCache;
+    const auto solo = gpusim::simulateInference(
+        sys::serverPlatform(), 484, soloCache);
+    const auto batched = gpusim::simulateBatchedInference(
+        sys::serverPlatform(), {484}, batchCache);
+    EXPECT_EQ(bits(solo.gpuComputeSeconds),
+              bits(batched.gpuComputeSeconds));
+    EXPECT_EQ(bits(solo.compileSeconds),
+              bits(batched.compileSeconds));
+    EXPECT_EQ(bits(solo.finalizeSeconds),
+              bits(batched.finalizeSeconds));
+}

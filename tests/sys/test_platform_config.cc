@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Platform-as-data tests: JSON round-trips of every builtin spec,
+ * strict rejection of malformed configs (unknown keys, bad
+ * format/version, negative sizes), and loading of the three
+ * committed configs under configs/platforms/.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sys/platform_config.hh"
+#include "util/logging.hh"
+
+using namespace afsb;
+
+namespace {
+
+std::string
+configPath(const char *file)
+{
+    return std::string(AFSB_REPO_ROOT) + "/configs/platforms/" +
+           file;
+}
+
+} // namespace
+
+TEST(PlatformConfig, BuiltinSpecsRoundTripThroughJson)
+{
+    for (const auto &name : sys::builtinPlatformNames()) {
+        const auto spec = sys::resolvePlatform(name);
+        const auto doc = sys::platformToJson(spec);
+        const auto back = sys::platformFromJson(doc, name);
+        // PlatformSpec has no operator==; the canonical JSON dump
+        // is the equality witness.
+        EXPECT_EQ(sys::platformToJson(back).dumpPretty(),
+                  doc.dumpPretty())
+            << name;
+        EXPECT_EQ(back.name, spec.name);
+        EXPECT_EQ(back.cpu.cores, spec.cpu.cores);
+        EXPECT_EQ(back.cpu.vectorFlopsPerCycle,
+                  spec.cpu.vectorFlopsPerCycle);
+        EXPECT_EQ(back.gpu.vramBytes, spec.gpu.vramBytes);
+    }
+}
+
+TEST(PlatformConfig, TextualRoundTripSurvivesReparse)
+{
+    const auto spec = sys::serverPlatform();
+    const std::string dumped =
+        sys::platformToJson(spec).dumpPretty();
+    const auto back =
+        sys::platformFromJson(parseJson(dumped), "reparse");
+    EXPECT_EQ(sys::platformToJson(back).dumpPretty(), dumped);
+}
+
+TEST(PlatformConfig, UnknownKeysAreHardErrors)
+{
+    auto doc = sys::platformToJson(sys::serverPlatform());
+    doc["cpu"]["frequncy_ghz"] = JsonValue(3.0);  // typoed knob
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["acceleratorz"] = JsonValue::makeObject();
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["gpu"]["hbm"] = JsonValue(1.0);
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+}
+
+TEST(PlatformConfig, HeaderAndValueViolationsAreHardErrors)
+{
+    auto doc = sys::platformToJson(sys::serverPlatform());
+    doc["format"] = "afsb-toaster";
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["version"] = 2;
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["gpu"]["vram_bytes"] = -1;
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["cpu"]["cores"] = 0;
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+
+    doc = sys::platformToJson(sys::serverPlatform());
+    doc["name"] = "";
+    EXPECT_THROW(sys::platformFromJson(doc, "t"), FatalError);
+}
+
+TEST(PlatformConfig, CommittedConfigsLoadWithExpectedTraits)
+{
+    const auto riscv =
+        sys::loadPlatformFile(configPath("riscv-cpu.json"));
+    EXPECT_EQ(riscv.name, "RISCV-Vector");
+    EXPECT_EQ(riscv.cpu.vendor, "riscv");
+    // Unified SoC: the on-die engine sees all of DRAM, so the
+    // inference path never spills.
+    EXPECT_EQ(riscv.gpu.vramBytes, riscv.memory.dramBytes);
+    EXPECT_EQ(riscv.cpu.vectorFlopsPerCycle, 16.0);
+
+    const auto cxl =
+        sys::loadPlatformFile(configPath("cxl-tiered.json"));
+    EXPECT_EQ(cxl.name, "CXL-Tiered");
+    EXPECT_GT(cxl.memory.cxlBytes, 0u);
+    EXPECT_GT(cxl.memory.cxlLatencyFactor, 1.0);
+
+    const auto small =
+        sys::loadPlatformFile(configPath("small-vram.json"));
+    EXPECT_EQ(small.name, "SmallVRAM");
+    EXPECT_EQ(small.gpu.vramBytes, uint64_t{8} << 30);
+    EXPECT_GT(small.gpu.unifiedMemPenalty, 1.0);
+}
+
+TEST(PlatformConfig, ResolveAcceptsBuiltinsAndPathsOnly)
+{
+    for (const auto &name : sys::builtinPlatformNames())
+        EXPECT_NO_THROW(sys::resolvePlatform(name)) << name;
+    EXPECT_EQ(sys::resolvePlatform("server").name,
+              sys::serverPlatform().name);
+    EXPECT_EQ(
+        sys::resolvePlatform(configPath("small-vram.json")).name,
+        "SmallVRAM");
+    EXPECT_THROW(sys::resolvePlatform("toaster"), FatalError);
+    EXPECT_THROW(sys::resolvePlatform("/no/such/file.json"),
+                 FatalError);
+}
+
+TEST(PlatformConfig, MalformedFixtureFilesAreRejected)
+{
+    const std::string fixtures =
+        std::string(AFSB_REPO_ROOT) + "/tests/data/platforms/";
+    EXPECT_THROW(
+        sys::loadPlatformFile(fixtures + "bad_unknown_key.json"),
+        FatalError);
+    EXPECT_THROW(
+        sys::loadPlatformFile(fixtures + "bad_format.json"),
+        FatalError);
+    // Valid JSON object followed by trailing garbage: the strict
+    // JSON parser must not silently accept the prefix.
+    EXPECT_THROW(
+        sys::loadPlatformFile(fixtures + "bad_trailing.json"),
+        FatalError);
+}

@@ -19,17 +19,27 @@
  *                        [--csv out.csv]
  *   afsysbench estimate  --sample 6QNR --platform desktop
  *   afsysbench advise    --sample 1YY9 --platform server
+ *   afsysbench opgraph   --sample 2PV7 [--tokens N]
+ *                        [--module all|pairformer|diffusion]
+ *                        [--dump] [--format text|json] [--out FILE]
+ *                        [--platform P]
+ *
+ * --platform accepts a builtin name or a path to a *.json platform
+ * config (see configs/platforms/).
  */
 
 #include <cstdio>
 #include <memory>
 
+#include "cachesim/op_attribution.hh"
 #include "core/adaptive_threads.hh"
 #include "core/memory_estimator.hh"
 #include "core/pipeline.hh"
 #include "io/textfile.hh"
+#include "opgraph/build.hh"
 #include "prof/repetition.hh"
 #include "serve/report.hh"
+#include "sys/platform_config.hh"
 #include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -41,24 +51,16 @@ using namespace afsb;
 
 namespace {
 
-/** Accepted --platform names, in canonical order; keep the check
- *  chain, error message, and usage text enumerating exactly these. */
+/** Builtin --platform names; the flag also accepts *.json paths
+ *  (sys::resolvePlatform). Keep the usage text enumerating these. */
 constexpr const char *kPlatformNames =
-    "server, server-cxl, desktop, desktop-128";
+    "server, server-cxl, desktop, desktop-128, or a *.json config "
+    "path";
 
 sys::PlatformSpec
 platformByName(const std::string &name)
 {
-    if (name == "server")
-        return sys::serverPlatform();
-    if (name == "server-cxl")
-        return sys::serverPlatformWithCxl();
-    if (name == "desktop")
-        return sys::desktopPlatform();
-    if (name == "desktop-128")
-        return sys::desktopPlatformUpgraded();
-    fatal("unknown platform '" + name + "' (" + kPlatformNames +
-          ")");
+    return sys::resolvePlatform(name);
 }
 
 int
@@ -500,6 +502,92 @@ cmdEstimate(const CliArgs &args)
 }
 
 int
+cmdOpgraph(const CliArgs &args)
+{
+    const model::ModelConfig cfg;
+    size_t tokens = 0;
+    if (args.has("tokens")) {
+        const int64_t n = args.getInt("tokens", 0);
+        if (n < 1)
+            fatal("opgraph: --tokens must be >= 1");
+        tokens = static_cast<size_t>(n);
+    } else {
+        tokens = bio::makeSample(args.get("sample", "2PV7"))
+                     .complex.totalResidues();
+    }
+
+    const std::string module = args.get("module", "all");
+    opgraph::OpGraph graph;
+    if (module == "all")
+        graph = opgraph::buildInferenceGraph(tokens, cfg);
+    else if (module == "pairformer")
+        graph = opgraph::buildPairformerGraph(tokens, cfg);
+    else if (module == "diffusion")
+        graph = opgraph::buildDiffusionGraph(tokens, cfg);
+    else
+        fatal("opgraph: --module must be all, pairformer, or "
+              "diffusion");
+
+    if (args.getSwitch("dump")) {
+        const std::string format = args.get("format", "text");
+        std::string out;
+        if (format == "text")
+            out = opgraph::render(graph);
+        else if (format == "json")
+            out = opgraph::toJson(graph).dumpPretty() + "\n";
+        else
+            fatal("opgraph: --format must be text or json");
+        if (args.has("out")) {
+            io::writeTextFile(args.get("out"), out);
+            std::printf("Operator graph written to %s\n",
+                        args.get("out").c_str());
+        } else {
+            std::printf("%s", out.c_str());
+        }
+        return 0;
+    }
+
+    const auto platform =
+        platformByName(args.get("platform", "server"));
+    const auto attr =
+        cachesim::attributeOpGraph(graph, platform);
+
+    std::printf("%s: %zu ops, %.3e FLOPs, %s traffic, %llu "
+                "kernels\n",
+                graph.label.c_str(), graph.ops.size(),
+                graph.totalFlops(),
+                formatBytes(static_cast<uint64_t>(
+                                graph.totalTrafficBytes()))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    graph.totalKernels()));
+    std::printf("CPU roofline on %s: %.3e FLOP/s peak, %.3e B/s "
+                "DRAM\n\n",
+                platform.name.c_str(), attr.peakFlops,
+                attr.memBandwidth);
+
+    TextTable t(strformat("Operator attribution (%s, N=%zu)",
+                          platform.name.c_str(), tokens));
+    t.setHeader({"Op", "Layer", "FLOPs", "Bytes", "Bound",
+                 "Time (s)", "Share"});
+    for (const auto &a : attr.ops)
+        t.addRow({strformat("%u", a.id), a.name,
+                  strformat("%.2e", a.flops),
+                  strformat("%.2e", a.trafficBytes),
+                  a.memoryBound ? "memory" : "compute",
+                  strformat("%.3f", a.boundSeconds),
+                  strformat("%.1f%%", 100.0 * a.share)});
+    t.print();
+    std::printf("\nmemory-bound time: %.1f%% of %.3f s\n",
+                attr.totalSeconds > 0.0
+                    ? 100.0 * attr.memoryBoundSeconds /
+                          attr.totalSeconds
+                    : 0.0,
+                attr.totalSeconds);
+    return 0;
+}
+
+int
 cmdAdvise(const CliArgs &args)
 {
     const auto sample = bio::makeSample(args.get("sample", "2PV7"));
@@ -535,13 +623,15 @@ main(int argc, char **argv)
             return cmdEstimate(args);
         if (cmd == "advise")
             return cmdAdvise(args);
+        if (cmd == "opgraph")
+            return cmdOpgraph(args);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     std::printf(
         "usage: afsysbench <list|run|inference|serve|estimate|"
-        "advise>\n"
+        "advise|opgraph>\n"
         "  common: [--sample S] [--platform P] [--threads 1,2,4] "
         "[--repeats N]\n"
         "          [--preload] [--persistent] [--csv FILE]\n"
@@ -573,6 +663,10 @@ main(int argc, char **argv)
         "[--kill-node N --kill-at S [--kill-rebuild S]]\n"
         "          output: [--report-out FILE] [--fault-log FILE] "
         "[--comm-trace FILE]\n"
+        "  opgraph: [--sample S | --tokens N] "
+        "[--module all|pairformer|diffusion]\n"
+        "          [--dump] [--format text|json] [--out FILE] "
+        "[--platform P]\n"
         "  platforms: %s\n",
         kPlatformNames);
     return cmd == "help" ? 0 : 1;
